@@ -1,0 +1,167 @@
+//! Executor operator throughput: scans (with pruning), hash joins, hash
+//! aggregation with masks, window aggregates, MarkDistinct.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fusion_common::{DataType, IdGen, Value};
+use fusion_exec::table::TableColumn;
+use fusion_exec::{execute_plan, Catalog, ExecMetrics, TableBuilder};
+use fusion_expr::{col, lit, AggFunc, AggregateExpr, WindowExpr};
+use fusion_plan::builder::ColumnDef;
+use fusion_plan::{JoinType, PlanBuilder};
+
+const ROWS: i64 = 100_000;
+
+fn catalog() -> Catalog {
+    let mut b = TableBuilder::new(
+        "fact",
+        vec![
+            TableColumn {
+                name: "k".into(),
+                data_type: DataType::Int64,
+                nullable: false,
+            },
+            TableColumn {
+                name: "grp".into(),
+                data_type: DataType::Int64,
+                nullable: true,
+            },
+            TableColumn {
+                name: "v".into(),
+                data_type: DataType::Float64,
+                nullable: true,
+            },
+        ],
+    )
+    .partition_by("k", ROWS / 40)
+    .unwrap();
+    for i in 0..ROWS {
+        b.add_row(vec![
+            Value::Int64(i),
+            Value::Int64(i % 1000),
+            Value::Float64((i % 97) as f64),
+        ])
+        .unwrap();
+    }
+    let mut dim = TableBuilder::new(
+        "dim",
+        vec![
+            TableColumn {
+                name: "d_k".into(),
+                data_type: DataType::Int64,
+                nullable: false,
+            },
+            TableColumn {
+                name: "d_name".into(),
+                data_type: DataType::Utf8,
+                nullable: true,
+            },
+        ],
+    );
+    for i in 0..1000i64 {
+        dim.add_row(vec![Value::Int64(i), Value::Utf8(format!("dim-{i}"))])
+            .unwrap();
+    }
+    let mut c = Catalog::new();
+    c.register(b.build());
+    c.register(dim.build());
+    c
+}
+
+fn cols() -> Vec<ColumnDef> {
+    vec![
+        ColumnDef::new("k", DataType::Int64, false),
+        ColumnDef::new("grp", DataType::Int64, true),
+        ColumnDef::new("v", DataType::Float64, true),
+    ]
+}
+
+fn dim_cols() -> Vec<ColumnDef> {
+    vec![
+        ColumnDef::new("d_k", DataType::Int64, false),
+        ColumnDef::new("d_name", DataType::Utf8, true),
+    ]
+}
+
+fn bench_operators(c: &mut Criterion) {
+    let catalog = catalog();
+    let gen = IdGen::new();
+    let mut group = c.benchmark_group("executor");
+    group.sample_size(20);
+
+    // Full scan.
+    let scan = PlanBuilder::scan(&gen, "fact", &cols()).build();
+    group.bench_function("scan_100k", |b| {
+        b.iter(|| execute_plan(&scan, &catalog, &ExecMetrics::new()).unwrap())
+    });
+
+    // Pruned scan: one partition of 40.
+    let t = PlanBuilder::scan(&gen, "fact", &cols());
+    let k = t.col("k").unwrap();
+    let mut pruned = match t.build() {
+        fusion_plan::LogicalPlan::Scan(mut s) => {
+            s.filters.push(col(k).lt(lit(ROWS / 40)));
+            fusion_plan::LogicalPlan::Scan(s)
+        }
+        _ => unreachable!(),
+    };
+    group.bench_function("scan_pruned_1_of_40", |b| {
+        b.iter(|| execute_plan(&pruned, &catalog, &ExecMetrics::new()).unwrap())
+    });
+    let _ = &mut pruned;
+
+    // Hash aggregate with masks.
+    let t = PlanBuilder::scan(&gen, "fact", &cols());
+    let (g, v) = (t.col("grp").unwrap(), t.col("v").unwrap());
+    let agg = t
+        .aggregate(
+            vec![g],
+            vec![
+                ("s", AggregateExpr::sum(col(v))),
+                (
+                    "masked",
+                    AggregateExpr::avg(col(v)).with_mask(col(v).gt(lit(50.0))),
+                ),
+            ],
+        )
+        .build();
+    group.bench_function("hash_aggregate_masked_1000_groups", |b| {
+        b.iter(|| execute_plan(&agg, &catalog, &ExecMetrics::new()).unwrap())
+    });
+
+    // Hash join 100k x 1k.
+    let f = PlanBuilder::scan(&gen, "fact", &cols());
+    let d = PlanBuilder::scan(&gen, "dim", &dim_cols());
+    let (fg, dk) = (f.col("grp").unwrap(), d.col("d_k").unwrap());
+    let join = f
+        .join(d.build(), JoinType::Inner, col(fg).eq_to(col(dk)))
+        .build();
+    group.bench_function("hash_join_100k_x_1k", |b| {
+        b.iter(|| execute_plan(&join, &catalog, &ExecMetrics::new()).unwrap())
+    });
+
+    // Window aggregate.
+    let t = PlanBuilder::scan(&gen, "fact", &cols());
+    let (g, v) = (t.col("grp").unwrap(), t.col("v").unwrap());
+    let win = t
+        .window(vec![(
+            "w",
+            WindowExpr::new(AggFunc::Avg, Some(col(v)), vec![g]),
+        )])
+        .build();
+    group.bench_function("window_avg_1000_partitions", |b| {
+        b.iter(|| execute_plan(&win, &catalog, &ExecMetrics::new()).unwrap())
+    });
+
+    // MarkDistinct.
+    let t = PlanBuilder::scan(&gen, "fact", &cols());
+    let g = t.col("grp").unwrap();
+    let md = t.mark_distinct(vec![g], "d").build();
+    group.bench_function("mark_distinct_100k", |b| {
+        b.iter(|| execute_plan(&md, &catalog, &ExecMetrics::new()).unwrap())
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_operators);
+criterion_main!(benches);

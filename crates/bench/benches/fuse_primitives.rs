@@ -1,0 +1,94 @@
+//! Micro-benchmarks for the `Fuse` primitive (Section III): how much does
+//! fusing plan pairs cost at compile time, per operator shape?
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fusion_common::{DataType, IdGen};
+use fusion_core::fuse::{fuse, FuseContext};
+use fusion_expr::{col, lit, AggregateExpr};
+use fusion_plan::builder::ColumnDef;
+use fusion_plan::{JoinType, LogicalPlan, PlanBuilder};
+
+fn wide_cols(n: usize) -> Vec<ColumnDef> {
+    (0..n)
+        .map(|i| ColumnDef::new(format!("c{i}"), DataType::Int64, true))
+        .collect()
+}
+
+fn filtered_scan(gen: &IdGen, ncols: usize, bound: i64) -> LogicalPlan {
+    let t = PlanBuilder::scan(gen, "t", &wide_cols(ncols));
+    let c0 = t.col("c0").unwrap();
+    t.filter(col(c0).gt(lit(bound))).build()
+}
+
+fn aggregate_pipeline(gen: &IdGen, bound: i64) -> LogicalPlan {
+    let t = PlanBuilder::scan(gen, "t", &wide_cols(8));
+    let (c0, c1, c2) = (
+        t.col("c0").unwrap(),
+        t.col("c1").unwrap(),
+        t.col("c2").unwrap(),
+    );
+    t.filter(col(c2).gt(lit(bound)))
+        .aggregate(
+            vec![c0],
+            vec![
+                ("s", AggregateExpr::sum(col(c1))),
+                ("n", AggregateExpr::count_star()),
+            ],
+        )
+        .build()
+}
+
+fn join_tree(gen: &IdGen, depth: usize) -> LogicalPlan {
+    let mut b = PlanBuilder::scan(gen, "t0", &wide_cols(4));
+    let mut prev_key = b.col("c0").unwrap();
+    for i in 1..depth {
+        let next = PlanBuilder::scan(gen, format!("t{i}"), &wide_cols(4));
+        let key = next.col("c0").unwrap();
+        b = b.join(
+            next.build(),
+            JoinType::Inner,
+            col(prev_key).eq_to(col(key)),
+        );
+        prev_key = key;
+    }
+    b.build()
+}
+
+fn bench_fuse(c: &mut Criterion) {
+    let gen = IdGen::new();
+    let ctx = FuseContext::new(gen.clone());
+
+    let mut group = c.benchmark_group("fuse");
+
+    let s1 = filtered_scan(&gen, 16, 10);
+    let s2 = filtered_scan(&gen, 16, 500);
+    group.bench_function("filtered_scans_16col", |b| {
+        b.iter(|| fuse(&s1, &s2, &ctx).unwrap())
+    });
+
+    let a1 = aggregate_pipeline(&gen, 10);
+    let a2 = aggregate_pipeline(&gen, 500);
+    group.bench_function("masked_aggregates", |b| {
+        b.iter(|| fuse(&a1, &a2, &ctx).unwrap())
+    });
+
+    for depth in [2usize, 4, 8] {
+        let j1 = join_tree(&gen, depth);
+        let j2 = join_tree(&gen, depth);
+        group.bench_function(format!("join_tree_depth_{depth}"), |b| {
+            b.iter(|| fuse(&j1, &j2, &ctx).unwrap())
+        });
+    }
+
+    // A non-fusable pair: how fast does Fuse fail?
+    let x = filtered_scan(&gen, 16, 10);
+    let other = PlanBuilder::scan(&gen, "different", &wide_cols(16)).build();
+    group.bench_function("mismatch_rejection", |b| {
+        b.iter(|| assert!(fuse(&x, &other, &ctx).is_none()))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_fuse);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Compile-time cost of the optimizer passes on the TPC-DS workload:
+//! per-query optimization time with fusion on vs off, and for the
+//! featured query families.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fusion_core::{Optimizer, OptimizerConfig};
+use fusion_engine::Session;
+use fusion_tpcds::{generate_catalog, queries, TpcdsConfig};
+
+fn session() -> Session {
+    let cfg = TpcdsConfig::with_scale(0.02);
+    let mut s = Session::new();
+    for t in generate_catalog(&cfg).into_tables() {
+        s.register_table(t);
+    }
+    s
+}
+
+fn bench_optimizer(c: &mut Criterion) {
+    let s = session();
+    let mut group = c.benchmark_group("optimize");
+
+    for q in [
+        queries::q01(),
+        queries::q09(),
+        queries::q23(),
+        queries::q65(),
+        queries::q95(),
+    ] {
+        let plan = s.plan_sql(&q.sql).expect("plan");
+        let fused = Optimizer::new(s.id_gen().clone(), OptimizerConfig::default());
+        group.bench_function(format!("{}_fusion_on", q.id), |b| {
+            b.iter(|| fused.optimize(&plan))
+        });
+        let baseline = Optimizer::new(s.id_gen().clone(), OptimizerConfig::baseline());
+        group.bench_function(format!("{}_fusion_off", q.id), |b| {
+            b.iter(|| baseline.optimize(&plan))
+        });
+    }
+    group.finish();
+}
+
+fn bench_sql_frontend(c: &mut Criterion) {
+    let s = session();
+    let mut group = c.benchmark_group("frontend");
+    let q = queries::q23();
+    group.bench_function("parse_q23", |b| {
+        b.iter(|| fusion_sql::parse(&q.sql).unwrap())
+    });
+    group.bench_function("plan_q23", |b| b.iter(|| s.plan_sql(&q.sql).unwrap()));
+    group.finish();
+}
+
+criterion_group!(benches, bench_optimizer, bench_sql_frontend);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! End-to-end TPC-DS query benchmarks, baseline vs fused — the Criterion
+//! counterpart of the `paper_figures` binary (Figures 1 and 2 report the
+//! same runs with medians and byte counters).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fusion_bench::Harness;
+use fusion_tpcds::featured_queries;
+
+fn bench_queries(c: &mut Criterion) {
+    let scale = std::env::var("TPCDS_SCALE")
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .unwrap_or(0.1);
+    let harness = Harness::new(scale);
+    let mut group = c.benchmark_group("tpcds");
+    group.sample_size(10);
+
+    for q in featured_queries() {
+        group.bench_function(format!("{}_baseline", q.id), |b| {
+            b.iter(|| harness.baseline.sql(&q.sql).unwrap())
+        });
+        group.bench_function(format!("{}_fused", q.id), |b| {
+            b.iter(|| harness.fused.sql(&q.sql).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_queries);
+criterion_main!(benches);

@@ -1,0 +1,87 @@
+//! Error handling shared by all athena-fusion crates.
+
+use std::fmt;
+
+/// The error type used throughout the engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FusionError {
+    /// A plan is structurally invalid (unknown column, arity mismatch, ...).
+    Plan(String),
+    /// A schema-level problem (duplicate ids, missing field, ...).
+    Schema(String),
+    /// A type error detected during analysis or evaluation.
+    Type(String),
+    /// An error raised while executing a physical plan.
+    Execution(String),
+    /// A SQL lexing/parsing/planning error.
+    Sql(String),
+    /// `EnforceSingleRow` saw zero or more than one row.
+    SingleRowViolation(usize),
+    /// An internal invariant was broken; indicates a bug in the engine.
+    Internal(String),
+    /// A feature that is intentionally out of scope.
+    NotImplemented(String),
+}
+
+impl fmt::Display for FusionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FusionError::Plan(msg) => write!(f, "plan error: {msg}"),
+            FusionError::Schema(msg) => write!(f, "schema error: {msg}"),
+            FusionError::Type(msg) => write!(f, "type error: {msg}"),
+            FusionError::Execution(msg) => write!(f, "execution error: {msg}"),
+            FusionError::Sql(msg) => write!(f, "SQL error: {msg}"),
+            FusionError::SingleRowViolation(n) => {
+                write!(f, "scalar subquery returned {n} rows, expected exactly 1")
+            }
+            FusionError::Internal(msg) => write!(f, "internal error: {msg}"),
+            FusionError::NotImplemented(msg) => write!(f, "not implemented: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for FusionError {}
+
+/// Convenience alias used across the workspace.
+pub type Result<T, E = FusionError> = std::result::Result<T, E>;
+
+/// Build a [`FusionError::Plan`] from format arguments.
+#[macro_export]
+macro_rules! plan_err {
+    ($($arg:tt)*) => {
+        Err($crate::FusionError::Plan(format!($($arg)*)))
+    };
+}
+
+/// Build a [`FusionError::Internal`] from format arguments.
+#[macro_export]
+macro_rules! internal_err {
+    ($($arg:tt)*) => {
+        Err($crate::FusionError::Internal(format!($($arg)*)))
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_variant_payloads() {
+        assert_eq!(
+            FusionError::Plan("bad".into()).to_string(),
+            "plan error: bad"
+        );
+        assert_eq!(
+            FusionError::SingleRowViolation(3).to_string(),
+            "scalar subquery returned 3 rows, expected exactly 1"
+        );
+    }
+
+    #[test]
+    fn macros_produce_err_variants() {
+        let r: Result<()> = plan_err!("x = {}", 1);
+        assert_eq!(r, Err(FusionError::Plan("x = 1".into())));
+        let r: Result<()> = internal_err!("boom");
+        assert_eq!(r, Err(FusionError::Internal("boom".into())));
+    }
+}

@@ -1,0 +1,201 @@
+//! Identity-carrying schemas.
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::error::{FusionError, Result};
+use crate::ident::ColumnId;
+use crate::types::DataType;
+
+/// One output column of a plan node: a unique identity, a display name,
+/// a type, and nullability.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Field {
+    pub id: ColumnId,
+    pub name: String,
+    pub data_type: DataType,
+    pub nullable: bool,
+}
+
+impl Field {
+    pub fn new(id: ColumnId, name: impl Into<String>, data_type: DataType, nullable: bool) -> Self {
+        Field {
+            id,
+            name: name.into(),
+            data_type,
+            nullable,
+        }
+    }
+}
+
+impl fmt::Display for Field {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}{} {}", self.name, self.id, self.data_type)?;
+        if !self.nullable {
+            f.write_str(" NOT NULL")?;
+        }
+        Ok(())
+    }
+}
+
+/// An ordered collection of [`Field`]s; the output shape of a plan node.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Schema {
+    fields: Vec<Field>,
+}
+
+/// Shared schema handle.
+pub type SchemaRef = Arc<Schema>;
+
+impl Schema {
+    pub fn new(fields: Vec<Field>) -> Self {
+        Schema { fields }
+    }
+
+    pub fn empty() -> Self {
+        Schema { fields: vec![] }
+    }
+
+    pub fn fields(&self) -> &[Field] {
+        &self.fields
+    }
+
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    /// Position of the column with the given identity.
+    pub fn index_of(&self, id: ColumnId) -> Option<usize> {
+        self.fields.iter().position(|f| f.id == id)
+    }
+
+    /// Field with the given identity.
+    pub fn field_by_id(&self, id: ColumnId) -> Option<&Field> {
+        self.fields.iter().find(|f| f.id == id)
+    }
+
+    /// Field with the given identity, or a schema error.
+    pub fn try_field_by_id(&self, id: ColumnId) -> Result<&Field> {
+        self.field_by_id(id)
+            .ok_or_else(|| FusionError::Schema(format!("column {id} not found in schema {self}")))
+    }
+
+    /// First field with the given (case-insensitive) name.
+    pub fn field_by_name(&self, name: &str) -> Option<&Field> {
+        self.fields
+            .iter()
+            .find(|f| f.name.eq_ignore_ascii_case(name))
+    }
+
+    /// All fields with the given (case-insensitive) name — used by name
+    /// resolution to detect ambiguity.
+    pub fn fields_by_name<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a Field> + 'a {
+        self.fields
+            .iter()
+            .filter(move |f| f.name.eq_ignore_ascii_case(name))
+    }
+
+    pub fn field(&self, i: usize) -> &Field {
+        &self.fields[i]
+    }
+
+    pub fn contains(&self, id: ColumnId) -> bool {
+        self.index_of(id).is_some()
+    }
+
+    /// Concatenate two schemas (e.g. the output of a join).
+    pub fn join(&self, other: &Schema) -> Schema {
+        let mut fields = self.fields.clone();
+        fields.extend(other.fields.iter().cloned());
+        Schema::new(fields)
+    }
+
+    /// All column ids, in order.
+    pub fn ids(&self) -> Vec<ColumnId> {
+        self.fields.iter().map(|f| f.id).collect()
+    }
+
+    /// Validate that no column id appears twice.
+    pub fn check_unique_ids(&self) -> Result<()> {
+        let mut seen = std::collections::HashSet::new();
+        for f in &self.fields {
+            if !seen.insert(f.id) {
+                return Err(FusionError::Schema(format!(
+                    "duplicate column id {} ({})",
+                    f.id, f.name
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("[")?;
+        for (i, field) in self.fields.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            write!(f, "{field}")?;
+        }
+        f.write_str("]")
+    }
+}
+
+impl From<Vec<Field>> for Schema {
+    fn from(fields: Vec<Field>) -> Self {
+        Schema::new(fields)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Schema {
+        Schema::new(vec![
+            Field::new(ColumnId(0), "a", DataType::Int64, false),
+            Field::new(ColumnId(1), "b", DataType::Utf8, true),
+            Field::new(ColumnId(2), "B", DataType::Float64, true),
+        ])
+    }
+
+    #[test]
+    fn lookup_by_id_and_name() {
+        let s = sample();
+        assert_eq!(s.index_of(ColumnId(1)), Some(1));
+        assert_eq!(s.field_by_name("A").unwrap().id, ColumnId(0));
+        assert!(s.field_by_id(ColumnId(9)).is_none());
+    }
+
+    #[test]
+    fn name_lookup_is_case_insensitive_and_reports_all() {
+        let s = sample();
+        let hits: Vec<_> = s.fields_by_name("b").collect();
+        assert_eq!(hits.len(), 2);
+    }
+
+    #[test]
+    fn join_concatenates() {
+        let s = sample();
+        let t = Schema::new(vec![Field::new(ColumnId(7), "x", DataType::Date, true)]);
+        let j = s.join(&t);
+        assert_eq!(j.len(), 4);
+        assert_eq!(j.field(3).id, ColumnId(7));
+    }
+
+    #[test]
+    fn duplicate_ids_detected() {
+        let s = Schema::new(vec![
+            Field::new(ColumnId(0), "a", DataType::Int64, false),
+            Field::new(ColumnId(0), "b", DataType::Int64, false),
+        ]);
+        assert!(s.check_unique_ids().is_err());
+        assert!(sample().check_unique_ids().is_ok());
+    }
+}

@@ -1,0 +1,109 @@
+//! The scalar type system.
+
+use std::fmt;
+
+/// Data types supported by the engine.
+///
+/// The set is deliberately small but sufficient for TPC-DS-style analytics:
+/// decimals are carried as `Float64` (the reproduction cares about plan
+/// shape and data volume, not decimal arithmetic), dates as days since
+/// epoch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DataType {
+    /// Three-valued boolean.
+    Boolean,
+    /// 64-bit signed integer.
+    Int64,
+    /// 64-bit IEEE float (also used for decimals).
+    Float64,
+    /// UTF-8 string.
+    Utf8,
+    /// Date as days since the epoch.
+    Date,
+}
+
+impl DataType {
+    /// Whether the type is numeric (participates in arithmetic and in
+    /// SUM/AVG aggregates).
+    pub fn is_numeric(&self) -> bool {
+        matches!(self, DataType::Int64 | DataType::Float64)
+    }
+
+    /// The common supertype two numeric types coerce to, if any.
+    pub fn numeric_supertype(a: DataType, b: DataType) -> Option<DataType> {
+        match (a, b) {
+            (DataType::Int64, DataType::Int64) => Some(DataType::Int64),
+            (DataType::Float64, DataType::Float64)
+            | (DataType::Int64, DataType::Float64)
+            | (DataType::Float64, DataType::Int64) => Some(DataType::Float64),
+            _ => None,
+        }
+    }
+
+    /// Whether values of `self` can be compared with values of `other`.
+    pub fn comparable_with(&self, other: &DataType) -> bool {
+        self == other || (self.is_numeric() && other.is_numeric())
+    }
+
+    /// Fixed per-value encoded width in bytes, used by the bytes-scanned
+    /// metric. Strings report their actual length at runtime; this is the
+    /// width for fixed-size types.
+    pub fn fixed_width(&self) -> Option<usize> {
+        match self {
+            DataType::Boolean => Some(1),
+            DataType::Int64 => Some(8),
+            DataType::Float64 => Some(8),
+            DataType::Date => Some(4),
+            DataType::Utf8 => None,
+        }
+    }
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DataType::Boolean => "BOOLEAN",
+            DataType::Int64 => "BIGINT",
+            DataType::Float64 => "DOUBLE",
+            DataType::Utf8 => "VARCHAR",
+            DataType::Date => "DATE",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numeric_supertype_promotes_to_float() {
+        assert_eq!(
+            DataType::numeric_supertype(DataType::Int64, DataType::Float64),
+            Some(DataType::Float64)
+        );
+        assert_eq!(
+            DataType::numeric_supertype(DataType::Int64, DataType::Int64),
+            Some(DataType::Int64)
+        );
+        assert_eq!(
+            DataType::numeric_supertype(DataType::Utf8, DataType::Int64),
+            None
+        );
+    }
+
+    #[test]
+    fn comparability_allows_cross_numeric() {
+        assert!(DataType::Int64.comparable_with(&DataType::Float64));
+        assert!(DataType::Utf8.comparable_with(&DataType::Utf8));
+        assert!(!DataType::Utf8.comparable_with(&DataType::Int64));
+        assert!(!DataType::Date.comparable_with(&DataType::Int64));
+    }
+
+    #[test]
+    fn fixed_widths() {
+        assert_eq!(DataType::Int64.fixed_width(), Some(8));
+        assert_eq!(DataType::Utf8.fixed_width(), None);
+        assert_eq!(DataType::Date.fixed_width(), Some(4));
+    }
+}

@@ -1,0 +1,135 @@
+//! Fusing table scans (§III.A).
+
+use fusion_expr::{ColumnMap, Expr};
+use fusion_plan::{LogicalPlan, Scan};
+
+use super::Fused;
+
+/// `Fuse(Scan(T1), Scan(T2))` succeeds when both scans read the same base
+/// table (and carry no pushed-down filters — fusion runs before pushdown).
+///
+/// The fused scan keeps the left instance's columns and appends any
+/// right-instance columns over base ordinals the left did not read. The
+/// mapping pairs right columns with left columns *positionally on the
+/// base table* — each scan instantiation has fresh column identities, so
+/// this is exactly the paper's `columnMap(T2, T1)`.
+pub fn fuse_scans(s1: &Scan, s2: &Scan) -> Option<Fused> {
+    if !s1.table.eq_ignore_ascii_case(&s2.table) {
+        return None;
+    }
+    if !s1.filters.is_empty() || !s2.filters.is_empty() {
+        return None;
+    }
+    let mut fields = s1.fields.clone();
+    let mut column_indices = s1.column_indices.clone();
+    let mut mapping = ColumnMap::new();
+    for (f2, &ord2) in s2.fields.iter().zip(&s2.column_indices) {
+        match column_indices.iter().position(|&o| o == ord2) {
+            Some(pos) => {
+                mapping.insert(f2.id, fields[pos].id);
+            }
+            None => {
+                fields.push(f2.clone());
+                column_indices.push(ord2);
+            }
+        }
+    }
+    Some(Fused {
+        plan: LogicalPlan::Scan(Scan {
+            table: s1.table.clone(),
+            fields,
+            column_indices,
+            filters: vec![],
+        }),
+        mapping,
+        left: Expr::boolean(true),
+        right: Expr::boolean(true),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fuse::{fuse, FuseContext};
+    use fusion_common::{DataType, IdGen};
+    use fusion_plan::builder::ColumnDef;
+    use fusion_plan::PlanBuilder;
+
+    fn item_cols() -> Vec<ColumnDef> {
+        vec![
+            ColumnDef::new("i_item_sk", DataType::Int64, false),
+            ColumnDef::new("i_brand", DataType::Utf8, true),
+            ColumnDef::new("i_size", DataType::Utf8, true),
+        ]
+    }
+
+    /// The §III.A example: one fragment reads (sk, brand), the other
+    /// (brand, size); the fused scan reads (sk, brand, size) and maps the
+    /// second brand onto the first.
+    #[test]
+    fn fuses_same_table_with_positional_mapping() {
+        let gen = IdGen::new();
+        let ctx = FuseContext::new(gen.clone());
+        let a = PlanBuilder::scan(&gen, "item", &item_cols());
+        let b = PlanBuilder::scan(&gen, "item", &item_cols());
+        let a_brand = a.col("i_brand").unwrap();
+        let b_brand = b.col("i_brand").unwrap();
+        let f = fuse(a.plan(), b.plan(), &ctx).unwrap();
+        assert!(f.trivial());
+        assert_eq!(f.mapping.get(&b_brand), Some(&a_brand));
+        // All three columns present exactly once.
+        assert_eq!(f.plan.schema().len(), 3);
+        f.plan.validate().unwrap();
+    }
+
+    #[test]
+    fn different_tables_do_not_fuse() {
+        let gen = IdGen::new();
+        let ctx = FuseContext::new(gen.clone());
+        let a = PlanBuilder::scan(&gen, "item", &item_cols());
+        let b = PlanBuilder::scan(&gen, "store", &item_cols());
+        assert!(fuse(a.plan(), b.plan(), &ctx).is_none());
+    }
+
+    #[test]
+    fn disjoint_projections_union_columns() {
+        let gen = IdGen::new();
+        let _ctx = FuseContext::new(gen.clone());
+        // Left reads ordinal 0 only; right reads ordinals 1, 2.
+        let a = PlanBuilder::scan(&gen, "item", &item_cols());
+        let b = PlanBuilder::scan(&gen, "item", &item_cols());
+        let mut sa = match a.build() {
+            LogicalPlan::Scan(s) => s,
+            _ => unreachable!(),
+        };
+        sa.fields.truncate(1);
+        sa.column_indices.truncate(1);
+        let mut sb = match b.build() {
+            LogicalPlan::Scan(s) => s,
+            _ => unreachable!(),
+        };
+        sb.fields.remove(0);
+        sb.column_indices.remove(0);
+        let f = fuse_scans(&sa, &sb).unwrap();
+        let schema = f.plan.schema();
+        assert_eq!(schema.len(), 3);
+        // Right's columns keep their identities (no mapping entries).
+        assert!(f.mapping.is_empty());
+        assert_eq!(schema.field(1).id, sb.fields[0].id);
+    }
+
+    #[test]
+    fn scans_with_pushed_filters_do_not_fuse() {
+        let gen = IdGen::new();
+        let ctx = FuseContext::new(gen.clone());
+        let a = PlanBuilder::scan(&gen, "item", &item_cols());
+        let b = PlanBuilder::scan(&gen, "item", &item_cols());
+        let mut sb = match b.build() {
+            LogicalPlan::Scan(s) => s,
+            _ => unreachable!(),
+        };
+        sb.filters
+            .push(fusion_expr::col(sb.fields[0].id).gt(fusion_expr::lit(1i64)));
+        assert!(fuse(a.plan(), &LogicalPlan::Scan(sb), &ctx).is_none());
+    }
+}

@@ -1,0 +1,329 @@
+//! The pass-based optimizer driver.
+//!
+//! Mirrors the experimental setup of Section V: the same engine runs with
+//! `enable_fusion` off (the baseline) or on (the instrumented compiler
+//! with the Section IV rules). Everything else — normalization, predicate
+//! pushdown, partition/column pruning — applies to both configurations,
+//! so measured differences isolate the contribution of query fusion.
+
+use fusion_common::IdGen;
+use fusion_plan::LogicalPlan;
+
+use crate::fuse::FuseContext;
+use crate::rules::join_on_keys::JoinOnKeys;
+use crate::rules::normalize::{
+    MergeFilters, MergeProjections, RemoveTrivialProjections, SimplifyExpressions,
+};
+use crate::rules::pruning::prune_columns;
+use crate::rules::pushdown::PushdownPredicates;
+use crate::rules::semijoin::{DistinctPushdown, SemiToInnerDistinct};
+use crate::rules::union_fusion::UnionAllFusion;
+use crate::rules::union_on_join::UnionAllOnJoin;
+use crate::rules::window::GroupByJoinToWindow;
+use crate::rules::{apply_everywhere, Rule};
+
+/// Optimizer configuration.
+#[derive(Debug, Clone)]
+pub struct OptimizerConfig {
+    /// Enable the fusion-based rules of Section IV. Off = the baseline of
+    /// the paper's experiments.
+    pub enable_fusion: bool,
+    /// Rule names (see each rule's `Rule::name`) to skip — for per-rule
+    /// ablation studies. Applies to both the fusion and cleanup phases.
+    pub disabled_rules: Vec<String>,
+    /// Validate the plan after every rule application (cheap at our plan
+    /// sizes; invaluable when developing rules).
+    pub validate: bool,
+    /// Cap on rule-phase iterations.
+    pub max_iterations: usize,
+}
+
+impl Default for OptimizerConfig {
+    fn default() -> Self {
+        OptimizerConfig {
+            enable_fusion: true,
+            disabled_rules: Vec::new(),
+            validate: true,
+            max_iterations: 12,
+        }
+    }
+}
+
+impl OptimizerConfig {
+    pub fn baseline() -> Self {
+        OptimizerConfig {
+            enable_fusion: false,
+            ..Default::default()
+        }
+    }
+
+    /// Fusion on, with one named rule ablated.
+    pub fn without_rule(rule: &str) -> Self {
+        OptimizerConfig {
+            disabled_rules: vec![rule.to_string()],
+            ..Default::default()
+        }
+    }
+}
+
+/// What the optimizer did to a plan.
+#[derive(Debug, Clone, Default)]
+pub struct OptimizerReport {
+    /// Rule names that fired, in order.
+    pub fired: Vec<String>,
+    /// Whether any fusion-based rule changed the plan (the paper's
+    /// "queries that changed plans" population).
+    pub fusion_applied: bool,
+}
+
+/// The rule-pipeline optimizer.
+pub struct Optimizer {
+    config: OptimizerConfig,
+    ctx: FuseContext,
+}
+
+impl Optimizer {
+    pub fn new(gen: IdGen, config: OptimizerConfig) -> Self {
+        Optimizer {
+            config,
+            ctx: FuseContext::new(gen),
+        }
+    }
+
+    pub fn config(&self) -> &OptimizerConfig {
+        &self.config
+    }
+
+    /// Optimize a plan, returning the new plan and a report.
+    pub fn optimize(&self, plan: &LogicalPlan) -> (LogicalPlan, OptimizerReport) {
+        let mut report = OptimizerReport::default();
+        let mut current = plan.clone();
+
+        // Phase 1: normalization.
+        current = self.run_phase(
+            current,
+            &[
+                &SimplifyExpressions,
+                &MergeFilters,
+                &RemoveTrivialProjections,
+            ],
+            &mut report,
+            false,
+        );
+
+        // Phase 2: fusion rules (§IV), before join reordering — which this
+        // engine does not perform — and before pushdown/pruning, so scans
+        // are still whole and fusable.
+        if self.config.enable_fusion {
+            current = self.run_phase(
+                current,
+                &[
+                    &UnionAllFusion,
+                    &UnionAllOnJoin,
+                    &GroupByJoinToWindow,
+                    &JoinOnKeys,
+                    &SemiToInnerDistinct,
+                    &DistinctPushdown,
+                ],
+                &mut report,
+                true,
+            );
+        }
+
+        // Phase 3: cleanup — applies identically to baseline and fused
+        // plans. FormJoins turns filter-over-cross-join shapes into
+        // executable inner joins before predicates sink into scans.
+        current = self.run_phase(
+            current,
+            &[
+                &SimplifyExpressions,
+                &MergeProjections,
+                &RemoveTrivialProjections,
+                &MergeFilters,
+                &crate::rules::graph::FormJoins,
+                &PushdownPredicates,
+            ],
+            &mut report,
+            false,
+        );
+        current = prune_columns(&current);
+        if self.config.validate {
+            if let Err(e) = current.validate() {
+                panic!("optimizer produced an invalid plan: {e}\n{}", current.display());
+            }
+        }
+        (current, report)
+    }
+
+    fn run_phase(
+        &self,
+        mut plan: LogicalPlan,
+        rules: &[&dyn Rule],
+        report: &mut OptimizerReport,
+        fusion_phase: bool,
+    ) -> LogicalPlan {
+        for _ in 0..self.config.max_iterations {
+            let mut changed = false;
+            for rule in rules {
+                if self
+                    .config
+                    .disabled_rules
+                    .iter()
+                    .any(|d| d == rule.name())
+                {
+                    continue;
+                }
+                if let Some(next) = apply_everywhere(*rule, &plan, &self.ctx) {
+                    if self.config.validate {
+                        if let Err(e) = next.validate() {
+                            panic!(
+                                "rule {} produced an invalid plan: {e}\n{}",
+                                rule.name(),
+                                next.display()
+                            );
+                        }
+                    }
+                    report.fired.push(rule.name().to_string());
+                    if fusion_phase {
+                        report.fusion_applied = true;
+                    }
+                    plan = next;
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        plan
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fusion_common::{DataType, IdGen, Value};
+    use fusion_exec::table::TableColumn;
+    use fusion_exec::{execute_plan, Catalog, ExecMetrics, TableBuilder};
+    use fusion_expr::{col, lit, AggregateExpr};
+    use fusion_plan::builder::ColumnDef;
+    use fusion_plan::{JoinType, PlanBuilder};
+
+    fn sales_cols() -> Vec<ColumnDef> {
+        vec![
+            ColumnDef::new("store", DataType::Int64, true),
+            ColumnDef::new("item", DataType::Int64, true),
+            ColumnDef::new("price", DataType::Float64, true),
+        ]
+    }
+
+    fn catalog() -> Catalog {
+        let mut b = TableBuilder::new(
+            "sales",
+            vec![
+                TableColumn {
+                    name: "store".into(),
+                    data_type: DataType::Int64,
+                    nullable: true,
+                },
+                TableColumn {
+                    name: "item".into(),
+                    data_type: DataType::Int64,
+                    nullable: true,
+                },
+                TableColumn {
+                    name: "price".into(),
+                    data_type: DataType::Float64,
+                    nullable: true,
+                },
+            ],
+        );
+        for i in 0..50i64 {
+            b.add_row(vec![
+                Value::Int64(i % 5),
+                Value::Int64(i % 11),
+                Value::Float64((i % 7) as f64 + 0.5),
+            ])
+            .unwrap();
+        }
+        let mut c = Catalog::new();
+        c.register(b.build());
+        c
+    }
+
+    fn q65_like(gen: &IdGen) -> fusion_plan::LogicalPlan {
+        let sc = PlanBuilder::scan(gen, "sales", &sales_cols());
+        let (s1, i1, p1) = (
+            sc.col("store").unwrap(),
+            sc.col("item").unwrap(),
+            sc.col("price").unwrap(),
+        );
+        let sc = sc.aggregate(
+            vec![s1, i1],
+            vec![("revenue", AggregateExpr::sum(col(p1)))],
+        );
+        let revenue = sc.col("revenue").unwrap();
+
+        let sa = PlanBuilder::scan(gen, "sales", &sales_cols());
+        let (s2, i2, p2) = (
+            sa.col("store").unwrap(),
+            sa.col("item").unwrap(),
+            sa.col("price").unwrap(),
+        );
+        let sa = sa.aggregate(
+            vec![s2, i2],
+            vec![("revenue", AggregateExpr::sum(col(p2)))],
+        );
+        let rev2 = sa.col("revenue").unwrap();
+        let sb = sa.aggregate(vec![s2], vec![("ave", AggregateExpr::avg(col(rev2)))]);
+        let ave = sb.col("ave").unwrap();
+
+        let joined = sc
+            .join(sb.build(), JoinType::Inner, col(s1).eq_to(col(s2)))
+            .filter(col(revenue).lt_eq(col(ave).mul(lit(0.9))));
+        let out_rev = revenue;
+        joined
+            .project(vec![("store", col(s1)), ("revenue", col(out_rev))])
+            .build()
+    }
+
+    #[test]
+    fn fusion_config_changes_plan_baseline_does_not() {
+        let gen = IdGen::new();
+        let plan = q65_like(&gen);
+
+        let baseline = Optimizer::new(gen.clone(), OptimizerConfig::baseline());
+        let (base_plan, base_report) = baseline.optimize(&plan);
+        assert!(!base_report.fusion_applied);
+        assert_eq!(base_plan.scanned_tables().len(), 2);
+
+        let fused = Optimizer::new(gen.clone(), OptimizerConfig::default());
+        let (fused_plan, report) = fused.optimize(&plan);
+        assert!(report.fusion_applied);
+        assert_eq!(fused_plan.scanned_tables().len(), 1);
+
+        let catalog = catalog();
+        let mb = ExecMetrics::new();
+        let base = execute_plan(&base_plan, &catalog, &mb).unwrap();
+        let mo = ExecMetrics::new();
+        let opt = execute_plan(&fused_plan, &catalog, &mo).unwrap();
+        assert_eq!(base.sorted_rows(), opt.sorted_rows());
+        assert!(!base.rows.is_empty());
+        // The fused plan reads roughly half the bytes.
+        assert!(mo.bytes_scanned() < mb.bytes_scanned());
+    }
+
+    #[test]
+    fn non_applicable_plan_unchanged_by_fusion_phase() {
+        let gen = IdGen::new();
+        let t = PlanBuilder::scan(&gen, "sales", &sales_cols());
+        let (s, p) = (t.col("store").unwrap(), t.col("price").unwrap());
+        let plan = t
+            .filter(col(p).gt(lit(1.0)))
+            .aggregate(vec![s], vec![("total", AggregateExpr::sum(col(p)))])
+            .build();
+        let optimizer = Optimizer::new(gen.clone(), OptimizerConfig::default());
+        let (_, report) = optimizer.optimize(&plan);
+        assert!(!report.fusion_applied);
+    }
+}

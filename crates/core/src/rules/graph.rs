@@ -1,0 +1,410 @@
+//! N-ary join flattening (§IV.E).
+//!
+//! Join-based fusion rules need to see "conceptually an n-ary join": the
+//! two fusable inputs are often separated by other joins (the paper's Q01
+//! walkthrough). [`JoinGraph::from_plan`] flattens a tree of inner/cross
+//! joins — looking through `Filter`s (whose predicates become conjuncts)
+//! and through bare-column `Project`s (recorded as a substitution) — into
+//! a list of atomic inputs plus a conjunct pool. After a rule replaces a
+//! pair of inputs, [`JoinGraph::rebuild`] re-forms a left-deep join tree,
+//! placing each conjunct at the lowest point where its columns are
+//! available, and restores the original root's output columns with a
+//! final projection.
+
+use std::collections::{HashMap, HashSet};
+
+use fusion_common::{ColumnId, Field};
+use fusion_expr::{conjoin, split_conjuncts, Expr};
+use fusion_plan::{Filter, Join, JoinType, LogicalPlan, Project, ProjExpr};
+
+/// A flattened inner-join tree.
+#[derive(Debug, Clone)]
+pub struct JoinGraph {
+    /// Atomic inputs (not inner/cross joins, filters, or bare projects).
+    pub inputs: Vec<LogicalPlan>,
+    /// Conjunctive predicate pool (join conditions + filter predicates),
+    /// already rewritten through the flattening substitution.
+    pub conjuncts: Vec<Expr>,
+    /// The original root's output fields, each paired with the column
+    /// that carries its value after flattening.
+    pub output: Vec<(Field, ColumnId)>,
+}
+
+impl JoinGraph {
+    /// Flatten `plan` if its root participates in an inner-join tree.
+    /// The root may be the join itself or a chain of filters / bare-column
+    /// projections above one — SQL planning leaves WHERE conjuncts (and
+    /// thus the join's key equalities) in a filter above the join tree.
+    /// Returns `None` for plans that are not join-like at the root.
+    pub fn from_plan(plan: &LogicalPlan) -> Option<JoinGraph> {
+        let mut probe = plan;
+        loop {
+            match probe {
+                LogicalPlan::Join(Join {
+                    join_type: JoinType::Inner | JoinType::Cross,
+                    ..
+                }) => break,
+                LogicalPlan::Filter(f) => probe = &f.input,
+                LogicalPlan::Project(p) if all_bare_columns(p) => probe = &p.input,
+                _ => return None,
+            }
+        }
+        let mut inputs = Vec::new();
+        let mut conjuncts = Vec::new();
+        let mut subst: HashMap<ColumnId, ColumnId> = HashMap::new();
+        flatten(plan, &mut inputs, &mut conjuncts, &mut subst);
+
+        // Rewrite conjuncts through the final substitution, and order the
+        // pool canonically so rebuild() is a deterministic fixpoint.
+        let subst_map: fusion_expr::ColumnMap = subst.clone();
+        let mut conjuncts: Vec<Expr> = conjuncts
+            .into_iter()
+            .map(|c| c.map_columns(&subst_map))
+            .collect();
+        conjuncts.sort_by_key(|c| c.to_string());
+        conjuncts.dedup();
+
+        let output = plan
+            .schema()
+            .fields()
+            .iter()
+            .map(|f| {
+                let src = resolve(&subst, f.id);
+                (f.clone(), src)
+            })
+            .collect();
+        Some(JoinGraph {
+            inputs,
+            conjuncts,
+            output,
+        })
+    }
+
+    /// Column equivalence classes induced by `a = b` conjuncts.
+    pub fn equivalence_classes(&self) -> Vec<HashSet<ColumnId>> {
+        let mut classes: Vec<HashSet<ColumnId>> = Vec::new();
+        for c in &self.conjuncts {
+            if let Expr::Binary {
+                op: fusion_expr::BinaryOp::Eq,
+                left,
+                right,
+            } = c
+            {
+                if let (Expr::Column(a), Expr::Column(b)) = (left.as_ref(), right.as_ref()) {
+                    let ia = classes.iter().position(|s| s.contains(a));
+                    let ib = classes.iter().position(|s| s.contains(b));
+                    match (ia, ib) {
+                        (Some(x), Some(y)) if x != y => {
+                            let (hi, lo) = if x > y { (x, y) } else { (y, x) };
+                            let merged = classes.remove(hi);
+                            classes[lo].extend(merged);
+                        }
+                        (Some(x), None) => {
+                            classes[x].insert(*b);
+                        }
+                        (None, Some(y)) => {
+                            classes[y].insert(*a);
+                        }
+                        (None, None) => {
+                            let mut s = HashSet::new();
+                            s.insert(*a);
+                            s.insert(*b);
+                            classes.push(s);
+                        }
+                        _ => {}
+                    }
+                }
+            }
+        }
+        classes
+    }
+
+    /// Are two columns equated (directly or transitively) by the pool?
+    pub fn columns_equated(&self, a: ColumnId, b: ColumnId) -> bool {
+        if a == b {
+            return true;
+        }
+        self.equivalence_classes()
+            .iter()
+            .any(|s| s.contains(&a) && s.contains(&b))
+    }
+
+    /// Rebuild a plan: left-deep joins over `inputs` in order, conjuncts
+    /// placed at the lowest point where their columns are available, and a
+    /// final projection restoring the original output fields.
+    pub fn rebuild(self) -> LogicalPlan {
+        let JoinGraph {
+            inputs,
+            conjuncts,
+            output,
+        } = self;
+        assert!(!inputs.is_empty(), "join graph must have inputs");
+
+        let mut remaining: Vec<Expr> = conjuncts;
+        let mut iter = inputs.into_iter();
+        let mut acc = iter.next().unwrap();
+        acc = attach_local(acc, &mut remaining);
+
+        for next in iter {
+            let next = attach_local(next, &mut remaining);
+            let combined = acc.schema().join(&next.schema());
+            let (now, later): (Vec<Expr>, Vec<Expr>) = remaining
+                .into_iter()
+                .partition(|c| c.columns().iter().all(|id| combined.contains(*id)));
+            remaining = later;
+            let (join_type, condition) = if now.is_empty() {
+                (JoinType::Cross, Expr::boolean(true))
+            } else {
+                (JoinType::Inner, conjoin(now))
+            };
+            acc = LogicalPlan::Join(Join {
+                left: Box::new(acc),
+                right: Box::new(next),
+                join_type,
+                condition,
+            });
+        }
+        if !remaining.is_empty() {
+            acc = LogicalPlan::Filter(Filter {
+                input: Box::new(acc),
+                predicate: conjoin(remaining),
+            });
+        }
+
+        // Restore the original output columns (identity where possible).
+        let acc_schema = acc.schema();
+        let identity = output.len() == acc_schema.len()
+            && output
+                .iter()
+                .zip(acc_schema.fields())
+                .all(|((f, src), af)| f.id == *src && af.id == f.id);
+        if identity {
+            return acc;
+        }
+        let exprs = output
+            .into_iter()
+            .map(|(f, src)| ProjExpr::new(f.id, f.name, Expr::Column(src)))
+            .collect();
+        LogicalPlan::Project(Project {
+            input: Box::new(acc),
+            exprs,
+        })
+    }
+}
+
+/// Wrap `input` in a filter holding every remaining conjunct that is
+/// fully covered by its own schema.
+fn attach_local(input: LogicalPlan, remaining: &mut Vec<Expr>) -> LogicalPlan {
+    let schema = input.schema();
+    let (local, rest): (Vec<Expr>, Vec<Expr>) = std::mem::take(remaining)
+        .into_iter()
+        .partition(|c| c.columns().iter().all(|id| schema.contains(*id)));
+    *remaining = rest;
+    if local.is_empty() {
+        input
+    } else {
+        LogicalPlan::Filter(Filter {
+            input: Box::new(input),
+            predicate: conjoin(local),
+        })
+    }
+}
+
+fn flatten(
+    plan: &LogicalPlan,
+    inputs: &mut Vec<LogicalPlan>,
+    conjuncts: &mut Vec<Expr>,
+    subst: &mut HashMap<ColumnId, ColumnId>,
+) {
+    match plan {
+        LogicalPlan::Join(Join {
+            left,
+            right,
+            join_type: JoinType::Inner | JoinType::Cross,
+            condition,
+        }) => {
+            conjuncts.extend(
+                split_conjuncts(condition)
+                    .into_iter()
+                    .filter(|c| !c.is_true_literal()),
+            );
+            flatten(left, inputs, conjuncts, subst);
+            flatten(right, inputs, conjuncts, subst);
+        }
+        LogicalPlan::Filter(f) => {
+            conjuncts.extend(
+                split_conjuncts(&f.predicate)
+                    .into_iter()
+                    .filter(|c| !c.is_true_literal()),
+            );
+            flatten(&f.input, inputs, conjuncts, subst);
+        }
+        LogicalPlan::Project(p) if all_bare_columns(p) => {
+            for pe in &p.exprs {
+                if let Expr::Column(src) = pe.expr {
+                    if pe.id != src {
+                        subst.insert(pe.id, src);
+                    }
+                }
+            }
+            flatten(&p.input, inputs, conjuncts, subst);
+        }
+        other => inputs.push(other.clone()),
+    }
+}
+
+fn all_bare_columns(p: &Project) -> bool {
+    p.exprs
+        .iter()
+        .all(|pe| matches!(pe.expr, Expr::Column(_)))
+}
+
+/// Cleanup rule: flatten a join tree (absorbing the filters above and
+/// inside it) and rebuild it with every conjunct placed at the lowest
+/// possible point — turning filter-over-cross-join shapes from SQL
+/// planning into executable inner (hash) joins. Applies identically to
+/// baseline and fused plans.
+pub struct FormJoins;
+
+impl super::Rule for FormJoins {
+    fn name(&self) -> &'static str {
+        "FormJoins"
+    }
+
+    fn apply(
+        &self,
+        plan: &LogicalPlan,
+        _ctx: &crate::fuse::FuseContext,
+    ) -> Option<LogicalPlan> {
+        let graph = JoinGraph::from_plan(plan)?;
+        let rebuilt = graph.rebuild();
+        (rebuilt != *plan).then_some(rebuilt)
+    }
+}
+
+fn resolve(subst: &HashMap<ColumnId, ColumnId>, mut id: ColumnId) -> ColumnId {
+    let mut fuel = 64;
+    while let Some(next) = subst.get(&id) {
+        id = *next;
+        fuel -= 1;
+        if fuel == 0 {
+            break;
+        }
+    }
+    id
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fusion_common::{DataType, IdGen};
+    use fusion_expr::{col, lit};
+    use fusion_plan::builder::ColumnDef;
+    use fusion_plan::PlanBuilder;
+
+    fn cols(prefix: &str) -> Vec<ColumnDef> {
+        vec![
+            ColumnDef::new(format!("{prefix}_sk"), DataType::Int64, false),
+            ColumnDef::new(format!("{prefix}_v"), DataType::Int64, true),
+        ]
+    }
+
+    #[test]
+    fn flattens_join_tree_with_filters() {
+        let gen = IdGen::new();
+        let a = PlanBuilder::scan(&gen, "a", &cols("a"));
+        let b = PlanBuilder::scan(&gen, "b", &cols("b"));
+        let c = PlanBuilder::scan(&gen, "c", &cols("c"));
+        let (ak, bk, ck) = (
+            a.col("a_sk").unwrap(),
+            b.col("b_sk").unwrap(),
+            c.col("c_sk").unwrap(),
+        );
+        let plan = a
+            .join(b.build(), JoinType::Inner, col(ak).eq_to(col(bk)))
+            .filter(col(ak).gt(lit(5i64)))
+            .join(c.build(), JoinType::Inner, col(bk).eq_to(col(ck)))
+            .build();
+        let g = JoinGraph::from_plan(&plan).unwrap();
+        assert_eq!(g.inputs.len(), 3);
+        assert_eq!(g.conjuncts.len(), 3);
+        assert!(g.columns_equated(ak, ck)); // transitively via bk
+    }
+
+    #[test]
+    fn rebuild_round_trips_semantics_shape() {
+        let gen = IdGen::new();
+        let a = PlanBuilder::scan(&gen, "a", &cols("a"));
+        let b = PlanBuilder::scan(&gen, "b", &cols("b"));
+        let (ak, bk, bv) = (
+            a.col("a_sk").unwrap(),
+            b.col("b_sk").unwrap(),
+            b.col("b_v").unwrap(),
+        );
+        let plan = a
+            .join(
+                b.build(),
+                JoinType::Inner,
+                col(ak).eq_to(col(bk)).and(col(bv).gt(lit(0i64))),
+            )
+            .build();
+        let g = JoinGraph::from_plan(&plan).unwrap();
+        let rebuilt = g.rebuild();
+        rebuilt.validate().unwrap();
+        // Same output ids in the same order.
+        assert_eq!(rebuilt.schema().ids(), plan.schema().ids());
+    }
+
+    #[test]
+    fn flattening_through_bare_project_records_substitution() {
+        let gen = IdGen::new();
+        let a = PlanBuilder::scan(&gen, "a", &cols("a"));
+        let ak = a.col("a_sk").unwrap();
+        let renamed = a.project(vec![("x", col(ak))]);
+        let x = renamed.col("x").unwrap();
+        let b = PlanBuilder::scan(&gen, "b", &cols("b"));
+        let bk = b.col("b_sk").unwrap();
+        let plan = renamed
+            .join(b.build(), JoinType::Inner, col(x).eq_to(col(bk)))
+            .build();
+
+        let g = JoinGraph::from_plan(&plan).unwrap();
+        assert_eq!(g.inputs.len(), 2);
+        // Conjunct rewritten to reference the underlying scan column.
+        assert!(g.conjuncts[0].columns().contains(&ak));
+        // Output restoration knows x comes from ak.
+        let (f, src) = &g.output[0];
+        assert_eq!(f.id, x);
+        assert_eq!(*src, ak);
+        let rebuilt = g.rebuild();
+        rebuilt.validate().unwrap();
+        assert_eq!(rebuilt.schema().ids(), plan.schema().ids());
+    }
+
+    #[test]
+    fn semi_joins_are_atomic_inputs() {
+        let gen = IdGen::new();
+        let a = PlanBuilder::scan(&gen, "a", &cols("a"));
+        let b = PlanBuilder::scan(&gen, "b", &cols("b"));
+        let c = PlanBuilder::scan(&gen, "c", &cols("c"));
+        let (ak, bk, ck) = (
+            a.col("a_sk").unwrap(),
+            b.col("b_sk").unwrap(),
+            c.col("c_sk").unwrap(),
+        );
+        let semi = a.join(b.build(), JoinType::Semi, col(ak).eq_to(col(bk)));
+        let plan = semi
+            .join(c.build(), JoinType::Inner, col(ak).eq_to(col(ck)))
+            .build();
+        let g = JoinGraph::from_plan(&plan).unwrap();
+        assert_eq!(g.inputs.len(), 2);
+        assert!(matches!(g.inputs[0], LogicalPlan::Join(_)));
+    }
+
+    #[test]
+    fn non_join_root_returns_none() {
+        let gen = IdGen::new();
+        let a = PlanBuilder::scan(&gen, "a", &cols("a")).build();
+        assert!(JoinGraph::from_plan(&a).is_none());
+    }
+}

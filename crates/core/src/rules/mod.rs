@@ -1,0 +1,47 @@
+//! Optimization rules (Section IV) and supporting rewrites.
+//!
+//! Each rule matches a plan node shape and produces a replacement built
+//! from standard operators. Fusion-based rules handle n-ary operators via
+//! the [`graph::JoinGraph`] flattening described in §IV.E: a join tree is
+//! conceptually flattened into an n-ary join, pairs of inputs are tried
+//! quadratically, and the tree is rebuilt.
+
+pub mod graph;
+pub mod join_on_keys;
+pub mod normalize;
+pub mod pruning;
+pub mod pushdown;
+pub mod semijoin;
+pub mod union_fusion;
+pub mod union_on_join;
+pub mod window;
+
+use fusion_plan::LogicalPlan;
+
+use crate::fuse::FuseContext;
+
+/// A rewrite rule. `apply` inspects one node (the rule may look arbitrarily
+/// deep below it) and returns a replacement, or `None` if it does not
+/// match. The driver walks the tree and re-applies to fixpoint.
+pub trait Rule {
+    fn name(&self) -> &'static str;
+    fn apply(&self, plan: &LogicalPlan, ctx: &FuseContext) -> Option<LogicalPlan>;
+}
+
+/// Apply a rule across the whole tree, top-down, returning `Some` if
+/// anything changed.
+pub fn apply_everywhere(
+    rule: &dyn Rule,
+    plan: &LogicalPlan,
+    ctx: &FuseContext,
+) -> Option<LogicalPlan> {
+    let mut changed = false;
+    let rewritten = plan.transform_down(&mut |node| match rule.apply(node, ctx) {
+        Some(new) => {
+            changed = true;
+            Some(new)
+        }
+        None => None,
+    });
+    changed.then_some(rewritten)
+}

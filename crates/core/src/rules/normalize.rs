@@ -1,0 +1,299 @@
+//! Normalization rules: expression simplification, filter merging,
+//! trivial-operator removal.
+//!
+//! These run before and after the fusion phase. Because fused results are
+//! plain relational plans, this pass cleans up whatever the fusion rules
+//! produce (e.g. `mask AND TRUE`, `C OR C`, `Filter TRUE`) with no
+//! fusion-specific code — the composability property the paper claims
+//! over Blitz/Resin.
+
+use fusion_expr::simplify;
+use fusion_plan::{Aggregate, Filter, LogicalPlan, Project, Scan, Sort, Window};
+
+use super::Rule;
+use crate::fuse::FuseContext;
+
+/// Simplify every expression in the plan.
+pub struct SimplifyExpressions;
+
+impl Rule for SimplifyExpressions {
+    fn name(&self) -> &'static str {
+        "SimplifyExpressions"
+    }
+
+    fn apply(&self, plan: &LogicalPlan, _ctx: &FuseContext) -> Option<LogicalPlan> {
+        let new = simplify_node(plan);
+        (new != *plan).then_some(new)
+    }
+}
+
+fn simplify_node(plan: &LogicalPlan) -> LogicalPlan {
+    match plan {
+        LogicalPlan::Filter(f) => LogicalPlan::Filter(Filter {
+            input: f.input.clone(),
+            predicate: simplify(&f.predicate),
+        }),
+        LogicalPlan::Project(p) => LogicalPlan::Project(Project {
+            input: p.input.clone(),
+            exprs: p
+                .exprs
+                .iter()
+                .map(|pe| fusion_plan::ProjExpr::new(pe.id, pe.name.clone(), simplify(&pe.expr)))
+                .collect(),
+        }),
+        LogicalPlan::Join(j) => LogicalPlan::Join(fusion_plan::Join {
+            left: j.left.clone(),
+            right: j.right.clone(),
+            join_type: j.join_type,
+            condition: simplify(&j.condition),
+        }),
+        LogicalPlan::Aggregate(a) => LogicalPlan::Aggregate(Aggregate {
+            input: a.input.clone(),
+            group_by: a.group_by.clone(),
+            aggregates: a
+                .aggregates
+                .iter()
+                .map(|assign| {
+                    let mut agg = assign.agg.clone();
+                    agg.mask = simplify(&agg.mask);
+                    agg.arg = agg.arg.as_ref().map(simplify);
+                    fusion_plan::AggAssign::new(assign.id, assign.name.clone(), agg)
+                })
+                .collect(),
+        }),
+        LogicalPlan::Window(w) => LogicalPlan::Window(Window {
+            input: w.input.clone(),
+            exprs: w
+                .exprs
+                .iter()
+                .map(|assign| {
+                    let mut win = assign.window.clone();
+                    win.arg = win.arg.as_ref().map(simplify);
+                    fusion_plan::WindowAssign {
+                        id: assign.id,
+                        name: assign.name.clone(),
+                        window: win,
+                    }
+                })
+                .collect(),
+        }),
+        LogicalPlan::Sort(s) => LogicalPlan::Sort(Sort {
+            input: s.input.clone(),
+            keys: s
+                .keys
+                .iter()
+                .map(|k| fusion_plan::SortKey {
+                    expr: simplify(&k.expr),
+                    asc: k.asc,
+                    nulls_first: k.nulls_first,
+                })
+                .collect(),
+        }),
+        LogicalPlan::MarkDistinct(m) => LogicalPlan::MarkDistinct(fusion_plan::MarkDistinct {
+            input: m.input.clone(),
+            columns: m.columns.clone(),
+            mark_id: m.mark_id,
+            mark_name: m.mark_name.clone(),
+            mask: simplify(&m.mask),
+        }),
+        LogicalPlan::Scan(s) => LogicalPlan::Scan(Scan {
+            table: s.table.clone(),
+            fields: s.fields.clone(),
+            column_indices: s.column_indices.clone(),
+            filters: s.filters.iter().map(simplify).collect(),
+        }),
+        other => other.clone(),
+    }
+}
+
+/// Merge stacked filters and drop trivial ones.
+pub struct MergeFilters;
+
+impl Rule for MergeFilters {
+    fn name(&self) -> &'static str {
+        "MergeFilters"
+    }
+
+    fn apply(&self, plan: &LogicalPlan, _ctx: &FuseContext) -> Option<LogicalPlan> {
+        let f = match plan {
+            LogicalPlan::Filter(f) => f,
+            _ => return None,
+        };
+        if f.predicate.is_true_literal() {
+            return Some(f.input.as_ref().clone());
+        }
+        if let LogicalPlan::Filter(inner) = f.input.as_ref() {
+            return Some(LogicalPlan::Filter(Filter {
+                input: inner.input.clone(),
+                predicate: simplify(&f.predicate.clone().and(inner.predicate.clone())),
+            }));
+        }
+        None
+    }
+}
+
+/// Remove projections that are exact identities of their input.
+pub struct RemoveTrivialProjections;
+
+impl Rule for RemoveTrivialProjections {
+    fn name(&self) -> &'static str {
+        "RemoveTrivialProjections"
+    }
+
+    fn apply(&self, plan: &LogicalPlan, _ctx: &FuseContext) -> Option<LogicalPlan> {
+        let p = match plan {
+            LogicalPlan::Project(p) => p,
+            _ => return None,
+        };
+        let input_schema = p.input.schema();
+        if p.exprs.len() != input_schema.len() {
+            return None;
+        }
+        let identity = p
+            .exprs
+            .iter()
+            .zip(input_schema.fields())
+            .all(|(pe, f)| pe.id == f.id && pe.expr == fusion_expr::col(f.id));
+        identity.then(|| p.input.as_ref().clone())
+    }
+}
+
+/// Collapse `Project(Project(x))` by inlining the inner assignments.
+pub struct MergeProjections;
+
+impl Rule for MergeProjections {
+    fn name(&self) -> &'static str {
+        "MergeProjections"
+    }
+
+    fn apply(&self, plan: &LogicalPlan, _ctx: &FuseContext) -> Option<LogicalPlan> {
+        let outer = match plan {
+            LogicalPlan::Project(p) => p,
+            _ => return None,
+        };
+        let inner = match outer.input.as_ref() {
+            LogicalPlan::Project(p) => p,
+            _ => return None,
+        };
+        let inner_map: std::collections::HashMap<_, _> = inner
+            .exprs
+            .iter()
+            .map(|pe| (pe.id, pe.expr.clone()))
+            .collect();
+        let exprs = outer
+            .exprs
+            .iter()
+            .map(|pe| {
+                fusion_plan::ProjExpr::new(pe.id, pe.name.clone(), pe.expr.substitute(&inner_map))
+            })
+            .collect();
+        Some(LogicalPlan::Project(Project {
+            input: inner.input.clone(),
+            exprs,
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::apply_everywhere;
+    use fusion_common::{DataType, IdGen};
+    use fusion_expr::{col, lit, Expr};
+    use fusion_plan::builder::ColumnDef;
+    use fusion_plan::PlanBuilder;
+
+    fn cols() -> Vec<ColumnDef> {
+        vec![
+            ColumnDef::new("a", DataType::Int64, false),
+            ColumnDef::new("b", DataType::Int64, true),
+        ]
+    }
+
+    #[test]
+    fn filters_merge_and_trivial_drop() {
+        let gen = IdGen::new();
+        let ctx = FuseContext::new(gen.clone());
+        let t = PlanBuilder::scan(&gen, "t", &cols());
+        let a = t.col("a").unwrap();
+        let plan = t
+            .filter(col(a).gt(lit(0i64)))
+            .filter(col(a).lt(lit(10i64)))
+            .filter(Expr::boolean(true))
+            .build();
+        let mut current = plan;
+        while let Some(next) = apply_everywhere(&MergeFilters, &current, &ctx) {
+            current = next;
+        }
+        // One filter remains, with the conjunction.
+        assert_eq!(current.node_count(), 2);
+        if let LogicalPlan::Filter(f) = &current {
+            assert!(f.predicate.to_string().contains("AND"));
+        } else {
+            panic!("expected Filter");
+        }
+    }
+
+    #[test]
+    fn identity_projection_removed() {
+        let gen = IdGen::new();
+        let ctx = FuseContext::new(gen.clone());
+        let t = PlanBuilder::scan(&gen, "t", &cols());
+        let (a, b) = (t.col("a").unwrap(), t.col("b").unwrap());
+        let scan = t.plan().clone();
+        let plan = LogicalPlan::Project(Project {
+            input: Box::new(scan.clone()),
+            exprs: scan
+                .schema()
+                .fields()
+                .iter()
+                .map(fusion_plan::ProjExpr::passthrough)
+                .collect(),
+        });
+        let _ = (a, b);
+        let out = apply_everywhere(&RemoveTrivialProjections, &plan, &ctx).unwrap();
+        assert_eq!(out, scan);
+    }
+
+    #[test]
+    fn projections_merge_with_inlining() {
+        let gen = IdGen::new();
+        let ctx = FuseContext::new(gen.clone());
+        let t = PlanBuilder::scan(&gen, "t", &cols());
+        let a = t.col("a").unwrap();
+        let p1 = t.project(vec![("x", col(a).add(lit(1i64)))]);
+        let x = p1.col("x").unwrap();
+        let plan = p1.project(vec![("y", col(x).mul(lit(2i64)))]).build();
+        let merged = apply_everywhere(&MergeProjections, &plan, &ctx).unwrap();
+        assert_eq!(merged.node_count(), 2);
+        if let LogicalPlan::Project(p) = &merged {
+            assert_eq!(p.exprs[0].expr, col(a).add(lit(1i64)).mul(lit(2i64)));
+        } else {
+            panic!("expected Project");
+        }
+    }
+
+    #[test]
+    fn simplification_rewrites_masks() {
+        let gen = IdGen::new();
+        let ctx = FuseContext::new(gen.clone());
+        let t = PlanBuilder::scan(&gen, "t", &cols());
+        let (a, b) = (t.col("a").unwrap(), t.col("b").unwrap());
+        let plan = t
+            .aggregate(
+                vec![a],
+                vec![(
+                    "s",
+                    fusion_expr::AggregateExpr::sum(col(b))
+                        .with_mask(col(b).gt(lit(0i64)).and(Expr::boolean(true))),
+                )],
+            )
+            .build();
+        let out = apply_everywhere(&SimplifyExpressions, &plan, &ctx).unwrap();
+        if let LogicalPlan::Aggregate(agg) = &out {
+            assert_eq!(agg.aggregates[0].agg.mask, col(b).gt(lit(0i64)));
+        } else {
+            panic!("expected Aggregate");
+        }
+    }
+}

@@ -1,0 +1,494 @@
+//! Semi-join rewrites enabling the Q95 pattern (§V.D).
+//!
+//! The paper simplifies Q95 by the interplay of fusion with two existing
+//! engine rules:
+//!
+//! 1. [`SemiToInnerDistinct`] — transform a semi join into an inner join
+//!    over a DISTINCT of the right side's key. Gated: only applied when a
+//!    *sibling* semi join exists whose right side scans overlapping base
+//!    tables (the "local heuristics based on statistics and plan
+//!    properties" of §IV.E) so the transform sets up a fusion rather than
+//!    firing indiscriminately.
+//! 2. [`DistinctPushdown`] — push a DISTINCT below a join when the
+//!    distinct columns and the join columns agree, exposing duplicated
+//!    `DISTINCT key FROM common_expr` subplans.
+//!
+//! After these two rules, `JoinOnKeys` fuses the duplicated DISTINCTs,
+//! removing one evaluation of the expensive common expression.
+
+use std::collections::HashSet;
+
+use fusion_common::ColumnId;
+use fusion_expr::{split_conjuncts, BinaryOp, Expr};
+use fusion_plan::{Aggregate, Join, JoinType, LogicalPlan, Project, ProjExpr};
+
+use super::Rule;
+use crate::fuse::FuseContext;
+
+pub struct SemiToInnerDistinct;
+
+impl Rule for SemiToInnerDistinct {
+    fn name(&self) -> &'static str {
+        "SemiToInnerDistinct"
+    }
+
+    fn apply(&self, plan: &LogicalPlan, _ctx: &FuseContext) -> Option<LogicalPlan> {
+        // Match a stack of >= 2 semi joins (possibly interleaved with
+        // other semi joins) whose right sides share base tables.
+        let join = match plan {
+            LogicalPlan::Join(j) if j.join_type == JoinType::Semi => j,
+            _ => return None,
+        };
+        if !has_related_sibling_semi(join) {
+            return None;
+        }
+        // Convert the whole stack in one shot so the next phase sees both
+        // inner joins at once.
+        Some(convert_stack(plan))
+    }
+}
+
+/// Does the left subtree contain another semi join whose right side scans
+/// a base table also scanned by this semi join's right side?
+fn has_related_sibling_semi(join: &Join) -> bool {
+    let my_tables: HashSet<String> = join.right.scanned_tables().into_iter().collect();
+    let mut found = false;
+    join.left.visit(&mut |node| {
+        if let LogicalPlan::Join(j) = node {
+            if j.join_type == JoinType::Semi {
+                let tables = j.right.scanned_tables();
+                if tables.iter().any(|t| my_tables.contains(t)) {
+                    found = true;
+                }
+            }
+        }
+    });
+    found
+}
+
+/// Convert every semi join in the top-of-plan stack into
+/// `Project_left(Inner(left, Distinct_k(Project_k(right)), cond))`.
+fn convert_stack(plan: &LogicalPlan) -> LogicalPlan {
+    match plan {
+        LogicalPlan::Join(j) if j.join_type == JoinType::Semi => {
+            let left = convert_stack(&j.left);
+            match convert_one(j, left.clone()) {
+                Some(converted) => converted,
+                None => LogicalPlan::Join(Join {
+                    left: Box::new(left),
+                    right: j.right.clone(),
+                    join_type: JoinType::Semi,
+                    condition: j.condition.clone(),
+                }),
+            }
+        }
+        other => other.clone(),
+    }
+}
+
+/// Semi(left, Z, AND_m lhs_m = rhs_m) →
+/// Project_{left cols}(Inner(left, Distinct_{rhs}(Project_{rhs}(Z)), cond)).
+/// Sound because the distinct right side matches each left row at most
+/// once per key combination.
+fn convert_one(j: &Join, left: LogicalPlan) -> Option<LogicalPlan> {
+    let left_ids: HashSet<ColumnId> = left.schema().ids().into_iter().collect();
+    let z_schema = j.right.schema();
+    let mut rhs_cols: Vec<ColumnId> = Vec::new();
+    for c in split_conjuncts(&j.condition) {
+        let (l, r) = match &c {
+            Expr::Binary {
+                op: BinaryOp::Eq,
+                left: l,
+                right: r,
+            } => (l.as_ref(), r.as_ref()),
+            _ => return None,
+        };
+        let z_col = match (l, r) {
+            (_, Expr::Column(rc))
+                if z_schema.contains(*rc)
+                    && l.columns().iter().all(|c| left_ids.contains(c)) =>
+            {
+                *rc
+            }
+            (Expr::Column(lc), _)
+                if z_schema.contains(*lc)
+                    && r.columns().iter().all(|c| left_ids.contains(c)) =>
+            {
+                *lc
+            }
+            _ => return None,
+        };
+        if !rhs_cols.contains(&z_col) {
+            rhs_cols.push(z_col);
+        }
+    }
+    if rhs_cols.is_empty() {
+        return None;
+    }
+
+    let distinct = LogicalPlan::Aggregate(Aggregate {
+        input: j.right.clone(),
+        group_by: rhs_cols,
+        aggregates: vec![],
+    });
+    let inner = LogicalPlan::Join(Join {
+        left: Box::new(left.clone()),
+        right: Box::new(distinct),
+        join_type: JoinType::Inner,
+        condition: j.condition.clone(),
+    });
+    // Restore the semi join's output (left columns only).
+    let exprs: Vec<ProjExpr> = left
+        .schema()
+        .fields()
+        .iter()
+        .map(ProjExpr::passthrough)
+        .collect();
+    Some(LogicalPlan::Project(Project {
+        input: Box::new(inner),
+        exprs,
+    }))
+}
+
+/// Push a DISTINCT below an inner join when the distinct columns are
+/// exactly join-key columns: `Distinct_{a,b}(A ⨝_{a=b} B)` becomes
+/// `Distinct_a(A) ⨝_{a=b} Distinct_b(B)`.
+pub struct DistinctPushdown;
+
+impl Rule for DistinctPushdown {
+    fn name(&self) -> &'static str {
+        "DistinctPushdown"
+    }
+
+    fn apply(&self, plan: &LogicalPlan, _ctx: &FuseContext) -> Option<LogicalPlan> {
+        let agg = match plan {
+            LogicalPlan::Aggregate(a) if a.is_distinct() && !a.group_by.is_empty() => a,
+            _ => return None,
+        };
+        // Peel bare-column projections (CTE-style renames), tracking the
+        // substitution from projected ids to their source columns.
+        let mut subst: fusion_expr::ColumnMap = Default::default();
+        let mut node = agg.input.as_ref();
+        loop {
+            match node {
+                LogicalPlan::Project(p)
+                    if p.exprs
+                        .iter()
+                        .all(|pe| matches!(pe.expr, Expr::Column(_))) =>
+                {
+                    for pe in &p.exprs {
+                        if let Expr::Column(src) = pe.expr {
+                            let resolved = *subst.get(&src).unwrap_or(&src);
+                            subst.insert(pe.id, resolved);
+                        }
+                    }
+                    node = p.input.as_ref();
+                }
+                _ => break,
+            }
+        }
+        let join = match node {
+            LogicalPlan::Join(j) if j.join_type == JoinType::Inner => j,
+            _ => return None,
+        };
+        let group_sources: Vec<ColumnId> = agg
+            .group_by
+            .iter()
+            .map(|g| *subst.get(g).unwrap_or(g))
+            .collect();
+        let left_schema = join.left.schema();
+        let right_schema = join.right.schema();
+
+        // The join condition must be pure column equalities.
+        let mut left_keys = Vec::new();
+        let mut right_keys = Vec::new();
+        for c in split_conjuncts(&join.condition) {
+            match &c {
+                Expr::Binary {
+                    op: BinaryOp::Eq,
+                    left,
+                    right,
+                } => match (left.as_ref(), right.as_ref()) {
+                    (Expr::Column(a), Expr::Column(b))
+                        if left_schema.contains(*a) && right_schema.contains(*b) =>
+                    {
+                        left_keys.push(*a);
+                        right_keys.push(*b);
+                    }
+                    (Expr::Column(b), Expr::Column(a))
+                        if left_schema.contains(*a) && right_schema.contains(*b) =>
+                    {
+                        left_keys.push(*a);
+                        right_keys.push(*b);
+                    }
+                    _ => return None,
+                },
+                _ => return None,
+            }
+        }
+        // Every distinct column must resolve to one of the join keys.
+        let key_set: HashSet<ColumnId> = left_keys
+            .iter()
+            .chain(right_keys.iter())
+            .copied()
+            .collect();
+        if !group_sources.iter().all(|g| key_set.contains(g)) {
+            return None;
+        }
+
+        let new_left = LogicalPlan::Aggregate(Aggregate {
+            input: join.left.clone(),
+            group_by: left_keys,
+            aggregates: vec![],
+        });
+        let new_right = LogicalPlan::Aggregate(Aggregate {
+            input: join.right.clone(),
+            group_by: right_keys,
+            aggregates: vec![],
+        });
+        let new_join = LogicalPlan::Join(Join {
+            left: Box::new(new_left),
+            right: Box::new(new_right),
+            join_type: JoinType::Inner,
+            condition: join.condition.clone(),
+        });
+        // Restore the distinct's output columns (through the peeled
+        // projections' substitution).
+        let exprs: Vec<ProjExpr> = LogicalPlan::Aggregate(agg.clone())
+            .schema()
+            .fields()
+            .iter()
+            .zip(&group_sources)
+            .map(|(f, src)| ProjExpr::new(f.id, f.name.clone(), Expr::Column(*src)))
+            .collect();
+        Some(LogicalPlan::Project(Project {
+            input: Box::new(new_join),
+            exprs,
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::join_on_keys::JoinOnKeys;
+    use crate::rules::apply_everywhere;
+    use fusion_common::{DataType, IdGen, Value};
+    use fusion_exec::table::TableColumn;
+    use fusion_exec::{execute_plan, Catalog, ExecMetrics, TableBuilder};
+    use fusion_expr::col;
+    use fusion_plan::builder::ColumnDef;
+    use fusion_plan::PlanBuilder;
+
+    fn order_cols() -> Vec<ColumnDef> {
+        vec![
+            ColumnDef::new("order_no", DataType::Int64, true),
+            ColumnDef::new("wh", DataType::Int64, true),
+        ]
+    }
+
+    fn returns_cols() -> Vec<ColumnDef> {
+        vec![ColumnDef::new("ret_order_no", DataType::Int64, true)]
+    }
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        let mut b = TableBuilder::new(
+            "web_sales",
+            vec![
+                TableColumn {
+                    name: "order_no".into(),
+                    data_type: DataType::Int64,
+                    nullable: true,
+                },
+                TableColumn {
+                    name: "wh".into(),
+                    data_type: DataType::Int64,
+                    nullable: true,
+                },
+            ],
+        );
+        for (o, w) in [(1i64, 1i64), (1, 2), (2, 1), (3, 1), (3, 3), (4, 4)] {
+            b.add_row(vec![Value::Int64(o), Value::Int64(w)]).unwrap();
+        }
+        c.register(b.build());
+        let mut b = TableBuilder::new(
+            "web_returns",
+            vec![TableColumn {
+                name: "ret_order_no".into(),
+                data_type: DataType::Int64,
+                nullable: true,
+            }],
+        );
+        for o in [1i64, 4] {
+            b.add_row(vec![Value::Int64(o)]).unwrap();
+        }
+        c.register(b.build());
+        c
+    }
+
+    /// ws_wh: orders shipped from more than one warehouse (self join).
+    fn ws_wh(gen: &IdGen) -> LogicalPlan {
+        let a = PlanBuilder::scan(gen, "web_sales", &order_cols());
+        let (o1, w1) = (a.col("order_no").unwrap(), a.col("wh").unwrap());
+        let b = PlanBuilder::scan(gen, "web_sales", &order_cols());
+        let (o2, w2) = (b.col("order_no").unwrap(), b.col("wh").unwrap());
+        a.join(
+            b.build(),
+            JoinType::Inner,
+            col(o1).eq_to(col(o2)).and(col(w1).not_eq_to(col(w2))),
+        )
+        .project(vec![("ws_wh_number", col(o1))])
+        .build()
+    }
+
+    /// The simplified Q95 pattern: two IN-subqueries (semi joins) over the
+    /// expensive common expression ws_wh; the second one additionally
+    /// joins web_returns.
+    fn q95_like(gen: &IdGen) -> LogicalPlan {
+        let w = PlanBuilder::scan(gen, "web_sales", &order_cols());
+        let won = w.col("order_no").unwrap();
+
+        let sub1 = ws_wh(gen);
+        let sub1_k = sub1.schema().field(0).id;
+
+        let sub2_inner = ws_wh(gen);
+        let sub2_k = sub2_inner.schema().field(0).id;
+        let r = PlanBuilder::scan(gen, "web_returns", &returns_cols());
+        let rk = r.col("ret_order_no").unwrap();
+        let sub2 = PlanBuilder::from_plan(gen, sub2_inner)
+            .join(r.build(), JoinType::Inner, col(sub2_k).eq_to(col(rk)))
+            .project(vec![("wr_order_number", col(rk))])
+            .build();
+        let sub2_out = sub2.schema().field(0).id;
+
+        w.join(sub1, JoinType::Semi, col(won).eq_to(col(sub1_k)))
+            .join(sub2, JoinType::Semi, col(won).eq_to(col(sub2_out)))
+            .build()
+    }
+
+    #[test]
+    fn semi_stack_converts_when_related() {
+        let gen = IdGen::new();
+        let ctx = FuseContext::new(gen.clone());
+        let plan = q95_like(&gen);
+        plan.validate().unwrap();
+        let converted = apply_everywhere(&SemiToInnerDistinct, &plan, &ctx)
+            .expect("gated conversion should fire");
+        converted.validate().unwrap();
+        // No semi joins remain in the converted stack.
+        assert!(!converted.any(&|p| matches!(
+            p,
+            LogicalPlan::Join(Join {
+                join_type: JoinType::Semi,
+                ..
+            })
+        )));
+        let catalog = catalog();
+        let base = execute_plan(&plan, &catalog, &ExecMetrics::new()).unwrap();
+        let opt = execute_plan(&converted, &catalog, &ExecMetrics::new()).unwrap();
+        assert_eq!(base.sorted_rows(), opt.sorted_rows());
+        // Orders 1 and 4: multi-warehouse AND returned... order 4 is not
+        // multi-warehouse, so only order 1 (two base rows).
+        assert_eq!(base.rows.len(), 2);
+    }
+
+    #[test]
+    fn lone_semi_join_not_converted() {
+        let gen = IdGen::new();
+        let ctx = FuseContext::new(gen.clone());
+        let w = PlanBuilder::scan(&gen, "web_sales", &order_cols());
+        let won = w.col("order_no").unwrap();
+        let sub = ws_wh(&gen);
+        let k = sub.schema().field(0).id;
+        let plan = w.join(sub, JoinType::Semi, col(won).eq_to(col(k))).build();
+        assert!(apply_everywhere(&SemiToInnerDistinct, &plan, &ctx).is_none());
+    }
+
+    #[test]
+    fn distinct_pushes_below_join() {
+        let gen = IdGen::new();
+        let ctx = FuseContext::new(gen.clone());
+        let a = PlanBuilder::scan(&gen, "web_sales", &order_cols());
+        let o1 = a.col("order_no").unwrap();
+        let r = PlanBuilder::scan(&gen, "web_returns", &returns_cols());
+        let rk = r.col("ret_order_no").unwrap();
+        let plan = a
+            .join(r.build(), JoinType::Inner, col(o1).eq_to(col(rk)))
+            .distinct_on(vec![rk])
+            .build();
+        plan.validate().unwrap();
+
+        let pushed = apply_everywhere(&DistinctPushdown, &plan, &ctx)
+            .expect("distinct pushdown should fire");
+        pushed.validate().unwrap();
+        // Both sides now deduplicate before the join.
+        let mut distinct_count = 0;
+        pushed.visit(&mut |p| {
+            if matches!(p, LogicalPlan::Aggregate(a) if a.is_distinct()) {
+                distinct_count += 1;
+            }
+        });
+        assert_eq!(distinct_count, 2);
+
+        let catalog = catalog();
+        let base = execute_plan(&plan, &catalog, &ExecMetrics::new()).unwrap();
+        let opt = execute_plan(&pushed, &catalog, &ExecMetrics::new()).unwrap();
+        assert_eq!(base.sorted_rows(), opt.sorted_rows());
+        // Returned orders present in web_sales: 1 and 4.
+        assert_eq!(base.rows.len(), 2);
+    }
+
+    /// The full Q95 chain: conversion, pushdown, then JoinOnKeys dedup
+    /// eliminates one instance of the expensive ws_wh self-join.
+    #[test]
+    fn full_q95_chain_removes_duplicate_common_expression() {
+        let gen = IdGen::new();
+        let ctx = FuseContext::new(gen.clone());
+        let plan = q95_like(&gen);
+        // ws_wh scans web_sales twice; two copies + probe = 5 web_sales.
+        assert_eq!(
+            plan.scanned_tables()
+                .iter()
+                .filter(|t| *t == "web_sales")
+                .count(),
+            5
+        );
+
+        let mut current = plan.clone();
+        let rules: Vec<Box<dyn Rule>> = vec![
+            Box::new(SemiToInnerDistinct),
+            Box::new(DistinctPushdown),
+            Box::new(JoinOnKeys),
+        ];
+        let mut changed = true;
+        let mut fuel = 20;
+        while changed && fuel > 0 {
+            changed = false;
+            for r in &rules {
+                if let Some(next) = apply_everywhere(r.as_ref(), &current, &ctx) {
+                    current = next;
+                    changed = true;
+                }
+            }
+            fuel -= 1;
+        }
+        current.validate().unwrap();
+        // One ws_wh instance eliminated: 5 - 2 = 3 web_sales scans.
+        assert_eq!(
+            current
+                .scanned_tables()
+                .iter()
+                .filter(|t| *t == "web_sales")
+                .count(),
+            3,
+            "{}",
+            current.display()
+        );
+
+        let catalog = catalog();
+        let base = execute_plan(&plan, &catalog, &ExecMetrics::new()).unwrap();
+        let opt = execute_plan(&current, &catalog, &ExecMetrics::new()).unwrap();
+        assert_eq!(base.sorted_rows(), opt.sorted_rows());
+    }
+}

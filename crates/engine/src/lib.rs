@@ -1,0 +1,275 @@
+//! End-to-end engine facade.
+//!
+//! A [`Session`] owns a table catalog, a column-id generator and an
+//! optimizer configuration, and runs the full pipeline:
+//!
+//! ```text
+//! SQL ──parse──▶ AST ──plan──▶ LogicalPlan ──optimize──▶ LogicalPlan ──execute──▶ rows + metrics
+//! ```
+//!
+//! The session can be configured with fusion on (default) or off (the
+//! paper's baseline), which is all the benchmark harness needs to
+//! reproduce the Section V experiments.
+
+use std::time::{Duration, Instant};
+
+use fusion_common::{IdGen, Result, Schema, Value};
+use fusion_core::{Optimizer, OptimizerConfig, OptimizerReport};
+use fusion_exec::metrics::MetricsSnapshot;
+use fusion_exec::{execute_plan, Catalog, ExecMetrics, Table};
+use fusion_plan::LogicalPlan;
+use fusion_sql::{plan_query, SchemaProvider, TableSchema};
+
+/// A configured engine instance.
+pub struct Session {
+    catalog: Catalog,
+    gen: IdGen,
+    config: OptimizerConfig,
+    /// Simulated working-memory budget (bytes); crossing it during
+    /// execution counts spills in the metrics (the §V.C effect).
+    memory_budget: Option<u64>,
+}
+
+/// Everything a query run produces.
+#[derive(Debug, Clone)]
+pub struct QueryResult {
+    pub schema: Schema,
+    pub rows: Vec<Vec<Value>>,
+    pub metrics: MetricsSnapshot,
+    pub latency: Duration,
+    /// The plan before optimization (after SQL planning).
+    pub initial_plan: LogicalPlan,
+    /// The plan that actually ran.
+    pub optimized_plan: LogicalPlan,
+    pub report: OptimizerReport,
+}
+
+impl QueryResult {
+    /// Result rows in canonical (sorted) order for comparisons.
+    pub fn sorted_rows(&self) -> Vec<Vec<Value>> {
+        let mut rows = self.rows.clone();
+        rows.sort();
+        rows
+    }
+}
+
+impl Session {
+    pub fn new() -> Self {
+        Session {
+            catalog: Catalog::new(),
+            gen: IdGen::new(),
+            config: OptimizerConfig::default(),
+            memory_budget: None,
+        }
+    }
+
+    /// A session with the paper's baseline configuration (fusion off).
+    pub fn baseline() -> Self {
+        Session {
+            catalog: Catalog::new(),
+            gen: IdGen::new(),
+            config: OptimizerConfig::baseline(),
+            memory_budget: None,
+        }
+    }
+
+    /// Simulate a working-memory budget: executions whose materialized
+    /// operator state crosses it record spills in the result metrics.
+    pub fn set_memory_budget(&mut self, bytes: Option<u64>) {
+        self.memory_budget = bytes;
+    }
+
+    pub fn with_config(mut self, config: OptimizerConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    pub fn set_config(&mut self, config: OptimizerConfig) {
+        self.config = config;
+    }
+
+    pub fn set_fusion_enabled(&mut self, enabled: bool) {
+        self.config.enable_fusion = enabled;
+    }
+
+    pub fn fusion_enabled(&self) -> bool {
+        self.config.enable_fusion
+    }
+
+    pub fn register_table(&mut self, table: Table) {
+        self.catalog.register(table);
+    }
+
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    pub fn id_gen(&self) -> &IdGen {
+        &self.gen
+    }
+
+    /// Parse and plan a SQL query (no optimization, no execution).
+    pub fn plan_sql(&self, sql: &str) -> Result<LogicalPlan> {
+        let ast = fusion_sql::parse(sql)?;
+        plan_query(&ast, &CatalogProvider(&self.catalog), &self.gen)
+    }
+
+    /// Optimize a plan with this session's configuration.
+    pub fn optimize(&self, plan: &LogicalPlan) -> (LogicalPlan, OptimizerReport) {
+        let optimizer = Optimizer::new(self.gen.clone(), self.config.clone());
+        optimizer.optimize(plan)
+    }
+
+    /// Full pipeline: parse, plan, optimize, execute.
+    pub fn sql(&self, sql: &str) -> Result<QueryResult> {
+        let initial_plan = self.plan_sql(sql)?;
+        self.run_plan(initial_plan)
+    }
+
+    /// Optimize and execute an already-built logical plan.
+    pub fn run_plan(&self, initial_plan: LogicalPlan) -> Result<QueryResult> {
+        let (optimized_plan, report) = self.optimize(&initial_plan);
+        let metrics = match self.memory_budget {
+            Some(b) => ExecMetrics::with_budget(b),
+            None => ExecMetrics::new(),
+        };
+        let start = Instant::now();
+        let out = execute_plan(&optimized_plan, &self.catalog, &metrics)?;
+        let latency = start.elapsed();
+        Ok(QueryResult {
+            schema: out.schema,
+            rows: out.rows,
+            metrics: metrics.snapshot(),
+            latency,
+            initial_plan,
+            optimized_plan,
+            report,
+        })
+    }
+
+    /// Render the optimized plan for a SQL query (EXPLAIN).
+    pub fn explain(&self, sql: &str) -> Result<String> {
+        let plan = self.plan_sql(sql)?;
+        let (optimized, _) = self.optimize(&plan);
+        Ok(optimized.display())
+    }
+}
+
+impl Default for Session {
+    fn default() -> Self {
+        Session::new()
+    }
+}
+
+/// Adapts the executor catalog to the SQL planner's schema interface.
+struct CatalogProvider<'a>(&'a Catalog);
+
+impl SchemaProvider for CatalogProvider<'_> {
+    fn table_schema(&self, name: &str) -> Option<TableSchema> {
+        let table = self.0.get(name).ok()?;
+        Some(TableSchema {
+            columns: table
+                .columns
+                .iter()
+                .map(|c| (c.name.clone(), c.data_type, c.nullable))
+                .collect(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fusion_common::DataType;
+    use fusion_exec::table::TableColumn;
+    use fusion_exec::TableBuilder;
+
+    fn session() -> Session {
+        let mut s = Session::new();
+        let mut b = TableBuilder::new(
+            "orders",
+            vec![
+                TableColumn {
+                    name: "o_id".into(),
+                    data_type: DataType::Int64,
+                    nullable: false,
+                },
+                TableColumn {
+                    name: "o_cust".into(),
+                    data_type: DataType::Int64,
+                    nullable: true,
+                },
+                TableColumn {
+                    name: "o_total".into(),
+                    data_type: DataType::Float64,
+                    nullable: true,
+                },
+            ],
+        );
+        for i in 0..20i64 {
+            b.add_row(vec![
+                Value::Int64(i),
+                Value::Int64(i % 4),
+                Value::Float64((i % 7) as f64 * 10.0),
+            ])
+            .unwrap();
+        }
+        s.register_table(b.build());
+        s
+    }
+
+    #[test]
+    fn basic_sql_round_trip() {
+        let s = session();
+        let r = s
+            .sql("SELECT o_cust, SUM(o_total) AS t FROM orders GROUP BY o_cust ORDER BY o_cust")
+            .unwrap();
+        assert_eq!(r.rows.len(), 4);
+        assert_eq!(r.schema.field(0).name, "o_cust");
+        assert!(r.metrics.bytes_scanned > 0);
+    }
+
+    #[test]
+    fn cte_union_query_fuses() {
+        let s = session();
+        let sql = "WITH cte AS (SELECT o_id, o_cust, o_total FROM orders) \
+                   SELECT o_id FROM cte WHERE o_cust = 1 \
+                   UNION ALL SELECT o_id FROM cte WHERE o_total > 30";
+        let r = s.sql(sql).unwrap();
+        assert!(r.report.fusion_applied, "fusion should fire on the CTE union");
+        assert_eq!(r.optimized_plan.scanned_tables().len(), 1);
+
+        // Baseline produces identical results while scanning twice.
+        let mut base = session();
+        base.set_fusion_enabled(false);
+        let rb = base.sql(sql).unwrap();
+        assert_eq!(rb.initial_plan.scanned_tables().len(), 2);
+        assert_eq!(r.sorted_rows(), rb.sorted_rows());
+        assert!(r.metrics.bytes_scanned < rb.metrics.bytes_scanned);
+    }
+
+    #[test]
+    fn explain_renders_plan() {
+        let s = session();
+        let text = s.explain("SELECT o_id FROM orders WHERE o_id > 5").unwrap();
+        assert!(text.contains("Scan: orders"));
+    }
+
+    #[test]
+    fn correlated_subquery_decorrelates_and_windows() {
+        let s = session();
+        let sql = "SELECT o_id FROM orders o1 \
+                   WHERE o1.o_total > (SELECT AVG(o2.o_total) FROM orders o2 \
+                                       WHERE o2.o_cust = o1.o_cust)";
+        let r = s.sql(sql).unwrap();
+        // GroupByJoinToWindow should eliminate the second scan.
+        assert!(r.report.fusion_applied);
+        assert_eq!(r.optimized_plan.scanned_tables().len(), 1);
+
+        let mut base = session();
+        base.set_fusion_enabled(false);
+        let rb = base.sql(sql).unwrap();
+        assert_eq!(r.sorted_rows(), rb.sorted_rows());
+        assert!(!r.rows.is_empty());
+    }
+}

@@ -1,0 +1,806 @@
+//! Hash aggregation with masked aggregates, and partition-wide window
+//! aggregates.
+//!
+//! Masks are first-class here: each aggregate carries its own boolean
+//! mask expression (§III.E), so a single GroupBy can aggregate different
+//! subsets of its input — the property query fusion relies on to merge
+//! two GroupBys into one.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+use fusion_common::{FusionError, Result, Schema, Value};
+use fusion_expr::{AggFunc, AggregateExpr, WindowExpr};
+
+use crate::metrics::{ExecMetrics, StateReservation};
+use crate::ops::{drain, row_bytes, BoxedOp, Operator, RowIndex};
+use crate::{Chunk, Row, CHUNK_SIZE};
+
+/// Accumulator for one aggregate function instance.
+#[derive(Debug, Clone)]
+pub enum Acc {
+    Count(i64),
+    SumInt(Option<i64>),
+    SumFloat(Option<f64>),
+    Avg { sum: f64, n: i64 },
+    Min(Option<Value>),
+    Max(Option<Value>),
+}
+
+impl Acc {
+    pub fn new(func: AggFunc, int_sum: bool) -> Acc {
+        match func {
+            AggFunc::CountStar | AggFunc::Count => Acc::Count(0),
+            AggFunc::Sum => {
+                if int_sum {
+                    Acc::SumInt(None)
+                } else {
+                    Acc::SumFloat(None)
+                }
+            }
+            AggFunc::Avg => Acc::Avg { sum: 0.0, n: 0 },
+            AggFunc::Min => Acc::Min(None),
+            AggFunc::Max => Acc::Max(None),
+        }
+    }
+
+    /// Feed one (mask-accepted) value. `v` is `None` for `COUNT(*)`.
+    pub fn update(&mut self, v: Option<&Value>) {
+        match self {
+            Acc::Count(n) => {
+                // COUNT(*) counts every accepted row; COUNT(x) only
+                // non-null values.
+                match v {
+                    None => *n += 1,
+                    Some(val) if !val.is_null() => *n += 1,
+                    _ => {}
+                }
+            }
+            Acc::SumInt(acc) => {
+                if let Some(val) = v {
+                    if let Some(i) = val.as_i64() {
+                        *acc = Some(acc.unwrap_or(0).wrapping_add(i));
+                    } else if let Some(f) = val.as_f64() {
+                        // Type widened mid-stream: degrade via float.
+                        *acc = Some(acc.unwrap_or(0).wrapping_add(f as i64));
+                    }
+                }
+            }
+            Acc::SumFloat(acc) => {
+                if let Some(val) = v {
+                    if let Some(f) = val.as_f64() {
+                        *acc = Some(acc.unwrap_or(0.0) + f);
+                    }
+                }
+            }
+            Acc::Avg { sum, n } => {
+                if let Some(val) = v {
+                    if let Some(f) = val.as_f64() {
+                        *sum += f;
+                        *n += 1;
+                    }
+                }
+            }
+            Acc::Min(acc) => {
+                if let Some(val) = v {
+                    if !val.is_null() {
+                        match acc {
+                            None => *acc = Some(val.clone()),
+                            Some(cur) => {
+                                if val < cur {
+                                    *acc = Some(val.clone());
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            Acc::Max(acc) => {
+                if let Some(val) = v {
+                    if !val.is_null() {
+                        match acc {
+                            None => *acc = Some(val.clone()),
+                            Some(cur) => {
+                                if val > cur {
+                                    *acc = Some(val.clone());
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    pub fn finish(&self) -> Value {
+        match self {
+            Acc::Count(n) => Value::Int64(*n),
+            Acc::SumInt(acc) => acc.map(Value::Int64).unwrap_or(Value::Null),
+            Acc::SumFloat(acc) => acc.map(Value::Float64).unwrap_or(Value::Null),
+            Acc::Avg { sum, n } => {
+                if *n == 0 {
+                    Value::Null
+                } else {
+                    Value::Float64(sum / *n as f64)
+                }
+            }
+            Acc::Min(acc) | Acc::Max(acc) => acc.clone().unwrap_or(Value::Null),
+        }
+    }
+}
+
+/// Per-group state: one accumulator per aggregate, plus distinct sets for
+/// `AGG(DISTINCT x)`.
+struct GroupState {
+    accs: Vec<Acc>,
+    distinct_seen: Vec<Option<HashSet<Value>>>,
+}
+
+/// Hash aggregation. A GroupBy with no grouping columns (scalar
+/// aggregate) emits exactly one row even over empty input; a GroupBy with
+/// no aggregate functions is a DISTINCT.
+pub struct HashAggregateExec {
+    input: Option<BoxedOp>,
+    group_positions: Vec<usize>,
+    aggregates: Vec<AggregateExpr>,
+    int_sums: Vec<bool>,
+    input_index: RowIndex,
+    schema: Schema,
+    metrics: Arc<ExecMetrics>,
+    output: Option<std::vec::IntoIter<Row>>,
+}
+
+impl HashAggregateExec {
+    pub fn new(
+        input: BoxedOp,
+        group_positions: Vec<usize>,
+        aggregates: Vec<AggregateExpr>,
+        schema: Schema,
+        metrics: Arc<ExecMetrics>,
+    ) -> Result<Self> {
+        let input_schema = input.schema().clone();
+        let input_index = RowIndex::new(&input_schema);
+        let int_sums = aggregates
+            .iter()
+            .map(|a| {
+                a.func == AggFunc::Sum
+                    && a.arg
+                        .as_ref()
+                        .map(|e| {
+                            e.data_type(&input_schema)
+                                .map(|t| t == fusion_common::DataType::Int64)
+                                .unwrap_or(false)
+                        })
+                        .unwrap_or(false)
+            })
+            .collect();
+        Ok(HashAggregateExec {
+            input: Some(input),
+            group_positions,
+            aggregates,
+            int_sums,
+            input_index,
+            schema,
+            metrics,
+            output: None,
+        })
+    }
+
+    fn compute(&mut self) -> Result<Vec<Row>> {
+        let mut input = self.input.take().expect("computed once");
+        let mut groups: HashMap<Vec<Value>, GroupState> = HashMap::new();
+        let scalar = self.group_positions.is_empty();
+
+        // Aggregates frequently share masks after fusion (e.g. the three
+        // Q09 aggregates of one quantity bucket): evaluate each distinct
+        // mask expression once per row.
+        let mut distinct_masks: Vec<&fusion_expr::Expr> = Vec::new();
+        let mask_slot: Vec<Option<usize>> = self
+            .aggregates
+            .iter()
+            .map(|a| {
+                if a.unmasked() {
+                    None
+                } else {
+                    Some(
+                        match distinct_masks.iter().position(|m| **m == a.mask) {
+                            Some(i) => i,
+                            None => {
+                                distinct_masks.push(&a.mask);
+                                distinct_masks.len() - 1
+                            }
+                        },
+                    )
+                }
+            })
+            .collect();
+        let mut mask_values = vec![false; distinct_masks.len()];
+
+        let mut state_bytes = 0i64;
+        while let Some(chunk) = input.next_chunk()? {
+            for row in chunk {
+                for (slot, mask) in distinct_masks.iter().enumerate() {
+                    mask_values[slot] = self.input_index.eval_pred(mask, &row)?;
+                }
+                let key: Vec<Value> = self
+                    .group_positions
+                    .iter()
+                    .map(|&p| row[p].clone())
+                    .collect();
+                let is_new = !groups.contains_key(&key);
+                if is_new {
+                    state_bytes += row_bytes(&key) + 64 * self.aggregates.len() as i64;
+                }
+                let state = groups.entry(key).or_insert_with(|| GroupState {
+                    accs: self
+                        .aggregates
+                        .iter()
+                        .zip(&self.int_sums)
+                        .map(|(a, int_sum)| Acc::new(a.func, *int_sum))
+                        .collect(),
+                    distinct_seen: self
+                        .aggregates
+                        .iter()
+                        .map(|a| if a.distinct { Some(HashSet::new()) } else { None })
+                        .collect(),
+                });
+                for (i, agg) in self.aggregates.iter().enumerate() {
+                    // Mask check (§III.E): skip rows the mask rejects.
+                    if let Some(slot) = mask_slot[i] {
+                        if !mask_values[slot] {
+                            continue;
+                        }
+                    }
+                    let arg_value = match &agg.arg {
+                        Some(e) => Some(self.input_index.eval(e, &row)?),
+                        None => None,
+                    };
+                    if let Some(seen) = &mut state.distinct_seen[i] {
+                        match &arg_value {
+                            Some(v) if !v.is_null() => {
+                                if !seen.insert(v.clone()) {
+                                    continue; // already counted
+                                }
+                            }
+                            _ => continue,
+                        }
+                    }
+                    state.accs[i].update(arg_value.as_ref());
+                }
+            }
+        }
+        let _reservation = StateReservation::new(self.metrics.clone(), state_bytes);
+
+        if scalar && groups.is_empty() {
+            // Scalar aggregates return one row over empty input.
+            let row: Row = self
+                .aggregates
+                .iter()
+                .zip(&self.int_sums)
+                .map(|(a, int_sum)| Acc::new(a.func, *int_sum).finish())
+                .collect();
+            return Ok(vec![row]);
+        }
+
+        let mut keys: Vec<Vec<Value>> = groups.keys().cloned().collect();
+        keys.sort(); // deterministic output order
+        let mut out = Vec::with_capacity(keys.len());
+        for key in keys {
+            let state = &groups[&key];
+            let mut row = key.clone();
+            row.extend(state.accs.iter().map(|a| a.finish()));
+            out.push(row);
+        }
+        Ok(out)
+    }
+}
+
+impl Operator for HashAggregateExec {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn next_chunk(&mut self) -> Result<Option<Chunk>> {
+        if self.output.is_none() {
+            let rows = self.compute()?;
+            self.output = Some(rows.into_iter());
+        }
+        let it = self.output.as_mut().unwrap();
+        let chunk: Vec<Row> = it.take(CHUNK_SIZE).collect();
+        if chunk.is_empty() {
+            Ok(None)
+        } else {
+            Ok(Some(chunk))
+        }
+    }
+}
+
+/// Partition-wide window aggregates: compute `AGG(x)` per partition of
+/// `PARTITION BY` keys and append the partition's aggregate to every row.
+pub struct WindowExec {
+    input: Option<BoxedOp>,
+    exprs: Vec<WindowExpr>,
+    input_index: RowIndex,
+    schema: Schema,
+    metrics: Arc<ExecMetrics>,
+    output: Option<std::vec::IntoIter<Row>>,
+}
+
+impl WindowExec {
+    pub fn new(
+        input: BoxedOp,
+        exprs: Vec<WindowExpr>,
+        schema: Schema,
+        metrics: Arc<ExecMetrics>,
+    ) -> Self {
+        let input_index = RowIndex::new(input.schema());
+        WindowExec {
+            input: Some(input),
+            exprs,
+            input_index,
+            schema,
+            metrics,
+            output: None,
+        }
+    }
+
+    fn compute(&mut self) -> Result<Vec<Row>> {
+        let mut input = self.input.take().expect("computed once");
+        let rows = drain(input.as_mut())?;
+        let bytes: i64 = rows.iter().map(|r| row_bytes(r)).sum();
+        let _reservation = StateReservation::new(self.metrics.clone(), bytes);
+
+        // Per window expr: partition key -> accumulator.
+        let mut states: Vec<HashMap<Vec<Value>, Acc>> =
+            self.exprs.iter().map(|_| HashMap::new()).collect();
+        let mut keys_per_row: Vec<Vec<Vec<Value>>> = Vec::with_capacity(rows.len());
+        for row in &rows {
+            let mut row_keys = Vec::with_capacity(self.exprs.len());
+            for (i, w) in self.exprs.iter().enumerate() {
+                let key: Vec<Value> = w
+                    .partition_by
+                    .iter()
+                    .map(|c| {
+                        self.input_index
+                            .position(*c)
+                            .map(|p| row[p].clone())
+                    })
+                    .collect::<Result<_>>()?;
+                let acc = states[i]
+                    .entry(key.clone())
+                    .or_insert_with(|| Acc::new(w.func, false));
+                let accepted =
+                    w.unmasked() || self.input_index.eval_pred(&w.mask, row)?;
+                if accepted {
+                    let arg_value = match &w.arg {
+                        Some(e) => Some(self.input_index.eval(e, row)?),
+                        None => None,
+                    };
+                    acc.update(arg_value.as_ref());
+                }
+                row_keys.push(key);
+            }
+            keys_per_row.push(row_keys);
+        }
+
+        let mut out = Vec::with_capacity(rows.len());
+        for (row, row_keys) in rows.into_iter().zip(keys_per_row) {
+            let mut new_row = row;
+            for (i, key) in row_keys.iter().enumerate() {
+                let v = states[i]
+                    .get(key)
+                    .map(|a| a.finish())
+                    .ok_or_else(|| FusionError::Internal("window partition missing".into()))?;
+                new_row.push(v);
+            }
+            out.push(new_row);
+        }
+        Ok(out)
+    }
+}
+
+impl Operator for WindowExec {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn next_chunk(&mut self) -> Result<Option<Chunk>> {
+        if self.output.is_none() {
+            let rows = self.compute()?;
+            self.output = Some(rows.into_iter());
+        }
+        let it = self.output.as_mut().unwrap();
+        let chunk: Vec<Row> = it.take(CHUNK_SIZE).collect();
+        if chunk.is_empty() {
+            Ok(None)
+        } else {
+            Ok(Some(chunk))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::basic::ConstantTableExec;
+    use fusion_common::{ColumnId, DataType, Field};
+    use fusion_expr::{col, lit, Expr};
+
+    fn source(rows: Vec<Vec<Value>>) -> BoxedOp {
+        // columns: g (#1, int), v (#2, int), f (#3, bool-ish int)
+        let schema = Schema::new(vec![
+            Field::new(ColumnId(1), "g", DataType::Int64, true),
+            Field::new(ColumnId(2), "v", DataType::Int64, true),
+        ]);
+        Box::new(ConstantTableExec::new(rows, schema))
+    }
+
+    fn rows_i64(data: &[(i64, i64)]) -> Vec<Vec<Value>> {
+        data.iter()
+            .map(|(g, v)| vec![Value::Int64(*g), Value::Int64(*v)])
+            .collect()
+    }
+
+    fn out_schema(n: usize) -> Schema {
+        Schema::new(
+            (0..n)
+                .map(|i| Field::new(ColumnId(100 + i as u32), format!("o{i}"), DataType::Int64, true))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn grouped_sum_and_count() {
+        let input = source(rows_i64(&[(1, 10), (1, 20), (2, 5)]));
+        let mut agg = HashAggregateExec::new(
+            input,
+            vec![0],
+            vec![
+                AggregateExpr::sum(col(ColumnId(2))),
+                AggregateExpr::count_star(),
+            ],
+            out_schema(3),
+            ExecMetrics::new(),
+        )
+        .unwrap();
+        let rows = drain(&mut agg).unwrap();
+        assert_eq!(
+            rows,
+            vec![
+                vec![Value::Int64(1), Value::Int64(30), Value::Int64(2)],
+                vec![Value::Int64(2), Value::Int64(5), Value::Int64(1)],
+            ]
+        );
+    }
+
+    #[test]
+    fn masks_partition_the_input() {
+        let input = source(rows_i64(&[(1, 10), (1, 20), (1, 30)]));
+        // SUM(v) FILTER (v < 25), COUNT(*) FILTER (v >= 25)
+        let mut agg = HashAggregateExec::new(
+            input,
+            vec![0],
+            vec![
+                AggregateExpr::sum(col(ColumnId(2))).with_mask(col(ColumnId(2)).lt(lit(25i64))),
+                AggregateExpr::count_star().with_mask(col(ColumnId(2)).gt_eq(lit(25i64))),
+            ],
+            out_schema(3),
+            ExecMetrics::new(),
+        )
+        .unwrap();
+        let rows = drain(&mut agg).unwrap();
+        assert_eq!(
+            rows,
+            vec![vec![Value::Int64(1), Value::Int64(30), Value::Int64(1)]]
+        );
+    }
+
+    #[test]
+    fn fully_masked_group_still_emits_row() {
+        // This is the subtlety §III.E compensates for with COUNT(*) masks:
+        // a group whose rows are all rejected by the mask still produces a
+        // row (with NULL/0 aggregates).
+        let input = source(rows_i64(&[(1, 10)]));
+        let mut agg = HashAggregateExec::new(
+            input,
+            vec![0],
+            vec![
+                AggregateExpr::sum(col(ColumnId(2))).with_mask(Expr::boolean(false)),
+                AggregateExpr::count_star().with_mask(Expr::boolean(false)),
+            ],
+            out_schema(3),
+            ExecMetrics::new(),
+        )
+        .unwrap();
+        let rows = drain(&mut agg).unwrap();
+        assert_eq!(
+            rows,
+            vec![vec![Value::Int64(1), Value::Null, Value::Int64(0)]]
+        );
+    }
+
+    #[test]
+    fn scalar_aggregate_over_empty_input() {
+        let input = source(vec![]);
+        let mut agg = HashAggregateExec::new(
+            input,
+            vec![],
+            vec![
+                AggregateExpr::count_star(),
+                AggregateExpr::sum(col(ColumnId(2))),
+            ],
+            out_schema(2),
+            ExecMetrics::new(),
+        )
+        .unwrap();
+        let rows = drain(&mut agg).unwrap();
+        assert_eq!(rows, vec![vec![Value::Int64(0), Value::Null]]);
+    }
+
+    #[test]
+    fn distinct_is_group_by_without_aggs() {
+        let input = source(rows_i64(&[(1, 0), (1, 0), (2, 0)]));
+        let mut agg = HashAggregateExec::new(
+            input,
+            vec![0],
+            vec![],
+            out_schema(1),
+            ExecMetrics::new(),
+        )
+        .unwrap();
+        let rows = drain(&mut agg).unwrap();
+        assert_eq!(rows, vec![vec![Value::Int64(1)], vec![Value::Int64(2)]]);
+    }
+
+    #[test]
+    fn distinct_aggregate_dedupes_values() {
+        let input = source(rows_i64(&[(1, 10), (1, 10), (1, 20)]));
+        let mut agg = HashAggregateExec::new(
+            input,
+            vec![0],
+            vec![AggregateExpr::count(col(ColumnId(2))).with_distinct(true)],
+            out_schema(2),
+            ExecMetrics::new(),
+        )
+        .unwrap();
+        let rows = drain(&mut agg).unwrap();
+        assert_eq!(rows, vec![vec![Value::Int64(1), Value::Int64(2)]]);
+    }
+
+    #[test]
+    fn count_ignores_nulls_but_count_star_does_not() {
+        let input = source(vec![
+            vec![Value::Int64(1), Value::Null],
+            vec![Value::Int64(1), Value::Int64(5)],
+        ]);
+        let mut agg = HashAggregateExec::new(
+            input,
+            vec![0],
+            vec![
+                AggregateExpr::count(col(ColumnId(2))),
+                AggregateExpr::count_star(),
+            ],
+            out_schema(3),
+            ExecMetrics::new(),
+        )
+        .unwrap();
+        let rows = drain(&mut agg).unwrap();
+        assert_eq!(
+            rows,
+            vec![vec![Value::Int64(1), Value::Int64(1), Value::Int64(2)]]
+        );
+    }
+
+    #[test]
+    fn window_broadcasts_partition_aggregate() {
+        let input = source(rows_i64(&[(1, 10), (1, 20), (2, 30)]));
+        let w = WindowExpr::new(AggFunc::Avg, Some(col(ColumnId(2))), vec![ColumnId(1)]);
+        let mut win = WindowExec::new(
+            input,
+            vec![w],
+            out_schema(3),
+            ExecMetrics::new(),
+        );
+        let rows = drain(&mut win).unwrap();
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0][2], Value::Float64(15.0));
+        assert_eq!(rows[1][2], Value::Float64(15.0));
+        assert_eq!(rows[2][2], Value::Float64(30.0));
+    }
+
+    #[test]
+    fn window_preserves_row_multiplicity_and_order() {
+        let input = source(rows_i64(&[(2, 1), (1, 2), (2, 3)]));
+        let w = WindowExpr::new(AggFunc::CountStar, None, vec![ColumnId(1)]);
+        let mut win = WindowExec::new(input, vec![w], out_schema(3), ExecMetrics::new());
+        let rows = drain(&mut win).unwrap();
+        assert_eq!(rows.len(), 3);
+        // Row order is preserved (streaming pass-through semantics).
+        assert_eq!(rows[0][0], Value::Int64(2));
+        assert_eq!(rows[0][2], Value::Int64(2)); // two rows in partition g=2
+        assert_eq!(rows[1][2], Value::Int64(1));
+    }
+}
+
+#[cfg(test)]
+mod edge_tests {
+    use super::*;
+    use crate::ops::basic::ConstantTableExec;
+    use crate::ops::{drain, BoxedOp};
+    use fusion_common::{ColumnId, DataType, Field, Value};
+    use fusion_expr::col;
+
+    fn source(rows: Vec<Vec<Value>>) -> BoxedOp {
+        let schema = Schema::new(vec![
+            Field::new(ColumnId(1), "g", DataType::Int64, true),
+            Field::new(ColumnId(2), "v", DataType::Float64, true),
+        ]);
+        Box::new(ConstantTableExec::new(rows, schema))
+    }
+
+    fn out_schema(n: usize) -> Schema {
+        Schema::new(
+            (0..n)
+                .map(|i| {
+                    Field::new(ColumnId(100 + i as u32), format!("o{i}"), DataType::Float64, true)
+                })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn null_group_keys_form_a_group() {
+        let input = source(vec![
+            vec![Value::Null, Value::Float64(1.0)],
+            vec![Value::Null, Value::Float64(2.0)],
+            vec![Value::Int64(1), Value::Float64(3.0)],
+        ]);
+        let mut agg = HashAggregateExec::new(
+            input,
+            vec![0],
+            vec![AggregateExpr::sum(col(ColumnId(2)))],
+            out_schema(2),
+            ExecMetrics::new(),
+        )
+        .unwrap();
+        let rows = drain(&mut agg).unwrap();
+        assert_eq!(rows.len(), 2);
+        // NULL group sorts first and sums 3.0.
+        assert_eq!(rows[0], vec![Value::Null, Value::Float64(3.0)]);
+    }
+
+    #[test]
+    fn min_max_ignore_nulls_and_handle_all_null_groups() {
+        let input = source(vec![
+            vec![Value::Int64(1), Value::Null],
+            vec![Value::Int64(1), Value::Float64(5.0)],
+            vec![Value::Int64(2), Value::Null],
+        ]);
+        let mut agg = HashAggregateExec::new(
+            input,
+            vec![0],
+            vec![
+                AggregateExpr::min(col(ColumnId(2))),
+                AggregateExpr::max(col(ColumnId(2))),
+            ],
+            out_schema(3),
+            ExecMetrics::new(),
+        )
+        .unwrap();
+        let rows = drain(&mut agg).unwrap();
+        assert_eq!(
+            rows,
+            vec![
+                vec![Value::Int64(1), Value::Float64(5.0), Value::Float64(5.0)],
+                vec![Value::Int64(2), Value::Null, Value::Null],
+            ]
+        );
+    }
+
+    #[test]
+    fn avg_over_only_nulls_is_null() {
+        let input = source(vec![vec![Value::Int64(1), Value::Null]]);
+        let mut agg = HashAggregateExec::new(
+            input,
+            vec![],
+            vec![AggregateExpr::avg(col(ColumnId(2)))],
+            out_schema(1),
+            ExecMetrics::new(),
+        )
+        .unwrap();
+        assert_eq!(drain(&mut agg).unwrap(), vec![vec![Value::Null]]);
+    }
+
+    #[test]
+    fn window_over_empty_input_emits_nothing() {
+        let input = source(vec![]);
+        let w = WindowExpr::new(AggFunc::Sum, Some(col(ColumnId(2))), vec![ColumnId(1)]);
+        let mut win = WindowExec::new(input, vec![w], out_schema(3), ExecMetrics::new());
+        assert!(drain(&mut win).unwrap().is_empty());
+    }
+
+    #[test]
+    fn window_null_partition_keys_group_together() {
+        let input = source(vec![
+            vec![Value::Null, Value::Float64(1.0)],
+            vec![Value::Null, Value::Float64(3.0)],
+        ]);
+        let w = WindowExpr::new(AggFunc::Avg, Some(col(ColumnId(2))), vec![ColumnId(1)]);
+        let mut win = WindowExec::new(input, vec![w], out_schema(3), ExecMetrics::new());
+        let rows = drain(&mut win).unwrap();
+        assert_eq!(rows[0][2], Value::Float64(2.0));
+        assert_eq!(rows[1][2], Value::Float64(2.0));
+    }
+
+    #[test]
+    fn shared_masks_are_evaluated_consistently() {
+        // Two aggregates with the same mask and one with another: results
+        // must match the per-aggregate semantics exactly.
+        let mask = col(ColumnId(2)).gt(fusion_expr::lit(2.0));
+        let input = source(vec![
+            vec![Value::Int64(1), Value::Float64(1.0)],
+            vec![Value::Int64(1), Value::Float64(3.0)],
+            vec![Value::Int64(1), Value::Float64(5.0)],
+        ]);
+        let mut agg = HashAggregateExec::new(
+            input,
+            vec![0],
+            vec![
+                AggregateExpr::count_star().with_mask(mask.clone()),
+                AggregateExpr::sum(col(ColumnId(2))).with_mask(mask),
+                AggregateExpr::count_star()
+                    .with_mask(col(ColumnId(2)).lt(fusion_expr::lit(2.0))),
+            ],
+            out_schema(4),
+            ExecMetrics::new(),
+        )
+        .unwrap();
+        let rows = drain(&mut agg).unwrap();
+        assert_eq!(
+            rows,
+            vec![vec![
+                Value::Int64(1),
+                Value::Int64(2),
+                Value::Float64(8.0),
+                Value::Int64(1)
+            ]]
+        );
+    }
+}
+
+#[cfg(test)]
+mod masked_window_tests {
+    use super::*;
+    use crate::ops::basic::ConstantTableExec;
+    use crate::ops::{drain, BoxedOp};
+    use fusion_common::{ColumnId, DataType, Field, Value};
+    use fusion_expr::{col, lit};
+
+    #[test]
+    fn masked_window_accumulates_only_matching_rows() {
+        let schema = Schema::new(vec![
+            Field::new(ColumnId(1), "g", DataType::Int64, true),
+            Field::new(ColumnId(2), "v", DataType::Int64, true),
+        ]);
+        let rows = vec![
+            vec![Value::Int64(1), Value::Int64(10)],
+            vec![Value::Int64(1), Value::Int64(100)], // masked out
+            vec![Value::Int64(2), Value::Int64(200)], // masked out
+        ];
+        let input: BoxedOp = Box::new(ConstantTableExec::new(rows, schema));
+        let w = WindowExpr::new(AggFunc::Sum, Some(col(ColumnId(2))), vec![ColumnId(1)])
+            .with_mask(col(ColumnId(2)).lt(lit(50i64)));
+        let out_schema = Schema::new(vec![
+            Field::new(ColumnId(1), "g", DataType::Int64, true),
+            Field::new(ColumnId(2), "v", DataType::Int64, true),
+            Field::new(ColumnId(3), "w", DataType::Int64, true),
+        ]);
+        let mut win = WindowExec::new(input, vec![w], out_schema, ExecMetrics::new());
+        let out = drain(&mut win).unwrap();
+        // Every row still gets its partition's (masked) value; partition 2
+        // has no accepted rows, so its sum is NULL.
+        assert_eq!(out[0][2], Value::Int64(10));
+        assert_eq!(out[1][2], Value::Int64(10));
+        assert_eq!(out[2][2], Value::Null);
+    }
+}

@@ -1,0 +1,326 @@
+//! Simple streaming operators: Filter, Project, Limit, UnionAll,
+//! ConstantTable, EnforceSingleRow.
+
+use fusion_common::{FusionError, Result, Schema, Value};
+use fusion_expr::Expr;
+
+use crate::ops::{drain, BoxedOp, Operator, RowIndex};
+use crate::{Chunk, Row};
+
+/// Keep rows where the predicate is TRUE.
+pub struct FilterExec {
+    input: BoxedOp,
+    predicate: Expr,
+    index: RowIndex,
+    schema: Schema,
+}
+
+impl FilterExec {
+    pub fn new(input: BoxedOp, predicate: Expr) -> Self {
+        let schema = input.schema().clone();
+        let index = RowIndex::new(&schema);
+        FilterExec {
+            input,
+            predicate,
+            index,
+            schema,
+        }
+    }
+}
+
+impl Operator for FilterExec {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn next_chunk(&mut self) -> Result<Option<Chunk>> {
+        while let Some(chunk) = self.input.next_chunk()? {
+            let mut out = Vec::with_capacity(chunk.len());
+            for row in chunk {
+                if self.index.eval_pred(&self.predicate, &row)? {
+                    out.push(row);
+                }
+            }
+            if !out.is_empty() {
+                return Ok(Some(out));
+            }
+        }
+        Ok(None)
+    }
+}
+
+/// A compiled projection expression: bare column references become direct
+/// positional copies (CTE expansion produces long pass-through
+/// projections, so this fast path matters).
+enum CompiledExpr {
+    Position(usize),
+    Eval(Expr),
+}
+
+/// Evaluate projection expressions per row.
+pub struct ProjectExec {
+    input: BoxedOp,
+    exprs: Vec<CompiledExpr>,
+    index: RowIndex,
+    schema: Schema,
+}
+
+impl ProjectExec {
+    pub fn new(input: BoxedOp, exprs: Vec<Expr>, schema: Schema) -> Self {
+        let index = RowIndex::new(input.schema());
+        let exprs = exprs
+            .into_iter()
+            .map(|e| match &e {
+                Expr::Column(id) => match index.position(*id) {
+                    Ok(pos) => CompiledExpr::Position(pos),
+                    Err(_) => CompiledExpr::Eval(e),
+                },
+                _ => CompiledExpr::Eval(e),
+            })
+            .collect();
+        ProjectExec {
+            input,
+            exprs,
+            index,
+            schema,
+        }
+    }
+}
+
+impl Operator for ProjectExec {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn next_chunk(&mut self) -> Result<Option<Chunk>> {
+        match self.input.next_chunk()? {
+            None => Ok(None),
+            Some(chunk) => {
+                let mut out = Vec::with_capacity(chunk.len());
+                for row in chunk {
+                    let mut new_row = Vec::with_capacity(self.exprs.len());
+                    for e in &self.exprs {
+                        new_row.push(match e {
+                            CompiledExpr::Position(p) => row[*p].clone(),
+                            CompiledExpr::Eval(expr) => self.index.eval(expr, &row)?,
+                        });
+                    }
+                    out.push(new_row);
+                }
+                Ok(Some(out))
+            }
+        }
+    }
+}
+
+/// Stop after `fetch` rows.
+pub struct LimitExec {
+    input: BoxedOp,
+    remaining: usize,
+    schema: Schema,
+}
+
+impl LimitExec {
+    pub fn new(input: BoxedOp, fetch: usize) -> Self {
+        let schema = input.schema().clone();
+        LimitExec {
+            input,
+            remaining: fetch,
+            schema,
+        }
+    }
+}
+
+impl Operator for LimitExec {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn next_chunk(&mut self) -> Result<Option<Chunk>> {
+        if self.remaining == 0 {
+            return Ok(None);
+        }
+        match self.input.next_chunk()? {
+            None => Ok(None),
+            Some(mut chunk) => {
+                if chunk.len() > self.remaining {
+                    chunk.truncate(self.remaining);
+                }
+                self.remaining -= chunk.len();
+                Ok(Some(chunk))
+            }
+        }
+    }
+}
+
+/// Concatenate the inputs, in order.
+pub struct UnionAllExec {
+    inputs: Vec<BoxedOp>,
+    current: usize,
+    schema: Schema,
+}
+
+impl UnionAllExec {
+    pub fn new(inputs: Vec<BoxedOp>, schema: Schema) -> Self {
+        UnionAllExec {
+            inputs,
+            current: 0,
+            schema,
+        }
+    }
+}
+
+impl Operator for UnionAllExec {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn next_chunk(&mut self) -> Result<Option<Chunk>> {
+        while self.current < self.inputs.len() {
+            if let Some(chunk) = self.inputs[self.current].next_chunk()? {
+                return Ok(Some(chunk));
+            }
+            self.current += 1;
+        }
+        Ok(None)
+    }
+}
+
+/// Emit an inline constant relation once.
+pub struct ConstantTableExec {
+    rows: Option<Vec<Row>>,
+    schema: Schema,
+}
+
+impl ConstantTableExec {
+    pub fn new(rows: Vec<Row>, schema: Schema) -> Self {
+        ConstantTableExec {
+            rows: Some(rows),
+            schema,
+        }
+    }
+}
+
+impl Operator for ConstantTableExec {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn next_chunk(&mut self) -> Result<Option<Chunk>> {
+        match self.rows.take() {
+            Some(rows) if !rows.is_empty() => Ok(Some(rows)),
+            _ => Ok(None),
+        }
+    }
+}
+
+/// Enforce scalar-subquery cardinality: exactly one row passes through;
+/// zero rows produce a single all-NULL row (SQL scalar subquery
+/// semantics); more than one row fails the query.
+pub struct EnforceSingleRowExec {
+    input: BoxedOp,
+    schema: Schema,
+    done: bool,
+}
+
+impl EnforceSingleRowExec {
+    pub fn new(input: BoxedOp) -> Self {
+        let schema = input.schema().clone();
+        EnforceSingleRowExec {
+            input,
+            schema,
+            done: false,
+        }
+    }
+}
+
+impl Operator for EnforceSingleRowExec {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn next_chunk(&mut self) -> Result<Option<Chunk>> {
+        if self.done {
+            return Ok(None);
+        }
+        self.done = true;
+        let rows = drain(self.input.as_mut())?;
+        match rows.len() {
+            0 => Ok(Some(vec![vec![Value::Null; self.schema.len()]])),
+            1 => Ok(Some(rows)),
+            n => Err(FusionError::SingleRowViolation(n)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fusion_common::{ColumnId, DataType, Field};
+    use fusion_expr::{col, lit};
+
+    fn one_col_schema(id: u32) -> Schema {
+        Schema::new(vec![Field::new(ColumnId(id), "x", DataType::Int64, false)])
+    }
+
+    fn source(id: u32, values: &[i64]) -> BoxedOp {
+        Box::new(ConstantTableExec::new(
+            values.iter().map(|v| vec![Value::Int64(*v)]).collect(),
+            one_col_schema(id),
+        ))
+    }
+
+    #[test]
+    fn filter_keeps_true_rows() {
+        let mut f = FilterExec::new(source(1, &[1, 5, 10]), col(ColumnId(1)).gt(lit(4i64)));
+        let rows = drain(&mut f).unwrap();
+        assert_eq!(rows, vec![vec![Value::Int64(5)], vec![Value::Int64(10)]]);
+    }
+
+    #[test]
+    fn project_computes_expressions() {
+        let schema = Schema::new(vec![Field::new(ColumnId(9), "y", DataType::Int64, false)]);
+        let mut p = ProjectExec::new(
+            source(1, &[1, 2]),
+            vec![col(ColumnId(1)).add(lit(10i64))],
+            schema,
+        );
+        let rows = drain(&mut p).unwrap();
+        assert_eq!(rows, vec![vec![Value::Int64(11)], vec![Value::Int64(12)]]);
+    }
+
+    #[test]
+    fn limit_truncates() {
+        let mut l = LimitExec::new(source(1, &[1, 2, 3, 4]), 2);
+        assert_eq!(drain(&mut l).unwrap().len(), 2);
+        let mut l = LimitExec::new(source(1, &[1]), 5);
+        assert_eq!(drain(&mut l).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn union_concatenates_in_order() {
+        let mut u = UnionAllExec::new(
+            vec![source(1, &[1]), source(2, &[2, 3])],
+            one_col_schema(7),
+        );
+        let rows = drain(&mut u).unwrap();
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0], vec![Value::Int64(1)]);
+        assert_eq!(rows[2], vec![Value::Int64(3)]);
+    }
+
+    #[test]
+    fn enforce_single_row_semantics() {
+        let mut ok = EnforceSingleRowExec::new(source(1, &[42]));
+        assert_eq!(drain(&mut ok).unwrap(), vec![vec![Value::Int64(42)]]);
+
+        let mut empty = EnforceSingleRowExec::new(source(1, &[]));
+        assert_eq!(drain(&mut empty).unwrap(), vec![vec![Value::Null]]);
+
+        let mut many = EnforceSingleRowExec::new(source(1, &[1, 2]));
+        assert!(matches!(
+            drain(&mut many),
+            Err(FusionError::SingleRowViolation(2))
+        ));
+    }
+}

@@ -1,0 +1,86 @@
+//! Pull-based streaming operators.
+
+pub mod agg;
+pub mod basic;
+pub mod distinct;
+pub mod join;
+pub mod scan;
+pub mod sort;
+
+use std::collections::HashMap;
+
+use fusion_common::{ColumnId, FusionError, Result, Schema, Value};
+use fusion_expr::{Expr, Resolver};
+
+use crate::{Chunk, Row};
+
+/// A streaming operator: repeatedly yields chunks of rows until exhausted.
+pub trait Operator {
+    fn schema(&self) -> &Schema;
+    fn next_chunk(&mut self) -> Result<Option<Chunk>>;
+}
+
+/// Boxed operator, the unit of plan composition.
+pub type BoxedOp = Box<dyn Operator>;
+
+/// Drain an operator to completion.
+pub fn drain(op: &mut dyn Operator) -> Result<Vec<Row>> {
+    let mut out = Vec::new();
+    while let Some(chunk) = op.next_chunk()? {
+        out.extend(chunk);
+    }
+    Ok(out)
+}
+
+/// Column-identity → row-position index for one operator input.
+#[derive(Debug, Clone)]
+pub struct RowIndex {
+    map: HashMap<ColumnId, usize>,
+}
+
+impl RowIndex {
+    pub fn new(schema: &Schema) -> Self {
+        RowIndex {
+            map: schema
+                .fields()
+                .iter()
+                .enumerate()
+                .map(|(i, f)| (f.id, i))
+                .collect(),
+        }
+    }
+
+    pub fn position(&self, id: ColumnId) -> Result<usize> {
+        self.map.get(&id).copied().ok_or_else(|| {
+            FusionError::Execution(format!("column {id} not found in operator input"))
+        })
+    }
+
+    /// Evaluate an expression against a row.
+    pub fn eval(&self, expr: &Expr, row: &[Value]) -> Result<Value> {
+        fusion_expr::eval(expr, &RowRef { index: self, row })
+    }
+
+    /// Evaluate a predicate (NULL counts as false).
+    pub fn eval_pred(&self, expr: &Expr, row: &[Value]) -> Result<bool> {
+        Ok(self.eval(expr, row)?.as_bool() == Some(true))
+    }
+}
+
+/// Resolver over a borrowed row.
+pub struct RowRef<'a> {
+    pub index: &'a RowIndex,
+    pub row: &'a [Value],
+}
+
+impl Resolver for RowRef<'_> {
+    fn value(&self, id: ColumnId) -> Result<Value> {
+        let pos = self.index.position(id)?;
+        Ok(self.row[pos].clone())
+    }
+}
+
+/// Estimated in-memory size of a row, for the state-bytes meter.
+pub fn row_bytes(row: &[Value]) -> i64 {
+    row.iter().map(|v| v.encoded_size() as i64 + 8).sum()
+}

@@ -1,0 +1,171 @@
+//! Sort operator.
+
+use std::cmp::Ordering;
+use std::sync::Arc;
+
+use fusion_common::{Result, Schema, Value};
+use fusion_plan::SortKey;
+
+use crate::metrics::{ExecMetrics, StateReservation};
+use crate::ops::{drain, row_bytes, BoxedOp, Operator, RowIndex};
+use crate::{Chunk, Row, CHUNK_SIZE};
+
+/// Fully materializing sort.
+pub struct SortExec {
+    input: Option<BoxedOp>,
+    keys: Vec<SortKey>,
+    index: RowIndex,
+    schema: Schema,
+    metrics: Arc<ExecMetrics>,
+    output: Option<std::vec::IntoIter<Row>>,
+}
+
+impl SortExec {
+    pub fn new(input: BoxedOp, keys: Vec<SortKey>, metrics: Arc<ExecMetrics>) -> Self {
+        let schema = input.schema().clone();
+        let index = RowIndex::new(&schema);
+        SortExec {
+            input: Some(input),
+            keys,
+            index,
+            schema,
+            metrics,
+            output: None,
+        }
+    }
+
+    fn compute(&mut self) -> Result<Vec<Row>> {
+        let mut input = self.input.take().expect("computed once");
+        let rows = drain(input.as_mut())?;
+        let bytes: i64 = rows.iter().map(|r| row_bytes(r)).sum();
+        let _reservation = StateReservation::new(self.metrics.clone(), bytes);
+
+        // Precompute key tuples to avoid re-evaluating during comparisons.
+        let mut keyed: Vec<(Vec<Value>, Row)> = rows
+            .into_iter()
+            .map(|row| {
+                let keys: Result<Vec<Value>> = self
+                    .keys
+                    .iter()
+                    .map(|k| self.index.eval(&k.expr, &row))
+                    .collect();
+                keys.map(|k| (k, row))
+            })
+            .collect::<Result<_>>()?;
+
+        let specs: Vec<(bool, bool)> = self.keys.iter().map(|k| (k.asc, k.nulls_first)).collect();
+        keyed.sort_by(|(ka, _), (kb, _)| {
+            for (i, (asc, nulls_first)) in specs.iter().enumerate() {
+                let a = &ka[i];
+                let b = &kb[i];
+                let ord = match (a.is_null(), b.is_null()) {
+                    (true, true) => Ordering::Equal,
+                    (true, false) => {
+                        if *nulls_first {
+                            Ordering::Less
+                        } else {
+                            Ordering::Greater
+                        }
+                    }
+                    (false, true) => {
+                        if *nulls_first {
+                            Ordering::Greater
+                        } else {
+                            Ordering::Less
+                        }
+                    }
+                    (false, false) => {
+                        let o = a.cmp(b);
+                        if *asc {
+                            o
+                        } else {
+                            o.reverse()
+                        }
+                    }
+                };
+                if ord != Ordering::Equal {
+                    return ord;
+                }
+            }
+            Ordering::Equal
+        });
+        Ok(keyed.into_iter().map(|(_, r)| r).collect())
+    }
+}
+
+impl Operator for SortExec {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn next_chunk(&mut self) -> Result<Option<Chunk>> {
+        if self.output.is_none() {
+            let rows = self.compute()?;
+            self.output = Some(rows.into_iter());
+        }
+        let it = self.output.as_mut().unwrap();
+        let chunk: Vec<Row> = it.take(CHUNK_SIZE).collect();
+        if chunk.is_empty() {
+            Ok(None)
+        } else {
+            Ok(Some(chunk))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::basic::ConstantTableExec;
+    use fusion_common::{ColumnId, DataType, Field};
+    use fusion_expr::col;
+
+    fn source(values: Vec<Value>) -> BoxedOp {
+        let schema = Schema::new(vec![Field::new(ColumnId(1), "x", DataType::Int64, true)]);
+        Box::new(ConstantTableExec::new(
+            values.into_iter().map(|v| vec![v]).collect(),
+            schema,
+        ))
+    }
+
+    #[test]
+    fn ascending_sort_nulls_last_by_default() {
+        let mut s = SortExec::new(
+            source(vec![Value::Int64(3), Value::Null, Value::Int64(1)]),
+            vec![SortKey::asc(col(ColumnId(1)))],
+            ExecMetrics::new(),
+        );
+        let rows = drain(&mut s).unwrap();
+        assert_eq!(
+            rows,
+            vec![vec![Value::Int64(1)], vec![Value::Int64(3)], vec![Value::Null]]
+        );
+    }
+
+    #[test]
+    fn descending_sort() {
+        let mut s = SortExec::new(
+            source(vec![Value::Int64(1), Value::Int64(3), Value::Int64(2)]),
+            vec![SortKey::desc(col(ColumnId(1)))],
+            ExecMetrics::new(),
+        );
+        let rows = drain(&mut s).unwrap();
+        assert_eq!(
+            rows,
+            vec![vec![Value::Int64(3)], vec![Value::Int64(2)], vec![Value::Int64(1)]]
+        );
+    }
+
+    #[test]
+    fn nulls_first_when_requested() {
+        let mut key = SortKey::asc(col(ColumnId(1)));
+        key.nulls_first = true;
+        let mut s = SortExec::new(
+            source(vec![Value::Int64(1), Value::Null]),
+            vec![key],
+            ExecMetrics::new(),
+        );
+        let rows = drain(&mut s).unwrap();
+        assert_eq!(rows[0], vec![Value::Null]);
+    }
+}

@@ -1,0 +1,434 @@
+//! Row-based expression evaluation with SQL three-valued logic.
+
+use std::cmp::Ordering;
+
+use fusion_common::{ColumnId, DataType, FusionError, Result, Value};
+
+use crate::expr::{BinaryOp, Expr, ScalarFunc};
+
+/// Resolve a column reference to a value for the current row.
+pub trait Resolver {
+    fn value(&self, id: ColumnId) -> Result<Value>;
+}
+
+impl<F> Resolver for F
+where
+    F: Fn(ColumnId) -> Result<Value>,
+{
+    fn value(&self, id: ColumnId) -> Result<Value> {
+        self(id)
+    }
+}
+
+/// Evaluate `expr` against a row.
+pub fn eval(expr: &Expr, row: &dyn Resolver) -> Result<Value> {
+    match expr {
+        Expr::Column(id) => row.value(*id),
+        Expr::Literal(v) => Ok(v.clone()),
+        Expr::Binary { op, left, right } => eval_binary(*op, left, right, row),
+        Expr::Not(e) => match eval(e, row)? {
+            Value::Null => Ok(Value::Null),
+            Value::Boolean(b) => Ok(Value::Boolean(!b)),
+            v => Err(FusionError::Type(format!("NOT applied to {v}"))),
+        },
+        Expr::Negate(e) => match eval(e, row)? {
+            Value::Null => Ok(Value::Null),
+            Value::Int64(i) => Ok(Value::Int64(-i)),
+            Value::Float64(f) => Ok(Value::Float64(-f)),
+            v => Err(FusionError::Type(format!("negation applied to {v}"))),
+        },
+        Expr::IsNull(e) => Ok(Value::Boolean(eval(e, row)?.is_null())),
+        Expr::IsNotNull(e) => Ok(Value::Boolean(!eval(e, row)?.is_null())),
+        Expr::Case {
+            branches,
+            else_expr,
+        } => {
+            for (cond, value) in branches {
+                if eval(cond, row)?.as_bool() == Some(true) {
+                    return eval(value, row);
+                }
+            }
+            match else_expr {
+                Some(e) => eval(e, row),
+                None => Ok(Value::Null),
+            }
+        }
+        Expr::InList {
+            expr,
+            list,
+            negated,
+        } => {
+            let v = eval(expr, row)?;
+            if v.is_null() {
+                return Ok(Value::Null);
+            }
+            let mut saw_null = false;
+            for item in list {
+                let iv = eval(item, row)?;
+                match v.sql_cmp(&iv) {
+                    Some(Ordering::Equal) => {
+                        return Ok(Value::Boolean(!negated));
+                    }
+                    None => saw_null = true,
+                    _ => {}
+                }
+            }
+            if saw_null {
+                Ok(Value::Null)
+            } else {
+                Ok(Value::Boolean(*negated))
+            }
+        }
+        Expr::Cast { expr, to } => cast(eval(expr, row)?, *to),
+        Expr::ScalarFunction { func, args } => match func {
+            ScalarFunc::Coalesce => {
+                for a in args {
+                    let v = eval(a, row)?;
+                    if !v.is_null() {
+                        return Ok(v);
+                    }
+                }
+                Ok(Value::Null)
+            }
+            ScalarFunc::Abs => {
+                let v = args
+                    .first()
+                    .map(|a| eval(a, row))
+                    .transpose()?
+                    .unwrap_or(Value::Null);
+                Ok(match v {
+                    Value::Int64(i) => Value::Int64(i.abs()),
+                    Value::Float64(f) => Value::Float64(f.abs()),
+                    Value::Null => Value::Null,
+                    other => {
+                        return Err(FusionError::Type(format!("ABS applied to {other}")))
+                    }
+                })
+            }
+        },
+    }
+}
+
+/// Convenience: evaluate a boolean predicate; returns `false` for NULL
+/// (filter semantics: keep only rows where the predicate is TRUE).
+pub fn eval_predicate(expr: &Expr, row: &dyn Resolver) -> Result<bool> {
+    Ok(eval(expr, row)?.as_bool() == Some(true))
+}
+
+fn eval_binary(op: BinaryOp, left: &Expr, right: &Expr, row: &dyn Resolver) -> Result<Value> {
+    // AND/OR need three-valued short-circuit semantics.
+    if op == BinaryOp::And {
+        let l = eval(left, row)?;
+        if l.as_bool() == Some(false) {
+            return Ok(Value::Boolean(false));
+        }
+        let r = eval(right, row)?;
+        return Ok(match (l.as_bool(), r.as_bool()) {
+            (_, Some(false)) => Value::Boolean(false),
+            (Some(true), Some(true)) => Value::Boolean(true),
+            _ => Value::Null,
+        });
+    }
+    if op == BinaryOp::Or {
+        let l = eval(left, row)?;
+        if l.as_bool() == Some(true) {
+            return Ok(Value::Boolean(true));
+        }
+        let r = eval(right, row)?;
+        return Ok(match (l.as_bool(), r.as_bool()) {
+            (_, Some(true)) => Value::Boolean(true),
+            (Some(false), Some(false)) => Value::Boolean(false),
+            _ => Value::Null,
+        });
+    }
+
+    let l = eval(left, row)?;
+    let r = eval(right, row)?;
+    if l.is_null() || r.is_null() {
+        return Ok(Value::Null);
+    }
+    if op.is_comparison() {
+        let ord = l.sql_cmp(&r).ok_or_else(|| {
+            FusionError::Type(format!("cannot compare {l} with {r}"))
+        })?;
+        let b = match op {
+            BinaryOp::Eq => ord == Ordering::Equal,
+            BinaryOp::NotEq => ord != Ordering::Equal,
+            BinaryOp::Lt => ord == Ordering::Less,
+            BinaryOp::LtEq => ord != Ordering::Greater,
+            BinaryOp::Gt => ord == Ordering::Greater,
+            BinaryOp::GtEq => ord != Ordering::Less,
+            _ => unreachable!(),
+        };
+        return Ok(Value::Boolean(b));
+    }
+    arith(op, &l, &r)
+}
+
+fn arith(op: BinaryOp, l: &Value, r: &Value) -> Result<Value> {
+    // Integer arithmetic stays integral except division.
+    if let (Value::Int64(a), Value::Int64(b)) = (l, r) {
+        return Ok(match op {
+            BinaryOp::Plus => Value::Int64(a.wrapping_add(*b)),
+            BinaryOp::Minus => Value::Int64(a.wrapping_sub(*b)),
+            BinaryOp::Multiply => Value::Int64(a.wrapping_mul(*b)),
+            BinaryOp::Divide => {
+                if *b == 0 {
+                    Value::Null
+                } else {
+                    Value::Float64(*a as f64 / *b as f64)
+                }
+            }
+            BinaryOp::Modulo => {
+                if *b == 0 {
+                    Value::Null
+                } else {
+                    Value::Int64(a.wrapping_rem(*b))
+                }
+            }
+            _ => return Err(FusionError::Type(format!("bad arithmetic op {op}"))),
+        });
+    }
+    let (a, b) = match (l.as_f64(), r.as_f64()) {
+        (Some(a), Some(b)) => (a, b),
+        _ => {
+            return Err(FusionError::Type(format!(
+                "cannot apply {op} to {l} and {r}"
+            )))
+        }
+    };
+    Ok(match op {
+        BinaryOp::Plus => Value::Float64(a + b),
+        BinaryOp::Minus => Value::Float64(a - b),
+        BinaryOp::Multiply => Value::Float64(a * b),
+        BinaryOp::Divide => {
+            if b == 0.0 {
+                Value::Null
+            } else {
+                Value::Float64(a / b)
+            }
+        }
+        BinaryOp::Modulo => {
+            if b == 0.0 {
+                Value::Null
+            } else {
+                Value::Float64(a % b)
+            }
+        }
+        _ => return Err(FusionError::Type(format!("bad arithmetic op {op}"))),
+    })
+}
+
+/// Cast a value to a target type.
+pub fn cast(v: Value, to: DataType) -> Result<Value> {
+    if v.is_null() {
+        return Ok(Value::Null);
+    }
+    let out = match (v.clone(), to) {
+        (Value::Int64(i), DataType::Int64) => Value::Int64(i),
+        (Value::Int64(i), DataType::Float64) => Value::Float64(i as f64),
+        (Value::Float64(f), DataType::Float64) => Value::Float64(f),
+        (Value::Float64(f), DataType::Int64) => Value::Int64(f as i64),
+        (Value::Boolean(b), DataType::Boolean) => Value::Boolean(b),
+        (Value::Utf8(s), DataType::Utf8) => Value::Utf8(s),
+        (Value::Date(d), DataType::Date) => Value::Date(d),
+        (Value::Date(d), DataType::Int64) => Value::Int64(d as i64),
+        (Value::Int64(i), DataType::Date) => Value::Date(i as i32),
+        (Value::Utf8(s), DataType::Int64) => s
+            .trim()
+            .parse::<i64>()
+            .map(Value::Int64)
+            .map_err(|_| FusionError::Type(format!("cannot cast '{s}' to BIGINT")))?,
+        (Value::Utf8(s), DataType::Float64) => s
+            .trim()
+            .parse::<f64>()
+            .map(Value::Float64)
+            .map_err(|_| FusionError::Type(format!("cannot cast '{s}' to DOUBLE")))?,
+        (Value::Int64(i), DataType::Utf8) => Value::Utf8(i.to_string()),
+        (Value::Float64(f), DataType::Utf8) => Value::Utf8(f.to_string()),
+        (v, to) => {
+            return Err(FusionError::Type(format!("cannot cast {v} to {to}")));
+        }
+    };
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{col, lit};
+    use std::collections::HashMap;
+
+    struct Row(HashMap<ColumnId, Value>);
+    impl Resolver for Row {
+        fn value(&self, id: ColumnId) -> Result<Value> {
+            self.0
+                .get(&id)
+                .cloned()
+                .ok_or_else(|| FusionError::Execution(format!("no column {id}")))
+        }
+    }
+
+    fn row(pairs: &[(u32, Value)]) -> Row {
+        Row(pairs
+            .iter()
+            .map(|(i, v)| (ColumnId(*i), v.clone()))
+            .collect())
+    }
+
+    #[test]
+    fn three_valued_and_or() {
+        let r = row(&[(1, Value::Null), (2, Value::Boolean(false))]);
+        // NULL AND FALSE = FALSE
+        let e = col(ColumnId(1)).and(col(ColumnId(2)));
+        assert_eq!(eval(&e, &r).unwrap(), Value::Boolean(false));
+        // NULL OR FALSE = NULL
+        let e = col(ColumnId(1)).or(col(ColumnId(2)));
+        assert_eq!(eval(&e, &r).unwrap(), Value::Null);
+        // NULL OR TRUE = TRUE
+        let e = col(ColumnId(1)).or(lit(true));
+        assert_eq!(eval(&e, &r).unwrap(), Value::Boolean(true));
+    }
+
+    #[test]
+    fn null_propagates_through_comparisons_and_arith() {
+        let r = row(&[(1, Value::Null)]);
+        assert_eq!(
+            eval(&col(ColumnId(1)).gt(lit(1i64)), &r).unwrap(),
+            Value::Null
+        );
+        assert_eq!(
+            eval(&col(ColumnId(1)).add(lit(1i64)), &r).unwrap(),
+            Value::Null
+        );
+        assert_eq!(
+            eval(&col(ColumnId(1)).is_null(), &r).unwrap(),
+            Value::Boolean(true)
+        );
+    }
+
+    #[test]
+    fn in_list_with_null_semantics() {
+        let r = row(&[(1, Value::Int64(3))]);
+        let e = Expr::InList {
+            expr: Box::new(col(ColumnId(1))),
+            list: vec![lit(1i64), lit(3i64)],
+            negated: false,
+        };
+        assert_eq!(eval(&e, &r).unwrap(), Value::Boolean(true));
+        // 3 NOT IN (1, NULL) => NULL (unknown)
+        let e = Expr::InList {
+            expr: Box::new(col(ColumnId(1))),
+            list: vec![lit(1i64), Expr::Literal(Value::Null)],
+            negated: true,
+        };
+        assert_eq!(eval(&e, &r).unwrap(), Value::Null);
+    }
+
+    #[test]
+    fn case_falls_through_to_else() {
+        let r = row(&[(1, Value::Int64(5))]);
+        let e = Expr::Case {
+            branches: vec![
+                (col(ColumnId(1)).gt(lit(10i64)), lit("big")),
+                (col(ColumnId(1)).gt(lit(3i64)), lit("mid")),
+            ],
+            else_expr: Some(Box::new(lit("small"))),
+        };
+        assert_eq!(eval(&e, &r).unwrap(), Value::Utf8("mid".into()));
+    }
+
+    #[test]
+    fn division_by_zero_is_null() {
+        let r = row(&[]);
+        assert_eq!(eval(&lit(1i64).div(lit(0i64)), &r).unwrap(), Value::Null);
+        assert_eq!(eval(&lit(1.0).div(lit(0.0)), &r).unwrap(), Value::Null);
+    }
+
+    #[test]
+    fn integer_arithmetic_stays_integral() {
+        let r = row(&[]);
+        assert_eq!(
+            eval(&lit(2i64).add(lit(3i64)), &r).unwrap(),
+            Value::Int64(5)
+        );
+        assert_eq!(
+            eval(&lit(7i64).div(lit(2i64)), &r).unwrap(),
+            Value::Float64(3.5)
+        );
+    }
+
+    #[test]
+    fn casts() {
+        assert_eq!(
+            cast(Value::Utf8("42".into()), DataType::Int64).unwrap(),
+            Value::Int64(42)
+        );
+        assert_eq!(
+            cast(Value::Int64(3), DataType::Float64).unwrap(),
+            Value::Float64(3.0)
+        );
+        assert!(cast(Value::Boolean(true), DataType::Int64).is_err());
+        assert_eq!(cast(Value::Null, DataType::Int64).unwrap(), Value::Null);
+    }
+
+    #[test]
+    fn eval_predicate_treats_null_as_false() {
+        let r = row(&[(1, Value::Null)]);
+        assert!(!eval_predicate(&col(ColumnId(1)).gt(lit(1i64)), &r).unwrap());
+    }
+}
+
+#[cfg(test)]
+mod scalar_func_tests {
+    use super::*;
+    use crate::expr::{col, lit, Expr, ScalarFunc};
+    use std::collections::HashMap;
+
+    struct Row(HashMap<ColumnId, Value>);
+    impl Resolver for Row {
+        fn value(&self, id: ColumnId) -> Result<Value> {
+            self.0
+                .get(&id)
+                .cloned()
+                .ok_or_else(|| FusionError::Execution(format!("no column {id}")))
+        }
+    }
+
+    #[test]
+    fn coalesce_returns_first_non_null() {
+        let r = Row([(ColumnId(1), Value::Null), (ColumnId(2), Value::Int64(7))]
+            .into_iter()
+            .collect());
+        let e = Expr::ScalarFunction {
+            func: ScalarFunc::Coalesce,
+            args: vec![col(ColumnId(1)), col(ColumnId(2)), lit(0i64)],
+        };
+        assert_eq!(eval(&e, &r).unwrap(), Value::Int64(7));
+        let all_null = Expr::ScalarFunction {
+            func: ScalarFunc::Coalesce,
+            args: vec![col(ColumnId(1))],
+        };
+        assert_eq!(eval(&all_null, &r).unwrap(), Value::Null);
+    }
+
+    #[test]
+    fn abs_handles_ints_floats_and_null() {
+        let r = Row([(ColumnId(1), Value::Int64(-5))].into_iter().collect());
+        let e = Expr::ScalarFunction {
+            func: ScalarFunc::Abs,
+            args: vec![col(ColumnId(1))],
+        };
+        assert_eq!(eval(&e, &r).unwrap(), Value::Int64(5));
+        let e = Expr::ScalarFunction {
+            func: ScalarFunc::Abs,
+            args: vec![lit(-2.5)],
+        };
+        assert_eq!(eval(&e, &r).unwrap(), Value::Float64(2.5));
+        let e = Expr::ScalarFunction {
+            func: ScalarFunc::Abs,
+            args: vec![Expr::Literal(Value::Null)],
+        };
+        assert_eq!(eval(&e, &r).unwrap(), Value::Null);
+    }
+}

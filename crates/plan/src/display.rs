@@ -1,0 +1,155 @@
+//! Explain output: indented, one operator per line.
+
+use std::fmt;
+
+use crate::plan::LogicalPlan;
+
+/// Wrapper whose `Display` renders the indented plan tree.
+pub struct DisplayPlan<'a>(pub &'a LogicalPlan);
+
+impl LogicalPlan {
+    /// Render the plan as an indented tree (EXPLAIN-style).
+    pub fn display(&self) -> String {
+        format!("{}", DisplayPlan(self))
+    }
+}
+
+impl fmt::Display for DisplayPlan<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn write_node(
+            plan: &LogicalPlan,
+            indent: usize,
+            f: &mut fmt::Formatter<'_>,
+        ) -> fmt::Result {
+            for _ in 0..indent {
+                f.write_str("  ")?;
+            }
+            match plan {
+                LogicalPlan::Scan(s) => {
+                    write!(f, "Scan: {} cols=[", s.table)?;
+                    for (i, field) in s.fields.iter().enumerate() {
+                        if i > 0 {
+                            f.write_str(", ")?;
+                        }
+                        write!(f, "{}{}", field.name, field.id)?;
+                    }
+                    f.write_str("]")?;
+                    if !s.filters.is_empty() {
+                        f.write_str(" pushed=[")?;
+                        for (i, e) in s.filters.iter().enumerate() {
+                            if i > 0 {
+                                f.write_str(" AND ")?;
+                            }
+                            write!(f, "{e}")?;
+                        }
+                        f.write_str("]")?;
+                    }
+                }
+                LogicalPlan::Filter(x) => write!(f, "Filter: {}", x.predicate)?,
+                LogicalPlan::Project(p) => {
+                    f.write_str("Project: ")?;
+                    for (i, pe) in p.exprs.iter().enumerate() {
+                        if i > 0 {
+                            f.write_str(", ")?;
+                        }
+                        write!(f, "{}{}:={}", pe.name, pe.id, pe.expr)?;
+                    }
+                }
+                LogicalPlan::Join(j) => {
+                    write!(f, "{} Join", j.join_type)?;
+                    if !j.condition.is_true_literal() {
+                        write!(f, ": {}", j.condition)?;
+                    }
+                }
+                LogicalPlan::Aggregate(a) => {
+                    f.write_str("Aggregate: groupBy=[")?;
+                    for (i, g) in a.group_by.iter().enumerate() {
+                        if i > 0 {
+                            f.write_str(", ")?;
+                        }
+                        write!(f, "{g}")?;
+                    }
+                    f.write_str("] aggs=[")?;
+                    for (i, assign) in a.aggregates.iter().enumerate() {
+                        if i > 0 {
+                            f.write_str(", ")?;
+                        }
+                        write!(f, "{}{}:={}", assign.name, assign.id, assign.agg)?;
+                    }
+                    f.write_str("]")?;
+                }
+                LogicalPlan::Window(w) => {
+                    f.write_str("Window: ")?;
+                    for (i, assign) in w.exprs.iter().enumerate() {
+                        if i > 0 {
+                            f.write_str(", ")?;
+                        }
+                        write!(f, "{}{}:={}", assign.name, assign.id, assign.window)?;
+                    }
+                }
+                LogicalPlan::MarkDistinct(m) => {
+                    write!(f, "MarkDistinct: {}{} over [", m.mark_name, m.mark_id)?;
+                    for (i, c) in m.columns.iter().enumerate() {
+                        if i > 0 {
+                            f.write_str(", ")?;
+                        }
+                        write!(f, "{c}")?;
+                    }
+                    f.write_str("]")?;
+                    if !m.mask.is_true_literal() {
+                        write!(f, " mask={}", m.mask)?;
+                    }
+                }
+                LogicalPlan::UnionAll(u) => {
+                    write!(f, "UnionAll: {} inputs", u.inputs.len())?;
+                }
+                LogicalPlan::ConstantTable(c) => {
+                    write!(f, "ConstantTable: {} rows", c.rows.len())?;
+                }
+                LogicalPlan::EnforceSingleRow(_) => f.write_str("EnforceSingleRow")?,
+                LogicalPlan::Sort(s) => {
+                    f.write_str("Sort: ")?;
+                    for (i, k) in s.keys.iter().enumerate() {
+                        if i > 0 {
+                            f.write_str(", ")?;
+                        }
+                        write!(f, "{} {}", k.expr, if k.asc { "ASC" } else { "DESC" })?;
+                    }
+                }
+                LogicalPlan::Limit(l) => write!(f, "Limit: {}", l.fetch)?,
+            }
+            f.write_str("\n")?;
+            for child in plan.children() {
+                write_node(child, indent + 1, f)?;
+            }
+            Ok(())
+        }
+        write_node(self.0, 0, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::plan::{Filter, LogicalPlan, Scan};
+    use fusion_common::{DataType, Field, IdGen};
+    use fusion_expr::{col, lit};
+
+    #[test]
+    fn display_is_indented_tree() {
+        let gen = IdGen::new();
+        let id = gen.fresh();
+        let plan = LogicalPlan::Filter(Filter {
+            input: Box::new(LogicalPlan::Scan(Scan {
+                table: "item".into(),
+                fields: vec![Field::new(id, "i_item_sk", DataType::Int64, false)],
+                column_indices: vec![0],
+                filters: vec![],
+            })),
+            predicate: col(id).gt(lit(5i64)),
+        });
+        let s = plan.display();
+        let lines: Vec<&str> = s.lines().collect();
+        assert!(lines[0].starts_with("Filter:"));
+        assert!(lines[1].starts_with("  Scan: item"));
+    }
+}

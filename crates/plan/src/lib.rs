@@ -1,0 +1,27 @@
+//! Logical plan IR for the athena-fusion engine.
+//!
+//! Plans are trees of standard relational operators. A deliberate design
+//! point, inherited from the paper: **query fusion introduces no new
+//! operators** — fused results are expressed with the operators in this
+//! crate (`Filter`, `Project`, `Aggregate` with masks, `Window`,
+//! `MarkDistinct`, `UnionAll`, `ConstantTable`, ...), so every other
+//! optimizer rule composes with fusion output unchanged.
+//!
+//! Operators carry identity-based schemas (`fusion_common::Field`), and
+//! grouping columns of an [`Aggregate`] *reuse* the input column
+//! identities (a grouped `ss_store_sk` is still the same value, just
+//! deduplicated), which makes the paper's `K1 = M(K2)` grouping-key test a
+//! set comparison over `ColumnId`s.
+
+pub mod builder;
+pub mod display;
+pub mod plan;
+pub mod validate;
+pub mod visit;
+
+pub use builder::PlanBuilder;
+pub use plan::{
+    AggAssign, Aggregate, ConstantTable, EnforceSingleRow, Filter, Join, JoinType, Limit,
+    LogicalPlan, MarkDistinct, Project, ProjExpr, Scan, Sort, SortKey, UnionAll, Window,
+    WindowAssign,
+};

@@ -1,0 +1,356 @@
+//! Abstract syntax tree for the supported SQL subset.
+
+/// A full query: optional CTEs, a set expression, ordering and limit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Query {
+    pub ctes: Vec<(String, Query)>,
+    pub body: SetExpr,
+    pub order_by: Vec<OrderItem>,
+    pub limit: Option<u64>,
+}
+
+/// Query body: a SELECT or a UNION ALL chain.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SetExpr {
+    Select(Box<Select>),
+    UnionAll(Box<SetExpr>, Box<SetExpr>),
+}
+
+/// One SELECT block.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Select {
+    pub distinct: bool,
+    pub projection: Vec<SelectItem>,
+    pub from: Vec<TableRef>,
+    pub selection: Option<AstExpr>,
+    pub group_by: Vec<AstExpr>,
+    pub having: Option<AstExpr>,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectItem {
+    /// `*`
+    Wildcard,
+    /// `alias.*`
+    QualifiedWildcard(String),
+    /// `expr [AS alias]`
+    Expr {
+        expr: AstExpr,
+        alias: Option<String>,
+    },
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub enum TableRef {
+    Table {
+        name: String,
+        alias: Option<String>,
+    },
+    Subquery {
+        query: Box<Query>,
+        alias: String,
+    },
+    Join {
+        left: Box<TableRef>,
+        right: Box<TableRef>,
+        kind: JoinKind,
+        on: Option<AstExpr>,
+    },
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinKind {
+    Inner,
+    Left,
+    Cross,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub struct OrderItem {
+    pub expr: AstExpr,
+    pub asc: bool,
+}
+
+/// Binary operators at the AST level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AstBinaryOp {
+    Eq,
+    NotEq,
+    Lt,
+    LtEq,
+    Gt,
+    GtEq,
+    Plus,
+    Minus,
+    Multiply,
+    Divide,
+    Modulo,
+    And,
+    Or,
+}
+
+/// Expressions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AstExpr {
+    /// Possibly-qualified identifier: `a` or `t.a`.
+    Ident(Vec<String>),
+    Number(String),
+    String(String),
+    Bool(bool),
+    Null,
+    Binary {
+        op: AstBinaryOp,
+        left: Box<AstExpr>,
+        right: Box<AstExpr>,
+    },
+    Not(Box<AstExpr>),
+    Negate(Box<AstExpr>),
+    IsNull {
+        expr: Box<AstExpr>,
+        negated: bool,
+    },
+    Between {
+        expr: Box<AstExpr>,
+        low: Box<AstExpr>,
+        high: Box<AstExpr>,
+        negated: bool,
+    },
+    InList {
+        expr: Box<AstExpr>,
+        list: Vec<AstExpr>,
+        negated: bool,
+    },
+    InSubquery {
+        expr: Box<AstExpr>,
+        query: Box<Query>,
+        negated: bool,
+    },
+    ScalarSubquery(Box<Query>),
+    Case {
+        operand: Option<Box<AstExpr>>,
+        branches: Vec<(AstExpr, AstExpr)>,
+        else_expr: Option<Box<AstExpr>>,
+    },
+    Cast {
+        expr: Box<AstExpr>,
+        ty: String,
+    },
+    /// Function call: aggregates, and (with `over`) window aggregates.
+    Function {
+        name: String,
+        args: Vec<AstExpr>,
+        distinct: bool,
+        /// `FILTER (WHERE ...)`
+        filter: Option<Box<AstExpr>>,
+        /// `OVER (PARTITION BY ...)`
+        over: Option<Vec<AstExpr>>,
+    },
+    /// `*` as a function argument (`COUNT(*)`).
+    Star,
+}
+
+impl AstExpr {
+    /// Rewrite every identifier through `f` (used by ORDER-BY resolution
+    /// to strip stale qualifiers).
+    pub fn map_idents(self, f: &dyn Fn(&Vec<String>) -> Vec<String>) -> AstExpr {
+        match self {
+            AstExpr::Ident(parts) => AstExpr::Ident(f(&parts)),
+            AstExpr::Binary { op, left, right } => AstExpr::Binary {
+                op,
+                left: Box::new(left.map_idents(f)),
+                right: Box::new(right.map_idents(f)),
+            },
+            AstExpr::Not(e) => AstExpr::Not(Box::new(e.map_idents(f))),
+            AstExpr::Negate(e) => AstExpr::Negate(Box::new(e.map_idents(f))),
+            AstExpr::IsNull { expr, negated } => AstExpr::IsNull {
+                expr: Box::new(expr.map_idents(f)),
+                negated,
+            },
+            AstExpr::Between {
+                expr,
+                low,
+                high,
+                negated,
+            } => AstExpr::Between {
+                expr: Box::new(expr.map_idents(f)),
+                low: Box::new(low.map_idents(f)),
+                high: Box::new(high.map_idents(f)),
+                negated,
+            },
+            AstExpr::InList {
+                expr,
+                list,
+                negated,
+            } => AstExpr::InList {
+                expr: Box::new(expr.map_idents(f)),
+                list: list.into_iter().map(|e| e.map_idents(f)).collect(),
+                negated,
+            },
+            AstExpr::Case {
+                operand,
+                branches,
+                else_expr,
+            } => AstExpr::Case {
+                operand: operand.map(|o| Box::new(o.map_idents(f))),
+                branches: branches
+                    .into_iter()
+                    .map(|(c, v)| (c.map_idents(f), v.map_idents(f)))
+                    .collect(),
+                else_expr: else_expr.map(|e| Box::new(e.map_idents(f))),
+            },
+            AstExpr::Cast { expr, ty } => AstExpr::Cast {
+                expr: Box::new(expr.map_idents(f)),
+                ty,
+            },
+            AstExpr::Function {
+                name,
+                args,
+                distinct,
+                filter,
+                over,
+            } => AstExpr::Function {
+                name,
+                args: args.into_iter().map(|a| a.map_idents(f)).collect(),
+                distinct,
+                filter: filter.map(|x| Box::new(x.map_idents(f))),
+                over: over.map(|ps| ps.into_iter().map(|p| p.map_idents(f)).collect()),
+            },
+            other => other,
+        }
+    }
+
+    /// Does this expression contain any (non-window) aggregate call?
+    pub fn has_aggregate(&self) -> bool {
+        let mut found = false;
+        self.walk(&mut |e| {
+            if let AstExpr::Function { name, over, .. } = e {
+                if over.is_none() && is_aggregate_name(name) {
+                    found = true;
+                }
+            }
+        });
+        found
+    }
+
+    /// Does this expression contain a window function call?
+    pub fn has_window(&self) -> bool {
+        let mut found = false;
+        self.walk(&mut |e| {
+            if let AstExpr::Function { over: Some(_), .. } = e {
+                found = true;
+            }
+        });
+        found
+    }
+
+    /// Visit all nodes pre-order (not descending into subqueries).
+    pub fn walk(&self, f: &mut dyn FnMut(&AstExpr)) {
+        f(self);
+        match self {
+            AstExpr::Binary { left, right, .. } => {
+                left.walk(f);
+                right.walk(f);
+            }
+            AstExpr::Not(e) | AstExpr::Negate(e) | AstExpr::Cast { expr: e, .. } => e.walk(f),
+            AstExpr::IsNull { expr, .. } => expr.walk(f),
+            AstExpr::Between {
+                expr, low, high, ..
+            } => {
+                expr.walk(f);
+                low.walk(f);
+                high.walk(f);
+            }
+            AstExpr::InList { expr, list, .. } => {
+                expr.walk(f);
+                for e in list {
+                    e.walk(f);
+                }
+            }
+            AstExpr::InSubquery { expr, .. } => expr.walk(f),
+            AstExpr::Case {
+                operand,
+                branches,
+                else_expr,
+            } => {
+                if let Some(o) = operand {
+                    o.walk(f);
+                }
+                for (c, v) in branches {
+                    c.walk(f);
+                    v.walk(f);
+                }
+                if let Some(e) = else_expr {
+                    e.walk(f);
+                }
+            }
+            AstExpr::Function { args, filter, over, .. } => {
+                for a in args {
+                    a.walk(f);
+                }
+                if let Some(fl) = filter {
+                    fl.walk(f);
+                }
+                if let Some(ps) = over {
+                    for p in ps {
+                        p.walk(f);
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Is this function name an aggregate?
+pub fn is_aggregate_name(name: &str) -> bool {
+    matches!(
+        name.to_ascii_uppercase().as_str(),
+        "COUNT" | "SUM" | "AVG" | "MIN" | "MAX"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregate_detection() {
+        let agg = AstExpr::Function {
+            name: "sum".into(),
+            args: vec![AstExpr::Ident(vec!["x".into()])],
+            distinct: false,
+            filter: None,
+            over: None,
+        };
+        assert!(agg.has_aggregate());
+        assert!(!agg.has_window());
+        let win = AstExpr::Function {
+            name: "avg".into(),
+            args: vec![AstExpr::Ident(vec!["x".into()])],
+            distinct: false,
+            filter: None,
+            over: Some(vec![AstExpr::Ident(vec!["k".into()])]),
+        };
+        assert!(!win.has_aggregate());
+        assert!(win.has_window());
+    }
+
+    #[test]
+    fn nested_aggregate_detected_through_case() {
+        let e = AstExpr::Case {
+            operand: None,
+            branches: vec![(
+                AstExpr::Bool(true),
+                AstExpr::Function {
+                    name: "COUNT".into(),
+                    args: vec![AstExpr::Star],
+                    distinct: false,
+                    filter: None,
+                    over: None,
+                },
+            )],
+            else_expr: None,
+        };
+        assert!(e.has_aggregate());
+    }
+}

@@ -1,0 +1,249 @@
+//! SQL lexer.
+
+use fusion_common::{FusionError, Result};
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Keyword or identifier (uppercased keywords are matched by the
+    /// parser; the original text is preserved).
+    Word(String),
+    /// Quoted identifier: `"name"`.
+    QuotedIdent(String),
+    /// Numeric literal text.
+    Number(String),
+    /// Single-quoted string literal (with `''` escapes resolved).
+    String(String),
+    Comma,
+    LParen,
+    RParen,
+    Dot,
+    Star,
+    Plus,
+    Minus,
+    Slash,
+    Percent,
+    Eq,
+    NotEq,
+    Lt,
+    LtEq,
+    Gt,
+    GtEq,
+    Eof,
+}
+
+impl Token {
+    /// Is this word token equal (case-insensitively) to the keyword?
+    pub fn is_kw(&self, kw: &str) -> bool {
+        matches!(self, Token::Word(w) if w.eq_ignore_ascii_case(kw))
+    }
+}
+
+/// Tokenize a SQL string.
+pub fn tokenize(input: &str) -> Result<Vec<Token>> {
+    let mut tokens = Vec::new();
+    let bytes = input.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\n' | '\r' => i += 1,
+            '-' if i + 1 < bytes.len() && bytes[i + 1] == b'-' => {
+                // line comment
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            ',' => {
+                tokens.push(Token::Comma);
+                i += 1;
+            }
+            '(' => {
+                tokens.push(Token::LParen);
+                i += 1;
+            }
+            ')' => {
+                tokens.push(Token::RParen);
+                i += 1;
+            }
+            '.' if !next_is_digit(bytes, i + 1) || !prev_is_word_or_none(&tokens) => {
+                tokens.push(Token::Dot);
+                i += 1;
+            }
+            '*' => {
+                tokens.push(Token::Star);
+                i += 1;
+            }
+            '+' => {
+                tokens.push(Token::Plus);
+                i += 1;
+            }
+            '-' => {
+                tokens.push(Token::Minus);
+                i += 1;
+            }
+            '/' => {
+                tokens.push(Token::Slash);
+                i += 1;
+            }
+            '%' => {
+                tokens.push(Token::Percent);
+                i += 1;
+            }
+            '=' => {
+                tokens.push(Token::Eq);
+                i += 1;
+            }
+            '!' if i + 1 < bytes.len() && bytes[i + 1] == b'=' => {
+                tokens.push(Token::NotEq);
+                i += 2;
+            }
+            '<' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    tokens.push(Token::LtEq);
+                    i += 2;
+                } else if i + 1 < bytes.len() && bytes[i + 1] == b'>' {
+                    tokens.push(Token::NotEq);
+                    i += 2;
+                } else {
+                    tokens.push(Token::Lt);
+                    i += 1;
+                }
+            }
+            '>' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    tokens.push(Token::GtEq);
+                    i += 2;
+                } else {
+                    tokens.push(Token::Gt);
+                    i += 1;
+                }
+            }
+            '\'' => {
+                let mut s = String::new();
+                i += 1;
+                loop {
+                    if i >= bytes.len() {
+                        return Err(FusionError::Sql("unterminated string literal".into()));
+                    }
+                    if bytes[i] == b'\'' {
+                        if i + 1 < bytes.len() && bytes[i + 1] == b'\'' {
+                            s.push('\'');
+                            i += 2;
+                            continue;
+                        }
+                        i += 1;
+                        break;
+                    }
+                    s.push(bytes[i] as char);
+                    i += 1;
+                }
+                tokens.push(Token::String(s));
+            }
+            '"' => {
+                let mut s = String::new();
+                i += 1;
+                while i < bytes.len() && bytes[i] != b'"' {
+                    s.push(bytes[i] as char);
+                    i += 1;
+                }
+                if i >= bytes.len() {
+                    return Err(FusionError::Sql("unterminated quoted identifier".into()));
+                }
+                i += 1;
+                tokens.push(Token::QuotedIdent(s));
+            }
+            '0'..='9' => {
+                let start = i;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_digit()
+                        || bytes[i] == b'.'
+                        || bytes[i] == b'e'
+                        || bytes[i] == b'E'
+                        || ((bytes[i] == b'+' || bytes[i] == b'-')
+                            && (bytes[i - 1] == b'e' || bytes[i - 1] == b'E')))
+                {
+                    i += 1;
+                }
+                tokens.push(Token::Number(input[start..i].to_string()));
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                tokens.push(Token::Word(input[start..i].to_string()));
+            }
+            other => {
+                return Err(FusionError::Sql(format!(
+                    "unexpected character `{other}` at byte {i}"
+                )));
+            }
+        }
+    }
+    tokens.push(Token::Eof);
+    Ok(tokens)
+}
+
+fn next_is_digit(bytes: &[u8], i: usize) -> bool {
+    i < bytes.len() && bytes[i].is_ascii_digit()
+}
+
+fn prev_is_word_or_none(tokens: &[Token]) -> bool {
+    matches!(
+        tokens.last(),
+        Some(Token::Word(_)) | Some(Token::QuotedIdent(_)) | Some(Token::RParen)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenizes_basic_select() {
+        let ts = tokenize("SELECT a, b FROM t WHERE a >= 1.5 AND b <> 'x''y'").unwrap();
+        assert!(ts.contains(&Token::GtEq));
+        assert!(ts.contains(&Token::Number("1.5".into())));
+        assert!(ts.contains(&Token::NotEq));
+        assert!(ts.contains(&Token::String("x'y".into())));
+        assert_eq!(*ts.last().unwrap(), Token::Eof);
+    }
+
+    #[test]
+    fn qualified_names_and_star() {
+        let ts = tokenize("SELECT t.a, t.* FROM s.t").unwrap();
+        let dots = ts.iter().filter(|t| **t == Token::Dot).count();
+        assert_eq!(dots, 3);
+        assert!(ts.contains(&Token::Star));
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let ts = tokenize("SELECT 1 -- trailing comment\n, 2").unwrap();
+        assert_eq!(
+            ts,
+            vec![
+                Token::Word("SELECT".into()),
+                Token::Number("1".into()),
+                Token::Comma,
+                Token::Number("2".into()),
+                Token::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn decimal_starting_number() {
+        let ts = tokenize("0.1 * x").unwrap();
+        assert_eq!(ts[0], Token::Number("0.1".into()));
+    }
+
+    #[test]
+    fn errors_on_garbage() {
+        assert!(tokenize("SELECT #").is_err());
+        assert!(tokenize("SELECT 'oops").is_err());
+    }
+}

@@ -1,0 +1,33 @@
+//! SQL frontend for the athena-fusion engine.
+//!
+//! A hand-written lexer, recursive-descent parser and planner covering the
+//! analytic SQL subset the TPC-DS reproduction needs: `WITH` CTEs,
+//! joins, subqueries in `FROM`, scalar subqueries, `IN` subqueries,
+//! aggregates with `DISTINCT` and `FILTER`, window aggregates
+//! (`OVER (PARTITION BY ...)`), `CASE`, `BETWEEN`, `CAST`,
+//! `COALESCE`/`ABS`, `UNION ALL`, `ORDER BY` / `LIMIT`.
+//!
+//! Planner behaviors that matter to the reproduction:
+//!
+//! * **CTEs are inlined at every reference** with fresh column
+//!   identities — modeling Athena's streaming engine, where plans are
+//!   trees without materialization points. This is what *creates* the
+//!   duplicated subtrees the fusion rules then eliminate.
+//! * **`IN (subquery)`** becomes a semi join.
+//! * **Uncorrelated scalar subqueries** become
+//!   `EnforceSingleRow` + cross join ("subquery removal", the Q09 shape).
+//! * **Correlated scalar aggregate subqueries** with equality correlation
+//!   are decorrelated into a GroupBy + inner join (after \[20\] in the
+//!   paper) — producing exactly the `GroupByJoinToWindow`-matchable shape
+//!   for Q01/Q30.
+//! * **Unmasked distinct aggregates** are lowered onto `MarkDistinct`
+//!   (§III.F), the Athena-specific operator, so Q28-style queries
+//!   exercise MarkDistinct fusion.
+
+pub mod ast;
+pub mod lexer;
+pub mod parser;
+pub mod planner;
+
+pub use parser::parse;
+pub use planner::{plan_query, SchemaProvider, TableSchema};

@@ -1,0 +1,938 @@
+//! Recursive-descent SQL parser.
+
+use fusion_common::{FusionError, Result};
+
+use crate::ast::*;
+use crate::lexer::{tokenize, Token};
+
+/// Parse a SQL string into a [`Query`].
+pub fn parse(sql: &str) -> Result<Query> {
+    let tokens = tokenize(sql)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let q = p.parse_query()?;
+    p.expect_eof()?;
+    Ok(q)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos.min(self.tokens.len() - 1)]
+    }
+
+    fn next(&mut self) -> Token {
+        let t = self.tokens[self.pos.min(self.tokens.len() - 1)].clone();
+        if self.pos < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if self.peek().is_kw(kw) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<()> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            Err(FusionError::Sql(format!(
+                "expected `{kw}`, found {:?}",
+                self.peek()
+            )))
+        }
+    }
+
+    fn eat(&mut self, t: &Token) -> bool {
+        if self.peek() == t {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, t: &Token) -> Result<()> {
+        if self.eat(t) {
+            Ok(())
+        } else {
+            Err(FusionError::Sql(format!(
+                "expected {t:?}, found {:?}",
+                self.peek()
+            )))
+        }
+    }
+
+    fn expect_eof(&mut self) -> Result<()> {
+        if *self.peek() == Token::Eof {
+            Ok(())
+        } else {
+            Err(FusionError::Sql(format!(
+                "unexpected trailing input: {:?}",
+                self.peek()
+            )))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String> {
+        match self.next() {
+            Token::Word(w) => Ok(w),
+            Token::QuotedIdent(w) => Ok(w),
+            other => Err(FusionError::Sql(format!(
+                "expected identifier, found {other:?}"
+            ))),
+        }
+    }
+
+    // ---- query level ----
+
+    fn parse_query(&mut self) -> Result<Query> {
+        let mut ctes = Vec::new();
+        if self.eat_kw("WITH") {
+            loop {
+                let name = self.ident()?;
+                self.expect_kw("AS")?;
+                self.expect(&Token::LParen)?;
+                let q = self.parse_query()?;
+                self.expect(&Token::RParen)?;
+                ctes.push((name, q));
+                if !self.eat(&Token::Comma) {
+                    break;
+                }
+            }
+        }
+        let body = self.parse_set_expr()?;
+        let mut order_by = Vec::new();
+        if self.eat_kw("ORDER") {
+            self.expect_kw("BY")?;
+            loop {
+                let expr = self.parse_expr()?;
+                let asc = if self.eat_kw("DESC") {
+                    false
+                } else {
+                    self.eat_kw("ASC");
+                    true
+                };
+                order_by.push(OrderItem { expr, asc });
+                if !self.eat(&Token::Comma) {
+                    break;
+                }
+            }
+        }
+        let mut limit = None;
+        if self.eat_kw("LIMIT") {
+            match self.next() {
+                Token::Number(n) => {
+                    limit = Some(n.parse::<u64>().map_err(|_| {
+                        FusionError::Sql(format!("invalid LIMIT value `{n}`"))
+                    })?);
+                }
+                other => {
+                    return Err(FusionError::Sql(format!(
+                        "expected number after LIMIT, found {other:?}"
+                    )));
+                }
+            }
+        }
+        Ok(Query {
+            ctes,
+            body,
+            order_by,
+            limit,
+        })
+    }
+
+    fn parse_set_expr(&mut self) -> Result<SetExpr> {
+        let mut left = self.parse_set_term()?;
+        while self.peek().is_kw("UNION") {
+            self.pos += 1;
+            self.expect_kw("ALL")?;
+            let right = self.parse_set_term()?;
+            left = SetExpr::UnionAll(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn parse_set_term(&mut self) -> Result<SetExpr> {
+        if self.eat(&Token::LParen) {
+            let inner = self.parse_set_expr()?;
+            self.expect(&Token::RParen)?;
+            return Ok(inner);
+        }
+        Ok(SetExpr::Select(Box::new(self.parse_select()?)))
+    }
+
+    fn parse_select(&mut self) -> Result<Select> {
+        self.expect_kw("SELECT")?;
+        let distinct = self.eat_kw("DISTINCT");
+        let mut projection = Vec::new();
+        loop {
+            projection.push(self.parse_select_item()?);
+            if !self.eat(&Token::Comma) {
+                break;
+            }
+        }
+        let mut from = Vec::new();
+        if self.eat_kw("FROM") {
+            loop {
+                from.push(self.parse_table_ref()?);
+                if !self.eat(&Token::Comma) {
+                    break;
+                }
+            }
+        }
+        let selection = if self.eat_kw("WHERE") {
+            Some(self.parse_expr()?)
+        } else {
+            None
+        };
+        let mut group_by = Vec::new();
+        if self.eat_kw("GROUP") {
+            self.expect_kw("BY")?;
+            loop {
+                group_by.push(self.parse_expr()?);
+                if !self.eat(&Token::Comma) {
+                    break;
+                }
+            }
+        }
+        let having = if self.eat_kw("HAVING") {
+            Some(self.parse_expr()?)
+        } else {
+            None
+        };
+        Ok(Select {
+            distinct,
+            projection,
+            from,
+            selection,
+            group_by,
+            having,
+        })
+    }
+
+    fn parse_select_item(&mut self) -> Result<SelectItem> {
+        if self.eat(&Token::Star) {
+            return Ok(SelectItem::Wildcard);
+        }
+        // alias.* ?
+        if let Token::Word(w) = self.peek().clone() {
+            if self.tokens.get(self.pos + 1) == Some(&Token::Dot)
+                && self.tokens.get(self.pos + 2) == Some(&Token::Star)
+            {
+                self.pos += 3;
+                return Ok(SelectItem::QualifiedWildcard(w));
+            }
+        }
+        let expr = self.parse_expr()?;
+        let alias = if self.eat_kw("AS") {
+            Some(self.ident()?)
+        } else {
+            match self.peek() {
+                // Bare alias: a word that is not a clause keyword.
+                Token::Word(w)
+                    if !is_clause_keyword(w) =>
+                {
+                    let w = w.clone();
+                    self.pos += 1;
+                    Some(w)
+                }
+                _ => None,
+            }
+        };
+        Ok(SelectItem::Expr { expr, alias })
+    }
+
+    fn parse_table_ref(&mut self) -> Result<TableRef> {
+        let mut left = self.parse_table_factor()?;
+        loop {
+            let kind = if self.eat_kw("JOIN") {
+                JoinKind::Inner
+            } else if self.peek().is_kw("INNER") {
+                self.pos += 1;
+                self.expect_kw("JOIN")?;
+                JoinKind::Inner
+            } else if self.peek().is_kw("LEFT") {
+                self.pos += 1;
+                self.eat_kw("OUTER");
+                self.expect_kw("JOIN")?;
+                JoinKind::Left
+            } else if self.peek().is_kw("CROSS") {
+                self.pos += 1;
+                self.expect_kw("JOIN")?;
+                JoinKind::Cross
+            } else {
+                break;
+            };
+            let right = self.parse_table_factor()?;
+            let on = if kind != JoinKind::Cross && self.eat_kw("ON") {
+                Some(self.parse_expr()?)
+            } else {
+                None
+            };
+            left = TableRef::Join {
+                left: Box::new(left),
+                right: Box::new(right),
+                kind,
+                on,
+            };
+        }
+        Ok(left)
+    }
+
+    fn parse_table_factor(&mut self) -> Result<TableRef> {
+        if self.eat(&Token::LParen) {
+            // Subquery or parenthesized join.
+            if self.peek().is_kw("SELECT") || self.peek().is_kw("WITH") {
+                let q = self.parse_query()?;
+                self.expect(&Token::RParen)?;
+                self.eat_kw("AS");
+                let alias = self.ident()?;
+                return Ok(TableRef::Subquery {
+                    query: Box::new(q),
+                    alias,
+                });
+            }
+            let inner = self.parse_table_ref()?;
+            self.expect(&Token::RParen)?;
+            return Ok(inner);
+        }
+        let name = self.ident()?;
+        let alias = match self.peek() {
+            Token::Word(w) if !is_clause_keyword(w) && !is_join_keyword(w) => {
+                let w = w.clone();
+                self.pos += 1;
+                Some(w)
+            }
+            _ => {
+                if self.eat_kw("AS") {
+                    Some(self.ident()?)
+                } else {
+                    None
+                }
+            }
+        };
+        Ok(TableRef::Table { name, alias })
+    }
+
+    // ---- expression level (precedence climbing) ----
+
+    pub(crate) fn parse_expr(&mut self) -> Result<AstExpr> {
+        self.parse_or()
+    }
+
+    fn parse_or(&mut self) -> Result<AstExpr> {
+        let mut left = self.parse_and()?;
+        while self.eat_kw("OR") {
+            let right = self.parse_and()?;
+            left = AstExpr::Binary {
+                op: AstBinaryOp::Or,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
+        }
+        Ok(left)
+    }
+
+    fn parse_and(&mut self) -> Result<AstExpr> {
+        let mut left = self.parse_not()?;
+        while self.eat_kw("AND") {
+            let right = self.parse_not()?;
+            left = AstExpr::Binary {
+                op: AstBinaryOp::And,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
+        }
+        Ok(left)
+    }
+
+    fn parse_not(&mut self) -> Result<AstExpr> {
+        if self.eat_kw("NOT") {
+            let inner = self.parse_not()?;
+            return Ok(AstExpr::Not(Box::new(inner)));
+        }
+        self.parse_comparison()
+    }
+
+    fn parse_comparison(&mut self) -> Result<AstExpr> {
+        let left = self.parse_additive()?;
+
+        // IS [NOT] NULL
+        if self.peek().is_kw("IS") {
+            self.pos += 1;
+            let negated = self.eat_kw("NOT");
+            self.expect_kw("NULL")?;
+            return Ok(AstExpr::IsNull {
+                expr: Box::new(left),
+                negated,
+            });
+        }
+        // [NOT] BETWEEN / IN
+        let negated = if self.peek().is_kw("NOT")
+            && (self.tokens.get(self.pos + 1).is_some_and(|t| {
+                t.is_kw("BETWEEN") || t.is_kw("IN")
+            })) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        };
+        if self.eat_kw("BETWEEN") {
+            let low = self.parse_additive()?;
+            self.expect_kw("AND")?;
+            let high = self.parse_additive()?;
+            return Ok(AstExpr::Between {
+                expr: Box::new(left),
+                low: Box::new(low),
+                high: Box::new(high),
+                negated,
+            });
+        }
+        if self.eat_kw("IN") {
+            self.expect(&Token::LParen)?;
+            if self.peek().is_kw("SELECT") || self.peek().is_kw("WITH") {
+                let q = self.parse_query()?;
+                self.expect(&Token::RParen)?;
+                return Ok(AstExpr::InSubquery {
+                    expr: Box::new(left),
+                    query: Box::new(q),
+                    negated,
+                });
+            }
+            let mut list = Vec::new();
+            loop {
+                list.push(self.parse_expr()?);
+                if !self.eat(&Token::Comma) {
+                    break;
+                }
+            }
+            self.expect(&Token::RParen)?;
+            return Ok(AstExpr::InList {
+                expr: Box::new(left),
+                list,
+                negated,
+            });
+        }
+        if negated {
+            return Err(FusionError::Sql("dangling NOT".into()));
+        }
+
+        let op = match self.peek() {
+            Token::Eq => AstBinaryOp::Eq,
+            Token::NotEq => AstBinaryOp::NotEq,
+            Token::Lt => AstBinaryOp::Lt,
+            Token::LtEq => AstBinaryOp::LtEq,
+            Token::Gt => AstBinaryOp::Gt,
+            Token::GtEq => AstBinaryOp::GtEq,
+            _ => return Ok(left),
+        };
+        self.pos += 1;
+        let right = self.parse_additive()?;
+        Ok(AstExpr::Binary {
+            op,
+            left: Box::new(left),
+            right: Box::new(right),
+        })
+    }
+
+    fn parse_additive(&mut self) -> Result<AstExpr> {
+        let mut left = self.parse_multiplicative()?;
+        loop {
+            let op = match self.peek() {
+                Token::Plus => AstBinaryOp::Plus,
+                Token::Minus => AstBinaryOp::Minus,
+                _ => break,
+            };
+            self.pos += 1;
+            let right = self.parse_multiplicative()?;
+            left = AstExpr::Binary {
+                op,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
+        }
+        Ok(left)
+    }
+
+    fn parse_multiplicative(&mut self) -> Result<AstExpr> {
+        let mut left = self.parse_unary()?;
+        loop {
+            let op = match self.peek() {
+                Token::Star => AstBinaryOp::Multiply,
+                Token::Slash => AstBinaryOp::Divide,
+                Token::Percent => AstBinaryOp::Modulo,
+                _ => break,
+            };
+            self.pos += 1;
+            let right = self.parse_unary()?;
+            left = AstExpr::Binary {
+                op,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
+        }
+        Ok(left)
+    }
+
+    fn parse_unary(&mut self) -> Result<AstExpr> {
+        if self.eat(&Token::Minus) {
+            let inner = self.parse_unary()?;
+            return Ok(AstExpr::Negate(Box::new(inner)));
+        }
+        if self.eat(&Token::Plus) {
+            return self.parse_unary();
+        }
+        self.parse_primary()
+    }
+
+    fn parse_primary(&mut self) -> Result<AstExpr> {
+        match self.peek().clone() {
+            Token::Number(n) => {
+                self.pos += 1;
+                Ok(AstExpr::Number(n))
+            }
+            Token::String(s) => {
+                self.pos += 1;
+                Ok(AstExpr::String(s))
+            }
+            Token::LParen => {
+                self.pos += 1;
+                if self.peek().is_kw("SELECT") || self.peek().is_kw("WITH") {
+                    let q = self.parse_query()?;
+                    self.expect(&Token::RParen)?;
+                    return Ok(AstExpr::ScalarSubquery(Box::new(q)));
+                }
+                let e = self.parse_expr()?;
+                self.expect(&Token::RParen)?;
+                Ok(e)
+            }
+            Token::Word(w) if w.eq_ignore_ascii_case("CASE") => self.parse_case(),
+            Token::Word(w) if w.eq_ignore_ascii_case("CAST") => {
+                self.pos += 1;
+                self.expect(&Token::LParen)?;
+                let e = self.parse_expr()?;
+                self.expect_kw("AS")?;
+                let mut ty = self.ident()?;
+                // Consume optional (p[, s]) of DECIMAL(p, s) etc.
+                if self.eat(&Token::LParen) {
+                    while !self.eat(&Token::RParen) {
+                        self.pos += 1;
+                    }
+                }
+                if ty.eq_ignore_ascii_case("DOUBLE") && self.peek().is_kw("PRECISION") {
+                    self.pos += 1;
+                    ty = "DOUBLE".into();
+                }
+                self.expect(&Token::RParen)?;
+                Ok(AstExpr::Cast {
+                    expr: Box::new(e),
+                    ty,
+                })
+            }
+            Token::Word(w) if w.eq_ignore_ascii_case("TRUE") => {
+                self.pos += 1;
+                Ok(AstExpr::Bool(true))
+            }
+            Token::Word(w) if w.eq_ignore_ascii_case("FALSE") => {
+                self.pos += 1;
+                Ok(AstExpr::Bool(false))
+            }
+            Token::Word(w) if w.eq_ignore_ascii_case("NULL") => {
+                self.pos += 1;
+                Ok(AstExpr::Null)
+            }
+            Token::Word(w) if is_clause_keyword(&w) => Err(FusionError::Sql(format!(
+                "unexpected keyword `{w}` in expression"
+            ))),
+            Token::Word(w) | Token::QuotedIdent(w) => {
+                self.pos += 1;
+                // Function call?
+                if *self.peek() == Token::LParen {
+                    return self.parse_function(w);
+                }
+                // Qualified identifier a.b
+                let mut parts = vec![w];
+                while self.eat(&Token::Dot) {
+                    parts.push(self.ident()?);
+                }
+                Ok(AstExpr::Ident(parts))
+            }
+            other => Err(FusionError::Sql(format!(
+                "unexpected token in expression: {other:?}"
+            ))),
+        }
+    }
+
+    fn parse_function(&mut self, name: String) -> Result<AstExpr> {
+        self.expect(&Token::LParen)?;
+        let distinct = self.eat_kw("DISTINCT");
+        let mut args = Vec::new();
+        if !self.eat(&Token::RParen) {
+            loop {
+                if self.eat(&Token::Star) {
+                    args.push(AstExpr::Star);
+                } else {
+                    args.push(self.parse_expr()?);
+                }
+                if !self.eat(&Token::Comma) {
+                    break;
+                }
+            }
+            self.expect(&Token::RParen)?;
+        }
+        let filter = if self.peek().is_kw("FILTER") {
+            self.pos += 1;
+            self.expect(&Token::LParen)?;
+            self.expect_kw("WHERE")?;
+            let f = self.parse_expr()?;
+            self.expect(&Token::RParen)?;
+            Some(Box::new(f))
+        } else {
+            None
+        };
+        let over = if self.peek().is_kw("OVER") {
+            self.pos += 1;
+            self.expect(&Token::LParen)?;
+            self.expect_kw("PARTITION")?;
+            self.expect_kw("BY")?;
+            let mut parts = Vec::new();
+            loop {
+                parts.push(self.parse_expr()?);
+                if !self.eat(&Token::Comma) {
+                    break;
+                }
+            }
+            self.expect(&Token::RParen)?;
+            Some(parts)
+        } else {
+            None
+        };
+        Ok(AstExpr::Function {
+            name,
+            args,
+            distinct,
+            filter,
+            over,
+        })
+    }
+
+    fn parse_case(&mut self) -> Result<AstExpr> {
+        self.expect_kw("CASE")?;
+        let operand = if !self.peek().is_kw("WHEN") {
+            Some(Box::new(self.parse_expr()?))
+        } else {
+            None
+        };
+        let mut branches = Vec::new();
+        while self.eat_kw("WHEN") {
+            let cond = self.parse_expr()?;
+            self.expect_kw("THEN")?;
+            let value = self.parse_expr()?;
+            branches.push((cond, value));
+        }
+        let else_expr = if self.eat_kw("ELSE") {
+            Some(Box::new(self.parse_expr()?))
+        } else {
+            None
+        };
+        self.expect_kw("END")?;
+        Ok(AstExpr::Case {
+            operand,
+            branches,
+            else_expr,
+        })
+    }
+}
+
+fn is_clause_keyword(w: &str) -> bool {
+    matches!(
+        w.to_ascii_uppercase().as_str(),
+        "FROM"
+            | "WHERE"
+            | "GROUP"
+            | "HAVING"
+            | "ORDER"
+            | "LIMIT"
+            | "UNION"
+            | "ON"
+            | "JOIN"
+            | "INNER"
+            | "LEFT"
+            | "RIGHT"
+            | "CROSS"
+            | "AS"
+            | "AND"
+            | "OR"
+            | "NOT"
+            | "IN"
+            | "IS"
+            | "BETWEEN"
+            | "WHEN"
+            | "THEN"
+            | "ELSE"
+            | "END"
+            | "ASC"
+            | "DESC"
+            | "FILTER"
+            | "OVER"
+            | "WITH"
+            | "SELECT"
+    )
+}
+
+fn is_join_keyword(w: &str) -> bool {
+    matches!(
+        w.to_ascii_uppercase().as_str(),
+        "JOIN" | "INNER" | "LEFT" | "RIGHT" | "CROSS" | "ON"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_simple_select() {
+        let q = parse("SELECT a, b + 1 AS c FROM t WHERE a > 10 ORDER BY a DESC LIMIT 5")
+            .unwrap();
+        assert_eq!(q.limit, Some(5));
+        assert_eq!(q.order_by.len(), 1);
+        assert!(!q.order_by[0].asc);
+        match &q.body {
+            SetExpr::Select(s) => {
+                assert_eq!(s.projection.len(), 2);
+                assert!(s.selection.is_some());
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn parses_with_ctes_and_union() {
+        let q = parse(
+            "WITH cte AS (SELECT x FROM t) \
+             SELECT x FROM cte WHERE x = 1 UNION ALL SELECT x FROM cte WHERE x = 2",
+        )
+        .unwrap();
+        assert_eq!(q.ctes.len(), 1);
+        assert!(matches!(q.body, SetExpr::UnionAll(_, _)));
+    }
+
+    #[test]
+    fn parses_joins_and_aliases() {
+        let q = parse(
+            "SELECT s.a FROM store_sales s JOIN item i ON s.sk = i.sk \
+             LEFT JOIN web w ON w.k = i.k, date_dim",
+        )
+        .unwrap();
+        match &q.body {
+            SetExpr::Select(s) => assert_eq!(s.from.len(), 2),
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn parses_aggregates_with_filter_and_window() {
+        let q = parse(
+            "SELECT COUNT(*) FILTER (WHERE x > 1), SUM(DISTINCT y), \
+             AVG(z) OVER (PARTITION BY k, j) FROM t GROUP BY k",
+        )
+        .unwrap();
+        match &q.body {
+            SetExpr::Select(s) => {
+                assert_eq!(s.projection.len(), 3);
+                match &s.projection[2] {
+                    SelectItem::Expr { expr, .. } => assert!(expr.has_window()),
+                    _ => panic!(),
+                }
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn parses_subqueries() {
+        let q = parse(
+            "SELECT a FROM (SELECT a FROM t) x \
+             WHERE a IN (SELECT b FROM u) AND a > (SELECT AVG(c) FROM v)",
+        )
+        .unwrap();
+        match &q.body {
+            SetExpr::Select(s) => {
+                assert!(matches!(s.from[0], TableRef::Subquery { .. }));
+                let sel = s.selection.as_ref().unwrap();
+                let mut in_sub = false;
+                let mut scalar = false;
+                sel.walk(&mut |e| {
+                    if matches!(e, AstExpr::InSubquery { .. }) {
+                        in_sub = true;
+                    }
+                    if matches!(e, AstExpr::ScalarSubquery(_)) {
+                        scalar = true;
+                    }
+                });
+                assert!(in_sub && scalar);
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn parses_case_and_between() {
+        let q = parse(
+            "SELECT CASE WHEN a BETWEEN 1 AND 20 THEN 'low' ELSE 'high' END FROM t",
+        )
+        .unwrap();
+        match &q.body {
+            SetExpr::Select(s) => match &s.projection[0] {
+                SelectItem::Expr { expr, .. } => {
+                    assert!(matches!(expr, AstExpr::Case { .. }));
+                }
+                _ => panic!(),
+            },
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn parses_not_in_and_is_null() {
+        let q = parse("SELECT a FROM t WHERE a NOT IN (1, 2) AND b IS NOT NULL").unwrap();
+        let _ = q;
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse("SELECT FROM").is_err());
+        assert!(parse("SELECT a FROM t WHERE").is_err());
+        assert!(parse("SELECT a FROM t extra garbage !!!").is_err());
+    }
+
+    #[test]
+    fn parses_wildcards() {
+        let q = parse("SELECT *, t.* FROM t").unwrap();
+        match &q.body {
+            SetExpr::Select(s) => {
+                assert!(matches!(s.projection[0], SelectItem::Wildcard));
+                assert!(matches!(s.projection[1], SelectItem::QualifiedWildcard(_)));
+            }
+            _ => panic!(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod extra_tests {
+    use super::*;
+
+    #[test]
+    fn parses_nested_with_inside_subquery() {
+        let q = parse(
+            "SELECT x FROM (WITH inner_cte AS (SELECT a AS x FROM t) \
+             SELECT x FROM inner_cte) s",
+        )
+        .unwrap();
+        match &q.body {
+            SetExpr::Select(sel) => match &sel.from[0] {
+                TableRef::Subquery { query, .. } => assert_eq!(query.ctes.len(), 1),
+                _ => panic!("expected subquery"),
+            },
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn parses_three_way_union() {
+        let q = parse("SELECT 1 UNION ALL SELECT 2 UNION ALL SELECT 3").unwrap();
+        fn depth(e: &SetExpr) -> usize {
+            match e {
+                SetExpr::UnionAll(l, r) => depth(l) + depth(r),
+                SetExpr::Select(_) => 1,
+            }
+        }
+        assert_eq!(depth(&q.body), 3);
+    }
+
+    #[test]
+    fn parses_cast_with_precision_and_double_precision() {
+        parse("SELECT CAST(a AS DECIMAL(15, 4)) FROM t").unwrap();
+        parse("SELECT CAST(a AS DOUBLE) FROM t").unwrap();
+    }
+
+    #[test]
+    fn operator_precedence_binds_correctly() {
+        let q = parse("SELECT a + b * c = d OR e AND f FROM t").unwrap();
+        // Shape: (((a + (b*c)) = d) OR (e AND f))
+        match &q.body {
+            SetExpr::Select(s) => match &s.projection[0] {
+                SelectItem::Expr { expr, .. } => match expr {
+                    AstExpr::Binary { op, right, .. } => {
+                        assert_eq!(*op, AstBinaryOp::Or);
+                        assert!(matches!(
+                            right.as_ref(),
+                            AstExpr::Binary { op: AstBinaryOp::And, .. }
+                        ));
+                    }
+                    other => panic!("unexpected: {other:?}"),
+                },
+                _ => panic!(),
+            },
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn not_binds_tighter_than_and() {
+        let q = parse("SELECT a FROM t WHERE NOT b = 1 AND c = 2").unwrap();
+        match &q.body {
+            SetExpr::Select(s) => match s.selection.as_ref().unwrap() {
+                AstExpr::Binary { op: AstBinaryOp::And, left, .. } => {
+                    assert!(matches!(left.as_ref(), AstExpr::Not(_)));
+                }
+                other => panic!("unexpected: {other:?}"),
+            },
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn unary_minus_and_numeric_literals() {
+        parse("SELECT -a, -1.5, +2 FROM t").unwrap();
+    }
+
+    #[test]
+    fn rejects_unbalanced_parens_and_missing_end() {
+        assert!(parse("SELECT (a FROM t").is_err());
+        assert!(parse("SELECT CASE WHEN a THEN b FROM t").is_err());
+        assert!(parse("SELECT a FROM (SELECT b FROM t)").is_err()); // missing alias
+    }
+
+    #[test]
+    fn parses_group_by_multiple_and_having() {
+        let q = parse(
+            "SELECT a, b, COUNT(*) FROM t GROUP BY a, b HAVING COUNT(*) > 5 AND a = 1",
+        )
+        .unwrap();
+        match &q.body {
+            SetExpr::Select(s) => {
+                assert_eq!(s.group_by.len(), 2);
+                assert!(s.having.is_some());
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn keywords_are_case_insensitive() {
+        parse("select a from t where a between 1 and 2 group by a having count(*) > 0 order by a desc limit 1").unwrap();
+    }
+}

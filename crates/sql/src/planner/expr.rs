@@ -1,0 +1,291 @@
+//! Pure scalar expression planning.
+//!
+//! Subqueries, aggregates and window functions are *not* planned here:
+//! `select.rs` extracts them first (planning their relational parts and
+//! extending the FROM relation), records a substitution from the AST node
+//! to a column, and then calls into this module with that substitution
+//! list.
+
+use fusion_common::{DataType, FusionError, Result, Value};
+use fusion_expr::{BinaryOp, Expr, ScalarFunc};
+
+use crate::ast::{AstBinaryOp, AstExpr};
+
+use super::scope::Scope;
+
+/// Plan an expression with a substitution list (AST-equal nodes are
+/// replaced by the recorded expressions before anything else).
+pub(crate) fn plan_expr(
+    ast: &AstExpr,
+    scope: &Scope,
+    subst: &[(AstExpr, Expr)],
+) -> Result<Expr> {
+    if let Some((_, e)) = subst.iter().find(|(a, _)| a == ast) {
+        return Ok(e.clone());
+    }
+    match ast {
+        AstExpr::Ident(parts) => Ok(Expr::Column(scope.resolve(parts)?)),
+        AstExpr::Number(n) => Ok(Expr::Literal(parse_number(n)?)),
+        AstExpr::String(s) => Ok(Expr::Literal(Value::Utf8(s.clone()))),
+        AstExpr::Bool(b) => Ok(Expr::Literal(Value::Boolean(*b))),
+        AstExpr::Null => Ok(Expr::Literal(Value::Null)),
+        AstExpr::Binary { op, left, right } => {
+            let l = plan_expr(left, scope, subst)?;
+            let r = plan_expr(right, scope, subst)?;
+            Ok(Expr::Binary {
+                op: binop(*op),
+                left: Box::new(l),
+                right: Box::new(r),
+            })
+        }
+        AstExpr::Not(e) => Ok(Expr::Not(Box::new(plan_expr(e, scope, subst)?))),
+        AstExpr::Negate(e) => Ok(Expr::Negate(Box::new(plan_expr(e, scope, subst)?))),
+        AstExpr::IsNull { expr, negated } => {
+            let e = plan_expr(expr, scope, subst)?;
+            Ok(if *negated { e.is_not_null() } else { e.is_null() })
+        }
+        AstExpr::Between {
+            expr,
+            low,
+            high,
+            negated,
+        } => {
+            let e = plan_expr(expr, scope, subst)?;
+            let lo = plan_expr(low, scope, subst)?;
+            let hi = plan_expr(high, scope, subst)?;
+            let range = e.clone().gt_eq(lo).and(e.lt_eq(hi));
+            Ok(if *negated { range.negated() } else { range })
+        }
+        AstExpr::InList {
+            expr,
+            list,
+            negated,
+        } => {
+            let e = plan_expr(expr, scope, subst)?;
+            let items = list
+                .iter()
+                .map(|i| plan_expr(i, scope, subst))
+                .collect::<Result<Vec<_>>>()?;
+            Ok(Expr::InList {
+                expr: Box::new(e),
+                list: items,
+                negated: *negated,
+            })
+        }
+        AstExpr::Case {
+            operand,
+            branches,
+            else_expr,
+        } => {
+            // Simple CASE desugars to the searched form.
+            let op_expr = operand
+                .as_ref()
+                .map(|o| plan_expr(o, scope, subst))
+                .transpose()?;
+            let planned: Result<Vec<(Expr, Expr)>> = branches
+                .iter()
+                .map(|(c, v)| {
+                    let cond = plan_expr(c, scope, subst)?;
+                    let cond = match &op_expr {
+                        Some(o) => o.clone().eq_to(cond),
+                        None => cond,
+                    };
+                    Ok((cond, plan_expr(v, scope, subst)?))
+                })
+                .collect();
+            Ok(Expr::Case {
+                branches: planned?,
+                else_expr: else_expr
+                    .as_ref()
+                    .map(|e| plan_expr(e, scope, subst).map(Box::new))
+                    .transpose()?,
+            })
+        }
+        AstExpr::Cast { expr, ty } => Ok(Expr::Cast {
+            expr: Box::new(plan_expr(expr, scope, subst)?),
+            to: cast_type(ty)?,
+        }),
+        AstExpr::Function {
+            name,
+            args,
+            distinct: false,
+            filter: None,
+            over: None,
+        } if scalar_func(name).is_some() => {
+            let func = scalar_func(name).expect("checked");
+            let planned = args
+                .iter()
+                .map(|a| plan_expr(a, scope, subst))
+                .collect::<Result<Vec<_>>>()?;
+            if planned.is_empty() {
+                return Err(FusionError::Sql(format!("{name} requires arguments")));
+            }
+            Ok(Expr::ScalarFunction {
+                func,
+                args: planned,
+            })
+        }
+        AstExpr::Function { name, over, .. } => Err(FusionError::Sql(format!(
+            "function `{name}`{} not allowed in this context",
+            if over.is_some() { " OVER" } else { "" }
+        ))),
+        AstExpr::InSubquery { .. } => Err(FusionError::Sql(
+            "IN (subquery) is only supported as a top-level WHERE conjunct".into(),
+        )),
+        AstExpr::ScalarSubquery(_) => Err(FusionError::Sql(
+            "scalar subquery not resolved before expression planning".into(),
+        )),
+        AstExpr::Star => Err(FusionError::Sql("`*` outside COUNT(*)".into())),
+    }
+}
+
+/// Plan an expression that may only reference output columns (ORDER BY).
+/// Output columns lose their table qualifiers, so a qualified reference
+/// (`t.r`) falls back to unqualified resolution of its column name.
+pub(crate) fn plan_output_expr(ast: &AstExpr, scope: &Scope) -> Result<Expr> {
+    let unqualified = ast.clone().map_idents(&|parts: &Vec<String>| {
+        if parts.len() == 2 && !scope.can_resolve(parts) {
+            vec![parts[1].clone()]
+        } else {
+            parts.clone()
+        }
+    });
+    plan_expr(&unqualified, scope, &[])
+}
+
+/// Plan a scalar expression with no substitutions (join ON conditions).
+pub(crate) fn plan_scalar(ast: &AstExpr, scope: &Scope) -> Result<Expr> {
+    plan_expr(ast, scope, &[])
+}
+
+pub(crate) fn parse_number(n: &str) -> Result<Value> {
+    if n.contains('.') || n.contains('e') || n.contains('E') {
+        n.parse::<f64>()
+            .map(Value::Float64)
+            .map_err(|_| FusionError::Sql(format!("invalid number `{n}`")))
+    } else {
+        n.parse::<i64>()
+            .map(Value::Int64)
+            .map_err(|_| FusionError::Sql(format!("invalid number `{n}`")))
+    }
+}
+
+pub(crate) fn cast_type(ty: &str) -> Result<DataType> {
+    match ty.to_ascii_uppercase().as_str() {
+        "INT" | "INTEGER" | "BIGINT" | "SMALLINT" | "TINYINT" => Ok(DataType::Int64),
+        "DOUBLE" | "FLOAT" | "REAL" | "DECIMAL" | "NUMERIC" => Ok(DataType::Float64),
+        "VARCHAR" | "CHAR" | "STRING" | "TEXT" => Ok(DataType::Utf8),
+        "DATE" => Ok(DataType::Date),
+        "BOOLEAN" | "BOOL" => Ok(DataType::Boolean),
+        other => Err(FusionError::Sql(format!("unsupported cast type `{other}`"))),
+    }
+}
+
+fn scalar_func(name: &str) -> Option<ScalarFunc> {
+    match name.to_ascii_uppercase().as_str() {
+        "COALESCE" => Some(ScalarFunc::Coalesce),
+        "ABS" => Some(ScalarFunc::Abs),
+        _ => None,
+    }
+}
+
+fn binop(op: AstBinaryOp) -> BinaryOp {
+    match op {
+        AstBinaryOp::Eq => BinaryOp::Eq,
+        AstBinaryOp::NotEq => BinaryOp::NotEq,
+        AstBinaryOp::Lt => BinaryOp::Lt,
+        AstBinaryOp::LtEq => BinaryOp::LtEq,
+        AstBinaryOp::Gt => BinaryOp::Gt,
+        AstBinaryOp::GtEq => BinaryOp::GtEq,
+        AstBinaryOp::Plus => BinaryOp::Plus,
+        AstBinaryOp::Minus => BinaryOp::Minus,
+        AstBinaryOp::Multiply => BinaryOp::Multiply,
+        AstBinaryOp::Divide => BinaryOp::Divide,
+        AstBinaryOp::Modulo => BinaryOp::Modulo,
+        AstBinaryOp::And => BinaryOp::And,
+        AstBinaryOp::Or => BinaryOp::Or,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use crate::ast::{SelectItem, SetExpr};
+    use fusion_common::ColumnId;
+    use super::super::scope::ScopeItem;
+
+    fn scope() -> Scope {
+        Scope {
+            items: vec![
+                ScopeItem {
+                    qualifier: Some("t".into()),
+                    name: "a".into(),
+                    id: ColumnId(1),
+                },
+                ScopeItem {
+                    qualifier: Some("t".into()),
+                    name: "b".into(),
+                    id: ColumnId(2),
+                },
+            ],
+        }
+    }
+
+    fn first_select_expr(sql: &str) -> AstExpr {
+        let q = parse(sql).unwrap();
+        match q.body {
+            SetExpr::Select(s) => match &s.projection[0] {
+                SelectItem::Expr { expr, .. } => expr.clone(),
+                _ => panic!(),
+            },
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn plans_arithmetic_and_comparison() {
+        let ast = first_select_expr("SELECT a + b * 2 > 10");
+        let e = plan_scalar(&ast, &scope()).unwrap();
+        assert_eq!(e.to_string(), "((#1 + (#2 * 2)) > 10)");
+    }
+
+    #[test]
+    fn between_desugars() {
+        let ast = first_select_expr("SELECT a BETWEEN 1 AND 20");
+        let e = plan_scalar(&ast, &scope()).unwrap();
+        assert_eq!(e.to_string(), "((#1 >= 1) AND (#1 <= 20))");
+    }
+
+    #[test]
+    fn simple_case_desugars_to_searched() {
+        let ast = first_select_expr("SELECT CASE a WHEN 1 THEN 'x' ELSE 'y' END");
+        let e = plan_scalar(&ast, &scope()).unwrap();
+        assert!(e.to_string().contains("(#1 = 1)"));
+    }
+
+    #[test]
+    fn substitution_replaces_ast_nodes() {
+        let ast = first_select_expr("SELECT SUM(a) + 1");
+        let sum_node = match &ast {
+            AstExpr::Binary { left, .. } => left.as_ref().clone(),
+            _ => panic!(),
+        };
+        let subst = vec![(sum_node, fusion_expr::col(ColumnId(99)))];
+        let e = plan_expr(&ast, &scope(), &subst).unwrap();
+        assert_eq!(e.to_string(), "(#99 + 1)");
+    }
+
+    #[test]
+    fn unresolved_subquery_errors() {
+        let ast = first_select_expr("SELECT (SELECT 1)");
+        assert!(plan_scalar(&ast, &scope()).is_err());
+    }
+
+    #[test]
+    fn number_parsing() {
+        assert_eq!(parse_number("42").unwrap(), Value::Int64(42));
+        assert_eq!(parse_number("0.5").unwrap(), Value::Float64(0.5));
+        assert!(parse_number("abc").is_err());
+    }
+}

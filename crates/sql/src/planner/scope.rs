@@ -1,0 +1,140 @@
+//! Name-resolution scopes.
+
+use fusion_common::{ColumnId, FusionError, Result};
+
+/// One visible column: an optional table qualifier, a name, an identity.
+#[derive(Debug, Clone)]
+pub struct ScopeItem {
+    pub qualifier: Option<String>,
+    pub name: String,
+    pub id: ColumnId,
+}
+
+/// The set of columns visible to expressions at some point of planning.
+#[derive(Debug, Clone, Default)]
+pub struct Scope {
+    pub items: Vec<ScopeItem>,
+}
+
+impl Scope {
+    /// Resolve a possibly-qualified identifier to a column id.
+    pub fn resolve(&self, parts: &[String]) -> Result<ColumnId> {
+        match parts {
+            [name] => {
+                let name_l = name.to_ascii_lowercase();
+                let mut hits = self
+                    .items
+                    .iter()
+                    .filter(|i| i.name.to_ascii_lowercase() == name_l);
+                match (hits.next(), hits.next()) {
+                    (Some(item), None) => Ok(item.id),
+                    (Some(_), Some(_)) => Err(FusionError::Sql(format!(
+                        "column `{name}` is ambiguous"
+                    ))),
+                    (None, _) => Err(FusionError::Sql(format!("column `{name}` not found"))),
+                }
+            }
+            [qualifier, name] => {
+                let q_l = qualifier.to_ascii_lowercase();
+                let name_l = name.to_ascii_lowercase();
+                let mut hits = self.items.iter().filter(|i| {
+                    i.qualifier.as_deref() == Some(q_l.as_str())
+                        && i.name.to_ascii_lowercase() == name_l
+                });
+                match (hits.next(), hits.next()) {
+                    (Some(item), None) => Ok(item.id),
+                    (Some(_), Some(_)) => Err(FusionError::Sql(format!(
+                        "column `{qualifier}.{name}` is ambiguous"
+                    ))),
+                    (None, _) => Err(FusionError::Sql(format!(
+                        "column `{qualifier}.{name}` not found"
+                    ))),
+                }
+            }
+            _ => Err(FusionError::Sql(format!(
+                "unsupported identifier `{}`",
+                parts.join(".")
+            ))),
+        }
+    }
+
+    /// Can the identifier be resolved here?
+    pub fn can_resolve(&self, parts: &[String]) -> bool {
+        self.resolve(parts).is_ok()
+    }
+
+    /// The same columns under a single new qualifier (subquery alias).
+    pub fn requalified(&self, qualifier: &str) -> Scope {
+        Scope {
+            items: self
+                .items
+                .iter()
+                .map(|i| ScopeItem {
+                    qualifier: Some(qualifier.to_ascii_lowercase()),
+                    name: i.name.clone(),
+                    id: i.id,
+                })
+                .collect(),
+        }
+    }
+
+    /// Items visible under the given qualifier (for `t.*`).
+    pub fn qualified_items(&self, qualifier: &str) -> Vec<&ScopeItem> {
+        let q = qualifier.to_ascii_lowercase();
+        self.items
+            .iter()
+            .filter(|i| i.qualifier.as_deref() == Some(q.as_str()))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scope() -> Scope {
+        Scope {
+            items: vec![
+                ScopeItem {
+                    qualifier: Some("t".into()),
+                    name: "a".into(),
+                    id: ColumnId(1),
+                },
+                ScopeItem {
+                    qualifier: Some("u".into()),
+                    name: "a".into(),
+                    id: ColumnId(2),
+                },
+                ScopeItem {
+                    qualifier: Some("t".into()),
+                    name: "b".into(),
+                    id: ColumnId(3),
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn unqualified_resolution_and_ambiguity() {
+        let s = scope();
+        assert_eq!(s.resolve(&["b".into()]).unwrap(), ColumnId(3));
+        assert!(s.resolve(&["a".into()]).is_err()); // ambiguous
+        assert!(s.resolve(&["zz".into()]).is_err());
+    }
+
+    #[test]
+    fn qualified_resolution() {
+        let s = scope();
+        assert_eq!(s.resolve(&["t".into(), "a".into()]).unwrap(), ColumnId(1));
+        assert_eq!(s.resolve(&["U".into(), "A".into()]).unwrap(), ColumnId(2));
+        assert!(s.resolve(&["v".into(), "a".into()]).is_err());
+    }
+
+    #[test]
+    fn requalify_replaces_qualifiers() {
+        let s = scope().requalified("x");
+        assert_eq!(s.resolve(&["x".into(), "a".into()]).err().map(|_| ()), Some(()));
+        // `a` is still ambiguous under the shared qualifier.
+        assert_eq!(s.resolve(&["x".into(), "b".into()]).unwrap(), ColumnId(3));
+    }
+}

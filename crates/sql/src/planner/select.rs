@@ -1,0 +1,677 @@
+//! SELECT planning: FROM/WHERE with subquery removal and decorrelation,
+//! aggregation with masks and MarkDistinct lowering, window functions,
+//! projection and DISTINCT.
+
+use fusion_common::{FusionError, Result};
+use fusion_expr::{conjoin, AggFunc, AggregateExpr, Expr, WindowExpr};
+use fusion_plan::{
+    AggAssign, Aggregate, EnforceSingleRow, Filter, Join, JoinType, LogicalPlan, MarkDistinct,
+    Project, ProjExpr, WindowAssign,
+};
+
+use crate::ast::{is_aggregate_name, AstBinaryOp, AstExpr, Query, Select, SelectItem};
+
+use super::expr::{plan_expr, plan_scalar};
+use super::scope::{Scope, ScopeItem};
+use super::Planner;
+
+/// `(outer column, inner grouped column)` pairs from decorrelation.
+type CorrelationPairs = Vec<(fusion_common::ColumnId, fusion_common::ColumnId)>;
+
+impl Planner<'_> {
+    pub(crate) fn plan_select(&mut self, select: &Select) -> Result<(LogicalPlan, Scope)> {
+        // 1. FROM
+        let (mut relation, scope) = self.plan_from(&select.from)?;
+        let mut subst: Vec<(AstExpr, Expr)> = Vec::new();
+
+        // 2. WHERE, conjunct by conjunct: IN-subqueries become semi joins,
+        //    scalar subqueries are removed (cross join / decorrelation),
+        //    the rest filters.
+        if let Some(where_ast) = &select.selection {
+            let mut residual = Vec::new();
+            for conjunct in split_ast_conjuncts(where_ast) {
+                if let Some(planned) =
+                    self.plan_where_conjunct(&conjunct, &mut relation, &scope, &mut subst)?
+                {
+                    residual.push(planned);
+                }
+            }
+            if !residual.is_empty() {
+                relation = LogicalPlan::Filter(Filter {
+                    input: Box::new(relation),
+                    predicate: conjoin(residual),
+                });
+            }
+        }
+
+        // 3. Scalar subqueries inside the projection (the Q09 shape).
+        for item in &select.projection {
+            if let SelectItem::Expr { expr, .. } = item {
+                self.extract_scalar_subqueries(expr, &mut relation, &scope, &mut subst)?;
+            }
+        }
+
+        let has_agg = !select.group_by.is_empty()
+            || select
+                .projection
+                .iter()
+                .any(|i| matches!(i, SelectItem::Expr { expr, .. } if expr.has_aggregate()))
+            || select
+                .having
+                .as_ref()
+                .is_some_and(|h| h.has_aggregate());
+
+        let (current_scope, current_subst) = if has_agg {
+            self.plan_aggregation(select, &mut relation, &scope, &subst)?
+        } else {
+            // Window functions (only in non-aggregated selects).
+            self.plan_windows(select, &mut relation, &scope, &mut subst)?;
+            (scope.clone(), subst.clone())
+        };
+
+        // 4. Projection.
+        let mut proj_exprs: Vec<ProjExpr> = Vec::new();
+        for (idx, item) in select.projection.iter().enumerate() {
+            match item {
+                SelectItem::Wildcard => {
+                    for it in &current_scope.items {
+                        proj_exprs.push(ProjExpr::new(
+                            self.gen.fresh(),
+                            it.name.clone(),
+                            Expr::Column(it.id),
+                        ));
+                    }
+                }
+                SelectItem::QualifiedWildcard(q) => {
+                    let items = current_scope.qualified_items(q);
+                    if items.is_empty() {
+                        return Err(FusionError::Sql(format!("unknown qualifier `{q}.*`")));
+                    }
+                    for it in items {
+                        proj_exprs.push(ProjExpr::new(
+                            self.gen.fresh(),
+                            it.name.clone(),
+                            Expr::Column(it.id),
+                        ));
+                    }
+                }
+                SelectItem::Expr { expr, alias } => {
+                    let name = alias.clone().unwrap_or_else(|| derive_name(expr, idx));
+                    let planned = plan_expr(expr, &current_scope, &current_subst)?;
+                    proj_exprs.push(ProjExpr::new(self.gen.fresh(), name, planned));
+                }
+            }
+        }
+        relation = LogicalPlan::Project(Project {
+            input: Box::new(relation),
+            exprs: proj_exprs,
+        });
+
+        // 5. DISTINCT.
+        if select.distinct {
+            let ids = relation.schema().ids();
+            relation = LogicalPlan::Aggregate(Aggregate {
+                input: Box::new(relation),
+                group_by: ids,
+                aggregates: vec![],
+            });
+        }
+
+        let out_scope = Scope {
+            items: relation
+                .schema()
+                .fields()
+                .iter()
+                .map(|f| ScopeItem {
+                    qualifier: None,
+                    name: f.name.clone(),
+                    id: f.id,
+                })
+                .collect(),
+        };
+        Ok((relation, out_scope))
+    }
+
+    /// Plan one WHERE conjunct. Returns `None` when the conjunct was
+    /// consumed structurally (e.g. turned into a semi join).
+    fn plan_where_conjunct(
+        &mut self,
+        conjunct: &AstExpr,
+        relation: &mut LogicalPlan,
+        scope: &Scope,
+        subst: &mut Vec<(AstExpr, Expr)>,
+    ) -> Result<Option<Expr>> {
+        // `x IN (subquery)` → semi join.
+        if let AstExpr::InSubquery {
+            expr,
+            query,
+            negated: false,
+        } = conjunct
+        {
+            let lhs = plan_expr(expr, scope, subst)?;
+            let (sub_plan, sub_scope) = self.plan_query(query)?;
+            let rhs = sub_scope
+                .items
+                .first()
+                .ok_or_else(|| FusionError::Sql("IN subquery returns no columns".into()))?
+                .id;
+            *relation = LogicalPlan::Join(Join {
+                left: Box::new(relation.clone()),
+                right: Box::new(sub_plan),
+                join_type: JoinType::Semi,
+                condition: lhs.eq_to(Expr::Column(rhs)),
+            });
+            return Ok(None);
+        }
+        if let AstExpr::InSubquery { negated: true, .. } = conjunct {
+            return Err(FusionError::Sql("NOT IN (subquery) is not supported".into()));
+        }
+
+        // Comparison against a scalar subquery: decorrelate if needed.
+        if let AstExpr::Binary { op, left, right } = conjunct {
+            if is_comparison(*op) {
+                for side in [left.as_ref(), right.as_ref()] {
+                    if let AstExpr::ScalarSubquery(q) = side {
+                        self.plan_scalar_subquery(side, q, relation, scope, subst)?;
+                    }
+                }
+            }
+        }
+
+        // Remaining scalar subqueries (uncorrelated) anywhere inside.
+        self.extract_scalar_subqueries(conjunct, relation, scope, subst)?;
+        Ok(Some(plan_expr(conjunct, scope, subst)?))
+    }
+
+    /// Plan a scalar subquery node: uncorrelated ones become
+    /// `EnforceSingleRow` + cross join; correlated aggregates decorrelate
+    /// into GroupBy + inner join.
+    fn plan_scalar_subquery(
+        &mut self,
+        node: &AstExpr,
+        q: &Query,
+        relation: &mut LogicalPlan,
+        scope: &Scope,
+        subst: &mut Vec<(AstExpr, Expr)>,
+    ) -> Result<()> {
+        if subst.iter().any(|(a, _)| a == node) {
+            return Ok(());
+        }
+        // Try planning it standalone first (uncorrelated).
+        match self.plan_query(q) {
+            Ok((sub_plan, sub_scope)) => {
+                let out = sub_scope
+                    .items
+                    .first()
+                    .ok_or_else(|| {
+                        FusionError::Sql("scalar subquery returns no columns".into())
+                    })?
+                    .id;
+                let single = LogicalPlan::EnforceSingleRow(EnforceSingleRow {
+                    input: Box::new(sub_plan),
+                });
+                *relation = LogicalPlan::Join(Join {
+                    left: Box::new(relation.clone()),
+                    right: Box::new(single),
+                    join_type: JoinType::Cross,
+                    condition: Expr::boolean(true),
+                });
+                subst.push((node.clone(), Expr::Column(out)));
+                Ok(())
+            }
+            Err(_) => {
+                // Correlated: decorrelate after Galindo-Legaria & Joshi.
+                let (grouped, pairs, value) = self.decorrelate_scalar_agg(q, scope)?;
+                let condition = conjoin(
+                    pairs
+                        .iter()
+                        .map(|(outer, inner)| {
+                            Expr::Column(*outer).eq_to(Expr::Column(*inner))
+                        }),
+                );
+                *relation = LogicalPlan::Join(Join {
+                    left: Box::new(relation.clone()),
+                    right: Box::new(grouped),
+                    join_type: JoinType::Inner,
+                    condition,
+                });
+                subst.push((node.clone(), value));
+                Ok(())
+            }
+        }
+    }
+
+    /// Decorrelate `SELECT <agg expr> FROM ... WHERE inner = outer AND ...`
+    /// into `GroupBy_{inner}(Filter(...))`, returning the grouped plan,
+    /// the (outer, inner) join pairs, and the value expression over the
+    /// aggregate outputs.
+    fn decorrelate_scalar_agg(
+        &mut self,
+        q: &Query,
+        outer_scope: &Scope,
+    ) -> Result<(LogicalPlan, CorrelationPairs, Expr)> {
+        if !q.ctes.is_empty() || !q.order_by.is_empty() || q.limit.is_some() {
+            return Err(FusionError::Sql(
+                "unsupported correlated subquery shape".into(),
+            ));
+        }
+        let select = match &q.body {
+            crate::ast::SetExpr::Select(s) => s.as_ref(),
+            _ => {
+                return Err(FusionError::Sql(
+                    "correlated subquery must be a plain SELECT".into(),
+                ))
+            }
+        };
+        if !select.group_by.is_empty() || select.projection.len() != 1 {
+            return Err(FusionError::Sql(
+                "correlated subquery must compute a single ungrouped aggregate".into(),
+            ));
+        }
+
+        let (sub_rel, sub_scope) = self.plan_from(&select.from)?;
+        let mut inner_filters = Vec::new();
+        let mut pairs = Vec::new();
+        if let Some(where_ast) = &select.selection {
+            for c in split_ast_conjuncts(where_ast) {
+                if let Ok(planned) = plan_scalar(&c, &sub_scope) {
+                    inner_filters.push(planned);
+                    continue;
+                }
+                // Correlated equality `inner_col = outer_col`?
+                let (l, r) = match &c {
+                    AstExpr::Binary {
+                        op: AstBinaryOp::Eq,
+                        left,
+                        right,
+                    } => (left.as_ref(), right.as_ref()),
+                    _ => {
+                        return Err(FusionError::Sql(format!(
+                            "unsupported correlated predicate: {c:?}"
+                        )))
+                    }
+                };
+                let pair = match (l, r) {
+                    (AstExpr::Ident(a), AstExpr::Ident(b)) => {
+                        if sub_scope.can_resolve(a) && outer_scope.can_resolve(b) {
+                            (outer_scope.resolve(b)?, sub_scope.resolve(a)?)
+                        } else if sub_scope.can_resolve(b) && outer_scope.can_resolve(a) {
+                            (outer_scope.resolve(a)?, sub_scope.resolve(b)?)
+                        } else {
+                            return Err(FusionError::Sql(format!(
+                                "cannot resolve correlated predicate: {c:?}"
+                            )));
+                        }
+                    }
+                    _ => {
+                        return Err(FusionError::Sql(
+                            "correlated predicate must be a column equality".into(),
+                        ))
+                    }
+                };
+                pairs.push(pair);
+            }
+        }
+        if pairs.is_empty() {
+            return Err(FusionError::Sql(
+                "subquery is correlated but no correlation equality was found".into(),
+            ));
+        }
+
+        let filtered = if inner_filters.is_empty() {
+            sub_rel
+        } else {
+            LogicalPlan::Filter(Filter {
+                input: Box::new(sub_rel),
+                predicate: conjoin(inner_filters),
+            })
+        };
+
+        // The single projection item: an expression over aggregates.
+        let item_ast = match &select.projection[0] {
+            SelectItem::Expr { expr, .. } => expr,
+            _ => {
+                return Err(FusionError::Sql(
+                    "correlated subquery cannot use wildcards".into(),
+                ))
+            }
+        };
+        let mut agg_nodes = Vec::new();
+        collect_aggregates(item_ast, &mut agg_nodes);
+        if agg_nodes.is_empty() {
+            return Err(FusionError::Sql(
+                "correlated subquery must aggregate".into(),
+            ));
+        }
+        let mut assigns = Vec::new();
+        let mut agg_subst: Vec<(AstExpr, Expr)> = Vec::new();
+        for (i, node) in agg_nodes.iter().enumerate() {
+            let agg = self.plan_aggregate_call(node, &sub_scope, &[])?;
+            // COUNT-style aggregates change value on empty groups; the
+            // inner-join decorrelation is only valid for NULL-on-empty
+            // aggregates.
+            if matches!(agg.func, AggFunc::Count | AggFunc::CountStar) {
+                return Err(FusionError::Sql(
+                    "decorrelation of COUNT subqueries is not supported".into(),
+                ));
+            }
+            let id = self.gen.fresh();
+            assigns.push(AggAssign::new(id, format!("$agg{i}"), agg));
+            agg_subst.push((node.clone(), Expr::Column(id)));
+        }
+        let group_by: Vec<_> = pairs.iter().map(|(_, inner)| *inner).collect();
+        let grouped = LogicalPlan::Aggregate(Aggregate {
+            input: Box::new(filtered),
+            group_by,
+            aggregates: assigns,
+        });
+        let value = plan_expr(item_ast, &sub_scope, &agg_subst)?;
+        Ok((grouped, pairs, value))
+    }
+
+    /// Walk an expression, planning every (uncorrelated) scalar subquery
+    /// and cross-joining it onto the relation.
+    #[allow(clippy::ptr_arg)]
+    fn extract_scalar_subqueries(
+        &mut self,
+        ast: &AstExpr,
+        relation: &mut LogicalPlan,
+        scope: &Scope,
+        subst: &mut Vec<(AstExpr, Expr)>,
+    ) -> Result<()> {
+        let mut subqueries = Vec::new();
+        ast.walk(&mut |e| {
+            if let AstExpr::ScalarSubquery(_) = e {
+                subqueries.push(e.clone());
+            }
+        });
+        for node in subqueries {
+            if let AstExpr::ScalarSubquery(q) = &node {
+                self.plan_scalar_subquery(&node, q, relation, scope, subst)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Plan the aggregation stage: pre-projection of grouping expressions,
+    /// MarkDistinct lowering of distinct aggregates, the Aggregate node,
+    /// and HAVING. Returns the post-aggregation scope and substitutions.
+    fn plan_aggregation(
+        &mut self,
+        select: &Select,
+        relation: &mut LogicalPlan,
+        scope: &Scope,
+        subst: &[(AstExpr, Expr)],
+    ) -> Result<(Scope, Vec<(AstExpr, Expr)>)> {
+        // Grouping columns (pre-projecting computed expressions).
+        let mut group_ids = Vec::new();
+        let mut new_subst: Vec<(AstExpr, Expr)> = Vec::new();
+        let mut extensions: Vec<ProjExpr> = Vec::new();
+        for g in &select.group_by {
+            let planned = plan_expr(g, scope, subst)?;
+            let id = match planned {
+                Expr::Column(id) => id,
+                other => {
+                    let id = self.gen.fresh();
+                    extensions.push(ProjExpr::new(id, format!("$group{}", id.0), other));
+                    id
+                }
+            };
+            group_ids.push(id);
+            new_subst.push((g.clone(), Expr::Column(id)));
+        }
+        if !extensions.is_empty() {
+            let mut exprs: Vec<ProjExpr> = relation
+                .schema()
+                .fields()
+                .iter()
+                .map(ProjExpr::passthrough)
+                .collect();
+            exprs.extend(extensions);
+            *relation = LogicalPlan::Project(Project {
+                input: Box::new(relation.clone()),
+                exprs,
+            });
+        }
+
+        // Aggregate calls from the projection and HAVING.
+        let mut agg_nodes: Vec<AstExpr> = Vec::new();
+        for item in &select.projection {
+            if let SelectItem::Expr { expr, .. } = item {
+                collect_aggregates(expr, &mut agg_nodes);
+            }
+        }
+        if let Some(h) = &select.having {
+            collect_aggregates(h, &mut agg_nodes);
+        }
+
+        let mut assigns: Vec<AggAssign> = Vec::new();
+        for (i, node) in agg_nodes.iter().enumerate() {
+            let mut agg = self.plan_aggregate_call(node, scope, subst)?;
+            // Lower unmasked distinct aggregates over plain columns onto
+            // MarkDistinct (§III.F).
+            if agg.distinct && agg.mask.is_true_literal() {
+                if let Some(Expr::Column(arg_col)) = agg.arg.clone() {
+                    let mark_id = self.gen.fresh();
+                    let mut md_cols = group_ids.clone();
+                    md_cols.push(arg_col);
+                    *relation = LogicalPlan::MarkDistinct(MarkDistinct {
+                        input: Box::new(relation.clone()),
+                        columns: md_cols,
+                        mark_id,
+                        mark_name: format!("$distinct{i}"),
+                        mask: Expr::boolean(true),
+                    });
+                    agg.distinct = false;
+                    agg.mask = Expr::Column(mark_id);
+                }
+            }
+            let id = self.gen.fresh();
+            assigns.push(AggAssign::new(id, format!("$agg{i}"), agg));
+            new_subst.push((node.clone(), Expr::Column(id)));
+        }
+
+        *relation = LogicalPlan::Aggregate(Aggregate {
+            input: Box::new(relation.clone()),
+            group_by: group_ids.clone(),
+            aggregates: assigns,
+        });
+
+        // Post-aggregation scope: the grouping columns keep their names.
+        let post_scope = Scope {
+            items: scope
+                .items
+                .iter()
+                .filter(|it| group_ids.contains(&it.id))
+                .cloned()
+                .collect(),
+        };
+
+        if let Some(h) = &select.having {
+            let planned = plan_expr(h, &post_scope, &new_subst)?;
+            *relation = LogicalPlan::Filter(Filter {
+                input: Box::new(relation.clone()),
+                predicate: planned,
+            });
+        }
+        Ok((post_scope, new_subst))
+    }
+
+    /// Plan window-function calls in the projection.
+    fn plan_windows(
+        &mut self,
+        select: &Select,
+        relation: &mut LogicalPlan,
+        scope: &Scope,
+        subst: &mut Vec<(AstExpr, Expr)>,
+    ) -> Result<()> {
+        let mut nodes: Vec<AstExpr> = Vec::new();
+        for item in &select.projection {
+            if let SelectItem::Expr { expr, .. } = item {
+                expr.walk(&mut |e| {
+                    if matches!(e, AstExpr::Function { over: Some(_), .. })
+                        && !nodes.contains(e)
+                    {
+                        nodes.push(e.clone());
+                    }
+                });
+            }
+        }
+        if nodes.is_empty() {
+            return Ok(());
+        }
+        let mut assigns = Vec::new();
+        for (i, node) in nodes.iter().enumerate() {
+            let (name, args, partition) = match node {
+                AstExpr::Function {
+                    name,
+                    args,
+                    distinct: false,
+                    filter: None,
+                    over: Some(parts),
+                } => (name, args, parts),
+                _ => {
+                    return Err(FusionError::Sql(
+                        "unsupported window function shape".into(),
+                    ))
+                }
+            };
+            let func = aggregate_func(name)?;
+            let arg = match args.first() {
+                Some(AstExpr::Star) | None => None,
+                Some(a) => Some(plan_expr(a, scope, subst)?),
+            };
+            let partition_by = partition
+                .iter()
+                .map(|p| match plan_expr(p, scope, subst)? {
+                    Expr::Column(id) => Ok(id),
+                    other => Err(FusionError::Sql(format!(
+                        "PARTITION BY must be a column, got {other}"
+                    ))),
+                })
+                .collect::<Result<Vec<_>>>()?;
+            let id = self.gen.fresh();
+            assigns.push(WindowAssign {
+                id,
+                name: format!("$win{i}"),
+                window: WindowExpr::new(func, arg, partition_by),
+            });
+            subst.push((node.clone(), Expr::Column(id)));
+        }
+        *relation = LogicalPlan::Window(fusion_plan::Window {
+            input: Box::new(relation.clone()),
+            exprs: assigns,
+        });
+        Ok(())
+    }
+
+    /// Plan one aggregate function call into a masked [`AggregateExpr`].
+    fn plan_aggregate_call(
+        &mut self,
+        node: &AstExpr,
+        scope: &Scope,
+        subst: &[(AstExpr, Expr)],
+    ) -> Result<AggregateExpr> {
+        let (name, args, distinct, filter) = match node {
+            AstExpr::Function {
+                name,
+                args,
+                distinct,
+                filter,
+                over: None,
+            } => (name, args, *distinct, filter),
+            _ => {
+                return Err(FusionError::Sql(format!(
+                    "expected aggregate call, got {node:?}"
+                )))
+            }
+        };
+        let func = aggregate_func(name)?;
+        let arg = match (func, args.first()) {
+            (AggFunc::CountStar, _) => None,
+            (_, Some(AstExpr::Star)) => None, // COUNT(*) normalized above
+            (_, Some(a)) => Some(plan_expr(a, scope, subst)?),
+            (_, None) => {
+                return Err(FusionError::Sql(format!(
+                    "aggregate `{name}` requires an argument"
+                )))
+            }
+        };
+        let func = if func == AggFunc::Count && arg.is_none() {
+            AggFunc::CountStar
+        } else {
+            func
+        };
+        let mask = match filter {
+            Some(f) => plan_expr(f, scope, subst)?,
+            None => Expr::boolean(true),
+        };
+        Ok(AggregateExpr {
+            func,
+            arg,
+            distinct,
+            mask,
+        })
+    }
+}
+
+/// Split an AST predicate into top-level AND conjuncts.
+pub(crate) fn split_ast_conjuncts(ast: &AstExpr) -> Vec<AstExpr> {
+    let mut out = Vec::new();
+    fn walk(e: &AstExpr, out: &mut Vec<AstExpr>) {
+        match e {
+            AstExpr::Binary {
+                op: AstBinaryOp::And,
+                left,
+                right,
+            } => {
+                walk(left, out);
+                walk(right, out);
+            }
+            other => out.push(other.clone()),
+        }
+    }
+    walk(ast, &mut out);
+    out
+}
+
+/// Collect distinct (non-window) aggregate call nodes.
+fn collect_aggregates(ast: &AstExpr, out: &mut Vec<AstExpr>) {
+    ast.walk(&mut |e| {
+        if let AstExpr::Function { name, over, .. } = e {
+            if over.is_none() && is_aggregate_name(name) && !out.contains(e) {
+                out.push(e.clone());
+            }
+        }
+    });
+}
+
+fn aggregate_func(name: &str) -> Result<AggFunc> {
+    match name.to_ascii_uppercase().as_str() {
+        "COUNT" => Ok(AggFunc::Count),
+        "SUM" => Ok(AggFunc::Sum),
+        "AVG" => Ok(AggFunc::Avg),
+        "MIN" => Ok(AggFunc::Min),
+        "MAX" => Ok(AggFunc::Max),
+        other => Err(FusionError::Sql(format!("unknown function `{other}`"))),
+    }
+}
+
+fn is_comparison(op: AstBinaryOp) -> bool {
+    matches!(
+        op,
+        AstBinaryOp::Eq
+            | AstBinaryOp::NotEq
+            | AstBinaryOp::Lt
+            | AstBinaryOp::LtEq
+            | AstBinaryOp::Gt
+            | AstBinaryOp::GtEq
+    )
+}
+
+fn derive_name(expr: &AstExpr, idx: usize) -> String {
+    match expr {
+        AstExpr::Ident(parts) => parts.last().cloned().unwrap_or_default(),
+        _ => format!("_col{idx}"),
+    }
+}

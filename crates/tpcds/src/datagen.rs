@@ -1,0 +1,436 @@
+//! Deterministic, scale-configurable TPC-DS data generation.
+//!
+//! The generator aims for the *query-relevant* properties of dsdgen
+//! output rather than full spec fidelity: foreign keys land on real
+//! dimension rows (with a small NULL fraction to exercise SQL null
+//! semantics), measures follow simple skewed distributions, fact tables
+//! span four years of date keys so the date-partitioned layout has the
+//! 40-50 partitions per table that make partition pruning observable, and
+//! everything is reproducible from a seed.
+
+use fusion_common::Value;
+use fusion_exec::{Catalog, TableBuilder};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::schema::{all_tables, month_seq_of_day, DATE_SK_BASE, NUM_DAYS};
+
+/// Generation parameters.
+#[derive(Debug, Clone)]
+pub struct TpcdsConfig {
+    /// Scale factor: 1.0 ≈ 40k store_sales rows (scaled linearly for the
+    /// fact tables, sub-linearly for dimensions).
+    pub scale: f64,
+    pub seed: u64,
+    /// Date-key bucket width per partition (~monthly by default).
+    pub partition_bucket: i64,
+}
+
+impl Default for TpcdsConfig {
+    fn default() -> Self {
+        TpcdsConfig {
+            scale: 1.0,
+            seed: 42,
+            partition_bucket: 30,
+        }
+    }
+}
+
+impl TpcdsConfig {
+    pub fn with_scale(scale: f64) -> Self {
+        TpcdsConfig {
+            scale,
+            ..Default::default()
+        }
+    }
+
+    fn fact(&self, base: usize) -> usize {
+        ((base as f64) * self.scale).max(100.0) as usize
+    }
+
+    fn dim(&self, base: usize) -> usize {
+        ((base as f64) * self.scale.sqrt()).max(10.0) as usize
+    }
+
+    pub fn store_sales_rows(&self) -> usize {
+        self.fact(40_000)
+    }
+    pub fn catalog_sales_rows(&self) -> usize {
+        self.fact(20_000)
+    }
+    pub fn web_sales_rows(&self) -> usize {
+        self.fact(20_000)
+    }
+    pub fn store_returns_rows(&self) -> usize {
+        self.fact(4_000)
+    }
+    pub fn web_returns_rows(&self) -> usize {
+        self.fact(2_000)
+    }
+    pub fn inventory_rows(&self) -> usize {
+        self.fact(10_000)
+    }
+    pub fn items(&self) -> usize {
+        self.dim(1_000)
+    }
+    pub fn customers(&self) -> usize {
+        self.dim(2_000)
+    }
+    pub fn addresses(&self) -> usize {
+        self.dim(1_000)
+    }
+    pub fn stores(&self) -> usize {
+        self.dim(20).max(5)
+    }
+}
+
+const STATES: [&str; 8] = ["TN", "CA", "NY", "TX", "WA", "GA", "OH", "SD"];
+const CATEGORIES: [&str; 6] = ["Music", "Books", "Electronics", "Home", "Sports", "Shoes"];
+const SIZES: [&str; 5] = ["s", "m", "l", "xl", "petite"];
+const COLORS: [&str; 6] = ["red", "blue", "green", "white", "black", "navy"];
+const FIRST_NAMES: [&str; 6] = ["John", "Jane", "Mark", "Ann", "Luis", "Mei"];
+const LAST_NAMES: [&str; 6] = ["Smith", "Doe", "Twain", "Lee", "Garcia", "Chen"];
+
+struct Gen {
+    rng: StdRng,
+}
+
+impl Gen {
+    fn fk(&mut self, n: usize, base: i64, null_pct: f64) -> Value {
+        if self.rng.gen_bool(null_pct) {
+            Value::Null
+        } else {
+            Value::Int64(base + self.rng.gen_range(0..n as i64))
+        }
+    }
+
+    fn date_sk(&mut self, null_pct: f64) -> Value {
+        if self.rng.gen_bool(null_pct) {
+            Value::Null
+        } else {
+            Value::Int64(DATE_SK_BASE + self.rng.gen_range(0..NUM_DAYS))
+        }
+    }
+
+    fn price(&mut self, lo: f64, hi: f64) -> Value {
+        Value::Float64((self.rng.gen_range(lo..hi) * 100.0).round() / 100.0)
+    }
+
+    fn pick<'a>(&mut self, options: &[&'a str]) -> &'a str {
+        options[self.rng.gen_range(0..options.len())]
+    }
+}
+
+/// Generate the full catalog at the configured scale.
+pub fn generate_catalog(config: &TpcdsConfig) -> Catalog {
+    let mut catalog = Catalog::new();
+    let mut g = Gen {
+        rng: StdRng::seed_from_u64(config.seed),
+    };
+    let tables = all_tables();
+    for (name, columns, partition) in tables {
+        let mut builder = TableBuilder::new(name, columns);
+        if let Some(p) = partition {
+            builder = builder
+                .partition_by(p, config.partition_bucket)
+                .expect("partition column exists");
+        }
+        fill_table(name, &mut builder, config, &mut g);
+        catalog.register(builder.build());
+    }
+    catalog
+}
+
+fn fill_table(name: &str, b: &mut TableBuilder, cfg: &TpcdsConfig, g: &mut Gen) {
+    match name {
+        "date_dim" => {
+            for day in 0..NUM_DAYS {
+                let year = 1998 + day / 365;
+                let moy = ((day % 365) / 31) + 1;
+                b.add_row(vec![
+                    Value::Int64(DATE_SK_BASE + day),
+                    Value::Int64(year),
+                    Value::Int64(moy.min(12)),
+                    Value::Int64((day % 31) + 1),
+                    Value::Int64(month_seq_of_day(day)),
+                    Value::Int64(((moy - 1) / 3 + 1).min(4)),
+                ])
+                .unwrap();
+            }
+        }
+        "time_dim" => {
+            for i in 0..288i64 {
+                b.add_row(vec![
+                    Value::Int64(i),
+                    Value::Int64(i / 12),
+                    Value::Int64((i % 12) * 5),
+                ])
+                .unwrap();
+            }
+        }
+        "item" => {
+            for i in 0..cfg.items() as i64 {
+                b.add_row(vec![
+                    Value::Int64(1 + i),
+                    Value::Utf8(format!("ITEM{i:08}")),
+                    Value::Utf8(format!("description of item {i}")),
+                    Value::Int64(1000 + g.rng.gen_range(0..200)),
+                    Value::Utf8(format!("brand#{}", g.rng.gen_range(1..30))),
+                    Value::Int64(g.rng.gen_range(1..7)),
+                    Value::Utf8(g.pick(&CATEGORIES).to_string()),
+                    Value::Int64(g.rng.gen_range(1..100)),
+                    Value::Utf8(g.pick(&SIZES).to_string()),
+                    Value::Utf8(g.pick(&COLORS).to_string()),
+                    g.price(0.5, 300.0),
+                ])
+                .unwrap();
+            }
+        }
+        "store" => {
+            for i in 0..cfg.stores() as i64 {
+                b.add_row(vec![
+                    Value::Int64(1 + i),
+                    Value::Utf8(format!("STORE{i:04}")),
+                    Value::Utf8(format!("{} store", g.pick(&["ese", "able", "ought", "bar"]))),
+                    Value::Utf8(g.pick(&STATES).to_string()),
+                    Value::Utf8(format!("county {}", g.rng.gen_range(0..10))),
+                    Value::Int64(g.rng.gen_range(50..300)),
+                ])
+                .unwrap();
+            }
+        }
+        "customer" => {
+            let addrs = cfg.addresses();
+            for i in 0..cfg.customers() as i64 {
+                b.add_row(vec![
+                    Value::Int64(1 + i),
+                    Value::Utf8(format!("CUST{i:010}")),
+                    Value::Utf8(g.pick(&FIRST_NAMES).to_string()),
+                    Value::Utf8(g.pick(&LAST_NAMES).to_string()),
+                    g.fk(addrs, 1, 0.02),
+                ])
+                .unwrap();
+            }
+        }
+        "customer_address" => {
+            for i in 0..cfg.addresses() as i64 {
+                b.add_row(vec![
+                    Value::Int64(1 + i),
+                    Value::Utf8(g.pick(&STATES).to_string()),
+                    Value::Utf8(format!("county {}", g.rng.gen_range(0..10))),
+                    Value::Utf8("United States".to_string()),
+                ])
+                .unwrap();
+            }
+        }
+        "household_demographics" => {
+            for i in 0..100i64 {
+                b.add_row(vec![
+                    Value::Int64(1 + i),
+                    Value::Int64(g.rng.gen_range(0..10)),
+                    Value::Int64(g.rng.gen_range(0..5)),
+                ])
+                .unwrap();
+            }
+        }
+        "warehouse" => {
+            for i in 0..10i64 {
+                b.add_row(vec![
+                    Value::Int64(1 + i),
+                    Value::Utf8(format!("warehouse {i}")),
+                ])
+                .unwrap();
+            }
+        }
+        "web_site" => {
+            for i in 0..5i64 {
+                b.add_row(vec![
+                    Value::Int64(1 + i),
+                    Value::Utf8(format!("site-{i}")),
+                    Value::Utf8(g.pick(&["pri", "sec", "ter"]).to_string()),
+                ])
+                .unwrap();
+            }
+        }
+        "reason" => {
+            for i in 0..10i64 {
+                b.add_row(vec![
+                    Value::Int64(1 + i),
+                    Value::Utf8(format!("reason {i}")),
+                ])
+                .unwrap();
+            }
+        }
+        "store_sales" => {
+            let (items, custs, stores, addrs) =
+                (cfg.items(), cfg.customers(), cfg.stores(), cfg.addresses());
+            for _ in 0..cfg.store_sales_rows() {
+                let list: f64 = g.rng.gen_range(1.0..250.0);
+                let sales: f64 = list * g.rng.gen_range(0.3..1.0f64);
+                let qty = g.rng.gen_range(1..100i64);
+                b.add_row(vec![
+                    g.date_sk(0.01),
+                    Value::Int64(g.rng.gen_range(0..288)),
+                    g.fk(items, 1, 0.01),
+                    g.fk(custs, 1, 0.02),
+                    g.fk(100, 1, 0.02),
+                    g.fk(addrs, 1, 0.02),
+                    g.fk(stores, 1, 0.02),
+                    Value::Int64(qty),
+                    g.price(0.5, 100.0),
+                    Value::Float64((list * 100.0).round() / 100.0),
+                    Value::Float64((sales * 100.0).round() / 100.0),
+                    g.price(0.0, 50.0),
+                    Value::Float64((sales * qty as f64 * 100.0).round() / 100.0),
+                    g.price(0.0, 20.0),
+                    Value::Float64(((sales - list * 0.6) * 100.0).round() / 100.0),
+                ])
+                .unwrap();
+            }
+        }
+        "store_returns" => {
+            let (items, custs, stores) = (cfg.items(), cfg.customers(), cfg.stores());
+            for _ in 0..cfg.store_returns_rows() {
+                b.add_row(vec![
+                    g.date_sk(0.01),
+                    g.fk(items, 1, 0.01),
+                    g.fk(custs, 1, 0.02),
+                    g.fk(stores, 1, 0.02),
+                    g.price(1.0, 500.0),
+                ])
+                .unwrap();
+            }
+        }
+        "catalog_sales" => {
+            let (items, custs) = (cfg.items(), cfg.customers());
+            for _ in 0..cfg.catalog_sales_rows() {
+                let list: f64 = g.rng.gen_range(1.0..250.0);
+                b.add_row(vec![
+                    g.date_sk(0.01),
+                    g.fk(items, 1, 0.01),
+                    g.fk(custs, 1, 0.02),
+                    Value::Int64(g.rng.gen_range(1..100)),
+                    Value::Float64((list * 100.0).round() / 100.0),
+                    g.price(0.5, 250.0),
+                    g.price(1.0, 2_000.0),
+                ])
+                .unwrap();
+            }
+        }
+        "web_sales" => {
+            let (items, custs, addrs) = (cfg.items(), cfg.customers(), cfg.addresses());
+            let orders = (cfg.web_sales_rows() / 3).max(10);
+            for _ in 0..cfg.web_sales_rows() {
+                let list: f64 = g.rng.gen_range(1.0..250.0);
+                b.add_row(vec![
+                    g.date_sk(0.01),
+                    g.date_sk(0.01),
+                    g.fk(items, 1, 0.01),
+                    g.fk(custs, 1, 0.02),
+                    g.fk(addrs, 1, 0.02),
+                    g.fk(5, 1, 0.01),
+                    g.fk(10, 1, 0.05),
+                    Value::Int64(g.rng.gen_range(0..orders as i64)),
+                    Value::Int64(g.rng.gen_range(1..100)),
+                    Value::Float64((list * 100.0).round() / 100.0),
+                    g.price(0.5, 250.0),
+                    g.price(0.0, 100.0),
+                    g.price(-50.0, 200.0),
+                ])
+                .unwrap();
+            }
+        }
+        "web_returns" => {
+            let (items, custs) = (cfg.items(), cfg.customers());
+            let orders = (cfg.web_sales_rows() / 3).max(10);
+            for _ in 0..cfg.web_returns_rows() {
+                b.add_row(vec![
+                    g.date_sk(0.01),
+                    g.fk(items, 1, 0.01),
+                    Value::Int64(g.rng.gen_range(0..orders as i64)),
+                    g.fk(custs, 1, 0.02),
+                    g.price(1.0, 500.0),
+                ])
+                .unwrap();
+            }
+        }
+        "inventory" => {
+            let items = cfg.items();
+            for _ in 0..cfg.inventory_rows() {
+                b.add_row(vec![
+                    g.date_sk(0.0),
+                    g.fk(items, 1, 0.0),
+                    g.fk(10, 1, 0.0),
+                    Value::Int64(g.rng.gen_range(0..1000)),
+                ])
+                .unwrap();
+            }
+        }
+        other => panic!("unknown table {other}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = TpcdsConfig::with_scale(0.05);
+        let a = generate_catalog(&cfg);
+        let b = generate_catalog(&cfg);
+        for name in a.table_names() {
+            let ta = a.get(&name).unwrap();
+            let tb = b.get(&name).unwrap();
+            assert_eq!(ta.num_rows(), tb.num_rows(), "{name}");
+            // Spot-check the first partition's first column.
+            if ta.num_rows() > 0 {
+                assert_eq!(
+                    ta.partitions[0].columns[0], tb.partitions[0].columns[0],
+                    "{name}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fact_tables_are_partitioned_by_date() {
+        let cfg = TpcdsConfig::with_scale(0.1);
+        let c = generate_catalog(&cfg);
+        let ss = c.get("store_sales").unwrap();
+        assert!(
+            ss.partitions.len() > 20,
+            "expected ~49 monthly partitions, got {}",
+            ss.partitions.len()
+        );
+        assert!(ss.partition_column.is_some());
+        let dd = c.get("date_dim").unwrap();
+        assert_eq!(dd.partitions.len(), 1);
+    }
+
+    #[test]
+    fn scale_controls_row_counts() {
+        let small = generate_catalog(&TpcdsConfig::with_scale(0.05));
+        let big = generate_catalog(&TpcdsConfig::with_scale(0.2));
+        assert!(
+            big.get("store_sales").unwrap().num_rows()
+                > 2 * small.get("store_sales").unwrap().num_rows()
+        );
+    }
+
+    #[test]
+    fn foreign_keys_land_on_dimensions() {
+        let cfg = TpcdsConfig::with_scale(0.05);
+        let c = generate_catalog(&cfg);
+        let ss = c.get("store_sales").unwrap();
+        let items = c.get("item").unwrap().num_rows() as i64;
+        let item_col = ss.column_index("ss_item_sk").unwrap();
+        for p in &ss.partitions {
+            for v in p.columns[item_col].iter() {
+                if let Value::Int64(i) = v {
+                    assert!(*i >= 1 && *i <= items);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,18 @@
+//! TPC-DS substrate for the athena-fusion reproduction.
+//!
+//! The paper evaluates on a 3 TB TPC-DS installation; this crate provides
+//! the laptop-scale equivalent: the subset of the TPC-DS schema the
+//! evaluation queries touch, a deterministic scaled data generator with
+//! the layout properties the paper relies on (the large fact tables
+//! partitioned by their date key), and the benchmark queries —
+//! the eight featured ones (Q01, Q09, Q23, Q28, Q30, Q65, Q88, Q95,
+//! simplified exactly the way the paper's exposition simplifies them)
+//! plus a panel of non-applicable control queries used for the
+//! whole-workload number.
+
+pub mod datagen;
+pub mod queries;
+pub mod schema;
+
+pub use datagen::{generate_catalog, TpcdsConfig};
+pub use queries::{all_queries, control_queries, featured_queries, BenchQuery};

@@ -1,0 +1,404 @@
+//! The evaluation queries.
+//!
+//! The eight featured queries of the paper's Section V (Q01, Q09, Q23,
+//! Q28, Q30, Q65, Q88, Q95), written exactly in the simplified forms the
+//! paper's exposition uses, plus a panel of control queries with no
+//! common subexpressions (modeled on TPC-DS report queries like Q3, Q7,
+//! Q42, Q52, Q55, Q96) that the fusion rules must leave unchanged — the
+//! mix behind the paper's "14% overall / ~60% on changed plans" numbers.
+
+/// One benchmark query.
+#[derive(Debug, Clone)]
+pub struct BenchQuery {
+    /// Paper identifier, e.g. "Q65".
+    pub id: &'static str,
+    /// Which §V subsection / rewrite family it exercises.
+    pub family: &'static str,
+    pub sql: String,
+    /// Whether the paper reports this query's plan as changed by fusion.
+    pub applicable: bool,
+}
+
+fn q(id: &'static str, family: &'static str, applicable: bool, sql: &str) -> BenchQuery {
+    BenchQuery {
+        id,
+        family,
+        sql: sql.to_string(),
+        applicable,
+    }
+}
+
+/// The eight queries of Figures 1 and 2.
+pub fn featured_queries() -> Vec<BenchQuery> {
+    vec![q01(), q09(), q23(), q28(), q30(), q65(), q88(), q95()]
+}
+
+/// The paper's §I introduction example: a CTE consumed by two UNION ALL
+/// branches with overlapping predicates — the `UnionAll` rule's (§IV.D)
+/// home pattern. Included in the workload (but not Figures 1/2, which
+/// plot only the paper's selected TPC-DS queries).
+pub fn intro() -> BenchQuery {
+    q(
+        "INTRO",
+        "union fusion (§IV.D, intro example)",
+        true,
+        "WITH cte AS ( \
+           SELECT c_customer_id AS customer_id, c_first_name AS fname, \
+                  c_last_name AS lname, SUM(ss_sales_price) AS spent \
+           FROM customer, store_sales \
+           WHERE ss_customer_sk = c_customer_sk \
+           GROUP BY c_customer_id, c_first_name, c_last_name) \
+         SELECT customer_id FROM cte WHERE fname = 'John' \
+         UNION ALL \
+         SELECT customer_id FROM cte WHERE lname = 'Smith'",
+    )
+}
+
+/// Control queries whose plans fusion must not change.
+pub fn control_queries() -> Vec<BenchQuery> {
+    vec![
+        q(
+            "C03",
+            "control/star-join",
+            false,
+            "SELECT d_year, i_brand_id, SUM(ss_ext_sales_price) AS sum_agg \
+             FROM store_sales \
+             JOIN date_dim ON ss_sold_date_sk = d_date_sk \
+             JOIN item ON ss_item_sk = i_item_sk \
+             WHERE i_manufact_id = 50 AND d_moy = 11 \
+             GROUP BY d_year, i_brand_id \
+             ORDER BY d_year, sum_agg DESC LIMIT 100",
+        ),
+        q(
+            "C07",
+            "control/star-join",
+            false,
+            "SELECT i_item_id, AVG(ss_quantity) AS agg1, AVG(ss_list_price) AS agg2, \
+                    AVG(ss_coupon_amt) AS agg3, AVG(ss_sales_price) AS agg4 \
+             FROM store_sales \
+             JOIN item ON ss_item_sk = i_item_sk \
+             JOIN household_demographics ON ss_hdemo_sk = hd_demo_sk \
+             WHERE hd_dep_count = 3 \
+             GROUP BY i_item_id ORDER BY i_item_id LIMIT 100",
+        ),
+        q(
+            "C42",
+            "control/report",
+            false,
+            "SELECT d_year, i_category_id, i_category, SUM(ss_ext_sales_price) AS s \
+             FROM store_sales \
+             JOIN date_dim ON ss_sold_date_sk = d_date_sk \
+             JOIN item ON ss_item_sk = i_item_sk \
+             WHERE i_category = 'Music' AND d_year = 1999 \
+             GROUP BY d_year, i_category_id, i_category \
+             ORDER BY s DESC, d_year LIMIT 100",
+        ),
+        q(
+            "C52",
+            "control/report",
+            false,
+            "SELECT d_year, i_brand, i_brand_id, SUM(ss_ext_sales_price) AS ext_price \
+             FROM store_sales \
+             JOIN date_dim ON ss_sold_date_sk = d_date_sk \
+             JOIN item ON ss_item_sk = i_item_sk \
+             WHERE d_moy = 12 \
+             GROUP BY d_year, i_brand, i_brand_id \
+             ORDER BY d_year, ext_price DESC LIMIT 100",
+        ),
+        q(
+            "C55",
+            "control/report",
+            false,
+            "SELECT i_brand_id, i_brand, SUM(ss_ext_sales_price) AS ext_price \
+             FROM store_sales \
+             JOIN date_dim ON ss_sold_date_sk = d_date_sk \
+             JOIN item ON ss_item_sk = i_item_sk \
+             WHERE i_manufact_id = 28 AND d_moy = 11 \
+             GROUP BY i_brand_id, i_brand \
+             ORDER BY ext_price DESC, i_brand_id LIMIT 100",
+        ),
+        q(
+            "C96",
+            "control/count",
+            false,
+            "SELECT COUNT(*) AS cnt \
+             FROM store_sales \
+             JOIN time_dim ON ss_sold_time_sk = t_time_sk \
+             JOIN store ON ss_store_sk = s_store_sk \
+             WHERE t_hour = 8 AND s_store_name = 'ese store'",
+        ),
+        q(
+            "CINV",
+            "control/inventory",
+            false,
+            "SELECT inv_warehouse_sk, AVG(inv_quantity_on_hand) AS qoh \
+             FROM inventory \
+             JOIN date_dim ON inv_date_sk = d_date_sk \
+             WHERE d_year = 1999 \
+             GROUP BY inv_warehouse_sk ORDER BY inv_warehouse_sk",
+        ),
+    ]
+}
+
+/// All workload queries: featured + the §I intro example + controls.
+pub fn all_queries() -> Vec<BenchQuery> {
+    let mut out = featured_queries();
+    out.push(intro());
+    out.extend(control_queries());
+    out
+}
+
+/// Q01 (§V.A): decorrelated correlated aggregate → GroupByJoinToWindow.
+pub fn q01() -> BenchQuery {
+    q(
+        "Q01",
+        "window (§V.A)",
+        true,
+        "WITH customer_total_return AS ( \
+           SELECT sr_customer_sk AS ctr_customer_sk, \
+                  sr_store_sk AS ctr_store_sk, \
+                  SUM(sr_return_amt) AS ctr_total_return \
+           FROM store_returns, date_dim \
+           WHERE sr_returned_date_sk = d_date_sk AND d_year = 2000 \
+           GROUP BY sr_customer_sk, sr_store_sk) \
+         SELECT c_customer_id \
+         FROM customer_total_return ctr1, store, customer \
+         WHERE ctr1.ctr_total_return > (SELECT AVG(ctr_total_return) * 1.2 \
+                                        FROM customer_total_return ctr2 \
+                                        WHERE ctr1.ctr_store_sk = ctr2.ctr_store_sk) \
+           AND s_store_sk = ctr1.ctr_store_sk \
+           AND s_state = 'TN' \
+           AND ctr1.ctr_customer_sk = c_customer_sk \
+         ORDER BY c_customer_id LIMIT 100",
+    )
+}
+
+/// Q09 (§V.B): 15 scalar subqueries over store_sales → one fused scan.
+pub fn q09() -> BenchQuery {
+    let mut buckets = Vec::new();
+    for (i, (lo, hi, thr)) in [
+        (1, 20, 1000),
+        (21, 40, 1000),
+        (41, 60, 1000),
+        (61, 80, 1000),
+        (81, 100, 1000),
+    ]
+    .iter()
+    .enumerate()
+    {
+        buckets.push(format!(
+            "CASE WHEN (SELECT COUNT(*) FROM store_sales \
+                        WHERE ss_quantity BETWEEN {lo} AND {hi}) > {thr} \
+                  THEN (SELECT AVG(ss_ext_discount_amt) FROM store_sales \
+                        WHERE ss_quantity BETWEEN {lo} AND {hi}) \
+                  ELSE (SELECT AVG(ss_net_profit) FROM store_sales \
+                        WHERE ss_quantity BETWEEN {lo} AND {hi}) END AS bucket{n}",
+            n = i + 1
+        ));
+    }
+    q(
+        "Q09",
+        "scalar aggregates (§V.B)",
+        true,
+        &format!(
+            "SELECT {} FROM reason WHERE r_reason_sk = 1",
+            buckets.join(", ")
+        ),
+    )
+}
+
+/// Q23 (§V.C): UNION ALL of two similar insights over different fact
+/// tables → UnionAllOnJoin (fuses best_customer, freq_items, date_dim).
+pub fn q23() -> BenchQuery {
+    q(
+        "Q23",
+        "union-on-join (§V.C)",
+        true,
+        "WITH freq_items AS ( \
+           SELECT i_item_sk AS item_sk \
+           FROM store_sales, item, date_dim \
+           WHERE ss_item_sk = i_item_sk AND ss_sold_date_sk = d_date_sk \
+             AND d_year = 1999 \
+           GROUP BY i_item_sk \
+           HAVING COUNT(*) > 4), \
+         best_customer AS ( \
+           SELECT c_customer_sk AS cust_sk \
+           FROM store_sales, customer \
+           WHERE ss_customer_sk = c_customer_sk \
+           GROUP BY c_customer_sk \
+           HAVING SUM(ss_sales_price) > 2500) \
+         SELECT SUM(sales) AS total_sales \
+         FROM (SELECT cs_quantity * cs_list_price AS sales \
+               FROM catalog_sales, date_dim \
+               WHERE d_year = 1999 AND d_moy = 1 AND cs_sold_date_sk = d_date_sk \
+                 AND cs_item_sk IN (SELECT item_sk FROM freq_items) \
+                 AND cs_bill_customer_sk IN (SELECT cust_sk FROM best_customer) \
+               UNION ALL \
+               SELECT ws_quantity * ws_list_price AS sales \
+               FROM web_sales, date_dim \
+               WHERE d_year = 1999 AND d_moy = 1 AND ws_sold_date_sk = d_date_sk \
+                 AND ws_item_sk IN (SELECT item_sk FROM freq_items) \
+                 AND ws_bill_customer_sk IN (SELECT cust_sk FROM best_customer)) x",
+    )
+}
+
+/// Q28 (§V.B): scalar aggregates with DISTINCT → MarkDistinct fusion.
+pub fn q28() -> BenchQuery {
+    let bucket = |n: usize, lo: i64, hi: i64| {
+        format!(
+            "(SELECT AVG(ss_list_price) AS b{n}_lp, \
+                     COUNT(ss_list_price) AS b{n}_cnt, \
+                     COUNT(DISTINCT ss_list_price) AS b{n}_cntd \
+              FROM store_sales WHERE ss_quantity BETWEEN {lo} AND {hi}) b{n}"
+        )
+    };
+    q(
+        "Q28",
+        "scalar aggregates + distinct (§V.B)",
+        true,
+        &format!(
+            "SELECT b1_lp, b1_cnt, b1_cntd, b2_lp, b2_cnt, b2_cntd, \
+                    b3_lp, b3_cnt, b3_cntd \
+             FROM {}, {}, {}",
+            bucket(1, 0, 5),
+            bucket(2, 6, 10),
+            bucket(3, 11, 15)
+        ),
+    )
+}
+
+/// Q30 (§V.A): like Q01 over web returns with a state-level correlation.
+pub fn q30() -> BenchQuery {
+    q(
+        "Q30",
+        "window (§V.A)",
+        true,
+        "WITH customer_total_return AS ( \
+           SELECT wr_returning_customer_sk AS ctr_customer_sk, \
+                  ca_state AS ctr_state, \
+                  SUM(wr_return_amt) AS ctr_total_return \
+           FROM web_returns, date_dim, customer_address \
+           WHERE wr_returned_date_sk = d_date_sk AND d_year = 2000 \
+             AND wr_returning_customer_sk = ca_address_sk \
+           GROUP BY wr_returning_customer_sk, ca_state) \
+         SELECT c_customer_id \
+         FROM customer_total_return ctr1, customer \
+         WHERE ctr1.ctr_total_return > (SELECT AVG(ctr_total_return) * 1.2 \
+                                        FROM customer_total_return ctr2 \
+                                        WHERE ctr1.ctr_state = ctr2.ctr_state) \
+           AND ctr1.ctr_customer_sk = c_customer_sk \
+         ORDER BY c_customer_id LIMIT 100",
+    )
+}
+
+/// Q65 (§I): the motivating query — aggregate joined back to the same
+/// aggregation pipeline → GroupByJoinToWindow.
+pub fn q65() -> BenchQuery {
+    q(
+        "Q65",
+        "window (§I)",
+        true,
+        "SELECT s_store_name, i_item_desc, sc.revenue \
+         FROM store, item, \
+             (SELECT ss_store_sk, AVG(revenue) AS ave \
+              FROM (SELECT ss_store_sk, ss_item_sk, \
+                           SUM(ss_sales_price) AS revenue \
+                    FROM store_sales, date_dim \
+                    WHERE ss_sold_date_sk = d_date_sk \
+                      AND d_month_seq BETWEEN 1176 AND 1187 \
+                    GROUP BY ss_store_sk, ss_item_sk) sa \
+              GROUP BY ss_store_sk) sb, \
+             (SELECT ss_store_sk, ss_item_sk, \
+                     SUM(ss_sales_price) AS revenue \
+              FROM store_sales, date_dim \
+              WHERE ss_sold_date_sk = d_date_sk \
+                AND d_month_seq BETWEEN 1176 AND 1187 \
+              GROUP BY ss_store_sk, ss_item_sk) sc \
+         WHERE sb.ss_store_sk = sc.ss_store_sk \
+           AND sc.revenue <= 0.1 * sb.ave \
+           AND s_store_sk = sc.ss_store_sk \
+           AND i_item_sk = sc.ss_item_sk \
+         ORDER BY s_store_name, i_item_desc LIMIT 100",
+    )
+}
+
+/// Q88 (§V.B): time-bucket counts over a 4-way join → scalar fusion of
+/// joined subqueries.
+pub fn q88() -> BenchQuery {
+    let bucket = |n: usize, hour: i64| {
+        format!(
+            "(SELECT COUNT(*) AS h{n} \
+              FROM store_sales \
+              JOIN household_demographics ON ss_hdemo_sk = hd_demo_sk \
+              JOIN time_dim ON ss_sold_time_sk = t_time_sk \
+              JOIN store ON ss_store_sk = s_store_sk \
+              WHERE t_hour = {hour} AND hd_dep_count = 3 \
+                AND s_store_name = 'ese store') s{n}"
+        )
+    };
+    q(
+        "Q88",
+        "scalar aggregates over joins (§V.B)",
+        true,
+        &format!(
+            "SELECT h1, h2, h3, h4 FROM {}, {}, {}, {}",
+            bucket(1, 8),
+            bucket(2, 9),
+            bucket(3, 10),
+            bucket(4, 11)
+        ),
+    )
+}
+
+/// Q95 (§V.D): redundant IN over an expensive self-join CTE →
+/// semi-join dedup chain + JoinOnKeys.
+pub fn q95() -> BenchQuery {
+    q(
+        "Q95",
+        "semi-join dedup (§V.D)",
+        true,
+        "WITH ws_wh AS ( \
+           SELECT ws1.ws_order_number AS ws_wh_number \
+           FROM web_sales ws1, web_sales ws2 \
+           WHERE ws1.ws_order_number = ws2.ws_order_number \
+             AND ws1.ws_warehouse_sk <> ws2.ws_warehouse_sk) \
+         SELECT COUNT(DISTINCT ws_order_number) AS order_count, \
+                SUM(ws_ext_ship_cost) AS total_shipping_cost, \
+                SUM(ws_net_profit) AS total_net_profit \
+         FROM web_sales, date_dim, customer_address, web_site \
+         WHERE ws_ship_date_sk = d_date_sk AND d_year = 1999 \
+           AND ws_ship_addr_sk = ca_address_sk AND ca_state = 'TN' \
+           AND ws_web_site_sk = web_site_sk AND web_company_name = 'pri' \
+           AND ws_order_number IN (SELECT ws_wh_number FROM ws_wh) \
+           AND ws_order_number IN (SELECT wr_order_number FROM ws_wh \
+                                   JOIN web_returns ON wr_order_number = ws_wh_number)",
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_has_featured_and_controls() {
+        let all = all_queries();
+        assert_eq!(featured_queries().len(), 8);
+        assert!(control_queries().len() >= 6);
+        assert_eq!(
+            all.iter().filter(|b| b.applicable).count(),
+            9,
+            "the featured queries plus the intro example are applicable"
+        );
+        // Ids are unique.
+        let mut ids: Vec<_> = all.iter().map(|b| b.id).collect();
+        ids.sort();
+        ids.dedup();
+        assert_eq!(ids.len(), all.len());
+    }
+
+    #[test]
+    fn q09_has_fifteen_subqueries() {
+        let sql = q09().sql;
+        assert_eq!(sql.matches("(SELECT").count(), 15);
+    }
+}

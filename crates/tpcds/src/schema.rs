@@ -1,0 +1,268 @@
+//! The TPC-DS table schemas used by the evaluation queries.
+
+use fusion_common::DataType;
+use fusion_exec::table::TableColumn;
+
+fn col(name: &str, data_type: DataType, nullable: bool) -> TableColumn {
+    TableColumn {
+        name: name.into(),
+        data_type,
+        nullable,
+    }
+}
+
+/// `(table name, columns, partition column)` for every table.
+pub fn all_tables() -> Vec<(&'static str, Vec<TableColumn>, Option<&'static str>)> {
+    use DataType::*;
+    vec![
+        (
+            "date_dim",
+            vec![
+                col("d_date_sk", Int64, false),
+                col("d_year", Int64, true),
+                col("d_moy", Int64, true),
+                col("d_dom", Int64, true),
+                col("d_month_seq", Int64, true),
+                col("d_qoy", Int64, true),
+            ],
+            None,
+        ),
+        (
+            "time_dim",
+            vec![
+                col("t_time_sk", Int64, false),
+                col("t_hour", Int64, true),
+                col("t_minute", Int64, true),
+            ],
+            None,
+        ),
+        (
+            "item",
+            vec![
+                col("i_item_sk", Int64, false),
+                col("i_item_id", Utf8, false),
+                col("i_item_desc", Utf8, true),
+                col("i_brand_id", Int64, true),
+                col("i_brand", Utf8, true),
+                col("i_category_id", Int64, true),
+                col("i_category", Utf8, true),
+                col("i_manufact_id", Int64, true),
+                col("i_size", Utf8, true),
+                col("i_color", Utf8, true),
+                col("i_current_price", Float64, true),
+            ],
+            None,
+        ),
+        (
+            "store",
+            vec![
+                col("s_store_sk", Int64, false),
+                col("s_store_id", Utf8, false),
+                col("s_store_name", Utf8, true),
+                col("s_state", Utf8, true),
+                col("s_county", Utf8, true),
+                col("s_number_employees", Int64, true),
+            ],
+            None,
+        ),
+        (
+            "customer",
+            vec![
+                col("c_customer_sk", Int64, false),
+                col("c_customer_id", Utf8, false),
+                col("c_first_name", Utf8, true),
+                col("c_last_name", Utf8, true),
+                col("c_current_addr_sk", Int64, true),
+            ],
+            None,
+        ),
+        (
+            "customer_address",
+            vec![
+                col("ca_address_sk", Int64, false),
+                col("ca_state", Utf8, true),
+                col("ca_county", Utf8, true),
+                col("ca_country", Utf8, true),
+            ],
+            None,
+        ),
+        (
+            "household_demographics",
+            vec![
+                col("hd_demo_sk", Int64, false),
+                col("hd_dep_count", Int64, true),
+                col("hd_vehicle_count", Int64, true),
+            ],
+            None,
+        ),
+        (
+            "warehouse",
+            vec![
+                col("w_warehouse_sk", Int64, false),
+                col("w_warehouse_name", Utf8, true),
+            ],
+            None,
+        ),
+        (
+            "web_site",
+            vec![
+                col("web_site_sk", Int64, false),
+                col("web_name", Utf8, true),
+                col("web_company_name", Utf8, true),
+            ],
+            None,
+        ),
+        (
+            "reason",
+            vec![
+                col("r_reason_sk", Int64, false),
+                col("r_reason_desc", Utf8, true),
+            ],
+            None,
+        ),
+        (
+            "store_sales",
+            vec![
+                col("ss_sold_date_sk", Int64, true),
+                col("ss_sold_time_sk", Int64, true),
+                col("ss_item_sk", Int64, true),
+                col("ss_customer_sk", Int64, true),
+                col("ss_hdemo_sk", Int64, true),
+                col("ss_addr_sk", Int64, true),
+                col("ss_store_sk", Int64, true),
+                col("ss_quantity", Int64, true),
+                col("ss_wholesale_cost", Float64, true),
+                col("ss_list_price", Float64, true),
+                col("ss_sales_price", Float64, true),
+                col("ss_ext_discount_amt", Float64, true),
+                col("ss_ext_sales_price", Float64, true),
+                col("ss_coupon_amt", Float64, true),
+                col("ss_net_profit", Float64, true),
+            ],
+            Some("ss_sold_date_sk"),
+        ),
+        (
+            "store_returns",
+            vec![
+                col("sr_returned_date_sk", Int64, true),
+                col("sr_item_sk", Int64, true),
+                col("sr_customer_sk", Int64, true),
+                col("sr_store_sk", Int64, true),
+                col("sr_return_amt", Float64, true),
+            ],
+            Some("sr_returned_date_sk"),
+        ),
+        (
+            "catalog_sales",
+            vec![
+                col("cs_sold_date_sk", Int64, true),
+                col("cs_item_sk", Int64, true),
+                col("cs_bill_customer_sk", Int64, true),
+                col("cs_quantity", Int64, true),
+                col("cs_list_price", Float64, true),
+                col("cs_sales_price", Float64, true),
+                col("cs_ext_sales_price", Float64, true),
+            ],
+            Some("cs_sold_date_sk"),
+        ),
+        (
+            "web_sales",
+            vec![
+                col("ws_sold_date_sk", Int64, true),
+                col("ws_ship_date_sk", Int64, true),
+                col("ws_item_sk", Int64, true),
+                col("ws_bill_customer_sk", Int64, true),
+                col("ws_ship_addr_sk", Int64, true),
+                col("ws_web_site_sk", Int64, true),
+                col("ws_warehouse_sk", Int64, true),
+                col("ws_order_number", Int64, true),
+                col("ws_quantity", Int64, true),
+                col("ws_list_price", Float64, true),
+                col("ws_sales_price", Float64, true),
+                col("ws_ext_ship_cost", Float64, true),
+                col("ws_net_profit", Float64, true),
+            ],
+            Some("ws_sold_date_sk"),
+        ),
+        (
+            "web_returns",
+            vec![
+                col("wr_returned_date_sk", Int64, true),
+                col("wr_item_sk", Int64, true),
+                col("wr_order_number", Int64, true),
+                col("wr_returning_customer_sk", Int64, true),
+                col("wr_return_amt", Float64, true),
+            ],
+            Some("wr_returned_date_sk"),
+        ),
+        (
+            "inventory",
+            vec![
+                col("inv_date_sk", Int64, true),
+                col("inv_item_sk", Int64, true),
+                col("inv_warehouse_sk", Int64, true),
+                col("inv_quantity_on_hand", Int64, true),
+            ],
+            Some("inv_date_sk"),
+        ),
+    ]
+}
+
+/// First date key (the generator produces `NUM_DAYS` consecutive days).
+pub const DATE_SK_BASE: i64 = 2_450_000;
+/// Days of history generated (4 years).
+pub const NUM_DAYS: i64 = 1460;
+
+/// `d_month_seq` for a given day offset (0-based), matching the
+/// generator: `(year - 1900) * 12 + month0`.
+pub fn month_seq_of_day(day: i64) -> i64 {
+    let year = 1998 + day / 365;
+    let month0 = (day % 365) / 31; // 0..11
+    (year - 1900) * 12 + month0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seventeen_tables_defined() {
+        let tables = all_tables();
+        assert_eq!(tables.len(), 16);
+        // The seven big tables of the paper are partitioned by date.
+        let partitioned: Vec<_> = tables
+            .iter()
+            .filter(|(_, _, p)| p.is_some())
+            .map(|(n, _, _)| *n)
+            .collect();
+        assert_eq!(
+            partitioned,
+            vec![
+                "store_sales",
+                "store_returns",
+                "catalog_sales",
+                "web_sales",
+                "web_returns",
+                "inventory"
+            ]
+        );
+    }
+
+    #[test]
+    fn month_seq_is_monotone() {
+        assert!(month_seq_of_day(0) < month_seq_of_day(400));
+        assert_eq!(month_seq_of_day(0), (1998 - 1900) * 12);
+    }
+
+    #[test]
+    fn partition_columns_exist() {
+        for (name, cols, part) in all_tables() {
+            if let Some(p) = part {
+                assert!(
+                    cols.iter().any(|c| c.name == p),
+                    "partition column {p} missing from {name}"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,42 @@
+//! Print the baseline and fused plans for every workload query —
+//! a quick way to inspect what each optimization rule does.
+//!
+//! ```sh
+//! cargo run --example explain_workload [QUERY_ID]
+//! ```
+
+use fusion_engine::Session;
+use fusion_tpcds::{all_queries, generate_catalog, TpcdsConfig};
+
+fn main() {
+    let filter = std::env::args().nth(1);
+    let cfg = TpcdsConfig::with_scale(0.05);
+    let mut fused = Session::new();
+    for t in generate_catalog(&cfg).into_tables() {
+        fused.register_table(t);
+    }
+    let mut baseline = Session::baseline();
+    for t in generate_catalog(&cfg).into_tables() {
+        baseline.register_table(t);
+    }
+
+    for q in all_queries() {
+        if let Some(f) = &filter {
+            if !q.id.eq_ignore_ascii_case(f) {
+                continue;
+            }
+        }
+        println!("==================== {} ({}) ====================", q.id, q.family);
+        match (baseline.explain(&q.sql), fused.explain(&q.sql)) {
+            (Ok(b), Ok(f)) => {
+                println!("-- baseline --\n{b}");
+                if b == f {
+                    println!("-- fused: plan unchanged (not applicable) --\n");
+                } else {
+                    println!("-- fused --\n{f}");
+                }
+            }
+            (Err(e), _) | (_, Err(e)) => println!("error: {e}\n"),
+        }
+    }
+}

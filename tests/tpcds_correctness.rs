@@ -1,0 +1,112 @@
+//! End-to-end correctness of the fusion rules on the TPC-DS workload:
+//! every benchmark query must produce identical results with fusion on
+//! and off, the featured queries must actually change plans (and scan
+//! fewer bytes), and the control queries must not change plans.
+
+use fusion_engine::Session;
+use fusion_tpcds::{all_queries, generate_catalog, BenchQuery, TpcdsConfig};
+
+fn sessions() -> (Session, Session) {
+    // Generation is deterministic, so both sessions see identical data.
+    let cfg = TpcdsConfig::with_scale(0.12);
+    let mut fused = Session::new();
+    for table in generate_catalog(&cfg).into_tables() {
+        fused.register_table(table);
+    }
+    let mut baseline = Session::baseline();
+    for table in generate_catalog(&cfg).into_tables() {
+        baseline.register_table(table);
+    }
+    (fused, baseline)
+}
+
+fn check_query(fused: &Session, baseline: &Session, q: &BenchQuery) {
+    let rf = fused
+        .sql(&q.sql)
+        .unwrap_or_else(|e| panic!("{} failed with fusion on: {e}", q.id));
+    let rb = baseline
+        .sql(&q.sql)
+        .unwrap_or_else(|e| panic!("{} failed with fusion off: {e}", q.id));
+
+    assert_eq!(
+        rf.sorted_rows(),
+        rb.sorted_rows(),
+        "{}: fused and baseline results differ\nfused plan:\n{}\nbaseline plan:\n{}",
+        q.id,
+        rf.optimized_plan.display(),
+        rb.optimized_plan.display()
+    );
+
+    if q.applicable {
+        assert!(
+            rf.report.fusion_applied,
+            "{}: expected fusion rules to fire\nplan:\n{}",
+            q.id,
+            rf.optimized_plan.display()
+        );
+        assert!(
+            rf.metrics.bytes_scanned < rb.metrics.bytes_scanned,
+            "{}: expected fewer bytes scanned (fused {} vs baseline {})",
+            q.id,
+            rf.metrics.bytes_scanned,
+            rb.metrics.bytes_scanned
+        );
+    } else {
+        assert!(
+            !rf.report.fusion_applied,
+            "{}: control query must not trigger fusion\nplan:\n{}",
+            q.id,
+            rf.optimized_plan.display()
+        );
+        assert_eq!(
+            rf.metrics.bytes_scanned, rb.metrics.bytes_scanned,
+            "{}: control query must scan identical bytes",
+            q.id
+        );
+    }
+}
+
+macro_rules! query_test {
+    ($name:ident, $id:expr) => {
+        #[test]
+        fn $name() {
+            let (fused, baseline) = sessions();
+            let queries = all_queries();
+            let q = queries.iter().find(|q| q.id == $id).expect("known query");
+            check_query(&fused, &baseline, q);
+        }
+    };
+}
+
+query_test!(q01_window_rule, "Q01");
+query_test!(q09_scalar_aggregates, "Q09");
+query_test!(q23_union_on_join, "Q23");
+query_test!(q28_distinct_aggregates, "Q28");
+query_test!(q30_window_rule_state, "Q30");
+query_test!(q65_motivating_query, "Q65");
+query_test!(q88_joined_scalar_counts, "Q88");
+query_test!(q95_semi_join_dedup, "Q95");
+query_test!(control_q03, "C03");
+query_test!(control_q07, "C07");
+query_test!(control_q42, "C42");
+query_test!(control_q52, "C52");
+query_test!(control_q55, "C55");
+query_test!(control_q96, "C96");
+query_test!(control_inventory, "CINV");
+
+/// The featured queries must produce non-trivial results at test scale —
+/// otherwise result equivalence would hold vacuously.
+#[test]
+fn featured_queries_produce_rows() {
+    let (fused, _) = sessions();
+    for q in fusion_tpcds::featured_queries() {
+        let r = fused.sql(&q.sql).unwrap();
+        assert!(
+            !r.rows.is_empty(),
+            "{}: expected at least one result row",
+            q.id
+        );
+    }
+}
+
+query_test!(intro_union_fusion, "INTRO");
