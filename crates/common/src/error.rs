@@ -21,6 +21,108 @@ pub enum FusionError {
     Internal(String),
     /// A feature that is intentionally out of scope.
     NotImplemented(String),
+    /// The query was cancelled by the caller.
+    Cancelled,
+    /// The query ran past its deadline.
+    DeadlineExceeded,
+    /// An enforced memory budget was exceeded. Carries the budget and the
+    /// reservation that would have crossed it.
+    ResourceExhausted { budget: usize, requested: usize },
+    /// A transient I/O failure (e.g. a storage read that may succeed on
+    /// retry). The only retryable error class.
+    TransientIo(String),
+    /// Data failed an integrity check; retrying cannot help.
+    DataCorruption(String),
+}
+
+/// Stable, machine-readable error codes. Unlike `Display` strings these are
+/// part of the crate's contract: they never change meaning and can be
+/// logged, matched on, or sent across process boundaries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ErrorCode {
+    Plan,
+    Schema,
+    Type,
+    Execution,
+    Sql,
+    SingleRowViolation,
+    Internal,
+    NotImplemented,
+    Cancelled,
+    DeadlineExceeded,
+    ResourceExhausted,
+    TransientIo,
+    DataCorruption,
+}
+
+impl ErrorCode {
+    /// The stable string form (`FUSION_...`), e.g. for logs.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            ErrorCode::Plan => "FUSION_PLAN",
+            ErrorCode::Schema => "FUSION_SCHEMA",
+            ErrorCode::Type => "FUSION_TYPE",
+            ErrorCode::Execution => "FUSION_EXECUTION",
+            ErrorCode::Sql => "FUSION_SQL",
+            ErrorCode::SingleRowViolation => "FUSION_SINGLE_ROW_VIOLATION",
+            ErrorCode::Internal => "FUSION_INTERNAL",
+            ErrorCode::NotImplemented => "FUSION_NOT_IMPLEMENTED",
+            ErrorCode::Cancelled => "FUSION_CANCELLED",
+            ErrorCode::DeadlineExceeded => "FUSION_DEADLINE_EXCEEDED",
+            ErrorCode::ResourceExhausted => "FUSION_RESOURCE_EXHAUSTED",
+            ErrorCode::TransientIo => "FUSION_TRANSIENT_IO",
+            ErrorCode::DataCorruption => "FUSION_DATA_CORRUPTION",
+        }
+    }
+}
+
+impl fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl FusionError {
+    /// The stable code for this error.
+    pub fn code(&self) -> ErrorCode {
+        match self {
+            FusionError::Plan(_) => ErrorCode::Plan,
+            FusionError::Schema(_) => ErrorCode::Schema,
+            FusionError::Type(_) => ErrorCode::Type,
+            FusionError::Execution(_) => ErrorCode::Execution,
+            FusionError::Sql(_) => ErrorCode::Sql,
+            FusionError::SingleRowViolation(_) => ErrorCode::SingleRowViolation,
+            FusionError::Internal(_) => ErrorCode::Internal,
+            FusionError::NotImplemented(_) => ErrorCode::NotImplemented,
+            FusionError::Cancelled => ErrorCode::Cancelled,
+            FusionError::DeadlineExceeded => ErrorCode::DeadlineExceeded,
+            FusionError::ResourceExhausted { .. } => ErrorCode::ResourceExhausted,
+            FusionError::TransientIo(_) => ErrorCode::TransientIo,
+            FusionError::DataCorruption(_) => ErrorCode::DataCorruption,
+        }
+    }
+
+    /// Whether retrying the same operation may succeed. Only transient
+    /// I/O failures qualify: every other class is deterministic (bad
+    /// plan, corrupt data, exhausted budget) or caller-initiated.
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, FusionError::TransientIo(_))
+    }
+
+    /// Whether a *fused* plan that failed with this error may be retried
+    /// as the unfused baseline plan. Resource-limit and caller-initiated
+    /// errors would hit the baseline identically (or are explicit caller
+    /// decisions), and single-row violations are data properties that
+    /// fusion cannot change — degrading would just duplicate work.
+    pub fn allows_fallback(&self) -> bool {
+        !matches!(
+            self,
+            FusionError::Cancelled
+                | FusionError::DeadlineExceeded
+                | FusionError::ResourceExhausted { .. }
+                | FusionError::SingleRowViolation(_)
+        )
+    }
 }
 
 impl fmt::Display for FusionError {
@@ -36,6 +138,14 @@ impl fmt::Display for FusionError {
             }
             FusionError::Internal(msg) => write!(f, "internal error: {msg}"),
             FusionError::NotImplemented(msg) => write!(f, "not implemented: {msg}"),
+            FusionError::Cancelled => write!(f, "query cancelled"),
+            FusionError::DeadlineExceeded => write!(f, "query deadline exceeded"),
+            FusionError::ResourceExhausted { budget, requested } => write!(
+                f,
+                "memory budget exhausted: {requested} bytes requested against a {budget}-byte budget"
+            ),
+            FusionError::TransientIo(msg) => write!(f, "transient I/O error: {msg}"),
+            FusionError::DataCorruption(msg) => write!(f, "data corruption: {msg}"),
         }
     }
 }
@@ -75,6 +185,53 @@ mod tests {
             FusionError::SingleRowViolation(3).to_string(),
             "scalar subquery returned 3 rows, expected exactly 1"
         );
+    }
+
+    #[test]
+    fn codes_are_stable_and_unique() {
+        let all = [
+            FusionError::Plan(String::new()),
+            FusionError::Schema(String::new()),
+            FusionError::Type(String::new()),
+            FusionError::Execution(String::new()),
+            FusionError::Sql(String::new()),
+            FusionError::SingleRowViolation(0),
+            FusionError::Internal(String::new()),
+            FusionError::NotImplemented(String::new()),
+            FusionError::Cancelled,
+            FusionError::DeadlineExceeded,
+            FusionError::ResourceExhausted {
+                budget: 0,
+                requested: 0,
+            },
+            FusionError::TransientIo(String::new()),
+            FusionError::DataCorruption(String::new()),
+        ];
+        let codes: std::collections::HashSet<_> = all.iter().map(|e| e.code().as_str()).collect();
+        assert_eq!(codes.len(), all.len(), "codes must be distinct");
+        assert_eq!(FusionError::Cancelled.code().as_str(), "FUSION_CANCELLED");
+    }
+
+    #[test]
+    fn only_transient_io_is_retryable() {
+        assert!(FusionError::TransientIo("flaky read".into()).is_retryable());
+        assert!(!FusionError::DataCorruption("bad page".into()).is_retryable());
+        assert!(!FusionError::Execution("div by zero".into()).is_retryable());
+        assert!(!FusionError::Cancelled.is_retryable());
+    }
+
+    #[test]
+    fn fallback_excludes_resource_and_caller_errors() {
+        assert!(FusionError::Execution("boom".into()).allows_fallback());
+        assert!(FusionError::DataCorruption("bad".into()).allows_fallback());
+        assert!(!FusionError::Cancelled.allows_fallback());
+        assert!(!FusionError::DeadlineExceeded.allows_fallback());
+        assert!(!FusionError::ResourceExhausted {
+            budget: 1,
+            requested: 2
+        }
+        .allows_fallback());
+        assert!(!FusionError::SingleRowViolation(2).allows_fallback());
     }
 
     #[test]

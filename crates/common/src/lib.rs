@@ -20,7 +20,7 @@ pub mod schema;
 pub mod types;
 pub mod value;
 
-pub use error::{FusionError, Result};
+pub use error::{ErrorCode, FusionError, Result};
 pub use ident::{ColumnId, IdGen};
 pub use schema::{Field, Schema, SchemaRef};
 pub use types::DataType;

@@ -17,7 +17,7 @@ pub mod project;
 pub mod scan;
 
 use fusion_common::{IdGen, Schema};
-use fusion_expr::{simplify, ColumnMap, Expr};
+use fusion_expr::{ColumnMap, Expr};
 use fusion_plan::{EnforceSingleRow, LogicalPlan, MarkDistinct, Project, ProjExpr};
 
 /// Shared context for fusion: the session id generator, used to mint
@@ -240,9 +240,12 @@ pub fn identity_projection(plan: &LogicalPlan) -> LogicalPlan {
     })
 }
 
-/// Utility shared by submodules: simplify and return an expression.
+/// Utility shared by submodules: simplify a predicate and return it.
+/// Every caller feeds this a filter-position expression (compensating
+/// filters, masks, join/dispatch conditions), so the NULL≡FALSE folding
+/// of `simplify_filter` is sound here.
 pub(crate) fn simp(e: Expr) -> Expr {
-    simplify(&e)
+    fusion_expr::simplify_filter(&e)
 }
 
 /// Utility: the set of columns two compensating filters reference.

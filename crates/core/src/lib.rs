@@ -34,4 +34,4 @@ pub mod optimizer;
 pub mod rules;
 
 pub use fuse::{fuse, FuseContext, Fused};
-pub use optimizer::{Optimizer, OptimizerConfig, OptimizerReport};
+pub use optimizer::{Optimizer, OptimizerConfig, OptimizerReport, RejectedRule};

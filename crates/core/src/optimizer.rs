@@ -74,6 +74,27 @@ pub struct OptimizerReport {
     /// Whether any fusion-based rule changed the plan (the paper's
     /// "queries that changed plans" population).
     pub fusion_applied: bool,
+    /// Rule outputs that failed plan validation and were discarded. The
+    /// optimizer keeps going with the pre-rule plan, so a buggy rule
+    /// degrades to a no-op instead of taking the query down.
+    pub rejected: Vec<RejectedRule>,
+    /// Validation error on the *final* optimized plan, if any. Callers
+    /// (the engine session) treat this as an execution failure and fall
+    /// back to the baseline plan.
+    pub validation_error: Option<String>,
+    /// Why the engine degraded to the unfused baseline plan. Filled in by
+    /// the session when a fused plan fails execution or validation; `None`
+    /// when the optimized plan ran as planned.
+    pub fallback: Option<String>,
+}
+
+/// A rule application whose output failed validation and was discarded.
+#[derive(Debug, Clone)]
+pub struct RejectedRule {
+    /// `Rule::name` of the offending rule.
+    pub rule: String,
+    /// The validation error its output produced.
+    pub error: String,
 }
 
 /// The rule-pipeline optimizer.
@@ -149,7 +170,7 @@ impl Optimizer {
         current = prune_columns(&current);
         if self.config.validate {
             if let Err(e) = current.validate() {
-                panic!("optimizer produced an invalid plan: {e}\n{}", current.display());
+                report.validation_error = Some(format!("{e} ({})", e.code()));
             }
         }
         (current, report)
@@ -176,11 +197,15 @@ impl Optimizer {
                 if let Some(next) = apply_everywhere(*rule, &plan, &self.ctx) {
                     if self.config.validate {
                         if let Err(e) = next.validate() {
-                            panic!(
-                                "rule {} produced an invalid plan: {e}\n{}",
-                                rule.name(),
-                                next.display()
-                            );
+                            // Discard the rule's output: the pre-rule plan
+                            // is still valid, so the query survives a
+                            // buggy rewrite at the cost of a missed
+                            // optimization.
+                            report.rejected.push(RejectedRule {
+                                rule: rule.name().to_string(),
+                                error: e.to_string(),
+                            });
+                            continue;
                         }
                     }
                     report.fired.push(rule.name().to_string());
@@ -311,6 +336,57 @@ mod tests {
         assert!(!base.rows.is_empty());
         // The fused plan reads roughly half the bytes.
         assert!(mo.bytes_scanned() < mb.bytes_scanned());
+    }
+
+    /// A deliberately buggy rule: wraps the first scan it sees in a
+    /// projection that references a column id no plan ever defines.
+    /// (Fires once — `transform_down` descends into replacement nodes, so
+    /// an unconditional match would wrap its own output forever.)
+    struct BrokenRule(std::cell::Cell<bool>);
+
+    impl Rule for BrokenRule {
+        fn name(&self) -> &'static str {
+            "BrokenRule"
+        }
+
+        fn apply(
+            &self,
+            plan: &fusion_plan::LogicalPlan,
+            _ctx: &crate::fuse::FuseContext,
+        ) -> Option<fusion_plan::LogicalPlan> {
+            use fusion_common::ColumnId;
+            use fusion_plan::{LogicalPlan, ProjExpr, Project};
+            if self.0.get() || !matches!(plan, LogicalPlan::Scan(_)) {
+                return None;
+            }
+            self.0.set(true);
+            Some(LogicalPlan::Project(Project {
+                input: Box::new(plan.clone()),
+                exprs: vec![ProjExpr::new(
+                    ColumnId(999_999),
+                    "bad".to_string(),
+                    col(ColumnId(888_888)),
+                )],
+            }))
+        }
+    }
+
+    #[test]
+    fn invalid_rule_output_is_rejected_not_applied() {
+        let gen = IdGen::new();
+        let t = PlanBuilder::scan(&gen, "sales", &sales_cols());
+        let plan = t.build();
+        let optimizer = Optimizer::new(gen.clone(), OptimizerConfig::default());
+        let mut report = OptimizerReport::default();
+        let broken = BrokenRule(std::cell::Cell::new(false));
+        let out = optimizer.run_phase(plan.clone(), &[&broken], &mut report, true);
+        // The broken output is discarded: the plan is unchanged, nothing
+        // "fired", and the rejection is on the record.
+        assert_eq!(out.display(), plan.display());
+        assert!(report.fired.is_empty());
+        assert!(!report.fusion_applied);
+        assert_eq!(report.rejected.len(), 1);
+        assert_eq!(report.rejected[0].rule, "BrokenRule");
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! fusion-specific code — the composability property the paper claims
 //! over Blitz/Resin.
 
-use fusion_expr::simplify;
+use fusion_expr::{simplify, simplify_filter};
 use fusion_plan::{Aggregate, Filter, LogicalPlan, Project, Scan, Sort, Window};
 
 use super::Rule;
@@ -29,9 +29,13 @@ impl Rule for SimplifyExpressions {
 
 fn simplify_node(plan: &LogicalPlan) -> LogicalPlan {
     match plan {
+        // Filter predicates, join conditions, masks and scan filters sit in
+        // null-rejecting positions, so the stronger contradiction-folding
+        // variant applies; projection/sort/argument expressions must keep
+        // exact Kleene semantics and get the strict one.
         LogicalPlan::Filter(f) => LogicalPlan::Filter(Filter {
             input: f.input.clone(),
-            predicate: simplify(&f.predicate),
+            predicate: simplify_filter(&f.predicate),
         }),
         LogicalPlan::Project(p) => LogicalPlan::Project(Project {
             input: p.input.clone(),
@@ -45,7 +49,7 @@ fn simplify_node(plan: &LogicalPlan) -> LogicalPlan {
             left: j.left.clone(),
             right: j.right.clone(),
             join_type: j.join_type,
-            condition: simplify(&j.condition),
+            condition: simplify_filter(&j.condition),
         }),
         LogicalPlan::Aggregate(a) => LogicalPlan::Aggregate(Aggregate {
             input: a.input.clone(),
@@ -55,7 +59,7 @@ fn simplify_node(plan: &LogicalPlan) -> LogicalPlan {
                 .iter()
                 .map(|assign| {
                     let mut agg = assign.agg.clone();
-                    agg.mask = simplify(&agg.mask);
+                    agg.mask = simplify_filter(&agg.mask);
                     agg.arg = agg.arg.as_ref().map(simplify);
                     fusion_plan::AggAssign::new(assign.id, assign.name.clone(), agg)
                 })
@@ -94,13 +98,13 @@ fn simplify_node(plan: &LogicalPlan) -> LogicalPlan {
             columns: m.columns.clone(),
             mark_id: m.mark_id,
             mark_name: m.mark_name.clone(),
-            mask: simplify(&m.mask),
+            mask: simplify_filter(&m.mask),
         }),
         LogicalPlan::Scan(s) => LogicalPlan::Scan(Scan {
             table: s.table.clone(),
             fields: s.fields.clone(),
             column_indices: s.column_indices.clone(),
-            filters: s.filters.iter().map(simplify).collect(),
+            filters: s.filters.iter().map(simplify_filter).collect(),
         }),
         other => other.clone(),
     }
@@ -125,7 +129,7 @@ impl Rule for MergeFilters {
         if let LogicalPlan::Filter(inner) = f.input.as_ref() {
             return Some(LogicalPlan::Filter(Filter {
                 input: inner.input.clone(),
-                predicate: simplify(&f.predicate.clone().and(inner.predicate.clone())),
+                predicate: simplify_filter(&f.predicate.clone().and(inner.predicate.clone())),
             }));
         }
         None

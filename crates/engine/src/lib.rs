@@ -11,12 +11,16 @@
 //! paper's baseline), which is all the benchmark harness needs to
 //! reproduce the Section V experiments.
 
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use fusion_common::{IdGen, Result, Schema, Value};
+use fusion_common::{FusionError, IdGen, Result, Schema, Value};
 use fusion_core::{Optimizer, OptimizerConfig, OptimizerReport};
 use fusion_exec::metrics::MetricsSnapshot;
-use fusion_exec::{execute_plan, Catalog, ExecMetrics, Table};
+use fusion_exec::{
+    execute_plan_ctx, CancelToken, Catalog, ExecContext, ExecMetrics, FaultPolicy, RetryPolicy,
+    Table,
+};
 use fusion_plan::LogicalPlan;
 use fusion_sql::{plan_query, SchemaProvider, TableSchema};
 
@@ -28,6 +32,15 @@ pub struct Session {
     /// Simulated working-memory budget (bytes); crossing it during
     /// execution counts spills in the metrics (the §V.C effect).
     memory_budget: Option<u64>,
+    /// Enforced working-memory budget (bytes); crossing it aborts the
+    /// query with [`FusionError::ResourceExhausted`] instead of counting
+    /// a simulated spill.
+    enforced_budget: Option<usize>,
+    /// Per-execution-attempt wall-clock limit.
+    timeout: Option<Duration>,
+    fault_policy: FaultPolicy,
+    retry_policy: RetryPolicy,
+    cancel: CancelToken,
 }
 
 /// Everything a query run produces.
@@ -51,6 +64,12 @@ impl QueryResult {
         rows.sort();
         rows
     }
+
+    /// Whether the fused plan failed and the rows came from the unfused
+    /// baseline instead (the reason is in `report.fallback`).
+    pub fn degraded(&self) -> bool {
+        self.report.fallback.is_some()
+    }
 }
 
 impl Session {
@@ -60,23 +79,76 @@ impl Session {
             gen: IdGen::new(),
             config: OptimizerConfig::default(),
             memory_budget: None,
+            enforced_budget: None,
+            timeout: None,
+            fault_policy: FaultPolicy::default(),
+            retry_policy: RetryPolicy::default(),
+            cancel: CancelToken::new(),
         }
     }
 
     /// A session with the paper's baseline configuration (fusion off).
     pub fn baseline() -> Self {
-        Session {
-            catalog: Catalog::new(),
-            gen: IdGen::new(),
-            config: OptimizerConfig::baseline(),
-            memory_budget: None,
-        }
+        let mut s = Session::new();
+        s.config = OptimizerConfig::baseline();
+        s
     }
 
     /// Simulate a working-memory budget: executions whose materialized
     /// operator state crosses it record spills in the result metrics.
     pub fn set_memory_budget(&mut self, bytes: Option<u64>) {
         self.memory_budget = bytes;
+    }
+
+    /// *Enforce* a working-memory budget: an execution whose materialized
+    /// operator state would cross it aborts with
+    /// [`FusionError::ResourceExhausted`]. Independent of the simulated
+    /// (spill-counting) budget above.
+    pub fn set_enforced_memory_budget(&mut self, bytes: Option<usize>) {
+        self.enforced_budget = bytes;
+    }
+
+    /// Wall-clock limit per execution attempt; an attempt running past it
+    /// fails with [`FusionError::DeadlineExceeded`].
+    pub fn set_timeout(&mut self, timeout: Option<Duration>) {
+        self.timeout = timeout;
+    }
+
+    /// Fault schedule applied to every table scan this session runs.
+    pub fn set_fault_policy(&mut self, policy: FaultPolicy) {
+        self.fault_policy = policy;
+    }
+
+    /// Retry/backoff behavior for transient scan failures.
+    pub fn set_retry_policy(&mut self, policy: RetryPolicy) {
+        self.retry_policy = policy;
+    }
+
+    /// The token that cancels queries run by this session. Cancellation is
+    /// sticky: once cancelled, every later query fails immediately.
+    pub fn cancel_token(&self) -> CancelToken {
+        self.cancel.clone()
+    }
+
+    fn fresh_metrics(&self) -> Arc<ExecMetrics> {
+        match self.memory_budget {
+            Some(b) => ExecMetrics::with_budget(b),
+            None => ExecMetrics::new(),
+        }
+    }
+
+    fn exec_context(&self, metrics: &Arc<ExecMetrics>) -> Arc<ExecContext> {
+        let mut b = ExecContext::builder(metrics.clone())
+            .cancel_token(self.cancel.clone())
+            .fault_policy(self.fault_policy.clone())
+            .retry_policy(self.retry_policy.clone());
+        if let Some(t) = self.timeout {
+            b = b.timeout(t);
+        }
+        if let Some(bytes) = self.enforced_budget {
+            b = b.hard_budget(bytes);
+        }
+        b.build()
     }
 
     pub fn with_config(mut self, config: OptimizerConfig) -> Self {
@@ -127,22 +199,58 @@ impl Session {
     }
 
     /// Optimize and execute an already-built logical plan.
+    ///
+    /// Degrades gracefully: if the optimized plan fails post-optimization
+    /// validation or dies during execution with an error that
+    /// [`FusionError::allows_fallback`], and fusion was enabled, the query
+    /// is re-optimized with fusion off and re-executed as the baseline
+    /// plan. The fallback is recorded in `report.fallback` and counted in
+    /// the metrics, which accumulate across both attempts (the failed
+    /// fused work was really performed).
     pub fn run_plan(&self, initial_plan: LogicalPlan) -> Result<QueryResult> {
-        let (optimized_plan, report) = self.optimize(&initial_plan);
-        let metrics = match self.memory_budget {
-            Some(b) => ExecMetrics::with_budget(b),
-            None => ExecMetrics::new(),
-        };
+        let (optimized_plan, mut report) = self.optimize(&initial_plan);
+        let metrics = self.fresh_metrics();
         let start = Instant::now();
-        let out = execute_plan(&optimized_plan, &self.catalog, &metrics)?;
-        let latency = start.elapsed();
+        let attempt = match &report.validation_error {
+            Some(msg) => Err(FusionError::Internal(format!(
+                "optimized plan failed validation: {msg}"
+            ))),
+            None => execute_plan_ctx(&optimized_plan, &self.catalog, &self.exec_context(&metrics)),
+        };
+        let failure = match attempt {
+            Ok(out) => {
+                return Ok(QueryResult {
+                    schema: out.schema,
+                    rows: out.rows,
+                    metrics: metrics.snapshot(),
+                    latency: start.elapsed(),
+                    initial_plan,
+                    optimized_plan,
+                    report,
+                })
+            }
+            Err(e) if self.config.enable_fusion && e.allows_fallback() => e,
+            Err(e) => return Err(e),
+        };
+
+        metrics.add_fallback();
+        report.fallback = Some(format!("{}: {failure}", failure.code()));
+        let mut cfg = self.config.clone();
+        cfg.enable_fusion = false;
+        let (base_plan, base_report) = Optimizer::new(self.gen.clone(), cfg).optimize(&initial_plan);
+        if let Some(msg) = &base_report.validation_error {
+            return Err(FusionError::Internal(format!(
+                "baseline plan failed validation during fallback: {msg}"
+            )));
+        }
+        let out = execute_plan_ctx(&base_plan, &self.catalog, &self.exec_context(&metrics))?;
         Ok(QueryResult {
             schema: out.schema,
             rows: out.rows,
             metrics: metrics.snapshot(),
-            latency,
+            latency: start.elapsed(),
             initial_plan,
-            optimized_plan,
+            optimized_plan: base_plan,
             report,
         })
     }
@@ -218,6 +326,35 @@ mod tests {
         s
     }
 
+    /// Like [`session`] but with `orders` partitioned on `o_id` into
+    /// blocks of five rows (4 partitions over 20 rows).
+    fn partitioned_session() -> Session {
+        let mut s = Session::new();
+        let mut b = TableBuilder::new(
+            "orders",
+            vec![
+                TableColumn {
+                    name: "o_id".into(),
+                    data_type: DataType::Int64,
+                    nullable: false,
+                },
+                TableColumn {
+                    name: "o_total".into(),
+                    data_type: DataType::Float64,
+                    nullable: true,
+                },
+            ],
+        )
+        .partition_by("o_id", 5)
+        .unwrap();
+        for i in 0..20i64 {
+            b.add_row(vec![Value::Int64(i), Value::Float64((i % 7) as f64 * 10.0)])
+                .unwrap();
+        }
+        s.register_table(b.build());
+        s
+    }
+
     #[test]
     fn basic_sql_round_trip() {
         let s = session();
@@ -253,6 +390,47 @@ mod tests {
         let s = session();
         let text = s.explain("SELECT o_id FROM orders WHERE o_id > 5").unwrap();
         assert!(text.contains("Scan: orders"));
+    }
+
+    /// The degradation scenario the fault model is built for: the fused
+    /// plan scans *more* partitions than either baseline branch (the
+    /// shared scan's pushed filter is a disjunction, which cannot prune),
+    /// so a poisoned middle partition kills only the fused attempt. The
+    /// session falls back to the baseline plan, whose per-branch filters
+    /// prune the poison away, and still returns correct rows.
+    #[test]
+    fn poisoned_partition_degrades_to_baseline() {
+        use fusion_exec::FaultPolicy;
+        let sql = "WITH cte AS (SELECT o_id, o_total FROM orders) \
+                   SELECT o_id FROM cte WHERE o_id < 5 \
+                   UNION ALL SELECT o_id FROM cte WHERE o_id >= 15";
+        let expected = partitioned_session().sql(sql).unwrap();
+        assert!(!expected.degraded());
+        assert_eq!(expected.rows.len(), 10);
+
+        let mut s = partitioned_session();
+        // Partition 2 holds o_id 10..15 — touched by neither branch.
+        s.set_fault_policy(FaultPolicy::default().with_poison("orders", 2));
+        let r = s.sql(sql).unwrap();
+        assert!(r.degraded(), "fused plan must fall back: {:?}", r.report);
+        let reason = r.report.fallback.as_ref().unwrap();
+        assert!(
+            reason.contains("FUSION_DATA_CORRUPTION"),
+            "fallback reason carries the stable code: {reason}"
+        );
+        assert_eq!(r.metrics.fallbacks, 1);
+        assert_eq!(r.sorted_rows(), expected.sorted_rows());
+    }
+
+    #[test]
+    fn cancelled_session_fails_without_fallback() {
+        use fusion_common::FusionError;
+        let s = session();
+        s.cancel_token().cancel();
+        match s.sql("SELECT o_id FROM orders") {
+            Err(FusionError::Cancelled) => {}
+            other => panic!("expected Cancelled, got {other:?}"),
+        }
     }
 
     #[test]

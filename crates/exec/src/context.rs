@@ -1,0 +1,391 @@
+//! Per-query execution context: cancellation, deadlines, enforced memory
+//! budgets, and fault/retry policies.
+//!
+//! Every operator holds an `Arc<ExecContext>` and calls
+//! [`ExecContext::check`] at chunk boundaries, so a long pipeline notices
+//! cancellation or a blown deadline within one `CHUNK_SIZE` batch of work.
+//! The context also carries the *enforced* memory budget: unlike the soft
+//! budget on [`ExecMetrics`] (which counts simulated spills and lets the
+//! query continue — the paper's §V.C metric), crossing the enforced budget
+//! aborts the query with [`FusionError::ResourceExhausted`].
+//!
+//! Existing call sites that only have metrics keep working: operator
+//! constructors accept `impl IntoContext`, and [`IntoContext`] turns a
+//! bare `Arc<ExecMetrics>` into an unbounded context.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use fusion_common::{FusionError, Result};
+
+use crate::fault::{FaultPolicy, RetryPolicy};
+use crate::metrics::ExecMetrics;
+
+/// Shared flag used to cancel a running query from another thread.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// Request cancellation; running operators observe it at the next
+    /// chunk boundary.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Relaxed);
+    }
+
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Everything an operator needs beyond its inputs: metrics, cooperative
+/// cancellation, a deadline, an enforced memory budget, and the fault and
+/// retry policies applied by scans.
+#[derive(Debug)]
+pub struct ExecContext {
+    metrics: Arc<ExecMetrics>,
+    cancel: CancelToken,
+    deadline: Option<Instant>,
+    /// Enforced budget in bytes (`None` = unlimited). Checked by
+    /// [`BudgetedReservation`]; distinct from the soft spill-counting
+    /// budget on the metrics.
+    hard_budget: Option<usize>,
+    fault_policy: FaultPolicy,
+    retry_policy: RetryPolicy,
+}
+
+impl ExecContext {
+    /// An unbounded context: no deadline, no budget, no faults.
+    pub fn new(metrics: Arc<ExecMetrics>) -> Arc<Self> {
+        Arc::new(ExecContext {
+            metrics,
+            cancel: CancelToken::new(),
+            deadline: None,
+            hard_budget: None,
+            fault_policy: FaultPolicy::default(),
+            retry_policy: RetryPolicy::default(),
+        })
+    }
+
+    /// Builder-style configuration (consume and re-wrap in `Arc` at the
+    /// end).
+    pub fn builder(metrics: Arc<ExecMetrics>) -> ExecContextBuilder {
+        ExecContextBuilder {
+            metrics,
+            cancel: CancelToken::new(),
+            deadline: None,
+            hard_budget: None,
+            fault_policy: FaultPolicy::default(),
+            retry_policy: RetryPolicy::default(),
+        }
+    }
+
+    pub fn metrics(&self) -> &Arc<ExecMetrics> {
+        &self.metrics
+    }
+
+    pub fn cancel_token(&self) -> &CancelToken {
+        &self.cancel
+    }
+
+    pub fn fault_policy(&self) -> &FaultPolicy {
+        &self.fault_policy
+    }
+
+    pub fn retry_policy(&self) -> &RetryPolicy {
+        &self.retry_policy
+    }
+
+    pub fn hard_budget(&self) -> Option<usize> {
+        self.hard_budget
+    }
+
+    /// Cooperative check called by operators at chunk boundaries. Returns
+    /// [`FusionError::Cancelled`] or [`FusionError::DeadlineExceeded`].
+    pub fn check(&self) -> Result<()> {
+        if self.cancel.is_cancelled() {
+            return Err(FusionError::Cancelled);
+        }
+        if let Some(deadline) = self.deadline {
+            if Instant::now() >= deadline {
+                return Err(FusionError::DeadlineExceeded);
+            }
+        }
+        Ok(())
+    }
+
+    /// Fail with [`FusionError::ResourceExhausted`] if reserving `more`
+    /// bytes on top of the current state would cross the enforced budget.
+    fn check_budget(&self, more: i64) -> Result<()> {
+        if let Some(budget) = self.hard_budget {
+            let current = self.metrics.current_state_bytes();
+            let requested = current.saturating_add(more.max(0) as u64) as usize;
+            if requested > budget {
+                return Err(FusionError::ResourceExhausted { budget, requested });
+            }
+        }
+        Ok(())
+    }
+
+    /// Run `read` for `(table, partition)`, applying the fault policy and
+    /// retrying transient failures with exponential backoff. Counts every
+    /// injected fault and every retry into the metrics. Fatal errors (or
+    /// exhausted retries) propagate.
+    pub fn faulted_read<T>(
+        &self,
+        table: &str,
+        partition: usize,
+        mut read: impl FnMut() -> Result<T>,
+    ) -> Result<T> {
+        let policy = &self.fault_policy;
+        if !policy.is_active() {
+            return read();
+        }
+        let mut attempt: u32 = 0;
+        loop {
+            self.check()?;
+            if !policy.read_latency.is_zero() {
+                std::thread::sleep(policy.read_latency);
+            }
+            let outcome = policy
+                .inject(table, partition, attempt)
+                .and_then(|()| read());
+            match outcome {
+                Ok(v) => return Ok(v),
+                Err(e) => {
+                    self.metrics.add_fault_injected();
+                    if !e.is_retryable() || attempt >= self.retry_policy.max_retries {
+                        return Err(e);
+                    }
+                    attempt += 1;
+                    self.metrics.add_retry();
+                    std::thread::sleep(self.retry_policy.backoff(attempt));
+                }
+            }
+        }
+    }
+}
+
+/// Builder returned by [`ExecContext::builder`].
+pub struct ExecContextBuilder {
+    metrics: Arc<ExecMetrics>,
+    cancel: CancelToken,
+    deadline: Option<Instant>,
+    hard_budget: Option<usize>,
+    fault_policy: FaultPolicy,
+    retry_policy: RetryPolicy,
+}
+
+impl ExecContextBuilder {
+    pub fn cancel_token(mut self, token: CancelToken) -> Self {
+        self.cancel = token;
+        self
+    }
+
+    pub fn deadline(mut self, deadline: Instant) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    pub fn timeout(self, timeout: Duration) -> Self {
+        self.deadline(Instant::now() + timeout)
+    }
+
+    /// Enforced memory budget: exceeding it aborts the query.
+    pub fn hard_budget(mut self, bytes: usize) -> Self {
+        self.hard_budget = Some(bytes);
+        self
+    }
+
+    pub fn fault_policy(mut self, policy: FaultPolicy) -> Self {
+        self.fault_policy = policy;
+        self
+    }
+
+    pub fn retry_policy(mut self, policy: RetryPolicy) -> Self {
+        self.retry_policy = policy;
+        self
+    }
+
+    pub fn build(self) -> Arc<ExecContext> {
+        Arc::new(ExecContext {
+            metrics: self.metrics,
+            cancel: self.cancel,
+            deadline: self.deadline,
+            hard_budget: self.hard_budget,
+            fault_policy: self.fault_policy,
+            retry_policy: self.retry_policy,
+        })
+    }
+}
+
+/// Conversion accepted by operator constructors: pass either a ready
+/// `Arc<ExecContext>` or a bare `Arc<ExecMetrics>` (metrics-only call
+/// sites — most tests — get an unbounded context). A local trait because
+/// the orphan rules forbid `From<Arc<ExecMetrics>> for Arc<ExecContext>`.
+pub trait IntoContext {
+    fn into_ctx(self) -> Arc<ExecContext>;
+}
+
+impl IntoContext for Arc<ExecContext> {
+    fn into_ctx(self) -> Arc<ExecContext> {
+        self
+    }
+}
+
+impl IntoContext for &Arc<ExecContext> {
+    fn into_ctx(self) -> Arc<ExecContext> {
+        self.clone()
+    }
+}
+
+impl IntoContext for Arc<ExecMetrics> {
+    fn into_ctx(self) -> Arc<ExecContext> {
+        ExecContext::new(self)
+    }
+}
+
+/// RAII guard for operator state under the *enforced* budget. Reserves
+/// through the metrics (so peaks and soft-budget spills are still
+/// observed) but fails with [`FusionError::ResourceExhausted`] instead of
+/// growing past the context's hard budget.
+pub struct BudgetedReservation {
+    ctx: Arc<ExecContext>,
+    bytes: i64,
+}
+
+impl BudgetedReservation {
+    pub fn try_new(ctx: Arc<ExecContext>, bytes: i64) -> Result<Self> {
+        ctx.check_budget(bytes)?;
+        ctx.metrics.reserve_state(bytes);
+        Ok(BudgetedReservation { ctx, bytes })
+    }
+
+    pub fn try_grow(&mut self, more: i64) -> Result<()> {
+        self.ctx.check_budget(more)?;
+        self.ctx.metrics.reserve_state(more);
+        self.bytes += more;
+        Ok(())
+    }
+}
+
+impl Drop for BudgetedReservation {
+    fn drop(&mut self) {
+        self.ctx.metrics.release_state(self.bytes);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unbounded_context_always_checks_ok() {
+        let ctx = ExecContext::new(ExecMetrics::new());
+        assert!(ctx.check().is_ok());
+        let mut r = BudgetedReservation::try_new(ctx.clone(), 1 << 30).unwrap();
+        r.try_grow(1 << 30).unwrap();
+    }
+
+    #[test]
+    fn cancellation_is_observed() {
+        let token = CancelToken::new();
+        let ctx = ExecContext::builder(ExecMetrics::new())
+            .cancel_token(token.clone())
+            .build();
+        assert!(ctx.check().is_ok());
+        token.cancel();
+        assert_eq!(ctx.check(), Err(FusionError::Cancelled));
+    }
+
+    #[test]
+    fn past_deadline_fails_check() {
+        let ctx = ExecContext::builder(ExecMetrics::new())
+            .deadline(Instant::now() - Duration::from_millis(1))
+            .build();
+        assert_eq!(ctx.check(), Err(FusionError::DeadlineExceeded));
+    }
+
+    #[test]
+    fn hard_budget_rejects_with_resource_exhausted() {
+        let ctx = ExecContext::builder(ExecMetrics::new())
+            .hard_budget(100)
+            .build();
+        let mut r = BudgetedReservation::try_new(ctx.clone(), 60).unwrap();
+        match r.try_grow(60) {
+            Err(FusionError::ResourceExhausted { budget, requested }) => {
+                assert_eq!(budget, 100);
+                assert_eq!(requested, 120);
+            }
+            other => panic!("expected ResourceExhausted, got {other:?}"),
+        }
+        // The failed grow must not leak into the reservation.
+        drop(r);
+        assert_eq!(ctx.metrics().snapshot().peak_state_bytes, 60);
+        // Releases let a new reservation succeed again.
+        let _r2 = BudgetedReservation::try_new(ctx, 90).unwrap();
+    }
+
+    #[test]
+    fn budget_accounts_for_concurrent_reservations() {
+        let ctx = ExecContext::builder(ExecMetrics::new())
+            .hard_budget(100)
+            .build();
+        let _a = BudgetedReservation::try_new(ctx.clone(), 70).unwrap();
+        assert!(matches!(
+            BudgetedReservation::try_new(ctx, 70),
+            Err(FusionError::ResourceExhausted { .. })
+        ));
+    }
+
+    #[test]
+    fn faulted_read_retries_until_success() {
+        // Find a (table, partition) that fails attempt 0 but recovers
+        // within the retry allowance.
+        let policy = FaultPolicy::transient(11, 0.5);
+        let retry = RetryPolicy::default();
+        let pick = (0..200).find(|&p| {
+            policy.inject("t", p, 0).is_err()
+                && (1..=retry.max_retries).any(|a| policy.inject("t", p, a).is_ok())
+        });
+        let p = pick.expect("some partition recovers under this seed");
+        let metrics = ExecMetrics::new();
+        let ctx = ExecContext::builder(metrics.clone())
+            .fault_policy(policy)
+            .retry_policy(retry)
+            .build();
+        let v = ctx.faulted_read("t", p, || Ok(42)).unwrap();
+        assert_eq!(v, 42);
+        let snap = metrics.snapshot();
+        assert!(snap.retries >= 1);
+        assert!(snap.faults_injected >= 1);
+    }
+
+    #[test]
+    fn faulted_read_gives_up_after_max_retries() {
+        // Rate 1.0 fails every attempt.
+        let metrics = ExecMetrics::new();
+        let ctx = ExecContext::builder(metrics.clone())
+            .fault_policy(FaultPolicy::transient(1, 1.0))
+            .retry_policy(RetryPolicy::default())
+            .build();
+        let out: Result<()> = ctx.faulted_read("t", 0, || Ok(()));
+        assert!(matches!(out, Err(FusionError::TransientIo(_))));
+        assert_eq!(metrics.snapshot().retries as u32, RetryPolicy::default().max_retries);
+    }
+
+    #[test]
+    fn poison_bypasses_retry() {
+        let metrics = ExecMetrics::new();
+        let ctx = ExecContext::builder(metrics.clone())
+            .fault_policy(FaultPolicy::default().with_poison("t", 5))
+            .build();
+        let out: Result<()> = ctx.faulted_read("t", 5, || Ok(()));
+        assert!(matches!(out, Err(FusionError::DataCorruption(_))));
+        assert_eq!(metrics.snapshot().retries, 0);
+    }
+}

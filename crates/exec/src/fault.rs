@@ -1,0 +1,214 @@
+//! Deterministic fault injection for table scans.
+//!
+//! Production engines see transient storage failures constantly; the paper's
+//! setting (Athena reading S3) makes retry-with-backoff and graceful
+//! degradation first-class concerns. This module lets tests *schedule*
+//! faults deterministically: a [`FaultPolicy`] decides, as a pure function
+//! of `(seed, table, partition, attempt)`, whether a given read attempt
+//! fails. The same seed always produces the same fault schedule, so a
+//! property test can assert that fused and unfused plans survive identical
+//! storm patterns.
+//!
+//! Two fault classes exist, mirroring the retryable/fatal taxonomy in
+//! [`fusion_common::error`]:
+//!
+//! * **Transient read failures** ([`FusionError::TransientIo`]) — injected
+//!   with probability `transient_failure_rate` per `(table, partition,
+//!   attempt)`. Because the decision re-hashes the attempt number, a retry
+//!   of the same partition can succeed — exactly like a flaky object store.
+//! * **Poison partitions** ([`FusionError::DataCorruption`]) — partitions
+//!   listed in `poison` fail *every* attempt with a fatal error. Retrying
+//!   cannot help; only plan-level degradation or caller intervention can.
+
+use std::collections::HashSet;
+use std::time::Duration;
+
+use fusion_common::FusionError;
+
+/// Deterministic fault schedule for scans. Cheap to clone; carried by
+/// `ExecContext`.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPolicy {
+    /// Seed for the fault schedule. Two policies with the same seed and
+    /// rates inject identical faults.
+    pub seed: u64,
+    /// Probability in `[0, 1]` that any given `(table, partition, attempt)`
+    /// read fails with a retryable [`FusionError::TransientIo`].
+    pub transient_failure_rate: f64,
+    /// Synthetic latency added to every partition read (simulates slow
+    /// storage so deadline enforcement can be tested without huge data).
+    pub read_latency: Duration,
+    /// `(table, partition)` pairs that always fail with
+    /// [`FusionError::DataCorruption`].
+    pub poison: HashSet<(String, usize)>,
+}
+
+impl FaultPolicy {
+    /// A policy injecting transient failures at `rate` under `seed`.
+    pub fn transient(seed: u64, rate: f64) -> Self {
+        FaultPolicy {
+            seed,
+            transient_failure_rate: rate,
+            ..FaultPolicy::default()
+        }
+    }
+
+    /// Mark a `(table, partition)` as poisoned (fatally corrupt).
+    pub fn with_poison(mut self, table: &str, partition: usize) -> Self {
+        self.poison.insert((table.to_string(), partition));
+        self
+    }
+
+    /// Add synthetic per-partition read latency.
+    pub fn with_read_latency(mut self, latency: Duration) -> Self {
+        self.read_latency = latency;
+        self
+    }
+
+    /// Whether this policy can ever inject anything.
+    pub fn is_active(&self) -> bool {
+        self.transient_failure_rate > 0.0
+            || !self.poison.is_empty()
+            || !self.read_latency.is_zero()
+    }
+
+    /// Decide the fate of read `attempt` (0-based) of `partition` of
+    /// `table`. `Ok(())` means the read proceeds. Deterministic: the same
+    /// inputs always return the same result.
+    pub fn inject(&self, table: &str, partition: usize, attempt: u32) -> Result<(), FusionError> {
+        if self.poison.contains(&(table.to_string(), partition)) {
+            return Err(FusionError::DataCorruption(format!(
+                "poisoned partition {partition} of table '{table}'"
+            )));
+        }
+        if self.transient_failure_rate > 0.0 {
+            // splitmix64-style avalanche over the (seed, table, partition,
+            // attempt) tuple; uniform enough for a failure-rate threshold.
+            let mut h = self.seed ^ 0x9E37_79B9_7F4A_7C15;
+            for b in table.bytes() {
+                h = (h ^ b as u64).wrapping_mul(0x100_0000_01B3);
+            }
+            h ^= (partition as u64).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            h ^= (attempt as u64).wrapping_mul(0x94D0_49BB_1331_11EB);
+            h ^= h >> 30;
+            h = h.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            h ^= h >> 27;
+            h = h.wrapping_mul(0x94D0_49BB_1331_11EB);
+            h ^= h >> 31;
+            let unit = (h >> 11) as f64 / (1u64 << 53) as f64;
+            if unit < self.transient_failure_rate {
+                return Err(FusionError::TransientIo(format!(
+                    "injected read failure: table '{table}' partition {partition} attempt {attempt}"
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Retry-with-exponential-backoff parameters for transient scan failures.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Retries after the first attempt (so `max_retries = 3` allows four
+    /// attempts total).
+    pub max_retries: u32,
+    /// Backoff before the first retry.
+    pub initial_backoff: Duration,
+    /// Backoff growth factor per retry.
+    pub multiplier: f64,
+    /// Upper bound on any single backoff sleep.
+    pub max_backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        // Small absolute values keep fault-injection tests fast while the
+        // exponential shape stays observable.
+        RetryPolicy {
+            max_retries: 3,
+            initial_backoff: Duration::from_millis(1),
+            multiplier: 2.0,
+            max_backoff: Duration::from_millis(50),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// No retries at all: the first failure is final.
+    pub fn none() -> Self {
+        RetryPolicy {
+            max_retries: 0,
+            ..RetryPolicy::default()
+        }
+    }
+
+    /// The backoff to sleep before retry number `retry` (1-based).
+    pub fn backoff(&self, retry: u32) -> Duration {
+        let factor = self.multiplier.powi(retry.saturating_sub(1) as i32);
+        let nanos = self.initial_backoff.as_nanos() as f64 * factor;
+        Duration::from_nanos(nanos.min(self.max_backoff.as_nanos() as f64) as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_is_deterministic() {
+        let a = FaultPolicy::transient(42, 0.3);
+        let b = FaultPolicy::transient(42, 0.3);
+        for p in 0..64 {
+            for attempt in 0..4 {
+                assert_eq!(
+                    a.inject("store_sales", p, attempt).is_ok(),
+                    b.inject("store_sales", p, attempt).is_ok()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rate_roughly_respected_and_attempts_reroll() {
+        let p = FaultPolicy::transient(7, 0.5);
+        let fails = (0..1000)
+            .filter(|&i| p.inject("t", i, 0).is_err())
+            .count();
+        assert!((300..700).contains(&fails), "got {fails} failures at rate 0.5");
+        // At least one partition that failed attempt 0 succeeds on a retry.
+        let recovered = (0..1000).any(|i| {
+            p.inject("t", i, 0).is_err()
+                && (1..4).any(|a| p.inject("t", i, a).is_ok())
+        });
+        assert!(recovered);
+    }
+
+    #[test]
+    fn zero_rate_never_fails() {
+        let p = FaultPolicy::transient(1, 0.0);
+        assert!(!p.is_active());
+        assert!((0..100).all(|i| p.inject("t", i, 0).is_ok()));
+    }
+
+    #[test]
+    fn poison_is_fatal_on_every_attempt() {
+        let p = FaultPolicy::default().with_poison("t", 3);
+        for attempt in 0..8 {
+            match p.inject("t", 3, attempt) {
+                Err(e) => assert!(!e.is_retryable(), "poison must be fatal"),
+                Ok(()) => panic!("poisoned partition must fail"),
+            }
+        }
+        assert!(p.inject("t", 2, 0).is_ok());
+        assert!(p.inject("u", 3, 0).is_ok());
+    }
+
+    #[test]
+    fn backoff_grows_exponentially_and_caps() {
+        let r = RetryPolicy::default();
+        assert_eq!(r.backoff(1), Duration::from_millis(1));
+        assert_eq!(r.backoff(2), Duration::from_millis(2));
+        assert_eq!(r.backoff(3), Duration::from_millis(4));
+        assert_eq!(r.backoff(20), Duration::from_millis(50));
+    }
+}

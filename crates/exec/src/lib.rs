@@ -16,13 +16,17 @@
 //! * [`physical`] — compiles a `LogicalPlan` against a [`table::Catalog`]
 //!   and runs it to completion.
 
+pub mod context;
+pub mod fault;
 pub mod metrics;
 pub mod ops;
 pub mod physical;
 pub mod table;
 
-pub use metrics::ExecMetrics;
-pub use physical::{collect, compile, execute_plan, QueryOutput};
+pub use context::{BudgetedReservation, CancelToken, ExecContext, IntoContext};
+pub use fault::{FaultPolicy, RetryPolicy};
+pub use metrics::{ExecMetrics, MetricsSnapshot};
+pub use physical::{collect, compile, compile_ctx, execute_plan, execute_plan_ctx, QueryOutput};
 pub use table::{Catalog, Table, TableBuilder};
 
 use fusion_common::Value;

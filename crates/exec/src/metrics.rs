@@ -29,6 +29,14 @@ pub struct ExecMetrics {
     /// spilling which fusion avoids.
     memory_budget: AtomicI64,
     spills: AtomicU64,
+    /// Scan read attempts that were retried after a transient failure.
+    retries: AtomicU64,
+    /// Faults the [`crate::fault::FaultPolicy`] injected (transient or
+    /// fatal), whether or not a retry later succeeded.
+    faults_injected: AtomicU64,
+    /// Times the engine degraded a fused plan back to the unfused
+    /// baseline after an execution or validation failure.
+    fallbacks: AtomicU64,
 }
 
 impl ExecMetrics {
@@ -76,6 +84,18 @@ impl ExecMetrics {
         self.current_state_bytes.fetch_sub(bytes, Ordering::Relaxed);
     }
 
+    pub fn add_retry(&self) {
+        self.retries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn add_fault_injected(&self) {
+        self.faults_injected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn add_fallback(&self) {
+        self.fallbacks.fetch_add(1, Ordering::Relaxed);
+    }
+
     pub fn bytes_scanned(&self) -> u64 {
         self.bytes_scanned.load(Ordering::Relaxed)
     }
@@ -104,6 +124,24 @@ impl ExecMetrics {
         self.spills.load(Ordering::Relaxed)
     }
 
+    pub fn retries(&self) -> u64 {
+        self.retries.load(Ordering::Relaxed)
+    }
+
+    pub fn faults_injected(&self) -> u64 {
+        self.faults_injected.load(Ordering::Relaxed)
+    }
+
+    pub fn fallbacks(&self) -> u64 {
+        self.fallbacks.load(Ordering::Relaxed)
+    }
+
+    /// The *currently* reserved operator state (not the peak), clamped at
+    /// zero. Used for enforced-budget admission checks.
+    pub fn current_state_bytes(&self) -> u64 {
+        self.current_state_bytes.load(Ordering::Relaxed).max(0) as u64
+    }
+
     /// Snapshot for reporting.
     pub fn snapshot(&self) -> MetricsSnapshot {
         MetricsSnapshot {
@@ -114,6 +152,9 @@ impl ExecMetrics {
             partitions_pruned: self.partitions_pruned(),
             peak_state_bytes: self.peak_state_bytes().max(0) as u64,
             spills: self.spills(),
+            retries: self.retries(),
+            faults_injected: self.faults_injected(),
+            fallbacks: self.fallbacks(),
         }
     }
 }
@@ -128,6 +169,9 @@ pub struct MetricsSnapshot {
     pub partitions_pruned: u64,
     pub peak_state_bytes: u64,
     pub spills: u64,
+    pub retries: u64,
+    pub faults_injected: u64,
+    pub fallbacks: u64,
 }
 
 /// RAII guard for reserved operator state.

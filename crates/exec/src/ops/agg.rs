@@ -12,7 +12,7 @@ use std::sync::Arc;
 use fusion_common::{FusionError, Result, Schema, Value};
 use fusion_expr::{AggFunc, AggregateExpr, WindowExpr};
 
-use crate::metrics::{ExecMetrics, StateReservation};
+use crate::context::{BudgetedReservation, ExecContext, IntoContext};
 use crate::ops::{drain, row_bytes, BoxedOp, Operator, RowIndex};
 use crate::{Chunk, Row, CHUNK_SIZE};
 
@@ -146,7 +146,7 @@ pub struct HashAggregateExec {
     int_sums: Vec<bool>,
     input_index: RowIndex,
     schema: Schema,
-    metrics: Arc<ExecMetrics>,
+    ctx: Arc<ExecContext>,
     output: Option<std::vec::IntoIter<Row>>,
 }
 
@@ -156,7 +156,7 @@ impl HashAggregateExec {
         group_positions: Vec<usize>,
         aggregates: Vec<AggregateExpr>,
         schema: Schema,
-        metrics: Arc<ExecMetrics>,
+        ctx: impl IntoContext,
     ) -> Result<Self> {
         let input_schema = input.schema().clone();
         let input_index = RowIndex::new(&input_schema);
@@ -181,7 +181,7 @@ impl HashAggregateExec {
             int_sums,
             input_index,
             schema,
-            metrics,
+            ctx: ctx.into_ctx(),
             output: None,
         })
     }
@@ -216,8 +216,13 @@ impl HashAggregateExec {
             .collect();
         let mut mask_values = vec![false; distinct_masks.len()];
 
-        let mut state_bytes = 0i64;
+        // Reserve hash-table state incrementally (chunk by chunk) so an
+        // enforced budget aborts as soon as it is crossed, not after the
+        // whole input is consumed.
+        let mut reservation = BudgetedReservation::try_new(self.ctx.clone(), 0)?;
         while let Some(chunk) = input.next_chunk()? {
+            self.ctx.check()?;
+            let mut state_bytes = 0i64;
             for row in chunk {
                 for (slot, mask) in distinct_masks.iter().enumerate() {
                     mask_values[slot] = self.input_index.eval_pred(mask, &row)?;
@@ -268,8 +273,9 @@ impl HashAggregateExec {
                     state.accs[i].update(arg_value.as_ref());
                 }
             }
+            reservation.try_grow(state_bytes)?;
         }
-        let _reservation = StateReservation::new(self.metrics.clone(), state_bytes);
+        let _reservation = reservation;
 
         if scalar && groups.is_empty() {
             // Scalar aggregates return one row over empty input.
@@ -322,7 +328,7 @@ pub struct WindowExec {
     exprs: Vec<WindowExpr>,
     input_index: RowIndex,
     schema: Schema,
-    metrics: Arc<ExecMetrics>,
+    ctx: Arc<ExecContext>,
     output: Option<std::vec::IntoIter<Row>>,
 }
 
@@ -331,7 +337,7 @@ impl WindowExec {
         input: BoxedOp,
         exprs: Vec<WindowExpr>,
         schema: Schema,
-        metrics: Arc<ExecMetrics>,
+        ctx: impl IntoContext,
     ) -> Self {
         let input_index = RowIndex::new(input.schema());
         WindowExec {
@@ -339,16 +345,17 @@ impl WindowExec {
             exprs,
             input_index,
             schema,
-            metrics,
+            ctx: ctx.into_ctx(),
             output: None,
         }
     }
 
     fn compute(&mut self) -> Result<Vec<Row>> {
+        self.ctx.check()?;
         let mut input = self.input.take().expect("computed once");
         let rows = drain(input.as_mut())?;
         let bytes: i64 = rows.iter().map(|r| row_bytes(r)).sum();
-        let _reservation = StateReservation::new(self.metrics.clone(), bytes);
+        let _reservation = BudgetedReservation::try_new(self.ctx.clone(), bytes)?;
 
         // Per window expr: partition key -> accumulator.
         let mut states: Vec<HashMap<Vec<Value>, Acc>> =
@@ -422,6 +429,7 @@ impl Operator for WindowExec {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::metrics::ExecMetrics;
     use crate::ops::basic::ConstantTableExec;
     use fusion_common::{ColumnId, DataType, Field};
     use fusion_expr::{col, lit, Expr};
@@ -592,6 +600,28 @@ mod tests {
     }
 
     #[test]
+    fn group_state_over_hard_budget_aborts() {
+        // Three groups of ~64+ bytes of accumulator state each; a 100-byte
+        // enforced budget cannot hold them.
+        let ctx = ExecContext::builder(ExecMetrics::new())
+            .hard_budget(100)
+            .build();
+        let input = source(rows_i64(&[(1, 10), (2, 20), (3, 30)]));
+        let mut agg = HashAggregateExec::new(
+            input,
+            vec![0],
+            vec![AggregateExpr::sum(col(ColumnId(2)))],
+            out_schema(2),
+            ctx,
+        )
+        .unwrap();
+        assert!(matches!(
+            drain(&mut agg),
+            Err(FusionError::ResourceExhausted { .. })
+        ));
+    }
+
+    #[test]
     fn window_broadcasts_partition_aggregate() {
         let input = source(rows_i64(&[(1, 10), (1, 20), (2, 30)]));
         let w = WindowExpr::new(AggFunc::Avg, Some(col(ColumnId(2))), vec![ColumnId(1)]);
@@ -625,6 +655,7 @@ mod tests {
 #[cfg(test)]
 mod edge_tests {
     use super::*;
+    use crate::metrics::ExecMetrics;
     use crate::ops::basic::ConstantTableExec;
     use crate::ops::{drain, BoxedOp};
     use fusion_common::{ColumnId, DataType, Field, Value};
@@ -771,6 +802,7 @@ mod edge_tests {
 #[cfg(test)]
 mod masked_window_tests {
     use super::*;
+    use crate::metrics::ExecMetrics;
     use crate::ops::basic::ConstantTableExec;
     use crate::ops::{drain, BoxedOp};
     use fusion_common::{ColumnId, DataType, Field, Value};

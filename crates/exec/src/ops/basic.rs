@@ -1,9 +1,18 @@
 //! Simple streaming operators: Filter, Project, Limit, UnionAll,
 //! ConstantTable, EnforceSingleRow.
+//!
+//! Every operator that pulls from an input carries an [`ExecContext`] and
+//! calls [`ExecContext::check`] at chunk boundaries, so cancellation and
+//! deadlines are observed even in pipelines whose leaves are cheap
+//! (`ConstantTableExec`, the only context-free operator here, is a
+//! one-shot literal).
+
+use std::sync::Arc;
 
 use fusion_common::{FusionError, Result, Schema, Value};
 use fusion_expr::Expr;
 
+use crate::context::{ExecContext, IntoContext};
 use crate::ops::{drain, BoxedOp, Operator, RowIndex};
 use crate::{Chunk, Row};
 
@@ -13,10 +22,11 @@ pub struct FilterExec {
     predicate: Expr,
     index: RowIndex,
     schema: Schema,
+    ctx: Arc<ExecContext>,
 }
 
 impl FilterExec {
-    pub fn new(input: BoxedOp, predicate: Expr) -> Self {
+    pub fn new(input: BoxedOp, predicate: Expr, ctx: impl IntoContext) -> Self {
         let schema = input.schema().clone();
         let index = RowIndex::new(&schema);
         FilterExec {
@@ -24,6 +34,7 @@ impl FilterExec {
             predicate,
             index,
             schema,
+            ctx: ctx.into_ctx(),
         }
     }
 }
@@ -35,6 +46,7 @@ impl Operator for FilterExec {
 
     fn next_chunk(&mut self) -> Result<Option<Chunk>> {
         while let Some(chunk) = self.input.next_chunk()? {
+            self.ctx.check()?;
             let mut out = Vec::with_capacity(chunk.len());
             for row in chunk {
                 if self.index.eval_pred(&self.predicate, &row)? {
@@ -63,10 +75,16 @@ pub struct ProjectExec {
     exprs: Vec<CompiledExpr>,
     index: RowIndex,
     schema: Schema,
+    ctx: Arc<ExecContext>,
 }
 
 impl ProjectExec {
-    pub fn new(input: BoxedOp, exprs: Vec<Expr>, schema: Schema) -> Self {
+    pub fn new(
+        input: BoxedOp,
+        exprs: Vec<Expr>,
+        schema: Schema,
+        ctx: impl IntoContext,
+    ) -> Self {
         let index = RowIndex::new(input.schema());
         let exprs = exprs
             .into_iter()
@@ -83,6 +101,7 @@ impl ProjectExec {
             exprs,
             index,
             schema,
+            ctx: ctx.into_ctx(),
         }
     }
 }
@@ -96,6 +115,7 @@ impl Operator for ProjectExec {
         match self.input.next_chunk()? {
             None => Ok(None),
             Some(chunk) => {
+                self.ctx.check()?;
                 let mut out = Vec::with_capacity(chunk.len());
                 for row in chunk {
                     let mut new_row = Vec::with_capacity(self.exprs.len());
@@ -118,15 +138,17 @@ pub struct LimitExec {
     input: BoxedOp,
     remaining: usize,
     schema: Schema,
+    ctx: Arc<ExecContext>,
 }
 
 impl LimitExec {
-    pub fn new(input: BoxedOp, fetch: usize) -> Self {
+    pub fn new(input: BoxedOp, fetch: usize, ctx: impl IntoContext) -> Self {
         let schema = input.schema().clone();
         LimitExec {
             input,
             remaining: fetch,
             schema,
+            ctx: ctx.into_ctx(),
         }
     }
 }
@@ -140,6 +162,7 @@ impl Operator for LimitExec {
         if self.remaining == 0 {
             return Ok(None);
         }
+        self.ctx.check()?;
         match self.input.next_chunk()? {
             None => Ok(None),
             Some(mut chunk) => {
@@ -158,14 +181,16 @@ pub struct UnionAllExec {
     inputs: Vec<BoxedOp>,
     current: usize,
     schema: Schema,
+    ctx: Arc<ExecContext>,
 }
 
 impl UnionAllExec {
-    pub fn new(inputs: Vec<BoxedOp>, schema: Schema) -> Self {
+    pub fn new(inputs: Vec<BoxedOp>, schema: Schema, ctx: impl IntoContext) -> Self {
         UnionAllExec {
             inputs,
             current: 0,
             schema,
+            ctx: ctx.into_ctx(),
         }
     }
 }
@@ -177,6 +202,7 @@ impl Operator for UnionAllExec {
 
     fn next_chunk(&mut self) -> Result<Option<Chunk>> {
         while self.current < self.inputs.len() {
+            self.ctx.check()?;
             if let Some(chunk) = self.inputs[self.current].next_chunk()? {
                 return Ok(Some(chunk));
             }
@@ -221,15 +247,17 @@ pub struct EnforceSingleRowExec {
     input: BoxedOp,
     schema: Schema,
     done: bool,
+    ctx: Arc<ExecContext>,
 }
 
 impl EnforceSingleRowExec {
-    pub fn new(input: BoxedOp) -> Self {
+    pub fn new(input: BoxedOp, ctx: impl IntoContext) -> Self {
         let schema = input.schema().clone();
         EnforceSingleRowExec {
             input,
             schema,
             done: false,
+            ctx: ctx.into_ctx(),
         }
     }
 }
@@ -244,6 +272,7 @@ impl Operator for EnforceSingleRowExec {
             return Ok(None);
         }
         self.done = true;
+        self.ctx.check()?;
         let rows = drain(self.input.as_mut())?;
         match rows.len() {
             0 => Ok(Some(vec![vec![Value::Null; self.schema.len()]])),
@@ -256,6 +285,7 @@ impl Operator for EnforceSingleRowExec {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::metrics::ExecMetrics;
     use fusion_common::{ColumnId, DataType, Field};
     use fusion_expr::{col, lit};
 
@@ -272,7 +302,11 @@ mod tests {
 
     #[test]
     fn filter_keeps_true_rows() {
-        let mut f = FilterExec::new(source(1, &[1, 5, 10]), col(ColumnId(1)).gt(lit(4i64)));
+        let mut f = FilterExec::new(
+            source(1, &[1, 5, 10]),
+            col(ColumnId(1)).gt(lit(4i64)),
+            ExecMetrics::new(),
+        );
         let rows = drain(&mut f).unwrap();
         assert_eq!(rows, vec![vec![Value::Int64(5)], vec![Value::Int64(10)]]);
     }
@@ -284,6 +318,7 @@ mod tests {
             source(1, &[1, 2]),
             vec![col(ColumnId(1)).add(lit(10i64))],
             schema,
+            ExecMetrics::new(),
         );
         let rows = drain(&mut p).unwrap();
         assert_eq!(rows, vec![vec![Value::Int64(11)], vec![Value::Int64(12)]]);
@@ -291,9 +326,9 @@ mod tests {
 
     #[test]
     fn limit_truncates() {
-        let mut l = LimitExec::new(source(1, &[1, 2, 3, 4]), 2);
+        let mut l = LimitExec::new(source(1, &[1, 2, 3, 4]), 2, ExecMetrics::new());
         assert_eq!(drain(&mut l).unwrap().len(), 2);
-        let mut l = LimitExec::new(source(1, &[1]), 5);
+        let mut l = LimitExec::new(source(1, &[1]), 5, ExecMetrics::new());
         assert_eq!(drain(&mut l).unwrap().len(), 1);
     }
 
@@ -302,6 +337,7 @@ mod tests {
         let mut u = UnionAllExec::new(
             vec![source(1, &[1]), source(2, &[2, 3])],
             one_col_schema(7),
+            ExecMetrics::new(),
         );
         let rows = drain(&mut u).unwrap();
         assert_eq!(rows.len(), 3);
@@ -311,16 +347,28 @@ mod tests {
 
     #[test]
     fn enforce_single_row_semantics() {
-        let mut ok = EnforceSingleRowExec::new(source(1, &[42]));
+        let mut ok = EnforceSingleRowExec::new(source(1, &[42]), ExecMetrics::new());
         assert_eq!(drain(&mut ok).unwrap(), vec![vec![Value::Int64(42)]]);
 
-        let mut empty = EnforceSingleRowExec::new(source(1, &[]));
+        let mut empty = EnforceSingleRowExec::new(source(1, &[]), ExecMetrics::new());
         assert_eq!(drain(&mut empty).unwrap(), vec![vec![Value::Null]]);
 
-        let mut many = EnforceSingleRowExec::new(source(1, &[1, 2]));
+        let mut many = EnforceSingleRowExec::new(source(1, &[1, 2]), ExecMetrics::new());
         assert!(matches!(
             drain(&mut many),
             Err(FusionError::SingleRowViolation(2))
         ));
+    }
+
+    #[test]
+    fn cancelled_context_stops_the_pipeline() {
+        let ctx = ExecContext::builder(ExecMetrics::new()).build();
+        ctx.cancel_token().cancel();
+        let mut f = FilterExec::new(
+            source(1, &[1, 5, 10]),
+            col(ColumnId(1)).gt(lit(0i64)),
+            ctx,
+        );
+        assert_eq!(drain(&mut f), Err(FusionError::Cancelled));
     }
 }

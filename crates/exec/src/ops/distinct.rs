@@ -6,7 +6,7 @@ use std::sync::Arc;
 use fusion_common::{ColumnId, Result, Schema, Value};
 use fusion_expr::Expr;
 
-use crate::metrics::{ExecMetrics, StateReservation};
+use crate::context::{BudgetedReservation, ExecContext, IntoContext};
 use crate::ops::{row_bytes, BoxedOp, Operator, RowIndex};
 use crate::Chunk;
 
@@ -23,7 +23,8 @@ pub struct MarkDistinctExec {
     index: RowIndex,
     seen: HashSet<Vec<Value>>,
     schema: Schema,
-    reservation: StateReservation,
+    ctx: Arc<ExecContext>,
+    reservation: BudgetedReservation,
 }
 
 impl MarkDistinctExec {
@@ -32,14 +33,16 @@ impl MarkDistinctExec {
         columns: &[ColumnId],
         mask: Expr,
         schema: Schema,
-        metrics: Arc<ExecMetrics>,
+        ctx: impl IntoContext,
     ) -> Result<Self> {
+        let ctx = ctx.into_ctx();
         let index = RowIndex::new(input.schema());
         let positions = columns
             .iter()
             .map(|c| index.position(*c))
             .collect::<Result<Vec<_>>>()?;
         let mask = if mask.is_true_literal() { None } else { Some(mask) };
+        let reservation = BudgetedReservation::try_new(ctx.clone(), 0)?;
         Ok(MarkDistinctExec {
             input,
             positions,
@@ -47,7 +50,8 @@ impl MarkDistinctExec {
             index,
             seen: HashSet::new(),
             schema,
-            reservation: StateReservation::new(metrics, 0),
+            ctx,
+            reservation,
         })
     }
 }
@@ -61,6 +65,7 @@ impl Operator for MarkDistinctExec {
         match self.input.next_chunk()? {
             None => Ok(None),
             Some(chunk) => {
+                self.ctx.check()?;
                 let mut out = Vec::with_capacity(chunk.len());
                 for mut row in chunk {
                     let masked_out = match &self.mask {
@@ -78,7 +83,7 @@ impl Operator for MarkDistinctExec {
                         if self.seen.contains(&key) {
                             false
                         } else {
-                            self.reservation.grow(row_bytes(&key));
+                            self.reservation.try_grow(row_bytes(&key))?;
                             self.seen.insert(key);
                             true
                         }
@@ -95,6 +100,7 @@ impl Operator for MarkDistinctExec {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::metrics::ExecMetrics;
     use crate::ops::basic::ConstantTableExec;
     use crate::ops::drain;
     use fusion_common::{DataType, Field};

@@ -8,7 +8,7 @@ use fusion_common::{Result, Schema, Value};
 use fusion_expr::{split_conjuncts, BinaryOp, Expr};
 use fusion_plan::JoinType;
 
-use crate::metrics::{ExecMetrics, StateReservation};
+use crate::context::{BudgetedReservation, ExecContext, IntoContext};
 use crate::ops::{drain, row_bytes, BoxedOp, Operator, RowIndex};
 use crate::{Chunk, Row, CHUNK_SIZE};
 
@@ -71,8 +71,8 @@ pub struct HashJoinExec {
     schema: Schema,
     right_width: usize,
     build: Option<HashMap<Vec<Value>, Vec<Row>>>,
-    _reservation: Option<StateReservation>,
-    metrics: Arc<ExecMetrics>,
+    _reservation: Option<BudgetedReservation>,
+    ctx: Arc<ExecContext>,
     /// Probe buffer: output rows not yet emitted.
     pending: Vec<Row>,
 }
@@ -85,7 +85,7 @@ impl HashJoinExec {
         key_exprs: Vec<(Expr, Expr)>,
         residual: Vec<Expr>,
         schema: Schema,
-        metrics: Arc<ExecMetrics>,
+        ctx: impl IntoContext,
     ) -> Self {
         let left_index = RowIndex::new(left.schema());
         let combined = left.schema().join(right.schema());
@@ -103,7 +103,7 @@ impl HashJoinExec {
             right_width,
             build: None,
             _reservation: None,
-            metrics,
+            ctx: ctx.into_ctx(),
             pending: Vec::new(),
         }
     }
@@ -131,7 +131,7 @@ impl HashJoinExec {
             bytes += row_bytes(&row) + row_bytes(&key);
             map.entry(key).or_default().push(row);
         }
-        self._reservation = Some(StateReservation::new(self.metrics.clone(), bytes));
+        self._reservation = Some(BudgetedReservation::try_new(self.ctx.clone(), bytes)?);
         self.build = Some(map);
         Ok(())
     }
@@ -187,6 +187,7 @@ impl Operator for HashJoinExec {
     }
 
     fn next_chunk(&mut self) -> Result<Option<Chunk>> {
+        self.ctx.check()?;
         self.build_side()?;
         loop {
             if !self.pending.is_empty() {
@@ -221,8 +222,8 @@ pub struct NestedLoopJoinExec {
     schema: Schema,
     right_width: usize,
     right_rows: Option<Vec<Row>>,
-    _reservation: Option<StateReservation>,
-    metrics: Arc<ExecMetrics>,
+    _reservation: Option<BudgetedReservation>,
+    ctx: Arc<ExecContext>,
     pending: Vec<Row>,
 }
 
@@ -233,7 +234,7 @@ impl NestedLoopJoinExec {
         join_type: JoinType,
         condition: Expr,
         schema: Schema,
-        metrics: Arc<ExecMetrics>,
+        ctx: impl IntoContext,
     ) -> Self {
         let combined = left.schema().join(right.schema());
         let combined_index = RowIndex::new(&combined);
@@ -248,7 +249,7 @@ impl NestedLoopJoinExec {
             right_width,
             right_rows: None,
             _reservation: None,
-            metrics,
+            ctx: ctx.into_ctx(),
             pending: Vec::new(),
         }
     }
@@ -260,7 +261,7 @@ impl NestedLoopJoinExec {
         let mut right = self.right.take().expect("materialize once");
         let rows = drain(right.as_mut())?;
         let bytes: i64 = rows.iter().map(|r| row_bytes(r)).sum();
-        self._reservation = Some(StateReservation::new(self.metrics.clone(), bytes));
+        self._reservation = Some(BudgetedReservation::try_new(self.ctx.clone(), bytes)?);
         self.right_rows = Some(rows);
         Ok(())
     }
@@ -272,6 +273,7 @@ impl Operator for NestedLoopJoinExec {
     }
 
     fn next_chunk(&mut self) -> Result<Option<Chunk>> {
+        self.ctx.check()?;
         self.materialize_right()?;
         loop {
             if !self.pending.is_empty() {
@@ -327,7 +329,12 @@ pub struct CrossJoinExec {
 }
 
 impl CrossJoinExec {
-    pub fn new(left: BoxedOp, right: BoxedOp, schema: Schema, metrics: Arc<ExecMetrics>) -> Self {
+    pub fn new(
+        left: BoxedOp,
+        right: BoxedOp,
+        schema: Schema,
+        ctx: impl IntoContext,
+    ) -> Self {
         CrossJoinExec {
             inner: NestedLoopJoinExec::new(
                 left,
@@ -335,7 +342,7 @@ impl CrossJoinExec {
                 JoinType::Inner,
                 Expr::boolean(true),
                 schema,
-                metrics,
+                ctx,
             ),
         }
     }
@@ -354,8 +361,9 @@ impl Operator for CrossJoinExec {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::metrics::ExecMetrics;
     use crate::ops::basic::ConstantTableExec;
-    use fusion_common::{ColumnId, DataType, Field};
+    use fusion_common::{ColumnId, DataType, Field, FusionError};
     use fusion_expr::{col, lit};
 
     fn side(ids: &[u32], rows: Vec<Vec<i64>>) -> BoxedOp {
@@ -540,11 +548,33 @@ mod tests {
         assert!(m.peak_state_bytes() > 0);
         drop(j);
     }
+
+    #[test]
+    fn build_side_over_hard_budget_is_resource_exhausted() {
+        let ctx = ExecContext::builder(ExecMetrics::new()).hard_budget(8).build();
+        let l = side(&[1], vec![vec![1]]);
+        let r = side(&[2], vec![vec![1], vec![2], vec![3]]);
+        let schema = l.schema().join(r.schema());
+        let mut j = HashJoinExec::new(
+            l,
+            r,
+            JoinType::Inner,
+            vec![(col(ColumnId(1)), col(ColumnId(2)))],
+            vec![],
+            schema,
+            ctx,
+        );
+        assert!(matches!(
+            drain(&mut j),
+            Err(FusionError::ResourceExhausted { .. })
+        ));
+    }
 }
 
 #[cfg(test)]
 mod edge_tests {
     use super::*;
+    use crate::metrics::ExecMetrics;
     use crate::ops::basic::ConstantTableExec;
     use fusion_common::{ColumnId, DataType, Field};
     use fusion_expr::col;

@@ -5,7 +5,7 @@ use std::sync::Arc;
 use fusion_common::{Result, Schema, Value};
 use fusion_expr::{BinaryOp, Expr};
 
-use crate::metrics::ExecMetrics;
+use crate::context::{ExecContext, IntoContext};
 use crate::ops::{Operator, RowIndex};
 use crate::table::Table;
 use crate::{Chunk, CHUNK_SIZE};
@@ -23,7 +23,7 @@ pub struct ScanExec {
     schema: Schema,
     filters: Vec<Expr>,
     index: RowIndex,
-    metrics: Arc<ExecMetrics>,
+    ctx: Arc<ExecContext>,
     /// (op, literal) conjuncts over the partition column, for pruning.
     prune_predicates: Vec<(BinaryOp, Value)>,
     next_partition: usize,
@@ -38,7 +38,7 @@ impl ScanExec {
         column_indices: Vec<usize>,
         schema: Schema,
         filters: Vec<Expr>,
-        metrics: Arc<ExecMetrics>,
+        ctx: impl IntoContext,
     ) -> Self {
         let index = RowIndex::new(&schema);
         let prune_predicates = match table.partition_column {
@@ -52,7 +52,7 @@ impl ScanExec {
             schema,
             filters,
             index,
-            metrics,
+            ctx: ctx.into_ctx(),
             prune_predicates,
             next_partition: 0,
             offset: 0,
@@ -124,28 +124,36 @@ impl Operator for ScanExec {
     }
 
     fn next_chunk(&mut self) -> Result<Option<Chunk>> {
+        self.ctx.check()?;
         loop {
             if self.next_partition >= self.table.partitions.len() {
                 return Ok(None);
             }
             let part_idx = self.next_partition;
             if self.offset == 0 && self.partition_pruned(part_idx) {
-                self.metrics.add_partitions(0, 1);
+                self.ctx.metrics().add_partitions(0, 1);
                 self.next_partition += 1;
                 continue;
             }
-            let part = &self.table.partitions[part_idx];
             if self.offset == 0 && !self.done_metering[part_idx] {
+                // First touch of this partition: apply the fault policy
+                // (with retry/backoff for transient failures), then meter
+                // the bytes the scan actually reads.
+                self.ctx
+                    .faulted_read(&self.table.name, part_idx, || Ok(()))?;
+                let part = &self.table.partitions[part_idx];
                 let bytes: u64 = self
                     .column_indices
                     .iter()
                     .map(|&c| part.column_bytes[c])
                     .sum();
-                self.metrics.add_bytes_scanned(bytes);
-                self.metrics.add_rows_scanned(part.num_rows as u64);
-                self.metrics.add_partitions(1, 0);
+                let metrics = self.ctx.metrics();
+                metrics.add_bytes_scanned(bytes);
+                metrics.add_rows_scanned(part.num_rows as u64);
+                metrics.add_partitions(1, 0);
                 self.done_metering[part_idx] = true;
             }
+            let part = &self.table.partitions[part_idx];
 
             let end = (self.offset + CHUNK_SIZE).min(part.num_rows);
             let mut chunk: Chunk = Vec::with_capacity(end - self.offset);
@@ -178,9 +186,11 @@ impl Operator for ScanExec {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::{FaultPolicy, RetryPolicy};
+    use crate::metrics::ExecMetrics;
     use crate::ops::drain;
     use crate::table::{TableBuilder, TableColumn};
-    use fusion_common::{ColumnId, DataType, Field};
+    use fusion_common::{ColumnId, DataType, Field, FusionError};
     use fusion_expr::{col, lit};
 
     fn table() -> Table {
@@ -269,5 +279,55 @@ mod tests {
         let mut scan = ScanExec::new(t, vec![0, 1], schema_for(&[1, 2]), vec![f1, f2], m);
         let rows = drain(&mut scan).unwrap();
         assert_eq!(rows.len(), 5);
+    }
+
+    #[test]
+    fn transient_faults_are_retried_to_completion() {
+        let t = Arc::new(table());
+        let m = ExecMetrics::new();
+        // 30% per-attempt failure rate: with 3 retries the chance any of
+        // the 10 partitions fails 4 times in a row is < 1% per partition,
+        // and the schedule is deterministic anyway — seed 4 recovers.
+        let ctx = ExecContext::builder(m.clone())
+            .fault_policy(FaultPolicy::transient(4, 0.3))
+            .retry_policy(RetryPolicy::default())
+            .build();
+        let mut scan = ScanExec::new(t, vec![0, 1], schema_for(&[1, 2]), vec![], ctx);
+        let rows = drain(&mut scan).unwrap();
+        assert_eq!(rows.len(), 100, "all rows survive under retries");
+        let snap = m.snapshot();
+        assert!(snap.faults_injected > 0, "seed 3 must inject at least once");
+        assert_eq!(snap.retries, snap.faults_injected);
+        // Metering must not double-count retried partitions.
+        assert_eq!(snap.rows_scanned, 100);
+        assert_eq!(snap.partitions_read, 10);
+    }
+
+    #[test]
+    fn poisoned_partition_fails_the_scan_fatally() {
+        let t = Arc::new(table());
+        let ctx = ExecContext::builder(ExecMetrics::new())
+            .fault_policy(FaultPolicy::default().with_poison("t", 4))
+            .build();
+        let mut scan = ScanExec::new(t, vec![0, 1], schema_for(&[1, 2]), vec![], ctx);
+        match drain(&mut scan) {
+            Err(FusionError::DataCorruption(msg)) => assert!(msg.contains("partition 4")),
+            other => panic!("expected DataCorruption, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn pruned_partitions_are_never_faulted() {
+        let t = Arc::new(table());
+        let m = ExecMetrics::new();
+        // Poison partition 0, but prune it away: the scan must succeed.
+        let ctx = ExecContext::builder(m.clone())
+            .fault_policy(FaultPolicy::default().with_poison("t", 0))
+            .build();
+        let filter = col(ColumnId(1)).gt_eq(lit(90i64));
+        let mut scan = ScanExec::new(t, vec![0, 1], schema_for(&[1, 2]), vec![filter], ctx);
+        let rows = drain(&mut scan).unwrap();
+        assert_eq!(rows.len(), 10);
+        assert_eq!(m.faults_injected(), 0);
     }
 }

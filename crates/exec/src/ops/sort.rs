@@ -6,7 +6,7 @@ use std::sync::Arc;
 use fusion_common::{Result, Schema, Value};
 use fusion_plan::SortKey;
 
-use crate::metrics::{ExecMetrics, StateReservation};
+use crate::context::{BudgetedReservation, ExecContext, IntoContext};
 use crate::ops::{drain, row_bytes, BoxedOp, Operator, RowIndex};
 use crate::{Chunk, Row, CHUNK_SIZE};
 
@@ -16,12 +16,12 @@ pub struct SortExec {
     keys: Vec<SortKey>,
     index: RowIndex,
     schema: Schema,
-    metrics: Arc<ExecMetrics>,
+    ctx: Arc<ExecContext>,
     output: Option<std::vec::IntoIter<Row>>,
 }
 
 impl SortExec {
-    pub fn new(input: BoxedOp, keys: Vec<SortKey>, metrics: Arc<ExecMetrics>) -> Self {
+    pub fn new(input: BoxedOp, keys: Vec<SortKey>, ctx: impl IntoContext) -> Self {
         let schema = input.schema().clone();
         let index = RowIndex::new(&schema);
         SortExec {
@@ -29,16 +29,17 @@ impl SortExec {
             keys,
             index,
             schema,
-            metrics,
+            ctx: ctx.into_ctx(),
             output: None,
         }
     }
 
     fn compute(&mut self) -> Result<Vec<Row>> {
+        self.ctx.check()?;
         let mut input = self.input.take().expect("computed once");
         let rows = drain(input.as_mut())?;
         let bytes: i64 = rows.iter().map(|r| row_bytes(r)).sum();
-        let _reservation = StateReservation::new(self.metrics.clone(), bytes);
+        let _reservation = BudgetedReservation::try_new(self.ctx.clone(), bytes)?;
 
         // Precompute key tuples to avoid re-evaluating during comparisons.
         let mut keyed: Vec<(Vec<Value>, Row)> = rows
@@ -116,6 +117,7 @@ impl Operator for SortExec {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::metrics::ExecMetrics;
     use crate::ops::basic::ConstantTableExec;
     use fusion_common::{ColumnId, DataType, Field};
     use fusion_expr::col;

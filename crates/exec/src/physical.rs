@@ -5,6 +5,7 @@ use std::sync::Arc;
 use fusion_common::{FusionError, Result, Schema};
 use fusion_plan::{JoinType, LogicalPlan};
 
+use crate::context::ExecContext;
 use crate::metrics::ExecMetrics;
 use crate::ops::agg::{HashAggregateExec, WindowExec};
 use crate::ops::basic::{
@@ -35,11 +36,22 @@ impl QueryOutput {
     }
 }
 
-/// Compile a logical plan into an operator tree.
+/// Compile a logical plan into an operator tree with an unbounded
+/// [`ExecContext`] (no deadline, budget, or fault injection).
 pub fn compile(
     plan: &LogicalPlan,
     catalog: &Catalog,
     metrics: &Arc<ExecMetrics>,
+) -> Result<BoxedOp> {
+    compile_ctx(plan, catalog, &ExecContext::new(metrics.clone()))
+}
+
+/// Compile a logical plan into an operator tree under an explicit
+/// execution context; every operator in the tree shares it.
+pub fn compile_ctx(
+    plan: &LogicalPlan,
+    catalog: &Catalog,
+    ctx: &Arc<ExecContext>,
 ) -> Result<BoxedOp> {
     let schema = plan.schema();
     match plan {
@@ -64,27 +76,31 @@ pub fn compile(
                 s.column_indices.clone(),
                 schema,
                 s.filters.clone(),
-                metrics.clone(),
+                ctx.clone(),
             )))
         }
         LogicalPlan::Filter(f) => {
-            let input = compile(&f.input, catalog, metrics)?;
-            Ok(Box::new(FilterExec::new(input, f.predicate.clone())))
+            let input = compile_ctx(&f.input, catalog, ctx)?;
+            Ok(Box::new(FilterExec::new(
+                input,
+                f.predicate.clone(),
+                ctx.clone(),
+            )))
         }
         LogicalPlan::Project(p) => {
-            let input = compile(&p.input, catalog, metrics)?;
+            let input = compile_ctx(&p.input, catalog, ctx)?;
             let exprs = p.exprs.iter().map(|pe| pe.expr.clone()).collect();
-            Ok(Box::new(ProjectExec::new(input, exprs, schema)))
+            Ok(Box::new(ProjectExec::new(input, exprs, schema, ctx.clone())))
         }
         LogicalPlan::Join(j) => {
-            let left = compile(&j.left, catalog, metrics)?;
-            let right = compile(&j.right, catalog, metrics)?;
+            let left = compile_ctx(&j.left, catalog, ctx)?;
+            let right = compile_ctx(&j.right, catalog, ctx)?;
             match j.join_type {
                 JoinType::Cross => Ok(Box::new(CrossJoinExec::new(
                     left,
                     right,
                     schema,
-                    metrics.clone(),
+                    ctx.clone(),
                 ))),
                 jt => {
                     let (keys, residual) =
@@ -96,7 +112,7 @@ pub fn compile(
                             jt,
                             j.condition.clone(),
                             schema,
-                            metrics.clone(),
+                            ctx.clone(),
                         )))
                     } else {
                         Ok(Box::new(HashJoinExec::new(
@@ -106,14 +122,14 @@ pub fn compile(
                             keys,
                             residual,
                             schema,
-                            metrics.clone(),
+                            ctx.clone(),
                         )))
                     }
                 }
             }
         }
         LogicalPlan::Aggregate(a) => {
-            let input = compile(&a.input, catalog, metrics)?;
+            let input = compile_ctx(&a.input, catalog, ctx)?;
             let input_schema = input.schema();
             let group_positions = a
                 .group_by
@@ -130,51 +146,51 @@ pub fn compile(
                 group_positions,
                 aggregates,
                 schema,
-                metrics.clone(),
+                ctx.clone(),
             )?))
         }
         LogicalPlan::Window(w) => {
-            let input = compile(&w.input, catalog, metrics)?;
+            let input = compile_ctx(&w.input, catalog, ctx)?;
             let exprs = w.exprs.iter().map(|x| x.window.clone()).collect();
             Ok(Box::new(WindowExec::new(
                 input,
                 exprs,
                 schema,
-                metrics.clone(),
+                ctx.clone(),
             )))
         }
         LogicalPlan::MarkDistinct(m) => {
-            let input = compile(&m.input, catalog, metrics)?;
+            let input = compile_ctx(&m.input, catalog, ctx)?;
             Ok(Box::new(MarkDistinctExec::new(
                 input,
                 &m.columns,
                 m.mask.clone(),
                 schema,
-                metrics.clone(),
+                ctx.clone(),
             )?))
         }
         LogicalPlan::UnionAll(u) => {
             let inputs = u
                 .inputs
                 .iter()
-                .map(|i| compile(i, catalog, metrics))
+                .map(|i| compile_ctx(i, catalog, ctx))
                 .collect::<Result<Vec<_>>>()?;
-            Ok(Box::new(UnionAllExec::new(inputs, schema)))
+            Ok(Box::new(UnionAllExec::new(inputs, schema, ctx.clone())))
         }
         LogicalPlan::ConstantTable(c) => {
             Ok(Box::new(ConstantTableExec::new(c.rows.clone(), schema)))
         }
         LogicalPlan::EnforceSingleRow(e) => {
-            let input = compile(&e.input, catalog, metrics)?;
-            Ok(Box::new(EnforceSingleRowExec::new(input)))
+            let input = compile_ctx(&e.input, catalog, ctx)?;
+            Ok(Box::new(EnforceSingleRowExec::new(input, ctx.clone())))
         }
         LogicalPlan::Sort(s) => {
-            let input = compile(&s.input, catalog, metrics)?;
-            Ok(Box::new(SortExec::new(input, s.keys.clone(), metrics.clone())))
+            let input = compile_ctx(&s.input, catalog, ctx)?;
+            Ok(Box::new(SortExec::new(input, s.keys.clone(), ctx.clone())))
         }
         LogicalPlan::Limit(l) => {
-            let input = compile(&l.input, catalog, metrics)?;
-            Ok(Box::new(LimitExec::new(input, l.fetch)))
+            let input = compile_ctx(&l.input, catalog, ctx)?;
+            Ok(Box::new(LimitExec::new(input, l.fetch, ctx.clone())))
         }
     }
 }
@@ -186,15 +202,25 @@ pub fn collect(mut op: BoxedOp) -> Result<QueryOutput> {
     Ok(QueryOutput { schema, rows })
 }
 
-/// Compile and run a logical plan end to end.
+/// Compile and run a logical plan end to end with an unbounded context.
 pub fn execute_plan(
     plan: &LogicalPlan,
     catalog: &Catalog,
     metrics: &Arc<ExecMetrics>,
 ) -> Result<QueryOutput> {
-    let op = compile(plan, catalog, metrics)?;
+    execute_plan_ctx(plan, catalog, &ExecContext::new(metrics.clone()))
+}
+
+/// Compile and run a logical plan end to end under an explicit context
+/// (deadline, cancellation, enforced budget, fault injection).
+pub fn execute_plan_ctx(
+    plan: &LogicalPlan,
+    catalog: &Catalog,
+    ctx: &Arc<ExecContext>,
+) -> Result<QueryOutput> {
+    let op = compile_ctx(plan, catalog, ctx)?;
     let out = collect(op)?;
-    metrics.add_rows_produced(out.rows.len() as u64);
+    ctx.metrics().add_rows_produced(out.rows.len() as u64);
     Ok(out)
 }
 

@@ -400,11 +400,8 @@ impl Expr {
             Expr::Cast { to, .. } => Ok(*to),
             Expr::ScalarFunction { func, args } => match func {
                 ScalarFunc::Coalesce => args
-                    .iter()
-                    .find_map(|a| match a.data_type(schema) {
-                        Ok(t) => Some(Ok(t)),
-                        Err(e) => Some(Err(e)),
-                    })
+                    .first()
+                    .map(|a| a.data_type(schema))
                     .unwrap_or(Ok(DataType::Boolean)),
                 ScalarFunc::Abs => args
                     .first()

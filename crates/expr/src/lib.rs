@@ -29,4 +29,4 @@ pub use expr::{
     col, conjoin, disjoin, lit, split_conjuncts, split_disjuncts, BinaryOp, ColumnMap, Expr,
     ScalarFunc,
 };
-pub use simplify::{is_contradiction, simplify};
+pub use simplify::{is_contradiction, simplify, simplify_filter};

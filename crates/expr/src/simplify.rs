@@ -15,9 +15,53 @@ use crate::expr::{conjoin, disjoin, split_conjuncts, split_disjuncts, BinaryOp, 
 
 /// Simplify an expression: constant folding, boolean algebra
 /// (TRUE/FALSE/duplicate elimination in AND/OR chains), double negation,
-/// trivial CASE reduction, and conjunction contradiction detection.
+/// and trivial CASE reduction.
+///
+/// This pass is sound under full Kleene three-valued semantics: for every
+/// row, `eval(simplify(e)) == eval(e)` exactly — including NULL results.
+/// It therefore does NOT fold contradictory conjunctions to FALSE
+/// (`x > 5 AND x < 3` is NULL, not FALSE, when `x` is NULL); use
+/// [`simplify_filter`] for predicates in null-rejecting positions.
 pub fn simplify(expr: &Expr) -> Expr {
     expr.transform(&simplify_node)
+}
+
+/// Simplify a predicate used where NULL and FALSE coincide — filter
+/// predicates, join conditions, aggregate masks. On top of [`simplify`],
+/// folds unsatisfiable conjunctions to FALSE along the AND/OR spine of the
+/// predicate (never under NOT or inside comparisons, where the NULL≡FALSE
+/// equivalence stops holding).
+pub fn simplify_filter(expr: &Expr) -> Expr {
+    fold_null_rejecting(&simplify(expr))
+}
+
+/// Top-down contradiction folding, restricted to positions reachable
+/// through AND/OR only. AND and OR are monotone in Kleene logic, so
+/// replacing a never-TRUE subtree (NULL-or-FALSE valued) with literal
+/// FALSE cannot change whether the whole predicate accepts a row.
+fn fold_null_rejecting(e: &Expr) -> Expr {
+    match e {
+        Expr::Binary {
+            op: BinaryOp::And, ..
+        } => {
+            let conjuncts: Vec<Expr> = split_conjuncts(e).iter().map(fold_null_rejecting).collect();
+            if conjuncts.iter().any(Expr::is_false_literal) || conjuncts_contradict(&conjuncts) {
+                return Expr::boolean(false);
+            }
+            conjoin(conjuncts)
+        }
+        Expr::Binary {
+            op: BinaryOp::Or, ..
+        } => {
+            let disjuncts: Vec<Expr> = split_disjuncts(e)
+                .iter()
+                .map(fold_null_rejecting)
+                .filter(|d| !d.is_false_literal())
+                .collect();
+            disjoin(disjuncts)
+        }
+        other => other.clone(),
+    }
 }
 
 fn simplify_node(e: Expr) -> Option<Expr> {
@@ -105,9 +149,6 @@ fn simplify_and(e: &Expr) -> Expr {
             true
         }
     });
-    if conjuncts_contradict(&out) {
-        return Expr::boolean(false);
-    }
     conjoin(out)
 }
 
@@ -214,7 +255,7 @@ fn simplify_case(branches: &[(Expr, Expr)], else_expr: Option<&Expr>) -> Option<
 /// (`L AND R ≡ FALSE`). It understands literal FALSE and single-column
 /// interval/equality contradictions within a conjunction.
 pub fn is_contradiction(expr: &Expr) -> bool {
-    let s = simplify(expr);
+    let s = simplify_filter(expr);
     if s.is_false_literal() {
         return true;
     }
@@ -432,7 +473,11 @@ mod tests {
         // a = 1 AND a = 2 => FALSE
         let e = c(1).eq_to(lit(1i64)).and(c(1).eq_to(lit(2i64)));
         assert!(is_contradiction(&e));
-        assert!(simplify(&e).is_false_literal());
+        // Only the filter-context variant may fold to FALSE: with a NULL
+        // column the expression evaluates to NULL, so strict `simplify`
+        // must leave it alone.
+        assert!(simplify_filter(&e).is_false_literal());
+        assert!(!simplify(&e).is_false_literal());
     }
 
     #[test]

@@ -1,0 +1,89 @@
+//! Robustness tour: deterministic fault injection with retries, graceful
+//! degradation from a fused plan to the baseline, enforced memory
+//! budgets, deadlines, and cancellation.
+//!
+//! ```sh
+//! cargo run --example robustness
+//! ```
+
+use std::time::Duration;
+
+use fusion_common::{DataType, FusionError, Value};
+use fusion_engine::Session;
+use fusion_exec::table::TableColumn;
+use fusion_exec::{FaultPolicy, TableBuilder};
+
+/// orders(o_id, o_total), partitioned on o_id into blocks of five rows.
+fn session() -> Session {
+    let mut s = Session::new();
+    let mut b = TableBuilder::new(
+        "orders",
+        vec![
+            TableColumn {
+                name: "o_id".into(),
+                data_type: DataType::Int64,
+                nullable: false,
+            },
+            TableColumn {
+                name: "o_total".into(),
+                data_type: DataType::Float64,
+                nullable: true,
+            },
+        ],
+    )
+    .partition_by("o_id", 5)
+    .expect("partition column exists");
+    for i in 0..20i64 {
+        b.add_row(vec![Value::Int64(i), Value::Float64((i % 7) as f64 * 10.0)])
+            .unwrap();
+    }
+    s.register_table(b.build());
+    s
+}
+
+const FUSABLE: &str = "WITH cte AS (SELECT o_id, o_total FROM orders) \
+                       SELECT o_id FROM cte WHERE o_id < 5 \
+                       UNION ALL SELECT o_id FROM cte WHERE o_id >= 15";
+
+fn main() {
+    // 1. Transient storage faults, absorbed by retry-with-backoff.
+    let mut s = session();
+    s.set_fault_policy(FaultPolicy::transient(9, 0.25));
+    let r = s.sql(FUSABLE).expect("retries absorb transient faults");
+    println!("1. transient faults: {} rows", r.rows.len());
+    println!(
+        "   faults injected = {}, retries = {}, fallbacks = {}",
+        r.metrics.faults_injected, r.metrics.retries, r.metrics.fallbacks
+    );
+
+    // 2. A poisoned partition that only the fused plan touches (its shared
+    //    scan's pushed filter is a disjunction, which cannot prune). The
+    //    session degrades to the baseline plan, which prunes the poison.
+    let mut s = session();
+    s.set_fault_policy(FaultPolicy::default().with_poison("orders", 2));
+    let r = s.sql(FUSABLE).expect("degradation saves the query");
+    println!("\n2. poisoned partition: {} rows (degraded = {})", r.rows.len(), r.degraded());
+    println!("   fallback reason: {}", r.report.fallback.as_deref().unwrap_or("-"));
+
+    // 3. An enforced memory budget no aggregation fits into.
+    let mut s = session();
+    s.set_enforced_memory_budget(Some(64));
+    let err = s
+        .sql("SELECT o_id % 5 AS g, SUM(o_total) AS t FROM orders GROUP BY o_id % 5")
+        .expect_err("64 bytes cannot hold the hash table");
+    println!("\n3. enforced budget: {} [{}]", err, err.code());
+
+    // 4. A deadline blown by synthetic read latency.
+    let mut s = session();
+    s.set_fault_policy(FaultPolicy::default().with_read_latency(Duration::from_millis(20)));
+    s.set_timeout(Some(Duration::from_millis(5)));
+    let err = s.sql("SELECT o_id FROM orders").expect_err("deadline fires");
+    println!("\n4. deadline: {} [{}]", err, err.code());
+
+    // 5. Cancellation from outside the query.
+    let s = session();
+    s.cancel_token().cancel();
+    let err = s.sql("SELECT o_id FROM orders").expect_err("cancelled");
+    assert!(matches!(err, FusionError::Cancelled));
+    println!("\n5. cancellation: {} [{}]", err, err.code());
+}

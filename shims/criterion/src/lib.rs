@@ -1,0 +1,134 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no registry access, so this path crate
+//! provides the minimal API the workspace's benches use — `Criterion`,
+//! `benchmark_group`/`sample_size`/`bench_function`/`finish`,
+//! `Bencher::iter`, and the `criterion_group!`/`criterion_main!` macros —
+//! backed by a plain wall-clock harness: warm up, run `sample_size`
+//! timed samples, print min/median/mean per benchmark.
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-exported like criterion's own `black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 20,
+            _parent: self,
+        }
+    }
+
+    pub fn bench_function(&mut self, id: impl Into<String>, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        run_benchmark(&id.into(), 20, f);
+        self
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn bench_function(&mut self, id: impl Into<String>, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        run_benchmark(&format!("{}/{}", self.name, id.into()), self.sample_size, f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Collects one timed sample per `iter` call.
+pub struct Bencher {
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        let start = Instant::now();
+        std_black_box(routine());
+        self.samples.push(start.elapsed());
+    }
+}
+
+fn run_benchmark(id: &str, sample_size: usize, mut f: impl FnMut(&mut Bencher)) {
+    // Warm-up round, unmeasured.
+    let mut warmup = Bencher { samples: Vec::new() };
+    f(&mut warmup);
+
+    let mut bencher = Bencher {
+        samples: Vec::with_capacity(sample_size),
+    };
+    for _ in 0..sample_size {
+        f(&mut bencher);
+    }
+    let mut samples = bencher.samples;
+    if samples.is_empty() {
+        println!("{id:<48} (no samples: routine never called iter)");
+        return;
+    }
+    samples.sort();
+    let min = samples[0];
+    let median = samples[samples.len() / 2];
+    let mean = samples.iter().sum::<Duration>() / samples.len() as u32;
+    println!(
+        "{id:<48} min {min:>12?}  median {median:>12?}  mean {mean:>12?}  ({} samples)",
+        samples.len()
+    );
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harness_runs_and_counts_samples() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(5);
+        let mut calls = 0u32;
+        group.bench_function("noop", |b| {
+            calls += 1;
+            b.iter(|| black_box(1 + 1))
+        });
+        group.finish();
+        // 1 warm-up + 5 samples.
+        assert_eq!(calls, 6);
+    }
+}

@@ -1,0 +1,166 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no registry access, so this path crate
+//! reimplements the subset of proptest the workspace's property tests
+//! use: `Strategy` with `prop_map`/`prop_recursive`/`boxed`, range and
+//! tuple strategies, `Just`, `any::<bool>()`, `collection::vec`,
+//! `option::of`, and the `proptest!`/`prop_oneof!`/`prop_assert*!`/
+//! `prop_assume!` macros. Generation is deterministic (seeded from the
+//! test name, overridable via `PROPTEST_SEED`); failing cases report the
+//! case number so a failure can be replayed. There is **no shrinking** —
+//! on failure the full counterexample is printed as-is.
+
+pub mod strategy;
+pub mod test_runner;
+
+pub mod collection {
+    use crate::strategy::{SizeRange, Strategy, VecStrategy};
+
+    /// `proptest::collection::vec(strategy, size)` — a Vec whose length
+    /// is drawn from `size` (exact or a range).
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy::new(element, size.into())
+    }
+}
+
+pub mod option {
+    use crate::strategy::{OptionStrategy, Strategy};
+
+    /// `proptest::option::of(strategy)` — `None` roughly a quarter of the
+    /// time, `Some(inner)` otherwise.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy::new(inner)
+    }
+}
+
+pub mod prelude {
+    pub use crate::strategy::{any, Arbitrary, BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{Config as ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+}
+
+/// Equal-weight choice among strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![$($crate::strategy::Strategy::boxed($strat)),+])
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject(
+                ::std::string::String::from(stringify!($cond)),
+            ));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        $crate::prop_assert_eq!($left, $right, "assertion failed: {} == {}",
+            stringify!($left), stringify!($right))
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        match (&$left, &$right) {
+            (__pt_left, __pt_right) => {
+                if !(*__pt_left == *__pt_right) {
+                    return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                        format!("{}\n left: {:?}\nright: {:?}",
+                            format!($($fmt)+), __pt_left, __pt_right),
+                    ));
+                }
+            }
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        $crate::prop_assert_ne!($left, $right, "assertion failed: {} != {}",
+            stringify!($left), stringify!($right))
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        match (&$left, &$right) {
+            (__pt_left, __pt_right) => {
+                if *__pt_left == *__pt_right {
+                    return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                        format!("{}\n both: {:?}", format!($($fmt)+), __pt_left),
+                    ));
+                }
+            }
+        }
+    };
+}
+
+/// The `proptest! { ... }` block: an optional
+/// `#![proptest_config(...)]` header followed by `#[test]` functions
+/// whose arguments are drawn from strategies (`name in strategy`).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_body! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_body! { ($crate::test_runner::Config::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_body {
+    (($cfg:expr); $($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::Config = $cfg;
+                let mut rng = $crate::test_runner::TestRng::for_test(stringify!($name));
+                let mut accepted: u32 = 0;
+                let mut rejected: u32 = 0;
+                let mut case: u64 = 0;
+                while accepted < config.cases {
+                    case += 1;
+                    $(let $arg = $crate::strategy::Strategy::generate(&$strat, &mut rng);)*
+                    let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| { $body ::std::result::Result::Ok(()) })();
+                    match outcome {
+                        ::std::result::Result::Ok(()) => accepted += 1,
+                        ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject(_)) => {
+                            rejected += 1;
+                            if rejected > config.cases.saturating_mul(16).max(1024) {
+                                panic!(
+                                    "proptest `{}`: too many rejected cases ({} rejects for {} accepted)",
+                                    stringify!($name), rejected, accepted
+                                );
+                            }
+                        }
+                        ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                            panic!(
+                                "proptest `{}` failed at case #{case} (seed {}):\n{msg}",
+                                stringify!($name), rng.seed(),
+                            );
+                        }
+                    }
+                }
+            }
+        )*
+    };
+}

@@ -1,0 +1,94 @@
+//! Test-runner support types used by the `proptest!` macro expansion.
+
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+
+/// Per-block configuration. Only `cases` is consulted; the other knobs of
+/// real proptest have no analogue here.
+#[derive(Debug, Clone)]
+pub struct Config {
+    pub cases: u32,
+}
+
+impl Config {
+    pub fn with_cases(cases: u32) -> Self {
+        Config { cases }
+    }
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config { cases: 256 }
+    }
+}
+
+/// Why a single generated case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` rejected the inputs; the runner draws a new case.
+    Reject(String),
+    /// An assertion failed; the runner panics with this message.
+    Fail(String),
+}
+
+impl TestCaseError {
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+/// Deterministic per-test RNG. Seeded from the test name so every test
+/// explores a distinct but reproducible stream; `PROPTEST_SEED` overrides
+/// the base seed for re-running an entire block under a different stream.
+pub struct TestRng {
+    rng: StdRng,
+    seed: u64,
+}
+
+impl TestRng {
+    pub fn for_test(name: &str) -> Self {
+        let base = std::env::var("PROPTEST_SEED")
+            .ok()
+            .and_then(|s| s.parse::<u64>().ok())
+            .unwrap_or(0xA11C_E5EE_D5EE_D001);
+        let mut seed = base;
+        for b in name.bytes() {
+            seed = seed.rotate_left(7) ^ (b as u64);
+            rand::splitmix64(&mut seed);
+        }
+        TestRng {
+            rng: StdRng::seed_from_u64(seed),
+            seed,
+        }
+    }
+
+    /// The effective seed, reported on failure for reproduction.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Next raw 64-bit draw. Named like `Iterator::next` on purpose —
+    /// this mirrors upstream proptest's RNG surface, not an iterator.
+    #[inline]
+    #[allow(clippy::should_implement_trait)]
+    pub fn next(&mut self) -> u64 {
+        self.rng.next_u64()
+    }
+
+    /// Uniform draw from `[0, bound)`.
+    #[inline]
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        self.next() % bound
+    }
+
+    /// Uniform draw from `[0, 1)`.
+    #[inline]
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}

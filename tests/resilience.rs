@@ -1,0 +1,274 @@
+//! Robustness integration tests: fault injection with retry, graceful
+//! degradation to the baseline plan, deadlines, and enforced memory
+//! budgets (the §V.C working-memory effect) through the full engine
+//! pipeline.
+
+use std::time::Duration;
+
+use fusion_common::{DataType, FusionError, Value};
+use fusion_engine::Session;
+use fusion_exec::table::TableColumn;
+use fusion_exec::{FaultPolicy, TableBuilder};
+use proptest::prelude::*;
+
+fn col(name: &str, data_type: DataType, nullable: bool) -> TableColumn {
+    TableColumn {
+        name: name.into(),
+        data_type,
+        nullable,
+    }
+}
+
+/// One orders row: `(id, cust, region, amount)`.
+type OrderRow = (i64, Option<i64>, Option<&'static str>, Option<f64>);
+
+/// The same micro-dataset as `tests/engine_sql.rs`:
+/// orders: (id, cust, region, amount); customers: (cid, name, tier).
+fn session() -> Session {
+    let mut s = Session::new();
+    let mut b = TableBuilder::new(
+        "orders",
+        vec![
+            col("id", DataType::Int64, false),
+            col("cust", DataType::Int64, true),
+            col("region", DataType::Utf8, true),
+            col("amount", DataType::Float64, true),
+        ],
+    );
+    let rows: Vec<OrderRow> = vec![
+        (1, Some(10), Some("north"), Some(50.0)),
+        (2, Some(10), Some("south"), Some(75.0)),
+        (3, Some(20), Some("north"), Some(20.0)),
+        (4, Some(20), None, Some(90.0)),
+        (5, Some(30), Some("east"), None),
+        (6, None, Some("north"), Some(10.0)),
+    ];
+    for (id, cust, region, amount) in rows {
+        b.add_row(vec![
+            Value::Int64(id),
+            cust.map(Value::Int64).unwrap_or(Value::Null),
+            region.map(|r| Value::Utf8(r.into())).unwrap_or(Value::Null),
+            amount.map(Value::Float64).unwrap_or(Value::Null),
+        ])
+        .unwrap();
+    }
+    s.register_table(b.build());
+
+    let mut b = TableBuilder::new(
+        "customers",
+        vec![
+            col("cid", DataType::Int64, false),
+            col("name", DataType::Utf8, true),
+            col("tier", DataType::Int64, true),
+        ],
+    );
+    for (cid, name, tier) in [(10i64, "ann", 1i64), (20, "bob", 2), (40, "cem", 1)] {
+        b.add_row(vec![
+            Value::Int64(cid),
+            Value::Utf8(name.into()),
+            Value::Int64(tier),
+        ])
+        .unwrap();
+    }
+    s.register_table(b.build());
+    s
+}
+
+/// Every result-producing query from `tests/engine_sql.rs`.
+const QUERIES: &[&str] = &[
+    "SELECT id, id * 2 + 1 AS d FROM orders WHERE id <= 2 ORDER BY id",
+    "SELECT id FROM orders WHERE amount > 0",
+    "SELECT id FROM orders WHERE region IS NULL",
+    "SELECT id FROM orders WHERE cust IS NOT NULL AND amount IS NOT NULL",
+    "SELECT cust, COUNT(*) AS n, SUM(amount) AS total FROM orders \
+     WHERE cust IS NOT NULL GROUP BY cust HAVING COUNT(*) > 1 ORDER BY cust",
+    "SELECT COUNT(*) AS n, SUM(amount) AS s FROM orders WHERE id > 100",
+    "SELECT COUNT(DISTINCT region) AS r FROM orders",
+    "SELECT COUNT(*) FILTER (WHERE region = 'north') AS north, COUNT(*) AS all_rows FROM orders",
+    "SELECT id, name FROM orders JOIN customers ON cust = cid ORDER BY id",
+    "SELECT id, name FROM orders LEFT JOIN customers ON cust = cid ORDER BY id",
+    "SELECT id, CASE WHEN amount BETWEEN 0 AND 50 THEN 'small' \
+                     WHEN amount > 50 THEN 'big' ELSE 'unknown' END AS bucket \
+     FROM orders WHERE region IN ('north', 'east') ORDER BY id",
+    "SELECT DISTINCT region FROM orders WHERE region IS NOT NULL",
+    "SELECT id FROM orders WHERE region = 'north' \
+     UNION ALL SELECT id FROM orders WHERE amount > 40",
+    "SELECT t.r, t.n FROM (SELECT region AS r, COUNT(*) AS n \
+                           FROM orders GROUP BY region) t WHERE t.n > 1 ORDER BY t.r",
+    "SELECT id FROM orders WHERE cust IN (SELECT cid FROM customers WHERE tier = 1)",
+    "SELECT id FROM orders WHERE amount > (SELECT AVG(amount) FROM orders)",
+    "SELECT id FROM orders o1 \
+     WHERE o1.amount > (SELECT AVG(o2.amount) FROM orders o2 WHERE o2.cust = o1.cust)",
+    "SELECT id, amount, AVG(amount) OVER (PARTITION BY cust) AS a \
+     FROM orders WHERE cust IS NOT NULL ORDER BY id",
+    "SELECT id, amount FROM orders WHERE amount IS NOT NULL ORDER BY amount DESC LIMIT 2",
+    "WITH north AS (SELECT id, amount FROM orders WHERE region = 'north') \
+     SELECT a.id FROM north a, north b WHERE a.amount < b.amount ORDER BY a.id",
+    "SELECT 'it''s' AS s FROM orders WHERE id = 1",
+    "SELECT CAST(amount AS BIGINT) AS a FROM orders WHERE id = 2",
+    "SELECT o.id, c.cid FROM orders o, customers c WHERE o.id = 1",
+    "SELECT o.* FROM orders o WHERE o.id = 1",
+    "SELECT id % 2 AS parity, COUNT(*) AS n FROM orders GROUP BY id % 2 ORDER BY parity",
+    "SELECT id, COALESCE(region, 'none') AS r, ABS(id - 4) AS d FROM orders ORDER BY id",
+];
+
+/// Acceptance: with a seeded transient-fault schedule, every engine_sql
+/// query still returns the fault-free rows (via retry), and the metrics
+/// record the retries. Seed 9 at rate 0.25 makes every `orders` read fail
+/// its first attempt and succeed on the retry, while `customers` reads
+/// succeed immediately — fully deterministic.
+#[test]
+fn fault_injected_queries_return_fault_free_rows() {
+    let mut total_retries = 0u64;
+    let mut total_faults = 0u64;
+    for sql in QUERIES {
+        let expected = session()
+            .sql(sql)
+            .unwrap_or_else(|e| panic!("fault-free run failed: {e}\n{sql}"))
+            .sorted_rows();
+        for fused in [true, false] {
+            let mut s = session();
+            s.set_fusion_enabled(fused);
+            s.set_fault_policy(FaultPolicy::transient(9, 0.25));
+            let r = s
+                .sql(sql)
+                .unwrap_or_else(|e| panic!("fused={fused} under faults: {e}\n{sql}"));
+            assert_eq!(r.sorted_rows(), expected, "fused={fused}: {sql}");
+            total_retries += r.metrics.retries;
+            total_faults += r.metrics.faults_injected;
+        }
+    }
+    assert!(total_retries > 0, "seed 9 must force retries");
+    assert_eq!(
+        total_retries, total_faults,
+        "every injected fault under seed 9 is recovered by one retry"
+    );
+}
+
+/// With synthetic read latency and a tight deadline, the query fails with
+/// the typed deadline error — which never triggers baseline fallback
+/// (the baseline would blow the same deadline).
+#[test]
+fn slow_reads_past_the_deadline_fail_typed() {
+    let mut s = session();
+    s.set_fault_policy(FaultPolicy::default().with_read_latency(Duration::from_millis(20)));
+    s.set_timeout(Some(Duration::from_millis(5)));
+    match s.sql("SELECT id FROM orders") {
+        Err(FusionError::DeadlineExceeded) => {}
+        other => panic!("expected DeadlineExceeded, got {other:?}"),
+    }
+}
+
+// ---------- §V.C: enforced working-memory budgets ----------
+
+/// TPC-DS Q65-style shape: the per-store revenue aggregation appears
+/// twice (once per se, once under the average), so the unfused baseline
+/// holds two copies of the aggregation state concurrently.
+const Q65_LIKE: &str = "WITH sa AS (SELECT store, item, SUM(price) AS revenue \
+                                    FROM sales GROUP BY store, item), \
+                             sb AS (SELECT store, AVG(revenue) AS ave \
+                                    FROM sa GROUP BY store) \
+                        SELECT sa.store, sa.item, sa.revenue \
+                        FROM sa JOIN sb ON sa.store = sb.store \
+                        WHERE sa.revenue <= 0.9 * sb.ave";
+
+fn sales_session() -> Session {
+    let mut s = Session::new();
+    let mut b = TableBuilder::new(
+        "sales",
+        vec![
+            col("store", DataType::Int64, true),
+            col("item", DataType::Int64, true),
+            col("price", DataType::Float64, true),
+        ],
+    );
+    for i in 0..400i64 {
+        b.add_row(vec![
+            Value::Int64(i % 80),
+            Value::Int64(i % 11),
+            Value::Float64((i % 13) as f64 + 0.25),
+        ])
+        .unwrap();
+    }
+    s.register_table(b.build());
+    s
+}
+
+/// The paper's §V.C observation, enforced: under a budget between the
+/// fused and baseline state peaks, the fused plan completes while the
+/// baseline — which duplicates the aggregation — aborts with the typed
+/// `ResourceExhausted` error (resource errors never fall back: the
+/// baseline would exhaust the same budget).
+#[test]
+fn enforced_budget_admits_fused_plan_but_not_duplicated_baseline() {
+    let fused_free = sales_session().sql(Q65_LIKE).unwrap();
+    assert!(fused_free.report.fusion_applied, "Q65 shape must fuse");
+
+    let mut bs = sales_session();
+    bs.set_fusion_enabled(false);
+    let base_free = bs.sql(Q65_LIKE).unwrap();
+    assert_eq!(fused_free.sorted_rows(), base_free.sorted_rows());
+
+    let fused_peak = fused_free.metrics.peak_state_bytes;
+    let base_peak = base_free.metrics.peak_state_bytes;
+    assert!(
+        fused_peak < base_peak,
+        "fused peak ({fused_peak}B) must undercut the baseline peak ({base_peak}B)"
+    );
+    let budget = ((fused_peak + base_peak) / 2) as usize;
+
+    let mut s = sales_session();
+    s.set_enforced_memory_budget(Some(budget));
+    let r = s.sql(Q65_LIKE).unwrap();
+    assert!(!r.degraded());
+    assert_eq!(r.sorted_rows(), base_free.sorted_rows());
+
+    let mut s = sales_session();
+    s.set_fusion_enabled(false);
+    s.set_enforced_memory_budget(Some(budget));
+    match s.sql(Q65_LIKE) {
+        Err(FusionError::ResourceExhausted { budget: b, requested }) => {
+            assert_eq!(b, budget);
+            assert!(requested > budget);
+        }
+        Ok(r) => panic!("baseline must exhaust the budget, got {} rows", r.rows.len()),
+        Err(other) => panic!("expected ResourceExhausted, got {other:?}"),
+    }
+}
+
+// ---------- property: fault schedules never change answers ----------
+
+/// A query the optimizer fuses (shared CTE under a UNION ALL).
+const FUSABLE: &str = "WITH cte AS (SELECT id, cust, amount FROM orders) \
+                       SELECT id FROM cte WHERE cust = 10 \
+                       UNION ALL SELECT id FROM cte WHERE amount > 40";
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Under any seeded fault schedule, fused and baseline either both
+    /// produce identical rows (retries absorb the faults, or the fused
+    /// plan degrades to baseline and still matches), or fail with the
+    /// typed transient-I/O error once retries are exhausted.
+    #[test]
+    fn fused_and_baseline_agree_under_fault_schedules(seed in 0u64..1_000_000) {
+        let policy = FaultPolicy::transient(seed, 0.3);
+        let mut fused = session();
+        fused.set_fault_policy(policy.clone());
+        let mut base = session();
+        base.set_fusion_enabled(false);
+        base.set_fault_policy(policy);
+
+        match (fused.sql(FUSABLE), base.sql(FUSABLE)) {
+            (Ok(f), Ok(b)) => {
+                prop_assert_eq!(f.sorted_rows(), b.sorted_rows(), "seed {}", seed);
+            }
+            (Err(e), _) | (_, Err(e)) => {
+                prop_assert!(
+                    matches!(e, FusionError::TransientIo(_)),
+                    "seed {}: only exhausted retries may fail, got {:?}", seed, e
+                );
+            }
+        }
+    }
+}
