@@ -1,0 +1,240 @@
+//! Morsel-parallel scaling benchmark: the PR's bench trajectory.
+//!
+//! Runs scan/aggregate-heavy TPC-DS queries at 1/2/4/8 worker threads,
+//! fused and baseline, and writes `BENCH_parallel.json` with median
+//! latencies, speedups relative to one thread, and the parallel-operator
+//! counters. At every thread count the fused and baseline rows are
+//! checked bit-identical (canonical `sorted_rows`), and every
+//! configuration is checked against the single-thread reference — exact
+//! for all value types except float aggregates, which the partial-merge
+//! re-associates and may therefore move by a few ulps.
+//!
+//! The harness injects a small per-partition-read storage latency
+//! (default 2ms, `READ_LATENCY_MS` to change) through the fault layer —
+//! the same knob the resilience tests use. That models the paper's
+//! setting, where Athena scans are S3-bound and partition reads overlap:
+//! morsel parallelism hides storage latency even when CPU cores are
+//! scarce, which is also what makes the scaling measurable inside a
+//! single-core CI container.
+//!
+//! ```sh
+//! cargo run -p fusion-bench --release --bin bench_parallel
+//! TPCDS_SCALE=0.5 RUNS=5 cargo run -p fusion-bench --release --bin bench_parallel
+//! ```
+
+use std::fmt::Write as _;
+use std::time::Duration;
+
+use fusion_bench::Harness;
+use fusion_common::Value;
+use fusion_engine::{QueryResult, Session};
+use fusion_exec::FaultPolicy;
+use fusion_tpcds::{featured_queries, BenchQuery};
+
+const THREADS: &[usize] = &[1, 2, 4, 8];
+
+/// The scan/aggregate-heavy subset the acceptance criterion targets: the
+/// scalar-aggregate multi-scan queries plus the big join-aggregate.
+const SCALING_TARGETS: &[&str] = &["Q09", "Q28", "Q88", "Q65"];
+
+fn env_or<T: std::str::FromStr>(name: &str, default: T) -> T {
+    std::env::var(name)
+        .ok()
+        .and_then(|s| s.parse::<T>().ok())
+        .unwrap_or(default)
+}
+
+struct Cell {
+    threads: usize,
+    fused_ms: f64,
+    base_ms: f64,
+    morsels: u64,
+    parallel_wall_ms: f64,
+    parallel_cpu_ms: f64,
+}
+
+fn session(scale: f64, threads: usize, latency: Duration, fused: bool) -> Session {
+    Harness::session(scale, |s| {
+        s.set_parallelism(threads);
+        s.set_fusion_enabled(fused);
+        s.set_fault_policy(FaultPolicy::default().with_read_latency(latency));
+    })
+}
+
+fn median_ms(s: &Session, sql: &str, runs: usize) -> (f64, QueryResult) {
+    let first = s.sql(sql).expect("bench query");
+    let mut samples = vec![first.latency];
+    for _ in 1..runs.max(1) {
+        samples.push(s.sql(sql).expect("bench rerun").latency);
+    }
+    samples.sort();
+    (samples[samples.len() / 2].as_secs_f64() * 1e3, first)
+}
+
+/// Exact equality for every value type except floats, which are compared
+/// with a tiny relative tolerance. At a fixed thread count fused and
+/// baseline accumulate in the same partition order (bit-identical,
+/// asserted exactly); across thread counts the partial-aggregate merge
+/// re-associates float sums, so sums over non-dyadic values may move by
+/// a few ulps relative to the sequential run.
+fn rows_approx_eq(a: &[Vec<Value>], b: &[Vec<Value>]) -> bool {
+    a.len() == b.len()
+        && a.iter().zip(b).all(|(ra, rb)| {
+            ra.len() == rb.len()
+                && ra.iter().zip(rb).all(|(va, vb)| match (va, vb) {
+                    (Value::Float64(x), Value::Float64(y)) => {
+                        let scale = x.abs().max(y.abs()).max(1.0);
+                        (x - y).abs() <= 1e-9 * scale
+                    }
+                    _ => va == vb,
+                })
+        })
+}
+
+fn measure(q: &BenchQuery, scale: f64, runs: usize, latency: Duration) -> Vec<Cell> {
+    let reference = session(scale, 1, latency, true)
+        .sql(&q.sql)
+        .expect("reference run")
+        .sorted_rows();
+    let mut cells = Vec::new();
+    for &t in THREADS {
+        let fused = session(scale, t, latency, true);
+        let base = session(scale, t, latency, false);
+        let (fused_ms, rf) = median_ms(&fused, &q.sql, runs);
+        let (base_ms, rb) = median_ms(&base, &q.sql, runs);
+        assert_eq!(
+            rf.sorted_rows(),
+            rb.sorted_rows(),
+            "{} fused and baseline rows diverge at {t} threads",
+            q.id
+        );
+        assert!(
+            rows_approx_eq(&rf.sorted_rows(), &reference),
+            "{} rows diverge from the sequential reference at {t} threads",
+            q.id
+        );
+        cells.push(Cell {
+            threads: t,
+            fused_ms,
+            base_ms,
+            morsels: rf.metrics.morsels_executed,
+            parallel_wall_ms: rf.metrics.parallel_wall_nanos as f64 / 1e6,
+            parallel_cpu_ms: rf.metrics.parallel_cpu_nanos as f64 / 1e6,
+        });
+    }
+    cells
+}
+
+fn main() {
+    let scale: f64 = env_or("TPCDS_SCALE", 0.2);
+    let runs: usize = env_or("RUNS", 3);
+    let latency_ms: u64 = env_or("READ_LATENCY_MS", 2);
+    let latency = Duration::from_millis(latency_ms);
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_parallel.json".into());
+
+    eprintln!(
+        "# bench_parallel: scale {scale}, {runs} runs/median, {latency_ms}ms simulated \
+         partition-read latency, threads {THREADS:?}"
+    );
+
+    let mut json = String::new();
+    writeln!(json, "{{").unwrap();
+    writeln!(json, "  \"scale\": {scale},").unwrap();
+    writeln!(json, "  \"runs\": {runs},").unwrap();
+    writeln!(json, "  \"read_latency_ms\": {latency_ms},").unwrap();
+    writeln!(json, "  \"threads\": [1, 2, 4, 8],").unwrap();
+    writeln!(json, "  \"queries\": [").unwrap();
+
+    let queries = featured_queries();
+    let mut failures = Vec::new();
+    for (qi, q) in queries.iter().enumerate() {
+        let cells = measure(q, scale, runs, latency);
+        let one = &cells[0];
+        eprintln!(
+            "{:<4} 1t fused {:>8.1}ms baseline {:>8.1}ms",
+            q.id, one.fused_ms, one.base_ms
+        );
+        let (f1, b1) = (one.fused_ms, one.base_ms);
+        writeln!(json, "    {{").unwrap();
+        writeln!(json, "      \"id\": \"{}\",", q.id).unwrap();
+        writeln!(
+            json,
+            "      \"scaling_target\": {},",
+            SCALING_TARGETS.contains(&q.id)
+        )
+        .unwrap();
+        writeln!(json, "      \"measurements\": [").unwrap();
+        for (i, c) in cells.iter().enumerate() {
+            let fused_speedup = f1 / c.fused_ms.max(1e-9);
+            let base_speedup = b1 / c.base_ms.max(1e-9);
+            eprintln!(
+                "     {}t fused {:>8.1}ms ({:.2}x) baseline {:>8.1}ms ({:.2}x) \
+                 morsels {} busy/wall {:.0}/{:.0}ms",
+                c.threads,
+                c.fused_ms,
+                fused_speedup,
+                c.base_ms,
+                base_speedup,
+                c.morsels,
+                c.parallel_cpu_ms,
+                c.parallel_wall_ms,
+            );
+            if c.threads == 4 && SCALING_TARGETS.contains(&q.id) && fused_speedup < 2.0 {
+                failures.push(format!(
+                    "{}: {:.2}x fused speedup at 4 threads (need >= 2x)",
+                    q.id, fused_speedup
+                ));
+            }
+            writeln!(json, "        {{").unwrap();
+            writeln!(json, "          \"threads\": {},", c.threads).unwrap();
+            writeln!(json, "          \"fused_ms\": {:.3},", c.fused_ms).unwrap();
+            writeln!(json, "          \"baseline_ms\": {:.3},", c.base_ms).unwrap();
+            writeln!(json, "          \"fused_speedup_vs_1t\": {fused_speedup:.3},").unwrap();
+            writeln!(json, "          \"baseline_speedup_vs_1t\": {base_speedup:.3},").unwrap();
+            writeln!(json, "          \"morsels_executed\": {},", c.morsels).unwrap();
+            writeln!(
+                json,
+                "          \"parallel_busy_ms\": {:.3},",
+                c.parallel_cpu_ms
+            )
+            .unwrap();
+            writeln!(
+                json,
+                "          \"parallel_wall_ms\": {:.3},",
+                c.parallel_wall_ms
+            )
+            .unwrap();
+            writeln!(json, "          \"rows_match_reference\": true").unwrap();
+            writeln!(
+                json,
+                "        }}{}",
+                if i + 1 < cells.len() { "," } else { "" }
+            )
+            .unwrap();
+        }
+        writeln!(json, "      ]").unwrap();
+        writeln!(
+            json,
+            "    }}{}",
+            if qi + 1 < queries.len() { "," } else { "" }
+        )
+        .unwrap();
+    }
+    writeln!(json, "  ]").unwrap();
+    writeln!(json, "}}").unwrap();
+
+    std::fs::write(&out_path, json).expect("write BENCH_parallel.json");
+    eprintln!("# wrote {out_path}");
+
+    if failures.is_empty() {
+        eprintln!("# scaling targets met: >= 2x fused speedup at 4 threads on {SCALING_TARGETS:?}");
+    } else {
+        eprintln!("# SCALING TARGETS MISSED:");
+        for f in &failures {
+            eprintln!("#   {f}");
+        }
+        std::process::exit(1);
+    }
+}

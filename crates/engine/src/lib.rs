@@ -41,6 +41,19 @@ pub struct Session {
     fault_policy: FaultPolicy,
     retry_policy: RetryPolicy,
     cancel: CancelToken,
+    /// Worker threads for morsel-parallel operators (1 = sequential).
+    parallelism: usize,
+}
+
+/// Default session parallelism: the `FUSION_PARALLELISM` environment
+/// variable when set to a positive integer, else 1 (sequential). Lets CI
+/// run the whole suite with the parallel operators engaged.
+fn env_parallelism() -> usize {
+    std::env::var("FUSION_PARALLELISM")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(1)
 }
 
 /// Everything a query run produces.
@@ -84,6 +97,7 @@ impl Session {
             fault_policy: FaultPolicy::default(),
             retry_policy: RetryPolicy::default(),
             cancel: CancelToken::new(),
+            parallelism: env_parallelism(),
         }
     }
 
@@ -130,6 +144,19 @@ impl Session {
         self.cancel.clone()
     }
 
+    /// Number of worker threads granted to morsel-parallel operators
+    /// (scans of partitioned tables, partitioned aggregate and join
+    /// builds). `1` (the default) keeps execution fully sequential.
+    /// Initialized from the `FUSION_PARALLELISM` environment variable
+    /// when set, so a whole test suite can be forced parallel.
+    pub fn set_parallelism(&mut self, workers: usize) {
+        self.parallelism = workers.max(1);
+    }
+
+    pub fn parallelism(&self) -> usize {
+        self.parallelism
+    }
+
     fn fresh_metrics(&self) -> Arc<ExecMetrics> {
         match self.memory_budget {
             Some(b) => ExecMetrics::with_budget(b),
@@ -141,7 +168,8 @@ impl Session {
         let mut b = ExecContext::builder(metrics.clone())
             .cancel_token(self.cancel.clone())
             .fault_policy(self.fault_policy.clone())
-            .retry_policy(self.retry_policy.clone());
+            .retry_policy(self.retry_policy.clone())
+            .parallelism(self.parallelism);
         if let Some(t) = self.timeout {
             b = b.timeout(t);
         }

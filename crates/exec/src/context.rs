@@ -56,6 +56,9 @@ pub struct ExecContext {
     hard_budget: Option<usize>,
     fault_policy: FaultPolicy,
     retry_policy: RetryPolicy,
+    /// Worker threads available for morsel-parallel operators (1 = run
+    /// everything on the caller's thread).
+    parallelism: usize,
 }
 
 impl ExecContext {
@@ -68,6 +71,7 @@ impl ExecContext {
             hard_budget: None,
             fault_policy: FaultPolicy::default(),
             retry_policy: RetryPolicy::default(),
+            parallelism: 1,
         })
     }
 
@@ -81,6 +85,7 @@ impl ExecContext {
             hard_budget: None,
             fault_policy: FaultPolicy::default(),
             retry_policy: RetryPolicy::default(),
+            parallelism: 1,
         }
     }
 
@@ -102,6 +107,16 @@ impl ExecContext {
 
     pub fn hard_budget(&self) -> Option<usize> {
         self.hard_budget
+    }
+
+    pub fn parallelism(&self) -> usize {
+        self.parallelism
+    }
+
+    /// Worker count for a stage of `morsels` independent work units:
+    /// never more workers than morsels, never fewer than one.
+    pub fn workers_for(&self, morsels: usize) -> usize {
+        self.parallelism.min(morsels).max(1)
     }
 
     /// Cooperative check called by operators at chunk boundaries. Returns
@@ -178,6 +193,7 @@ pub struct ExecContextBuilder {
     hard_budget: Option<usize>,
     fault_policy: FaultPolicy,
     retry_policy: RetryPolicy,
+    parallelism: usize,
 }
 
 impl ExecContextBuilder {
@@ -211,6 +227,12 @@ impl ExecContextBuilder {
         self
     }
 
+    /// Worker threads for morsel-parallel operators (clamped to ≥ 1).
+    pub fn parallelism(mut self, workers: usize) -> Self {
+        self.parallelism = workers.max(1);
+        self
+    }
+
     pub fn build(self) -> Arc<ExecContext> {
         Arc::new(ExecContext {
             metrics: self.metrics,
@@ -219,6 +241,7 @@ impl ExecContextBuilder {
             hard_budget: self.hard_budget,
             fault_policy: self.fault_policy,
             retry_policy: self.retry_policy,
+            parallelism: self.parallelism,
         })
     }
 }

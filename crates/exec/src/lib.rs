@@ -26,6 +26,9 @@ pub mod table;
 pub use context::{BudgetedReservation, CancelToken, ExecContext, IntoContext};
 pub use fault::{FaultPolicy, RetryPolicy};
 pub use metrics::{ExecMetrics, MetricsSnapshot};
+pub use ops::agg::ParallelHashAggregateExec;
+pub use ops::exchange::GatherExec;
+pub use ops::scan::{ScanExec, ScanFragment};
 pub use physical::{collect, compile, compile_ctx, execute_plan, execute_plan_ctx, QueryOutput};
 pub use table::{Catalog, Table, TableBuilder};
 

@@ -37,6 +37,19 @@ pub struct ExecMetrics {
     /// Times the engine degraded a fused plan back to the unfused
     /// baseline after an execution or validation failure.
     fallbacks: AtomicU64,
+    /// Partition-granular morsels claimed and processed by parallel
+    /// workers (pruned morsels included — this counts scheduling units,
+    /// not reads; `partitions_read` counts reads).
+    morsels_executed: AtomicU64,
+    /// Rows rejected by the vectorized (columnar) predicate pass before
+    /// row materialization.
+    rows_filtered_vectorized: AtomicU64,
+    /// Sum of per-worker busy time across all parallel stages.
+    parallel_cpu_nanos: AtomicU64,
+    /// Wall-clock time spent inside parallel stages (spawn to last join).
+    /// `parallel_cpu_nanos / parallel_wall_nanos` is the effective
+    /// parallelism achieved.
+    parallel_wall_nanos: AtomicU64,
 }
 
 impl ExecMetrics {
@@ -96,6 +109,22 @@ impl ExecMetrics {
         self.fallbacks.fetch_add(1, Ordering::Relaxed);
     }
 
+    pub fn add_morsel(&self) {
+        self.morsels_executed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn add_rows_filtered_vectorized(&self, rows: u64) {
+        self.rows_filtered_vectorized.fetch_add(rows, Ordering::Relaxed);
+    }
+
+    pub fn add_parallel_cpu_nanos(&self, nanos: u64) {
+        self.parallel_cpu_nanos.fetch_add(nanos, Ordering::Relaxed);
+    }
+
+    pub fn add_parallel_wall_nanos(&self, nanos: u64) {
+        self.parallel_wall_nanos.fetch_add(nanos, Ordering::Relaxed);
+    }
+
     pub fn bytes_scanned(&self) -> u64 {
         self.bytes_scanned.load(Ordering::Relaxed)
     }
@@ -136,6 +165,22 @@ impl ExecMetrics {
         self.fallbacks.load(Ordering::Relaxed)
     }
 
+    pub fn morsels_executed(&self) -> u64 {
+        self.morsels_executed.load(Ordering::Relaxed)
+    }
+
+    pub fn rows_filtered_vectorized(&self) -> u64 {
+        self.rows_filtered_vectorized.load(Ordering::Relaxed)
+    }
+
+    pub fn parallel_cpu_nanos(&self) -> u64 {
+        self.parallel_cpu_nanos.load(Ordering::Relaxed)
+    }
+
+    pub fn parallel_wall_nanos(&self) -> u64 {
+        self.parallel_wall_nanos.load(Ordering::Relaxed)
+    }
+
     /// The *currently* reserved operator state (not the peak), clamped at
     /// zero. Used for enforced-budget admission checks.
     pub fn current_state_bytes(&self) -> u64 {
@@ -155,6 +200,10 @@ impl ExecMetrics {
             retries: self.retries(),
             faults_injected: self.faults_injected(),
             fallbacks: self.fallbacks(),
+            morsels_executed: self.morsels_executed(),
+            rows_filtered_vectorized: self.rows_filtered_vectorized(),
+            parallel_cpu_nanos: self.parallel_cpu_nanos(),
+            parallel_wall_nanos: self.parallel_wall_nanos(),
         }
     }
 }
@@ -172,6 +221,10 @@ pub struct MetricsSnapshot {
     pub retries: u64,
     pub faults_injected: u64,
     pub fallbacks: u64,
+    pub morsels_executed: u64,
+    pub rows_filtered_vectorized: u64,
+    pub parallel_cpu_nanos: u64,
+    pub parallel_wall_nanos: u64,
 }
 
 /// RAII guard for reserved operator state.

@@ -13,6 +13,7 @@ use fusion_common::{FusionError, Result, Schema, Value};
 use fusion_expr::{AggFunc, AggregateExpr, WindowExpr};
 
 use crate::context::{BudgetedReservation, ExecContext, IntoContext};
+use crate::ops::scan::ScanFragment;
 use crate::ops::{drain, row_bytes, BoxedOp, Operator, RowIndex};
 use crate::{Chunk, Row, CHUNK_SIZE};
 
@@ -127,6 +128,55 @@ impl Acc {
             Acc::Min(acc) | Acc::Max(acc) => acc.clone().unwrap_or(Value::Null),
         }
     }
+
+    /// Fold another accumulator of the same shape into this one — the
+    /// merge step of partitioned (morsel-parallel) aggregation. Callers
+    /// merge partials in partition-index order, which keeps float sums
+    /// bit-identical across runs at a given thread count.
+    pub fn merge(&mut self, other: &Acc) {
+        match (self, other) {
+            (Acc::Count(a), Acc::Count(b)) => *a += b,
+            (Acc::SumInt(a), Acc::SumInt(b)) => {
+                if let Some(b) = b {
+                    *a = Some(a.unwrap_or(0).wrapping_add(*b));
+                }
+            }
+            (Acc::SumFloat(a), Acc::SumFloat(b)) => {
+                if let Some(b) = b {
+                    *a = Some(a.unwrap_or(0.0) + b);
+                }
+            }
+            (Acc::Avg { sum, n }, Acc::Avg { sum: s2, n: n2 }) => {
+                *sum += s2;
+                *n += n2;
+            }
+            (Acc::Min(a), Acc::Min(b)) => {
+                if let Some(b) = b {
+                    match a {
+                        None => *a = Some(b.clone()),
+                        Some(cur) => {
+                            if b < cur {
+                                *a = Some(b.clone());
+                            }
+                        }
+                    }
+                }
+            }
+            (Acc::Max(a), Acc::Max(b)) => {
+                if let Some(b) = b {
+                    match a {
+                        None => *a = Some(b.clone()),
+                        Some(cur) => {
+                            if b > cur {
+                                *a = Some(b.clone());
+                            }
+                        }
+                    }
+                }
+            }
+            _ => unreachable!("merging accumulators of different shapes"),
+        }
+    }
 }
 
 /// Per-group state: one accumulator per aggregate, plus distinct sets for
@@ -134,6 +184,37 @@ impl Acc {
 struct GroupState {
     accs: Vec<Acc>,
     distinct_seen: Vec<Option<HashSet<Value>>>,
+}
+
+impl GroupState {
+    fn new(aggregates: &[AggregateExpr], int_sums: &[bool]) -> Self {
+        GroupState {
+            accs: aggregates
+                .iter()
+                .zip(int_sums)
+                .map(|(a, int_sum)| Acc::new(a.func, *int_sum))
+                .collect(),
+            distinct_seen: aggregates
+                .iter()
+                .map(|a| if a.distinct { Some(HashSet::new()) } else { None })
+                .collect(),
+        }
+    }
+
+    /// Merge a partial from another partition into this one. Distinct
+    /// aggregates union their seen-sets only — their accumulators are
+    /// rebuilt from the union at finish time, so a value appearing in
+    /// several partitions is never double-counted.
+    fn merge(&mut self, other: GroupState) {
+        for (a, b) in self.accs.iter_mut().zip(&other.accs) {
+            a.merge(b);
+        }
+        for (s, o) in self.distinct_seen.iter_mut().zip(other.distinct_seen) {
+            if let (Some(s), Some(o)) = (s, o) {
+                s.extend(o);
+            }
+        }
+    }
 }
 
 /// Hash aggregation. A GroupBy with no grouping columns (scalar
@@ -236,19 +317,9 @@ impl HashAggregateExec {
                 if is_new {
                     state_bytes += row_bytes(&key) + 64 * self.aggregates.len() as i64;
                 }
-                let state = groups.entry(key).or_insert_with(|| GroupState {
-                    accs: self
-                        .aggregates
-                        .iter()
-                        .zip(&self.int_sums)
-                        .map(|(a, int_sum)| Acc::new(a.func, *int_sum))
-                        .collect(),
-                    distinct_seen: self
-                        .aggregates
-                        .iter()
-                        .map(|a| if a.distinct { Some(HashSet::new()) } else { None })
-                        .collect(),
-                });
+                let state = groups
+                    .entry(key)
+                    .or_insert_with(|| GroupState::new(&self.aggregates, &self.int_sums));
                 for (i, agg) in self.aggregates.iter().enumerate() {
                     // Mask check (§III.E): skip rows the mask rejects.
                     if let Some(slot) = mask_slot[i] {
@@ -302,6 +373,233 @@ impl HashAggregateExec {
 }
 
 impl Operator for HashAggregateExec {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn next_chunk(&mut self) -> Result<Option<Chunk>> {
+        if self.output.is_none() {
+            let rows = self.compute()?;
+            self.output = Some(rows.into_iter());
+        }
+        let it = self.output.as_mut().unwrap();
+        let chunk: Vec<Row> = it.take(CHUNK_SIZE).collect();
+        if chunk.is_empty() {
+            Ok(None)
+        } else {
+            Ok(Some(chunk))
+        }
+    }
+}
+
+/// One partition's contribution to a parallel aggregation: its local
+/// group table plus the budget reservation covering that table's bytes
+/// (held until the merge completes).
+struct AggPartial {
+    groups: HashMap<Vec<Value>, GroupState>,
+    _reservation: BudgetedReservation,
+}
+
+/// Morsel-parallel hash aggregation directly over a table scan: each
+/// worker scans whole partitions (via [`ScanFragment::scan_partition`])
+/// and builds a local group table; partials are merged in
+/// partition-index order, so the result is deterministic regardless of
+/// worker scheduling. Distinct aggregates accumulate *only* their
+/// seen-sets in partials and are finalized from the merged union.
+pub struct ParallelHashAggregateExec {
+    fragment: Arc<ScanFragment>,
+    group_positions: Vec<usize>,
+    aggregates: Vec<AggregateExpr>,
+    int_sums: Vec<bool>,
+    input_index: RowIndex,
+    schema: Schema,
+    ctx: Arc<ExecContext>,
+    workers: usize,
+    output: Option<std::vec::IntoIter<Row>>,
+}
+
+impl ParallelHashAggregateExec {
+    pub fn new(
+        fragment: Arc<ScanFragment>,
+        group_positions: Vec<usize>,
+        aggregates: Vec<AggregateExpr>,
+        schema: Schema,
+        workers: usize,
+    ) -> Result<Self> {
+        let input_schema = fragment.schema().clone();
+        let input_index = RowIndex::new(&input_schema);
+        let int_sums = aggregates
+            .iter()
+            .map(|a| {
+                a.func == AggFunc::Sum
+                    && a.arg
+                        .as_ref()
+                        .map(|e| {
+                            e.data_type(&input_schema)
+                                .map(|t| t == fusion_common::DataType::Int64)
+                                .unwrap_or(false)
+                        })
+                        .unwrap_or(false)
+            })
+            .collect();
+        let ctx = fragment.ctx().clone();
+        Ok(ParallelHashAggregateExec {
+            fragment,
+            group_positions,
+            aggregates,
+            int_sums,
+            input_index,
+            schema,
+            ctx,
+            workers: workers.max(1),
+            output: None,
+        })
+    }
+
+    /// Scan one partition and aggregate it into a local group table.
+    fn build_partial(&self, part_idx: usize) -> Result<Option<AggPartial>> {
+        let rows = match self.fragment.scan_partition(part_idx)? {
+            None => return Ok(None),
+            Some(rows) => rows,
+        };
+        if rows.is_empty() {
+            return Ok(None);
+        }
+        let mut distinct_masks: Vec<&fusion_expr::Expr> = Vec::new();
+        let mask_slot: Vec<Option<usize>> = self
+            .aggregates
+            .iter()
+            .map(|a| {
+                if a.unmasked() {
+                    None
+                } else {
+                    Some(
+                        match distinct_masks.iter().position(|m| **m == a.mask) {
+                            Some(i) => i,
+                            None => {
+                                distinct_masks.push(&a.mask);
+                                distinct_masks.len() - 1
+                            }
+                        },
+                    )
+                }
+            })
+            .collect();
+        let mut mask_values = vec![false; distinct_masks.len()];
+
+        let mut groups: HashMap<Vec<Value>, GroupState> = HashMap::new();
+        let mut state_bytes = 0i64;
+        for row in &rows {
+            for (slot, mask) in distinct_masks.iter().enumerate() {
+                mask_values[slot] = self.input_index.eval_pred(mask, row)?;
+            }
+            let key: Vec<Value> = self
+                .group_positions
+                .iter()
+                .map(|&p| row[p].clone())
+                .collect();
+            if !groups.contains_key(&key) {
+                state_bytes += row_bytes(&key) + 64 * self.aggregates.len() as i64;
+            }
+            let state = groups
+                .entry(key)
+                .or_insert_with(|| GroupState::new(&self.aggregates, &self.int_sums));
+            for (i, agg) in self.aggregates.iter().enumerate() {
+                if let Some(slot) = mask_slot[i] {
+                    if !mask_values[slot] {
+                        continue;
+                    }
+                }
+                let arg_value = match &agg.arg {
+                    Some(e) => Some(self.input_index.eval(e, row)?),
+                    None => None,
+                };
+                if let Some(seen) = &mut state.distinct_seen[i] {
+                    // Distinct: record the value only. The accumulator is
+                    // rebuilt from the merged seen-set at finish time —
+                    // updating it here would double-count values that
+                    // also appear in other partitions.
+                    if let Some(v) = &arg_value {
+                        if !v.is_null() {
+                            seen.insert(v.clone());
+                        }
+                    }
+                    continue;
+                }
+                state.accs[i].update(arg_value.as_ref());
+            }
+        }
+        let reservation = BudgetedReservation::try_new(self.ctx.clone(), state_bytes)?;
+        Ok(Some(AggPartial {
+            groups,
+            _reservation: reservation,
+        }))
+    }
+
+    fn compute(&self) -> Result<Vec<Row>> {
+        let partials = crate::ops::exchange::collect_morsels(
+            &self.ctx,
+            self.fragment.num_partitions(),
+            self.workers,
+            |m| self.build_partial(m),
+        )?;
+
+        // Merge in partition-index order (collect_morsels sorts).
+        let mut groups: HashMap<Vec<Value>, GroupState> = HashMap::new();
+        let mut reservations = Vec::with_capacity(partials.len());
+        for (_, partial) in partials {
+            reservations.push(partial._reservation);
+            for (key, st) in partial.groups {
+                match groups.entry(key) {
+                    std::collections::hash_map::Entry::Occupied(mut e) => e.get_mut().merge(st),
+                    std::collections::hash_map::Entry::Vacant(e) => {
+                        e.insert(st);
+                    }
+                }
+            }
+        }
+
+        let scalar = self.group_positions.is_empty();
+        if scalar && groups.is_empty() {
+            let row: Row = self
+                .aggregates
+                .iter()
+                .zip(&self.int_sums)
+                .map(|(a, int_sum)| Acc::new(a.func, *int_sum).finish())
+                .collect();
+            return Ok(vec![row]);
+        }
+
+        let mut keys: Vec<Vec<Value>> = groups.keys().cloned().collect();
+        keys.sort(); // deterministic output order
+        let mut out = Vec::with_capacity(keys.len());
+        for key in keys {
+            let state = &groups[&key];
+            let mut row = key.clone();
+            for (i, agg) in self.aggregates.iter().enumerate() {
+                let v = match &state.distinct_seen[i] {
+                    Some(seen) => {
+                        // Rebuild the distinct accumulator from the merged
+                        // set in sorted order for determinism.
+                        let mut acc = Acc::new(agg.func, self.int_sums[i]);
+                        let mut vals: Vec<&Value> = seen.iter().collect();
+                        vals.sort();
+                        for v in vals {
+                            acc.update(Some(v));
+                        }
+                        acc.finish()
+                    }
+                    None => state.accs[i].finish(),
+                };
+                row.push(v);
+            }
+            out.push(row);
+        }
+        Ok(out)
+    }
+}
+
+impl Operator for ParallelHashAggregateExec {
     fn schema(&self) -> &Schema {
         &self.schema
     }

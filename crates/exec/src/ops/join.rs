@@ -9,8 +9,14 @@ use fusion_expr::{split_conjuncts, BinaryOp, Expr};
 use fusion_plan::JoinType;
 
 use crate::context::{BudgetedReservation, ExecContext, IntoContext};
+use crate::ops::exchange::collect_morsels;
+use crate::ops::scan::ScanFragment;
 use crate::ops::{drain, row_bytes, BoxedOp, Operator, RowIndex};
 use crate::{Chunk, Row, CHUNK_SIZE};
+
+/// One morsel's contribution to a parallel hash-join build: the partial
+/// key → rows map and the state bytes it reserves.
+type BuildPartial = (HashMap<Vec<Value>, Vec<Row>>, i64);
 
 /// Split a join condition into equi-key pairs `(left_expr, right_expr)`
 /// and a residual predicate, given the column sets of both sides.
@@ -75,6 +81,9 @@ pub struct HashJoinExec {
     ctx: Arc<ExecContext>,
     /// Probe buffer: output rows not yet emitted.
     pending: Vec<Row>,
+    /// When the build side is a plain table scan, build it morsel-parallel
+    /// instead of draining a `right` operator.
+    parallel_build: Option<(Arc<ScanFragment>, usize)>,
 }
 
 impl HashJoinExec {
@@ -105,11 +114,107 @@ impl HashJoinExec {
             _reservation: None,
             ctx: ctx.into_ctx(),
             pending: Vec::new(),
+            parallel_build: None,
         }
+    }
+
+    /// Hash join whose build side is read morsel-parallel straight from a
+    /// table scan fragment rather than drained from a child operator.
+    #[allow(clippy::too_many_arguments)]
+    pub fn with_parallel_build(
+        left: BoxedOp,
+        fragment: Arc<ScanFragment>,
+        workers: usize,
+        join_type: JoinType,
+        key_exprs: Vec<(Expr, Expr)>,
+        residual: Vec<Expr>,
+        schema: Schema,
+        ctx: impl IntoContext,
+    ) -> Self {
+        let left_index = RowIndex::new(left.schema());
+        let combined = left.schema().join(fragment.schema());
+        let combined_index = RowIndex::new(&combined);
+        let right_width = fragment.schema().len();
+        HashJoinExec {
+            left,
+            right: None,
+            join_type,
+            key_exprs,
+            residual,
+            left_index,
+            combined_index,
+            schema,
+            right_width,
+            build: None,
+            _reservation: None,
+            ctx: ctx.into_ctx(),
+            pending: Vec::new(),
+            parallel_build: Some((fragment, workers.max(1))),
+        }
+    }
+
+    /// Insert one build row into the hash table, skipping null keys;
+    /// returns the bytes the row added to build state.
+    fn insert_build_row(
+        key_exprs: &[(Expr, Expr)],
+        right_index: &RowIndex,
+        map: &mut HashMap<Vec<Value>, Vec<Row>>,
+        row: Row,
+    ) -> Result<i64> {
+        let mut key = Vec::with_capacity(key_exprs.len());
+        let mut has_null = false;
+        for (_, rk) in key_exprs {
+            let v = right_index.eval(rk, &row)?;
+            has_null |= v.is_null();
+            key.push(v);
+        }
+        if has_null {
+            return Ok(0); // null keys never match
+        }
+        let bytes = row_bytes(&row) + row_bytes(&key);
+        map.entry(key).or_default().push(row);
+        Ok(bytes)
     }
 
     fn build_side(&mut self) -> Result<()> {
         if self.build.is_some() {
+            return Ok(());
+        }
+        if let Some((fragment, workers)) = self.parallel_build.take() {
+            let right_index = RowIndex::new(fragment.schema());
+            let key_exprs = &self.key_exprs;
+            let partials = collect_morsels(
+                &self.ctx,
+                fragment.num_partitions(),
+                workers,
+                |m| -> Result<Option<BuildPartial>> {
+                    let rows = match fragment.scan_partition(m)? {
+                        None => return Ok(None),
+                        Some(rows) => rows,
+                    };
+                    if rows.is_empty() {
+                        return Ok(None);
+                    }
+                    let mut map: HashMap<Vec<Value>, Vec<Row>> = HashMap::new();
+                    let mut bytes = 0i64;
+                    for row in rows {
+                        bytes += Self::insert_build_row(key_exprs, &right_index, &mut map, row)?;
+                    }
+                    Ok(Some((map, bytes)))
+                },
+            )?;
+            // Merge in partition-index order so each key's row vector has
+            // exactly the sequential build's row order.
+            let mut map: HashMap<Vec<Value>, Vec<Row>> = HashMap::new();
+            let mut bytes = 0i64;
+            for (_, (part_map, part_bytes)) in partials {
+                bytes += part_bytes;
+                for (k, rows) in part_map {
+                    map.entry(k).or_default().extend(rows);
+                }
+            }
+            self._reservation = Some(BudgetedReservation::try_new(self.ctx.clone(), bytes)?);
+            self.build = Some(map);
             return Ok(());
         }
         let mut right = self.right.take().expect("build called once");
@@ -118,18 +223,7 @@ impl HashJoinExec {
         let mut bytes = 0i64;
         let mut map: HashMap<Vec<Value>, Vec<Row>> = HashMap::new();
         for row in rows {
-            let mut key = Vec::with_capacity(self.key_exprs.len());
-            let mut has_null = false;
-            for (_, rk) in &self.key_exprs {
-                let v = right_index.eval(rk, &row)?;
-                has_null |= v.is_null();
-                key.push(v);
-            }
-            if has_null {
-                continue; // null keys never match
-            }
-            bytes += row_bytes(&row) + row_bytes(&key);
-            map.entry(key).or_default().push(row);
+            bytes += Self::insert_build_row(&self.key_exprs, &right_index, &mut map, row)?;
         }
         self._reservation = Some(BudgetedReservation::try_new(self.ctx.clone(), bytes)?);
         self.build = Some(map);

@@ -3,10 +3,12 @@
 pub mod agg;
 pub mod basic;
 pub mod distinct;
+pub mod exchange;
 pub mod join;
 pub mod scan;
 pub mod sort;
 
+use std::borrow::Cow;
 use std::collections::HashMap;
 
 use fusion_common::{ColumnId, FusionError, Result, Schema, Value};
@@ -61,9 +63,11 @@ impl RowIndex {
         fusion_expr::eval(expr, &RowRef { index: self, row })
     }
 
-    /// Evaluate a predicate (NULL counts as false).
+    /// Evaluate a predicate (NULL counts as false) via the borrowing
+    /// evaluation path — no per-column `Value` clones for comparisons.
     pub fn eval_pred(&self, expr: &Expr, row: &[Value]) -> Result<bool> {
-        Ok(self.eval(expr, row)?.as_bool() == Some(true))
+        let r = RowRef { index: self, row };
+        Ok(fusion_expr::eval_cow(expr, &r)?.as_bool() == Some(true))
     }
 }
 
@@ -77,6 +81,11 @@ impl Resolver for RowRef<'_> {
     fn value(&self, id: ColumnId) -> Result<Value> {
         let pos = self.index.position(id)?;
         Ok(self.row[pos].clone())
+    }
+
+    fn value_ref(&self, id: ColumnId) -> Result<Cow<'_, Value>> {
+        let pos = self.index.position(id)?;
+        Ok(Cow::Borrowed(&self.row[pos]))
     }
 }
 

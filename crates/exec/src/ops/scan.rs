@@ -1,38 +1,58 @@
-//! Table scan with partition pruning and byte metering.
+//! Table scan with partition pruning, byte metering, and vectorized
+//! (columnar) predicate evaluation.
+//!
+//! The scan is split in two layers:
+//!
+//! * [`ScanFragment`] — an immutable, `Send + Sync` description of the
+//!   scan that reads **one partition at a time** ([`ScanFragment::
+//!   scan_partition`]): pruning, fault injection, metering, the
+//!   vectorized predicate pass over the columnar arrays, and row
+//!   materialization. A partition is the morsel of the parallel executor.
+//! * [`ScanExec`] — the sequential pull operator: iterates the fragment's
+//!   partitions on the caller's thread. The morsel-parallel counterpart
+//!   is [`crate::ops::exchange::GatherExec`], which drives the same
+//!   fragment from a worker pool.
 
+use std::borrow::Cow;
+use std::cmp::Ordering;
 use std::sync::Arc;
 
-use fusion_common::{Result, Schema, Value};
-use fusion_expr::{BinaryOp, Expr};
+use fusion_common::{ColumnId, FusionError, Result, Schema, Value};
+use fusion_expr::{BinaryOp, Expr, Resolver};
 
 use crate::context::{ExecContext, IntoContext};
 use crate::ops::{Operator, RowIndex};
 use crate::table::Table;
-use crate::{Chunk, CHUNK_SIZE};
+use crate::{Chunk, Row, CHUNK_SIZE};
 
-/// Scans the selected columns of a table, partition by partition.
-///
-/// Pushed-down predicates serve two purposes: conjuncts over the partition
-/// column prune whole partitions *before* their bytes are metered
-/// (modeling Athena skipping S3 objects), and every conjunct is re-applied
-/// row-by-row for exactness.
-pub struct ScanExec {
+/// A `col <op> literal` conjunct evaluated column-at-a-time on the
+/// partition arrays, before any row is materialized.
+#[derive(Debug, Clone)]
+struct VectorPredicate {
+    /// Position in the scan's output schema / `column_indices`.
+    pos: usize,
+    op: BinaryOp,
+    literal: Value,
+}
+
+/// Immutable partition-granular scan: shared by the sequential
+/// [`ScanExec`] and every morsel-parallel operator.
+pub struct ScanFragment {
     table: Arc<Table>,
     /// Base-table ordinals to read, parallel to `schema` fields.
     column_indices: Vec<usize>,
     schema: Schema,
-    filters: Vec<Expr>,
     index: RowIndex,
-    ctx: Arc<ExecContext>,
     /// (op, literal) conjuncts over the partition column, for pruning.
     prune_predicates: Vec<(BinaryOp, Value)>,
-    next_partition: usize,
-    /// Row offset within the current partition.
-    offset: usize,
-    done_metering: Vec<bool>,
+    /// Conjuncts evaluable column-at-a-time (selection-vector pass).
+    vector_predicates: Vec<VectorPredicate>,
+    /// Remaining filters, re-applied row-wise on the selection.
+    residual_filters: Vec<Expr>,
+    ctx: Arc<ExecContext>,
 }
 
-impl ScanExec {
+impl ScanFragment {
     pub fn new(
         table: Arc<Table>,
         column_indices: Vec<usize>,
@@ -45,19 +65,29 @@ impl ScanExec {
             Some(pc) => extract_prune_predicates(&filters, &schema, &column_indices, pc),
             None => vec![],
         };
-        let n = table.partitions.len();
-        ScanExec {
+        let (vector_predicates, residual_filters) = split_vector_predicates(&filters, &schema);
+        ScanFragment {
             table,
             column_indices,
             schema,
-            filters,
             index,
-            ctx: ctx.into_ctx(),
             prune_predicates,
-            next_partition: 0,
-            offset: 0,
-            done_metering: vec![false; n],
+            vector_predicates,
+            residual_filters,
+            ctx: ctx.into_ctx(),
         }
+    }
+
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    pub fn num_partitions(&self) -> usize {
+        self.table.partitions.len()
+    }
+
+    pub fn ctx(&self) -> &Arc<ExecContext> {
+        &self.ctx
     }
 
     fn partition_pruned(&self, part: usize) -> bool {
@@ -72,6 +102,237 @@ impl ScanExec {
         self.prune_predicates
             .iter()
             .any(|(op, lit)| !Table::partition_may_match(min, max, *op, lit))
+    }
+
+    /// Scan one partition to completion: prune (returning `None`), apply
+    /// the fault policy with retry, meter bytes/rows, run the vectorized
+    /// predicate pass on the columnar arrays, then materialize only the
+    /// surviving rows (applying residual filters row-wise, borrowing).
+    pub fn scan_partition(&self, part_idx: usize) -> Result<Option<Vec<Row>>> {
+        self.ctx.check()?;
+        if self.partition_pruned(part_idx) {
+            self.ctx.metrics().add_partitions(0, 1);
+            return Ok(None);
+        }
+        // First (and only) touch of this partition: apply the fault
+        // policy (with retry/backoff for transient failures), then meter
+        // the bytes the scan actually reads.
+        self.ctx
+            .faulted_read(&self.table.name, part_idx, || Ok(()))?;
+        let part = &self.table.partitions[part_idx];
+        let bytes: u64 = self
+            .column_indices
+            .iter()
+            .map(|&c| part.column_bytes[c])
+            .sum();
+        let metrics = self.ctx.metrics();
+        metrics.add_bytes_scanned(bytes);
+        metrics.add_rows_scanned(part.num_rows as u64);
+        metrics.add_partitions(1, 0);
+
+        // Vectorized pass: narrow the selection one column at a time.
+        let mut selection: Vec<usize> = (0..part.num_rows).collect();
+        for vp in &self.vector_predicates {
+            let column: &[Value] = &part.columns[self.column_indices[vp.pos]];
+            let mut kept = Vec::with_capacity(selection.len());
+            for &r in &selection {
+                let v = &column[r];
+                if v.is_null() {
+                    continue; // NULL comparison is NULL: row rejected
+                }
+                match v.sql_cmp(&vp.literal) {
+                    Some(ord) => {
+                        if cmp_matches(vp.op, ord) {
+                            kept.push(r);
+                        }
+                    }
+                    None => {
+                        return Err(FusionError::Type(format!(
+                            "cannot compare {v} with {}",
+                            vp.literal
+                        )))
+                    }
+                }
+            }
+            selection = kept;
+        }
+        if !self.vector_predicates.is_empty() {
+            metrics.add_rows_filtered_vectorized((part.num_rows - selection.len()) as u64);
+        }
+
+        // Residual filters run row-wise on the columnar view (borrowing,
+        // no clones); only rows that pass everything are materialized.
+        let mut rows: Vec<Row> = Vec::with_capacity(selection.len());
+        'rows: for &r in &selection {
+            let view = ColumnarRowRef {
+                index: &self.index,
+                column_indices: &self.column_indices,
+                columns: &part.columns,
+                row: r,
+            };
+            for f in &self.residual_filters {
+                if fusion_expr::eval_cow(f, &view)?.as_bool() != Some(true) {
+                    continue 'rows;
+                }
+            }
+            rows.push(
+                self.column_indices
+                    .iter()
+                    .map(|&c| part.columns[c][r].clone())
+                    .collect(),
+            );
+        }
+        Ok(Some(rows))
+    }
+}
+
+/// Resolver over one row of a columnar partition; hands out borrows so
+/// residual predicates never clone values they only compare.
+struct ColumnarRowRef<'a> {
+    index: &'a RowIndex,
+    column_indices: &'a [usize],
+    columns: &'a [Arc<Vec<Value>>],
+    row: usize,
+}
+
+impl Resolver for ColumnarRowRef<'_> {
+    fn value(&self, id: ColumnId) -> Result<Value> {
+        self.value_ref(id).map(|c| c.into_owned())
+    }
+
+    fn value_ref(&self, id: ColumnId) -> Result<Cow<'_, Value>> {
+        let pos = self.index.position(id)?;
+        Ok(Cow::Borrowed(&self.columns[self.column_indices[pos]][self.row]))
+    }
+}
+
+fn cmp_matches(op: BinaryOp, ord: Ordering) -> bool {
+    match op {
+        BinaryOp::Eq => ord == Ordering::Equal,
+        BinaryOp::NotEq => ord != Ordering::Equal,
+        BinaryOp::Lt => ord == Ordering::Less,
+        BinaryOp::LtEq => ord != Ordering::Greater,
+        BinaryOp::Gt => ord == Ordering::Greater,
+        BinaryOp::GtEq => ord != Ordering::Less,
+        _ => unreachable!("vector predicates are comparisons"),
+    }
+}
+
+/// Split pushed filters into vectorizable `col <op> literal` conjuncts
+/// (either operand order, non-null literal) and residual expressions.
+/// A filter whose conjuncts are all vectorized contributes nothing to the
+/// residual; mixed filters keep their non-vectorizable conjuncts there.
+fn split_vector_predicates(
+    filters: &[Expr],
+    schema: &Schema,
+) -> (Vec<VectorPredicate>, Vec<Expr>) {
+    let mut vector = Vec::new();
+    let mut residual = Vec::new();
+    for f in filters {
+        for c in fusion_expr::split_conjuncts(f) {
+            let mut vectorized = false;
+            if let Expr::Binary { op, left, right } = &c {
+                if op.is_comparison() {
+                    match (left.as_ref(), right.as_ref()) {
+                        (Expr::Column(id), Expr::Literal(v)) if !v.is_null() => {
+                            if let Some(pos) = schema.index_of(*id) {
+                                vector.push(VectorPredicate {
+                                    pos,
+                                    op: *op,
+                                    literal: v.clone(),
+                                });
+                                vectorized = true;
+                            }
+                        }
+                        (Expr::Literal(v), Expr::Column(id)) if !v.is_null() => {
+                            if let (Some(pos), Some(flipped)) =
+                                (schema.index_of(*id), op.commuted())
+                            {
+                                vector.push(VectorPredicate {
+                                    pos,
+                                    op: flipped,
+                                    literal: v.clone(),
+                                });
+                                vectorized = true;
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+            }
+            if !vectorized {
+                residual.push(c);
+            }
+        }
+    }
+    (vector, residual)
+}
+
+/// Sequential scan operator: drives a [`ScanFragment`] partition by
+/// partition on the caller's thread.
+pub struct ScanExec {
+    fragment: Arc<ScanFragment>,
+    next_partition: usize,
+    /// Materialized rows of the current partition not yet emitted.
+    pending: Vec<Row>,
+    emitted: usize,
+}
+
+impl ScanExec {
+    pub fn new(
+        table: Arc<Table>,
+        column_indices: Vec<usize>,
+        schema: Schema,
+        filters: Vec<Expr>,
+        ctx: impl IntoContext,
+    ) -> Self {
+        ScanExec::from_fragment(Arc::new(ScanFragment::new(
+            table,
+            column_indices,
+            schema,
+            filters,
+            ctx,
+        )))
+    }
+
+    pub fn from_fragment(fragment: Arc<ScanFragment>) -> Self {
+        ScanExec {
+            fragment,
+            next_partition: 0,
+            pending: Vec::new(),
+            emitted: 0,
+        }
+    }
+}
+
+impl Operator for ScanExec {
+    fn schema(&self) -> &Schema {
+        self.fragment.schema()
+    }
+
+    fn next_chunk(&mut self) -> Result<Option<Chunk>> {
+        self.fragment.ctx.check()?;
+        loop {
+            if self.emitted < self.pending.len() {
+                let end = (self.emitted + CHUNK_SIZE).min(self.pending.len());
+                let chunk: Chunk = self.pending[self.emitted..end].to_vec();
+                self.emitted = end;
+                if self.emitted >= self.pending.len() {
+                    self.pending.clear();
+                    self.emitted = 0;
+                }
+                return Ok(Some(chunk));
+            }
+            if self.next_partition >= self.fragment.num_partitions() {
+                return Ok(None);
+            }
+            let part_idx = self.next_partition;
+            self.next_partition += 1;
+            if let Some(rows) = self.fragment.scan_partition(part_idx)? {
+                self.pending = rows;
+                self.emitted = 0;
+            }
+        }
     }
 }
 
@@ -116,71 +377,6 @@ fn extract_prune_predicates(
         }
     }
     out
-}
-
-impl Operator for ScanExec {
-    fn schema(&self) -> &Schema {
-        &self.schema
-    }
-
-    fn next_chunk(&mut self) -> Result<Option<Chunk>> {
-        self.ctx.check()?;
-        loop {
-            if self.next_partition >= self.table.partitions.len() {
-                return Ok(None);
-            }
-            let part_idx = self.next_partition;
-            if self.offset == 0 && self.partition_pruned(part_idx) {
-                self.ctx.metrics().add_partitions(0, 1);
-                self.next_partition += 1;
-                continue;
-            }
-            if self.offset == 0 && !self.done_metering[part_idx] {
-                // First touch of this partition: apply the fault policy
-                // (with retry/backoff for transient failures), then meter
-                // the bytes the scan actually reads.
-                self.ctx
-                    .faulted_read(&self.table.name, part_idx, || Ok(()))?;
-                let part = &self.table.partitions[part_idx];
-                let bytes: u64 = self
-                    .column_indices
-                    .iter()
-                    .map(|&c| part.column_bytes[c])
-                    .sum();
-                let metrics = self.ctx.metrics();
-                metrics.add_bytes_scanned(bytes);
-                metrics.add_rows_scanned(part.num_rows as u64);
-                metrics.add_partitions(1, 0);
-                self.done_metering[part_idx] = true;
-            }
-            let part = &self.table.partitions[part_idx];
-
-            let end = (self.offset + CHUNK_SIZE).min(part.num_rows);
-            let mut chunk: Chunk = Vec::with_capacity(end - self.offset);
-            'rows: for r in self.offset..end {
-                let row: Vec<Value> = self
-                    .column_indices
-                    .iter()
-                    .map(|&c| part.columns[c][r].clone())
-                    .collect();
-                for f in &self.filters {
-                    if !self.index.eval_pred(f, &row)? {
-                        continue 'rows;
-                    }
-                }
-                chunk.push(row);
-            }
-            self.offset = end;
-            if self.offset >= part.num_rows {
-                self.next_partition += 1;
-                self.offset = 0;
-            }
-            if !chunk.is_empty() {
-                return Ok(Some(chunk));
-            }
-            // All rows filtered out: continue to the next slice/partition.
-        }
-    }
 }
 
 #[cfg(test)]

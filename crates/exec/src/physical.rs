@@ -2,18 +2,19 @@
 
 use std::sync::Arc;
 
-use fusion_common::{FusionError, Result, Schema};
+use fusion_common::{Field, FusionError, Result, Schema};
 use fusion_plan::{JoinType, LogicalPlan};
 
 use crate::context::ExecContext;
 use crate::metrics::ExecMetrics;
-use crate::ops::agg::{HashAggregateExec, WindowExec};
+use crate::ops::agg::{HashAggregateExec, ParallelHashAggregateExec, WindowExec};
 use crate::ops::basic::{
     ConstantTableExec, EnforceSingleRowExec, FilterExec, LimitExec, ProjectExec, UnionAllExec,
 };
 use crate::ops::distinct::MarkDistinctExec;
+use crate::ops::exchange::GatherExec;
 use crate::ops::join::{split_join_condition, CrossJoinExec, HashJoinExec, NestedLoopJoinExec};
-use crate::ops::scan::ScanExec;
+use crate::ops::scan::{ScanExec, ScanFragment};
 use crate::ops::sort::SortExec;
 use crate::ops::{drain, BoxedOp};
 use crate::table::Catalog;
@@ -56,28 +57,12 @@ pub fn compile_ctx(
     let schema = plan.schema();
     match plan {
         LogicalPlan::Scan(s) => {
-            let table = catalog.get(&s.table)?;
-            for (field, &ord) in s.fields.iter().zip(&s.column_indices) {
-                if ord >= table.columns.len() {
-                    return Err(FusionError::Plan(format!(
-                        "scan of {}: column ordinal {ord} out of range",
-                        s.table
-                    )));
-                }
-                let base = &table.columns[ord];
-                if !base.name.eq_ignore_ascii_case(&field.name) {
-                    // Names may legitimately differ after rewrites; only
-                    // the ordinal binding matters. No check needed here.
-                    let _ = base;
-                }
+            let (fragment, workers) = scan_fragment(catalog, ctx, s, schema)?;
+            if workers > 1 {
+                Ok(Box::new(GatherExec::new(fragment, workers)))
+            } else {
+                Ok(Box::new(ScanExec::from_fragment(fragment)))
             }
-            Ok(Box::new(ScanExec::new(
-                table,
-                s.column_indices.clone(),
-                schema,
-                s.filters.clone(),
-                ctx.clone(),
-            )))
         }
         LogicalPlan::Filter(f) => {
             let input = compile_ctx(&f.input, catalog, ctx)?;
@@ -94,15 +79,46 @@ pub fn compile_ctx(
         }
         LogicalPlan::Join(j) => {
             let left = compile_ctx(&j.left, catalog, ctx)?;
-            let right = compile_ctx(&j.right, catalog, ctx)?;
             match j.join_type {
-                JoinType::Cross => Ok(Box::new(CrossJoinExec::new(
-                    left,
-                    right,
-                    schema,
-                    ctx.clone(),
-                ))),
+                JoinType::Cross => {
+                    let right = compile_ctx(&j.right, catalog, ctx)?;
+                    Ok(Box::new(CrossJoinExec::new(left, right, schema, ctx.clone())))
+                }
                 jt => {
+                    // Equi-join whose build side is a plain scan of a
+                    // multi-partition table: build the hash table
+                    // morsel-parallel straight from the fragment.
+                    if let LogicalPlan::Scan(s) = &*j.right {
+                        let right_schema = j.right.schema();
+                        let (keys, residual) =
+                            split_join_condition(&j.condition, left.schema(), &right_schema);
+                        if !keys.is_empty() {
+                            let (fragment, workers) =
+                                scan_fragment(catalog, ctx, s, right_schema)?;
+                            if workers > 1 {
+                                return Ok(Box::new(HashJoinExec::with_parallel_build(
+                                    left,
+                                    fragment,
+                                    workers,
+                                    jt,
+                                    keys,
+                                    residual,
+                                    schema,
+                                    ctx.clone(),
+                                )));
+                            }
+                            return Ok(Box::new(HashJoinExec::new(
+                                left,
+                                Box::new(ScanExec::from_fragment(fragment)),
+                                jt,
+                                keys,
+                                residual,
+                                schema,
+                                ctx.clone(),
+                            )));
+                        }
+                    }
+                    let right = compile_ctx(&j.right, catalog, ctx)?;
                     let (keys, residual) =
                         split_join_condition(&j.condition, left.schema(), right.schema());
                     if keys.is_empty() {
@@ -129,6 +145,39 @@ pub fn compile_ctx(
             }
         }
         LogicalPlan::Aggregate(a) => {
+            // Aggregation directly over a multi-partition scan runs
+            // morsel-parallel: per-partition partial group tables merged
+            // in partition order.
+            if let LogicalPlan::Scan(s) = &*a.input {
+                let scan_schema = a.input.schema();
+                let (fragment, workers) = scan_fragment(catalog, ctx, s, scan_schema.clone())?;
+                let group_positions = a
+                    .group_by
+                    .iter()
+                    .map(|id| {
+                        scan_schema.index_of(*id).ok_or_else(|| {
+                            FusionError::Plan(format!("group-by column {id} missing from input"))
+                        })
+                    })
+                    .collect::<Result<Vec<_>>>()?;
+                let aggregates = a.aggregates.iter().map(|x| x.agg.clone()).collect();
+                if workers > 1 {
+                    return Ok(Box::new(ParallelHashAggregateExec::new(
+                        fragment,
+                        group_positions,
+                        aggregates,
+                        schema,
+                        workers,
+                    )?));
+                }
+                return Ok(Box::new(HashAggregateExec::new(
+                    Box::new(ScanExec::from_fragment(fragment)),
+                    group_positions,
+                    aggregates,
+                    schema,
+                    ctx.clone(),
+                )?));
+            }
             let input = compile_ctx(&a.input, catalog, ctx)?;
             let input_schema = input.schema();
             let group_positions = a
@@ -193,6 +242,65 @@ pub fn compile_ctx(
             Ok(Box::new(LimitExec::new(input, l.fetch, ctx.clone())))
         }
     }
+}
+
+/// Validate a scan node against the catalog and build its
+/// [`ScanFragment`], returning the fragment together with the worker
+/// count the context grants for its partition count (1 = sequential).
+///
+/// Validation checks the plan's binding for real: arity (every field
+/// needs an ordinal — `zip` would silently truncate a mismatch), ordinal
+/// range, and that each bound column's data type matches the base
+/// table's. Field *names* may legitimately diverge after rewrites, so
+/// they are not checked.
+fn scan_fragment(
+    catalog: &Catalog,
+    ctx: &Arc<ExecContext>,
+    s: &fusion_plan::plan::Scan,
+    schema: Schema,
+) -> Result<(Arc<ScanFragment>, usize)> {
+    let table = catalog.get(&s.table)?;
+    validate_scan_binding(&s.table, &s.fields, &s.column_indices, &table.columns)?;
+    let workers = ctx.workers_for(table.partitions.len());
+    let fragment = Arc::new(ScanFragment::new(
+        table,
+        s.column_indices.clone(),
+        schema,
+        s.filters.clone(),
+        ctx.clone(),
+    ));
+    Ok((fragment, workers))
+}
+
+fn validate_scan_binding(
+    table_name: &str,
+    fields: &[Field],
+    column_indices: &[usize],
+    columns: &[crate::table::TableColumn],
+) -> Result<()> {
+    if fields.len() != column_indices.len() {
+        return Err(FusionError::Plan(format!(
+            "scan of {table_name}: {} fields bound to {} column ordinals",
+            fields.len(),
+            column_indices.len()
+        )));
+    }
+    for (field, &ord) in fields.iter().zip(column_indices) {
+        if ord >= columns.len() {
+            return Err(FusionError::Plan(format!(
+                "scan of {table_name}: column ordinal {ord} out of range"
+            )));
+        }
+        let base = &columns[ord];
+        if base.data_type != field.data_type {
+            return Err(FusionError::Plan(format!(
+                "scan of {table_name}: column {} (ordinal {ord}) has type {:?} \
+                 but the plan binds it as {:?}",
+                base.name, base.data_type, field.data_type
+            )));
+        }
+    }
+    Ok(())
 }
 
 /// Drain an operator tree into materialized rows.

@@ -1,5 +1,6 @@
 //! Row-based expression evaluation with SQL three-valued logic.
 
+use std::borrow::Cow;
 use std::cmp::Ordering;
 
 use fusion_common::{ColumnId, DataType, FusionError, Result, Value};
@@ -9,6 +10,13 @@ use crate::expr::{BinaryOp, Expr, ScalarFunc};
 /// Resolve a column reference to a value for the current row.
 pub trait Resolver {
     fn value(&self, id: ColumnId) -> Result<Value>;
+
+    /// Borrowing resolution: resolvers backed by in-memory rows override
+    /// this to hand out `Cow::Borrowed` and skip the per-access clone the
+    /// owning [`Resolver::value`] path pays.
+    fn value_ref(&self, id: ColumnId) -> Result<Cow<'_, Value>> {
+        self.value(id).map(Cow::Owned)
+    }
 }
 
 impl<F> Resolver for F
@@ -112,7 +120,73 @@ pub fn eval(expr: &Expr, row: &dyn Resolver) -> Result<Value> {
 /// Convenience: evaluate a boolean predicate; returns `false` for NULL
 /// (filter semantics: keep only rows where the predicate is TRUE).
 pub fn eval_predicate(expr: &Expr, row: &dyn Resolver) -> Result<bool> {
-    Ok(eval(expr, row)?.as_bool() == Some(true))
+    Ok(eval_cow(expr, row)?.as_bool() == Some(true))
+}
+
+/// Borrowing evaluation: the predicate hot path (columns, literals,
+/// comparisons, AND/OR/NOT, null tests) resolves operands through
+/// [`Resolver::value_ref`] and never clones a `Value` it only inspects.
+/// Nodes that construct new values fall through to [`eval`].
+pub fn eval_cow<'a>(expr: &'a Expr, row: &'a dyn Resolver) -> Result<Cow<'a, Value>> {
+    match expr {
+        Expr::Column(id) => row.value_ref(*id),
+        Expr::Literal(v) => Ok(Cow::Borrowed(v)),
+        Expr::Binary { op, left, right } if *op == BinaryOp::And => {
+            let l = eval_cow(left, row)?;
+            if l.as_bool() == Some(false) {
+                return Ok(Cow::Owned(Value::Boolean(false)));
+            }
+            let r = eval_cow(right, row)?;
+            Ok(Cow::Owned(match (l.as_bool(), r.as_bool()) {
+                (_, Some(false)) => Value::Boolean(false),
+                (Some(true), Some(true)) => Value::Boolean(true),
+                _ => Value::Null,
+            }))
+        }
+        Expr::Binary { op, left, right } if *op == BinaryOp::Or => {
+            let l = eval_cow(left, row)?;
+            if l.as_bool() == Some(true) {
+                return Ok(Cow::Owned(Value::Boolean(true)));
+            }
+            let r = eval_cow(right, row)?;
+            Ok(Cow::Owned(match (l.as_bool(), r.as_bool()) {
+                (_, Some(true)) => Value::Boolean(true),
+                (Some(false), Some(false)) => Value::Boolean(false),
+                _ => Value::Null,
+            }))
+        }
+        Expr::Binary { op, left, right } if op.is_comparison() => {
+            let l = eval_cow(left, row)?;
+            let r = eval_cow(right, row)?;
+            if l.is_null() || r.is_null() {
+                return Ok(Cow::Owned(Value::Null));
+            }
+            let ord = l.sql_cmp(&r).ok_or_else(|| {
+                FusionError::Type(format!("cannot compare {l} with {r}"))
+            })?;
+            Ok(Cow::Owned(Value::Boolean(compare(*op, ord))))
+        }
+        Expr::Not(e) => match eval_cow(e, row)?.as_ref() {
+            Value::Null => Ok(Cow::Owned(Value::Null)),
+            Value::Boolean(b) => Ok(Cow::Owned(Value::Boolean(!b))),
+            v => Err(FusionError::Type(format!("NOT applied to {v}"))),
+        },
+        Expr::IsNull(e) => Ok(Cow::Owned(Value::Boolean(eval_cow(e, row)?.is_null()))),
+        Expr::IsNotNull(e) => Ok(Cow::Owned(Value::Boolean(!eval_cow(e, row)?.is_null()))),
+        _ => eval(expr, row).map(Cow::Owned),
+    }
+}
+
+fn compare(op: BinaryOp, ord: Ordering) -> bool {
+    match op {
+        BinaryOp::Eq => ord == Ordering::Equal,
+        BinaryOp::NotEq => ord != Ordering::Equal,
+        BinaryOp::Lt => ord == Ordering::Less,
+        BinaryOp::LtEq => ord != Ordering::Greater,
+        BinaryOp::Gt => ord == Ordering::Greater,
+        BinaryOp::GtEq => ord != Ordering::Less,
+        _ => unreachable!("compare called with non-comparison op"),
+    }
 }
 
 fn eval_binary(op: BinaryOp, left: &Expr, right: &Expr, row: &dyn Resolver) -> Result<Value> {
@@ -151,16 +225,7 @@ fn eval_binary(op: BinaryOp, left: &Expr, right: &Expr, row: &dyn Resolver) -> R
         let ord = l.sql_cmp(&r).ok_or_else(|| {
             FusionError::Type(format!("cannot compare {l} with {r}"))
         })?;
-        let b = match op {
-            BinaryOp::Eq => ord == Ordering::Equal,
-            BinaryOp::NotEq => ord != Ordering::Equal,
-            BinaryOp::Lt => ord == Ordering::Less,
-            BinaryOp::LtEq => ord != Ordering::Greater,
-            BinaryOp::Gt => ord == Ordering::Greater,
-            BinaryOp::GtEq => ord != Ordering::Less,
-            _ => unreachable!(),
-        };
-        return Ok(Value::Boolean(b));
+        return Ok(Value::Boolean(compare(op, ord)));
     }
     arith(op, &l, &r)
 }
@@ -376,6 +441,60 @@ mod tests {
     fn eval_predicate_treats_null_as_false() {
         let r = row(&[(1, Value::Null)]);
         assert!(!eval_predicate(&col(ColumnId(1)).gt(lit(1i64)), &r).unwrap());
+    }
+
+    /// A resolver that hands out borrows and counts owning clones; the
+    /// borrowing hot path must never fall back to `value`.
+    struct Borrowing<'a> {
+        values: &'a [(ColumnId, Value)],
+        clones: std::cell::Cell<usize>,
+    }
+    impl Resolver for Borrowing<'_> {
+        fn value(&self, id: ColumnId) -> Result<Value> {
+            self.clones.set(self.clones.get() + 1);
+            self.value_ref(id).map(|c| c.into_owned())
+        }
+        fn value_ref(&self, id: ColumnId) -> Result<std::borrow::Cow<'_, Value>> {
+            self.values
+                .iter()
+                .find(|(i, _)| *i == id)
+                .map(|(_, v)| std::borrow::Cow::Borrowed(v))
+                .ok_or_else(|| FusionError::Execution(format!("no column {id}")))
+        }
+    }
+
+    #[test]
+    fn eval_cow_borrows_through_predicates() {
+        let values = [
+            (ColumnId(1), Value::Utf8("north".into())),
+            (ColumnId(2), Value::Int64(7)),
+        ];
+        let r = Borrowing {
+            values: &values,
+            clones: std::cell::Cell::new(0),
+        };
+        let pred = col(ColumnId(1))
+            .eq_to(lit("north"))
+            .and(col(ColumnId(2)).gt(lit(3i64)))
+            .and(col(ColumnId(2)).is_not_null());
+        assert_eq!(eval_cow(&pred, &r).unwrap().as_ref(), &Value::Boolean(true));
+        assert_eq!(r.clones.get(), 0, "comparison path must not clone values");
+        // The same expression through the owning path matches.
+        assert_eq!(eval(&pred, &r).unwrap(), Value::Boolean(true));
+    }
+
+    #[test]
+    fn eval_cow_matches_eval_on_complex_nodes() {
+        let values = [(ColumnId(1), Value::Int64(5))];
+        let r = Borrowing {
+            values: &values,
+            clones: std::cell::Cell::new(0),
+        };
+        // Arithmetic inside a comparison falls back to `eval` for the
+        // arith node but still compares without cloning the results.
+        let pred = col(ColumnId(1)).add(lit(1i64)).gt(lit(5i64));
+        assert_eq!(eval_cow(&pred, &r).unwrap().as_ref(), &Value::Boolean(true));
+        assert_eq!(eval(&pred, &r).unwrap(), Value::Boolean(true));
     }
 }
 

@@ -23,7 +23,7 @@ pub mod equiv;
 pub mod simplify;
 
 pub use agg::{AggFunc, AggregateExpr, WindowExpr};
-pub use eval::{eval, eval_predicate, Resolver};
+pub use eval::{eval, eval_cow, eval_predicate, Resolver};
 pub use equiv::{equiv, equiv_mod, normalize};
 pub use expr::{
     col, conjoin, disjoin, lit, split_conjuncts, split_disjuncts, BinaryOp, ColumnMap, Expr,

@@ -251,11 +251,17 @@ proptest! {
     /// plan degrades to baseline and still matches), or fail with the
     /// typed transient-I/O error once retries are exhausted.
     #[test]
-    fn fused_and_baseline_agree_under_fault_schedules(seed in 0u64..1_000_000) {
+    fn fused_and_baseline_agree_under_fault_schedules(
+        seed in 0u64..1_000_000,
+        parallel in proptest::strategy::any::<bool>(),
+    ) {
+        let workers = if parallel { 4 } else { 1 };
         let policy = FaultPolicy::transient(seed, 0.3);
         let mut fused = session();
+        fused.set_parallelism(workers);
         fused.set_fault_policy(policy.clone());
         let mut base = session();
+        base.set_parallelism(workers);
         base.set_fusion_enabled(false);
         base.set_fault_policy(policy);
 
