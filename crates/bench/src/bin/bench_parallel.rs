@@ -51,6 +51,10 @@ struct Cell {
     morsels: u64,
     parallel_wall_ms: f64,
     parallel_cpu_ms: f64,
+    /// Per-operator execution profiles ([`Session::last_profile`]) of the
+    /// last fused / baseline run at this thread count, as JSON.
+    fused_profile: String,
+    base_profile: String,
 }
 
 fn session(scale: f64, threads: usize, latency: Duration, fused: bool) -> Session {
@@ -113,6 +117,11 @@ fn measure(q: &BenchQuery, scale: f64, runs: usize, latency: Duration) -> Vec<Ce
             "{} rows diverge from the sequential reference at {t} threads",
             q.id
         );
+        let profile_json = |s: &Session| {
+            s.last_profile()
+                .map(|p| p.to_json())
+                .unwrap_or_else(|| "null".into())
+        };
         cells.push(Cell {
             threads: t,
             fused_ms,
@@ -120,6 +129,8 @@ fn measure(q: &BenchQuery, scale: f64, runs: usize, latency: Duration) -> Vec<Ce
             morsels: rf.metrics.morsels_executed,
             parallel_wall_ms: rf.metrics.parallel_wall_nanos as f64 / 1e6,
             parallel_cpu_ms: rf.metrics.parallel_cpu_nanos as f64 / 1e6,
+            fused_profile: profile_json(&fused),
+            base_profile: profile_json(&base),
         });
     }
     cells
@@ -133,6 +144,9 @@ fn main() {
     let out_path = std::env::args()
         .nth(1)
         .unwrap_or_else(|| "BENCH_parallel.json".into());
+    let profile_path = std::env::args()
+        .nth(2)
+        .unwrap_or_else(|| "PROFILE_parallel.json".into());
 
     eprintln!(
         "# bench_parallel: scale {scale}, {runs} runs/median, {latency_ms}ms simulated \
@@ -147,10 +161,37 @@ fn main() {
     writeln!(json, "  \"threads\": [1, 2, 4, 8],").unwrap();
     writeln!(json, "  \"queries\": [").unwrap();
 
+    let mut pjson = String::new();
+    writeln!(pjson, "{{").unwrap();
+    writeln!(pjson, "  \"scale\": {scale},").unwrap();
+    writeln!(pjson, "  \"queries\": [").unwrap();
+
     let queries = featured_queries();
     let mut failures = Vec::new();
     for (qi, q) in queries.iter().enumerate() {
         let cells = measure(q, scale, runs, latency);
+        writeln!(pjson, "    {{").unwrap();
+        writeln!(pjson, "      \"id\": \"{}\",", q.id).unwrap();
+        writeln!(pjson, "      \"profiles\": [").unwrap();
+        for (i, c) in cells.iter().enumerate() {
+            writeln!(pjson, "        {{").unwrap();
+            writeln!(pjson, "          \"threads\": {},", c.threads).unwrap();
+            writeln!(pjson, "          \"fused\": {},", c.fused_profile).unwrap();
+            writeln!(pjson, "          \"baseline\": {}", c.base_profile).unwrap();
+            writeln!(
+                pjson,
+                "        }}{}",
+                if i + 1 < cells.len() { "," } else { "" }
+            )
+            .unwrap();
+        }
+        writeln!(pjson, "      ]").unwrap();
+        writeln!(
+            pjson,
+            "    }}{}",
+            if qi + 1 < queries.len() { "," } else { "" }
+        )
+        .unwrap();
         let one = &cells[0];
         eprintln!(
             "{:<4} 1t fused {:>8.1}ms baseline {:>8.1}ms",
@@ -225,8 +266,13 @@ fn main() {
     writeln!(json, "  ]").unwrap();
     writeln!(json, "}}").unwrap();
 
+    writeln!(pjson, "  ]").unwrap();
+    writeln!(pjson, "}}").unwrap();
+
     std::fs::write(&out_path, json).expect("write BENCH_parallel.json");
     eprintln!("# wrote {out_path}");
+    std::fs::write(&profile_path, pjson).expect("write PROFILE_parallel.json");
+    eprintln!("# wrote {profile_path}");
 
     if failures.is_empty() {
         eprintln!("# scaling targets met: >= 2x fused speedup at 4 threads on {SCALING_TARGETS:?}");

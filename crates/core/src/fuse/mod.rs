@@ -16,20 +16,96 @@ pub mod mark_distinct;
 pub mod project;
 pub mod scan;
 
+use std::sync::{Arc, Mutex, PoisonError};
+
 use fusion_common::{IdGen, Schema};
 use fusion_expr::{ColumnMap, Expr};
 use fusion_plan::{EnforceSingleRow, LogicalPlan, MarkDistinct, Project, ProjExpr};
 
 /// Shared context for fusion: the session id generator, used to mint
-/// compensating columns (counts, masks).
+/// compensating columns (counts, masks), plus the trace sink recording
+/// every `Fuse` attempt for the optimizer trace.
 #[derive(Debug, Clone)]
 pub struct FuseContext {
     pub gen: IdGen,
+    pub trace: Arc<FuseTrace>,
 }
 
 impl FuseContext {
     pub fn new(gen: IdGen) -> Self {
-        FuseContext { gen }
+        FuseContext {
+            gen,
+            trace: Arc::new(FuseTrace::default()),
+        }
+    }
+}
+
+/// One recorded `Fuse(P1, P2)` attempt: which root operator pair was
+/// tried and how it ended. Recursive attempts (on the inputs of the pair)
+/// are recorded too, so a bailed fusion leaves the innermost reason on
+/// the trace.
+#[derive(Debug, Clone)]
+pub struct FuseEvent {
+    /// Root operator of `P1` (e.g. `"Aggregate"`).
+    pub left: String,
+    /// Root operator of `P2`.
+    pub right: String,
+    /// Whether this pair fused.
+    pub fused: bool,
+    /// Outcome detail: compensation triviality on success, the bail
+    /// reason on `⊥`.
+    pub detail: String,
+}
+
+/// Bounded, thread-shared sink for [`FuseEvent`]s. A poisoned lock is
+/// recovered: events are append-only strings and stay structurally valid
+/// even if a panicking thread held the lock.
+#[derive(Debug, Default)]
+pub struct FuseTrace {
+    events: Mutex<Vec<FuseEvent>>,
+}
+
+/// Cap on recorded events so a pathological plan cannot balloon the
+/// report; past the cap the trace silently stops growing.
+const FUSE_TRACE_CAP: usize = 512;
+
+impl FuseTrace {
+    fn record(&self, event: FuseEvent) {
+        let mut events = self
+            .events
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        if events.len() < FUSE_TRACE_CAP {
+            events.push(event);
+        }
+    }
+
+    /// Drain all recorded events, leaving the trace empty.
+    pub fn take(&self) -> Vec<FuseEvent> {
+        std::mem::take(
+            &mut *self
+                .events
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner),
+        )
+    }
+}
+
+/// Short root-operator name used in fuse trace events.
+fn root_name(p: &LogicalPlan) -> &'static str {
+    match p {
+        LogicalPlan::Scan(_) => "Scan",
+        LogicalPlan::Filter(_) => "Filter",
+        LogicalPlan::Project(_) => "Project",
+        LogicalPlan::Join(_) => "Join",
+        LogicalPlan::Aggregate(_) => "Aggregate",
+        LogicalPlan::Window(_) => "Window",
+        LogicalPlan::MarkDistinct(_) => "MarkDistinct",
+        LogicalPlan::UnionAll(_) => "UnionAll",
+        LogicalPlan::ConstantTable(_) => "ConstantTable",
+        LogicalPlan::EnforceSingleRow(_) => "EnforceSingleRow",
+        LogicalPlan::Sort(_) => "Sort",
+        LogicalPlan::Limit(_) => "Limit",
     }
 }
 
@@ -71,7 +147,40 @@ impl Fused {
 }
 
 /// Fuse two plans; `None` is the paper's `⊥`.
+///
+/// Every attempt — including the recursive ones on the pair's inputs —
+/// is recorded on the context's [`FuseTrace`] so the optimizer report
+/// can say which operator pair bailed and why.
 pub fn fuse(p1: &LogicalPlan, p2: &LogicalPlan, ctx: &FuseContext) -> Option<Fused> {
+    let result = fuse_inner(p1, p2, ctx);
+    let (left, right) = (root_name(p1), root_name(p2));
+    let event = match &result {
+        Some(f) => FuseEvent {
+            left: left.into(),
+            right: right.into(),
+            fused: true,
+            detail: if f.trivial() {
+                "trivial compensations".into()
+            } else {
+                "compensating filters required".into()
+            },
+        },
+        None => FuseEvent {
+            left: left.into(),
+            right: right.into(),
+            fused: false,
+            detail: if left == right {
+                format!("same-root {left} fusion rejected by its per-operator definition")
+            } else {
+                format!("mismatched roots {left}/{right}: no §III.G adapter applied")
+            },
+        },
+    };
+    ctx.trace.record(event);
+    result
+}
+
+fn fuse_inner(p1: &LogicalPlan, p2: &LogicalPlan, ctx: &FuseContext) -> Option<Fused> {
     // Same-root definitions (Section III.A–III.F).
     let same_root = match (p1, p2) {
         (LogicalPlan::Scan(a), LogicalPlan::Scan(b)) => scan::fuse_scans(a, b),

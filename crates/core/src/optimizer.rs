@@ -9,7 +9,7 @@
 use fusion_common::IdGen;
 use fusion_plan::LogicalPlan;
 
-use crate::fuse::FuseContext;
+use crate::fuse::{FuseContext, FuseEvent};
 use crate::rules::join_on_keys::JoinOnKeys;
 use crate::rules::normalize::{
     MergeFilters, MergeProjections, RemoveTrivialProjections, SimplifyExpressions,
@@ -20,7 +20,7 @@ use crate::rules::semijoin::{DistinctPushdown, SemiToInnerDistinct};
 use crate::rules::union_fusion::UnionAllFusion;
 use crate::rules::union_on_join::UnionAllOnJoin;
 use crate::rules::window::GroupByJoinToWindow;
-use crate::rules::{apply_everywhere, Rule};
+use crate::rules::{apply_everywhere_traced, Rule};
 
 /// Optimizer configuration.
 #[derive(Debug, Clone)]
@@ -86,6 +86,10 @@ pub struct OptimizerReport {
     /// the session when a fused plan fails execution or validation; `None`
     /// when the optimized plan ran as planned.
     pub fallback: Option<String>,
+    /// Full optimizer trace: one [`RuleAttempt`] per rule per phase
+    /// iteration (no-matches only on the first iteration of each phase),
+    /// plus every `Fuse(P1, P2)` attempt the fusion rules made.
+    pub trace: OptimizerTrace,
 }
 
 /// A rule application whose output failed validation and was discarded.
@@ -95,6 +99,76 @@ pub struct RejectedRule {
     pub rule: String,
     /// The validation error its output produced.
     pub error: String,
+}
+
+/// The recorded history of one `optimize` call.
+#[derive(Debug, Clone, Default)]
+pub struct OptimizerTrace {
+    /// Rule attempts in driver order.
+    pub attempts: Vec<RuleAttempt>,
+    /// `Fuse` primitive attempts (fired and bailed) recorded by the
+    /// fusion rules, in call order.
+    pub fuse_events: Vec<FuseEvent>,
+}
+
+impl OptimizerTrace {
+    /// Render the trace as indented text for `EXPLAIN` output.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for a in &self.attempts {
+            match &a.outcome {
+                RuleOutcome::Fired => {
+                    out.push_str(&format!("[{}] {} fired at:\n", a.phase, a.rule));
+                    for n in &a.nodes {
+                        out.push_str(&format!("    {n}\n"));
+                    }
+                }
+                RuleOutcome::NoMatch => {
+                    out.push_str(&format!("[{}] {} no match\n", a.phase, a.rule));
+                }
+                RuleOutcome::Rejected { error } => {
+                    out.push_str(&format!(
+                        "[{}] {} rejected: {error}\n",
+                        a.phase, a.rule
+                    ));
+                }
+            }
+        }
+        for e in &self.fuse_events {
+            out.push_str(&format!(
+                "[fuse] Fuse({}, {}) -> {}: {}\n",
+                e.left,
+                e.right,
+                if e.fused { "fused" } else { "⊥" },
+                e.detail
+            ));
+        }
+        out
+    }
+}
+
+/// One recorded rule attempt: what the driver tried and how it ended.
+#[derive(Debug, Clone)]
+pub struct RuleAttempt {
+    /// Driver phase (`"normalize"`, `"fusion"`, `"cleanup"`).
+    pub phase: &'static str,
+    /// `Rule::name` of the attempted rule.
+    pub rule: String,
+    /// Labels of the plan nodes the rule fired at (empty unless `Fired`).
+    pub nodes: Vec<String>,
+    pub outcome: RuleOutcome,
+}
+
+/// How a recorded rule attempt ended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RuleOutcome {
+    /// The rule rewrote the plan (and the rewrite validated).
+    Fired,
+    /// The rule matched nothing. Recorded only on the first iteration of
+    /// each phase to bound the trace.
+    NoMatch,
+    /// The rule's output failed validation and was discarded.
+    Rejected { error: String },
 }
 
 /// The rule-pipeline optimizer.
@@ -119,6 +193,9 @@ impl Optimizer {
     pub fn optimize(&self, plan: &LogicalPlan) -> (LogicalPlan, OptimizerReport) {
         let mut report = OptimizerReport::default();
         let mut current = plan.clone();
+        // Drop any fuse events a previous optimize() on this context left
+        // behind so the trace describes this call only.
+        self.ctx.trace.take();
 
         // Phase 1: normalization.
         current = self.run_phase(
@@ -130,6 +207,7 @@ impl Optimizer {
             ],
             &mut report,
             false,
+            "normalize",
         );
 
         // Phase 2: fusion rules (§IV), before join reordering — which this
@@ -148,6 +226,7 @@ impl Optimizer {
                 ],
                 &mut report,
                 true,
+                "fusion",
             );
         }
 
@@ -166,6 +245,7 @@ impl Optimizer {
             ],
             &mut report,
             false,
+            "cleanup",
         );
         current = prune_columns(&current);
         if self.config.validate {
@@ -173,6 +253,7 @@ impl Optimizer {
                 report.validation_error = Some(format!("{e} ({})", e.code()));
             }
         }
+        report.trace.fuse_events = self.ctx.trace.take();
         (current, report)
     }
 
@@ -182,8 +263,9 @@ impl Optimizer {
         rules: &[&dyn Rule],
         report: &mut OptimizerReport,
         fusion_phase: bool,
+        phase: &'static str,
     ) -> LogicalPlan {
-        for _ in 0..self.config.max_iterations {
+        for iteration in 0..self.config.max_iterations {
             let mut changed = false;
             for rule in rules {
                 if self
@@ -194,7 +276,8 @@ impl Optimizer {
                 {
                     continue;
                 }
-                if let Some(next) = apply_everywhere(*rule, &plan, &self.ctx) {
+                let (next, fired_at) = apply_everywhere_traced(*rule, &plan, &self.ctx);
+                if let Some(next) = next {
                     if self.config.validate {
                         if let Err(e) = next.validate() {
                             // Discard the rule's output: the pre-rule plan
@@ -205,15 +288,39 @@ impl Optimizer {
                                 rule: rule.name().to_string(),
                                 error: e.to_string(),
                             });
+                            report.trace.attempts.push(RuleAttempt {
+                                phase,
+                                rule: rule.name().to_string(),
+                                nodes: fired_at,
+                                outcome: RuleOutcome::Rejected {
+                                    error: e.to_string(),
+                                },
+                            });
                             continue;
                         }
                     }
                     report.fired.push(rule.name().to_string());
+                    report.trace.attempts.push(RuleAttempt {
+                        phase,
+                        rule: rule.name().to_string(),
+                        nodes: fired_at,
+                        outcome: RuleOutcome::Fired,
+                    });
                     if fusion_phase {
                         report.fusion_applied = true;
                     }
                     plan = next;
                     changed = true;
+                } else if iteration == 0 {
+                    // Record no-matches only once per phase: later
+                    // iterations repeat the same rules and would bloat
+                    // the trace without adding information.
+                    report.trace.attempts.push(RuleAttempt {
+                        phase,
+                        rule: rule.name().to_string(),
+                        nodes: Vec::new(),
+                        outcome: RuleOutcome::NoMatch,
+                    });
                 }
             }
             if !changed {
@@ -379,7 +486,7 @@ mod tests {
         let optimizer = Optimizer::new(gen.clone(), OptimizerConfig::default());
         let mut report = OptimizerReport::default();
         let broken = BrokenRule(std::cell::Cell::new(false));
-        let out = optimizer.run_phase(plan.clone(), &[&broken], &mut report, true);
+        let out = optimizer.run_phase(plan.clone(), &[&broken], &mut report, true, "fusion");
         // The broken output is discarded: the plan is unchanged, nothing
         // "fired", and the rejection is on the record.
         assert_eq!(out.display(), plan.display());

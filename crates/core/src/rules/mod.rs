@@ -35,13 +35,25 @@ pub fn apply_everywhere(
     plan: &LogicalPlan,
     ctx: &FuseContext,
 ) -> Option<LogicalPlan> {
-    let mut changed = false;
+    apply_everywhere_traced(rule, plan, ctx).0
+}
+
+/// Like [`apply_everywhere`], additionally returning the labels of the
+/// plan nodes the rule fired at (in top-down walk order) for the
+/// optimizer trace.
+pub fn apply_everywhere_traced(
+    rule: &dyn Rule,
+    plan: &LogicalPlan,
+    ctx: &FuseContext,
+) -> (Option<LogicalPlan>, Vec<String>) {
+    let mut fired_at = Vec::new();
     let rewritten = plan.transform_down(&mut |node| match rule.apply(node, ctx) {
         Some(new) => {
-            changed = true;
+            fired_at.push(node.node_label());
             Some(new)
         }
         None => None,
     });
-    changed.then_some(rewritten)
+    let changed = !fired_at.is_empty();
+    (changed.then_some(rewritten), fired_at)
 }

@@ -11,18 +11,19 @@
 //! paper's baseline), which is all the benchmark harness needs to
 //! reproduce the Section V experiments.
 
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
-use fusion_common::{FusionError, IdGen, Result, Schema, Value};
+use fusion_common::{DataType, Field, FusionError, IdGen, Result, Schema, Value};
 use fusion_core::{Optimizer, OptimizerConfig, OptimizerReport};
 use fusion_exec::metrics::MetricsSnapshot;
+use fusion_exec::profile::{annotation, OpProfile};
 use fusion_exec::{
-    execute_plan_ctx, CancelToken, Catalog, ExecContext, ExecMetrics, FaultPolicy, RetryPolicy,
-    Table,
+    execute_plan_profiled, CancelToken, Catalog, ExecContext, ExecMetrics, FaultPolicy,
+    QueryProfile, RetryPolicy, Table,
 };
 use fusion_plan::LogicalPlan;
-use fusion_sql::{plan_query, SchemaProvider, TableSchema};
+use fusion_sql::{plan_query, SchemaProvider, Statement, TableSchema};
 
 /// A configured engine instance.
 pub struct Session {
@@ -43,6 +44,9 @@ pub struct Session {
     cancel: CancelToken,
     /// Worker threads for morsel-parallel operators (1 = sequential).
     parallelism: usize,
+    /// Profile of the last query this session executed, for the bench
+    /// harness ([`Session::last_profile`]).
+    last_profile: Mutex<Option<QueryProfile>>,
 }
 
 /// Default session parallelism: the `FUSION_PARALLELISM` environment
@@ -68,6 +72,9 @@ pub struct QueryResult {
     /// The plan that actually ran.
     pub optimized_plan: LogicalPlan,
     pub report: OptimizerReport,
+    /// Per-operator execution profile of the plan that ran. `None` only
+    /// for `EXPLAIN` (without `ANALYZE`), which does not execute.
+    pub profile: Option<QueryProfile>,
 }
 
 impl QueryResult {
@@ -98,6 +105,7 @@ impl Session {
             retry_policy: RetryPolicy::default(),
             cancel: CancelToken::new(),
             parallelism: env_parallelism(),
+            last_profile: Mutex::new(None),
         }
     }
 
@@ -221,9 +229,100 @@ impl Session {
     }
 
     /// Full pipeline: parse, plan, optimize, execute.
+    ///
+    /// `EXPLAIN <query>` returns the optimized plan and the optimizer
+    /// trace as rows (one line per row, single `plan` column) without
+    /// executing. `EXPLAIN ANALYZE <query>` executes the query and
+    /// annotates every operator with its profile (rows, batches,
+    /// timings, peak state).
     pub fn sql(&self, sql: &str) -> Result<QueryResult> {
-        let initial_plan = self.plan_sql(sql)?;
-        self.run_plan(initial_plan)
+        match fusion_sql::parse_statement(sql)? {
+            Statement::Query(ast) => {
+                let initial_plan = plan_query(&ast, &CatalogProvider(&self.catalog), &self.gen)?;
+                self.run_plan(initial_plan)
+            }
+            Statement::Explain { analyze, query } => {
+                let initial_plan = plan_query(&query, &CatalogProvider(&self.catalog), &self.gen)?;
+                if analyze {
+                    self.explain_analyze_plan(initial_plan)
+                } else {
+                    self.explain_plan(initial_plan)
+                }
+            }
+        }
+    }
+
+    /// `EXPLAIN`: optimize only, render the plan plus the optimizer
+    /// trace. No execution happens, so `profile` is `None`.
+    fn explain_plan(&self, initial_plan: LogicalPlan) -> Result<QueryResult> {
+        let start = Instant::now();
+        let (optimized_plan, report) = self.optimize(&initial_plan);
+        let mut text = optimized_plan.display();
+        push_trace_sections(&mut text, &report);
+        Ok(QueryResult {
+            schema: self.plan_text_schema(),
+            rows: text_rows(&text),
+            metrics: self.fresh_metrics().snapshot(),
+            latency: start.elapsed(),
+            initial_plan,
+            optimized_plan,
+            report,
+            profile: None,
+        })
+    }
+
+    /// `EXPLAIN ANALYZE`: run the query, then render the plan that
+    /// actually ran with each operator annotated from its profile.
+    fn explain_analyze_plan(&self, initial_plan: LogicalPlan) -> Result<QueryResult> {
+        let result = self.run_plan(initial_plan)?;
+        let mut text = match &result.profile {
+            Some(profile) => {
+                // `op_id` is allocated in the same pre-order walk
+                // `display_annotated` numbers nodes with, so the flat
+                // profile indexes directly by annotation position.
+                let flat = flatten_profile(&profile.root);
+                result.optimized_plan.display_annotated(|idx, _| {
+                    flat.iter()
+                        .find(|p| p.op_id == idx as u64)
+                        .map(|p| annotation(p, true))
+                })
+            }
+            None => result.optimized_plan.display(),
+        };
+        push_trace_sections(&mut text, &result.report);
+        Ok(QueryResult {
+            schema: self.plan_text_schema(),
+            rows: text_rows(&text),
+            ..result
+        })
+    }
+
+    /// Single-column schema for EXPLAIN output rows.
+    fn plan_text_schema(&self) -> Schema {
+        Schema::new(vec![Field::new(
+            self.gen.fresh(),
+            "plan",
+            DataType::Utf8,
+            false,
+        )])
+    }
+
+    /// Profile of the most recent query this session executed, as
+    /// captured by [`fusion_exec::execute_plan_profiled`]. `None` until
+    /// the first successful execution. The bench harness serializes this
+    /// via [`QueryProfile::to_json`].
+    pub fn last_profile(&self) -> Option<QueryProfile> {
+        self.last_profile
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone()
+    }
+
+    fn store_profile(&self, profile: &QueryProfile) {
+        *self
+            .last_profile
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner) = Some(profile.clone());
     }
 
     /// Optimize and execute an already-built logical plan.
@@ -243,10 +342,13 @@ impl Session {
             Some(msg) => Err(FusionError::Internal(format!(
                 "optimized plan failed validation: {msg}"
             ))),
-            None => execute_plan_ctx(&optimized_plan, &self.catalog, &self.exec_context(&metrics)),
+            None => {
+                execute_plan_profiled(&optimized_plan, &self.catalog, &self.exec_context(&metrics))
+            }
         };
         let failure = match attempt {
-            Ok(out) => {
+            Ok((out, profile)) => {
+                self.store_profile(&profile);
                 return Ok(QueryResult {
                     schema: out.schema,
                     rows: out.rows,
@@ -255,7 +357,8 @@ impl Session {
                     initial_plan,
                     optimized_plan,
                     report,
-                })
+                    profile: Some(profile),
+                });
             }
             Err(e) if self.config.enable_fusion && e.allows_fallback() => e,
             Err(e) => return Err(e),
@@ -271,7 +374,9 @@ impl Session {
                 "baseline plan failed validation during fallback: {msg}"
             )));
         }
-        let out = execute_plan_ctx(&base_plan, &self.catalog, &self.exec_context(&metrics))?;
+        let (out, profile) =
+            execute_plan_profiled(&base_plan, &self.catalog, &self.exec_context(&metrics))?;
+        self.store_profile(&profile);
         Ok(QueryResult {
             schema: out.schema,
             rows: out.rows,
@@ -280,6 +385,7 @@ impl Session {
             initial_plan,
             optimized_plan: base_plan,
             report,
+            profile: Some(profile),
         })
     }
 
@@ -289,6 +395,56 @@ impl Session {
         let (optimized, _) = self.optimize(&plan);
         Ok(optimized.display())
     }
+
+    /// Run `EXPLAIN ANALYZE <sql>` and return the rendered text directly
+    /// (convenience over [`Session::sql`] with an `EXPLAIN ANALYZE`
+    /// prefix).
+    pub fn explain_analyze(&self, sql: &str) -> Result<String> {
+        let initial_plan = self.plan_sql(sql)?;
+        let result = self.explain_analyze_plan(initial_plan)?;
+        Ok(result
+            .rows
+            .iter()
+            .filter_map(|r| match r.first() {
+                Some(Value::Utf8(s)) => Some(s.as_str()),
+                _ => None,
+            })
+            .collect::<Vec<_>>()
+            .join("\n"))
+    }
+}
+
+/// Append the optimizer-trace and fallback sections to EXPLAIN output.
+fn push_trace_sections(text: &mut String, report: &OptimizerReport) {
+    let trace = report.trace.render();
+    if !trace.is_empty() {
+        text.push_str("-- optimizer trace --\n");
+        text.push_str(&trace);
+    }
+    if let Some(fallback) = &report.fallback {
+        text.push_str("-- fallback --\n");
+        text.push_str(fallback);
+        text.push('\n');
+    }
+}
+
+/// One `Value::Utf8` row per line of rendered EXPLAIN text.
+fn text_rows(text: &str) -> Vec<Vec<Value>> {
+    text.lines().map(|l| vec![Value::Utf8(l.into())]).collect()
+}
+
+/// Flatten a profile tree pre-order (the same order `op_id` was
+/// allocated in during compilation).
+fn flatten_profile(root: &OpProfile) -> Vec<&OpProfile> {
+    fn walk<'a>(p: &'a OpProfile, out: &mut Vec<&'a OpProfile>) {
+        out.push(p);
+        for c in &p.children {
+            walk(c, out);
+        }
+    }
+    let mut out = Vec::new();
+    walk(root, &mut out);
+    out
 }
 
 impl Default for Session {
@@ -418,6 +574,93 @@ mod tests {
         let s = session();
         let text = s.explain("SELECT o_id FROM orders WHERE o_id > 5").unwrap();
         assert!(text.contains("Scan: orders"));
+    }
+
+    #[test]
+    fn explain_statement_returns_plan_rows_without_executing() {
+        let s = session();
+        let r = s.sql("EXPLAIN SELECT o_id FROM orders WHERE o_id > 5").unwrap();
+        assert_eq!(r.schema.fields().len(), 1);
+        assert_eq!(r.schema.field(0).name, "plan");
+        assert!(r.profile.is_none(), "EXPLAIN must not execute");
+        assert!(s.last_profile().is_none());
+        let text = explain_text(&r);
+        assert!(text.contains("Scan: orders"), "plan body present: {text}");
+        assert!(
+            text.contains("-- optimizer trace --"),
+            "trace section present: {text}"
+        );
+    }
+
+    #[test]
+    fn explain_analyze_annotates_operators_with_profile() {
+        let s = session();
+        let sql = "WITH cte AS (SELECT o_id, o_cust, o_total FROM orders) \
+                   SELECT o_id FROM cte WHERE o_cust = 1 \
+                   UNION ALL SELECT o_id FROM cte WHERE o_total > 30";
+        let r = s.sql(&format!("EXPLAIN ANALYZE {sql}")).unwrap();
+        let profile = r.profile.as_ref().expect("EXPLAIN ANALYZE executes");
+        let text = explain_text(&r);
+        assert!(text.contains("[id=0"), "root operator annotated: {text}");
+        assert!(text.contains("rows_out="), "row counts rendered: {text}");
+        assert!(text.contains("wall_ms="), "timings rendered: {text}");
+        assert!(
+            text.contains("[fuse] Fuse("),
+            "fuse attempts traced: {text}"
+        );
+        // The scan feeding the fused plan really counted its rows. Its
+        // rows_out is post-pushdown (the fused disjunctive filter runs
+        // inside the scan), so just require it to be nonzero and no
+        // larger than the table.
+        let counts = profile.row_counts();
+        let scan = counts
+            .iter()
+            .find(|(_, label, _, _)| label.starts_with("Scan"))
+            .expect("profile includes the scan");
+        assert!(scan.3 > 0 && scan.3 <= 20, "scan row count sane: {scan:?}");
+    }
+
+    #[test]
+    fn last_profile_round_trips_through_json() {
+        use fusion_exec::QueryProfile;
+        let s = session();
+        s.sql("SELECT o_cust, SUM(o_total) FROM orders GROUP BY o_cust")
+            .unwrap();
+        let profile = s.last_profile().expect("execution stored a profile");
+        let json = profile.to_json();
+        let parsed = QueryProfile::from_json(&json).unwrap();
+        assert_eq!(parsed, profile, "profile JSON round-trips");
+    }
+
+    #[test]
+    fn explain_analyze_reports_fallback_cause() {
+        use fusion_exec::FaultPolicy;
+        let sql = "WITH cte AS (SELECT o_id, o_total FROM orders) \
+                   SELECT o_id FROM cte WHERE o_id < 5 \
+                   UNION ALL SELECT o_id FROM cte WHERE o_id >= 15";
+        let mut s = partitioned_session();
+        s.set_fault_policy(FaultPolicy::default().with_poison("orders", 2));
+        let r = s.sql(&format!("EXPLAIN ANALYZE {sql}")).unwrap();
+        assert!(r.degraded());
+        let text = explain_text(&r);
+        assert!(
+            text.contains("-- fallback --") && text.contains("FUSION_DATA_CORRUPTION"),
+            "fallback section carries the stable code: {text}"
+        );
+        // The profile describes the baseline plan that actually ran.
+        assert!(r.profile.is_some());
+    }
+
+    /// Reassemble EXPLAIN output rows into one string.
+    fn explain_text(r: &QueryResult) -> String {
+        r.rows
+            .iter()
+            .filter_map(|row| match row.first() {
+                Some(Value::Utf8(s)) => Some(s.as_str()),
+                _ => None,
+            })
+            .collect::<Vec<_>>()
+            .join("\n")
     }
 
     /// The degradation scenario the fault model is built for: the fused

@@ -21,6 +21,7 @@ use fusion_common::{FusionError, Result};
 
 use crate::fault::{FaultPolicy, RetryPolicy};
 use crate::metrics::ExecMetrics;
+use crate::profile::OpSpan;
 
 /// Shared flag used to cancel a running query from another thread.
 #[derive(Debug, Clone, Default)]
@@ -275,23 +276,40 @@ impl IntoContext for Arc<ExecMetrics> {
 /// RAII guard for operator state under the *enforced* budget. Reserves
 /// through the metrics (so peaks and soft-budget spills are still
 /// observed) but fails with [`FusionError::ResourceExhausted`] instead of
-/// growing past the context's hard budget.
+/// growing past the context's hard budget. When a profiling span is
+/// attached, the reservation is mirrored into the span so the query
+/// profile can report a per-operator peak.
 pub struct BudgetedReservation {
     ctx: Arc<ExecContext>,
     bytes: i64,
+    span: Option<Arc<OpSpan>>,
 }
 
 impl BudgetedReservation {
     pub fn try_new(ctx: Arc<ExecContext>, bytes: i64) -> Result<Self> {
         ctx.check_budget(bytes)?;
         ctx.metrics.reserve_state(bytes);
-        Ok(BudgetedReservation { ctx, bytes })
+        Ok(BudgetedReservation {
+            ctx,
+            bytes,
+            span: None,
+        })
+    }
+
+    /// Attribute this reservation (current bytes and all future growth)
+    /// to an operator's profiling span.
+    pub fn set_span(&mut self, span: Arc<OpSpan>) {
+        span.state_delta(self.bytes);
+        self.span = Some(span);
     }
 
     pub fn try_grow(&mut self, more: i64) -> Result<()> {
         self.ctx.check_budget(more)?;
         self.ctx.metrics.reserve_state(more);
         self.bytes += more;
+        if let Some(span) = &self.span {
+            span.state_delta(more);
+        }
         Ok(())
     }
 }
@@ -299,10 +317,14 @@ impl BudgetedReservation {
 impl Drop for BudgetedReservation {
     fn drop(&mut self) {
         self.ctx.metrics.release_state(self.bytes);
+        if let Some(span) = &self.span {
+            span.state_delta(-self.bytes);
+        }
     }
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

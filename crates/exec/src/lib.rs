@@ -21,6 +21,7 @@ pub mod fault;
 pub mod metrics;
 pub mod ops;
 pub mod physical;
+pub mod profile;
 pub mod table;
 
 pub use context::{BudgetedReservation, CancelToken, ExecContext, IntoContext};
@@ -29,7 +30,11 @@ pub use metrics::{ExecMetrics, MetricsSnapshot};
 pub use ops::agg::ParallelHashAggregateExec;
 pub use ops::exchange::GatherExec;
 pub use ops::scan::{ScanExec, ScanFragment};
-pub use physical::{collect, compile, compile_ctx, execute_plan, execute_plan_ctx, QueryOutput};
+pub use physical::{
+    collect, compile, compile_ctx, compile_profiled, execute_plan, execute_plan_ctx,
+    execute_plan_profiled, QueryOutput,
+};
+pub use profile::{OpProfile, OpSpan, PartitionProfile, QueryProfile};
 pub use table::{Catalog, Table, TableBuilder};
 
 use fusion_common::Value;

@@ -13,6 +13,8 @@
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::sync::Arc;
 
+use fusion_common::{FusionError, Result};
+
 /// Shared, thread-safe execution metrics.
 #[derive(Debug, Default)]
 pub struct ExecMetrics {
@@ -188,6 +190,16 @@ impl ExecMetrics {
     }
 
     /// Snapshot for reporting.
+    ///
+    /// **Relaxed semantics:** each counter is loaded independently with
+    /// `Ordering::Relaxed`, so a snapshot taken while workers are still
+    /// running is *not* a consistent cut — it can observe, say,
+    /// `rows_produced` ahead of `rows_scanned` (a "torn read"). Snapshots
+    /// are only mutually consistent once every worker has been joined;
+    /// the engine therefore snapshots strictly at query completion
+    /// (operator-tree drop joins all morsel workers before results are
+    /// returned). Mid-flight snapshots are fine for progress displays but
+    /// must not be used for invariant checks.
     pub fn snapshot(&self) -> MetricsSnapshot {
         MetricsSnapshot {
             bytes_scanned: self.bytes_scanned(),
@@ -209,6 +221,10 @@ impl ExecMetrics {
 }
 
 /// A point-in-time copy of the metrics, for reports and assertions.
+///
+/// See [`ExecMetrics::snapshot`] for the consistency caveat: the fields
+/// are only mutually consistent when the snapshot was taken after all
+/// workers were joined (which is when the engine takes it).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct MetricsSnapshot {
     pub bytes_scanned: u64,
@@ -228,22 +244,66 @@ pub struct MetricsSnapshot {
 }
 
 /// RAII guard for reserved operator state.
+///
+/// [`StateReservation::new`] creates an *unenforced* reservation: it
+/// meters state (peaks and soft-budget spill counting) but never fails.
+/// [`StateReservation::with_enforced_budget`] admission-checks the
+/// initial bytes against an enforced budget — and, crucially,
+/// [`StateReservation::grow`] re-checks the same budget, so a mid-query
+/// growth past it raises [`FusionError::ResourceExhausted`] instead of
+/// silently overshooting the high-water mark.
 pub struct StateReservation {
     metrics: Arc<ExecMetrics>,
     bytes: i64,
+    enforced_budget: Option<usize>,
 }
 
 impl StateReservation {
     pub fn new(metrics: Arc<ExecMetrics>, bytes: i64) -> Self {
         metrics.reserve_state(bytes);
-        StateReservation { metrics, bytes }
+        StateReservation {
+            metrics,
+            bytes,
+            enforced_budget: None,
+        }
     }
 
-    /// Grow the reservation by `more` bytes.
-    pub fn grow(&mut self, more: i64) {
+    /// A reservation whose initial bytes *and every later growth* are
+    /// checked against `budget` bytes of total reserved state.
+    pub fn with_enforced_budget(
+        metrics: Arc<ExecMetrics>,
+        bytes: i64,
+        budget: usize,
+    ) -> Result<Self> {
+        check_enforced(&metrics, bytes, Some(budget))?;
+        metrics.reserve_state(bytes);
+        Ok(StateReservation {
+            metrics,
+            bytes,
+            enforced_budget: Some(budget),
+        })
+    }
+
+    /// Grow the reservation by `more` bytes, applying the same enforced
+    /// budget check as construction. A failed grow leaves the
+    /// reservation unchanged.
+    pub fn grow(&mut self, more: i64) -> Result<()> {
+        check_enforced(&self.metrics, more, self.enforced_budget)?;
         self.metrics.reserve_state(more);
         self.bytes += more;
+        Ok(())
     }
+}
+
+fn check_enforced(metrics: &ExecMetrics, more: i64, budget: Option<usize>) -> Result<()> {
+    if let Some(budget) = budget {
+        let requested =
+            metrics.current_state_bytes().saturating_add(more.max(0) as u64) as usize;
+        if requested > budget {
+            return Err(FusionError::ResourceExhausted { budget, requested });
+        }
+    }
+    Ok(())
 }
 
 impl Drop for StateReservation {
@@ -253,6 +313,7 @@ impl Drop for StateReservation {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 
@@ -303,10 +364,37 @@ mod tests {
     fn reservation_can_grow() {
         let m = ExecMetrics::new();
         let mut r = StateReservation::new(m.clone(), 10);
-        r.grow(90);
+        r.grow(90).unwrap();
         assert_eq!(m.peak_state_bytes(), 100);
         drop(r);
         let snap = m.snapshot();
         assert_eq!(snap.peak_state_bytes, 100);
+    }
+
+    #[test]
+    fn enforced_grow_raises_resource_exhausted() {
+        let m = ExecMetrics::new();
+        let mut r = StateReservation::with_enforced_budget(m.clone(), 60, 100).unwrap();
+        match r.grow(60) {
+            Err(FusionError::ResourceExhausted { budget, requested }) => {
+                assert_eq!(budget, 100);
+                assert_eq!(requested, 120);
+            }
+            other => panic!("expected ResourceExhausted, got {other:?}"),
+        }
+        // The failed grow must not move the high-water mark past the
+        // budget — the bug was exactly that silent overshoot.
+        assert_eq!(m.peak_state_bytes(), 60);
+        r.grow(40).unwrap();
+        assert_eq!(m.peak_state_bytes(), 100);
+    }
+
+    #[test]
+    fn enforced_new_rejects_over_budget() {
+        let m = ExecMetrics::new();
+        assert!(matches!(
+            StateReservation::with_enforced_budget(m, 200, 100),
+            Err(FusionError::ResourceExhausted { .. })
+        ));
     }
 }

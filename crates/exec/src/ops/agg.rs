@@ -8,6 +8,7 @@
 
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
+use std::time::Instant;
 
 use fusion_common::{FusionError, Result, Schema, Value};
 use fusion_expr::{AggFunc, AggregateExpr, WindowExpr};
@@ -15,6 +16,7 @@ use fusion_expr::{AggFunc, AggregateExpr, WindowExpr};
 use crate::context::{BudgetedReservation, ExecContext, IntoContext};
 use crate::ops::scan::ScanFragment;
 use crate::ops::{drain, row_bytes, BoxedOp, Operator, RowIndex};
+use crate::profile::OpSpan;
 use crate::{Chunk, Row, CHUNK_SIZE};
 
 /// Accumulator for one aggregate function instance.
@@ -229,6 +231,7 @@ pub struct HashAggregateExec {
     schema: Schema,
     ctx: Arc<ExecContext>,
     output: Option<std::vec::IntoIter<Row>>,
+    span: Option<Arc<OpSpan>>,
 }
 
 impl HashAggregateExec {
@@ -264,11 +267,15 @@ impl HashAggregateExec {
             schema,
             ctx: ctx.into_ctx(),
             output: None,
+            span: None,
         })
     }
 
     fn compute(&mut self) -> Result<Vec<Row>> {
-        let mut input = self.input.take().expect("computed once");
+        let mut input = self
+            .input
+            .take()
+            .expect("aggregate input consumed exactly once: compute runs behind output.is_none()");
         let mut groups: HashMap<Vec<Value>, GroupState> = HashMap::new();
         let scalar = self.group_positions.is_empty();
 
@@ -301,6 +308,9 @@ impl HashAggregateExec {
         // enforced budget aborts as soon as it is crossed, not after the
         // whole input is consumed.
         let mut reservation = BudgetedReservation::try_new(self.ctx.clone(), 0)?;
+        if let Some(span) = &self.span {
+            reservation.set_span(span.clone());
+        }
         while let Some(chunk) = input.next_chunk()? {
             self.ctx.check()?;
             let mut state_bytes = 0i64;
@@ -382,13 +392,20 @@ impl Operator for HashAggregateExec {
             let rows = self.compute()?;
             self.output = Some(rows.into_iter());
         }
-        let it = self.output.as_mut().unwrap();
+        let it = self
+            .output
+            .as_mut()
+            .expect("aggregate output was initialized above");
         let chunk: Vec<Row> = it.take(CHUNK_SIZE).collect();
         if chunk.is_empty() {
             Ok(None)
         } else {
             Ok(Some(chunk))
         }
+    }
+
+    fn attach_span(&mut self, span: Arc<OpSpan>) {
+        self.span = Some(span);
     }
 }
 
@@ -416,6 +433,7 @@ pub struct ParallelHashAggregateExec {
     ctx: Arc<ExecContext>,
     workers: usize,
     output: Option<std::vec::IntoIter<Row>>,
+    span: Option<Arc<OpSpan>>,
 }
 
 impl ParallelHashAggregateExec {
@@ -453,6 +471,7 @@ impl ParallelHashAggregateExec {
             ctx,
             workers: workers.max(1),
             output: None,
+            span: None,
         })
     }
 
@@ -465,6 +484,9 @@ impl ParallelHashAggregateExec {
         if rows.is_empty() {
             return Ok(None);
         }
+        // Worker busy time attributed to the aggregate itself (the scan
+        // above records its own time on the scan node's span).
+        let build_start = Instant::now();
         let mut distinct_masks: Vec<&fusion_expr::Expr> = Vec::new();
         let mask_slot: Vec<Option<usize>> = self
             .aggregates
@@ -529,7 +551,11 @@ impl ParallelHashAggregateExec {
                 state.accs[i].update(arg_value.as_ref());
             }
         }
-        let reservation = BudgetedReservation::try_new(self.ctx.clone(), state_bytes)?;
+        let mut reservation = BudgetedReservation::try_new(self.ctx.clone(), state_bytes)?;
+        if let Some(span) = &self.span {
+            span.add_cpu_nanos(build_start.elapsed().as_nanos() as u64);
+            reservation.set_span(span.clone());
+        }
         Ok(Some(AggPartial {
             groups,
             _reservation: reservation,
@@ -609,13 +635,20 @@ impl Operator for ParallelHashAggregateExec {
             let rows = self.compute()?;
             self.output = Some(rows.into_iter());
         }
-        let it = self.output.as_mut().unwrap();
+        let it = self
+            .output
+            .as_mut()
+            .expect("aggregate output was initialized above");
         let chunk: Vec<Row> = it.take(CHUNK_SIZE).collect();
         if chunk.is_empty() {
             Ok(None)
         } else {
             Ok(Some(chunk))
         }
+    }
+
+    fn attach_span(&mut self, span: Arc<OpSpan>) {
+        self.span = Some(span);
     }
 }
 
@@ -628,6 +661,7 @@ pub struct WindowExec {
     schema: Schema,
     ctx: Arc<ExecContext>,
     output: Option<std::vec::IntoIter<Row>>,
+    span: Option<Arc<OpSpan>>,
 }
 
 impl WindowExec {
@@ -645,15 +679,23 @@ impl WindowExec {
             schema,
             ctx: ctx.into_ctx(),
             output: None,
+            span: None,
         }
     }
 
     fn compute(&mut self) -> Result<Vec<Row>> {
         self.ctx.check()?;
-        let mut input = self.input.take().expect("computed once");
+        let mut input = self
+            .input
+            .take()
+            .expect("window input consumed exactly once: compute runs behind output.is_none()");
         let rows = drain(input.as_mut())?;
         let bytes: i64 = rows.iter().map(|r| row_bytes(r)).sum();
-        let _reservation = BudgetedReservation::try_new(self.ctx.clone(), bytes)?;
+        let mut reservation = BudgetedReservation::try_new(self.ctx.clone(), bytes)?;
+        if let Some(span) = &self.span {
+            reservation.set_span(span.clone());
+        }
+        let _reservation = reservation;
 
         // Per window expr: partition key -> accumulator.
         let mut states: Vec<HashMap<Vec<Value>, Acc>> =
@@ -714,7 +756,10 @@ impl Operator for WindowExec {
             let rows = self.compute()?;
             self.output = Some(rows.into_iter());
         }
-        let it = self.output.as_mut().unwrap();
+        let it = self
+            .output
+            .as_mut()
+            .expect("window output was initialized above");
         let chunk: Vec<Row> = it.take(CHUNK_SIZE).collect();
         if chunk.is_empty() {
             Ok(None)
@@ -722,9 +767,14 @@ impl Operator for WindowExec {
             Ok(Some(chunk))
         }
     }
+
+    fn attach_span(&mut self, span: Arc<OpSpan>) {
+        self.span = Some(span);
+    }
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::metrics::ExecMetrics;
@@ -951,6 +1001,7 @@ mod tests {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod edge_tests {
     use super::*;
     use crate::metrics::ExecMetrics;
@@ -1098,6 +1149,7 @@ mod edge_tests {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod masked_window_tests {
     use super::*;
     use crate::metrics::ExecMetrics;

@@ -283,6 +283,7 @@ impl Operator for EnforceSingleRowExec {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::metrics::ExecMetrics;

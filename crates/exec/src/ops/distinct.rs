@@ -8,6 +8,7 @@ use fusion_expr::Expr;
 
 use crate::context::{BudgetedReservation, ExecContext, IntoContext};
 use crate::ops::{row_bytes, BoxedOp, Operator, RowIndex};
+use crate::profile::OpSpan;
 use crate::Chunk;
 
 /// Streams the input through, appending a boolean column that is TRUE the
@@ -61,6 +62,12 @@ impl Operator for MarkDistinctExec {
         &self.schema
     }
 
+    fn attach_span(&mut self, span: Arc<OpSpan>) {
+        // The seen-set reservation exists from construction; attaching
+        // the span retroactively credits its current bytes too.
+        self.reservation.set_span(span);
+    }
+
     fn next_chunk(&mut self) -> Result<Option<Chunk>> {
         match self.input.next_chunk()? {
             None => Ok(None),
@@ -98,6 +105,7 @@ impl Operator for MarkDistinctExec {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::metrics::ExecMetrics;

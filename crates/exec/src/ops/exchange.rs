@@ -86,7 +86,18 @@ where
             .collect();
         handles
             .into_iter()
-            .map(|h| h.join().expect("morsel worker panicked"))
+            .map(|h| {
+                // A worker that panicked (rather than returning an error)
+                // is a reachable failure after e.g. a poisoned lock in a
+                // task closure: surface it as a typed internal error
+                // instead of propagating the panic into the query thread.
+                h.join().unwrap_or_else(|_| {
+                    abort.store(true, Ordering::Relaxed);
+                    Err(FusionError::Internal(
+                        "morsel worker panicked; query aborted".into(),
+                    ))
+                })
+            })
             .collect()
     });
     metrics.add_parallel_wall_nanos(started.elapsed().as_nanos() as u64);
@@ -284,6 +295,7 @@ impl Operator for GatherExec {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::context::ExecContext;

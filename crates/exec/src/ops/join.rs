@@ -3,6 +3,7 @@
 
 use std::collections::HashMap;
 use std::sync::Arc;
+use std::time::Instant;
 
 use fusion_common::{Result, Schema, Value};
 use fusion_expr::{split_conjuncts, BinaryOp, Expr};
@@ -12,6 +13,7 @@ use crate::context::{BudgetedReservation, ExecContext, IntoContext};
 use crate::ops::exchange::collect_morsels;
 use crate::ops::scan::ScanFragment;
 use crate::ops::{drain, row_bytes, BoxedOp, Operator, RowIndex};
+use crate::profile::OpSpan;
 use crate::{Chunk, Row, CHUNK_SIZE};
 
 /// One morsel's contribution to a parallel hash-join build: the partial
@@ -84,6 +86,7 @@ pub struct HashJoinExec {
     /// When the build side is a plain table scan, build it morsel-parallel
     /// instead of draining a `right` operator.
     parallel_build: Option<(Arc<ScanFragment>, usize)>,
+    span: Option<Arc<OpSpan>>,
 }
 
 impl HashJoinExec {
@@ -115,6 +118,7 @@ impl HashJoinExec {
             ctx: ctx.into_ctx(),
             pending: Vec::new(),
             parallel_build: None,
+            span: None,
         }
     }
 
@@ -150,6 +154,7 @@ impl HashJoinExec {
             ctx: ctx.into_ctx(),
             pending: Vec::new(),
             parallel_build: Some((fragment, workers.max(1))),
+            span: None,
         }
     }
 
@@ -180,6 +185,10 @@ impl HashJoinExec {
         if self.build.is_some() {
             return Ok(());
         }
+        // Build-side hashing is attributed to the join as CPU time; a
+        // parallel build's scan records its own partition stats through
+        // the fragment's span.
+        let build_start = Instant::now();
         if let Some((fragment, workers)) = self.parallel_build.take() {
             let right_index = RowIndex::new(fragment.schema());
             let key_exprs = &self.key_exprs;
@@ -213,11 +222,19 @@ impl HashJoinExec {
                     map.entry(k).or_default().extend(rows);
                 }
             }
-            self._reservation = Some(BudgetedReservation::try_new(self.ctx.clone(), bytes)?);
+            let mut reservation = BudgetedReservation::try_new(self.ctx.clone(), bytes)?;
+            if let Some(span) = &self.span {
+                span.add_cpu_nanos(build_start.elapsed().as_nanos() as u64);
+                reservation.set_span(span.clone());
+            }
+            self._reservation = Some(reservation);
             self.build = Some(map);
             return Ok(());
         }
-        let mut right = self.right.take().expect("build called once");
+        let mut right = self
+            .right
+            .take()
+            .expect("hash-join build side consumed exactly once: build_side runs behind build.is_none()");
         let right_index = RowIndex::new(right.schema());
         let rows = drain(right.as_mut())?;
         let mut bytes = 0i64;
@@ -225,13 +242,21 @@ impl HashJoinExec {
         for row in rows {
             bytes += Self::insert_build_row(&self.key_exprs, &right_index, &mut map, row)?;
         }
-        self._reservation = Some(BudgetedReservation::try_new(self.ctx.clone(), bytes)?);
+        let mut reservation = BudgetedReservation::try_new(self.ctx.clone(), bytes)?;
+        if let Some(span) = &self.span {
+            span.add_cpu_nanos(build_start.elapsed().as_nanos() as u64);
+            reservation.set_span(span.clone());
+        }
+        self._reservation = Some(reservation);
         self.build = Some(map);
         Ok(())
     }
 
     fn probe_row(&self, left_row: &Row, out: &mut Vec<Row>) -> Result<()> {
-        let build = self.build.as_ref().expect("built");
+        let build = self
+            .build
+            .as_ref()
+            .expect("hash table was built before probing: next_chunk calls build_side first");
         let mut key = Vec::with_capacity(self.key_exprs.len());
         let mut has_null = false;
         for (lk, _) in &self.key_exprs {
@@ -280,6 +305,10 @@ impl Operator for HashJoinExec {
         &self.schema
     }
 
+    fn attach_span(&mut self, span: Arc<OpSpan>) {
+        self.span = Some(span);
+    }
+
     fn next_chunk(&mut self) -> Result<Option<Chunk>> {
         self.ctx.check()?;
         self.build_side()?;
@@ -319,6 +348,7 @@ pub struct NestedLoopJoinExec {
     _reservation: Option<BudgetedReservation>,
     ctx: Arc<ExecContext>,
     pending: Vec<Row>,
+    span: Option<Arc<OpSpan>>,
 }
 
 impl NestedLoopJoinExec {
@@ -345,6 +375,7 @@ impl NestedLoopJoinExec {
             _reservation: None,
             ctx: ctx.into_ctx(),
             pending: Vec::new(),
+            span: None,
         }
     }
 
@@ -352,10 +383,17 @@ impl NestedLoopJoinExec {
         if self.right_rows.is_some() {
             return Ok(());
         }
-        let mut right = self.right.take().expect("materialize once");
+        let mut right = self
+            .right
+            .take()
+            .expect("nested-loop right side consumed exactly once: runs behind right_rows.is_none()");
         let rows = drain(right.as_mut())?;
         let bytes: i64 = rows.iter().map(|r| row_bytes(r)).sum();
-        self._reservation = Some(BudgetedReservation::try_new(self.ctx.clone(), bytes)?);
+        let mut reservation = BudgetedReservation::try_new(self.ctx.clone(), bytes)?;
+        if let Some(span) = &self.span {
+            reservation.set_span(span.clone());
+        }
+        self._reservation = Some(reservation);
         self.right_rows = Some(rows);
         Ok(())
     }
@@ -364,6 +402,10 @@ impl NestedLoopJoinExec {
 impl Operator for NestedLoopJoinExec {
     fn schema(&self) -> &Schema {
         &self.schema
+    }
+
+    fn attach_span(&mut self, span: Arc<OpSpan>) {
+        self.span = Some(span);
     }
 
     fn next_chunk(&mut self) -> Result<Option<Chunk>> {
@@ -378,7 +420,10 @@ impl Operator for NestedLoopJoinExec {
             match self.left.next_chunk()? {
                 None => return Ok(None),
                 Some(chunk) => {
-                    let right_rows = self.right_rows.as_ref().expect("materialized");
+                    let right_rows = self
+                        .right_rows
+                        .as_ref()
+                        .expect("right side was materialized above");
                     let mut out = Vec::new();
                     for left_row in &chunk {
                         let mut matched = false;
@@ -447,12 +492,17 @@ impl Operator for CrossJoinExec {
         self.inner.schema()
     }
 
+    fn attach_span(&mut self, span: Arc<OpSpan>) {
+        self.inner.attach_span(span);
+    }
+
     fn next_chunk(&mut self) -> Result<Option<Chunk>> {
         self.inner.next_chunk()
     }
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::metrics::ExecMetrics;
@@ -666,6 +716,7 @@ mod tests {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod edge_tests {
     use super::*;
     use crate::metrics::ExecMetrics;

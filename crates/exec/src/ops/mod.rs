@@ -10,16 +10,24 @@ pub mod sort;
 
 use std::borrow::Cow;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use fusion_common::{ColumnId, FusionError, Result, Schema, Value};
 use fusion_expr::{Expr, Resolver};
 
+use crate::profile::OpSpan;
 use crate::{Chunk, Row};
 
 /// A streaming operator: repeatedly yields chunks of rows until exhausted.
 pub trait Operator {
     fn schema(&self) -> &Schema;
     fn next_chunk(&mut self) -> Result<Option<Chunk>>;
+
+    /// Attach the operator's profiling span. Stateful operators route
+    /// their memory reservations through it so the profile can report a
+    /// per-operator peak; the default is a no-op for operators that hold
+    /// no metered state.
+    fn attach_span(&mut self, _span: Arc<OpSpan>) {}
 }
 
 /// Boxed operator, the unit of plan composition.

@@ -16,12 +16,14 @@
 use std::borrow::Cow;
 use std::cmp::Ordering;
 use std::sync::Arc;
+use std::time::Instant;
 
 use fusion_common::{ColumnId, FusionError, Result, Schema, Value};
 use fusion_expr::{BinaryOp, Expr, Resolver};
 
 use crate::context::{ExecContext, IntoContext};
 use crate::ops::{Operator, RowIndex};
+use crate::profile::OpSpan;
 use crate::table::Table;
 use crate::{Chunk, Row, CHUNK_SIZE};
 
@@ -50,6 +52,10 @@ pub struct ScanFragment {
     /// Remaining filters, re-applied row-wise on the selection.
     residual_filters: Vec<Expr>,
     ctx: Arc<ExecContext>,
+    /// Profiling span of the scan's plan node. The fragment records rows
+    /// scanned/emitted per partition and its busy time; whichever worker
+    /// scans a morsel, the counts land on the same span.
+    span: Option<Arc<OpSpan>>,
 }
 
 impl ScanFragment {
@@ -75,7 +81,14 @@ impl ScanFragment {
             vector_predicates,
             residual_filters,
             ctx: ctx.into_ctx(),
+            span: None,
         }
+    }
+
+    /// Attach the profiling span of the scan's plan node (called before
+    /// the fragment is shared across workers).
+    pub fn set_span(&mut self, span: Arc<OpSpan>) {
+        self.span = Some(span);
     }
 
     pub fn schema(&self) -> &Schema {
@@ -117,6 +130,7 @@ impl ScanFragment {
         // First (and only) touch of this partition: apply the fault
         // policy (with retry/backoff for transient failures), then meter
         // the bytes the scan actually reads.
+        let start = Instant::now();
         self.ctx
             .faulted_read(&self.table.name, part_idx, || Ok(()))?;
         let part = &self.table.partitions[part_idx];
@@ -181,6 +195,10 @@ impl ScanFragment {
                     .map(|&c| part.columns[c][r].clone())
                     .collect(),
             );
+        }
+        if let Some(span) = &self.span {
+            span.add_cpu_nanos(start.elapsed().as_nanos() as u64);
+            span.record_partition(part_idx, part.num_rows as u64, rows.len() as u64);
         }
         Ok(Some(rows))
     }
@@ -380,6 +398,7 @@ fn extract_prune_predicates(
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::fault::{FaultPolicy, RetryPolicy};

@@ -8,6 +8,7 @@ use fusion_plan::SortKey;
 
 use crate::context::{BudgetedReservation, ExecContext, IntoContext};
 use crate::ops::{drain, row_bytes, BoxedOp, Operator, RowIndex};
+use crate::profile::OpSpan;
 use crate::{Chunk, Row, CHUNK_SIZE};
 
 /// Fully materializing sort.
@@ -18,6 +19,7 @@ pub struct SortExec {
     schema: Schema,
     ctx: Arc<ExecContext>,
     output: Option<std::vec::IntoIter<Row>>,
+    span: Option<Arc<OpSpan>>,
 }
 
 impl SortExec {
@@ -31,15 +33,23 @@ impl SortExec {
             schema,
             ctx: ctx.into_ctx(),
             output: None,
+            span: None,
         }
     }
 
     fn compute(&mut self) -> Result<Vec<Row>> {
         self.ctx.check()?;
-        let mut input = self.input.take().expect("computed once");
+        let mut input = self
+            .input
+            .take()
+            .expect("sort input consumed exactly once: compute runs behind output.is_none()");
         let rows = drain(input.as_mut())?;
         let bytes: i64 = rows.iter().map(|r| row_bytes(r)).sum();
-        let _reservation = BudgetedReservation::try_new(self.ctx.clone(), bytes)?;
+        let mut reservation = BudgetedReservation::try_new(self.ctx.clone(), bytes)?;
+        if let Some(span) = &self.span {
+            reservation.set_span(span.clone());
+        }
+        let _reservation = reservation;
 
         // Precompute key tuples to avoid re-evaluating during comparisons.
         let mut keyed: Vec<(Vec<Value>, Row)> = rows
@@ -104,7 +114,10 @@ impl Operator for SortExec {
             let rows = self.compute()?;
             self.output = Some(rows.into_iter());
         }
-        let it = self.output.as_mut().unwrap();
+        let it = self
+            .output
+            .as_mut()
+            .expect("sort output was initialized above");
         let chunk: Vec<Row> = it.take(CHUNK_SIZE).collect();
         if chunk.is_empty() {
             Ok(None)
@@ -112,9 +125,14 @@ impl Operator for SortExec {
             Ok(Some(chunk))
         }
     }
+
+    fn attach_span(&mut self, span: Arc<OpSpan>) {
+        self.span = Some(span);
+    }
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::metrics::ExecMetrics;

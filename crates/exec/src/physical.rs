@@ -17,6 +17,7 @@ use crate::ops::join::{split_join_condition, CrossJoinExec, HashJoinExec, Nested
 use crate::ops::scan::{ScanExec, ScanFragment};
 use crate::ops::sort::SortExec;
 use crate::ops::{drain, BoxedOp};
+use crate::profile::{OpSpan, ProfileNode, QueryProfile, SpannedOp};
 use crate::table::Catalog;
 use crate::Row;
 
@@ -54,35 +55,102 @@ pub fn compile_ctx(
     catalog: &Catalog,
     ctx: &Arc<ExecContext>,
 ) -> Result<BoxedOp> {
+    Ok(compile_profiled(plan, catalog, ctx)?.0)
+}
+
+/// Compile a logical plan into an instrumented operator tree plus the
+/// live [`ProfileNode`] tree that mirrors it.
+///
+/// Every operator gets a stable `op_id` — its pre-order index over the
+/// logical plan, matching the line order of `plan::display` — and a
+/// shared [`OpSpan`] metering rows, batches, wall/CPU time, and peak
+/// state. Capture the profile with [`QueryProfile::capture`] only after
+/// the operator tree has been dropped (workers joined).
+pub fn compile_profiled(
+    plan: &LogicalPlan,
+    catalog: &Catalog,
+    ctx: &Arc<ExecContext>,
+) -> Result<(BoxedOp, ProfileNode)> {
+    let mut next_id = 0usize;
+    compile_node(plan, catalog, ctx, &mut next_id)
+}
+
+/// Attach the span to the operator (for state/CPU accounting it does
+/// itself) and wrap it so rows out, batches, and inclusive wall time are
+/// metered on every `next_chunk`.
+fn spanned(mut op: BoxedOp, span: &Arc<OpSpan>) -> BoxedOp {
+    op.attach_span(span.clone());
+    Box::new(SpannedOp::new(op, span.clone()))
+}
+
+fn profile_node(
+    op_id: usize,
+    plan: &LogicalPlan,
+    span: Arc<OpSpan>,
+    inlined: bool,
+    children: Vec<ProfileNode>,
+) -> ProfileNode {
+    ProfileNode {
+        op_id,
+        label: plan.node_label(),
+        span,
+        inlined,
+        children,
+    }
+}
+
+fn compile_node(
+    plan: &LogicalPlan,
+    catalog: &Catalog,
+    ctx: &Arc<ExecContext>,
+    next: &mut usize,
+) -> Result<(BoxedOp, ProfileNode)> {
+    // Pre-order id: the node claims its id before its children compile,
+    // in `children()` order — the same walk `display_annotated` uses.
+    let op_id = *next;
+    *next += 1;
+    let span = Arc::new(OpSpan::default());
     let schema = plan.schema();
     match plan {
         LogicalPlan::Scan(s) => {
-            let (fragment, workers) = scan_fragment(catalog, ctx, s, schema)?;
-            if workers > 1 {
-                Ok(Box::new(GatherExec::new(fragment, workers)))
+            let (fragment, workers) = scan_fragment(catalog, ctx, s, schema, span.clone())?;
+            let op: BoxedOp = if workers > 1 {
+                Box::new(GatherExec::new(fragment, workers))
             } else {
-                Ok(Box::new(ScanExec::from_fragment(fragment)))
-            }
+                Box::new(ScanExec::from_fragment(fragment))
+            };
+            Ok((
+                spanned(op, &span),
+                profile_node(op_id, plan, span, false, vec![]),
+            ))
         }
         LogicalPlan::Filter(f) => {
-            let input = compile_ctx(&f.input, catalog, ctx)?;
-            Ok(Box::new(FilterExec::new(
-                input,
-                f.predicate.clone(),
-                ctx.clone(),
-            )))
+            let (input, child) = compile_node(&f.input, catalog, ctx, next)?;
+            let op = Box::new(FilterExec::new(input, f.predicate.clone(), ctx.clone()));
+            Ok((
+                spanned(op, &span),
+                profile_node(op_id, plan, span, false, vec![child]),
+            ))
         }
         LogicalPlan::Project(p) => {
-            let input = compile_ctx(&p.input, catalog, ctx)?;
+            let (input, child) = compile_node(&p.input, catalog, ctx, next)?;
             let exprs = p.exprs.iter().map(|pe| pe.expr.clone()).collect();
-            Ok(Box::new(ProjectExec::new(input, exprs, schema, ctx.clone())))
+            let op = Box::new(ProjectExec::new(input, exprs, schema, ctx.clone()));
+            Ok((
+                spanned(op, &span),
+                profile_node(op_id, plan, span, false, vec![child]),
+            ))
         }
         LogicalPlan::Join(j) => {
-            let left = compile_ctx(&j.left, catalog, ctx)?;
+            let (left, left_node) = compile_node(&j.left, catalog, ctx, next)?;
             match j.join_type {
                 JoinType::Cross => {
-                    let right = compile_ctx(&j.right, catalog, ctx)?;
-                    Ok(Box::new(CrossJoinExec::new(left, right, schema, ctx.clone())))
+                    let (right, right_node) = compile_node(&j.right, catalog, ctx, next)?;
+                    let op = Box::new(CrossJoinExec::new(left, right, schema, ctx.clone()));
+                    Ok((
+                        spanned(op, &span),
+                        profile_node(op_id, plan, span, false, vec![left_node, right_node]),
+                    ))
                 }
                 jt => {
                     // Equi-join whose build side is a plain scan of a
@@ -93,10 +161,29 @@ pub fn compile_ctx(
                         let (keys, residual) =
                             split_join_condition(&j.condition, left.schema(), &right_schema);
                         if !keys.is_empty() {
-                            let (fragment, workers) =
-                                scan_fragment(catalog, ctx, s, right_schema)?;
+                            let right_id = *next;
+                            *next += 1;
+                            let right_span = Arc::new(OpSpan::default());
+                            let (fragment, workers) = scan_fragment(
+                                catalog,
+                                ctx,
+                                s,
+                                right_schema,
+                                right_span.clone(),
+                            )?;
                             if workers > 1 {
-                                return Ok(Box::new(HashJoinExec::with_parallel_build(
+                                // The scan is inlined into the parallel
+                                // build: no wrapping operator, so its
+                                // profile node reads the fragment-side
+                                // counters.
+                                let right_node = profile_node(
+                                    right_id,
+                                    &j.right,
+                                    right_span,
+                                    true,
+                                    vec![],
+                                );
+                                let op = Box::new(HashJoinExec::with_parallel_build(
                                     left,
                                     fragment,
                                     workers,
@@ -105,33 +192,64 @@ pub fn compile_ctx(
                                     residual,
                                     schema,
                                     ctx.clone(),
-                                )));
+                                ));
+                                return Ok((
+                                    spanned(op, &span),
+                                    profile_node(
+                                        op_id,
+                                        plan,
+                                        span,
+                                        false,
+                                        vec![left_node, right_node],
+                                    ),
+                                ));
                             }
-                            return Ok(Box::new(HashJoinExec::new(
-                                left,
+                            let right_node = profile_node(
+                                right_id,
+                                &j.right,
+                                right_span.clone(),
+                                false,
+                                vec![],
+                            );
+                            let right_op = spanned(
                                 Box::new(ScanExec::from_fragment(fragment)),
+                                &right_span,
+                            );
+                            let op = Box::new(HashJoinExec::new(
+                                left,
+                                right_op,
                                 jt,
                                 keys,
                                 residual,
                                 schema,
                                 ctx.clone(),
-                            )));
+                            ));
+                            return Ok((
+                                spanned(op, &span),
+                                profile_node(
+                                    op_id,
+                                    plan,
+                                    span,
+                                    false,
+                                    vec![left_node, right_node],
+                                ),
+                            ));
                         }
                     }
-                    let right = compile_ctx(&j.right, catalog, ctx)?;
+                    let (right, right_node) = compile_node(&j.right, catalog, ctx, next)?;
                     let (keys, residual) =
                         split_join_condition(&j.condition, left.schema(), right.schema());
-                    if keys.is_empty() {
-                        Ok(Box::new(NestedLoopJoinExec::new(
+                    let op: BoxedOp = if keys.is_empty() {
+                        Box::new(NestedLoopJoinExec::new(
                             left,
                             right,
                             jt,
                             j.condition.clone(),
                             schema,
                             ctx.clone(),
-                        )))
+                        ))
                     } else {
-                        Ok(Box::new(HashJoinExec::new(
+                        Box::new(HashJoinExec::new(
                             left,
                             right,
                             jt,
@@ -139,8 +257,12 @@ pub fn compile_ctx(
                             residual,
                             schema,
                             ctx.clone(),
-                        )))
-                    }
+                        ))
+                    };
+                    Ok((
+                        spanned(op, &span),
+                        profile_node(op_id, plan, span, false, vec![left_node, right_node]),
+                    ))
                 }
             }
         }
@@ -149,8 +271,12 @@ pub fn compile_ctx(
             // morsel-parallel: per-partition partial group tables merged
             // in partition order.
             if let LogicalPlan::Scan(s) = &*a.input {
+                let scan_id = *next;
+                *next += 1;
+                let scan_span = Arc::new(OpSpan::default());
                 let scan_schema = a.input.schema();
-                let (fragment, workers) = scan_fragment(catalog, ctx, s, scan_schema.clone())?;
+                let (fragment, workers) =
+                    scan_fragment(catalog, ctx, s, scan_schema.clone(), scan_span.clone())?;
                 let group_positions = a
                     .group_by
                     .iter()
@@ -162,23 +288,37 @@ pub fn compile_ctx(
                     .collect::<Result<Vec<_>>>()?;
                 let aggregates = a.aggregates.iter().map(|x| x.agg.clone()).collect();
                 if workers > 1 {
-                    return Ok(Box::new(ParallelHashAggregateExec::new(
+                    let scan_node =
+                        profile_node(scan_id, &a.input, scan_span, true, vec![]);
+                    let op = Box::new(ParallelHashAggregateExec::new(
                         fragment,
                         group_positions,
                         aggregates,
                         schema,
                         workers,
-                    )?));
+                    )?);
+                    return Ok((
+                        spanned(op, &span),
+                        profile_node(op_id, plan, span, false, vec![scan_node]),
+                    ));
                 }
-                return Ok(Box::new(HashAggregateExec::new(
-                    Box::new(ScanExec::from_fragment(fragment)),
+                let scan_node =
+                    profile_node(scan_id, &a.input, scan_span.clone(), false, vec![]);
+                let scan_op =
+                    spanned(Box::new(ScanExec::from_fragment(fragment)), &scan_span);
+                let op = Box::new(HashAggregateExec::new(
+                    scan_op,
                     group_positions,
                     aggregates,
                     schema,
                     ctx.clone(),
-                )?));
+                )?);
+                return Ok((
+                    spanned(op, &span),
+                    profile_node(op_id, plan, span, false, vec![scan_node]),
+                ));
             }
-            let input = compile_ctx(&a.input, catalog, ctx)?;
+            let (input, child) = compile_node(&a.input, catalog, ctx, next)?;
             let input_schema = input.schema();
             let group_positions = a
                 .group_by
@@ -190,56 +330,85 @@ pub fn compile_ctx(
                 })
                 .collect::<Result<Vec<_>>>()?;
             let aggregates = a.aggregates.iter().map(|x| x.agg.clone()).collect();
-            Ok(Box::new(HashAggregateExec::new(
+            let op = Box::new(HashAggregateExec::new(
                 input,
                 group_positions,
                 aggregates,
                 schema,
                 ctx.clone(),
-            )?))
+            )?);
+            Ok((
+                spanned(op, &span),
+                profile_node(op_id, plan, span, false, vec![child]),
+            ))
         }
         LogicalPlan::Window(w) => {
-            let input = compile_ctx(&w.input, catalog, ctx)?;
+            let (input, child) = compile_node(&w.input, catalog, ctx, next)?;
             let exprs = w.exprs.iter().map(|x| x.window.clone()).collect();
-            Ok(Box::new(WindowExec::new(
-                input,
-                exprs,
-                schema,
-                ctx.clone(),
-            )))
+            let op = Box::new(WindowExec::new(input, exprs, schema, ctx.clone()));
+            Ok((
+                spanned(op, &span),
+                profile_node(op_id, plan, span, false, vec![child]),
+            ))
         }
         LogicalPlan::MarkDistinct(m) => {
-            let input = compile_ctx(&m.input, catalog, ctx)?;
-            Ok(Box::new(MarkDistinctExec::new(
+            let (input, child) = compile_node(&m.input, catalog, ctx, next)?;
+            let op = Box::new(MarkDistinctExec::new(
                 input,
                 &m.columns,
                 m.mask.clone(),
                 schema,
                 ctx.clone(),
-            )?))
+            )?);
+            Ok((
+                spanned(op, &span),
+                profile_node(op_id, plan, span, false, vec![child]),
+            ))
         }
         LogicalPlan::UnionAll(u) => {
-            let inputs = u
-                .inputs
-                .iter()
-                .map(|i| compile_ctx(i, catalog, ctx))
-                .collect::<Result<Vec<_>>>()?;
-            Ok(Box::new(UnionAllExec::new(inputs, schema, ctx.clone())))
+            let mut inputs = Vec::with_capacity(u.inputs.len());
+            let mut children = Vec::with_capacity(u.inputs.len());
+            for i in &u.inputs {
+                let (op, node) = compile_node(i, catalog, ctx, next)?;
+                inputs.push(op);
+                children.push(node);
+            }
+            let op = Box::new(UnionAllExec::new(inputs, schema, ctx.clone()));
+            Ok((
+                spanned(op, &span),
+                profile_node(op_id, plan, span, false, children),
+            ))
         }
         LogicalPlan::ConstantTable(c) => {
-            Ok(Box::new(ConstantTableExec::new(c.rows.clone(), schema)))
+            let op = Box::new(ConstantTableExec::new(c.rows.clone(), schema));
+            Ok((
+                spanned(op, &span),
+                profile_node(op_id, plan, span, false, vec![]),
+            ))
         }
         LogicalPlan::EnforceSingleRow(e) => {
-            let input = compile_ctx(&e.input, catalog, ctx)?;
-            Ok(Box::new(EnforceSingleRowExec::new(input, ctx.clone())))
+            let (input, child) = compile_node(&e.input, catalog, ctx, next)?;
+            let op = Box::new(EnforceSingleRowExec::new(input, ctx.clone()));
+            Ok((
+                spanned(op, &span),
+                profile_node(op_id, plan, span, false, vec![child]),
+            ))
         }
         LogicalPlan::Sort(s) => {
-            let input = compile_ctx(&s.input, catalog, ctx)?;
-            Ok(Box::new(SortExec::new(input, s.keys.clone(), ctx.clone())))
+            let (input, child) = compile_node(&s.input, catalog, ctx, next)?;
+            let op = Box::new(SortExec::new(input, s.keys.clone(), ctx.clone()));
+            Ok((
+                spanned(op, &span),
+                profile_node(op_id, plan, span, false, vec![child]),
+            ))
         }
         LogicalPlan::Limit(l) => {
-            let input = compile_ctx(&l.input, catalog, ctx)?;
-            Ok(Box::new(LimitExec::new(input, l.fetch, ctx.clone())))
+            let (input, child) = compile_node(&l.input, catalog, ctx, next)?;
+            let op = Box::new(LimitExec::new(input, l.fetch, ctx.clone()));
+            Ok((
+                spanned(op, &span),
+                profile_node(op_id, plan, span, false, vec![child]),
+            ))
         }
     }
 }
@@ -258,18 +427,20 @@ fn scan_fragment(
     ctx: &Arc<ExecContext>,
     s: &fusion_plan::plan::Scan,
     schema: Schema,
+    span: Arc<OpSpan>,
 ) -> Result<(Arc<ScanFragment>, usize)> {
     let table = catalog.get(&s.table)?;
     validate_scan_binding(&s.table, &s.fields, &s.column_indices, &table.columns)?;
     let workers = ctx.workers_for(table.partitions.len());
-    let fragment = Arc::new(ScanFragment::new(
+    let mut fragment = ScanFragment::new(
         table,
         s.column_indices.clone(),
         schema,
         s.filters.clone(),
         ctx.clone(),
-    ));
-    Ok((fragment, workers))
+    );
+    fragment.set_span(span);
+    Ok((Arc::new(fragment), workers))
 }
 
 fn validate_scan_binding(
@@ -326,13 +497,29 @@ pub fn execute_plan_ctx(
     catalog: &Catalog,
     ctx: &Arc<ExecContext>,
 ) -> Result<QueryOutput> {
-    let op = compile_ctx(plan, catalog, ctx)?;
+    execute_plan_profiled(plan, catalog, ctx).map(|(out, _)| out)
+}
+
+/// Compile and run a logical plan, returning its rows together with the
+/// per-operator [`QueryProfile`].
+///
+/// The profile is captured strictly after [`collect`] returns: `collect`
+/// consumes the operator tree, and dropping it joins every morsel
+/// worker, so the relaxed span counters are mutually consistent by the
+/// time they are read (see `profile` module docs).
+pub fn execute_plan_profiled(
+    plan: &LogicalPlan,
+    catalog: &Catalog,
+    ctx: &Arc<ExecContext>,
+) -> Result<(QueryOutput, QueryProfile)> {
+    let (op, node) = compile_profiled(plan, catalog, ctx)?;
     let out = collect(op)?;
     ctx.metrics().add_rows_produced(out.rows.len() as u64);
-    Ok(out)
+    Ok((out, QueryProfile::capture(&node)))
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::table::{TableBuilder, TableColumn};

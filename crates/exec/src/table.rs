@@ -164,7 +164,11 @@ impl TableBuilder {
                 let mut keys: Vec<i64> = buckets.keys().copied().collect();
                 keys.sort_unstable();
                 keys.into_iter()
-                    .map(|k| buckets.remove(&k).unwrap())
+                    .map(|k| {
+                        buckets
+                            .remove(&k)
+                            .expect("every key was collected from this map above")
+                    })
                     .collect()
             }
         };
@@ -259,6 +263,7 @@ impl Catalog {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use fusion_expr::BinaryOp;

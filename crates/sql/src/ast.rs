@@ -1,5 +1,16 @@
 //! Abstract syntax tree for the supported SQL subset.
 
+/// A top-level statement: a query, or an `EXPLAIN [ANALYZE]` wrapper
+/// around one.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Statement {
+    Query(Query),
+    /// `EXPLAIN <query>` renders the optimized plan; `EXPLAIN ANALYZE`
+    /// additionally executes it and annotates each operator with its
+    /// profile (rows, batches, timings, peak state).
+    Explain { analyze: bool, query: Query },
+}
+
 /// A full query: optional CTEs, a set expression, ordering and limit.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Query {

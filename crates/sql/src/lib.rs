@@ -29,5 +29,6 @@ pub mod lexer;
 pub mod parser;
 pub mod planner;
 
-pub use parser::parse;
+pub use ast::Statement;
+pub use parser::{parse, parse_statement};
 pub use planner::{plan_query, SchemaProvider, TableSchema};

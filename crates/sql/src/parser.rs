@@ -14,6 +14,24 @@ pub fn parse(sql: &str) -> Result<Query> {
     Ok(q)
 }
 
+/// Parse a SQL string into a top-level [`Statement`], accepting an
+/// optional `EXPLAIN [ANALYZE]` prefix in front of the query.
+pub fn parse_statement(sql: &str) -> Result<Statement> {
+    let tokens = tokenize(sql)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let stmt = if p.eat_kw("EXPLAIN") {
+        let analyze = p.eat_kw("ANALYZE");
+        Statement::Explain {
+            analyze,
+            query: p.parse_query()?,
+        }
+    } else {
+        Statement::Query(p.parse_query()?)
+    };
+    p.expect_eof()?;
+    Ok(stmt)
+}
+
 struct Parser {
     tokens: Vec<Token>,
     pos: usize,
@@ -700,6 +718,26 @@ fn is_join_keyword(w: &str) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn parses_explain_and_explain_analyze() {
+        match parse_statement("EXPLAIN SELECT a FROM t").unwrap() {
+            Statement::Explain { analyze, .. } => assert!(!analyze),
+            other => panic!("expected Explain, got {other:?}"),
+        }
+        match parse_statement("explain analyze SELECT a FROM t").unwrap() {
+            Statement::Explain { analyze, .. } => assert!(analyze),
+            other => panic!("expected Explain, got {other:?}"),
+        }
+        match parse_statement("SELECT a FROM t").unwrap() {
+            Statement::Query(q) => assert!(matches!(q.body, SetExpr::Select(_))),
+            other => panic!("expected Query, got {other:?}"),
+        }
+        // EXPLAIN needs a query behind it.
+        assert!(parse_statement("EXPLAIN").is_err());
+        // And plain `parse` still rejects the keyword prefix.
+        assert!(parse("EXPLAIN SELECT a FROM t").is_err());
+    }
 
     #[test]
     fn parses_simple_select() {

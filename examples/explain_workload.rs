@@ -1,8 +1,13 @@
 //! Print the baseline and fused plans for every workload query —
 //! a quick way to inspect what each optimization rule does.
 //!
+//! With `ANALYZE=1` the queries are *executed* and each plan line is
+//! annotated with its operator's profile (rows, batches, wall/CPU time,
+//! peak state), plus the optimizer trace.
+//!
 //! ```sh
 //! cargo run --example explain_workload [QUERY_ID]
+//! ANALYZE=1 cargo run --release --example explain_workload Q88
 //! ```
 
 use fusion_engine::Session;
@@ -27,6 +32,19 @@ fn main() {
             }
         }
         println!("==================== {} ({}) ====================", q.id, q.family);
+        if std::env::var_os("ANALYZE").is_some() {
+            match (
+                baseline.explain_analyze(&q.sql),
+                fused.explain_analyze(&q.sql),
+            ) {
+                (Ok(b), Ok(f)) => {
+                    println!("-- baseline (analyzed) --\n{b}\n");
+                    println!("-- fused (analyzed) --\n{f}\n");
+                }
+                (Err(e), _) | (_, Err(e)) => println!("error: {e}\n"),
+            }
+            continue;
+        }
         match (baseline.explain(&q.sql), fused.explain(&q.sql)) {
             (Ok(b), Ok(f)) => {
                 println!("-- baseline --\n{b}");

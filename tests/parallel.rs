@@ -151,6 +151,42 @@ fn fused_equals_baseline_at_every_thread_count() {
     }
 }
 
+/// Acceptance: per-operator row counts in the execution profile are
+/// bit-identical across thread counts, fused and baseline. Partition
+/// spans are merged in partition-index order and every non-LIMIT query
+/// drains its input fully, so `(op_id, label, rows_in, rows_out)` must
+/// not depend on how morsels were interleaved. LIMIT queries are
+/// excluded: an early stop reaches the scan at a thread-dependent row.
+#[test]
+fn profile_row_counts_are_thread_count_invariant() {
+    for sql in QUERIES {
+        if sql.contains("LIMIT") {
+            continue;
+        }
+        for fused in [true, false] {
+            let mut s = session(1);
+            s.set_fusion_enabled(fused);
+            let expected = s
+                .sql(sql)
+                .unwrap()
+                .profile
+                .expect("every execution is profiled")
+                .row_counts();
+            for &t in THREADS {
+                let mut s = session(t);
+                s.set_fusion_enabled(fused);
+                let counts = s
+                    .sql(sql)
+                    .unwrap()
+                    .profile
+                    .expect("every execution is profiled")
+                    .row_counts();
+                assert_eq!(counts, expected, "threads={t} fused={fused}: {sql}");
+            }
+        }
+    }
+}
+
 /// The corpus under a seeded transient-fault schedule at every thread
 /// count: retries absorb the faults on every worker and the answers stay
 /// byte-identical to the fault-free sequential run. Fault injection
