@@ -1,3 +1,7 @@
+// One-shot benchmark driver: aborting on a setup or I/O failure is the
+// desired behavior, so the workspace unwrap/panic gate is relaxed here.
+#![allow(clippy::unwrap_used, clippy::panic)]
+
 //! Micro-benchmarks for the `Fuse` primitive (Section III): how much does
 //! fusing plan pairs cost at compile time, per operator shape?
 

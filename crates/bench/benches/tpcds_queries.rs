@@ -1,3 +1,7 @@
+// One-shot benchmark driver: aborting on a setup or I/O failure is the
+// desired behavior, so the workspace unwrap/panic gate is relaxed here.
+#![allow(clippy::unwrap_used, clippy::panic)]
+
 //! End-to-end TPC-DS query benchmarks, baseline vs fused — the Criterion
 //! counterpart of the `paper_figures` binary (Figures 1 and 2 report the
 //! same runs with medians and byte counters).

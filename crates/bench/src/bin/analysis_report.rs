@@ -1,0 +1,100 @@
+//! Run the semantic plan analyzer over the TPC-DS corpus (fused and
+//! baseline) plus the plan-mutation self-test, and emit the JSON report
+//! the CI `analysis` job uploads as an artifact.
+//!
+//! ```sh
+//! FUSION_ANALYZE=strict cargo run -p fusion-bench --release --bin analysis_report
+//! ```
+//!
+//! Writes `ANALYSIS_report.json` (override with `ANALYSIS_REPORT_PATH`)
+//! and exits nonzero unless the gate passes: zero violations on final
+//! plans and a mutation kill rate of at least 95%.
+
+use fusion_core::analysis::{run_self_test, AnalysisReport, QueryAnalysis};
+use fusion_engine::Session;
+use fusion_tpcds::{all_queries, generate_catalog, TpcdsConfig};
+
+fn main() {
+    let scale = std::env::var("TPCDS_SCALE")
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .unwrap_or(0.01);
+    let out_path = std::env::var("ANALYSIS_REPORT_PATH")
+        .unwrap_or_else(|_| "ANALYSIS_report.json".into());
+
+    let cfg = TpcdsConfig::with_scale(scale);
+    let mut fused = Session::new();
+    for t in generate_catalog(&cfg).into_tables() {
+        fused.register_table(t);
+    }
+    let mut baseline = Session::baseline();
+    for t in generate_catalog(&cfg).into_tables() {
+        baseline.register_table(t);
+    }
+
+    let mut report = AnalysisReport::default();
+    for q in all_queries() {
+        for (mode, session) in [("fused", &fused), ("baseline", &baseline)] {
+            let plan = match session.plan_sql(&q.sql) {
+                Ok(p) => p,
+                Err(e) => {
+                    report.queries.push(QueryAnalysis {
+                        query: q.id.to_string(),
+                        mode,
+                        violations: vec![format!("planning failed: {e}")],
+                        analysis_rejections: 0,
+                        rules_fired: 0,
+                    });
+                    continue;
+                }
+            };
+            let (optimized, opt_report) = session.optimize(&plan);
+            let mut violations: Vec<String> = fusion_core::analyze_plan(&optimized)
+                .iter()
+                .map(|v| v.to_string())
+                .collect();
+            if let Some(e) = &opt_report.validation_error {
+                violations.push(format!("optimizer: {e}"));
+            }
+            report.queries.push(QueryAnalysis {
+                query: q.id.to_string(),
+                mode,
+                violations,
+                analysis_rejections: opt_report
+                    .rejected
+                    .iter()
+                    .filter(|r| r.error.contains("FUSION_ANALYSIS"))
+                    .count(),
+                rules_fired: opt_report.fired.len(),
+            });
+        }
+    }
+    report.mutation = run_self_test();
+
+    let json = report.to_json();
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("failed to write {out_path}: {e}");
+        std::process::exit(2);
+    }
+
+    eprintln!(
+        "analyzed {} query/mode pairs: {} final-plan violations, \
+         mutation kill rate {:.1}% ({} of {})",
+        report.queries.len(),
+        report.total_violations(),
+        report.mutation.kill_rate() * 100.0,
+        report.mutation.killed(),
+        report.mutation.total()
+    );
+    for s in report.mutation.survivors() {
+        eprintln!("surviving mutant: {s}");
+    }
+    for q in report.queries.iter().filter(|q| !q.violations.is_empty()) {
+        eprintln!("{} ({}): {}", q.query, q.mode, q.violations.join("; "));
+    }
+    eprintln!("report written to {out_path}");
+
+    if !report.passes() {
+        std::process::exit(1);
+    }
+}

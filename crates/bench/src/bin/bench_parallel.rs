@@ -1,3 +1,7 @@
+// One-shot benchmark driver: aborting on a setup or I/O failure is the
+// desired behavior, so the workspace unwrap/panic gate is relaxed here.
+#![allow(clippy::unwrap_used, clippy::panic)]
+
 //! Morsel-parallel scaling benchmark: the PR's bench trajectory.
 //!
 //! Runs scan/aggregate-heavy TPC-DS queries at 1/2/4/8 worker threads,

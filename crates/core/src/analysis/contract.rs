@@ -1,0 +1,370 @@
+//! The Fuse contract checker.
+//!
+//! `Fuse(P1, P2) → (P, M, L, R)` promises (paper §III.A):
+//!
+//! 1. `M` is total over `P2`'s schema and type-preserving: every output
+//!    column of `P2` maps to a column `P` actually produces, of a
+//!    compatible type;
+//! 2. `P1`'s columns appear in `P` under their own identities (the left
+//!    side keeps its column ids), again type-compatibly;
+//! 3. the compensating filters `L` and `R` reference only `P`'s outputs
+//!    and are boolean-typed over `P`'s schema;
+//! 4. filtering `P` by `L` (resp. `M∘R`) reconstructs `P1` (resp. `P2`):
+//!    for filter-rooted fusions the original predicate must be *implied*
+//!    by the compensation conjoined with the fused predicate, and for
+//!    aggregate-rooted fusions every original masked aggregate must
+//!    reappear with the same function/argument and a mask at least as
+//!    strict as the original.
+//!
+//! Checks 1–3 are exact. Check 4 is a sound approximation built on the
+//! engine's expression normalizer: a reconstruction obligation is
+//! discharged when each conjunct of the original predicate/mask is
+//! implied by the conjunct set of the fused side (set membership after
+//! normalization, plus the absorption rule `A ⊨ A ∨ B` that
+//! simplification introduces). A legitimate fusion always passes because
+//! the fusion paths construct `L`/`R`/masks by conjoining exactly these
+//! conjuncts; a corrupted one (swapped or widened compensation, widened
+//! mask, retyped aggregate) loses a conjunct and is flagged.
+
+use std::collections::BTreeSet;
+
+use fusion_common::DataType;
+use fusion_expr::{normalize, simplify_filter, split_conjuncts, split_disjuncts, Expr};
+use fusion_plan::LogicalPlan;
+
+use super::{AnalysisCode, Violation};
+use crate::fuse::Fused;
+
+/// Check a raw `Fuse` result against the contract. Empty result = OK.
+pub fn check_fuse_contract(p1: &LogicalPlan, p2: &LogicalPlan, f: &Fused) -> Vec<Violation> {
+    let mut v = Vec::new();
+    let fused_schema = f.plan.schema();
+    let p1_schema = p1.schema();
+    let p2_schema = p2.schema();
+
+    // 1. M total and type-preserving over P2's schema.
+    for f2 in p2_schema.fields() {
+        let target = f.mapped_id(f2.id);
+        match fused_schema.field_by_id(target) {
+            None => v.push(Violation::new(
+                AnalysisCode::MappingNotTotal,
+                format!(
+                    "P2 column {}#{} maps to #{} which the fused plan does not produce",
+                    f2.name, f2.id.0, target.0
+                ),
+            )),
+            Some(ff) if !types_compatible(f2.data_type, ff.data_type) => {
+                v.push(Violation::new(
+                    AnalysisCode::MappingType,
+                    format!(
+                        "P2 column {}#{} ({:?}) maps to #{} of incompatible type {:?}",
+                        f2.name, f2.id.0, f2.data_type, target.0, ff.data_type
+                    ),
+                ));
+            }
+            Some(_) => {}
+        }
+    }
+
+    // 2. P1's columns survive under their own identities.
+    for f1 in p1_schema.fields() {
+        match fused_schema.field_by_id(f1.id) {
+            None => v.push(Violation::new(
+                AnalysisCode::ReconstructLeft,
+                format!(
+                    "P1 column {}#{} is missing from the fused plan",
+                    f1.name, f1.id.0
+                ),
+            )),
+            Some(ff) if !types_compatible(f1.data_type, ff.data_type) => {
+                v.push(Violation::new(
+                    AnalysisCode::ReconstructLeft,
+                    format!(
+                        "P1 column {}#{} changed type {:?} -> {:?} in the fused plan",
+                        f1.name, f1.id.0, f1.data_type, ff.data_type
+                    ),
+                ));
+            }
+            Some(_) => {}
+        }
+    }
+
+    // 3. L and R reference only P's outputs and are boolean.
+    for (side, comp) in [("L", &f.left), ("R", &f.right)] {
+        for c in comp.columns() {
+            if !fused_schema.contains(c) {
+                v.push(Violation::new(
+                    AnalysisCode::CompensationRefs,
+                    format!(
+                        "compensation {side} references column #{} outside the fused schema",
+                        c.0
+                    ),
+                ));
+            }
+        }
+        match comp.data_type(&fused_schema) {
+            Ok(DataType::Boolean) => {}
+            Ok(other) => v.push(Violation::new(
+                AnalysisCode::CompensationType,
+                format!("compensation {side} has type {other:?}, expected Boolean"),
+            )),
+            // Unknown-column type errors are already reported above; an
+            // otherwise untypable compensation is still a violation.
+            Err(e) => {
+                if comp.columns().iter().all(|c| fused_schema.contains(*c)) {
+                    v.push(Violation::new(
+                        AnalysisCode::CompensationType,
+                        format!("compensation {side} does not type-check: {e}"),
+                    ));
+                }
+            }
+        }
+    }
+
+    // 4a. Filter-rooted reconstruction: C1 ⊑ L ∧ P.predicate and
+    //     M(C2) ⊑ R ∧ P.predicate.
+    if let LogicalPlan::Filter(pf) = &f.plan {
+        if let LogicalPlan::Filter(f1) = p1 {
+            check_direction("L", &f1.predicate, &f.left, &pf.predicate, &mut v);
+        }
+        if let LogicalPlan::Filter(f2) = p2 {
+            check_direction("R", &f.map(&f2.predicate), &f.right, &pf.predicate, &mut v);
+        }
+    }
+
+    // 4b. Aggregate-rooted reconstruction: keys, functions, arguments and
+    //     mask discipline.
+    if let LogicalPlan::Aggregate(ga) = &f.plan {
+        if let LogicalPlan::Aggregate(g1) = p1 {
+            check_aggregate_side("P1", g1, None, ga, &mut v);
+        }
+        if let LogicalPlan::Aggregate(g2) = p2 {
+            check_aggregate_side("P2", g2, Some(f), ga, &mut v);
+        }
+    }
+
+    v
+}
+
+/// Same relaxation as structural validation: numeric widening is allowed.
+fn types_compatible(a: DataType, b: DataType) -> bool {
+    a == b || (a.is_numeric() && b.is_numeric())
+}
+
+/// The normalized, non-trivial conjuncts of a filter-position predicate.
+/// `None` means the predicate is provably FALSE (the side selects no rows,
+/// so any reconstruction obligation is vacuous).
+fn conjunct_exprs(e: &Expr) -> Option<Vec<Expr>> {
+    let n = normalize(&simplify_filter(e));
+    if n.is_false_literal() {
+        return None;
+    }
+    Some(
+        split_conjuncts(&n)
+            .into_iter()
+            .filter(|c| !c.is_true_literal())
+            .collect(),
+    )
+}
+
+/// Whether `available ⊨ target` under the approximations the simplifier
+/// itself uses: exact membership, or (absorption) the target is a
+/// disjunction one of whose disjuncts is fully available.
+fn implied(target: &Expr, available: &BTreeSet<String>) -> bool {
+    if available.contains(&target.to_string()) {
+        return true;
+    }
+    let disjuncts = split_disjuncts(target);
+    disjuncts.len() >= 2
+        && disjuncts.iter().any(|d| {
+            split_conjuncts(d)
+                .iter()
+                .all(|dc| available.contains(&dc.to_string()))
+        })
+}
+
+/// Require every conjunct of `original` to be implied by
+/// `comp ∧ fused_pred`.
+fn check_direction(
+    side: &str,
+    original: &Expr,
+    comp: &Expr,
+    fused_pred: &Expr,
+    v: &mut Vec<Violation>,
+) {
+    let Some(targets) = conjunct_exprs(original) else {
+        return; // original side provably empty
+    };
+    let Some(avail_exprs) = conjunct_exprs(&comp.clone().and(fused_pred.clone())) else {
+        return; // compensated side provably empty: selects ⊆ ∅ trivially
+    };
+    let available: BTreeSet<String> = avail_exprs.iter().map(|c| c.to_string()).collect();
+    for t in targets {
+        if !implied(&t, &available) {
+            v.push(Violation::new(
+                AnalysisCode::Direction,
+                format!(
+                    "compensation {side} does not reconstruct the original filter: \
+                     conjunct `{t}` is not implied by `{comp} AND {fused_pred}`"
+                ),
+            ));
+        }
+    }
+}
+
+/// Check one original GroupBy against the fused GroupBy: grouping keys
+/// must survive (left: same ids; right: modulo `M`), and each original
+/// masked aggregate must reappear with the same function, argument and a
+/// mask at least as strict.
+fn check_aggregate_side(
+    side: &str,
+    orig: &fusion_plan::Aggregate,
+    map_through: Option<&Fused>,
+    fused: &fusion_plan::Aggregate,
+    v: &mut Vec<Violation>,
+) {
+    let fused_groups: BTreeSet<_> = fused.group_by.iter().copied().collect();
+    let remap = |id| match map_through {
+        Some(fu) => fu.mapped_id(id),
+        None => id,
+    };
+    for k in &orig.group_by {
+        if !fused_groups.contains(&remap(*k)) {
+            v.push(Violation::new(
+                AnalysisCode::Keys,
+                format!(
+                    "{side} grouping key #{} (fused #{}) is not a grouping key of the fused GroupBy",
+                    k.0,
+                    remap(*k).0
+                ),
+            ));
+        }
+    }
+    if map_through.is_none() && fused.group_by.len() != orig.group_by.len() {
+        v.push(Violation::new(
+            AnalysisCode::Keys,
+            format!(
+                "fused GroupBy has {} grouping keys, P1 has {}",
+                fused.group_by.len(),
+                orig.group_by.len()
+            ),
+        ));
+    }
+
+    // Conjuncts of the filter (if any) directly under the fused GroupBy:
+    // an original filter conjunct may be discharged there instead of in
+    // the masks.
+    let spine: BTreeSet<String> = match fused.input.as_ref() {
+        LogicalPlan::Filter(ff) => conjunct_exprs(&ff.predicate)
+            .unwrap_or_default()
+            .iter()
+            .map(|c| c.to_string())
+            .collect(),
+        _ => BTreeSet::new(),
+    };
+
+    let mut mask_sets: Vec<BTreeSet<String>> = Vec::new();
+    for a in &orig.aggregates {
+        let target_id = remap(a.id);
+        let Some(fa) = fused.aggregates.iter().find(|fa| fa.id == target_id) else {
+            // Missing output ids are already reported by the schema
+            // reconstruction checks.
+            continue;
+        };
+        if fa.agg.func != a.agg.func {
+            v.push(Violation::new(
+                AnalysisCode::Aggregate,
+                format!(
+                    "{side} aggregate {}#{} changed function {} -> {}",
+                    a.name, a.id.0, a.agg.func, fa.agg.func
+                ),
+            ));
+        }
+        if fa.agg.distinct != a.agg.distinct {
+            v.push(Violation::new(
+                AnalysisCode::Aggregate,
+                format!(
+                    "{side} aggregate {}#{} changed DISTINCT {} -> {}",
+                    a.name, a.id.0, a.agg.distinct, fa.agg.distinct
+                ),
+            ));
+        }
+        let orig_arg = a.agg.arg.as_ref().map(|e| match map_through {
+            Some(fu) => fu.map(e),
+            None => e.clone(),
+        });
+        match (&orig_arg, &fa.agg.arg) {
+            (None, None) => {}
+            (Some(oa), Some(na)) if fusion_expr::equiv(oa, na) => {}
+            _ => v.push(Violation::new(
+                AnalysisCode::Aggregate,
+                format!(
+                    "{side} aggregate {}#{} argument changed under fusion",
+                    a.name, a.id.0
+                ),
+            )),
+        }
+        // Mask discipline: the fused mask must keep every conjunct of the
+        // original mask (it may only get stricter).
+        let orig_mask = match map_through {
+            Some(fu) => fu.map(&a.agg.mask),
+            None => a.agg.mask.clone(),
+        };
+        if let (Some(targets), Some(avail_exprs)) =
+            (conjunct_exprs(&orig_mask), conjunct_exprs(&fa.agg.mask))
+        {
+            let available: BTreeSet<String> =
+                avail_exprs.iter().map(|c| c.to_string()).collect();
+            for t in targets {
+                if !implied(&t, &available) {
+                    v.push(Violation::new(
+                        AnalysisCode::Mask,
+                        format!(
+                            "{side} aggregate {}#{} lost mask conjunct `{t}` \
+                             (fused mask `{}`)",
+                            a.name, a.id.0, fa.agg.mask
+                        ),
+                    ));
+                }
+            }
+            mask_sets.push(available);
+        }
+    }
+
+    // Scalar aggregates have no grouping keys and trivial compensations,
+    // so an original filter under a scalar GroupBy must be absorbed into
+    // the fused plan: either on the filter spine below the fused GroupBy
+    // or — per derived aggregate — into that aggregate's mask. The mask
+    // check is per-aggregate because masks from the same side may be
+    // mutually exclusive (each one still implies the side's disjoined
+    // filter on its own); an aggregate whose mask is provably FALSE
+    // counts nothing and is vacuously safe.
+    if orig.is_scalar() && !orig.aggregates.is_empty() {
+        if let LogicalPlan::Filter(of) = orig.input.as_ref() {
+            let orig_pred = match map_through {
+                Some(fu) => fu.map(&of.predicate),
+                None => of.predicate.clone(),
+            };
+            if let Some(targets) = conjunct_exprs(&orig_pred) {
+                for t in targets {
+                    let absorbed = spine.contains(&t.to_string())
+                        || mask_sets.iter().all(|m| {
+                            let avail: BTreeSet<String> =
+                                spine.union(m).cloned().collect();
+                            implied(&t, &avail)
+                        });
+                    if !absorbed {
+                        v.push(Violation::new(
+                            AnalysisCode::Mask,
+                            format!(
+                                "{side} scalar-aggregate filter conjunct `{t}` was \
+                                 absorbed neither by the fused filter spine nor by \
+                                 every derived aggregate mask"
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+    }
+}

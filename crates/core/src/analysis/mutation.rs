@@ -1,0 +1,543 @@
+//! Plan-mutation self-test: the analyzer's own regression suite.
+//!
+//! Each corruption below takes a *known-good* fusion artifact — a raw
+//! `Fuse` result or an optimized tagged-dispatch plan — and applies one
+//! seeded mutation of the kind a buggy rewrite would produce: drop a
+//! mapping entry, swap or widen a compensating filter, widen an aggregate
+//! mask, change an aggregate's function or argument, drop a grouping key,
+//! retype or drop a tag-dispatch branch. The analyzer (contract checker +
+//! structural validation + whole-plan checks) must reject every mutant;
+//! a surviving mutant is a hole in the analyzer, reported by name for
+//! triage and gated in CI at a ≥ 95% kill rate.
+
+use fusion_common::{DataType, Field, IdGen, Value};
+use fusion_expr::{col, lit, AggregateExpr, BinaryOp, Expr};
+use fusion_plan::{
+    AggAssign, Aggregate, Filter, LogicalPlan, Project, ProjExpr, Scan, UnionAll,
+};
+
+use super::{analyze_plan, check_fuse_contract, render_violations};
+use crate::fuse::{fuse, FuseContext, Fused};
+use crate::rules::union_fusion::UnionAllFusion;
+use crate::rules::Rule;
+
+/// Outcome of one seeded corruption.
+#[derive(Debug, Clone)]
+pub struct MutationOutcome {
+    pub description: String,
+    pub killed: bool,
+    /// The violation (or validation error) that killed it, if any.
+    pub detail: String,
+}
+
+/// Aggregated self-test result.
+#[derive(Debug, Clone, Default)]
+pub struct MutationReport {
+    pub outcomes: Vec<MutationOutcome>,
+}
+
+impl MutationReport {
+    pub fn total(&self) -> usize {
+        self.outcomes.len()
+    }
+
+    pub fn killed(&self) -> usize {
+        self.outcomes.iter().filter(|o| o.killed).count()
+    }
+
+    pub fn kill_rate(&self) -> f64 {
+        if self.outcomes.is_empty() {
+            return 1.0;
+        }
+        self.killed() as f64 / self.total() as f64
+    }
+
+    /// Descriptions of mutants the analyzer failed to reject.
+    pub fn survivors(&self) -> Vec<&str> {
+        self.outcomes
+            .iter()
+            .filter(|o| !o.killed)
+            .map(|o| o.description.as_str())
+            .collect()
+    }
+
+    fn record_fused(
+        &mut self,
+        description: impl Into<String>,
+        p1: &LogicalPlan,
+        p2: &LogicalPlan,
+        mutant: &Fused,
+    ) {
+        // A mutant is killed if any layer of the gate rejects it: the
+        // contract checker, structural validation, or the plan checks.
+        let mut detail = render_violations(&check_fuse_contract(p1, p2, mutant));
+        if detail.is_empty() {
+            if let Err(e) = mutant.plan.validate() {
+                detail = e.to_string();
+            }
+        }
+        if detail.is_empty() {
+            detail = render_violations(&analyze_plan(&mutant.plan));
+        }
+        self.outcomes.push(MutationOutcome {
+            description: description.into(),
+            killed: !detail.is_empty(),
+            detail,
+        });
+    }
+
+    fn record_plan(&mut self, description: impl Into<String>, mutant: &LogicalPlan) {
+        let mut detail = match mutant.validate() {
+            Err(e) => e.to_string(),
+            Ok(()) => String::new(),
+        };
+        if detail.is_empty() {
+            detail = render_violations(&analyze_plan(mutant));
+        }
+        self.outcomes.push(MutationOutcome {
+            description: description.into(),
+            killed: !detail.is_empty(),
+            detail,
+        });
+    }
+}
+
+/// Run the full corruption suite. Also asserts (as outcomes, not panics)
+/// that the *uncorrupted* artifacts pass, so a false-positive analyzer
+/// shows up as a mutation regression too.
+pub fn run_self_test() -> MutationReport {
+    let mut report = MutationReport::default();
+    filter_fusion_mutants(&mut report);
+    scalar_aggregate_mutants(&mut report);
+    keyed_aggregate_mutants(&mut report);
+    union_dispatch_mutants(&mut report);
+    report
+}
+
+/// `[x Int64, y Utf8, z Int64, b Boolean]` scan with fresh ids.
+fn scan(gen: &IdGen, table: &str) -> LogicalPlan {
+    let fields = vec![
+        Field::new(gen.fresh(), "x", DataType::Int64, true),
+        Field::new(gen.fresh(), "y", DataType::Utf8, true),
+        Field::new(gen.fresh(), "z", DataType::Int64, true),
+        Field::new(gen.fresh(), "b", DataType::Boolean, true),
+    ];
+    LogicalPlan::Scan(Scan {
+        table: table.into(),
+        fields,
+        column_indices: vec![0, 1, 2, 3],
+        filters: Vec::new(),
+    })
+}
+
+fn field_id(plan: &LogicalPlan, name: &str) -> fusion_common::ColumnId {
+    plan.schema()
+        .fields()
+        .iter()
+        .find(|f| f.name == name)
+        .map(|f| f.id)
+        .unwrap_or(fusion_common::ColumnId(u32::MAX))
+}
+
+/// A good/bad sanity pair plus the corruption matrix for plain filter
+/// fusion: `Filter(x>5)(t)` fused with `Filter(x<3)(t)`.
+fn filter_fusion_mutants(report: &mut MutationReport) {
+    let gen = IdGen::new();
+    let s1 = scan(&gen, "t");
+    let s2 = scan(&gen, "t");
+    let x1 = field_id(&s1, "x");
+    let y1 = field_id(&s1, "y");
+    let p1 = LogicalPlan::Filter(Filter {
+        input: Box::new(s1.clone()),
+        predicate: col(x1).gt(lit(5i64)),
+    });
+    let p2 = LogicalPlan::Filter(Filter {
+        input: Box::new(s2.clone()),
+        predicate: col(field_id(&s2, "x")).lt(lit(3i64)),
+    });
+    let ctx = FuseContext::new(gen);
+    let Some(good) = fuse(&p1, &p2, &ctx) else {
+        report.outcomes.push(MutationOutcome {
+            description: "filter fusion sample failed to fuse".into(),
+            killed: false,
+            detail: String::new(),
+        });
+        return;
+    };
+
+    // Baseline: the uncorrupted result must be accepted (recorded
+    // inverted — "killed" here means the analyzer stayed quiet).
+    let baseline = check_fuse_contract(&p1, &p2, &good);
+    report.outcomes.push(MutationOutcome {
+        description: "filter fusion: pristine result accepted".into(),
+        killed: baseline.is_empty(),
+        detail: render_violations(&baseline),
+    });
+
+    // Drop each mapping entry.
+    for key in good.mapping.keys().copied().collect::<Vec<_>>() {
+        let mut m = good.clone();
+        m.mapping.remove(&key);
+        report.record_fused(
+            format!("filter fusion: drop mapping entry for #{}", key.0),
+            &p1,
+            &p2,
+            &m,
+        );
+    }
+    // Remap a column onto a fresh id the fused plan does not produce.
+    if let Some(key) = good.mapping.keys().next().copied() {
+        let mut m = good.clone();
+        m.mapping.insert(key, ctx.gen.fresh());
+        report.record_fused("filter fusion: remap onto unknown column", &p1, &p2, &m);
+    }
+    // Remap P2's Utf8 column onto P1's Int64 column.
+    {
+        let mut m = good.clone();
+        m.mapping.insert(field_id(&s2, "y"), x1);
+        report.record_fused("filter fusion: remap Utf8 column onto Int64", &p1, &p2, &m);
+    }
+    // Swap the compensating filters.
+    {
+        let mut m = good.clone();
+        std::mem::swap(&mut m.left, &mut m.right);
+        report.record_fused("filter fusion: swap L and R", &p1, &p2, &m);
+    }
+    // Widen each compensation to TRUE.
+    for side in ["L", "R"] {
+        let mut m = good.clone();
+        if side == "L" {
+            m.left = Expr::boolean(true);
+        } else {
+            m.right = Expr::boolean(true);
+        }
+        report.record_fused(format!("filter fusion: widen {side} to TRUE"), &p1, &p2, &m);
+    }
+    // Compensation referencing a column outside the fused schema.
+    {
+        let mut m = good.clone();
+        m.left = col(ctx.gen.fresh()).gt(lit(0i64));
+        report.record_fused("filter fusion: L references unknown column", &p1, &p2, &m);
+    }
+    // Non-boolean compensation.
+    {
+        let mut m = good.clone();
+        m.right = col(x1).add(lit(1i64));
+        report.record_fused("filter fusion: R is not boolean", &p1, &p2, &m);
+    }
+    // Drop one of P1's columns from the fused plan via a projection.
+    {
+        let mut m = good.clone();
+        let keep: Vec<ProjExpr> = m
+            .plan
+            .schema()
+            .fields()
+            .iter()
+            .filter(|f| f.id != y1)
+            .map(|f| ProjExpr::new(f.id, f.name.clone(), col(f.id)))
+            .collect();
+        m.plan = LogicalPlan::Project(Project {
+            input: Box::new(m.plan),
+            exprs: keep,
+        });
+        report.record_fused("filter fusion: fused plan drops a P1 column", &p1, &p2, &m);
+    }
+}
+
+/// Scalar aggregates over different filters: the filters must be absorbed
+/// into every derived mask.
+fn scalar_aggregate_mutants(report: &mut MutationReport) {
+    let gen = IdGen::new();
+    let s1 = scan(&gen, "t");
+    let s2 = scan(&gen, "t");
+    let x1 = field_id(&s1, "x");
+    let x2 = field_id(&s2, "x");
+    let agg1 = gen.fresh();
+    let agg2 = gen.fresh();
+    let p1 = LogicalPlan::Aggregate(Aggregate {
+        input: Box::new(LogicalPlan::Filter(Filter {
+            input: Box::new(s1.clone()),
+            predicate: col(x1).gt(lit(5i64)),
+        })),
+        group_by: vec![],
+        aggregates: vec![AggAssign::new(agg1, "s", AggregateExpr::sum(col(x1)))],
+    });
+    let p2 = LogicalPlan::Aggregate(Aggregate {
+        input: Box::new(LogicalPlan::Filter(Filter {
+            input: Box::new(s2.clone()),
+            predicate: col(x2).lt(lit(3i64)),
+        })),
+        group_by: vec![],
+        aggregates: vec![AggAssign::new(agg2, "s", AggregateExpr::sum(col(x2)))],
+    });
+    let ctx = FuseContext::new(gen);
+    let Some(good) = fuse(&p1, &p2, &ctx) else {
+        report.outcomes.push(MutationOutcome {
+            description: "scalar aggregate sample failed to fuse".into(),
+            killed: false,
+            detail: String::new(),
+        });
+        return;
+    };
+    let baseline = check_fuse_contract(&p1, &p2, &good);
+    report.outcomes.push(MutationOutcome {
+        description: "scalar aggregates: pristine result accepted".into(),
+        killed: baseline.is_empty(),
+        detail: render_violations(&baseline),
+    });
+
+    // Widen each fused aggregate's mask to TRUE.
+    let n_aggs = match &good.plan {
+        LogicalPlan::Aggregate(g) => g.aggregates.len(),
+        _ => 0,
+    };
+    for i in 0..n_aggs {
+        let mut m = good.clone();
+        if let LogicalPlan::Aggregate(g) = &mut m.plan {
+            if let Some(a) = g.aggregates.get_mut(i) {
+                a.agg.mask = Expr::boolean(true);
+            }
+        }
+        report.record_fused(
+            format!("scalar aggregates: widen mask of fused aggregate {i}"),
+            &p1,
+            &p2,
+            &m,
+        );
+    }
+    // Change the function / argument / DISTINCT-ness of a fused aggregate.
+    for (what, change) in [
+        ("function SUM->MAX", 0),
+        ("argument x->z", 1),
+        ("set DISTINCT", 2),
+    ] {
+        let mut m = good.clone();
+        if let LogicalPlan::Aggregate(g) = &mut m.plan {
+            if let Some(a) = g.aggregates.first_mut() {
+                match change {
+                    0 => a.agg.func = fusion_expr::AggFunc::Max,
+                    1 => a.agg.arg = Some(col(field_id(&s1, "z"))),
+                    _ => a.agg.distinct = true,
+                }
+            }
+        }
+        report.record_fused(format!("scalar aggregates: {what}"), &p1, &p2, &m);
+    }
+}
+
+/// Keyed aggregates with masked source aggregates: masks may only get
+/// stricter, grouping keys must survive.
+fn keyed_aggregate_mutants(report: &mut MutationReport) {
+    let gen = IdGen::new();
+    let s1 = scan(&gen, "t");
+    let s2 = scan(&gen, "t");
+    let k1 = field_id(&s1, "z");
+    let k2 = field_id(&s2, "z");
+    let b1 = field_id(&s1, "b");
+    let b2 = field_id(&s2, "b");
+    let agg1 = gen.fresh();
+    let agg2 = gen.fresh();
+    let p1 = LogicalPlan::Aggregate(Aggregate {
+        input: Box::new(s1.clone()),
+        group_by: vec![k1],
+        aggregates: vec![AggAssign::new(
+            agg1,
+            "m",
+            AggregateExpr::min(col(field_id(&s1, "x"))).with_mask(col(b1)),
+        )],
+    });
+    let p2 = LogicalPlan::Aggregate(Aggregate {
+        input: Box::new(s2.clone()),
+        group_by: vec![k2],
+        aggregates: vec![AggAssign::new(
+            agg2,
+            "m2",
+            AggregateExpr::max(col(field_id(&s2, "x"))).with_mask(col(b2)),
+        )],
+    });
+    let ctx = FuseContext::new(gen);
+    let Some(good) = fuse(&p1, &p2, &ctx) else {
+        report.outcomes.push(MutationOutcome {
+            description: "keyed aggregate sample failed to fuse".into(),
+            killed: false,
+            detail: String::new(),
+        });
+        return;
+    };
+    let baseline = check_fuse_contract(&p1, &p2, &good);
+    report.outcomes.push(MutationOutcome {
+        description: "keyed aggregates: pristine result accepted".into(),
+        killed: baseline.is_empty(),
+        detail: render_violations(&baseline),
+    });
+
+    // Widen the mask of the aggregate carrying P1's MIN.
+    {
+        let mut m = good.clone();
+        if let LogicalPlan::Aggregate(g) = &mut m.plan {
+            if let Some(a) = g.aggregates.iter_mut().find(|a| a.id == agg1) {
+                a.agg.mask = Expr::boolean(true);
+            }
+        }
+        report.record_fused("keyed aggregates: widen P1 mask", &p1, &p2, &m);
+    }
+    // Widen the mask of the aggregate carrying P2's MAX (found via M).
+    {
+        let mut m = good.clone();
+        let target = m.mapped_id(agg2);
+        if let LogicalPlan::Aggregate(g) = &mut m.plan {
+            if let Some(a) = g.aggregates.iter_mut().find(|a| a.id == target) {
+                a.agg.mask = Expr::boolean(true);
+            }
+        }
+        report.record_fused("keyed aggregates: widen P2 mask", &p1, &p2, &m);
+    }
+    // Drop the grouping key.
+    {
+        let mut m = good.clone();
+        if let LogicalPlan::Aggregate(g) = &mut m.plan {
+            g.group_by.clear();
+        }
+        report.record_fused("keyed aggregates: drop grouping key", &p1, &p2, &m);
+    }
+    // Corrupt the mapping entry for P2's aggregate output. Same-table
+    // fusions may carry P2's output under its own identity, in which
+    // case *removing* the entry is a no-op (`mapped_id` falls back to
+    // identity) — so the corruption points it at a column the fused
+    // plan does not produce instead.
+    {
+        let mut m = good.clone();
+        m.mapping.insert(agg2, ctx.gen.fresh());
+        report.record_fused(
+            "keyed aggregates: remap P2 output onto unknown column",
+            &p1,
+            &p2,
+            &m,
+        );
+    }
+}
+
+/// Tag-dispatch corruption of an optimized 3-branch union fusion.
+fn union_dispatch_mutants(report: &mut MutationReport) {
+    let gen = IdGen::new();
+    let mut inputs = Vec::new();
+    let mut bounds = [10i64, 20, 30].iter();
+    let mut fields = Vec::new();
+    for i in 0..3 {
+        let s = scan(&gen, "t");
+        let x = field_id(&s, "x");
+        let bound = *bounds.next().unwrap_or(&0);
+        if i == 0 {
+            fields = s
+                .schema()
+                .fields()
+                .iter()
+                .map(|f| Field::new(gen.fresh(), f.name.clone(), f.data_type, f.nullable))
+                .collect();
+        }
+        inputs.push(LogicalPlan::Filter(Filter {
+            input: Box::new(s),
+            predicate: col(x).gt(lit(bound)),
+        }));
+    }
+    let union = LogicalPlan::UnionAll(UnionAll { inputs, fields });
+    let ctx = FuseContext::new(gen);
+    let Some(good) = UnionAllFusion.apply(&union, &ctx) else {
+        report.outcomes.push(MutationOutcome {
+            description: "union dispatch sample: rule did not fire".into(),
+            killed: false,
+            detail: String::new(),
+        });
+        return;
+    };
+
+    let baseline = analyze_plan(&good);
+    report.outcomes.push(MutationOutcome {
+        description: "union dispatch: pristine plan accepted".into(),
+        killed: baseline.is_empty() && good.validate().is_ok(),
+        detail: render_violations(&baseline),
+    });
+
+    // Retype a tag literal: `tag = 2` becomes `tag = 9`.
+    report.record_plan(
+        "union dispatch: retype tag literal 2 -> 9",
+        &rewrite_filters(&good, &|pred| replace_tag_literal(pred, 2, 9)),
+    );
+    // Duplicate a branch: `tag = 2` becomes `tag = 1`.
+    report.record_plan(
+        "union dispatch: dispatch branch 1 twice, drop branch 2",
+        &rewrite_filters(&good, &|pred| replace_tag_literal(pred, 2, 1)),
+    );
+    // Drop a dispatch branch entirely.
+    report.record_plan(
+        "union dispatch: drop dispatch branch for tag 3",
+        &rewrite_filters(&good, &|pred| drop_tag_disjunct(pred, 3)),
+    );
+}
+
+/// Rewrite every Filter predicate with `f` (first match wins).
+fn rewrite_filters(plan: &LogicalPlan, f: &dyn Fn(&Expr) -> Option<Expr>) -> LogicalPlan {
+    plan.transform_down(&mut |node| {
+        if let LogicalPlan::Filter(flt) = node {
+            f(&flt.predicate).map(|predicate| {
+                LogicalPlan::Filter(Filter {
+                    input: flt.input.clone(),
+                    predicate,
+                })
+            })
+        } else {
+            None
+        }
+    })
+}
+
+/// Replace the first `col = from` equality with `col = to`.
+fn replace_tag_literal(pred: &Expr, from: i64, to: i64) -> Option<Expr> {
+    let changed = std::cell::Cell::new(false);
+    let out = pred.transform(&|e| {
+        if changed.get() {
+            return None;
+        }
+        if let Expr::Binary {
+            op: BinaryOp::Eq,
+            left,
+            right,
+        } = &e
+        {
+            if let (Expr::Column(id), Expr::Literal(Value::Int64(k))) =
+                (left.as_ref(), right.as_ref())
+            {
+                if *k == from {
+                    changed.set(true);
+                    return Some(col(*id).eq_to(lit(to)));
+                }
+            }
+        }
+        None
+    });
+    changed.get().then_some(out)
+}
+
+/// Remove the disjunct dispatching `tag = which` from a top-level
+/// disjunction.
+fn drop_tag_disjunct(pred: &Expr, which: i64) -> Option<Expr> {
+    let disjuncts = fusion_expr::split_disjuncts(pred);
+    if disjuncts.len() < 2 {
+        return None;
+    }
+    let keep: Vec<Expr> = disjuncts
+        .iter()
+        .filter(|d| {
+            !fusion_expr::split_conjuncts(d).iter().any(|c| {
+                matches!(
+                    c,
+                    Expr::Binary { op: BinaryOp::Eq, left, right }
+                        if matches!(left.as_ref(), Expr::Column(_))
+                            && matches!(right.as_ref(), Expr::Literal(Value::Int64(k)) if *k == which)
+                )
+            })
+        })
+        .cloned()
+        .collect();
+    (keep.len() < disjuncts.len() && !keep.is_empty()).then(|| fusion_expr::disjoin(keep))
+}

@@ -1,0 +1,116 @@
+//! Analyzer run report: the JSON artifact the CI `analysis` job uploads.
+//!
+//! Hand-rolled JSON (as elsewhere in the workspace) — the build
+//! environment has no serde.
+
+use super::mutation::MutationReport;
+
+/// Analyzer outcome for one corpus query in one mode.
+#[derive(Debug, Clone)]
+pub struct QueryAnalysis {
+    pub query: String,
+    /// `"fused"` or `"baseline"`.
+    pub mode: &'static str,
+    /// Violations found on the final optimized plan (should be empty).
+    pub violations: Vec<String>,
+    /// Rewrites rejected mid-optimization with `FUSION_ANALYSIS_*` codes.
+    /// These are *successes* of the gate, not failures of the run.
+    pub analysis_rejections: usize,
+    /// Rules that actually fired.
+    pub rules_fired: usize,
+}
+
+/// Full analyzer run: corpus sweep plus the mutation self-test.
+#[derive(Debug, Clone, Default)]
+pub struct AnalysisReport {
+    pub queries: Vec<QueryAnalysis>,
+    pub mutation: MutationReport,
+}
+
+impl AnalysisReport {
+    /// Total violations on final plans across the corpus.
+    pub fn total_violations(&self) -> usize {
+        self.queries.iter().map(|q| q.violations.len()).sum()
+    }
+
+    /// Whether the run meets the CI gate: no final-plan violations and a
+    /// mutation kill rate of at least 95%.
+    pub fn passes(&self) -> bool {
+        self.total_violations() == 0 && self.mutation.kill_rate() >= 0.95
+    }
+
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"queries\": [\n");
+        for (i, q) in self.queries.iter().enumerate() {
+            let viols = q
+                .violations
+                .iter()
+                .map(|v| format!("\"{}\"", escape(v)))
+                .collect::<Vec<_>>()
+                .join(", ");
+            out.push_str(&format!(
+                "    {{\"query\": \"{}\", \"mode\": \"{}\", \"violations\": [{}], \
+                 \"analysis_rejections\": {}, \"rules_fired\": {}}}{}\n",
+                escape(&q.query),
+                q.mode,
+                viols,
+                q.analysis_rejections,
+                q.rules_fired,
+                if i + 1 < self.queries.len() { "," } else { "" },
+            ));
+        }
+        out.push_str("  ],\n");
+        out.push_str(&format!(
+            "  \"total_violations\": {},\n",
+            self.total_violations()
+        ));
+        out.push_str("  \"mutation\": {\n");
+        out.push_str(&format!(
+            "    \"total\": {},\n    \"killed\": {},\n    \"kill_rate\": {:.4},\n",
+            self.mutation.total(),
+            self.mutation.killed(),
+            self.mutation.kill_rate()
+        ));
+        let survivors = self
+            .mutation
+            .survivors()
+            .iter()
+            .map(|s| format!("\"{}\"", escape(s)))
+            .collect::<Vec<_>>()
+            .join(", ");
+        out.push_str(&format!("    \"survivors\": [{survivors}],\n"));
+        out.push_str("    \"outcomes\": [\n");
+        for (i, o) in self.mutation.outcomes.iter().enumerate() {
+            out.push_str(&format!(
+                "      {{\"description\": \"{}\", \"killed\": {}, \"detail\": \"{}\"}}{}\n",
+                escape(&o.description),
+                o.killed,
+                escape(&o.detail),
+                if i + 1 < self.mutation.outcomes.len() {
+                    ","
+                } else {
+                    ""
+                },
+            ));
+        }
+        out.push_str("    ]\n  },\n");
+        out.push_str(&format!("  \"passes\": {}\n}}\n", self.passes()));
+        out
+    }
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}

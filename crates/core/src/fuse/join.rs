@@ -1,6 +1,6 @@
 //! Fusing joins (§III.D).
 
-use fusion_expr::equiv_mod;
+use fusion_expr::{equiv_mod, Expr};
 use fusion_plan::{Join, JoinType, LogicalPlan};
 
 use super::{simp, FuseContext, Fused};
@@ -50,12 +50,21 @@ pub fn fuse_joins(j1: &Join, j2: &Join, ctx: &FuseContext) -> Option<Fused> {
 
     let left = simp(fl.left.and(fr.left));
     let right = simp(fl.right.and(fr.right));
+    // Cross joins must carry the canonical literal TRUE: keeping
+    // `j1.condition` verbatim would let a residual like `TRUE AND TRUE`
+    // through, which strict per-rewrite validation rejects before the
+    // cleanup phase gets a chance to normalize it.
+    let condition = if j1.join_type == JoinType::Cross {
+        Expr::boolean(true)
+    } else {
+        j1.condition.clone()
+    };
     Some(Fused {
         plan: LogicalPlan::Join(Join {
             left: Box::new(fl.plan),
             right: Box::new(fr.plan),
             join_type: j1.join_type,
-            condition: j1.condition.clone(),
+            condition,
         }),
         mapping,
         left,

@@ -154,6 +154,30 @@ impl Fused {
 pub fn fuse(p1: &LogicalPlan, p2: &LogicalPlan, ctx: &FuseContext) -> Option<Fused> {
     let result = fuse_inner(p1, p2, ctx);
     let (left, right) = (root_name(p1), root_name(p2));
+
+    // Gate every successful fusion on the §III.A contract: a result with
+    // a broken mapping, mis-typed compensation or widened mask is turned
+    // back into ⊥ so the calling rule simply does not fire. The rejection
+    // reason lands in the fuse trace (and therefore EXPLAIN).
+    if let Some(f) = &result {
+        let violations = crate::analysis::check_fuse_contract(p1, p2, f);
+        if !violations.is_empty() {
+            if std::env::var("FUSION_ANALYZE_DEBUG").is_ok() {
+                eprintln!(
+                    "contract rejection {left}/{right}: {}",
+                    crate::analysis::render_violations(&violations)
+                );
+            }
+            ctx.trace.record(FuseEvent {
+                left: left.into(),
+                right: right.into(),
+                fused: false,
+                detail: crate::analysis::render_violations(&violations),
+            });
+            return None;
+        }
+    }
+
     let event = match &result {
         Some(f) => FuseEvent {
             left: left.into(),

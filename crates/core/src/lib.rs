@@ -29,9 +29,11 @@
 //! Resin-style `ResinMap`/`ResinReduce` — so every orthogonal rule
 //! composes with fused results with no extra code.
 
+pub mod analysis;
 pub mod fuse;
 pub mod optimizer;
 pub mod rules;
 
+pub use analysis::{analyze_plan, check_fuse_contract, AnalysisCode, Violation};
 pub use fuse::{fuse, FuseContext, Fused};
 pub use optimizer::{Optimizer, OptimizerConfig, OptimizerReport, RejectedRule};

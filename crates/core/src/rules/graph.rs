@@ -138,11 +138,9 @@ impl JoinGraph {
             conjuncts,
             output,
         } = self;
-        assert!(!inputs.is_empty(), "join graph must have inputs");
-
         let mut remaining: Vec<Expr> = conjuncts;
         let mut iter = inputs.into_iter();
-        let mut acc = iter.next().unwrap();
+        let mut acc = iter.next().expect("join graph must have inputs");
         acc = attach_local(acc, &mut remaining);
 
         for next in iter {
@@ -152,6 +150,10 @@ impl JoinGraph {
                 .into_iter()
                 .partition(|c| c.columns().iter().all(|id| combined.contains(*id)));
             remaining = later;
+            // Defensive: literal-TRUE residuals (e.g. from a scalar-join
+            // elimination) must collapse to a canonical cross join, not an
+            // inner join with a degenerate condition.
+            let now: Vec<Expr> = now.into_iter().filter(|c| !c.is_true_literal()).collect();
             let (join_type, condition) = if now.is_empty() {
                 (JoinType::Cross, Expr::boolean(true))
             } else {

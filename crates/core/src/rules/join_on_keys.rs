@@ -72,6 +72,14 @@ fn try_keyed_groupbys(
     if g1.group_by.is_empty() || g2.group_by.is_empty() {
         return None;
     }
+    // Statically discharge the rule's key precondition via the property
+    // lattice instead of trusting the operator shape alone: the grouping
+    // columns must be provable distinct keys of each side's output.
+    if !crate::analysis::plan_has_key(&graph.inputs[i], &g1.group_by)
+        || !crate::analysis::plan_has_key(&graph.inputs[j], &g2.group_by)
+    {
+        return None;
+    }
     let fused = fuse(&graph.inputs[i], &graph.inputs[j], ctx)?;
     // Every right key must be equated with its mapped twin.
     for k2 in &g2.group_by {
@@ -96,6 +104,14 @@ fn try_scalar_singletons(
     ctx: &FuseContext,
 ) -> Option<LogicalPlan> {
     if !is_single_row(&graph.inputs[i]) || !is_single_row(&graph.inputs[j]) {
+        return None;
+    }
+    // The property lattice must agree that both sides are single-row
+    // before the join is eliminated (its derivation is independent of the
+    // syntactic matcher above).
+    if !crate::analysis::plan_is_single_row(&graph.inputs[i])
+        || !crate::analysis::plan_is_single_row(&graph.inputs[j])
+    {
         return None;
     }
     let fused = fuse(&graph.inputs[i], &graph.inputs[j], ctx)?;

@@ -249,12 +249,19 @@ fn try_pair(
             .iter()
             .map(|pe| ProjExpr::new(ctx.gen.fresh(), pe.name.clone(), pe.expr.clone()))
             .collect();
+        // Internal names carry their fresh id so stacked applications of
+        // this rule (branches that already contain `$b…`/`$tag…` columns
+        // from an earlier fusion) never emit duplicate internal names,
+        // which strict Project validation rejects. The `$tag` prefix is
+        // what the analysis lattice keys its domain tracking on.
         for (m, l) in lhs.into_iter().enumerate() {
-            exprs.push(ProjExpr::new(ctx.gen.fresh(), format!("$b{m}"), l));
+            let id = ctx.gen.fresh();
+            exprs.push(ProjExpr::new(id, format!("$b{m}_{}", id.0), l));
         }
+        let tag_id = ctx.gen.fresh();
         exprs.push(ProjExpr::new(
-            ctx.gen.fresh(),
-            "$tag",
+            tag_id,
+            format!("$tag{}", tag_id.0),
             fusion_expr::lit(tag),
         ));
         LogicalPlan::Project(Project {
@@ -317,7 +324,23 @@ fn try_pair(
         input: Box::new(joined),
         exprs,
     });
-    if result.validate().is_err() {
+    if let Err(e) = result.validate() {
+        if std::env::var("FUSION_ANALYZE_DEBUG").is_ok() {
+            eprintln!("union_on_join validate rejection: {e}");
+        }
+        return None;
+    }
+    // Semantic discharge: the tag dispatch built above must cover every
+    // branch of the inner union exactly once (the analyzer derives the
+    // tag domain from the union's `$tag` projections).
+    let violations = crate::analysis::analyze_plan(&result);
+    if !violations.is_empty() {
+        if std::env::var("FUSION_ANALYZE_DEBUG").is_ok() {
+            eprintln!(
+                "union_on_join analyzer rejection: {}",
+                crate::analysis::render_violations(&violations)
+            );
+        }
         return None;
     }
     Some(result)

@@ -73,6 +73,15 @@ fn try_pair(
     agg: &Aggregate,
     ctx: &FuseContext,
 ) -> Option<LogicalPlan> {
+    // The GroupBy's output must really be keyed by its grouping columns —
+    // discharged via the property lattice so a malformed aggregate (or a
+    // future rule emitting one) cannot smuggle a row-multiplying join
+    // into the window rewrite.
+    let agg_plan = LogicalPlan::Aggregate(agg.clone());
+    if !crate::analysis::plan_has_key(&agg_plan, &agg.group_by) {
+        return None;
+    }
+
     let fused = fuse(p1, &agg.input, ctx)?;
 
     // Every grouping column must be equated with its mapped twin in the

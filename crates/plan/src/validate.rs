@@ -34,11 +34,23 @@ impl LogicalPlan {
             }
             LogicalPlan::Project(p) => {
                 let input = p.input.schema();
+                let mut names = HashSet::new();
                 for pe in &p.exprs {
                     check_refs("Project", &pe.expr, &[&input])?;
                     pe.expr.data_type(&input).map_err(|e| {
                         FusionError::Plan(format!("Project expr {}: {e}", pe.name))
                     })?;
+                    // Duplicate *internal* output names (not just ids) are
+                    // checked too: user display names may legitimately
+                    // repeat (`SELECT a.x, b.x`), but two `$`-prefixed
+                    // columns sharing a name means a rewrite minted the
+                    // same compensation/tag twice.
+                    if pe.name.starts_with('$') && !names.insert(pe.name.as_str()) {
+                        return Err(FusionError::Plan(format!(
+                            "Project emits duplicate internal output name `{}`",
+                            pe.name
+                        )));
+                    }
                 }
             }
             LogicalPlan::Join(j) => {
@@ -96,6 +108,14 @@ impl LogicalPlan {
                         )));
                     }
                 }
+                // The marker must be a genuinely fresh identity; shadowing
+                // an input column would make the mark unaddressable.
+                if input.contains(m.mark_id) {
+                    return Err(FusionError::Plan(format!(
+                        "MarkDistinct marker column {} collides with an input column",
+                        m.mark_id
+                    )));
+                }
                 check_refs("MarkDistinct mask", &m.mask, &[&input])?;
                 check_boolean("MarkDistinct mask", &m.mask, &input)?;
             }
@@ -121,6 +141,19 @@ impl LogicalPlan {
                                 inf.data_type, outf.data_type
                             )));
                         }
+                        // Internal columns ($tag dispatch markers and the
+                        // like) admit no numeric widening: a retyped tag
+                        // breaks dispatch semantics even when the types
+                        // are numerically compatible.
+                        if (inf.name.starts_with('$') || outf.name.starts_with('$'))
+                            && inf.data_type != outf.data_type
+                        {
+                            return Err(FusionError::Plan(format!(
+                                "UnionAll input {i} internal column {pos} ({}): \
+                                 type {} must match output type {} exactly",
+                                outf.name, inf.data_type, outf.data_type
+                            )));
+                        }
                     }
                 }
             }
@@ -130,6 +163,26 @@ impl LogicalPlan {
                         return Err(FusionError::Plan(
                             "ConstantTable row arity mismatch".into(),
                         ));
+                    }
+                    for (val, f) in row.iter().zip(c.fields.iter()) {
+                        match val.data_type() {
+                            None => {
+                                if !f.nullable {
+                                    return Err(FusionError::Plan(format!(
+                                        "ConstantTable NULL in non-nullable column {}",
+                                        f.name
+                                    )));
+                                }
+                            }
+                            Some(dt) if dt != f.data_type => {
+                                return Err(FusionError::Plan(format!(
+                                    "ConstantTable column {}: value type {dt} does \
+                                     not match declared type {}",
+                                    f.name, f.data_type
+                                )));
+                            }
+                            Some(_) => {}
+                        }
                     }
                 }
             }

@@ -164,7 +164,8 @@ impl Planner<'_> {
             return Ok((plan, Scope::default()));
         }
         let mut iter = from.iter();
-        let (mut plan, mut scope) = self.plan_table_ref(iter.next().unwrap())?;
+        let first = iter.next().expect("non-empty FROM list checked above");
+        let (mut plan, mut scope) = self.plan_table_ref(first)?;
         for tr in iter {
             let (right, right_scope) = self.plan_table_ref(tr)?;
             plan = LogicalPlan::Join(Join {

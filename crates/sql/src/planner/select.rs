@@ -345,7 +345,7 @@ impl Planner<'_> {
         }
         let mut assigns = Vec::new();
         let mut agg_subst: Vec<(AstExpr, Expr)> = Vec::new();
-        for (i, node) in agg_nodes.iter().enumerate() {
+        for node in agg_nodes.iter() {
             let agg = self.plan_aggregate_call(node, &sub_scope, &[])?;
             // COUNT-style aggregates change value on empty groups; the
             // inner-join decorrelation is only valid for NULL-on-empty
@@ -356,7 +356,10 @@ impl Planner<'_> {
                 ));
             }
             let id = self.gen.fresh();
-            assigns.push(AggAssign::new(id, format!("$agg{i}"), agg));
+            // Internal names carry the column id so aggregates from two
+            // fused queries never collide inside one restore Project
+            // (strict validation rejects duplicate internal names).
+            assigns.push(AggAssign::new(id, format!("$agg{}", id.0), agg));
             agg_subst.push((node.clone(), Expr::Column(id)));
         }
         let group_by: Vec<_> = pairs.iter().map(|(_, inner)| *inner).collect();
@@ -446,7 +449,7 @@ impl Planner<'_> {
         }
 
         let mut assigns: Vec<AggAssign> = Vec::new();
-        for (i, node) in agg_nodes.iter().enumerate() {
+        for node in agg_nodes.iter() {
             let mut agg = self.plan_aggregate_call(node, scope, subst)?;
             // Lower unmasked distinct aggregates over plain columns onto
             // MarkDistinct (§III.F).
@@ -459,7 +462,7 @@ impl Planner<'_> {
                         input: Box::new(relation.clone()),
                         columns: md_cols,
                         mark_id,
-                        mark_name: format!("$distinct{i}"),
+                        mark_name: format!("$distinct{}", mark_id.0),
                         mask: Expr::boolean(true),
                     });
                     agg.distinct = false;
@@ -467,7 +470,7 @@ impl Planner<'_> {
                 }
             }
             let id = self.gen.fresh();
-            assigns.push(AggAssign::new(id, format!("$agg{i}"), agg));
+            assigns.push(AggAssign::new(id, format!("$agg{}", id.0), agg));
             new_subst.push((node.clone(), Expr::Column(id)));
         }
 

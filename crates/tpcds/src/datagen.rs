@@ -141,6 +141,11 @@ pub fn generate_catalog(config: &TpcdsConfig) -> Catalog {
     catalog
 }
 
+// Row arity and types are pinned by the schema literals in schema.rs, so
+// `add_row` cannot fail here, and an unknown table name is unreachable
+// from the public API; aborting loudly is the right behavior for a
+// deterministic test-data generator.
+#[allow(clippy::unwrap_used, clippy::panic)]
 fn fill_table(name: &str, b: &mut TableBuilder, cfg: &TpcdsConfig, g: &mut Gen) {
     match name {
         "date_dim" => {

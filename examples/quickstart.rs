@@ -1,3 +1,7 @@
+// Test code: unwrap/panic on setup or assertion failure is the point,
+// so the workspace unwrap/panic gate is relaxed here.
+#![allow(clippy::unwrap_used, clippy::panic)]
+
 //! Quickstart: build a table, run a query with a duplicated common
 //! subexpression, and watch query fusion halve the data scanned.
 //!

@@ -1,3 +1,7 @@
+// Test code: unwrap/panic on setup or assertion failure is the point,
+// so the workspace unwrap/panic gate is relaxed here.
+#![allow(clippy::unwrap_used, clippy::panic)]
+
 //! Robustness tour: deterministic fault injection with retries, graceful
 //! degradation from a fused plan to the baseline, enforced memory
 //! budgets, deadlines, and cancellation.

@@ -1,3 +1,7 @@
+// Test code: unwrap/panic on setup or assertion failure is the point,
+// so the workspace unwrap/panic gate is relaxed here.
+#![allow(clippy::unwrap_used, clippy::panic)]
+
 //! The Q09/Q28 pattern (§V.B): many scalar-aggregate subqueries over
 //! overlapping subsets of the same fact table. The `JoinOnKeys` scalar
 //! variant merges all of them into a single multi-masked scan — the

@@ -1,3 +1,7 @@
+// Test code: unwrap/panic on setup or assertion failure is the point,
+// so the workspace unwrap/panic gate is relaxed here.
+#![allow(clippy::unwrap_used, clippy::panic)]
+
 //! The paper's motivating example (a variant of TPC-DS Q65, Section I):
 //! a per-(store, item) revenue aggregation joined back against its own
 //! per-store average. The `GroupByJoinToWindow` rule replaces the

@@ -1,3 +1,7 @@
+// Test code: unwrap/panic on setup or assertion failure is the point,
+// so the workspace unwrap/panic gate is relaxed here.
+#![allow(clippy::unwrap_used, clippy::panic)]
+
 //! The Q23 pattern (§V.C): a UNION ALL of two near-identical insights
 //! that differ only in the fact table. `UnionAllOnJoin` pushes the union
 //! below the shared subqueries (best_customer, freq_items, date_dim), so

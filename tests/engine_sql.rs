@@ -1,3 +1,7 @@
+// Test code: unwrap/panic on setup or assertion failure is the point,
+// so the workspace unwrap/panic gate is relaxed here.
+#![allow(clippy::unwrap_used, clippy::panic)]
+
 //! SQL-level engine tests: language-feature coverage through the whole
 //! pipeline (parse → plan → optimize → execute) against a hand-checked
 //! micro-dataset, with fusion both on and off.

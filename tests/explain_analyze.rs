@@ -1,3 +1,7 @@
+// Test code: unwrap/panic on setup or assertion failure is the point,
+// so the workspace unwrap/panic gate is relaxed here.
+#![allow(clippy::unwrap_used, clippy::panic)]
+
 //! Golden-file tests for `EXPLAIN ANALYZE`: the deterministic portion of
 //! the execution profile (operator ids, labels, row counts) for three
 //! corpus queries from `tests/engine_sql.rs`, fused and baseline.

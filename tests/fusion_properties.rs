@@ -1,3 +1,7 @@
+// Test code: unwrap/panic on setup or assertion failure is the point,
+// so the workspace unwrap/panic gate is relaxed here.
+#![allow(clippy::unwrap_used, clippy::panic)]
+
 //! Property-based tests for the fusion machinery.
 //!
 //! The central property is the paper's semantic contract for `Fuse`:
@@ -433,4 +437,72 @@ proptest! {
 #[test]
 fn rule_names() {
     assert_eq!(UnionAllFusion.name(), "UnionAllFusion");
+}
+
+// ---------- semantic analyzer properties ----------
+
+/// Every TPC-DS corpus plan — fused and baseline, before and after
+/// optimization — passes the semantic analyzer with zero violations.
+/// The analyzer must be sound *and* quiet on legitimate plans: a false
+/// positive here would silently disable fusion in strict mode.
+#[test]
+fn tpcds_corpus_plans_pass_the_analyzer() {
+    use fusion_engine::Session;
+    use fusion_tpcds::{generate_catalog, TpcdsConfig};
+
+    let cfg = TpcdsConfig::with_scale(0.01);
+    let mut fused = Session::new();
+    for t in generate_catalog(&cfg).into_tables() {
+        fused.register_table(t);
+    }
+    let mut baseline = Session::baseline();
+    for t in generate_catalog(&cfg).into_tables() {
+        baseline.register_table(t);
+    }
+
+    for q in fusion_tpcds::all_queries() {
+        for (mode, session) in [("fused", &fused), ("baseline", &baseline)] {
+            let plan = session
+                .plan_sql(&q.sql)
+                .unwrap_or_else(|e| panic!("{} ({mode}): planning failed: {e}", q.id));
+            let (optimized, report) = session.optimize(&plan);
+            assert!(
+                report.validation_error.is_none(),
+                "{} ({mode}): optimizer flagged plan: {:?}",
+                q.id,
+                report.validation_error
+            );
+            for (stage, p) in [("raw", &plan), ("optimized", &optimized)] {
+                let violations = fusion_core::analyze_plan(p);
+                assert!(
+                    violations.is_empty(),
+                    "{} ({mode}/{stage}): analyzer violations: {}\nplan:\n{}",
+                    q.id,
+                    fusion_core::analysis::render_violations(&violations),
+                    p.display()
+                );
+            }
+        }
+    }
+}
+
+/// The analyzer's plan-mutation self-test: seeded corruptions of known
+/// good fusion artifacts (dropped mapping entries, swapped or widened
+/// compensations, widened masks, retyped tags, dropped dispatch
+/// branches) must be rejected at a ≥ 95% kill rate. Survivors are
+/// printed by name so a regression is immediately actionable.
+#[test]
+fn mutation_self_test_kills_at_least_95_percent() {
+    let report = fusion_core::analysis::run_self_test();
+    for survivor in report.survivors() {
+        eprintln!("surviving mutant: {survivor}");
+    }
+    assert!(
+        report.kill_rate() >= 0.95,
+        "mutation kill rate {:.1}% ({} of {} killed); survivors: {:?}",
+        report.kill_rate() * 100.0,
+        report.killed(),
+        report.total(),
+        report.survivors()
+    );
 }

@@ -1,3 +1,7 @@
+// Test code: unwrap/panic on setup or assertion failure is the point,
+// so the workspace unwrap/panic gate is relaxed here.
+#![allow(clippy::unwrap_used, clippy::panic)]
+
 //! Morsel-driven parallel execution integration tests: result equality
 //! across thread counts (fused and baseline, with and without faults),
 //! unified typed failure under deadlines / budgets / cancellation, and

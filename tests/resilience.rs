@@ -1,3 +1,7 @@
+// Test code: unwrap/panic on setup or assertion failure is the point,
+// so the workspace unwrap/panic gate is relaxed here.
+#![allow(clippy::unwrap_used, clippy::panic)]
+
 //! Robustness integration tests: fault injection with retry, graceful
 //! degradation to the baseline plan, deadlines, and enforced memory
 //! budgets (the §V.C working-memory effect) through the full engine

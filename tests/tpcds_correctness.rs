@@ -1,3 +1,7 @@
+// Test code: unwrap/panic on setup or assertion failure is the point,
+// so the workspace unwrap/panic gate is relaxed here.
+#![allow(clippy::unwrap_used, clippy::panic)]
+
 //! End-to-end correctness of the fusion rules on the TPC-DS workload:
 //! every benchmark query must produce identical results with fusion on
 //! and off, the featured queries must actually change plans (and scan

@@ -1,3 +1,7 @@
+// Test code: unwrap/panic on setup or assertion failure is the point,
+// so the workspace unwrap/panic gate is relaxed here.
+#![allow(clippy::unwrap_used, clippy::panic)]
+
 //! Structural assertions on the fused plans: each featured query must be
 //! rewritten into the *shape* the paper describes in Sections I and V —
 //! not just produce correct results faster.
