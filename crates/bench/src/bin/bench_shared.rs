@@ -1,0 +1,306 @@
+// One-shot benchmark driver: aborting on a setup or I/O failure is the
+// desired behavior, so the workspace unwrap/panic gate is relaxed here.
+#![allow(clippy::unwrap_used, clippy::panic)]
+
+//! Workload-reuse benchmark: batched execution vs independent runs.
+//!
+//! Runs batches of TPC-DS queries with engineered subplan overlap — an
+//! identical pair, an identical triple, a heavy identical pair — through
+//! [`Session::run_batch`] (shared-subplan execution) and through
+//! independent per-query runs with reuse disabled, and writes
+//! `BENCH_shared.json` with median wall times, scan-morsel counts, and
+//! the reuse counters for each. A mixed batch with no engineered overlap
+//! rides along as a control (no sharing target is applied to it).
+//!
+//! Per run, the reuse cache is cleared so "batched" always measures one
+//! cold shared execution plus splices; an extra uncleaned run measures
+//! the warm-cache path on top. Batched rows are checked bit-identical to
+//! the independent rows for every query in every batch.
+//!
+//! Like `bench_parallel`, the harness injects a small per-partition-read
+//! storage latency (default 2ms, `READ_LATENCY_MS` to change) through
+//! the fault layer, modeling the paper's S3-bound scans: sharing a
+//! subplan across queries removes whole scan passes, so the win is
+//! measurable even in a single-core CI container.
+//!
+//! ```sh
+//! cargo run -p fusion-bench --release --bin bench_shared
+//! TPCDS_SCALE=0.5 RUNS=5 cargo run -p fusion-bench --release --bin bench_shared
+//! ```
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+use fusion_bench::Harness;
+use fusion_engine::Session;
+use fusion_exec::FaultPolicy;
+use fusion_tpcds::all_queries;
+
+struct BatchSpec {
+    id: &'static str,
+    queries: &'static [&'static str],
+    /// Whether the batch has engineered overlap the optimizer must find;
+    /// targets (speedup, morsel reduction) only apply when true.
+    expect_sharing: bool,
+}
+
+const BATCHES: &[BatchSpec] = &[
+    BatchSpec {
+        id: "intro_pair",
+        queries: &["INTRO", "INTRO"],
+        expect_sharing: true,
+    },
+    BatchSpec {
+        id: "c42_triple",
+        queries: &["C42", "C42", "C42"],
+        expect_sharing: true,
+    },
+    BatchSpec {
+        id: "q09_pair",
+        queries: &["Q09", "Q09"],
+        expect_sharing: true,
+    },
+    BatchSpec {
+        id: "mixed_control",
+        queries: &["Q09", "C55"],
+        expect_sharing: false,
+    },
+];
+
+/// Batched wall time must beat independent wall time by this factor on
+/// every expect-sharing batch.
+const MIN_SPEEDUP: f64 = 1.3;
+
+fn env_or<T: std::str::FromStr>(name: &str, default: T) -> T {
+    std::env::var(name)
+        .ok()
+        .and_then(|s| s.parse::<T>().ok())
+        .unwrap_or(default)
+}
+
+fn sql_of(id: &str) -> String {
+    all_queries()
+        .into_iter()
+        .find(|q| q.id == id)
+        .unwrap_or_else(|| panic!("no corpus query named {id}"))
+        .sql
+}
+
+fn session(scale: f64, workers: usize, latency: Duration, reuse: bool) -> Session {
+    Harness::session(scale, |s| {
+        s.set_parallelism(workers);
+        s.set_reuse_enabled(reuse);
+        s.set_fault_policy(FaultPolicy::default().with_read_latency(latency));
+    })
+}
+
+fn median(samples: &mut [f64]) -> f64 {
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    samples[samples.len() / 2]
+}
+
+struct Cell {
+    independent_ms: f64,
+    batched_ms: f64,
+    warm_ms: f64,
+    morsels_independent: u64,
+    morsels_batched: u64,
+    shared_subplans: u64,
+    warm_cache_hits: u64,
+}
+
+fn measure(
+    spec: &BatchSpec,
+    scale: f64,
+    workers: usize,
+    runs: usize,
+    latency: Duration,
+) -> Cell {
+    let sqls: Vec<String> = spec.queries.iter().map(|id| sql_of(id)).collect();
+    let refs: Vec<&str> = sqls.iter().map(String::as_str).collect();
+
+    let solo = session(scale, workers, latency, false);
+    let batcher = session(scale, workers, latency, true);
+
+    // Independent: each query alone, reuse disabled.
+    let mut ind_samples = Vec::new();
+    let mut independent = Vec::new();
+    for run in 0..runs.max(1) {
+        let start = Instant::now();
+        let results: Vec<_> = refs
+            .iter()
+            .map(|sql| solo.sql(sql).expect("independent run"))
+            .collect();
+        ind_samples.push(start.elapsed().as_secs_f64() * 1e3);
+        if run == 0 {
+            independent = results;
+        }
+    }
+    let morsels_independent: u64 = independent
+        .iter()
+        .map(|r| r.metrics.morsels_executed)
+        .sum();
+
+    // Batched: cache cleared per run, so every run pays one cold shared
+    // execution and splices the consumers.
+    let mut batch_samples = Vec::new();
+    let mut cold = None;
+    for run in 0..runs.max(1) {
+        batcher.clear_reuse_cache();
+        let start = Instant::now();
+        let batch = batcher.run_batch(&refs).expect("batched run");
+        batch_samples.push(start.elapsed().as_secs_f64() * 1e3);
+        if run == 0 {
+            cold = Some(batch);
+        }
+    }
+    let cold = cold.unwrap();
+    for (i, (r, ind)) in cold.results.iter().zip(&independent).enumerate() {
+        assert_eq!(
+            r.sorted_rows(),
+            ind.sorted_rows(),
+            "{}: batched query {i} diverged from its independent run",
+            spec.id
+        );
+    }
+
+    // Warm: one more batch without clearing — exact groups serve straight
+    // from the shared-subplan cache.
+    let start = Instant::now();
+    let warm = batcher.run_batch(&refs).expect("warm run");
+    let warm_ms = start.elapsed().as_secs_f64() * 1e3;
+    for (r, ind) in warm.results.iter().zip(&independent) {
+        assert_eq!(
+            r.sorted_rows(),
+            ind.sorted_rows(),
+            "{}: warm-cache rows diverged",
+            spec.id
+        );
+    }
+
+    Cell {
+        independent_ms: median(&mut ind_samples),
+        batched_ms: median(&mut batch_samples),
+        warm_ms,
+        morsels_independent,
+        morsels_batched: cold.metrics.morsels_executed,
+        shared_subplans: cold.metrics.shared_subplans_executed,
+        warm_cache_hits: warm.metrics.reuse_cache_hits,
+    }
+}
+
+fn main() {
+    let scale: f64 = env_or("TPCDS_SCALE", 0.2);
+    let runs: usize = env_or("RUNS", 3);
+    let workers: usize = env_or("WORKERS", 2);
+    let latency_ms: u64 = env_or("READ_LATENCY_MS", 2);
+    let latency = Duration::from_millis(latency_ms);
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_shared.json".into());
+
+    eprintln!(
+        "# bench_shared: scale {scale}, {runs} runs/median, {workers} workers, \
+         {latency_ms}ms simulated partition-read latency"
+    );
+
+    let mut json = String::new();
+    writeln!(json, "{{").unwrap();
+    writeln!(json, "  \"scale\": {scale},").unwrap();
+    writeln!(json, "  \"runs\": {runs},").unwrap();
+    writeln!(json, "  \"workers\": {workers},").unwrap();
+    writeln!(json, "  \"read_latency_ms\": {latency_ms},").unwrap();
+    writeln!(json, "  \"min_speedup\": {MIN_SPEEDUP},").unwrap();
+    writeln!(json, "  \"batches\": [").unwrap();
+
+    let mut failures = Vec::new();
+    for (bi, spec) in BATCHES.iter().enumerate() {
+        let c = measure(spec, scale, workers, runs, latency);
+        let speedup = c.independent_ms / c.batched_ms.max(1e-9);
+        eprintln!(
+            "{:<14} independent {:>8.1}ms batched {:>8.1}ms ({speedup:.2}x) warm {:>8.1}ms \
+             morsels {} -> {} shared {} warm-hits {}",
+            spec.id,
+            c.independent_ms,
+            c.batched_ms,
+            c.warm_ms,
+            c.morsels_independent,
+            c.morsels_batched,
+            c.shared_subplans,
+            c.warm_cache_hits,
+        );
+        if spec.expect_sharing {
+            if c.shared_subplans == 0 {
+                failures.push(format!("{}: no shared subplan executed", spec.id));
+            }
+            if c.morsels_batched >= c.morsels_independent {
+                failures.push(format!(
+                    "{}: batched morsels {} not below independent {}",
+                    spec.id, c.morsels_batched, c.morsels_independent
+                ));
+            }
+            if speedup < MIN_SPEEDUP {
+                failures.push(format!(
+                    "{}: {speedup:.2}x batched speedup (need >= {MIN_SPEEDUP}x)",
+                    spec.id
+                ));
+            }
+        }
+        writeln!(json, "    {{").unwrap();
+        writeln!(json, "      \"id\": \"{}\",", spec.id).unwrap();
+        writeln!(
+            json,
+            "      \"queries\": [{}],",
+            spec.queries
+                .iter()
+                .map(|q| format!("\"{q}\""))
+                .collect::<Vec<_>>()
+                .join(", ")
+        )
+        .unwrap();
+        writeln!(json, "      \"sharing_target\": {},", spec.expect_sharing).unwrap();
+        writeln!(json, "      \"independent_ms\": {:.3},", c.independent_ms).unwrap();
+        writeln!(json, "      \"batched_ms\": {:.3},", c.batched_ms).unwrap();
+        writeln!(json, "      \"warm_cache_ms\": {:.3},", c.warm_ms).unwrap();
+        writeln!(json, "      \"speedup_batched_vs_independent\": {speedup:.3},").unwrap();
+        writeln!(
+            json,
+            "      \"morsels_independent\": {},",
+            c.morsels_independent
+        )
+        .unwrap();
+        writeln!(json, "      \"morsels_batched\": {},", c.morsels_batched).unwrap();
+        writeln!(
+            json,
+            "      \"shared_subplans_executed\": {},",
+            c.shared_subplans
+        )
+        .unwrap();
+        writeln!(json, "      \"warm_reuse_cache_hits\": {},", c.warm_cache_hits).unwrap();
+        writeln!(json, "      \"rows_match_independent\": true").unwrap();
+        writeln!(
+            json,
+            "    }}{}",
+            if bi + 1 < BATCHES.len() { "," } else { "" }
+        )
+        .unwrap();
+    }
+    writeln!(json, "  ]").unwrap();
+    writeln!(json, "}}").unwrap();
+
+    std::fs::write(&out_path, json).expect("write BENCH_shared.json");
+    eprintln!("# wrote {out_path}");
+
+    if failures.is_empty() {
+        eprintln!(
+            "# sharing targets met: shared execution, reduced morsels, and >= {MIN_SPEEDUP}x \
+             batched speedup on every overlap batch"
+        );
+    } else {
+        eprintln!("# SHARING TARGETS MISSED:");
+        for f in &failures {
+            eprintln!("#   {f}");
+        }
+        std::process::exit(1);
+    }
+}

@@ -98,6 +98,11 @@ pub struct OptimizerReport {
     /// iteration (no-matches only on the first iteration of each phase),
     /// plus every `Fuse(P1, P2)` attempt the fusion rules made.
     pub trace: OptimizerTrace,
+    /// Workload-reuse notes for this query: shared subplans it consumed
+    /// (cross-query fusion or cache hits) and group-level rejections.
+    /// Filled in by the engine session; rendered as the
+    /// `-- workload reuse --` section of EXPLAIN output.
+    pub reuse: Vec<String>,
 }
 
 /// A rule application whose output failed validation and was discarded.

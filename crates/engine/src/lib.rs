@@ -23,6 +23,7 @@ use fusion_exec::{
     QueryProfile, RetryPolicy, Table,
 };
 use fusion_plan::LogicalPlan;
+use fusion_reuse::{ReuseConfig, ReuseManager, WorkloadOutcome, WorkloadReport};
 use fusion_sql::{plan_query, SchemaProvider, Statement, TableSchema};
 
 /// A configured engine instance.
@@ -47,6 +48,15 @@ pub struct Session {
     /// Profile of the last query this session executed, for the bench
     /// harness ([`Session::last_profile`]).
     last_profile: Mutex<Option<QueryProfile>>,
+    /// Workload-level reuse: plan fingerprinting, cross-query fusion and
+    /// the shared-subplan cache ([`Session::run_batch`]).
+    reuse: ReuseManager,
+    /// Whether batches exploit cross-query reuse and single queries
+    /// consult the shared-subplan cache.
+    reuse_enabled: bool,
+    /// Admission queue for deferred batch execution
+    /// ([`Session::enqueue`] / [`Session::run_queued`]).
+    queue: Mutex<Vec<String>>,
 }
 
 /// Default session parallelism: the `FUSION_PARALLELISM` environment
@@ -90,6 +100,32 @@ impl QueryResult {
     pub fn degraded(&self) -> bool {
         self.report.fallback.is_some()
     }
+
+    /// Whether this query consumed a shared subplan (cross-query fusion
+    /// or a shared-subplan cache hit).
+    pub fn reused(&self) -> bool {
+        !self.report.reuse.is_empty()
+    }
+}
+
+/// Everything a batch run produces ([`Session::run_batch`]).
+#[derive(Debug, Clone)]
+pub struct BatchResult {
+    /// One result per submitted query, in submission order.
+    ///
+    /// The `metrics` embedded in each result are *cumulative prefixes* of
+    /// the shared batch metrics (shared subplan executions and every
+    /// query in the batch accumulate into one sink, exactly like the
+    /// fallback path accumulates across attempts); the batch-level
+    /// [`BatchResult::metrics`] snapshot, taken after the whole batch
+    /// completes, is the authoritative total.
+    pub results: Vec<QueryResult>,
+    /// Batch-wide metrics, snapshotted only after every query finished
+    /// (completion-only semantics).
+    pub metrics: MetricsSnapshot,
+    /// Per-group reuse accounting: which subplans were shared, by which
+    /// queries, whether fusion or the cache served them.
+    pub report: WorkloadReport,
 }
 
 impl Session {
@@ -106,6 +142,9 @@ impl Session {
             cancel: CancelToken::new(),
             parallelism: env_parallelism(),
             last_profile: Mutex::new(None),
+            reuse: ReuseManager::default(),
+            reuse_enabled: true,
+            queue: Mutex::new(Vec::new()),
         }
     }
 
@@ -335,8 +374,31 @@ impl Session {
     /// the metrics, which accumulate across both attempts (the failed
     /// fused work was really performed).
     pub fn run_plan(&self, initial_plan: LogicalPlan) -> Result<QueryResult> {
-        let (optimized_plan, mut report) = self.optimize(&initial_plan);
         let metrics = self.fresh_metrics();
+        let (exec_plan, reuse_notes) = if self.reuse_enabled {
+            self.reuse
+                .apply_cache(&initial_plan, &self.catalog, &metrics)
+        } else {
+            (initial_plan.clone(), Vec::new())
+        };
+        self.run_plan_inner(initial_plan, exec_plan, metrics, reuse_notes)
+    }
+
+    /// Shared tail of [`Session::run_plan`] and [`Session::run_batch_plans`]:
+    /// optimize `exec_plan` (the possibly reuse-rewritten form of
+    /// `initial_plan`), execute it, and fall back to the unfused baseline
+    /// of the *original* plan on recoverable failure — so a bad splice or
+    /// a bad fusion can never be the final word on a query.
+    fn run_plan_inner(
+        &self,
+        initial_plan: LogicalPlan,
+        exec_plan: LogicalPlan,
+        metrics: Arc<ExecMetrics>,
+        reuse_notes: Vec<String>,
+    ) -> Result<QueryResult> {
+        let reused = !reuse_notes.is_empty();
+        let (optimized_plan, mut report) = self.optimize(&exec_plan);
+        report.reuse = reuse_notes;
         let start = Instant::now();
         let attempt = match &report.validation_error {
             Some(msg) => Err(FusionError::Internal(format!(
@@ -360,7 +422,7 @@ impl Session {
                     profile: Some(profile),
                 });
             }
-            Err(e) if self.config.enable_fusion && e.allows_fallback() => e,
+            Err(e) if (self.config.enable_fusion || reused) && e.allows_fallback() => e,
             Err(e) => return Err(e),
         };
 
@@ -389,6 +451,115 @@ impl Session {
         })
     }
 
+    /// Run a batch of concurrent queries with workload-level reuse: parse
+    /// and plan each query, detect subplans shared across the batch
+    /// (exact fingerprint matches and `Fuse`-able near-matches), execute
+    /// each shared subplan **once**, and rewrite every consumer to read
+    /// the materialized rows through its compensating filter and column
+    /// mapping. Results are bit-identical to running each query alone.
+    ///
+    /// Shared executions surface as `shared_subplans_executed` in the
+    /// batch metrics; cached servings as `reuse_cache_hits`.
+    pub fn run_batch(&self, sqls: &[&str]) -> Result<BatchResult> {
+        let mut plans = Vec::with_capacity(sqls.len());
+        for sql in sqls {
+            plans.push(self.plan_sql(sql)?);
+        }
+        self.run_batch_plans(plans)
+    }
+
+    /// [`Session::run_batch`] over already-planned queries.
+    pub fn run_batch_plans(&self, plans: Vec<LogicalPlan>) -> Result<BatchResult> {
+        let metrics = self.fresh_metrics();
+        metrics.add_queries_batched(plans.len() as u64);
+        let outcome = if self.reuse_enabled {
+            let ctx = self.exec_context(&metrics);
+            let optimize = |p: &LogicalPlan| self.optimize(p).0;
+            self.reuse.plan_batch(
+                &plans,
+                &self.catalog,
+                &ctx,
+                &self.gen,
+                &metrics,
+                Some(&optimize),
+            )
+        } else {
+            WorkloadOutcome {
+                plans: plans.clone(),
+                notes: vec![Vec::new(); plans.len()],
+                report: WorkloadReport::default(),
+            }
+        };
+        let mut results = Vec::with_capacity(plans.len());
+        for ((initial, exec), notes) in plans
+            .into_iter()
+            .zip(outcome.plans)
+            .zip(outcome.notes)
+        {
+            results.push(self.run_plan_inner(initial, exec, Arc::clone(&metrics), notes)?);
+        }
+        Ok(BatchResult {
+            results,
+            metrics: metrics.snapshot(),
+            report: outcome.report,
+        })
+    }
+
+    /// Queue a query for deferred batch execution. Queued queries run
+    /// together — and share work — when [`Session::run_queued`] drains
+    /// the queue.
+    pub fn enqueue(&self, sql: impl Into<String>) {
+        self.queue
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .push(sql.into());
+    }
+
+    /// Number of queries waiting in the admission queue.
+    pub fn queued_len(&self) -> usize {
+        self.queue
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .len()
+    }
+
+    /// Drain the admission queue and run everything in it as one batch.
+    /// The queue is emptied even if planning fails partway (a malformed
+    /// query does not wedge the queue).
+    pub fn run_queued(&self) -> Result<BatchResult> {
+        let sqls: Vec<String> =
+            std::mem::take(&mut *self.queue.lock().unwrap_or_else(PoisonError::into_inner));
+        let refs: Vec<&str> = sqls.iter().map(String::as_str).collect();
+        self.run_batch(&refs)
+    }
+
+    /// Enable or disable workload reuse (cross-query fusion in batches
+    /// and shared-subplan cache consultation for single queries).
+    /// Independent of [`Session::set_fusion_enabled`], which governs
+    /// intra-query fusion.
+    pub fn set_reuse_enabled(&mut self, enabled: bool) {
+        self.reuse_enabled = enabled;
+    }
+
+    pub fn reuse_enabled(&self) -> bool {
+        self.reuse_enabled
+    }
+
+    /// Replace the reuse configuration (drops the current cache).
+    pub fn set_reuse_config(&mut self, cfg: ReuseConfig) {
+        self.reuse = ReuseManager::new(cfg);
+    }
+
+    /// Live entries in the shared-subplan cache.
+    pub fn reuse_cache_len(&self) -> usize {
+        self.reuse.cache_len()
+    }
+
+    /// Drop all cached shared-subplan results and observation counts.
+    pub fn clear_reuse_cache(&self) {
+        self.reuse.clear_cache();
+    }
+
     /// Render the optimized plan for a SQL query (EXPLAIN).
     pub fn explain(&self, sql: &str) -> Result<String> {
         let plan = self.plan_sql(sql)?;
@@ -414,12 +585,20 @@ impl Session {
     }
 }
 
-/// Append the optimizer-trace and fallback sections to EXPLAIN output.
+/// Append the optimizer-trace, workload-reuse and fallback sections to
+/// EXPLAIN output.
 fn push_trace_sections(text: &mut String, report: &OptimizerReport) {
     let trace = report.trace.render();
     if !trace.is_empty() {
         text.push_str("-- optimizer trace --\n");
         text.push_str(&trace);
+    }
+    if !report.reuse.is_empty() {
+        text.push_str("-- workload reuse --\n");
+        for note in &report.reuse {
+            text.push_str(note);
+            text.push('\n');
+        }
     }
     if let Some(fallback) = &report.fallback {
         text.push_str("-- fallback --\n");
@@ -702,6 +881,55 @@ mod tests {
             Err(FusionError::Cancelled) => {}
             other => panic!("expected Cancelled, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn run_batch_shares_identical_subplans() {
+        let s = session();
+        let sql = "SELECT o_cust, SUM(o_total) AS t FROM orders GROUP BY o_cust";
+        let single = s.sql(sql).unwrap();
+        let batch = s.run_batch(&[sql, sql]).unwrap();
+        assert_eq!(batch.results.len(), 2);
+        for r in &batch.results {
+            assert_eq!(r.sorted_rows(), single.sorted_rows());
+            assert!(r.reused(), "reuse notes: {:?}", r.report.reuse);
+        }
+        assert_eq!(batch.metrics.queries_batched, 2);
+        assert_eq!(batch.metrics.shared_subplans_executed, 1);
+        assert_eq!(batch.report.shared_executions(), 1);
+        assert_eq!(batch.report.consumers_spliced(), 2);
+    }
+
+    #[test]
+    fn admission_queue_drains_as_one_batch() {
+        let s = session();
+        let sql = "SELECT o_id FROM orders WHERE o_total > 30";
+        s.enqueue(sql);
+        s.enqueue(sql);
+        assert_eq!(s.queued_len(), 2);
+        let batch = s.run_queued().unwrap();
+        assert_eq!(s.queued_len(), 0);
+        assert_eq!(batch.results.len(), 2);
+        assert_eq!(batch.metrics.queries_batched, 2);
+        assert_eq!(
+            batch.results[0].sorted_rows(),
+            batch.results[1].sorted_rows()
+        );
+    }
+
+    #[test]
+    fn reuse_cache_serves_single_query_after_batch() {
+        let s = session();
+        let sql = "SELECT o_cust, SUM(o_total) AS t FROM orders GROUP BY o_cust";
+        let batch = s.run_batch(&[sql, sql]).unwrap();
+        assert!(batch.metrics.shared_subplans_executed >= 1);
+        assert!(s.reuse_cache_len() >= 1, "batch admitted the shared result");
+        // A later single query hits the warm cache: no bytes scanned.
+        let r = s.sql(sql).unwrap();
+        assert_eq!(r.sorted_rows(), batch.results[0].sorted_rows());
+        assert!(r.reused(), "reuse notes: {:?}", r.report.reuse);
+        assert_eq!(r.metrics.reuse_cache_hits, 1);
+        assert_eq!(r.metrics.bytes_scanned, 0, "served from cache, no scan");
     }
 
     #[test]

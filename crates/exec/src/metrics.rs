@@ -52,6 +52,18 @@ pub struct ExecMetrics {
     /// `parallel_cpu_nanos / parallel_wall_nanos` is the effective
     /// parallelism achieved.
     parallel_wall_nanos: AtomicU64,
+    /// Consumer splices served from the shared-subplan result cache
+    /// (each avoided re-execution of a cached subplan counts once).
+    reuse_cache_hits: AtomicU64,
+    /// Entries removed from the shared-subplan cache, whether displaced
+    /// by the LRU budget or invalidated by a table-version bump.
+    reuse_cache_evictions: AtomicU64,
+    /// Shared subplans the workload optimizer executed once on behalf of
+    /// two or more consuming queries (cache hits do not count — nothing
+    /// executed).
+    shared_subplans_executed: AtomicU64,
+    /// Queries admitted through the batch API (`Session::run_batch`).
+    queries_batched: AtomicU64,
 }
 
 impl ExecMetrics {
@@ -127,6 +139,22 @@ impl ExecMetrics {
         self.parallel_wall_nanos.fetch_add(nanos, Ordering::Relaxed);
     }
 
+    pub fn add_reuse_cache_hit(&self) {
+        self.reuse_cache_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn add_reuse_cache_eviction(&self) {
+        self.reuse_cache_evictions.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn add_shared_subplan_executed(&self) {
+        self.shared_subplans_executed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn add_queries_batched(&self, n: u64) {
+        self.queries_batched.fetch_add(n, Ordering::Relaxed);
+    }
+
     pub fn bytes_scanned(&self) -> u64 {
         self.bytes_scanned.load(Ordering::Relaxed)
     }
@@ -183,6 +211,22 @@ impl ExecMetrics {
         self.parallel_wall_nanos.load(Ordering::Relaxed)
     }
 
+    pub fn reuse_cache_hits(&self) -> u64 {
+        self.reuse_cache_hits.load(Ordering::Relaxed)
+    }
+
+    pub fn reuse_cache_evictions(&self) -> u64 {
+        self.reuse_cache_evictions.load(Ordering::Relaxed)
+    }
+
+    pub fn shared_subplans_executed(&self) -> u64 {
+        self.shared_subplans_executed.load(Ordering::Relaxed)
+    }
+
+    pub fn queries_batched(&self) -> u64 {
+        self.queries_batched.load(Ordering::Relaxed)
+    }
+
     /// The *currently* reserved operator state (not the peak), clamped at
     /// zero. Used for enforced-budget admission checks.
     pub fn current_state_bytes(&self) -> u64 {
@@ -216,6 +260,10 @@ impl ExecMetrics {
             rows_filtered_vectorized: self.rows_filtered_vectorized(),
             parallel_cpu_nanos: self.parallel_cpu_nanos(),
             parallel_wall_nanos: self.parallel_wall_nanos(),
+            reuse_cache_hits: self.reuse_cache_hits(),
+            reuse_cache_evictions: self.reuse_cache_evictions(),
+            shared_subplans_executed: self.shared_subplans_executed(),
+            queries_batched: self.queries_batched(),
         }
     }
 }
@@ -241,6 +289,14 @@ pub struct MetricsSnapshot {
     pub rows_filtered_vectorized: u64,
     pub parallel_cpu_nanos: u64,
     pub parallel_wall_nanos: u64,
+    /// Workload-reuse counters (see the `fusion-reuse` crate). Like every
+    /// other field these are completion-only: the engine snapshots after
+    /// the batch (shared executions *and* all per-query residual plans)
+    /// has fully finished.
+    pub reuse_cache_hits: u64,
+    pub reuse_cache_evictions: u64,
+    pub shared_subplans_executed: u64,
+    pub queries_batched: u64,
 }
 
 /// RAII guard for reserved operator state.

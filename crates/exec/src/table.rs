@@ -217,9 +217,15 @@ impl TableBuilder {
 }
 
 /// Name → table registry.
+///
+/// Every registration bumps the table's *version*, a monotonically
+/// increasing counter the shared-subplan result cache keys its
+/// invalidation on: a cached result records the versions of the tables
+/// it was computed from and is discarded the moment any of them moves.
 #[derive(Debug, Default)]
 pub struct Catalog {
     tables: HashMap<String, Arc<Table>>,
+    versions: HashMap<String, u64>,
 }
 
 impl Catalog {
@@ -228,8 +234,24 @@ impl Catalog {
     }
 
     pub fn register(&mut self, table: Table) {
-        self.tables
-            .insert(table.name.to_ascii_lowercase(), Arc::new(table));
+        let key = table.name.to_ascii_lowercase();
+        *self.versions.entry(key.clone()).or_insert(0) += 1;
+        self.tables.insert(key, Arc::new(table));
+    }
+
+    /// Current version of a table: 0 if never registered, 1 after the
+    /// first registration, +1 for every re-registration since.
+    pub fn table_version(&self, name: &str) -> u64 {
+        self.versions
+            .get(&name.to_ascii_lowercase())
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Snapshot of every table's current version, for cache-dependency
+    /// stamping and validation.
+    pub fn table_versions(&self) -> HashMap<String, u64> {
+        self.versions.clone()
     }
 
     pub fn get(&self, name: &str) -> Result<Arc<Table>> {
@@ -344,6 +366,17 @@ mod tests {
         assert!(c.get("ITEM").is_ok());
         assert!(c.get("missing").is_err());
         assert!(c.contains("item"));
+    }
+
+    #[test]
+    fn registration_bumps_table_version() {
+        let mut c = Catalog::new();
+        assert_eq!(c.table_version("item"), 0);
+        c.register(TableBuilder::new("Item", cols()).build());
+        assert_eq!(c.table_version("ITEM"), 1);
+        c.register(TableBuilder::new("item", cols()).build());
+        assert_eq!(c.table_version("item"), 2);
+        assert_eq!(c.table_versions().get("item"), Some(&2));
     }
 
     #[test]

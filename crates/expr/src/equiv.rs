@@ -8,7 +8,7 @@
 //! same engineering trade-off production rewriters make.
 
 use crate::expr::{conjoin, disjoin, split_conjuncts, split_disjuncts, BinaryOp, ColumnMap, Expr};
-use crate::simplify::simplify;
+use crate::simplify::{order_operands, simplify};
 
 /// Normalize an expression to a canonical form for comparison.
 pub fn normalize(expr: &Expr) -> Expr {
@@ -21,8 +21,11 @@ fn canon(e: &Expr) -> Expr {
         Expr::Binary {
             op: BinaryOp::And, ..
         } => {
+            // `simplify` already orders raw conjuncts; re-sort here
+            // because canonizing children (operand commuting below) can
+            // change their rendered form, and with it the sort key.
             let mut cs: Vec<Expr> = split_conjuncts(e).iter().map(canon).collect();
-            cs.sort_by_key(|c| c.to_string());
+            order_operands(&mut cs);
             cs.dedup();
             conjoin(cs)
         }
@@ -30,7 +33,7 @@ fn canon(e: &Expr) -> Expr {
             op: BinaryOp::Or, ..
         } => {
             let mut ds: Vec<Expr> = split_disjuncts(e).iter().map(canon).collect();
-            ds.sort_by_key(|d| d.to_string());
+            order_operands(&mut ds);
             ds.dedup();
             disjoin(ds)
         }

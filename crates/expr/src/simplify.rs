@@ -15,7 +15,10 @@ use crate::expr::{conjoin, disjoin, split_conjuncts, split_disjuncts, BinaryOp, 
 
 /// Simplify an expression: constant folding, boolean algebra
 /// (TRUE/FALSE/duplicate elimination in AND/OR chains), double negation,
-/// and trivial CASE reduction.
+/// and trivial CASE reduction. AND/OR chains are flattened and their
+/// operands put in a canonical deterministic order, so two predicates
+/// built from the same bag of conjuncts simplify to equal expressions —
+/// the property plan fingerprinting and `equiv` build on.
 ///
 /// This pass is sound under full Kleene three-valued semantics: for every
 /// row, `eval(simplify(e)) == eval(e)` exactly — including NULL results.
@@ -112,6 +115,20 @@ fn fold_binary(op: BinaryOp, left: &Expr, right: &Expr) -> Option<Expr> {
     None
 }
 
+/// Deterministic total order for AND/OR operand lists.
+///
+/// Conjunct/disjunct chains are *bags*: their evaluation is
+/// order-insensitive under Kleene semantics, so we are free to pick one
+/// canonical order. Sorting by the rendered form makes structurally
+/// identical predicates compare `==` regardless of how the planner or a
+/// fusion rule happened to assemble them — which is what plan
+/// fingerprinting and the `out.contains` dedup above rely on. The
+/// rendered form is a faithful serialization (ids, ops and literals all
+/// print), so ties only occur between structurally equal expressions.
+pub(crate) fn order_operands(ops: &mut [Expr]) {
+    ops.sort_by_key(|e| e.to_string());
+}
+
 fn simplify_and(e: &Expr) -> Expr {
     let mut out: Vec<Expr> = Vec::new();
     for c in split_conjuncts(e) {
@@ -125,6 +142,7 @@ fn simplify_and(e: &Expr) -> Expr {
             out.push(c);
         }
     }
+    order_operands(&mut out);
     // Absorption: `A AND (A OR B) = A` (valid in Kleene logic). The n-ary
     // fusion fold produces exactly these shapes when it repeatedly ANDs a
     // branch's filter with the growing disjunction of all branches.
@@ -165,6 +183,7 @@ fn simplify_or(e: &Expr) -> Expr {
             out.push(d);
         }
     }
+    order_operands(&mut out);
     factor_common_conjuncts(out)
 }
 
@@ -208,9 +227,12 @@ fn factor_common_conjuncts(disjuncts: Vec<Expr>) -> Expr {
         disjoin(unique)
     };
     if rest.is_true_literal() {
+        order_operands(&mut common);
         conjoin(common)
     } else {
-        conjoin(common).and(rest)
+        common.push(rest);
+        order_operands(&mut common);
+        conjoin(common)
     }
 }
 
@@ -522,10 +544,42 @@ mod tests {
         let a = c(1).eq_to(lit(3i64));
         let b1 = c(2).gt(lit(0i64));
         let b2 = c(2).lt(lit(-5i64));
-        // (A AND B1) OR (A AND B2) => A AND (B1 OR B2)
+        // (A AND B1) OR (A AND B2) => A AND (B2 OR B1) — the disjuncts
+        // land in canonical (rendered-form) order, which puts B2 first.
         let e = a.clone().and(b1.clone()).or(a.clone().and(b2.clone()));
         let s = simplify(&e);
-        assert_eq!(s, a.and(b1.or(b2)));
+        assert_eq!(s, a.and(b2.or(b1)));
+    }
+
+    #[test]
+    fn conjunct_order_is_canonical() {
+        // The same bag of conjuncts simplifies to the same expression no
+        // matter how the chain was assembled or nested.
+        let p = c(1).gt(lit(0i64));
+        let q = c(2).lt(lit(5i64));
+        let r = c(3).eq_to(lit(7i64));
+        let a = p.clone().and(q.clone()).and(r.clone());
+        let b = r.clone().and(p.clone().and(q.clone()));
+        let d = q.clone().and(r.clone()).and(p.clone());
+        assert_eq!(simplify(&a), simplify(&b));
+        assert_eq!(simplify(&a), simplify(&d));
+        // Same property for disjunctions.
+        let a = p.clone().or(q.clone()).or(r.clone());
+        let b = r.or(q.or(p));
+        assert_eq!(simplify(&a), simplify(&b));
+    }
+
+    #[test]
+    fn nested_conjunctions_flatten_deterministically() {
+        let p = c(1).gt(lit(0i64));
+        let q = c(2).lt(lit(5i64));
+        let r = c(3).eq_to(lit(7i64));
+        // ((p AND q) AND r) and (p AND (q AND r)) flatten to one chain.
+        let left = p.clone().and(q.clone()).and(r.clone());
+        let right = p.clone().and(q.clone().and(r.clone()));
+        let s = simplify(&left);
+        assert_eq!(s, simplify(&right));
+        assert_eq!(split_conjuncts(&s).len(), 3);
     }
 
     #[test]

@@ -1,0 +1,346 @@
+//! Shared-subplan result cache — layer 3 of workload reuse.
+//!
+//! An LRU cache of materialized subplan results keyed by
+//! [`Fingerprint`]. Entries remember which base tables (and which
+//! catalog *versions* of them) they were computed from, so re-registering
+//! a table invalidates every dependent entry at its next lookup.
+//!
+//! Memory is accounted through the executor's budget machinery: the cache
+//! owns an [`ExecContext`] whose hard budget is the configured
+//! `max_bytes`, and every entry holds a [`BudgetedReservation`] against
+//! it. When an admission would overflow the budget, least-recently-used
+//! entries are evicted until the reservation fits (or the cache is empty
+//! and the candidate is simply not admitted).
+//!
+//! Admission is gated on a reuse-frequency heuristic: a fingerprint must
+//! have been *observed* at least `admit_min_uses` times (observations are
+//! counted per consumer in a batch, so a subplan shared by two queries
+//! qualifies immediately with the default of 2).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use fusion_exec::{BudgetedReservation, ExecContext, ExecMetrics, Row};
+
+use crate::fingerprint::Fingerprint;
+
+/// Configuration for the shared-subplan cache.
+#[derive(Debug, Clone)]
+pub struct ReuseCacheConfig {
+    /// Total bytes of cached rows, enforced via [`BudgetedReservation`].
+    pub max_bytes: usize,
+    /// Per-entry row ceiling: results larger than this are never admitted.
+    pub max_entry_rows: usize,
+    /// Minimum observation count before a fingerprint is cache-worthy.
+    pub admit_min_uses: u64,
+}
+
+impl Default for ReuseCacheConfig {
+    fn default() -> Self {
+        ReuseCacheConfig {
+            max_bytes: 64 << 20,
+            max_entry_rows: 1 << 20,
+            admit_min_uses: 2,
+        }
+    }
+}
+
+/// A cache hit: shared rows plus the canonical slot strings describing
+/// their column layout (see [`crate::fingerprint::CanonicalForm::slots`]).
+#[derive(Debug, Clone)]
+pub struct CachedRows {
+    pub rows: Arc<Vec<Row>>,
+    pub slots: Vec<String>,
+}
+
+struct Entry {
+    encoding: String,
+    rows: Arc<Vec<Row>>,
+    slots: Vec<String>,
+    /// `(table, catalog version at execution time)` for every base table
+    /// the cached subplan read.
+    deps: Vec<(String, u64)>,
+    last_used: u64,
+    /// Holds the entry's bytes against the cache budget; dropping the
+    /// entry releases them.
+    _reservation: BudgetedReservation,
+}
+
+/// LRU shared-subplan result cache with version invalidation and
+/// budget-backed admission.
+pub struct ReuseCache {
+    cfg: ReuseCacheConfig,
+    /// Budget domain for reservations; the cache's own metrics sink, not
+    /// the per-query one.
+    ctx: Arc<ExecContext>,
+    entries: HashMap<u64, Entry>,
+    uses: HashMap<u64, u64>,
+    clock: u64,
+}
+
+impl ReuseCache {
+    pub fn new(cfg: ReuseCacheConfig) -> Self {
+        let ctx = ExecContext::builder(ExecMetrics::new())
+            .hard_budget(cfg.max_bytes)
+            .build();
+        ReuseCache {
+            cfg,
+            ctx,
+            entries: HashMap::new(),
+            uses: HashMap::new(),
+            clock: 0,
+        }
+    }
+
+    /// Record one observation of a fingerprint (one consumer wanting its
+    /// result) and return the cumulative count.
+    pub fn observe(&mut self, fp: Fingerprint) -> u64 {
+        let c = self.uses.entry(fp.0).or_insert(0);
+        *c += 1;
+        *c
+    }
+
+    /// Cumulative observation count for a fingerprint.
+    pub fn uses(&self, fp: Fingerprint) -> u64 {
+        self.uses.get(&fp.0).copied().unwrap_or(0)
+    }
+
+    /// Whether an entry exists and is valid against the given catalog
+    /// versions, without touching LRU state or evicting.
+    pub fn contains_valid(
+        &self,
+        fp: Fingerprint,
+        encoding: &str,
+        versions: &HashMap<String, u64>,
+    ) -> bool {
+        self.entries.get(&fp.0).is_some_and(|e| {
+            e.encoding == encoding
+                && e.deps
+                    .iter()
+                    .all(|(t, v)| versions.get(t).copied().unwrap_or(0) == *v)
+        })
+    }
+
+    /// Look up a fingerprint. A stale entry (any dependency's catalog
+    /// version moved) is evicted on sight and counted on `metrics`; an
+    /// encoding mismatch (64-bit collision) is treated as a miss.
+    pub fn lookup(
+        &mut self,
+        fp: Fingerprint,
+        encoding: &str,
+        versions: &HashMap<String, u64>,
+        metrics: &ExecMetrics,
+    ) -> Option<CachedRows> {
+        let entry = self.entries.get(&fp.0)?;
+        if entry.encoding != encoding {
+            return None;
+        }
+        let stale = entry
+            .deps
+            .iter()
+            .any(|(t, v)| versions.get(t).copied().unwrap_or(0) != *v);
+        if stale {
+            self.entries.remove(&fp.0);
+            metrics.add_reuse_cache_eviction();
+            return None;
+        }
+        self.clock += 1;
+        let clock = self.clock;
+        let entry = self.entries.get_mut(&fp.0)?;
+        entry.last_used = clock;
+        Some(CachedRows {
+            rows: Arc::clone(&entry.rows),
+            slots: entry.slots.clone(),
+        })
+    }
+
+    /// Try to admit a result. Returns `true` if the entry is (now)
+    /// cached. Eviction of colder entries is counted on `metrics`.
+    pub fn admit(
+        &mut self,
+        fp: Fingerprint,
+        encoding: &str,
+        rows: Arc<Vec<Row>>,
+        slots: Vec<String>,
+        deps: Vec<(String, u64)>,
+        metrics: &ExecMetrics,
+    ) -> bool {
+        if self.uses(fp) < self.cfg.admit_min_uses {
+            return false;
+        }
+        if let Some(e) = self.entries.get_mut(&fp.0) {
+            if e.encoding == encoding {
+                self.clock += 1;
+                e.last_used = self.clock;
+                return true;
+            }
+            return false;
+        }
+        if rows.len() > self.cfg.max_entry_rows {
+            return false;
+        }
+        let bytes: usize = rows
+            .iter()
+            .map(|r| r.iter().map(|v| v.encoded_size()).sum::<usize>())
+            .sum::<usize>()
+            .max(1);
+        if bytes > self.cfg.max_bytes {
+            return false;
+        }
+        let reservation = loop {
+            match BudgetedReservation::try_new(Arc::clone(&self.ctx), bytes as i64) {
+                Ok(r) => break r,
+                Err(_) => {
+                    if !self.evict_lru(metrics) {
+                        return false;
+                    }
+                }
+            }
+        };
+        self.clock += 1;
+        self.entries.insert(
+            fp.0,
+            Entry {
+                encoding: encoding.to_string(),
+                rows,
+                slots,
+                deps,
+                last_used: self.clock,
+                _reservation: reservation,
+            },
+        );
+        true
+    }
+
+    fn evict_lru(&mut self, metrics: &ExecMetrics) -> bool {
+        let victim = self
+            .entries
+            .iter()
+            .min_by_key(|(_, e)| e.last_used)
+            .map(|(k, _)| *k);
+        match victim {
+            Some(k) => {
+                self.entries.remove(&k);
+                metrics.add_reuse_cache_eviction();
+                true
+            }
+            None => false,
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    pub fn clear(&mut self) {
+        self.entries.clear();
+        self.uses.clear();
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::panic)]
+mod tests {
+    use super::*;
+    use fusion_common::Value;
+
+    fn fp(n: u64) -> Fingerprint {
+        Fingerprint(n)
+    }
+
+    fn rows(n: usize, v: i64) -> Arc<Vec<Row>> {
+        Arc::new((0..n).map(|_| vec![Value::Int64(v)]).collect())
+    }
+
+    fn versions(v: u64) -> HashMap<String, u64> {
+        let mut m = HashMap::new();
+        m.insert("t".to_string(), v);
+        m
+    }
+
+    #[test]
+    fn admission_requires_min_uses() {
+        let mut c = ReuseCache::new(ReuseCacheConfig::default());
+        let m = ExecMetrics::new();
+        let deps = vec![("t".to_string(), 1)];
+        assert!(!c.admit(fp(1), "e1", rows(4, 7), vec!["s".into()], deps.clone(), &m));
+        c.observe(fp(1));
+        c.observe(fp(1));
+        assert!(c.admit(fp(1), "e1", rows(4, 7), vec!["s".into()], deps, &m));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn lookup_hits_and_respects_versions() {
+        let mut c = ReuseCache::new(ReuseCacheConfig::default());
+        let m = ExecMetrics::new();
+        c.observe(fp(1));
+        c.observe(fp(1));
+        assert!(c.admit(
+            fp(1),
+            "e1",
+            rows(4, 7),
+            vec!["s".into()],
+            vec![("t".to_string(), 1)],
+            &m
+        ));
+        assert!(c.lookup(fp(1), "e1", &versions(1), &m).is_some());
+        // Encoding mismatch (hash collision) is a miss, not a hit.
+        assert!(c.lookup(fp(1), "other", &versions(1), &m).is_none());
+        // Version bump invalidates and evicts.
+        assert!(c.lookup(fp(1), "e1", &versions(2), &m).is_none());
+        assert_eq!(c.len(), 0);
+        assert_eq!(m.snapshot().reuse_cache_evictions, 1);
+    }
+
+    #[test]
+    fn budget_overflow_evicts_lru() {
+        let mut c = ReuseCache::new(ReuseCacheConfig {
+            // Each Int64 row encodes to ~9 bytes; 3 x 10-row entries
+            // overflow a 200-byte budget.
+            max_bytes: 200,
+            max_entry_rows: 1000,
+            admit_min_uses: 1,
+        });
+        let m = ExecMetrics::new();
+        for i in 0..3u64 {
+            c.observe(fp(i));
+            assert!(c.admit(
+                fp(i),
+                "e",
+                rows(10, i as i64),
+                vec!["s".into()],
+                vec![("t".to_string(), 1)],
+                &m
+            ));
+        }
+        assert!(c.len() < 3, "budget must have forced an eviction");
+        assert!(m.snapshot().reuse_cache_evictions >= 1);
+        // The most recently admitted entry survived.
+        assert!(c.lookup(fp(2), "e", &versions(1), &m).is_some());
+    }
+
+    #[test]
+    fn oversized_entry_rejected() {
+        let mut c = ReuseCache::new(ReuseCacheConfig {
+            max_bytes: 1 << 20,
+            max_entry_rows: 5,
+            admit_min_uses: 1,
+        });
+        let m = ExecMetrics::new();
+        c.observe(fp(1));
+        assert!(!c.admit(
+            fp(1),
+            "e",
+            rows(6, 0),
+            vec!["s".into()],
+            vec![("t".to_string(), 1)],
+            &m
+        ));
+        assert!(c.is_empty());
+    }
+}

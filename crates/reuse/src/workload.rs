@@ -1,0 +1,786 @@
+//! Cross-query fusion and shared-subplan execution — layer 2 of workload
+//! reuse.
+//!
+//! [`plan_workload`] takes a batch of logical plans (one per concurrent
+//! query), finds subplans that can be computed once and shared, executes
+//! each shared subplan a single time, and rewrites every consuming query
+//! to read the materialized rows instead — through the paper's
+//! compensation machinery: consumer `i` becomes
+//!
+//! ```text
+//! Project_{M_i(outCols_i)}( Filter_{C_i}( ConstantTable(rows of P) ) )
+//! ```
+//!
+//! where `P` is the shared plan, `C_i` the consumer's compensating filter
+//! and `M_i` its column mapping — exactly the `(P, M, L, R)` contract of
+//! `Fuse`, lifted from two queries to a reuse *group* by folding:
+//! fusing a new member into `P` ANDs the fold's `L` onto every prior
+//! member's compensation (prior columns survive in the fused plan under
+//! their ids, so prior mappings stay valid).
+//!
+//! Reuse groups come in two flavors:
+//!
+//! * **exact** — members share a canonical fingerprint; rows are spliced
+//!   directly, aligned position-by-position via canonical slots;
+//! * **fused** — members share a shape (root operator + scanned tables)
+//!   but differ in predicates/columns; `fuse` builds the covering plan.
+//!
+//! Every shared plan is re-validated by the semantic plan analyzer before
+//! execution, and every spliced consumer is re-validated before it
+//! replaces the original plan; any violation reverts that consumer to its
+//! unshared form.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use fusion_common::{Field, IdGen};
+use fusion_core::{analyze_plan, fuse, FuseContext};
+use fusion_exec::{execute_plan_profiled, Catalog, ExecContext, ExecMetrics, Row};
+use fusion_expr::{simplify_filter, Expr};
+use fusion_plan::{ConstantTable, Filter, LogicalPlan, Project, ProjExpr};
+
+use crate::cache::ReuseCache;
+use crate::fingerprint::{canonical_form, position_map, CanonicalForm};
+
+/// Tuning knobs for the workload optimizer.
+#[derive(Debug, Clone)]
+pub struct WorkloadConfig {
+    /// Smallest subplan (in plan nodes) considered for sharing. The
+    /// default of 2 excludes bare table scans: sharing a full-table
+    /// materialization costs more memory than it saves work.
+    pub min_nodes: usize,
+    /// Ceiling on cross-query `fuse` attempts per batch.
+    pub max_fuse_attempts: usize,
+}
+
+impl Default for WorkloadConfig {
+    fn default() -> Self {
+        WorkloadConfig {
+            min_nodes: 2,
+            max_fuse_attempts: 64,
+        }
+    }
+}
+
+/// The outcome of workload planning for a batch.
+pub struct WorkloadOutcome {
+    /// One plan per input query, rewritten where sharing applied.
+    pub plans: Vec<LogicalPlan>,
+    /// Human-readable per-query reuse notes (rendered under
+    /// `-- workload reuse --` in EXPLAIN ANALYZE).
+    pub notes: Vec<Vec<String>>,
+    /// Per-group accounting.
+    pub report: WorkloadReport,
+}
+
+/// Batch-level reuse accounting.
+#[derive(Debug, Clone, Default)]
+pub struct WorkloadReport {
+    pub groups: Vec<GroupReport>,
+}
+
+impl WorkloadReport {
+    /// Number of shared subplans that were actually executed (not served
+    /// from cache).
+    pub fn shared_executions(&self) -> usize {
+        self.groups.iter().filter(|g| g.executed).count()
+    }
+
+    /// Total consumers spliced across all groups.
+    pub fn consumers_spliced(&self) -> usize {
+        self.groups.iter().map(|g| g.spliced).sum()
+    }
+}
+
+/// Accounting for one reuse group.
+#[derive(Debug, Clone)]
+pub struct GroupReport {
+    /// Fingerprint of the shared plan, rendered.
+    pub fingerprint: String,
+    /// Queries (by batch index) with at least one member in the group.
+    pub queries: Vec<usize>,
+    /// Consumers successfully rewritten to read the shared result.
+    pub spliced: usize,
+    /// Whether the group needed cross-query fusion (vs. exact match).
+    pub fused: bool,
+    /// Whether the shared rows came from the cache.
+    pub cache_hit: bool,
+    /// Whether the shared plan was executed in this batch.
+    pub executed: bool,
+    /// Rows produced by (or cached for) the shared plan.
+    pub rows: usize,
+    /// Plan nodes in the shared subplan.
+    pub subplan_nodes: usize,
+}
+
+/// One occurrence of a shareable subplan inside a query.
+struct Candidate {
+    query: usize,
+    /// Child-index path from the query root to the subplan root.
+    path: Vec<usize>,
+    plan: LogicalPlan,
+    form: CanonicalForm,
+}
+
+/// A reuse group ready for execution: a shared plan plus its consumers.
+struct Group {
+    plan: LogicalPlan,
+    form: CanonicalForm,
+    fused: bool,
+    /// `(candidate index, compensating filter over plan's columns,
+    /// mapping from consumer output ids into plan's column ids)`.
+    /// Exact-group members have no entry here; they splice via slots.
+    members: Vec<GroupMember>,
+}
+
+struct GroupMember {
+    cand: usize,
+    /// Compensating filter over the shared plan's columns (TRUE for exact
+    /// members).
+    comp: Expr,
+    /// Consumer output id -> shared plan column id. `None` for exact
+    /// members, which align by canonical slots instead.
+    mapping: Option<HashMap<fusion_common::ColumnId, fusion_common::ColumnId>>,
+}
+
+/// An optional single-plan optimizer the caller (the engine session)
+/// lends the workload optimizer so shared subplans run with pushdown and
+/// pruning applied. The optimized form is only used when it validates and
+/// preserves the shared plan's output schema (ids, order, types) — the
+/// slots and compensations are expressed against that schema.
+pub type OptimizeFn<'a> = &'a dyn Fn(&LogicalPlan) -> LogicalPlan;
+
+/// Plan a batch: detect reuse groups, execute each shared subplan once
+/// (or serve it from `cache`), and rewrite consumers. Shared executions
+/// and cache traffic are counted on `metrics`; rewritten plans that fail
+/// validation or the semantic analyzer are reverted, never returned.
+#[allow(clippy::too_many_arguments)]
+pub fn plan_workload(
+    cfg: &WorkloadConfig,
+    cache: &mut ReuseCache,
+    plans: &[LogicalPlan],
+    catalog: &Catalog,
+    ctx: &Arc<ExecContext>,
+    gen: &IdGen,
+    metrics: &ExecMetrics,
+    optimize: Option<OptimizeFn<'_>>,
+) -> WorkloadOutcome {
+    let mut out = WorkloadOutcome {
+        plans: plans.to_vec(),
+        notes: vec![Vec::new(); plans.len()],
+        report: WorkloadReport::default(),
+    };
+    if plans.len() < 2 && cache.is_empty() {
+        return out;
+    }
+
+    let candidates = collect_candidates(plans, cfg.min_nodes);
+    let versions = catalog.table_versions();
+    let groups = form_groups(cfg, cache, &candidates, &versions, plans.len(), gen);
+
+    for group in groups {
+        execute_group(
+            group,
+            &candidates,
+            cache,
+            catalog,
+            ctx,
+            gen,
+            metrics,
+            &versions,
+            optimize,
+            &mut out,
+        );
+    }
+    out
+}
+
+/// Rewrite a single query plan against the warm cache only (no batch, no
+/// shared execution). Used by the engine's single-query path so a query
+/// arriving after a batch still benefits from cached shared subplans.
+pub fn apply_cache(
+    cfg: &WorkloadConfig,
+    cache: &mut ReuseCache,
+    plan: &LogicalPlan,
+    catalog: &Catalog,
+    metrics: &ExecMetrics,
+) -> (LogicalPlan, Vec<String>) {
+    if cache.is_empty() {
+        return (plan.clone(), Vec::new());
+    }
+    let versions = catalog.table_versions();
+    let candidates = collect_candidates(std::slice::from_ref(plan), cfg.min_nodes);
+    let mut order: Vec<usize> = (0..candidates.len()).collect();
+    order.sort_by(|&x, &y| {
+        candidates[y]
+            .plan
+            .node_count()
+            .cmp(&candidates[x].plan.node_count())
+            .then_with(|| candidates[x].path.cmp(&candidates[y].path))
+    });
+    let mut result = plan.clone();
+    let mut notes = Vec::new();
+    let mut taken: Vec<Vec<usize>> = Vec::new();
+    for i in order {
+        let c = &candidates[i];
+        if taken.iter().any(|p| paths_overlap(p, &c.path)) {
+            continue;
+        }
+        let Some(hit) = cache.lookup(c.form.fingerprint, &c.form.encoding, &versions, metrics)
+        else {
+            continue;
+        };
+        let Some(replacement) = splice_exact(&c.plan, &c.form.slots, &hit.slots, &hit.rows) else {
+            continue;
+        };
+        let rewritten = replace_at(&result, &c.path, replacement);
+        if rewritten.validate().is_ok() && analyze_plan(&rewritten).is_empty() {
+            metrics.add_reuse_cache_hit();
+            notes.push(format!(
+                "cache hit {}: {} node subplan served from shared-subplan cache ({} rows)",
+                c.form.fingerprint,
+                c.plan.node_count(),
+                hit.rows.len()
+            ));
+            result = rewritten;
+            taken.push(c.path.clone());
+        }
+    }
+    (result, notes)
+}
+
+// ---------------------------------------------------------------------
+// Candidate enumeration
+// ---------------------------------------------------------------------
+
+/// Whether a plan node may root a shared subplan.
+fn shareable_root(plan: &LogicalPlan) -> bool {
+    matches!(
+        plan,
+        LogicalPlan::Filter(_)
+            | LogicalPlan::Project(_)
+            | LogicalPlan::Join(_)
+            | LogicalPlan::Aggregate(_)
+            | LogicalPlan::Window(_)
+            | LogicalPlan::MarkDistinct(_)
+            | LogicalPlan::UnionAll(_)
+            | LogicalPlan::EnforceSingleRow(_)
+            | LogicalPlan::Scan(_)
+    )
+}
+
+fn contains_scan(plan: &LogicalPlan) -> bool {
+    match plan {
+        LogicalPlan::Scan(_) => true,
+        _ => plan.children().into_iter().any(contains_scan),
+    }
+}
+
+fn collect_candidates(plans: &[LogicalPlan], min_nodes: usize) -> Vec<Candidate> {
+    let mut out = Vec::new();
+    for (query, plan) in plans.iter().enumerate() {
+        let mut path = Vec::new();
+        walk(plan, query, &mut path, min_nodes, &mut out);
+    }
+    out
+}
+
+fn walk(
+    plan: &LogicalPlan,
+    query: usize,
+    path: &mut Vec<usize>,
+    min_nodes: usize,
+    out: &mut Vec<Candidate>,
+) {
+    if shareable_root(plan) && plan.node_count() >= min_nodes && contains_scan(plan) {
+        out.push(Candidate {
+            query,
+            path: path.clone(),
+            plan: plan.clone(),
+            form: canonical_form(plan),
+        });
+    }
+    for (i, child) in plan.children().into_iter().enumerate() {
+        path.push(i);
+        walk(child, query, path, min_nodes, out);
+        path.pop();
+    }
+}
+
+/// Two paths overlap when one is a prefix of the other (same subtree or
+/// nested subtrees).
+fn paths_overlap(a: &[usize], b: &[usize]) -> bool {
+    let n = a.len().min(b.len());
+    a[..n] == b[..n]
+}
+
+// ---------------------------------------------------------------------
+// Group formation
+// ---------------------------------------------------------------------
+
+fn form_groups(
+    cfg: &WorkloadConfig,
+    cache: &ReuseCache,
+    candidates: &[Candidate],
+    versions: &HashMap<String, u64>,
+    n_queries: usize,
+    gen: &IdGen,
+) -> Vec<Group> {
+    // Size-descending greedy order: prefer sharing the largest subplans.
+    let mut order: Vec<usize> = (0..candidates.len()).collect();
+    order.sort_by(|&x, &y| {
+        candidates[y]
+            .plan
+            .node_count()
+            .cmp(&candidates[x].plan.node_count())
+            .then_with(|| candidates[x].query.cmp(&candidates[y].query))
+            .then_with(|| candidates[x].path.cmp(&candidates[y].path))
+    });
+
+    // Which encodings qualify for exact sharing: seen in >= 2 distinct
+    // queries, or already cached and valid.
+    let mut query_span: HashMap<&str, Vec<usize>> = HashMap::new();
+    for c in candidates {
+        let qs = query_span.entry(c.form.encoding.as_str()).or_default();
+        if !qs.contains(&c.query) {
+            qs.push(c.query);
+        }
+    }
+
+    let mut taken: Vec<Vec<Vec<usize>>> = vec![Vec::new(); n_queries];
+    let mut exact: HashMap<&str, Vec<usize>> = HashMap::new();
+    let mut exact_order: Vec<&str> = Vec::new();
+
+    for &i in &order {
+        let c = &candidates[i];
+        let enc = c.form.encoding.as_str();
+        let spans = query_span.get(enc).map(|q| q.len()).unwrap_or(0);
+        let cached = cache.contains_valid(c.form.fingerprint, enc, versions);
+        if spans < 2 && !cached {
+            continue;
+        }
+        if taken[c.query].iter().any(|p| paths_overlap(p, &c.path)) {
+            continue;
+        }
+        taken[c.query].push(c.path.clone());
+        let members = exact.entry(enc).or_default();
+        if members.is_empty() {
+            exact_order.push(enc);
+        }
+        members.push(i);
+    }
+
+    let mut groups = Vec::new();
+    for enc in exact_order {
+        let Some(members) = exact.remove(enc) else {
+            continue;
+        };
+        let cached = members
+            .first()
+            .map(|&i| cache.contains_valid(candidates[i].form.fingerprint, enc, versions))
+            .unwrap_or(false);
+        if members.len() < 2 && !cached {
+            // Conflicts whittled the group below the sharing threshold;
+            // release its regions so fusion can still use them.
+            for &i in &members {
+                let c = &candidates[i];
+                taken[c.query].retain(|p| p != &c.path);
+            }
+            continue;
+        }
+        let rep = &candidates[members[0]];
+        groups.push(Group {
+            plan: rep.plan.clone(),
+            form: rep.form.clone(),
+            fused: false,
+            members: members
+                .into_iter()
+                .map(|i| GroupMember {
+                    cand: i,
+                    comp: Expr::boolean(true),
+                    mapping: None,
+                })
+                .collect(),
+        });
+    }
+
+    // Fusion pass over the remaining candidates: bucket by shape (root
+    // operator + scanned table set), fold `fuse` across distinct queries.
+    let fuse_ctx = FuseContext::new(gen.clone());
+    let mut attempts = 0usize;
+    let shape_of = |c: &Candidate| {
+        let mut tables = c.plan.scanned_tables();
+        tables.dedup();
+        format!("{}|{}", c.plan.op_name(), tables.join(","))
+    };
+    let mut buckets: HashMap<String, Vec<usize>> = HashMap::new();
+    let mut bucket_order: Vec<String> = Vec::new();
+    for &i in &order {
+        let c = &candidates[i];
+        if taken[c.query].iter().any(|p| paths_overlap(p, &c.path)) {
+            continue;
+        }
+        let key = shape_of(c);
+        let b = buckets.entry(key.clone()).or_default();
+        if b.is_empty() {
+            bucket_order.push(key);
+        }
+        b.push(i);
+    }
+
+    for key in bucket_order {
+        let Some(bucket) = buckets.remove(&key) else {
+            continue;
+        };
+        let mut distinct: Vec<usize> = Vec::new();
+        let mut seen_queries: Vec<usize> = Vec::new();
+        for &i in &bucket {
+            let c = &candidates[i];
+            if seen_queries.contains(&c.query) {
+                continue;
+            }
+            if taken[c.query].iter().any(|p| paths_overlap(p, &c.path)) {
+                continue;
+            }
+            seen_queries.push(c.query);
+            distinct.push(i);
+        }
+        if distinct.len() < 2 {
+            continue;
+        }
+        let base = distinct[0];
+        let mut plan = candidates[base].plan.clone();
+        let mut members = vec![GroupMember {
+            cand: base,
+            comp: Expr::boolean(true),
+            mapping: None,
+        }];
+        for &i in &distinct[1..] {
+            if attempts >= cfg.max_fuse_attempts {
+                break;
+            }
+            attempts += 1;
+            let Some(f) = fuse(&plan, &candidates[i].plan, &fuse_ctx) else {
+                continue;
+            };
+            // Folding: P's columns survive under their ids, so prior
+            // compensations/mappings remain valid once restricted by L.
+            for m in &mut members {
+                m.comp = simplify_filter(&m.comp.clone().and(f.left.clone()));
+            }
+            members.push(GroupMember {
+                cand: i,
+                comp: simplify_filter(&f.right),
+                mapping: Some(f.mapping.clone()),
+            });
+            plan = f.plan;
+        }
+        if members.len() < 2 {
+            continue;
+        }
+        // Representative members of a fused group need an explicit
+        // (identity) mapping so they splice through the compensation
+        // path rather than slot alignment.
+        for m in &mut members {
+            if m.mapping.is_none() {
+                m.mapping = Some(HashMap::new());
+            }
+        }
+        for m in &members {
+            let c = &candidates[m.cand];
+            taken[c.query].push(c.path.clone());
+        }
+        let form = canonical_form(&plan);
+        groups.push(Group {
+            plan,
+            form,
+            fused: true,
+            members,
+        });
+    }
+
+    groups
+}
+
+// ---------------------------------------------------------------------
+// Group execution and splicing
+// ---------------------------------------------------------------------
+
+/// Whether `optimized` produces the same positional row layout as
+/// `original`: equal arity with equal types per position. Column ids and
+/// names may differ — splicing aligns rows by position, never by id.
+fn layout_preserved(optimized: &LogicalPlan, original: &LogicalPlan) -> bool {
+    let a = optimized.schema();
+    let b = original.schema();
+    a.fields().len() == b.fields().len()
+        && a.fields()
+            .iter()
+            .zip(b.fields())
+            .all(|(x, y)| x.data_type == y.data_type)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn execute_group(
+    group: Group,
+    candidates: &[Candidate],
+    cache: &mut ReuseCache,
+    catalog: &Catalog,
+    ctx: &Arc<ExecContext>,
+    gen: &IdGen,
+    metrics: &ExecMetrics,
+    versions: &HashMap<String, u64>,
+    optimize: Option<OptimizeFn<'_>>,
+    out: &mut WorkloadOutcome,
+) {
+    // The shared plan must satisfy both the structural validator and the
+    // semantic analyzer before we spend anything executing it.
+    if group.plan.validate().is_err() {
+        return;
+    }
+    let violations = analyze_plan(&group.plan);
+    if !violations.is_empty() {
+        for m in &group.members {
+            let q = candidates[m.cand].query;
+            out.notes[q].push(format!(
+                "reuse group {} rejected by analyzer ({} violations)",
+                group.form.fingerprint,
+                violations.len()
+            ));
+        }
+        return;
+    }
+
+    let mut queries: Vec<usize> = group
+        .members
+        .iter()
+        .map(|m| candidates[m.cand].query)
+        .collect();
+    queries.sort_unstable();
+    queries.dedup();
+
+    let hit = cache.lookup(group.form.fingerprint, &group.form.encoding, versions, metrics);
+    let cache_hit = hit.is_some();
+    let (rows, slots): (Arc<Vec<Row>>, Vec<String>) = match hit {
+        Some(h) => (h.rows, h.slots),
+        None => {
+            // Run the shared plan through the caller's optimizer when the
+            // result keeps the output layout (slots and compensations are
+            // positional, so field order and types must survive; ids and
+            // names are free to change under rewrites).
+            let exec_plan = optimize
+                .map(|f| f(&group.plan))
+                .filter(|o| {
+                    layout_preserved(o, &group.plan)
+                        && o.validate().is_ok()
+                        && analyze_plan(o).is_empty()
+                })
+                .unwrap_or_else(|| group.plan.clone());
+            let executed = match execute_plan_profiled(&exec_plan, catalog, ctx) {
+                Ok((output, _profile)) => output,
+                Err(e) => {
+                    for m in &group.members {
+                        let q = candidates[m.cand].query;
+                        out.notes[q].push(format!(
+                            "shared subplan {} failed ({e}); running unshared",
+                            group.form.fingerprint
+                        ));
+                    }
+                    return;
+                }
+            };
+            metrics.add_shared_subplan_executed();
+            let rows = Arc::new(executed.rows);
+            for _ in 0..group.members.len() {
+                cache.observe(group.form.fingerprint);
+            }
+            let mut deps: Vec<(String, u64)> = group
+                .plan
+                .scanned_tables()
+                .into_iter()
+                .map(|t| {
+                    let v = versions.get(&t).copied().unwrap_or(0);
+                    (t, v)
+                })
+                .collect();
+            deps.dedup();
+            cache.admit(
+                group.form.fingerprint,
+                &group.form.encoding,
+                Arc::clone(&rows),
+                group.form.slots.clone(),
+                deps,
+                metrics,
+            );
+            (rows, group.form.slots.clone())
+        }
+    };
+
+    let mut spliced = 0usize;
+    for m in &group.members {
+        let c = &candidates[m.cand];
+        let replacement = match &m.mapping {
+            None => splice_exact(&c.plan, &c.form.slots, &slots, &rows),
+            Some(mapping) => splice_fused(&c.plan, &group.plan, mapping, &m.comp, &rows, gen),
+        };
+        let Some(replacement) = replacement else {
+            out.notes[c.query].push(format!(
+                "reuse group {}: consumer could not be aligned; running unshared",
+                group.form.fingerprint
+            ));
+            continue;
+        };
+        let rewritten = replace_at(&out.plans[c.query], &c.path, replacement);
+        if rewritten.validate().is_ok() && analyze_plan(&rewritten).is_empty() {
+            if cache_hit {
+                metrics.add_reuse_cache_hit();
+            }
+            out.notes[c.query].push(format!(
+                "{} {}: {} node subplan shared across queries {:?} ({} rows{})",
+                if group.fused { "fused" } else { "shared" },
+                group.form.fingerprint,
+                c.plan.node_count(),
+                queries,
+                rows.len(),
+                if cache_hit { ", cached" } else { "" },
+            ));
+            out.plans[c.query] = rewritten;
+            spliced += 1;
+        } else {
+            out.notes[c.query].push(format!(
+                "reuse group {}: spliced plan failed validation; reverted",
+                group.form.fingerprint
+            ));
+        }
+    }
+
+    out.report.groups.push(GroupReport {
+        fingerprint: group.form.fingerprint.to_string(),
+        queries,
+        spliced,
+        fused: group.fused,
+        cache_hit,
+        executed: !cache_hit,
+        rows: rows.len(),
+        subplan_nodes: group.plan.node_count(),
+    });
+}
+
+/// Splice for an exact member: the consumer's subplan is canonically
+/// identical to the shared plan, so its rows are the shared rows permuted
+/// into the consumer's output layout, under the consumer's own ids.
+fn splice_exact(
+    consumer: &LogicalPlan,
+    consumer_slots: &[String],
+    shared_slots: &[String],
+    rows: &Arc<Vec<Row>>,
+) -> Option<LogicalPlan> {
+    let map = position_map(consumer_slots, shared_slots)?;
+    let fields: Vec<Field> = consumer.schema().fields().to_vec();
+    if fields.len() != map.len() {
+        return None;
+    }
+    let identity = map.iter().enumerate().all(|(j, &k)| j == k);
+    let rows: Vec<Row> = if identity {
+        rows.as_ref().clone()
+    } else {
+        rows.iter()
+            .map(|row| {
+                map.iter()
+                    .map(|&k| row.get(k).cloned().unwrap_or(fusion_common::Value::Null))
+                    .collect()
+            })
+            .collect()
+    };
+    Some(LogicalPlan::ConstantTable(ConstantTable { fields, rows }))
+}
+
+/// Splice for a fused member: materialize the shared plan's schema under
+/// fresh ids, filter by the member's compensation, and project the
+/// member's output columns through its mapping — the paper's
+/// `Project_M(outCols)(Filter_C(P))` reconstruction.
+fn splice_fused(
+    consumer: &LogicalPlan,
+    shared: &LogicalPlan,
+    mapping: &HashMap<fusion_common::ColumnId, fusion_common::ColumnId>,
+    comp: &Expr,
+    rows: &Arc<Vec<Row>>,
+    gen: &IdGen,
+) -> Option<LogicalPlan> {
+    let shared_schema = shared.schema();
+    // Fresh ids per splice instance: the same shared schema is spliced
+    // into several queries, and column ids must stay unique per plan.
+    let fresh: HashMap<fusion_common::ColumnId, fusion_common::ColumnId> = shared_schema
+        .fields()
+        .iter()
+        .map(|f| (f.id, gen.fresh()))
+        .collect();
+    let ct_fields: Vec<Field> = shared_schema
+        .fields()
+        .iter()
+        .map(|f| {
+            Some(Field::new(
+                *fresh.get(&f.id)?,
+                f.name.clone(),
+                f.data_type,
+                f.nullable,
+            ))
+        })
+        .collect::<Option<Vec<_>>>()?;
+    let table = LogicalPlan::ConstantTable(ConstantTable {
+        fields: ct_fields,
+        rows: rows.as_ref().clone(),
+    });
+    let comp = comp.map_columns(&fresh);
+    let filtered = if comp.is_true_literal() {
+        table
+    } else {
+        LogicalPlan::Filter(Filter {
+            input: Box::new(table),
+            predicate: comp,
+        })
+    };
+    let exprs: Vec<ProjExpr> = consumer
+        .schema()
+        .fields()
+        .iter()
+        .map(|f| {
+            let src = mapping.get(&f.id).copied().unwrap_or(f.id);
+            let src = fresh.get(&src).copied()?;
+            Some(ProjExpr::new(f.id, f.name.clone(), Expr::Column(src)))
+        })
+        .collect::<Option<Vec<_>>>()?;
+    Some(LogicalPlan::Project(Project {
+        input: Box::new(filtered),
+        exprs,
+    }))
+}
+
+/// Replace the subtree at `path` (child-index steps from the root).
+fn replace_at(plan: &LogicalPlan, path: &[usize], replacement: LogicalPlan) -> LogicalPlan {
+    match path.split_first() {
+        None => replacement,
+        Some((&step, rest)) => {
+            let mut children: Vec<LogicalPlan> =
+                plan.children().into_iter().cloned().collect();
+            if let Some(child) = children.get_mut(step) {
+                *child = replace_at(child, rest, replacement);
+            }
+            plan.with_new_children(children)
+        }
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::panic)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paths_overlap_is_prefix_relation() {
+        assert!(paths_overlap(&[], &[0, 1]));
+        assert!(paths_overlap(&[0, 1], &[0]));
+        assert!(paths_overlap(&[0, 1], &[0, 1]));
+        assert!(!paths_overlap(&[0, 1], &[0, 2]));
+        assert!(!paths_overlap(&[1], &[0, 1]));
+    }
+}

@@ -1,0 +1,184 @@
+//! Property tests for fingerprint stability (satellite 3).
+//!
+//! Non-semantic rewrites — re-planning with fresh column ids, renaming
+//! output aliases, reordering conjuncts, permuting the projection list,
+//! swapping the operands of a commutative join — must NOT change a plan's
+//! fingerprint. Semantic changes — a different comparison literal, a
+//! different comparison operator, a dropped conjunct — MUST change it.
+
+#![allow(clippy::unwrap_used, clippy::panic)]
+
+use fusion_common::{ColumnId, DataType, IdGen};
+use fusion_expr::{col, lit, Expr};
+use fusion_plan::builder::ColumnDef;
+use fusion_plan::{JoinType, LogicalPlan, PlanBuilder};
+use fusion_reuse::fingerprint::position_map;
+use fusion_reuse::{canonical_form, fingerprint};
+use proptest::prelude::*;
+
+const NUM_COLS: usize = 3;
+
+fn cols() -> Vec<ColumnDef> {
+    vec![
+        ColumnDef::new("a", DataType::Int64, false),
+        ColumnDef::new("b", DataType::Int64, false),
+        ColumnDef::new("c", DataType::Int64, true),
+    ]
+}
+
+fn scan(gen: &IdGen, table: &str) -> (LogicalPlan, Vec<ColumnId>) {
+    let b = PlanBuilder::scan(gen, table, &cols());
+    let ids = b.plan().schema().ids();
+    (b.build(), ids)
+}
+
+/// One conjunct: `col[target] <op> literal`.
+#[derive(Debug, Clone, Copy)]
+struct Conjunct {
+    target: usize,
+    op: u8,
+    literal: i64,
+}
+
+impl Conjunct {
+    fn to_expr(self, ids: &[ColumnId]) -> Expr {
+        let c = col(ids[self.target % NUM_COLS]);
+        let l = lit(self.literal);
+        match self.op % 4 {
+            0 => c.eq_to(l),
+            1 => c.lt(l),
+            2 => c.gt(l),
+            _ => c.gt_eq(l),
+        }
+    }
+}
+
+fn arb_conjunct() -> impl Strategy<Value = Conjunct> {
+    (0..NUM_COLS, 0..4u8, -20i64..20).prop_map(|(target, op, literal)| Conjunct {
+        target,
+        op,
+        literal,
+    })
+}
+
+/// Build `Project_{aliases}(Filter_{conjuncts}(Scan t))` over a fresh scan
+/// instance, with the projection columns rotated by `rot`.
+fn build_plan(conjuncts: &[Conjunct], rot: usize, alias_tag: u32) -> LogicalPlan {
+    let gen = IdGen::new();
+    let (plan, ids) = scan(&gen, "t");
+    let pred = conjuncts
+        .iter()
+        .map(|c| c.to_expr(&ids))
+        .reduce(Expr::and)
+        .unwrap_or_else(|| lit(true));
+    let names: Vec<String> = (0..NUM_COLS).map(|i| format!("x{alias_tag}_{i}")).collect();
+    let exprs: Vec<(&str, Expr)> = (0..NUM_COLS)
+        .map(|i| {
+            let j = (i + rot) % NUM_COLS;
+            (names[i].as_str(), col(ids[j]))
+        })
+        .collect();
+    PlanBuilder::from_plan(&gen, plan)
+        .filter(pred)
+        .project(exprs)
+        .build()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Fresh ids, reversed conjuncts, rotated projection, and renamed
+    /// aliases all fingerprint identically; the canonical forms expose a
+    /// slot bijection recovering the layout permutation.
+    #[test]
+    fn nonsemantic_rewrites_preserve_fingerprint(
+        conjuncts in proptest::collection::vec(arb_conjunct(), 1..4),
+        rot in 0..NUM_COLS,
+    ) {
+        let original = build_plan(&conjuncts, 0, 0);
+        let reversed: Vec<Conjunct> = conjuncts.iter().rev().copied().collect();
+        let rewritten = build_plan(&reversed, rot, 99);
+
+        let fa = canonical_form(&original);
+        let fb = canonical_form(&rewritten);
+        prop_assert_eq!(fa.fingerprint, fb.fingerprint);
+        prop_assert_eq!(&fa.encoding, &fb.encoding);
+        prop_assert!(
+            position_map(&fb.slots, &fa.slots).is_some(),
+            "slot bijection must exist between layout-permuted equivalents"
+        );
+    }
+
+    /// Changing a comparison literal changes the fingerprint. Conjuncts
+    /// are pinned to distinct columns so the mutation is guaranteed to be
+    /// a semantic change (no chance of subsumption by a sibling conjunct).
+    #[test]
+    fn literal_change_changes_fingerprint(
+        ops in proptest::collection::vec(0..4u8, NUM_COLS),
+        literals in proptest::collection::vec(-20i64..20, NUM_COLS),
+        target in 0..NUM_COLS,
+        bump in 1i64..5,
+    ) {
+        let base: Vec<Conjunct> = (0..NUM_COLS)
+            .map(|i| Conjunct { target: i, op: ops[i], literal: literals[i] })
+            .collect();
+        let mut mutated = base.clone();
+        mutated[target].literal += bump;
+
+        prop_assert_ne!(
+            fingerprint(&build_plan(&base, 0, 0)),
+            fingerprint(&build_plan(&mutated, 0, 0)),
+        );
+    }
+
+    /// Changing a comparison operator or dropping a conjunct changes the
+    /// fingerprint.
+    #[test]
+    fn operator_change_and_dropped_conjunct_change_fingerprint(
+        ops in proptest::collection::vec(0..4u8, NUM_COLS),
+        literals in proptest::collection::vec(-20i64..20, NUM_COLS),
+        target in 0..NUM_COLS,
+    ) {
+        let base: Vec<Conjunct> = (0..NUM_COLS)
+            .map(|i| Conjunct { target: i, op: ops[i], literal: literals[i] })
+            .collect();
+        let fp_base = fingerprint(&build_plan(&base, 0, 0));
+
+        let mut flipped = base.clone();
+        flipped[target].op = (flipped[target].op + 1) % 4;
+        prop_assert_ne!(fp_base, fingerprint(&build_plan(&flipped, 0, 0)));
+
+        let mut dropped = base.clone();
+        dropped.remove(target);
+        prop_assert_ne!(fp_base, fingerprint(&build_plan(&dropped, 0, 0)));
+    }
+
+    /// Swapping the operands of an inner join (and flipping the equality
+    /// condition to match) preserves the fingerprint, and the slot vectors
+    /// of the two layouts admit a bijection.
+    #[test]
+    fn join_operand_swap_preserves_fingerprint(
+        c in arb_conjunct(),
+    ) {
+        let build = |swapped: bool| {
+            let gen = IdGen::new();
+            let (t, tids) = scan(&gen, "t");
+            let (u, uids) = scan(&gen, "u");
+            let pred = c.to_expr(&tids);
+            let (left, right, cond) = if swapped {
+                (u, t, col(uids[0]).eq_to(col(tids[0])))
+            } else {
+                (t, u, col(tids[0]).eq_to(col(uids[0])))
+            };
+            PlanBuilder::from_plan(&gen, left)
+                .join(right, JoinType::Inner, cond)
+                .filter(pred)
+                .build()
+        };
+        let fa = canonical_form(&build(false));
+        let fb = canonical_form(&build(true));
+        prop_assert_eq!(fa.fingerprint, fb.fingerprint);
+        prop_assert_eq!(&fa.encoding, &fb.encoding);
+        prop_assert!(position_map(&fb.slots, &fa.slots).is_some());
+    }
+}

@@ -1,0 +1,90 @@
+// Demo code: unwrap/panic on setup failure is the point, so the
+// workspace unwrap/panic gate is relaxed here.
+#![allow(clippy::unwrap_used, clippy::panic)]
+
+//! Workload-level reuse: a dashboard re-submits overlapping queries,
+//! the batch executes the shared subplan once, later single queries are
+//! served from the shared-subplan cache, and re-registering the table
+//! invalidates the cache instead of serving stale rows.
+//!
+//! ```sh
+//! cargo run --example workload_reuse
+//! ```
+
+use fusion_common::{DataType, Value};
+use fusion_engine::Session;
+use fusion_exec::table::TableColumn;
+use fusion_exec::TableBuilder;
+
+fn build_sales(price: f64) -> fusion_exec::Table {
+    let mut b = TableBuilder::new(
+        "sales",
+        vec![
+            TableColumn {
+                name: "region".into(),
+                data_type: DataType::Int64,
+                nullable: false,
+            },
+            TableColumn {
+                name: "total".into(),
+                data_type: DataType::Float64,
+                nullable: true,
+            },
+        ],
+    );
+    for i in 0..1000i64 {
+        b.add_row(vec![
+            Value::Int64(i % 5),
+            Value::Float64((i % 13) as f64 * price),
+        ])
+        .unwrap();
+    }
+    b.build()
+}
+
+fn main() {
+    let mut session = Session::new();
+    session.register_table(build_sales(1.0));
+
+    // The same report, submitted twice (plus a filtered variant the
+    // optimizer covers with a compensating filter via Fuse).
+    let dashboard = [
+        "SELECT region, SUM(total) AS t FROM sales GROUP BY region",
+        "SELECT region, SUM(total) AS t FROM sales GROUP BY region",
+    ];
+
+    println!("== batch: two identical reports ==");
+    let batch = session.run_batch(&dashboard).unwrap();
+    for (i, r) in batch.results.iter().enumerate() {
+        println!("query {i}: {} rows, notes {:?}", r.rows.len(), r.report.reuse);
+    }
+    println!(
+        "queries batched {}, shared subplans executed {}, consumers spliced {}",
+        batch.metrics.queries_batched,
+        batch.metrics.shared_subplans_executed,
+        batch.report.consumers_spliced(),
+    );
+
+    println!("\n== a later single query hits the warm cache ==");
+    let warm = session.sql(dashboard[0]).unwrap();
+    println!(
+        "cache hits {}, bytes scanned {} (served without touching storage)",
+        warm.metrics.reuse_cache_hits, warm.metrics.bytes_scanned
+    );
+    println!("\n{}", session.explain_analyze(dashboard[0]).unwrap());
+
+    println!("== re-registering the table invalidates the cache ==");
+    session.register_table(build_sales(2.0));
+    let fresh = session.sql(dashboard[0]).unwrap();
+    println!(
+        "cache hits {}, evictions {}, bytes scanned {} (stale entry dropped, re-executed)",
+        fresh.metrics.reuse_cache_hits,
+        fresh.metrics.reuse_cache_evictions,
+        fresh.metrics.bytes_scanned
+    );
+    assert_ne!(
+        warm.sorted_rows(),
+        fresh.sorted_rows(),
+        "new data, new answer"
+    );
+}

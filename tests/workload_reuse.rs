@@ -1,0 +1,273 @@
+// Test code: unwrap/panic on setup or assertion failure is the point,
+// so the workspace unwrap/panic gate is relaxed here.
+#![allow(clippy::unwrap_used, clippy::panic)]
+
+//! End-to-end correctness of workload-level reuse: batches of TPC-DS
+//! queries must produce results bit-identical to running each query
+//! independently — with the fused and the baseline optimizer, across
+//! worker counts — while shared subplans actually execute once, and the
+//! shared-subplan cache must drop entries when a table is re-registered.
+
+use fusion_common::{DataType, Value};
+use fusion_engine::Session;
+use fusion_exec::table::TableColumn;
+use fusion_exec::TableBuilder;
+use fusion_tpcds::{all_queries, generate_catalog, TpcdsConfig};
+
+/// Smaller than the correctness suite's 0.12: each test here builds
+/// several catalogs (solo + batch session per worker count).
+const SCALE: f64 = 0.08;
+
+fn tpcds_session(fusion: bool, workers: usize) -> Session {
+    let cfg = TpcdsConfig::with_scale(SCALE);
+    let mut s = if fusion {
+        Session::new()
+    } else {
+        Session::baseline()
+    };
+    for table in generate_catalog(&cfg).into_tables() {
+        s.register_table(table);
+    }
+    s.set_parallelism(workers);
+    s
+}
+
+fn sql_of(id: &str) -> String {
+    all_queries()
+        .into_iter()
+        .find(|q| q.id == id)
+        .unwrap_or_else(|| panic!("no corpus query named {id}"))
+        .sql
+}
+
+/// The corpus batches: an identical pair (exact cross-query sharing), an
+/// identical triple, and a mixed pair with no engineered overlap (the
+/// optimizer must not manufacture wrong sharing).
+fn corpus_batches() -> Vec<Vec<String>> {
+    vec![
+        vec![sql_of("INTRO"), sql_of("INTRO")],
+        vec![sql_of("C42"), sql_of("C42"), sql_of("C42")],
+        vec![sql_of("Q09"), sql_of("C55")],
+    ]
+}
+
+/// Run every corpus batch through `run_batch` and through independent
+/// `sql` calls (reuse disabled) and require bit-identical rows per query.
+/// The same pair of sessions serves all batches, so later batches also
+/// exercise warm-cache servings.
+fn check_batches_match_independent(fusion: bool, workers: usize) {
+    let mut solo = tpcds_session(fusion, workers);
+    solo.set_reuse_enabled(false);
+    let batcher = tpcds_session(fusion, workers);
+
+    for (b, sqls) in corpus_batches().iter().enumerate() {
+        let refs: Vec<&str> = sqls.iter().map(String::as_str).collect();
+        let independent: Vec<_> = refs
+            .iter()
+            .map(|sql| solo.sql(sql).unwrap_or_else(|e| panic!("solo run: {e}")))
+            .collect();
+        let batch = batcher
+            .run_batch(&refs)
+            .unwrap_or_else(|e| panic!("batch {b} failed: {e}"));
+
+        assert_eq!(batch.results.len(), refs.len());
+        assert_eq!(batch.metrics.queries_batched, refs.len() as u64);
+        for (i, (r, ind)) in batch.results.iter().zip(&independent).enumerate() {
+            assert_eq!(
+                r.sorted_rows(),
+                ind.sorted_rows(),
+                "batch {b} query {i} diverged from its independent run \
+                 (fusion={fusion}, workers={workers})\nreuse notes: {:?}",
+                r.report.reuse
+            );
+        }
+    }
+}
+
+#[test]
+fn fused_batches_bit_identical_1_worker() {
+    check_batches_match_independent(true, 1);
+}
+
+#[test]
+fn fused_batches_bit_identical_2_workers() {
+    check_batches_match_independent(true, 2);
+}
+
+#[test]
+fn fused_batches_bit_identical_4_workers() {
+    check_batches_match_independent(true, 4);
+}
+
+#[test]
+fn baseline_batches_bit_identical_1_worker() {
+    check_batches_match_independent(false, 1);
+}
+
+#[test]
+fn baseline_batches_bit_identical_4_workers() {
+    check_batches_match_independent(false, 4);
+}
+
+/// A batch of N identical queries executes the shared subplan once: the
+/// shared-execution counter fires and the batch runs strictly fewer scan
+/// morsels than N independent runs.
+#[test]
+fn identical_pair_executes_shared_subplan_once() {
+    let mut solo = tpcds_session(true, 2);
+    solo.set_reuse_enabled(false);
+    let batcher = tpcds_session(true, 2);
+
+    let sql = sql_of("INTRO");
+    let refs = [sql.as_str(), sql.as_str()];
+    let independent: Vec<_> = refs.iter().map(|q| solo.sql(q).unwrap()).collect();
+    let batch = batcher.run_batch(&refs).unwrap();
+
+    for (r, ind) in batch.results.iter().zip(&independent) {
+        assert_eq!(r.sorted_rows(), ind.sorted_rows());
+        assert!(r.reused(), "reuse notes: {:?}", r.report.reuse);
+    }
+    assert!(
+        batch.metrics.shared_subplans_executed >= 1,
+        "expected a shared execution; report: {:?}",
+        batch.report
+    );
+    assert!(batch.report.shared_executions() >= 1);
+    assert!(batch.report.consumers_spliced() >= 2);
+
+    let solo_morsels: u64 = independent.iter().map(|r| r.metrics.morsels_executed).sum();
+    assert!(
+        batch.metrics.morsels_executed < solo_morsels,
+        "sharing must reduce scan work: batch ran {} morsels vs {} independent",
+        batch.metrics.morsels_executed,
+        solo_morsels
+    );
+}
+
+fn orders_table(totals_scale: f64) -> fusion_exec::Table {
+    let mut b = TableBuilder::new(
+        "orders",
+        vec![
+            TableColumn {
+                name: "o_id".into(),
+                data_type: DataType::Int64,
+                nullable: false,
+            },
+            TableColumn {
+                name: "o_cust".into(),
+                data_type: DataType::Int64,
+                nullable: true,
+            },
+            TableColumn {
+                name: "o_total".into(),
+                data_type: DataType::Float64,
+                nullable: true,
+            },
+        ],
+    );
+    for i in 0..40i64 {
+        b.add_row(vec![
+            Value::Int64(i),
+            Value::Int64(i % 5),
+            Value::Float64((i % 9) as f64 * totals_scale),
+        ])
+        .unwrap();
+    }
+    b.build()
+}
+
+fn orders_session() -> Session {
+    let mut s = Session::new();
+    s.register_table(orders_table(10.0));
+    s
+}
+
+/// Two *different* queries over the same scan+filter shape fuse across
+/// the batch: the shared plan executes once and each consumer reads it
+/// through its own compensating filter.
+#[test]
+fn different_filters_fuse_across_queries() {
+    let q1 = "SELECT o_id FROM orders WHERE o_total > 30";
+    let q2 = "SELECT o_id FROM orders WHERE o_total <= 30";
+
+    let mut solo = orders_session();
+    solo.set_reuse_enabled(false);
+    let i1 = solo.sql(q1).unwrap();
+    let i2 = solo.sql(q2).unwrap();
+    assert_ne!(i1.sorted_rows(), i2.sorted_rows(), "disjoint filters");
+
+    let batcher = orders_session();
+    let batch = batcher.run_batch(&[q1, q2]).unwrap();
+    assert_eq!(batch.results[0].sorted_rows(), i1.sorted_rows());
+    assert_eq!(batch.results[1].sorted_rows(), i2.sorted_rows());
+    assert!(
+        batch.metrics.shared_subplans_executed >= 1,
+        "expected cross-query fusion of the near-matching subplans; report: {:?}",
+        batch.report
+    );
+    assert!(
+        batch.report.groups.iter().any(|g| g.fused),
+        "the shared group should come from Fuse, not an exact match: {:?}",
+        batch.report
+    );
+}
+
+/// Re-registering a table bumps its catalog version; cached results that
+/// depend on it must be evicted, never served stale.
+#[test]
+fn cache_invalidated_by_table_reregistration() {
+    let mut s = orders_session();
+    let sql = "SELECT o_cust, SUM(o_total) AS t FROM orders GROUP BY o_cust";
+
+    let batch = s.run_batch(&[sql, sql]).unwrap();
+    assert!(batch.metrics.shared_subplans_executed >= 1);
+    assert!(s.reuse_cache_len() >= 1, "batch admitted the shared result");
+
+    let warm = s.sql(sql).unwrap();
+    assert_eq!(warm.metrics.reuse_cache_hits, 1, "warm cache serves the query");
+    assert_eq!(warm.sorted_rows(), batch.results[0].sorted_rows());
+
+    // Same schema, different data: totals are halved.
+    s.register_table(orders_table(5.0));
+
+    let fresh = s.sql(sql).unwrap();
+    assert_eq!(
+        fresh.metrics.reuse_cache_hits, 0,
+        "stale entry must not hit: {:?}",
+        fresh.report.reuse
+    );
+    assert!(
+        fresh.metrics.reuse_cache_evictions >= 1,
+        "version mismatch evicts the stale entry"
+    );
+    assert!(fresh.metrics.bytes_scanned > 0, "query re-reads the table");
+    assert_ne!(
+        fresh.sorted_rows(),
+        warm.sorted_rows(),
+        "results reflect the new data, not the cached old rows"
+    );
+
+    // Cross-check against a reuse-free session over the same new data.
+    let mut check = Session::new();
+    check.set_reuse_enabled(false);
+    check.register_table(orders_table(5.0));
+    assert_eq!(fresh.sorted_rows(), check.sql(sql).unwrap().sorted_rows());
+}
+
+/// The admission queue drains as one batch and shares work between
+/// queued queries.
+#[test]
+fn queued_queries_share_on_drain() {
+    let s = orders_session();
+    let sql = "SELECT o_cust, SUM(o_total) AS t FROM orders GROUP BY o_cust";
+    s.enqueue(sql);
+    s.enqueue(sql);
+    let batch = s.run_queued().unwrap();
+    assert_eq!(s.queued_len(), 0);
+    assert_eq!(batch.results.len(), 2);
+    assert!(batch.metrics.shared_subplans_executed >= 1);
+    assert_eq!(
+        batch.results[0].sorted_rows(),
+        batch.results[1].sorted_rows()
+    );
+}
