@@ -156,6 +156,7 @@ fn measure(
     }
     let cold = cold.unwrap();
     for (i, (r, ind)) in cold.results.iter().zip(&independent).enumerate() {
+        let r = r.as_ref().expect("batched query succeeded");
         assert_eq!(
             r.sorted_rows(),
             ind.sorted_rows(),
@@ -170,6 +171,7 @@ fn measure(
     let warm = batcher.run_batch(&refs).expect("warm run");
     let warm_ms = start.elapsed().as_secs_f64() * 1e3;
     for (r, ind) in warm.results.iter().zip(&independent) {
+        let r = r.as_ref().expect("warm batched query succeeded");
         assert_eq!(
             r.sorted_rows(),
             ind.sorted_rows(),

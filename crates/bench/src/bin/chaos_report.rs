@@ -1,0 +1,335 @@
+// One-shot chaos driver: aborting on a setup or I/O failure is the
+// desired behavior, so the workspace unwrap/panic gate is relaxed here.
+#![allow(clippy::unwrap_used, clippy::panic)]
+
+//! Batch chaos report: blast-radius isolation under a seed matrix.
+//!
+//! Runs the TPC-DS chaos batch (an identical pair plus a distinct
+//! control query) across a matrix of fault-schedule seeds × optimizer
+//! modes (fused / baseline) × worker counts (1 / 4), with every reuse
+//! fault point armed at a flaky rate plus mild transient scan faults.
+//! Each cell runs the batch twice (cold, then warm against a possibly
+//! corrupted cache) and checks the isolation contract:
+//!
+//! - the batch call itself always returns (never hangs, never `Err`
+//!   outside opt-in fail-fast mode);
+//! - every surviving slot's rows are bit-identical to an independent
+//!   unfused, fault-free run of that query;
+//! - every failed slot carries a typed [`BatchQueryError`] whose index
+//!   matches its position;
+//! - the `batch_query_failures` counter matches the failed-slot count.
+//!
+//! Writes `CHAOS_report.json` (per-cell outcomes plus aggregate fault
+//! counters) and exits nonzero on any violation, printing exact repro
+//! instructions for the failing seed.
+//!
+//! ```sh
+//! cargo run -p fusion-bench --release --bin chaos_report
+//! CHAOS_SEEDS=16 TPCDS_SCALE=0.1 cargo run -p fusion-bench --release --bin chaos_report
+//! ```
+//!
+//! To reproduce a single failing cell, re-run with the printed
+//! `CHAOS_SEED_BASE` and `CHAOS_SEEDS=1`, or drive the equivalent
+//! proptest case via `PROPTEST_SEED` on `cargo test -p fusion-engine
+//! --test chaos`.
+
+use std::fmt::Write as _;
+
+use fusion_bench::Harness;
+use fusion_engine::{BatchStage, Session};
+use fusion_exec::{FaultPolicy, ReuseFaultRates};
+use fusion_tpcds::all_queries;
+
+fn env_or<T: std::str::FromStr>(name: &str, default: T) -> T {
+    std::env::var(name)
+        .ok()
+        .and_then(|s| s.parse::<T>().ok())
+        .unwrap_or(default)
+}
+
+fn sql_of(id: &str) -> String {
+    all_queries()
+        .into_iter()
+        .find(|q| q.id == id)
+        .unwrap_or_else(|| panic!("no corpus query named {id}"))
+        .sql
+}
+
+/// Seed-derived fault schedule: each site draws off / flaky / certain
+/// from a splitmix64-style mix so seeds cover the grid deterministically.
+fn schedule(seed: u64) -> (f64, ReuseFaultRates) {
+    fn mix(mut z: u64) -> u64 {
+        z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+    let pick = |salt: u64| [0.0, 0.3, 1.0][(mix(seed ^ salt) % 3) as usize];
+    let scan = [0.0, 0.05, 0.15][(mix(seed ^ 0x5ca9) % 3) as usize];
+    (
+        scan,
+        ReuseFaultRates {
+            shared_exec: pick(0x1111),
+            splice: pick(0x2222),
+            cache_admit: pick(0x3333),
+            cache_lookup: pick(0x4444),
+            cache_corrupt: pick(0x5555),
+        },
+    )
+}
+
+struct Cell {
+    seed: u64,
+    fused: bool,
+    workers: usize,
+    poisoned: bool,
+    survived: usize,
+    failed: usize,
+    detached: u64,
+    poison_evictions: u64,
+    breaker_trips: u64,
+    violations: Vec<String>,
+}
+
+fn run_cell(
+    seed: u64,
+    fused: bool,
+    workers: usize,
+    scale: f64,
+    refs: &[&str],
+    expected: &[Vec<Vec<fusion_common::Value>>],
+) -> Cell {
+    let (scan_rate, rates) = schedule(seed);
+    let mut s = chaos_session(scale, fused, workers);
+    let mut policy = FaultPolicy::transient(seed, scan_rate).with_reuse_faults(rates);
+    // A third of the matrix poisons a partition of `item`: the control
+    // query (C42) must then fail with a typed error in its own slot
+    // while the INTRO pair — which never reads `item` — still survives.
+    let poisoned = seed.is_multiple_of(3);
+    if poisoned {
+        policy = policy.with_poison("item", 0);
+    }
+    s.set_fault_policy(policy);
+
+    let mut cell = Cell {
+        seed,
+        fused,
+        workers,
+        poisoned,
+        survived: 0,
+        failed: 0,
+        detached: 0,
+        poison_evictions: 0,
+        breaker_trips: 0,
+        violations: Vec::new(),
+    };
+
+    for round in 0..2 {
+        let batch = match s.run_batch(refs) {
+            Ok(b) => b,
+            Err(e) => {
+                cell.violations
+                    .push(format!("round {round}: batch-level error leaked: {e}"));
+                return cell;
+            }
+        };
+        if batch.results.len() != refs.len() {
+            cell.violations.push(format!(
+                "round {round}: {} slots for {} queries",
+                batch.results.len(),
+                refs.len()
+            ));
+            return cell;
+        }
+        for (i, slot) in batch.results.iter().enumerate() {
+            match slot {
+                Ok(r) => {
+                    cell.survived += 1;
+                    if r.sorted_rows() != expected[i] {
+                        cell.violations.push(format!(
+                            "round {round} query {i}: rows diverged from independent run"
+                        ));
+                    }
+                }
+                Err(e) => {
+                    cell.failed += 1;
+                    if e.query != i {
+                        cell.violations.push(format!(
+                            "round {round} query {i}: error indexed as query {}",
+                            e.query
+                        ));
+                    }
+                    if e.stage != BatchStage::Execute {
+                        cell.violations.push(format!(
+                            "round {round} query {i}: plannable query failed at {:?}",
+                            e.stage
+                        ));
+                    }
+                }
+            }
+        }
+        if poisoned {
+            if batch.results[2].is_ok() {
+                cell.violations.push(format!(
+                    "round {round}: poisoned control query returned rows instead of failing"
+                ));
+            }
+            for i in [0usize, 1] {
+                if batch.results[i].is_err() {
+                    cell.violations.push(format!(
+                        "round {round}: poison on `item` leaked into query {i} \
+                         (reads only customer/store_sales)"
+                    ));
+                }
+            }
+        }
+        let failures = batch.failures().count() as u64;
+        if batch.metrics.batch_query_failures != failures {
+            cell.violations.push(format!(
+                "round {round}: batch_query_failures={} but {} failed slots",
+                batch.metrics.batch_query_failures, failures
+            ));
+        }
+        cell.detached += batch.metrics.consumers_detached;
+        cell.poison_evictions += batch.metrics.cache_poison_evictions;
+        cell.breaker_trips += batch.metrics.circuit_breaker_trips;
+    }
+    cell
+}
+
+fn chaos_session(scale: f64, fused: bool, workers: usize) -> Session {
+    if fused {
+        Harness::session(scale, |s| s.set_parallelism(workers))
+    } else {
+        // Harness::session always builds a fused session; mirror it for
+        // the baseline optimizer by hand.
+        let cfg = fusion_tpcds::TpcdsConfig::with_scale(scale);
+        let mut s = Session::baseline();
+        for table in fusion_tpcds::generate_catalog(&cfg).into_tables() {
+            s.register_table(table);
+        }
+        s.set_parallelism(workers);
+        s
+    }
+}
+
+fn main() {
+    let scale: f64 = env_or("TPCDS_SCALE", 0.05);
+    let seeds: u64 = env_or("CHAOS_SEEDS", 8);
+    let seed_base: u64 = env_or("CHAOS_SEED_BASE", 0xC4A0);
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "CHAOS_report.json".into());
+
+    let sqls = [sql_of("INTRO"), sql_of("INTRO"), sql_of("C42")];
+    let refs: Vec<&str> = sqls.iter().map(String::as_str).collect();
+
+    eprintln!(
+        "# chaos_report: scale {scale}, {seeds} seeds from base {seed_base:#x}, \
+         fused+baseline x 1/4 workers, 2 rounds per cell"
+    );
+
+    // Ground truth once per worker count: independent unfused fault-free
+    // runs (worker count can legally reorder ties, so compare per-config).
+    let mut cells: Vec<Cell> = Vec::new();
+    for &workers in &[1usize, 4] {
+        let mut reference = chaos_session(scale, false, workers);
+        reference.set_reuse_enabled(false);
+        let expected: Vec<_> = refs.iter().map(|q| {
+            reference
+                .sql(q)
+                .unwrap_or_else(|e| panic!("reference run failed: {e}"))
+                .sorted_rows()
+        }).collect();
+        for &fused in &[true, false] {
+            for i in 0..seeds {
+                cells.push(run_cell(
+                    seed_base.wrapping_add(i),
+                    fused,
+                    workers,
+                    scale,
+                    &refs,
+                    &expected,
+                ));
+            }
+        }
+    }
+
+    let total_violations: usize = cells.iter().map(|c| c.violations.len()).sum();
+    let mut json = String::new();
+    writeln!(json, "{{").unwrap();
+    writeln!(json, "  \"scale\": {scale},").unwrap();
+    writeln!(json, "  \"seeds\": {seeds},").unwrap();
+    writeln!(json, "  \"seed_base\": {seed_base},").unwrap();
+    writeln!(json, "  \"queries\": [\"INTRO\", \"INTRO\", \"C42\"],").unwrap();
+    writeln!(json, "  \"rounds_per_cell\": 2,").unwrap();
+    writeln!(json, "  \"violations\": {total_violations},").unwrap();
+    writeln!(json, "  \"cells\": [").unwrap();
+    for (ci, c) in cells.iter().enumerate() {
+        let (scan_rate, rates) = schedule(c.seed);
+        writeln!(json, "    {{").unwrap();
+        writeln!(json, "      \"seed\": {},", c.seed).unwrap();
+        writeln!(json, "      \"fused\": {},", c.fused).unwrap();
+        writeln!(json, "      \"workers\": {},", c.workers).unwrap();
+        writeln!(json, "      \"poisoned_partition\": {},", c.poisoned).unwrap();
+        writeln!(json, "      \"scan_fault_rate\": {scan_rate},").unwrap();
+        writeln!(
+            json,
+            "      \"reuse_fault_rates\": {{\"shared_exec\": {}, \"splice\": {}, \
+             \"cache_admit\": {}, \"cache_lookup\": {}, \"cache_corrupt\": {}}},",
+            rates.shared_exec, rates.splice, rates.cache_admit, rates.cache_lookup,
+            rates.cache_corrupt
+        )
+        .unwrap();
+        writeln!(json, "      \"slots_survived\": {},", c.survived).unwrap();
+        writeln!(json, "      \"slots_failed_typed\": {},", c.failed).unwrap();
+        writeln!(json, "      \"consumers_detached\": {},", c.detached).unwrap();
+        writeln!(json, "      \"cache_poison_evictions\": {},", c.poison_evictions).unwrap();
+        writeln!(json, "      \"circuit_breaker_trips\": {},", c.breaker_trips).unwrap();
+        writeln!(
+            json,
+            "      \"violations\": [{}]",
+            c.violations
+                .iter()
+                .map(|v| format!("\"{}\"", v.replace('"', "'")))
+                .collect::<Vec<_>>()
+                .join(", ")
+        )
+        .unwrap();
+        writeln!(json, "    }}{}", if ci + 1 < cells.len() { "," } else { "" }).unwrap();
+    }
+    writeln!(json, "  ]").unwrap();
+    writeln!(json, "}}").unwrap();
+    std::fs::write(&out_path, json).expect("write CHAOS_report.json");
+    eprintln!("# wrote {out_path} ({} cells)", cells.len());
+
+    let survived: usize = cells.iter().map(|c| c.survived).sum();
+    let failed: usize = cells.iter().map(|c| c.failed).sum();
+    eprintln!(
+        "# slots: {survived} survived bit-identical, {failed} failed with typed errors; \
+         detached {} consumers, evicted {} poisoned entries, tripped {} breakers",
+        cells.iter().map(|c| c.detached).sum::<u64>(),
+        cells.iter().map(|c| c.poison_evictions).sum::<u64>(),
+        cells.iter().map(|c| c.breaker_trips).sum::<u64>(),
+    );
+
+    if total_violations == 0 {
+        eprintln!("# isolation contract held on every cell");
+    } else {
+        eprintln!("# ISOLATION VIOLATIONS:");
+        for c in cells.iter().filter(|c| !c.violations.is_empty()) {
+            for v in &c.violations {
+                eprintln!(
+                    "#   seed {} fused={} workers={}: {v}",
+                    c.seed, c.fused, c.workers
+                );
+            }
+            eprintln!(
+                "#   repro: CHAOS_SEED_BASE={} CHAOS_SEEDS=1 TPCDS_SCALE={scale} \
+                 cargo run -p fusion-bench --release --bin chaos_report",
+                c.seed
+            );
+        }
+        std::process::exit(1);
+    }
+}

@@ -54,6 +54,9 @@ pub struct Session {
     /// Whether batches exploit cross-query reuse and single queries
     /// consult the shared-subplan cache.
     reuse_enabled: bool,
+    /// Opt-in all-or-nothing batches: the first per-query failure aborts
+    /// the whole batch instead of landing in that query's slot.
+    batch_fail_fast: bool,
     /// Admission queue for deferred batch execution
     /// ([`Session::enqueue`] / [`Session::run_queued`]).
     queue: Mutex<Vec<String>>,
@@ -108,24 +111,89 @@ impl QueryResult {
     }
 }
 
+/// Which pipeline stage a batched query failed in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchStage {
+    /// SQL parsing / logical planning.
+    Plan,
+    /// Optimization or execution (after any fallback attempt).
+    Execute,
+}
+
+/// A typed per-slot failure in a batch: the query at `query` failed while
+/// every other query in the batch kept running (see
+/// [`Session::run_batch`]).
+#[derive(Debug, Clone)]
+pub struct BatchQueryError {
+    /// Index of the failed query, in submission order.
+    pub query: usize,
+    /// Where in the pipeline it failed.
+    pub stage: BatchStage,
+    /// The underlying error, with its stable `FUSION_*` code intact.
+    pub error: FusionError,
+}
+
+impl std::fmt::Display for BatchQueryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let stage = match self.stage {
+            BatchStage::Plan => "planning",
+            BatchStage::Execute => "execution",
+        };
+        write!(f, "query {} failed during {stage}: {}", self.query, self.error)
+    }
+}
+
 /// Everything a batch run produces ([`Session::run_batch`]).
 #[derive(Debug, Clone)]
 pub struct BatchResult {
-    /// One result per submitted query, in submission order.
+    /// One slot per submitted query, in submission order. Each query is
+    /// its own fault domain: a slot holds either the query's result or
+    /// the typed error that took *that query* down — never the batch.
     ///
-    /// The `metrics` embedded in each result are *cumulative prefixes* of
-    /// the shared batch metrics (shared subplan executions and every
-    /// query in the batch accumulate into one sink, exactly like the
-    /// fallback path accumulates across attempts); the batch-level
-    /// [`BatchResult::metrics`] snapshot, taken after the whole batch
-    /// completes, is the authoritative total.
-    pub results: Vec<QueryResult>,
+    /// The `metrics` embedded in each successful result are that query's
+    /// **deltas** of the shared batch sink (counters accumulated between
+    /// the query starting and finishing, with `peak_state_bytes` carrying
+    /// the batch high-water mark). Work done once for the whole batch —
+    /// shared subplan executions, cache admissions — happens before the
+    /// first query runs and is attributed only to the batch-level
+    /// [`BatchResult::metrics`], which is the authoritative total.
+    pub results: Vec<std::result::Result<QueryResult, BatchQueryError>>,
     /// Batch-wide metrics, snapshotted only after every query finished
     /// (completion-only semantics).
     pub metrics: MetricsSnapshot,
     /// Per-group reuse accounting: which subplans were shared, by which
     /// queries, whether fusion or the cache served them.
     pub report: WorkloadReport,
+}
+
+impl BatchResult {
+    /// The result of query `i`, if it succeeded.
+    pub fn query(&self, i: usize) -> Option<&QueryResult> {
+        self.results.get(i).and_then(|r| r.as_ref().ok())
+    }
+
+    /// The error of query `i`, if it failed.
+    pub fn error(&self, i: usize) -> Option<&BatchQueryError> {
+        self.results.get(i).and_then(|r| r.as_ref().err())
+    }
+
+    /// Successful queries with their submission indices, in order.
+    pub fn successes(&self) -> impl Iterator<Item = (usize, &QueryResult)> {
+        self.results
+            .iter()
+            .enumerate()
+            .filter_map(|(i, r)| Some((i, r.as_ref().ok()?)))
+    }
+
+    /// The failed slots, in submission order.
+    pub fn failures(&self) -> impl Iterator<Item = &BatchQueryError> {
+        self.results.iter().filter_map(|r| r.as_ref().err())
+    }
+
+    /// Whether every query in the batch succeeded.
+    pub fn all_succeeded(&self) -> bool {
+        self.results.iter().all(|r| r.is_ok())
+    }
 }
 
 impl Session {
@@ -144,6 +212,7 @@ impl Session {
             last_profile: Mutex::new(None),
             reuse: ReuseManager::default(),
             reuse_enabled: true,
+            batch_fail_fast: false,
             queue: Mutex::new(Vec::new()),
         }
     }
@@ -297,7 +366,7 @@ impl Session {
         let start = Instant::now();
         let (optimized_plan, report) = self.optimize(&initial_plan);
         let mut text = optimized_plan.display();
-        push_trace_sections(&mut text, &report);
+        push_trace_sections(&mut text, &report, None);
         Ok(QueryResult {
             schema: self.plan_text_schema(),
             rows: text_rows(&text),
@@ -328,7 +397,7 @@ impl Session {
             }
             None => result.optimized_plan.display(),
         };
-        push_trace_sections(&mut text, &result.report);
+        push_trace_sections(&mut text, &result.report, Some(&result.metrics));
         Ok(QueryResult {
             schema: self.plan_text_schema(),
             rows: text_rows(&text),
@@ -377,7 +446,7 @@ impl Session {
         let metrics = self.fresh_metrics();
         let (exec_plan, reuse_notes) = if self.reuse_enabled {
             self.reuse
-                .apply_cache(&initial_plan, &self.catalog, &metrics)
+                .apply_cache(&initial_plan, &self.catalog, &self.fault_policy, &metrics)
         } else {
             (initial_plan.clone(), Vec::new())
         };
@@ -458,20 +527,54 @@ impl Session {
     /// the materialized rows through its compensating filter and column
     /// mapping. Results are bit-identical to running each query alone.
     ///
+    /// Each query is its own fault domain: a query that fails — bad SQL,
+    /// an injected fault, a blown deadline or budget — lands as a typed
+    /// [`BatchQueryError`] in its slot of [`BatchResult::results`] while
+    /// every other query completes. The pre-isolation all-or-nothing
+    /// behavior is opt-in via [`Session::set_batch_fail_fast`].
+    ///
     /// Shared executions surface as `shared_subplans_executed` in the
-    /// batch metrics; cached servings as `reuse_cache_hits`.
+    /// batch metrics; cached servings as `reuse_cache_hits`; per-query
+    /// failures as `batch_query_failures`.
     pub fn run_batch(&self, sqls: &[&str]) -> Result<BatchResult> {
-        let mut plans = Vec::with_capacity(sqls.len());
-        for sql in sqls {
-            plans.push(self.plan_sql(sql)?);
+        let mut slots = Vec::with_capacity(sqls.len());
+        for (i, sql) in sqls.iter().enumerate() {
+            match self.plan_sql(sql) {
+                Ok(plan) => slots.push(Ok(plan)),
+                Err(error) => {
+                    if self.batch_fail_fast {
+                        return Err(error);
+                    }
+                    slots.push(Err(BatchQueryError {
+                        query: i,
+                        stage: BatchStage::Plan,
+                        error,
+                    }));
+                }
+            }
         }
-        self.run_batch_plans(plans)
+        self.run_batch_slots(slots)
     }
 
     /// [`Session::run_batch`] over already-planned queries.
     pub fn run_batch_plans(&self, plans: Vec<LogicalPlan>) -> Result<BatchResult> {
+        self.run_batch_slots(plans.into_iter().map(Ok).collect())
+    }
+
+    /// Shared tail of the batch paths: run the plannable slots with
+    /// workload reuse, confining every failure to its own slot.
+    fn run_batch_slots(
+        &self,
+        slots: Vec<std::result::Result<LogicalPlan, BatchQueryError>>,
+    ) -> Result<BatchResult> {
         let metrics = self.fresh_metrics();
-        metrics.add_queries_batched(plans.len() as u64);
+        metrics.add_queries_batched(slots.len() as u64);
+        for slot in &slots {
+            if slot.is_err() {
+                metrics.add_batch_query_failure();
+            }
+        }
+        let plans: Vec<LogicalPlan> = slots.iter().filter_map(|s| s.as_ref().ok().cloned()).collect();
         let outcome = if self.reuse_enabled {
             let ctx = self.exec_context(&metrics);
             let optimize = |p: &LogicalPlan| self.optimize(p).0;
@@ -490,19 +593,67 @@ impl Session {
                 report: WorkloadReport::default(),
             }
         };
-        let mut results = Vec::with_capacity(plans.len());
-        for ((initial, exec), notes) in plans
-            .into_iter()
-            .zip(outcome.plans)
-            .zip(outcome.notes)
-        {
-            results.push(self.run_plan_inner(initial, exec, Arc::clone(&metrics), notes)?);
+        let mut rewritten = outcome.plans.into_iter().zip(outcome.notes);
+        let mut results = Vec::with_capacity(slots.len());
+        for (i, slot) in slots.into_iter().enumerate() {
+            let initial = match slot {
+                Ok(plan) => plan,
+                Err(e) => {
+                    results.push(Err(e));
+                    continue;
+                }
+            };
+            let Some((exec, notes)) = rewritten.next() else {
+                // plan_workload returns one plan per input by contract;
+                // running the original unshared keeps the query correct
+                // even if that contract is ever broken.
+                results.push(Err(BatchQueryError {
+                    query: i,
+                    stage: BatchStage::Execute,
+                    error: FusionError::Internal(
+                        "workload optimizer dropped a batch slot".into(),
+                    ),
+                }));
+                continue;
+            };
+            // Per-query metrics are deltas of the shared sink, so a
+            // failing or skipped query never smears its counters into a
+            // neighbor's result.
+            let before = metrics.snapshot();
+            match self.run_plan_inner(initial, exec, Arc::clone(&metrics), notes) {
+                Ok(mut r) => {
+                    r.metrics = r.metrics.delta_since(&before);
+                    results.push(Ok(r));
+                }
+                Err(error) => {
+                    metrics.add_batch_query_failure();
+                    if self.batch_fail_fast {
+                        return Err(error);
+                    }
+                    results.push(Err(BatchQueryError {
+                        query: i,
+                        stage: BatchStage::Execute,
+                        error,
+                    }));
+                }
+            }
         }
         Ok(BatchResult {
             results,
             metrics: metrics.snapshot(),
             report: outcome.report,
         })
+    }
+
+    /// Restore the pre-isolation all-or-nothing batch contract: the first
+    /// planning or execution failure aborts the whole batch with `Err`
+    /// instead of landing in that query's slot.
+    pub fn set_batch_fail_fast(&mut self, enabled: bool) {
+        self.batch_fail_fast = enabled;
+    }
+
+    pub fn batch_fail_fast(&self) -> bool {
+        self.batch_fail_fast
     }
 
     /// Queue a query for deferred batch execution. Queued queries run
@@ -586,18 +737,39 @@ impl Session {
 }
 
 /// Append the optimizer-trace, workload-reuse and fallback sections to
-/// EXPLAIN output.
-fn push_trace_sections(text: &mut String, report: &OptimizerReport) {
+/// EXPLAIN output. `metrics` is the execution snapshot for `EXPLAIN
+/// ANALYZE` (plain `EXPLAIN` does not execute and passes `None`); any
+/// nonzero fault-domain counter is rendered under `-- workload reuse --`.
+fn push_trace_sections(text: &mut String, report: &OptimizerReport, metrics: Option<&MetricsSnapshot>) {
     let trace = report.trace.render();
     if !trace.is_empty() {
         text.push_str("-- optimizer trace --\n");
         text.push_str(&trace);
     }
-    if !report.reuse.is_empty() {
+    let faults = metrics.filter(|m| {
+        m.batch_query_failures
+            + m.shared_group_failures
+            + m.consumers_detached
+            + m.cache_poison_evictions
+            + m.circuit_breaker_trips
+            > 0
+    });
+    if !report.reuse.is_empty() || faults.is_some() {
         text.push_str("-- workload reuse --\n");
         for note in &report.reuse {
             text.push_str(note);
             text.push('\n');
+        }
+        if let Some(m) = faults {
+            text.push_str(&format!(
+                "fault domains: batch_query_failures={} shared_group_failures={} \
+                 consumers_detached={} cache_poison_evictions={} circuit_breaker_trips={}\n",
+                m.batch_query_failures,
+                m.shared_group_failures,
+                m.consumers_detached,
+                m.cache_poison_evictions,
+                m.circuit_breaker_trips,
+            ));
         }
     }
     if let Some(fallback) = &report.fallback {
@@ -890,7 +1062,8 @@ mod tests {
         let single = s.sql(sql).unwrap();
         let batch = s.run_batch(&[sql, sql]).unwrap();
         assert_eq!(batch.results.len(), 2);
-        for r in &batch.results {
+        assert!(batch.all_succeeded());
+        for (_, r) in batch.successes() {
             assert_eq!(r.sorted_rows(), single.sorted_rows());
             assert!(r.reused(), "reuse notes: {:?}", r.report.reuse);
         }
@@ -912,8 +1085,8 @@ mod tests {
         assert_eq!(batch.results.len(), 2);
         assert_eq!(batch.metrics.queries_batched, 2);
         assert_eq!(
-            batch.results[0].sorted_rows(),
-            batch.results[1].sorted_rows()
+            batch.query(0).unwrap().sorted_rows(),
+            batch.query(1).unwrap().sorted_rows()
         );
     }
 
@@ -926,7 +1099,7 @@ mod tests {
         assert!(s.reuse_cache_len() >= 1, "batch admitted the shared result");
         // A later single query hits the warm cache: no bytes scanned.
         let r = s.sql(sql).unwrap();
-        assert_eq!(r.sorted_rows(), batch.results[0].sorted_rows());
+        assert_eq!(r.sorted_rows(), batch.query(0).unwrap().sorted_rows());
         assert!(r.reused(), "reuse notes: {:?}", r.report.reuse);
         assert_eq!(r.metrics.reuse_cache_hits, 1);
         assert_eq!(r.metrics.bytes_scanned, 0, "served from cache, no scan");

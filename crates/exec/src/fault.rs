@@ -19,6 +19,15 @@
 //! * **Poison partitions** ([`FusionError::DataCorruption`]) — partitions
 //!   listed in `poison` fail *every* attempt with a fatal error. Retrying
 //!   cannot help; only plan-level degradation or caller intervention can.
+//!
+//! Beyond scans, the policy also drives the **shared-execution fault
+//! points** used by the batch chaos harness ([`ReuseFaultSite`]): the
+//! one-shot execution of a shared subplan group, the splicing of each
+//! consumer onto the shared rows, and the reuse cache's admission and
+//! lookup paths — plus a corruption site that silently flips a cached row
+//! so the cache's checksum defense can be exercised. Each site fails with
+//! the same seed-hashed determinism as scan faults, keyed by
+//! `(seed, site, key, attempt)`.
 
 use std::collections::HashSet;
 use std::time::Duration;
@@ -41,6 +50,86 @@ pub struct FaultPolicy {
     /// `(table, partition)` pairs that always fail with
     /// [`FusionError::DataCorruption`].
     pub poison: HashSet<(String, usize)>,
+    /// Probability in `[0, 1]` that a reuse fault point fires (see
+    /// [`ReuseFaultSite`]). Keyed per `(site, key, attempt)`, so a retry
+    /// of a shared execution re-rolls exactly like a scan retry does.
+    pub reuse_failure_rates: ReuseFaultRates,
+}
+
+/// Which reuse-machinery fault point is being exercised. The discriminant
+/// enters the fault hash, so the sites fail independently under one seed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ReuseFaultSite {
+    /// The one-shot execution of a shared subplan group. Injected faults
+    /// are retryable ([`FusionError::TransientIo`]); exhausting retries
+    /// forces every consumer to detach and re-execute unshared.
+    SharedExec,
+    /// Splicing one consumer onto the shared rows. A fault detaches just
+    /// that consumer.
+    Splice,
+    /// Admission of a completed result into the reuse cache. A fault
+    /// skips admission (the result is still served to this batch).
+    CacheAdmit,
+    /// Lookup of a warm cache entry. A fault is a forced miss; the query
+    /// falls through to cold execution.
+    CacheLookup,
+    /// Silent corruption of an entry's rows *after* admission, without
+    /// updating its checksum — models a bit flip / partial write that the
+    /// checksum-verified lookup must catch and evict.
+    CacheCorrupt,
+}
+
+impl ReuseFaultSite {
+    fn discriminant(self) -> u64 {
+        match self {
+            ReuseFaultSite::SharedExec => 0xA1,
+            ReuseFaultSite::Splice => 0xB2,
+            ReuseFaultSite::CacheAdmit => 0xC3,
+            ReuseFaultSite::CacheLookup => 0xD4,
+            ReuseFaultSite::CacheCorrupt => 0xE5,
+        }
+    }
+}
+
+/// Per-site failure probabilities for the reuse fault points.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ReuseFaultRates {
+    pub shared_exec: f64,
+    pub splice: f64,
+    pub cache_admit: f64,
+    pub cache_lookup: f64,
+    pub cache_corrupt: f64,
+}
+
+impl ReuseFaultRates {
+    /// The same rate at every site.
+    pub fn uniform(rate: f64) -> Self {
+        ReuseFaultRates {
+            shared_exec: rate,
+            splice: rate,
+            cache_admit: rate,
+            cache_lookup: rate,
+            cache_corrupt: rate,
+        }
+    }
+
+    fn rate(&self, site: ReuseFaultSite) -> f64 {
+        match site {
+            ReuseFaultSite::SharedExec => self.shared_exec,
+            ReuseFaultSite::Splice => self.splice,
+            ReuseFaultSite::CacheAdmit => self.cache_admit,
+            ReuseFaultSite::CacheLookup => self.cache_lookup,
+            ReuseFaultSite::CacheCorrupt => self.cache_corrupt,
+        }
+    }
+
+    pub fn is_active(&self) -> bool {
+        self.shared_exec > 0.0
+            || self.splice > 0.0
+            || self.cache_admit > 0.0
+            || self.cache_lookup > 0.0
+            || self.cache_corrupt > 0.0
+    }
 }
 
 impl FaultPolicy {
@@ -65,11 +154,63 @@ impl FaultPolicy {
         self
     }
 
+    /// Set the failure rates of the reuse fault points.
+    pub fn with_reuse_faults(mut self, rates: ReuseFaultRates) -> Self {
+        self.reuse_failure_rates = rates;
+        self
+    }
+
     /// Whether this policy can ever inject anything.
     pub fn is_active(&self) -> bool {
         self.transient_failure_rate > 0.0
             || !self.poison.is_empty()
             || !self.read_latency.is_zero()
+            || self.reuse_failure_rates.is_active()
+    }
+
+    /// splitmix64-style avalanche over `(seed, salt, key, attempt)`,
+    /// mapped into `[0, 1)`. Shared by the scan and reuse fault points so
+    /// both draw from the same deterministic schedule space.
+    fn fault_unit(&self, salt: u64, key: &str, extra: u64, attempt: u32) -> f64 {
+        let mut h = self.seed ^ 0x9E37_79B9_7F4A_7C15 ^ salt;
+        for b in key.bytes() {
+            h = (h ^ b as u64).wrapping_mul(0x100_0000_01B3);
+        }
+        h ^= extra.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        h ^= (attempt as u64).wrapping_mul(0x94D0_49BB_1331_11EB);
+        h ^= h >> 30;
+        h = h.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        h ^= h >> 27;
+        h = h.wrapping_mul(0x94D0_49BB_1331_11EB);
+        h ^= h >> 31;
+        (h >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Decide the fate of `attempt` (0-based) of reuse fault point `site`
+    /// for the work unit identified by `key` (typically a fingerprint,
+    /// plus a consumer index for splices). Deterministic in
+    /// `(seed, site, key, attempt)`. [`ReuseFaultSite::SharedExec`] faults
+    /// are retryable transient I/O — a retried shared execution re-rolls;
+    /// every other site fails with a fatal [`FusionError::Execution`]
+    /// because those paths are not retried, only skipped.
+    pub fn inject_reuse(
+        &self,
+        site: ReuseFaultSite,
+        key: &str,
+        attempt: u32,
+    ) -> Result<(), FusionError> {
+        let rate = self.reuse_failure_rates.rate(site);
+        if rate <= 0.0 {
+            return Ok(());
+        }
+        if self.fault_unit(site.discriminant(), key, 0, attempt) < rate {
+            let msg = format!("injected {site:?} fault: key '{key}' attempt {attempt}");
+            return Err(match site {
+                ReuseFaultSite::SharedExec => FusionError::TransientIo(msg),
+                _ => FusionError::Execution(msg),
+            });
+        }
+        Ok(())
     }
 
     /// Decide the fate of read `attempt` (0-based) of `partition` of
@@ -82,20 +223,9 @@ impl FaultPolicy {
             )));
         }
         if self.transient_failure_rate > 0.0 {
-            // splitmix64-style avalanche over the (seed, table, partition,
-            // attempt) tuple; uniform enough for a failure-rate threshold.
-            let mut h = self.seed ^ 0x9E37_79B9_7F4A_7C15;
-            for b in table.bytes() {
-                h = (h ^ b as u64).wrapping_mul(0x100_0000_01B3);
-            }
-            h ^= (partition as u64).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-            h ^= (attempt as u64).wrapping_mul(0x94D0_49BB_1331_11EB);
-            h ^= h >> 30;
-            h = h.wrapping_mul(0xBF58_476D_1CE4_E5B9);
-            h ^= h >> 27;
-            h = h.wrapping_mul(0x94D0_49BB_1331_11EB);
-            h ^= h >> 31;
-            let unit = (h >> 11) as f64 / (1u64 << 53) as f64;
+            // Uniform enough for a failure-rate threshold; salt 0 keeps
+            // the pre-existing scan schedules stable under a given seed.
+            let unit = self.fault_unit(0, table, partition as u64, attempt);
             if unit < self.transient_failure_rate {
                 return Err(FusionError::TransientIo(format!(
                     "injected read failure: table '{table}' partition {partition} attempt {attempt}"
@@ -202,6 +332,86 @@ mod tests {
         }
         assert!(p.inject("t", 2, 0).is_ok());
         assert!(p.inject("u", 3, 0).is_ok());
+    }
+
+    #[test]
+    fn scan_schedule_unchanged_by_reuse_rates() {
+        // Turning reuse fault points on must not perturb the scan fault
+        // schedule for the same seed (chaos runs vary rates per site).
+        let plain = FaultPolicy::transient(42, 0.3);
+        let with_reuse = FaultPolicy::transient(42, 0.3)
+            .with_reuse_faults(ReuseFaultRates::uniform(0.5));
+        for p in 0..64 {
+            for attempt in 0..4 {
+                assert_eq!(
+                    plain.inject("store_sales", p, attempt).is_ok(),
+                    with_reuse.inject("store_sales", p, attempt).is_ok()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn reuse_sites_are_deterministic_and_independent() {
+        let p = FaultPolicy {
+            seed: 9,
+            reuse_failure_rates: ReuseFaultRates::uniform(0.5),
+            ..FaultPolicy::default()
+        };
+        let q = p.clone();
+        let sites = [
+            ReuseFaultSite::SharedExec,
+            ReuseFaultSite::Splice,
+            ReuseFaultSite::CacheAdmit,
+            ReuseFaultSite::CacheLookup,
+            ReuseFaultSite::CacheCorrupt,
+        ];
+        for site in sites {
+            for k in 0..64 {
+                let key = format!("0x{k:016x}");
+                assert_eq!(
+                    p.inject_reuse(site, &key, 0).is_ok(),
+                    q.inject_reuse(site, &key, 0).is_ok(),
+                    "schedule must be deterministic"
+                );
+            }
+        }
+        // Sites draw independent schedules: over many keys, two sites
+        // must disagree somewhere.
+        let disagree = (0..256).any(|k| {
+            let key = format!("0x{k:016x}");
+            p.inject_reuse(ReuseFaultSite::SharedExec, &key, 0).is_ok()
+                != p.inject_reuse(ReuseFaultSite::CacheAdmit, &key, 0).is_ok()
+        });
+        assert!(disagree, "sites must not share one schedule");
+    }
+
+    #[test]
+    fn shared_exec_faults_are_retryable_others_fatal() {
+        let p = FaultPolicy {
+            seed: 3,
+            reuse_failure_rates: ReuseFaultRates::uniform(1.0),
+            ..FaultPolicy::default()
+        };
+        match p.inject_reuse(ReuseFaultSite::SharedExec, "fp", 0) {
+            Err(e) => assert!(e.is_retryable(), "SharedExec faults retry"),
+            Ok(()) => panic!("rate 1.0 must fail"),
+        }
+        for site in [
+            ReuseFaultSite::Splice,
+            ReuseFaultSite::CacheAdmit,
+            ReuseFaultSite::CacheLookup,
+            ReuseFaultSite::CacheCorrupt,
+        ] {
+            match p.inject_reuse(site, "fp", 0) {
+                Err(e) => assert!(!e.is_retryable(), "{site:?} faults are fatal"),
+                Ok(()) => panic!("rate 1.0 must fail"),
+            }
+        }
+        // Zero-rate sites never fire.
+        let silent = FaultPolicy::default();
+        assert!(!silent.reuse_failure_rates.is_active());
+        assert!(silent.inject_reuse(ReuseFaultSite::SharedExec, "fp", 0).is_ok());
     }
 
     #[test]

@@ -25,7 +25,7 @@ pub mod profile;
 pub mod table;
 
 pub use context::{BudgetedReservation, CancelToken, ExecContext, IntoContext};
-pub use fault::{FaultPolicy, RetryPolicy};
+pub use fault::{FaultPolicy, RetryPolicy, ReuseFaultRates, ReuseFaultSite};
 pub use metrics::{ExecMetrics, MetricsSnapshot};
 pub use ops::agg::ParallelHashAggregateExec;
 pub use ops::exchange::GatherExec;

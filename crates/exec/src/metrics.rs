@@ -64,6 +64,23 @@ pub struct ExecMetrics {
     shared_subplans_executed: AtomicU64,
     /// Queries admitted through the batch API (`Session::run_batch`).
     queries_batched: AtomicU64,
+    /// Queries in a batch that finished with a typed error in their
+    /// `BatchResult` slot while the rest of the batch completed (per-query
+    /// fault domains; fail-fast batches count at most one).
+    batch_query_failures: AtomicU64,
+    /// Shared-group executions that failed permanently (after retries) and
+    /// forced their consumers to detach and run unshared.
+    shared_group_failures: AtomicU64,
+    /// Consumers that detached from a shared group — because the group's
+    /// one-shot execution failed or their own splice could not be applied —
+    /// and re-executed independently from their un-spliced originals.
+    consumers_detached: AtomicU64,
+    /// Cache entries evicted because their row-content checksum no longer
+    /// matched at lookup (a poisoned entry was caught before serving).
+    cache_poison_evictions: AtomicU64,
+    /// Per-fingerprint circuit breakers that transitioned to open after
+    /// repeated shared-execution failures.
+    circuit_breaker_trips: AtomicU64,
 }
 
 impl ExecMetrics {
@@ -155,6 +172,26 @@ impl ExecMetrics {
         self.queries_batched.fetch_add(n, Ordering::Relaxed);
     }
 
+    pub fn add_batch_query_failure(&self) {
+        self.batch_query_failures.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn add_shared_group_failure(&self) {
+        self.shared_group_failures.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn add_consumer_detached(&self) {
+        self.consumers_detached.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn add_cache_poison_eviction(&self) {
+        self.cache_poison_evictions.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn add_circuit_breaker_trip(&self) {
+        self.circuit_breaker_trips.fetch_add(1, Ordering::Relaxed);
+    }
+
     pub fn bytes_scanned(&self) -> u64 {
         self.bytes_scanned.load(Ordering::Relaxed)
     }
@@ -227,6 +264,26 @@ impl ExecMetrics {
         self.queries_batched.load(Ordering::Relaxed)
     }
 
+    pub fn batch_query_failures(&self) -> u64 {
+        self.batch_query_failures.load(Ordering::Relaxed)
+    }
+
+    pub fn shared_group_failures(&self) -> u64 {
+        self.shared_group_failures.load(Ordering::Relaxed)
+    }
+
+    pub fn consumers_detached(&self) -> u64 {
+        self.consumers_detached.load(Ordering::Relaxed)
+    }
+
+    pub fn cache_poison_evictions(&self) -> u64 {
+        self.cache_poison_evictions.load(Ordering::Relaxed)
+    }
+
+    pub fn circuit_breaker_trips(&self) -> u64 {
+        self.circuit_breaker_trips.load(Ordering::Relaxed)
+    }
+
     /// The *currently* reserved operator state (not the peak), clamped at
     /// zero. Used for enforced-budget admission checks.
     pub fn current_state_bytes(&self) -> u64 {
@@ -264,6 +321,11 @@ impl ExecMetrics {
             reuse_cache_evictions: self.reuse_cache_evictions(),
             shared_subplans_executed: self.shared_subplans_executed(),
             queries_batched: self.queries_batched(),
+            batch_query_failures: self.batch_query_failures(),
+            shared_group_failures: self.shared_group_failures(),
+            consumers_detached: self.consumers_detached(),
+            cache_poison_evictions: self.cache_poison_evictions(),
+            circuit_breaker_trips: self.circuit_breaker_trips(),
         }
     }
 }
@@ -297,6 +359,71 @@ pub struct MetricsSnapshot {
     pub reuse_cache_evictions: u64,
     pub shared_subplans_executed: u64,
     pub queries_batched: u64,
+    /// Blast-radius isolation counters (see `DESIGN.md` §13): per-query
+    /// batch failures, shared-group execution failures, consumers that
+    /// detached and re-executed unshared, poisoned cache entries caught by
+    /// the row-checksum check, and circuit breakers that tripped open.
+    pub batch_query_failures: u64,
+    pub shared_group_failures: u64,
+    pub consumers_detached: u64,
+    pub cache_poison_evictions: u64,
+    pub circuit_breaker_trips: u64,
+}
+
+impl MetricsSnapshot {
+    /// The per-query share of batch metrics: everything this snapshot
+    /// accumulated since `base` was taken on the same sink.
+    ///
+    /// Additive counters subtract (saturating, so a torn pre-snapshot can
+    /// never underflow); `peak_state_bytes` is a high-water mark, not a
+    /// sum, so the later snapshot's value is kept as-is. Used by
+    /// `Session::run_batch` to attribute work to individual queries
+    /// correctly even when an earlier query in the batch failed partway —
+    /// cumulative prefixes would re-attribute the failed query's partial
+    /// work to whichever query completed next.
+    pub fn delta_since(&self, base: &MetricsSnapshot) -> MetricsSnapshot {
+        MetricsSnapshot {
+            bytes_scanned: self.bytes_scanned.saturating_sub(base.bytes_scanned),
+            rows_scanned: self.rows_scanned.saturating_sub(base.rows_scanned),
+            rows_produced: self.rows_produced.saturating_sub(base.rows_produced),
+            partitions_read: self.partitions_read.saturating_sub(base.partitions_read),
+            partitions_pruned: self.partitions_pruned.saturating_sub(base.partitions_pruned),
+            peak_state_bytes: self.peak_state_bytes,
+            spills: self.spills.saturating_sub(base.spills),
+            retries: self.retries.saturating_sub(base.retries),
+            faults_injected: self.faults_injected.saturating_sub(base.faults_injected),
+            fallbacks: self.fallbacks.saturating_sub(base.fallbacks),
+            morsels_executed: self.morsels_executed.saturating_sub(base.morsels_executed),
+            rows_filtered_vectorized: self
+                .rows_filtered_vectorized
+                .saturating_sub(base.rows_filtered_vectorized),
+            parallel_cpu_nanos: self.parallel_cpu_nanos.saturating_sub(base.parallel_cpu_nanos),
+            parallel_wall_nanos: self
+                .parallel_wall_nanos
+                .saturating_sub(base.parallel_wall_nanos),
+            reuse_cache_hits: self.reuse_cache_hits.saturating_sub(base.reuse_cache_hits),
+            reuse_cache_evictions: self
+                .reuse_cache_evictions
+                .saturating_sub(base.reuse_cache_evictions),
+            shared_subplans_executed: self
+                .shared_subplans_executed
+                .saturating_sub(base.shared_subplans_executed),
+            queries_batched: self.queries_batched.saturating_sub(base.queries_batched),
+            batch_query_failures: self
+                .batch_query_failures
+                .saturating_sub(base.batch_query_failures),
+            shared_group_failures: self
+                .shared_group_failures
+                .saturating_sub(base.shared_group_failures),
+            consumers_detached: self.consumers_detached.saturating_sub(base.consumers_detached),
+            cache_poison_evictions: self
+                .cache_poison_evictions
+                .saturating_sub(base.cache_poison_evictions),
+            circuit_breaker_trips: self
+                .circuit_breaker_trips
+                .saturating_sub(base.circuit_breaker_trips),
+        }
+    }
 }
 
 /// RAII guard for reserved operator state.
@@ -443,6 +570,26 @@ mod tests {
         assert_eq!(m.peak_state_bytes(), 60);
         r.grow(40).unwrap();
         assert_eq!(m.peak_state_bytes(), 100);
+    }
+
+    #[test]
+    fn delta_since_subtracts_additive_counters_and_keeps_peak() {
+        let m = ExecMetrics::new();
+        m.add_bytes_scanned(100);
+        m.add_retry();
+        m.reserve_state(500);
+        let base = m.snapshot();
+        m.add_bytes_scanned(40);
+        m.add_consumer_detached();
+        let delta = m.snapshot().delta_since(&base);
+        assert_eq!(delta.bytes_scanned, 40);
+        assert_eq!(delta.retries, 0);
+        assert_eq!(delta.consumers_detached, 1);
+        // Peak is a high-water mark: the later snapshot's value survives.
+        assert_eq!(delta.peak_state_bytes, 500);
+        // A stale (larger) base never underflows.
+        let zero = base.delta_since(&m.snapshot());
+        assert_eq!(zero.bytes_scanned, 0);
     }
 
     #[test]

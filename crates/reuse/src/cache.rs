@@ -13,9 +13,20 @@
 //! and the candidate is simply not admitted).
 //!
 //! Admission is gated on a reuse-frequency heuristic: a fingerprint must
-//! have been *observed* at least `admit_min_uses` times (observations are
-//! counted per consumer in a batch, so a subplan shared by two queries
-//! qualifies immediately with the default of 2).
+//! have been *observed* at least `admit_min_uses` times. Observations are
+//! counted per **successfully served consumer** — a consumer only counts
+//! once the shared execution completed, validated, and its splice passed
+//! the analyzer — so failed executions and reverted splices never push a
+//! fingerprint toward admission. A subplan cleanly shared by two queries
+//! still qualifies immediately with the default of 2.
+//!
+//! Poisoning defenses: a result is only admitted after its execution
+//! finished completely and validated (admission happens strictly after
+//! the executor returned and never mid-flight), every entry stores an
+//! FNV-1a checksum of its row contents computed at admission, and every
+//! hit re-verifies that checksum — a mismatch (bit rot, a chaos-injected
+//! corruption, any writer bypassing admission) evicts the entry and
+//! reports a miss, so a poisoned entry is never served.
 
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -60,10 +71,42 @@ struct Entry {
     /// `(table, catalog version at execution time)` for every base table
     /// the cached subplan read.
     deps: Vec<(String, u64)>,
+    /// FNV-1a checksum of `rows` at admission time; re-verified on every
+    /// hit so corrupted contents are evicted instead of served.
+    checksum: u64,
     last_used: u64,
     /// Holds the entry's bytes against the cache budget; dropping the
     /// entry releases them.
     _reservation: BudgetedReservation,
+}
+
+/// FNV-1a over the row contents (row count, per-row arity, and every
+/// value through [`fusion_common::Value`]'s `Hash`, which normalizes
+/// float bits). Deterministic within a process, which is all integrity
+/// verification needs.
+pub fn rows_checksum(rows: &[Row]) -> u64 {
+    use std::hash::{Hash, Hasher};
+    struct Fnv(u64);
+    impl Hasher for Fnv {
+        fn finish(&self) -> u64 {
+            self.0
+        }
+        fn write(&mut self, bytes: &[u8]) {
+            for &b in bytes {
+                self.0 ^= b as u64;
+                self.0 = self.0.wrapping_mul(0x100_0000_01B3);
+            }
+        }
+    }
+    let mut h = Fnv(0xCBF2_9CE4_8422_2325);
+    rows.len().hash(&mut h);
+    for row in rows {
+        row.len().hash(&mut h);
+        for v in row {
+            v.hash(&mut h);
+        }
+    }
+    h.0
 }
 
 /// LRU shared-subplan result cache with version invalidation and
@@ -92,8 +135,11 @@ impl ReuseCache {
         }
     }
 
-    /// Record one observation of a fingerprint (one consumer wanting its
-    /// result) and return the cumulative count.
+    /// Record one observation of a fingerprint and return the cumulative
+    /// count. Callers must only observe a *successfully served* consumer
+    /// — after the shared execution completed and the consumer's spliced
+    /// plan validated — so failed executions never count toward the
+    /// `admit_min_uses` admission gate.
     pub fn observe(&mut self, fp: Fingerprint) -> u64 {
         let c = self.uses.entry(fp.0).or_insert(0);
         *c += 1;
@@ -123,7 +169,12 @@ impl ReuseCache {
 
     /// Look up a fingerprint. A stale entry (any dependency's catalog
     /// version moved) is evicted on sight and counted on `metrics`; an
-    /// encoding mismatch (64-bit collision) is treated as a miss.
+    /// encoding mismatch (64-bit collision) is treated as a miss; an
+    /// entry whose row contents no longer match their admission checksum
+    /// is *poisoned* — it is evicted (counted in both
+    /// `cache_poison_evictions` and `reuse_cache_evictions`) and reported
+    /// as a miss so the caller falls through to cold execution instead of
+    /// serving wrong rows.
     pub fn lookup(
         &mut self,
         fp: Fingerprint,
@@ -144,6 +195,12 @@ impl ReuseCache {
             metrics.add_reuse_cache_eviction();
             return None;
         }
+        if rows_checksum(&entry.rows) != entry.checksum {
+            self.entries.remove(&fp.0);
+            metrics.add_cache_poison_eviction();
+            metrics.add_reuse_cache_eviction();
+            return None;
+        }
         self.clock += 1;
         let clock = self.clock;
         let entry = self.entries.get_mut(&fp.0)?;
@@ -156,6 +213,13 @@ impl ReuseCache {
 
     /// Try to admit a result. Returns `true` if the entry is (now)
     /// cached. Eviction of colder entries is counted on `metrics`.
+    ///
+    /// Callers must only admit **complete, validated** results: the
+    /// shared execution finished (every operator drained, all workers
+    /// joined) and the plan passed the semantic analyzer. A mid-flight or
+    /// partial result admitted here would poison every future warm hit;
+    /// the checksum computed below would faithfully certify the wrong
+    /// rows.
     pub fn admit(
         &mut self,
         fp: Fingerprint,
@@ -170,11 +234,22 @@ impl ReuseCache {
         }
         if let Some(e) = self.entries.get_mut(&fp.0) {
             if e.encoding == encoding {
-                self.clock += 1;
-                e.last_used = self.clock;
-                return true;
+                if rows_checksum(&e.rows) != e.checksum {
+                    // The resident entry was poisoned since admission:
+                    // evict it and fall through to re-admit the fresh,
+                    // just-validated rows instead of refreshing the
+                    // corrupt copy's LRU position.
+                    self.entries.remove(&fp.0);
+                    metrics.add_cache_poison_eviction();
+                    metrics.add_reuse_cache_eviction();
+                } else {
+                    self.clock += 1;
+                    e.last_used = self.clock;
+                    return true;
+                }
+            } else {
+                return false;
             }
-            return false;
         }
         if rows.len() > self.cfg.max_entry_rows {
             return false;
@@ -198,6 +273,7 @@ impl ReuseCache {
             }
         };
         self.clock += 1;
+        let checksum = rows_checksum(&rows);
         self.entries.insert(
             fp.0,
             Entry {
@@ -205,10 +281,42 @@ impl ReuseCache {
                 rows,
                 slots,
                 deps,
+                checksum,
                 last_used: self.clock,
                 _reservation: reservation,
             },
         );
+        true
+    }
+
+    /// Corrupt a cached entry's rows *without* touching its checksum —
+    /// the chaos-harness hook behind [`ReuseFaultSite::CacheCorrupt`][cc]
+    /// (also usable directly in tests). Flips the first value of the
+    /// first row, or appends a phantom row when the entry is empty; both
+    /// mutations change [`rows_checksum`], so the next lookup detects the
+    /// poison and evicts. Returns `false` when no such entry exists.
+    ///
+    /// [cc]: fusion_exec::ReuseFaultSite::CacheCorrupt
+    pub fn corrupt_entry(&mut self, fp: Fingerprint) -> bool {
+        let Some(entry) = self.entries.get_mut(&fp.0) else {
+            return false;
+        };
+        let rows = Arc::make_mut(&mut entry.rows);
+        match rows.first_mut().and_then(|r| r.first_mut()) {
+            Some(v) => {
+                *v = match v {
+                    fusion_common::Value::Int64(n) => fusion_common::Value::Int64(!*n),
+                    fusion_common::Value::Float64(f) => fusion_common::Value::Float64(-*f - 1.0),
+                    fusion_common::Value::Boolean(b) => fusion_common::Value::Boolean(!*b),
+                    fusion_common::Value::Utf8(s) => {
+                        fusion_common::Value::Utf8(format!("{s}\u{0}corrupt"))
+                    }
+                    fusion_common::Value::Date(d) => fusion_common::Value::Date(!*d),
+                    fusion_common::Value::Null => fusion_common::Value::Int64(0),
+                };
+            }
+            None => rows.push(vec![fusion_common::Value::Null]),
+        }
         true
     }
 
@@ -322,6 +430,76 @@ mod tests {
         assert!(m.snapshot().reuse_cache_evictions >= 1);
         // The most recently admitted entry survived.
         assert!(c.lookup(fp(2), "e", &versions(1), &m).is_some());
+    }
+
+    #[test]
+    fn poisoned_entry_is_evicted_never_served() {
+        let mut c = ReuseCache::new(ReuseCacheConfig {
+            admit_min_uses: 1,
+            ..ReuseCacheConfig::default()
+        });
+        let m = ExecMetrics::new();
+        c.observe(fp(1));
+        assert!(c.admit(
+            fp(1),
+            "e",
+            rows(4, 7),
+            vec!["s".into()],
+            vec![("t".to_string(), 1)],
+            &m
+        ));
+        assert!(c.lookup(fp(1), "e", &versions(1), &m).is_some());
+
+        assert!(c.corrupt_entry(fp(1)), "entry exists to corrupt");
+        // The poisoned hit is detected, evicted, and reported as a miss.
+        assert!(c.lookup(fp(1), "e", &versions(1), &m).is_none());
+        assert_eq!(c.len(), 0);
+        let snap = m.snapshot();
+        assert_eq!(snap.cache_poison_evictions, 1);
+        assert!(snap.reuse_cache_evictions >= 1);
+        // Once evicted, later lookups are plain misses (no double count).
+        assert!(c.lookup(fp(1), "e", &versions(1), &m).is_none());
+        assert_eq!(m.snapshot().cache_poison_evictions, 1);
+    }
+
+    #[test]
+    fn corrupting_empty_entry_still_detected() {
+        let mut c = ReuseCache::new(ReuseCacheConfig {
+            admit_min_uses: 1,
+            ..ReuseCacheConfig::default()
+        });
+        let m = ExecMetrics::new();
+        c.observe(fp(2));
+        assert!(c.admit(
+            fp(2),
+            "e",
+            Arc::new(Vec::new()),
+            vec!["s".into()],
+            vec![("t".to_string(), 1)],
+            &m
+        ));
+        assert!(c.corrupt_entry(fp(2)));
+        assert!(c.lookup(fp(2), "e", &versions(1), &m).is_none());
+        assert_eq!(m.snapshot().cache_poison_evictions, 1);
+    }
+
+    #[test]
+    fn readmission_replaces_poisoned_resident_entry() {
+        let mut c = ReuseCache::new(ReuseCacheConfig {
+            admit_min_uses: 1,
+            ..ReuseCacheConfig::default()
+        });
+        let m = ExecMetrics::new();
+        let deps = vec![("t".to_string(), 1)];
+        c.observe(fp(1));
+        assert!(c.admit(fp(1), "e", rows(4, 7), vec!["s".into()], deps.clone(), &m));
+        assert!(c.corrupt_entry(fp(1)));
+        // Re-admitting fresh rows must not refresh the corrupt copy.
+        assert!(c.admit(fp(1), "e", rows(4, 7), vec!["s".into()], deps, &m));
+        let hit = c.lookup(fp(1), "e", &versions(1), &m).unwrap();
+        assert_eq!(hit.rows.len(), 4);
+        assert_eq!(hit.rows[0][0], Value::Int64(7), "fresh rows served");
+        assert_eq!(m.snapshot().cache_poison_evictions, 1);
     }
 
     #[test]

@@ -29,6 +29,7 @@
 //! [`ReuseManager`] bundles the three behind one thread-safe facade the
 //! engine session owns.
 
+pub mod breaker;
 pub mod cache;
 pub mod fingerprint;
 pub mod workload;
@@ -36,10 +37,11 @@ pub mod workload;
 use std::sync::{Arc, Mutex};
 
 use fusion_common::IdGen;
-use fusion_exec::{Catalog, ExecContext, ExecMetrics};
+use fusion_exec::{Catalog, ExecContext, ExecMetrics, FaultPolicy};
 use fusion_plan::LogicalPlan;
 
-pub use cache::{CachedRows, ReuseCache, ReuseCacheConfig};
+pub use breaker::FailureBreaker;
+pub use cache::{rows_checksum, CachedRows, ReuseCache, ReuseCacheConfig};
 pub use fingerprint::{
     canonical_form, fingerprint, match_subplans, CanonicalForm, Fingerprint, SubplanMatch,
 };
@@ -52,17 +54,27 @@ pub struct ReuseConfig {
     pub cache: ReuseCacheConfig,
 }
 
-/// Thread-safe facade over the workload optimizer and the shared-subplan
-/// cache. One per engine session.
+/// Thread-safe facade over the workload optimizer, the shared-subplan
+/// cache, and the per-fingerprint circuit breaker. One per engine
+/// session.
 pub struct ReuseManager {
     cfg: ReuseConfig,
     cache: Mutex<ReuseCache>,
+    breaker: Mutex<FailureBreaker>,
 }
 
 impl ReuseManager {
     pub fn new(cfg: ReuseConfig) -> Self {
         let cache = Mutex::new(ReuseCache::new(cfg.cache.clone()));
-        ReuseManager { cfg, cache }
+        let breaker = Mutex::new(FailureBreaker::new(
+            cfg.workload.breaker_threshold,
+            cfg.workload.breaker_cool_after,
+        ));
+        ReuseManager {
+            cfg,
+            cache,
+            breaker,
+        }
     }
 
     /// Plan a batch of queries for shared execution. See
@@ -76,10 +88,11 @@ impl ReuseManager {
         metrics: &ExecMetrics,
         optimize: Option<workload::OptimizeFn<'_>>,
     ) -> WorkloadOutcome {
-        match self.cache.lock() {
-            Ok(mut cache) => workload::plan_workload(
+        match (self.cache.lock(), self.breaker.lock()) {
+            (Ok(mut cache), Ok(mut breaker)) => workload::plan_workload(
                 &self.cfg.workload,
                 &mut cache,
+                &mut breaker,
                 plans,
                 catalog,
                 ctx,
@@ -87,7 +100,7 @@ impl ReuseManager {
                 metrics,
                 optimize,
             ),
-            Err(_) => WorkloadOutcome {
+            _ => WorkloadOutcome {
                 plans: plans.to_vec(),
                 notes: vec![Vec::new(); plans.len()],
                 report: WorkloadReport::default(),
@@ -101,12 +114,18 @@ impl ReuseManager {
         &self,
         plan: &LogicalPlan,
         catalog: &Catalog,
+        fault: &FaultPolicy,
         metrics: &ExecMetrics,
     ) -> (LogicalPlan, Vec<String>) {
         match self.cache.lock() {
-            Ok(mut cache) => {
-                workload::apply_cache(&self.cfg.workload, &mut cache, plan, catalog, metrics)
-            }
+            Ok(mut cache) => workload::apply_cache(
+                &self.cfg.workload,
+                &mut cache,
+                plan,
+                catalog,
+                fault,
+                metrics,
+            ),
             Err(_) => (plan.clone(), Vec::new()),
         }
     }
@@ -116,10 +135,29 @@ impl ReuseManager {
         self.cache.lock().map(|c| c.len()).unwrap_or(0)
     }
 
-    /// Drop all cached results and observation counts.
+    /// Whether the circuit breaker is currently open for a fingerprint
+    /// (diagnostics / tests).
+    pub fn breaker_open(&self, fp: Fingerprint) -> bool {
+        self.breaker.lock().map(|b| b.is_open(fp.0)).unwrap_or(false)
+    }
+
+    /// Corrupt a cached entry's rows in place without updating its
+    /// checksum (chaos/testing hook). Returns `false` when the entry does
+    /// not exist.
+    pub fn corrupt_cache_entry(&self, fp: Fingerprint) -> bool {
+        self.cache
+            .lock()
+            .map(|mut c| c.corrupt_entry(fp))
+            .unwrap_or(false)
+    }
+
+    /// Drop all cached results, observation counts, and breaker state.
     pub fn clear_cache(&self) {
         if let Ok(mut c) = self.cache.lock() {
             c.clear();
+        }
+        if let Ok(mut b) = self.breaker.lock() {
+            b.clear();
         }
     }
 

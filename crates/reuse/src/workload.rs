@@ -29,16 +29,33 @@
 //! execution, and every spliced consumer is re-validated before it
 //! replaces the original plan; any violation reverts that consumer to its
 //! unshared form.
+//!
+//! **Fault isolation** (see `DESIGN.md` §13): a shared group is one
+//! failure domain shared by every consumer, so its execution is fenced.
+//! Transient failures retry under the batch [`ExecContext`]'s
+//! `RetryPolicy` — the same merged deadline/budget every query in the
+//! batch runs under — and a *permanent* failure detaches all consumers:
+//! each keeps its un-spliced original plan and re-executes independently
+//! (counted in `consumers_detached`), exactly the fallback path single
+//! queries already had. Repeated failures of the same fingerprint trip a
+//! per-fingerprint [`FailureBreaker`] that stops re-forming the group.
+//! The [`FaultPolicy`]'s [`ReuseFaultSite`] fault points inject
+//! deterministic failures into shared execution, consumer splicing, and
+//! cache admission/lookup/contents so the batch chaos harness can drive
+//! every one of these paths.
 
 use std::collections::HashMap;
 use std::sync::Arc;
 
 use fusion_common::{Field, IdGen};
 use fusion_core::{analyze_plan, fuse, FuseContext};
-use fusion_exec::{execute_plan_profiled, Catalog, ExecContext, ExecMetrics, Row};
+use fusion_exec::{
+    execute_plan_profiled, Catalog, ExecContext, ExecMetrics, FaultPolicy, ReuseFaultSite, Row,
+};
 use fusion_expr::{simplify_filter, Expr};
 use fusion_plan::{ConstantTable, Filter, LogicalPlan, Project, ProjExpr};
 
+use crate::breaker::FailureBreaker;
 use crate::cache::ReuseCache;
 use crate::fingerprint::{canonical_form, position_map, CanonicalForm};
 
@@ -51,6 +68,13 @@ pub struct WorkloadConfig {
     pub min_nodes: usize,
     /// Ceiling on cross-query `fuse` attempts per batch.
     pub max_fuse_attempts: usize,
+    /// Consecutive shared-execution failures of one fingerprint before
+    /// its circuit breaker opens and groups stop forming for it
+    /// (0 disables the breaker).
+    pub breaker_threshold: u32,
+    /// Batches an open breaker swallows before half-opening one probe
+    /// group.
+    pub breaker_cool_after: u32,
 }
 
 impl Default for WorkloadConfig {
@@ -58,6 +82,8 @@ impl Default for WorkloadConfig {
         WorkloadConfig {
             min_nodes: 2,
             max_fuse_attempts: 64,
+            breaker_threshold: 3,
+            breaker_cool_after: 4,
         }
     }
 }
@@ -158,6 +184,7 @@ pub type OptimizeFn<'a> = &'a dyn Fn(&LogicalPlan) -> LogicalPlan;
 pub fn plan_workload(
     cfg: &WorkloadConfig,
     cache: &mut ReuseCache,
+    breaker: &mut FailureBreaker,
     plans: &[LogicalPlan],
     catalog: &Catalog,
     ctx: &Arc<ExecContext>,
@@ -183,6 +210,7 @@ pub fn plan_workload(
             group,
             &candidates,
             cache,
+            breaker,
             catalog,
             ctx,
             gen,
@@ -203,6 +231,7 @@ pub fn apply_cache(
     cache: &mut ReuseCache,
     plan: &LogicalPlan,
     catalog: &Catalog,
+    fault: &FaultPolicy,
     metrics: &ExecMetrics,
 ) -> (LogicalPlan, Vec<String>) {
     if cache.is_empty() {
@@ -224,6 +253,19 @@ pub fn apply_cache(
     for i in order {
         let c = &candidates[i];
         if taken.iter().any(|p| paths_overlap(p, &c.path)) {
+            continue;
+        }
+        // Same CacheLookup fault point as the batch path: a forced miss
+        // leaves the query on its cold plan.
+        if fault
+            .inject_reuse(
+                ReuseFaultSite::CacheLookup,
+                &c.form.fingerprint.to_string(),
+                0,
+            )
+            .is_err()
+        {
+            metrics.add_fault_injected();
             continue;
         }
         let Some(hit) = cache.lookup(c.form.fingerprint, &c.form.encoding, &versions, metrics)
@@ -524,6 +566,7 @@ fn execute_group(
     group: Group,
     candidates: &[Candidate],
     cache: &mut ReuseCache,
+    breaker: &mut FailureBreaker,
     catalog: &Catalog,
     ctx: &Arc<ExecContext>,
     gen: &IdGen,
@@ -550,6 +593,21 @@ fn execute_group(
         return;
     }
 
+    let fp = group.form.fingerprint;
+    let fp_key = fp.to_string();
+
+    // Circuit breaker: a fingerprint whose shared executions keep failing
+    // stops forming groups; consumers simply run their originals.
+    if !breaker.allows(fp.0) {
+        for m in &group.members {
+            let q = candidates[m.cand].query;
+            out.notes[q].push(format!(
+                "reuse group {fp}: circuit breaker open after repeated shared failures; running unshared"
+            ));
+        }
+        return;
+    }
+
     let mut queries: Vec<usize> = group
         .members
         .iter()
@@ -558,7 +616,18 @@ fn execute_group(
     queries.sort_unstable();
     queries.dedup();
 
-    let hit = cache.lookup(group.form.fingerprint, &group.form.encoding, versions, metrics);
+    let fault = ctx.fault_policy();
+    // CacheLookup fault point: a forced miss — fall through to cold
+    // execution rather than trusting the warm entry.
+    let hit = if fault
+        .inject_reuse(ReuseFaultSite::CacheLookup, &fp_key, 0)
+        .is_err()
+    {
+        metrics.add_fault_injected();
+        None
+    } else {
+        cache.lookup(fp, &group.form.encoding, versions, metrics)
+    };
     let cache_hit = hit.is_some();
     let (rows, slots): (Arc<Vec<Row>>, Vec<String>) = match hit {
         Some(h) => (h.rows, h.slots),
@@ -575,24 +644,103 @@ fn execute_group(
                         && analyze_plan(o).is_empty()
                 })
                 .unwrap_or_else(|| group.plan.clone());
-            let executed = match execute_plan_profiled(&exec_plan, catalog, ctx) {
-                Ok((output, _profile)) => output,
+            let executed = match execute_shared(&exec_plan, catalog, ctx, metrics, &fp_key) {
+                Ok(output) => output,
                 Err(e) => {
+                    // The group is one failure domain; fence it off. Every
+                    // consumer detaches — keeps its un-spliced original
+                    // plan and re-executes independently — so one bad
+                    // shared plan never takes down the whole batch.
+                    metrics.add_shared_group_failure();
+                    // Cancellation, deadlines, and budgets are verdicts on
+                    // the *batch*, not on this fingerprint; only failures
+                    // the fallback path can absorb count toward the
+                    // breaker.
+                    if e.allows_fallback() && breaker.record_failure(fp.0) {
+                        metrics.add_circuit_breaker_trip();
+                    }
                     for m in &group.members {
                         let q = candidates[m.cand].query;
+                        metrics.add_consumer_detached();
                         out.notes[q].push(format!(
-                            "shared subplan {} failed ({e}); running unshared",
-                            group.form.fingerprint
+                            "shared subplan {fp} failed ({e}); consumer detached, re-executing unshared"
                         ));
                     }
                     return;
                 }
             };
+            breaker.record_success(fp.0);
             metrics.add_shared_subplan_executed();
-            let rows = Arc::new(executed.rows);
-            for _ in 0..group.members.len() {
-                cache.observe(group.form.fingerprint);
+            (Arc::new(executed.rows), group.form.slots.clone())
+        }
+    };
+
+    let mut spliced = 0usize;
+    for (i, m) in group.members.iter().enumerate() {
+        let c = &candidates[m.cand];
+        // Splice fault point: detaches just this consumer; the rest of
+        // the group keeps sharing.
+        if fault
+            .inject_reuse(ReuseFaultSite::Splice, &format!("{fp_key}/{i}"), 0)
+            .is_err()
+        {
+            metrics.add_fault_injected();
+            metrics.add_consumer_detached();
+            out.notes[c.query].push(format!(
+                "reuse group {fp}: injected splice fault; consumer detached, running unshared"
+            ));
+            continue;
+        }
+        let replacement = match &m.mapping {
+            None => splice_exact(&c.plan, &c.form.slots, &slots, &rows),
+            Some(mapping) => splice_fused(&c.plan, &group.plan, mapping, &m.comp, &rows, gen),
+        };
+        let Some(replacement) = replacement else {
+            metrics.add_consumer_detached();
+            out.notes[c.query].push(format!(
+                "reuse group {fp}: consumer could not be aligned; running unshared"
+            ));
+            continue;
+        };
+        let rewritten = replace_at(&out.plans[c.query], &c.path, replacement);
+        if rewritten.validate().is_ok() && analyze_plan(&rewritten).is_empty() {
+            if cache_hit {
+                metrics.add_reuse_cache_hit();
             }
+            // Admission pressure (`admit_min_uses`) counts only consumers
+            // that were actually served a validated splice.
+            cache.observe(fp);
+            out.notes[c.query].push(format!(
+                "{} {}: {} node subplan shared across queries {:?} ({} rows{})",
+                if group.fused { "fused" } else { "shared" },
+                fp,
+                c.plan.node_count(),
+                queries,
+                rows.len(),
+                if cache_hit { ", cached" } else { "" },
+            ));
+            out.plans[c.query] = rewritten;
+            spliced += 1;
+        } else {
+            metrics.add_consumer_detached();
+            out.notes[c.query].push(format!(
+                "reuse group {fp}: spliced plan failed validation; reverted"
+            ));
+        }
+    }
+
+    // Admission happens strictly after the complete, validated execution
+    // and after splicing — never mid-flight — gated by the CacheAdmit
+    // fault point (a skipped admission only costs future batches a warm
+    // hit). The CacheCorrupt point then silently flips a cached value so
+    // chaos runs exercise the checksum defense on the next lookup.
+    if !cache_hit {
+        if fault
+            .inject_reuse(ReuseFaultSite::CacheAdmit, &fp_key, 0)
+            .is_err()
+        {
+            metrics.add_fault_injected();
+        } else {
             let mut deps: Vec<(String, u64)> = group
                 .plan
                 .scanned_tables()
@@ -604,57 +752,25 @@ fn execute_group(
                 .collect();
             deps.dedup();
             cache.admit(
-                group.form.fingerprint,
+                fp,
                 &group.form.encoding,
                 Arc::clone(&rows),
                 group.form.slots.clone(),
                 deps,
                 metrics,
             );
-            (rows, group.form.slots.clone())
-        }
-    };
-
-    let mut spliced = 0usize;
-    for m in &group.members {
-        let c = &candidates[m.cand];
-        let replacement = match &m.mapping {
-            None => splice_exact(&c.plan, &c.form.slots, &slots, &rows),
-            Some(mapping) => splice_fused(&c.plan, &group.plan, mapping, &m.comp, &rows, gen),
-        };
-        let Some(replacement) = replacement else {
-            out.notes[c.query].push(format!(
-                "reuse group {}: consumer could not be aligned; running unshared",
-                group.form.fingerprint
-            ));
-            continue;
-        };
-        let rewritten = replace_at(&out.plans[c.query], &c.path, replacement);
-        if rewritten.validate().is_ok() && analyze_plan(&rewritten).is_empty() {
-            if cache_hit {
-                metrics.add_reuse_cache_hit();
+            if fault
+                .inject_reuse(ReuseFaultSite::CacheCorrupt, &fp_key, 0)
+                .is_err()
+            {
+                metrics.add_fault_injected();
+                cache.corrupt_entry(fp);
             }
-            out.notes[c.query].push(format!(
-                "{} {}: {} node subplan shared across queries {:?} ({} rows{})",
-                if group.fused { "fused" } else { "shared" },
-                group.form.fingerprint,
-                c.plan.node_count(),
-                queries,
-                rows.len(),
-                if cache_hit { ", cached" } else { "" },
-            ));
-            out.plans[c.query] = rewritten;
-            spliced += 1;
-        } else {
-            out.notes[c.query].push(format!(
-                "reuse group {}: spliced plan failed validation; reverted",
-                group.form.fingerprint
-            ));
         }
     }
 
     out.report.groups.push(GroupReport {
-        fingerprint: group.form.fingerprint.to_string(),
+        fingerprint: fp.to_string(),
         queries,
         spliced,
         fused: group.fused,
@@ -663,6 +779,43 @@ fn execute_group(
         rows: rows.len(),
         subplan_nodes: group.plan.node_count(),
     });
+}
+
+/// Execute a shared subplan under the batch context's [`RetryPolicy`]:
+/// transient failures (injected [`ReuseFaultSite::SharedExec`] faults or
+/// real transient I/O) retry with exponential backoff, re-checking
+/// cancellation and the merged deadline between attempts. Fatal errors
+/// and exhausted retries propagate — the caller detaches every consumer.
+fn execute_shared(
+    plan: &LogicalPlan,
+    catalog: &Catalog,
+    ctx: &Arc<ExecContext>,
+    metrics: &ExecMetrics,
+    fp_key: &str,
+) -> fusion_common::Result<fusion_exec::QueryOutput> {
+    let fault = ctx.fault_policy();
+    let retry = ctx.retry_policy();
+    let mut attempt: u32 = 0;
+    loop {
+        ctx.check()?;
+        let injected = fault.inject_reuse(ReuseFaultSite::SharedExec, fp_key, attempt);
+        if injected.is_err() {
+            metrics.add_fault_injected();
+        }
+        let outcome =
+            injected.and_then(|()| execute_plan_profiled(plan, catalog, ctx).map(|(o, _)| o));
+        match outcome {
+            Ok(output) => return Ok(output),
+            Err(e) => {
+                if !e.is_retryable() || attempt >= retry.max_retries {
+                    return Err(e);
+                }
+                attempt += 1;
+                metrics.add_retry();
+                std::thread::sleep(retry.backoff(attempt));
+            }
+        }
+    }
 }
 
 /// Splice for an exact member: the consumer's subplan is canonically

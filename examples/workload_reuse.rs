@@ -55,7 +55,7 @@ fn main() {
 
     println!("== batch: two identical reports ==");
     let batch = session.run_batch(&dashboard).unwrap();
-    for (i, r) in batch.results.iter().enumerate() {
+    for (i, r) in batch.successes() {
         println!("query {i}: {} rows, notes {:?}", r.rows.len(), r.report.reuse);
     }
     println!(

@@ -72,7 +72,9 @@ fn check_batches_match_independent(fusion: bool, workers: usize) {
 
         assert_eq!(batch.results.len(), refs.len());
         assert_eq!(batch.metrics.queries_batched, refs.len() as u64);
+        assert!(batch.all_succeeded(), "no faults injected, no failures");
         for (i, (r, ind)) in batch.results.iter().zip(&independent).enumerate() {
+            let r = r.as_ref().unwrap();
             assert_eq!(
                 r.sorted_rows(),
                 ind.sorted_rows(),
@@ -124,6 +126,7 @@ fn identical_pair_executes_shared_subplan_once() {
     let batch = batcher.run_batch(&refs).unwrap();
 
     for (r, ind) in batch.results.iter().zip(&independent) {
+        let r = r.as_ref().unwrap();
         assert_eq!(r.sorted_rows(), ind.sorted_rows());
         assert!(r.reused(), "reuse notes: {:?}", r.report.reuse);
     }
@@ -198,8 +201,8 @@ fn different_filters_fuse_across_queries() {
 
     let batcher = orders_session();
     let batch = batcher.run_batch(&[q1, q2]).unwrap();
-    assert_eq!(batch.results[0].sorted_rows(), i1.sorted_rows());
-    assert_eq!(batch.results[1].sorted_rows(), i2.sorted_rows());
+    assert_eq!(batch.query(0).unwrap().sorted_rows(), i1.sorted_rows());
+    assert_eq!(batch.query(1).unwrap().sorted_rows(), i2.sorted_rows());
     assert!(
         batch.metrics.shared_subplans_executed >= 1,
         "expected cross-query fusion of the near-matching subplans; report: {:?}",
@@ -225,7 +228,7 @@ fn cache_invalidated_by_table_reregistration() {
 
     let warm = s.sql(sql).unwrap();
     assert_eq!(warm.metrics.reuse_cache_hits, 1, "warm cache serves the query");
-    assert_eq!(warm.sorted_rows(), batch.results[0].sorted_rows());
+    assert_eq!(warm.sorted_rows(), batch.query(0).unwrap().sorted_rows());
 
     // Same schema, different data: totals are halved.
     s.register_table(orders_table(5.0));
@@ -267,7 +270,7 @@ fn queued_queries_share_on_drain() {
     assert_eq!(batch.results.len(), 2);
     assert!(batch.metrics.shared_subplans_executed >= 1);
     assert_eq!(
-        batch.results[0].sorted_rows(),
-        batch.results[1].sorted_rows()
+        batch.query(0).unwrap().sorted_rows(),
+        batch.query(1).unwrap().sorted_rows()
     );
 }
