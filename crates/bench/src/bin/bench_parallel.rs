@@ -21,6 +21,19 @@
 //! scarce, which is also what makes the scaling measurable inside a
 //! single-core CI container.
 //!
+//! A second dimension compares push-based fused pipelines against the
+//! batch-at-a-time operator path (`Session::set_pipelines_enabled`) on
+//! fused plans at 1 and 4 threads with *zero* injected read latency —
+//! pipelining is a CPU optimization, so the storage-latency crutch is
+//! removed to measure it honestly. It runs the featured queries (as
+//! breaker controls: joins break pipelines by design, so they are
+//! expected near 1.0x) plus the scan-heavy `pipeline_queries` set whose
+//! fused plans are chains a pipeline covers end to end. Rows must be
+//! bit-identical between the two paths at every thread count; results
+//! land in `BENCH_pipeline.json`, and the run fails unless at least
+//! three of the scan-heavy targets reach a 1.3x pipelined speedup at 4
+//! threads.
+//!
 //! ```sh
 //! cargo run -p fusion-bench --release --bin bench_parallel
 //! TPCDS_SCALE=0.5 RUNS=5 cargo run -p fusion-bench --release --bin bench_parallel
@@ -33,13 +46,20 @@ use fusion_bench::Harness;
 use fusion_common::Value;
 use fusion_engine::{QueryResult, Session};
 use fusion_exec::FaultPolicy;
-use fusion_tpcds::{featured_queries, BenchQuery};
+use fusion_tpcds::{featured_queries, pipeline_queries, BenchQuery};
 
 const THREADS: &[usize] = &[1, 2, 4, 8];
 
 /// The scan/aggregate-heavy subset the acceptance criterion targets: the
 /// scalar-aggregate multi-scan queries plus the big join-aggregate.
 const SCALING_TARGETS: &[&str] = &["Q09", "Q28", "Q88", "Q65"];
+
+/// The pipeline dimension's acceptance targets: queries whose fused
+/// plans are scan-heavy chains a pipeline can cover end to end. The
+/// join-dominated featured queries are measured too, but as breaker
+/// controls — joins are pipeline breakers by design, so their speedup
+/// is expected to hover near 1.0x.
+const PIPELINE_TARGETS: &[&str] = &["Q09", "Q28", "P01", "P02", "P03", "P04"];
 
 fn env_or<T: std::str::FromStr>(name: &str, default: T) -> T {
     std::env::var(name)
@@ -66,6 +86,16 @@ fn session(scale: f64, threads: usize, latency: Duration, fused: bool) -> Sessio
         s.set_parallelism(threads);
         s.set_fusion_enabled(fused);
         s.set_fault_policy(FaultPolicy::default().with_read_latency(latency));
+    })
+}
+
+/// Fused session for the pipeline dimension: no injected read latency,
+/// pipelines toggled per cell.
+fn pipeline_session(scale: f64, threads: usize, pipelines: bool) -> Session {
+    Harness::session(scale, |s| {
+        s.set_parallelism(threads);
+        s.set_fusion_enabled(true);
+        s.set_pipelines_enabled(pipelines);
     })
 }
 
@@ -140,6 +170,53 @@ fn measure(q: &BenchQuery, scale: f64, runs: usize, latency: Duration) -> Vec<Ce
     cells
 }
 
+struct PipeCell {
+    threads: usize,
+    pipelined_ms: f64,
+    batch_ms: f64,
+    pipelines_compiled: u64,
+    batches_elided: u64,
+    rows_evaluated_vectorized: u64,
+}
+
+/// Measure the pipelines-on/off dimension for one query. Bit-identity
+/// between the two paths at the same thread count is a hard assertion;
+/// the multiset is additionally checked against the sequential
+/// batch-path reference (float-tolerant across thread counts).
+fn measure_pipeline(q: &BenchQuery, scale: f64, runs: usize) -> Vec<PipeCell> {
+    const PIPELINE_THREADS: &[usize] = &[1, 4];
+    let reference = pipeline_session(scale, 1, false)
+        .sql(&q.sql)
+        .expect("pipeline reference run")
+        .sorted_rows();
+    let mut cells = Vec::new();
+    for &t in PIPELINE_THREADS {
+        let on = pipeline_session(scale, t, true);
+        let off = pipeline_session(scale, t, false);
+        let (pipelined_ms, r_on) = median_ms(&on, &q.sql, runs);
+        let (batch_ms, r_off) = median_ms(&off, &q.sql, runs);
+        assert_eq!(
+            r_on.rows, r_off.rows,
+            "{} pipelined and batch rows must be bit-identical at {t} threads",
+            q.id
+        );
+        assert!(
+            rows_approx_eq(&r_on.sorted_rows(), &reference),
+            "{} pipelined rows diverge from the sequential reference at {t} threads",
+            q.id
+        );
+        cells.push(PipeCell {
+            threads: t,
+            pipelined_ms,
+            batch_ms,
+            pipelines_compiled: r_on.metrics.pipelines_compiled,
+            batches_elided: r_on.metrics.batches_elided,
+            rows_evaluated_vectorized: r_on.metrics.rows_evaluated_vectorized,
+        });
+    }
+    cells
+}
+
 fn main() {
     let scale: f64 = env_or("TPCDS_SCALE", 0.2);
     let runs: usize = env_or("RUNS", 3);
@@ -151,6 +228,9 @@ fn main() {
     let profile_path = std::env::args()
         .nth(2)
         .unwrap_or_else(|| "PROFILE_parallel.json".into());
+    let pipeline_path = std::env::args()
+        .nth(3)
+        .unwrap_or_else(|| "BENCH_pipeline.json".into());
 
     eprintln!(
         "# bench_parallel: scale {scale}, {runs} runs/median, {latency_ms}ms simulated \
@@ -278,8 +358,98 @@ fn main() {
     std::fs::write(&profile_path, pjson).expect("write PROFILE_parallel.json");
     eprintln!("# wrote {profile_path}");
 
+    // ---- pipelines-on/off dimension (zero read latency) ----
+    eprintln!("# pipeline dimension: pipelines on vs off, fused plans, no read latency");
+    let mut pipe_json = String::new();
+    writeln!(pipe_json, "{{").unwrap();
+    writeln!(pipe_json, "  \"scale\": {scale},").unwrap();
+    writeln!(pipe_json, "  \"runs\": {runs},").unwrap();
+    writeln!(pipe_json, "  \"read_latency_ms\": 0,").unwrap();
+    writeln!(pipe_json, "  \"threads\": [1, 4],").unwrap();
+    writeln!(pipe_json, "  \"queries\": [").unwrap();
+    let mut targets_hit = 0usize;
+    let pipe_queries: Vec<BenchQuery> = queries
+        .iter()
+        .cloned()
+        .chain(pipeline_queries())
+        .collect();
+    for (qi, q) in pipe_queries.iter().enumerate() {
+        let cells = measure_pipeline(q, scale, runs);
+        writeln!(pipe_json, "    {{").unwrap();
+        writeln!(pipe_json, "      \"id\": \"{}\",", q.id).unwrap();
+        writeln!(
+            pipe_json,
+            "      \"scaling_target\": {},",
+            PIPELINE_TARGETS.contains(&q.id)
+        )
+        .unwrap();
+        writeln!(pipe_json, "      \"measurements\": [").unwrap();
+        for (i, c) in cells.iter().enumerate() {
+            let speedup = c.batch_ms / c.pipelined_ms.max(1e-9);
+            eprintln!(
+                "{:<4} {}t pipelined {:>8.1}ms batch {:>8.1}ms ({:.2}x) \
+                 pipelines {} batches_elided {} rows_vectorized {}",
+                q.id,
+                c.threads,
+                c.pipelined_ms,
+                c.batch_ms,
+                speedup,
+                c.pipelines_compiled,
+                c.batches_elided,
+                c.rows_evaluated_vectorized,
+            );
+            if c.threads == 4 && PIPELINE_TARGETS.contains(&q.id) && speedup >= 1.3 {
+                targets_hit += 1;
+            }
+            writeln!(pipe_json, "        {{").unwrap();
+            writeln!(pipe_json, "          \"threads\": {},", c.threads).unwrap();
+            writeln!(pipe_json, "          \"pipelined_ms\": {:.3},", c.pipelined_ms).unwrap();
+            writeln!(pipe_json, "          \"batch_ms\": {:.3},", c.batch_ms).unwrap();
+            writeln!(pipe_json, "          \"pipeline_speedup\": {speedup:.3},").unwrap();
+            writeln!(
+                pipe_json,
+                "          \"pipelines_compiled\": {},",
+                c.pipelines_compiled
+            )
+            .unwrap();
+            writeln!(pipe_json, "          \"batches_elided\": {},", c.batches_elided).unwrap();
+            writeln!(
+                pipe_json,
+                "          \"rows_evaluated_vectorized\": {},",
+                c.rows_evaluated_vectorized
+            )
+            .unwrap();
+            writeln!(pipe_json, "          \"rows_match_reference\": true").unwrap();
+            writeln!(
+                pipe_json,
+                "        }}{}",
+                if i + 1 < cells.len() { "," } else { "" }
+            )
+            .unwrap();
+        }
+        writeln!(pipe_json, "      ]").unwrap();
+        writeln!(
+            pipe_json,
+            "    }}{}",
+            if qi + 1 < pipe_queries.len() { "," } else { "" }
+        )
+        .unwrap();
+    }
+    writeln!(pipe_json, "  ]").unwrap();
+    writeln!(pipe_json, "}}").unwrap();
+    std::fs::write(&pipeline_path, pipe_json).expect("write BENCH_pipeline.json");
+    eprintln!("# wrote {pipeline_path}");
+
+    if targets_hit < 3 {
+        failures.push(format!(
+            "pipeline dimension: only {targets_hit} of {PIPELINE_TARGETS:?} reached \
+             1.3x pipelined speedup at 4 threads (need >= 3)"
+        ));
+    }
+
     if failures.is_empty() {
         eprintln!("# scaling targets met: >= 2x fused speedup at 4 threads on {SCALING_TARGETS:?}");
+        eprintln!("# pipeline targets met: >= 1.3x pipelined speedup at 4 threads on >= 3 targets");
     } else {
         eprintln!("# SCALING TARGETS MISSED:");
         for f in &failures {

@@ -45,6 +45,9 @@ pub struct Session {
     cancel: CancelToken,
     /// Worker threads for morsel-parallel operators (1 = sequential).
     parallelism: usize,
+    /// Whether scan→filter→project(→aggregate) chains compile to
+    /// push-based fused pipelines instead of batch-at-a-time operators.
+    pipelines: bool,
     /// Profile of the last query this session executed, for the bench
     /// harness ([`Session::last_profile`]).
     last_profile: Mutex<Option<QueryProfile>>,
@@ -71,6 +74,20 @@ fn env_parallelism() -> usize {
         .and_then(|v| v.trim().parse::<usize>().ok())
         .filter(|&n| n >= 1)
         .unwrap_or(1)
+}
+
+/// Default pipeline mode: on unless the `FUSION_PIPELINES` environment
+/// variable is set to `0`, `false`, or `off`. Lets CI run the whole
+/// suite on the batch-at-a-time path to prove both paths agree.
+fn env_pipelines() -> bool {
+    !matches!(
+        std::env::var("FUSION_PIPELINES")
+            .unwrap_or_default()
+            .trim()
+            .to_ascii_lowercase()
+            .as_str(),
+        "0" | "false" | "off"
+    )
 }
 
 /// Everything a query run produces.
@@ -209,6 +226,7 @@ impl Session {
             retry_policy: RetryPolicy::default(),
             cancel: CancelToken::new(),
             parallelism: env_parallelism(),
+            pipelines: env_pipelines(),
             last_profile: Mutex::new(None),
             reuse: ReuseManager::default(),
             reuse_enabled: true,
@@ -273,6 +291,20 @@ impl Session {
         self.parallelism
     }
 
+    /// Enable or disable push-based fused pipelines for this session's
+    /// queries. On by default; initialized from the `FUSION_PIPELINES`
+    /// environment variable (`0`/`false`/`off` disables), so a whole test
+    /// suite can be forced onto the batch-at-a-time path. Both paths are
+    /// bit-identical by contract — this knob exists for benchmarking and
+    /// for proving that contract in CI.
+    pub fn set_pipelines_enabled(&mut self, enabled: bool) {
+        self.pipelines = enabled;
+    }
+
+    pub fn pipelines_enabled(&self) -> bool {
+        self.pipelines
+    }
+
     fn fresh_metrics(&self) -> Arc<ExecMetrics> {
         match self.memory_budget {
             Some(b) => ExecMetrics::with_budget(b),
@@ -285,7 +317,8 @@ impl Session {
             .cancel_token(self.cancel.clone())
             .fault_policy(self.fault_policy.clone())
             .retry_policy(self.retry_policy.clone())
-            .parallelism(self.parallelism);
+            .parallelism(self.parallelism)
+            .pipelines(self.pipelines);
         if let Some(t) = self.timeout {
             b = b.timeout(t);
         }
@@ -771,6 +804,13 @@ fn push_trace_sections(text: &mut String, report: &OptimizerReport, metrics: Opt
                 m.circuit_breaker_trips,
             ));
         }
+    }
+    if let Some(m) = metrics.filter(|m| m.pipelines_compiled > 0) {
+        text.push_str("-- pipelines --\n");
+        text.push_str(&format!(
+            "pipelines_compiled={} batches_elided={} rows_evaluated_vectorized={}\n",
+            m.pipelines_compiled, m.batches_elided, m.rows_evaluated_vectorized,
+        ));
     }
     if let Some(fallback) = &report.fallback {
         text.push_str("-- fallback --\n");

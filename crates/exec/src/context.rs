@@ -60,6 +60,10 @@ pub struct ExecContext {
     /// Worker threads available for morsel-parallel operators (1 = run
     /// everything on the caller's thread).
     parallelism: usize,
+    /// Whether plan compilation may collapse scan→filter→project(→agg)
+    /// chains into push-based [`crate::pipeline::FusedPipeline`]
+    /// operators (the `FUSION_PIPELINES` knob; default on).
+    pipelines: bool,
 }
 
 impl ExecContext {
@@ -73,6 +77,7 @@ impl ExecContext {
             fault_policy: FaultPolicy::default(),
             retry_policy: RetryPolicy::default(),
             parallelism: 1,
+            pipelines: true,
         })
     }
 
@@ -87,6 +92,7 @@ impl ExecContext {
             fault_policy: FaultPolicy::default(),
             retry_policy: RetryPolicy::default(),
             parallelism: 1,
+            pipelines: true,
         }
     }
 
@@ -112,6 +118,11 @@ impl ExecContext {
 
     pub fn parallelism(&self) -> usize {
         self.parallelism
+    }
+
+    /// Whether push-based pipeline compilation is enabled.
+    pub fn pipelines(&self) -> bool {
+        self.pipelines
     }
 
     /// Worker count for a stage of `morsels` independent work units:
@@ -195,6 +206,7 @@ pub struct ExecContextBuilder {
     fault_policy: FaultPolicy,
     retry_policy: RetryPolicy,
     parallelism: usize,
+    pipelines: bool,
 }
 
 impl ExecContextBuilder {
@@ -234,6 +246,12 @@ impl ExecContextBuilder {
         self
     }
 
+    /// Enable or disable push-based pipeline compilation (default on).
+    pub fn pipelines(mut self, enabled: bool) -> Self {
+        self.pipelines = enabled;
+        self
+    }
+
     pub fn build(self) -> Arc<ExecContext> {
         Arc::new(ExecContext {
             metrics: self.metrics,
@@ -243,6 +261,7 @@ impl ExecContextBuilder {
             fault_policy: self.fault_policy,
             retry_policy: self.retry_policy,
             parallelism: self.parallelism,
+            pipelines: self.pipelines,
         })
     }
 }

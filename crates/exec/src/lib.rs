@@ -21,6 +21,7 @@ pub mod fault;
 pub mod metrics;
 pub mod ops;
 pub mod physical;
+pub mod pipeline;
 pub mod profile;
 pub mod table;
 
@@ -29,7 +30,8 @@ pub use fault::{FaultPolicy, RetryPolicy, ReuseFaultRates, ReuseFaultSite};
 pub use metrics::{ExecMetrics, MetricsSnapshot};
 pub use ops::agg::ParallelHashAggregateExec;
 pub use ops::exchange::GatherExec;
-pub use ops::scan::{ScanExec, ScanFragment};
+pub use ops::scan::{ColumnarMorsel, ScanExec, ScanFragment};
+pub use pipeline::FusedPipeline;
 pub use physical::{
     collect, compile, compile_ctx, compile_profiled, execute_plan, execute_plan_ctx,
     execute_plan_profiled, QueryOutput,

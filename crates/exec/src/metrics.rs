@@ -46,6 +46,16 @@ pub struct ExecMetrics {
     /// Rows rejected by the vectorized (columnar) predicate pass before
     /// row materialization.
     rows_filtered_vectorized: AtomicU64,
+    /// Scan→filter→project(→agg) chains compiled into push-based
+    /// [`crate::pipeline::FusedPipeline`] operators.
+    pipelines_compiled: AtomicU64,
+    /// Intermediate row batches a fused pipeline never materialized — the
+    /// chunks the pull-based operator chain would have allocated and
+    /// copied at each elided operator boundary.
+    batches_elided: AtomicU64,
+    /// Rows evaluated through the columnar expression kernels
+    /// (`fusion_expr::vector`) instead of the row-at-a-time evaluator.
+    rows_evaluated_vectorized: AtomicU64,
     /// Sum of per-worker busy time across all parallel stages.
     parallel_cpu_nanos: AtomicU64,
     /// Wall-clock time spent inside parallel stages (spawn to last join).
@@ -148,6 +158,18 @@ impl ExecMetrics {
         self.rows_filtered_vectorized.fetch_add(rows, Ordering::Relaxed);
     }
 
+    pub fn add_pipeline_compiled(&self) {
+        self.pipelines_compiled.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn add_batches_elided(&self, batches: u64) {
+        self.batches_elided.fetch_add(batches, Ordering::Relaxed);
+    }
+
+    pub fn add_rows_evaluated_vectorized(&self, rows: u64) {
+        self.rows_evaluated_vectorized.fetch_add(rows, Ordering::Relaxed);
+    }
+
     pub fn add_parallel_cpu_nanos(&self, nanos: u64) {
         self.parallel_cpu_nanos.fetch_add(nanos, Ordering::Relaxed);
     }
@@ -240,6 +262,18 @@ impl ExecMetrics {
         self.rows_filtered_vectorized.load(Ordering::Relaxed)
     }
 
+    pub fn pipelines_compiled(&self) -> u64 {
+        self.pipelines_compiled.load(Ordering::Relaxed)
+    }
+
+    pub fn batches_elided(&self) -> u64 {
+        self.batches_elided.load(Ordering::Relaxed)
+    }
+
+    pub fn rows_evaluated_vectorized(&self) -> u64 {
+        self.rows_evaluated_vectorized.load(Ordering::Relaxed)
+    }
+
     pub fn parallel_cpu_nanos(&self) -> u64 {
         self.parallel_cpu_nanos.load(Ordering::Relaxed)
     }
@@ -315,6 +349,9 @@ impl ExecMetrics {
             fallbacks: self.fallbacks(),
             morsels_executed: self.morsels_executed(),
             rows_filtered_vectorized: self.rows_filtered_vectorized(),
+            pipelines_compiled: self.pipelines_compiled(),
+            batches_elided: self.batches_elided(),
+            rows_evaluated_vectorized: self.rows_evaluated_vectorized(),
             parallel_cpu_nanos: self.parallel_cpu_nanos(),
             parallel_wall_nanos: self.parallel_wall_nanos(),
             reuse_cache_hits: self.reuse_cache_hits(),
@@ -349,6 +386,13 @@ pub struct MetricsSnapshot {
     pub fallbacks: u64,
     pub morsels_executed: u64,
     pub rows_filtered_vectorized: u64,
+    /// Push-based pipeline counters (see `DESIGN.md` §14): chains
+    /// compiled into `FusedPipeline` operators, intermediate batches those
+    /// pipelines never materialized, and rows run through the columnar
+    /// expression kernels.
+    pub pipelines_compiled: u64,
+    pub batches_elided: u64,
+    pub rows_evaluated_vectorized: u64,
     pub parallel_cpu_nanos: u64,
     pub parallel_wall_nanos: u64,
     /// Workload-reuse counters (see the `fusion-reuse` crate). Like every
@@ -397,6 +441,11 @@ impl MetricsSnapshot {
             rows_filtered_vectorized: self
                 .rows_filtered_vectorized
                 .saturating_sub(base.rows_filtered_vectorized),
+            pipelines_compiled: self.pipelines_compiled.saturating_sub(base.pipelines_compiled),
+            batches_elided: self.batches_elided.saturating_sub(base.batches_elided),
+            rows_evaluated_vectorized: self
+                .rows_evaluated_vectorized
+                .saturating_sub(base.rows_evaluated_vectorized),
             parallel_cpu_nanos: self.parallel_cpu_nanos.saturating_sub(base.parallel_cpu_nanos),
             parallel_wall_nanos: self
                 .parallel_wall_nanos

@@ -11,7 +11,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use fusion_common::{FusionError, Result, Schema, Value};
-use fusion_expr::{AggFunc, AggregateExpr, WindowExpr};
+use fusion_expr::{AggFunc, AggregateExpr, HashedKey, WindowExpr};
 
 use crate::context::{BudgetedReservation, ExecContext, IntoContext};
 use crate::ops::scan::ScanFragment;
@@ -182,14 +182,15 @@ impl Acc {
 }
 
 /// Per-group state: one accumulator per aggregate, plus distinct sets for
-/// `AGG(DISTINCT x)`.
-struct GroupState {
-    accs: Vec<Acc>,
-    distinct_seen: Vec<Option<HashSet<Value>>>,
+/// `AGG(DISTINCT x)`. Shared with the fused-pipeline aggregate, which
+/// mirrors both accumulation modes exactly.
+pub(crate) struct GroupState {
+    pub(crate) accs: Vec<Acc>,
+    pub(crate) distinct_seen: Vec<Option<HashSet<Value>>>,
 }
 
 impl GroupState {
-    fn new(aggregates: &[AggregateExpr], int_sums: &[bool]) -> Self {
+    pub(crate) fn new(aggregates: &[AggregateExpr], int_sums: &[bool]) -> Self {
         GroupState {
             accs: aggregates
                 .iter()
@@ -207,7 +208,7 @@ impl GroupState {
     /// aggregates union their seen-sets only — their accumulators are
     /// rebuilt from the union at finish time, so a value appearing in
     /// several partitions is never double-counted.
-    fn merge(&mut self, other: GroupState) {
+    pub(crate) fn merge(&mut self, other: GroupState) {
         for (a, b) in self.accs.iter_mut().zip(&other.accs) {
             a.merge(b);
         }
@@ -413,7 +414,7 @@ impl Operator for HashAggregateExec {
 /// group table plus the budget reservation covering that table's bytes
 /// (held until the merge completes).
 struct AggPartial {
-    groups: HashMap<Vec<Value>, GroupState>,
+    groups: HashMap<HashedKey, GroupState>,
     _reservation: BudgetedReservation,
 }
 
@@ -509,19 +510,20 @@ impl ParallelHashAggregateExec {
             .collect();
         let mut mask_values = vec![false; distinct_masks.len()];
 
-        let mut groups: HashMap<Vec<Value>, GroupState> = HashMap::new();
+        let mut groups: HashMap<HashedKey, GroupState> = HashMap::new();
         let mut state_bytes = 0i64;
         for row in &rows {
             for (slot, mask) in distinct_masks.iter().enumerate() {
                 mask_values[slot] = self.input_index.eval_pred(mask, row)?;
             }
-            let key: Vec<Value> = self
-                .group_positions
-                .iter()
-                .map(|&p| row[p].clone())
-                .collect();
+            let key = HashedKey::new(
+                self.group_positions
+                    .iter()
+                    .map(|&p| row[p].clone())
+                    .collect(),
+            );
             if !groups.contains_key(&key) {
-                state_bytes += row_bytes(&key) + 64 * self.aggregates.len() as i64;
+                state_bytes += row_bytes(&key.key) + 64 * self.aggregates.len() as i64;
             }
             let state = groups
                 .entry(key)
@@ -571,7 +573,7 @@ impl ParallelHashAggregateExec {
         )?;
 
         // Merge in partition-index order (collect_morsels sorts).
-        let mut groups: HashMap<Vec<Value>, GroupState> = HashMap::new();
+        let mut groups: HashMap<HashedKey, GroupState> = HashMap::new();
         let mut reservations = Vec::with_capacity(partials.len());
         for (_, partial) in partials {
             reservations.push(partial._reservation);
@@ -596,12 +598,12 @@ impl ParallelHashAggregateExec {
             return Ok(vec![row]);
         }
 
-        let mut keys: Vec<Vec<Value>> = groups.keys().cloned().collect();
-        keys.sort(); // deterministic output order
+        let mut keys: Vec<HashedKey> = groups.keys().cloned().collect();
+        keys.sort_by(|a, b| a.key.cmp(&b.key)); // deterministic output order
         let mut out = Vec::with_capacity(keys.len());
         for key in keys {
             let state = &groups[&key];
-            let mut row = key.clone();
+            let mut row = key.key.clone();
             for (i, agg) in self.aggregates.iter().enumerate() {
                 let v = match &state.distinct_seen[i] {
                     Some(seen) => {

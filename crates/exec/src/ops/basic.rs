@@ -65,14 +65,23 @@ impl Operator for FilterExec {
 /// positional copies (CTE expansion produces long pass-through
 /// projections, so this fast path matters).
 enum CompiledExpr {
-    Position(usize),
+    /// Bare column reference. The *last* projection reading a given input
+    /// position (`take: true`) moves the value out of the input row
+    /// instead of cloning it; earlier readers of the same position clone.
+    Position { pos: usize, take: bool },
     Eval(Expr),
 }
 
-/// Evaluate projection expressions per row.
+/// Evaluate projection expressions per row. Bare column references reuse
+/// the input row's buffers (values are moved, not cloned), and a
+/// projection that is exactly the identity passes chunks through
+/// untouched.
 pub struct ProjectExec {
     input: BoxedOp,
     exprs: Vec<CompiledExpr>,
+    /// True when the projection is position 0..n over an n-wide input —
+    /// chunks are forwarded as-is.
+    identity: bool,
     index: RowIndex,
     schema: Schema,
     ctx: Arc<ExecContext>,
@@ -86,19 +95,37 @@ impl ProjectExec {
         ctx: impl IntoContext,
     ) -> Self {
         let index = RowIndex::new(input.schema());
-        let exprs = exprs
+        let input_width = input.schema().fields().len();
+        let mut exprs: Vec<CompiledExpr> = exprs
             .into_iter()
             .map(|e| match &e {
                 Expr::Column(id) => match index.position(*id) {
-                    Ok(pos) => CompiledExpr::Position(pos),
+                    Ok(pos) => CompiledExpr::Position { pos, take: false },
                     Err(_) => CompiledExpr::Eval(e),
                 },
                 _ => CompiledExpr::Eval(e),
             })
             .collect();
+        // Mark the last reader of each input position: it may move the
+        // value out of the input row instead of cloning it.
+        let mut taken = vec![false; input_width];
+        for e in exprs.iter_mut().rev() {
+            if let CompiledExpr::Position { pos, take } = e {
+                if !taken[*pos] {
+                    taken[*pos] = true;
+                    *take = true;
+                }
+            }
+        }
+        let identity = exprs.len() == input_width
+            && exprs
+                .iter()
+                .enumerate()
+                .all(|(i, e)| matches!(e, CompiledExpr::Position { pos, .. } if *pos == i));
         ProjectExec {
             input,
             exprs,
+            identity,
             index,
             schema,
             ctx: ctx.into_ctx(),
@@ -116,13 +143,32 @@ impl Operator for ProjectExec {
             None => Ok(None),
             Some(chunk) => {
                 self.ctx.check()?;
+                if self.identity {
+                    // Pure pass-through: no per-row work at all.
+                    return Ok(Some(chunk));
+                }
                 let mut out = Vec::with_capacity(chunk.len());
-                for row in chunk {
+                for mut row in chunk {
+                    // Computed expressions first, while the row is intact;
+                    // then bare columns, the last reader of each position
+                    // moving the value out instead of cloning.
+                    let mut evaluated = Vec::new();
+                    for e in &self.exprs {
+                        if let CompiledExpr::Eval(expr) = e {
+                            evaluated.push(self.index.eval(expr, &row)?);
+                        }
+                    }
+                    let mut evaluated = evaluated.into_iter();
                     let mut new_row = Vec::with_capacity(self.exprs.len());
                     for e in &self.exprs {
                         new_row.push(match e {
-                            CompiledExpr::Position(p) => row[*p].clone(),
-                            CompiledExpr::Eval(expr) => self.index.eval(expr, &row)?,
+                            CompiledExpr::Position { pos, take: true } => {
+                                std::mem::replace(&mut row[*pos], Value::Null)
+                            }
+                            CompiledExpr::Position { pos, take: false } => row[*pos].clone(),
+                            CompiledExpr::Eval(_) => evaluated
+                                .next()
+                                .unwrap_or(Value::Null),
                         });
                     }
                     out.push(new_row);
@@ -323,6 +369,54 @@ mod tests {
         );
         let rows = drain(&mut p).unwrap();
         assert_eq!(rows, vec![vec![Value::Int64(11)], vec![Value::Int64(12)]]);
+    }
+
+    #[test]
+    fn project_identity_passes_chunks_through() {
+        let mut p = ProjectExec::new(
+            source(1, &[1, 2, 3]),
+            vec![col(ColumnId(1))],
+            one_col_schema(1),
+            ExecMetrics::new(),
+        );
+        assert!(p.identity);
+        let rows = drain(&mut p).unwrap();
+        assert_eq!(
+            rows,
+            vec![
+                vec![Value::Int64(1)],
+                vec![Value::Int64(2)],
+                vec![Value::Int64(3)]
+            ]
+        );
+    }
+
+    #[test]
+    fn project_duplicated_column_clones_then_moves() {
+        // The same input position projected twice: the first occurrence
+        // clones, the last takes — both must see the original value, and
+        // a computed expression over the column must too.
+        let schema = Schema::new(vec![
+            Field::new(ColumnId(7), "a", DataType::Int64, false),
+            Field::new(ColumnId(8), "b", DataType::Int64, false),
+            Field::new(ColumnId(9), "c", DataType::Int64, false),
+        ]);
+        let mut p = ProjectExec::new(
+            source(1, &[5]),
+            vec![
+                col(ColumnId(1)),
+                col(ColumnId(1)),
+                col(ColumnId(1)).add(lit(1i64)),
+            ],
+            schema,
+            ExecMetrics::new(),
+        );
+        assert!(!p.identity);
+        let rows = drain(&mut p).unwrap();
+        assert_eq!(
+            rows,
+            vec![vec![Value::Int64(5), Value::Int64(5), Value::Int64(6)]]
+        );
     }
 
     #[test]

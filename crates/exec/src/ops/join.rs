@@ -6,7 +6,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use fusion_common::{Result, Schema, Value};
-use fusion_expr::{split_conjuncts, BinaryOp, Expr};
+use fusion_expr::{hash_columns, split_conjuncts, BinaryOp, Expr, HashedKey};
 use fusion_plan::JoinType;
 
 use crate::context::{BudgetedReservation, ExecContext, IntoContext};
@@ -18,7 +18,7 @@ use crate::{Chunk, Row, CHUNK_SIZE};
 
 /// One morsel's contribution to a parallel hash-join build: the partial
 /// key → rows map and the state bytes it reserves.
-type BuildPartial = (HashMap<Vec<Value>, Vec<Row>>, i64);
+type BuildPartial = (HashMap<HashedKey, Vec<Row>>, i64);
 
 /// Split a join condition into equi-key pairs `(left_expr, right_expr)`
 /// and a residual predicate, given the column sets of both sides.
@@ -78,7 +78,7 @@ pub struct HashJoinExec {
     combined_index: RowIndex,
     schema: Schema,
     right_width: usize,
-    build: Option<HashMap<Vec<Value>, Vec<Row>>>,
+    build: Option<HashMap<HashedKey, Vec<Row>>>,
     _reservation: Option<BudgetedReservation>,
     ctx: Arc<ExecContext>,
     /// Probe buffer: output rows not yet emitted.
@@ -163,7 +163,7 @@ impl HashJoinExec {
     fn insert_build_row(
         key_exprs: &[(Expr, Expr)],
         right_index: &RowIndex,
-        map: &mut HashMap<Vec<Value>, Vec<Row>>,
+        map: &mut HashMap<HashedKey, Vec<Row>>,
         row: Row,
     ) -> Result<i64> {
         let mut key = Vec::with_capacity(key_exprs.len());
@@ -177,7 +177,7 @@ impl HashJoinExec {
             return Ok(0); // null keys never match
         }
         let bytes = row_bytes(&row) + row_bytes(&key);
-        map.entry(key).or_default().push(row);
+        map.entry(HashedKey::new(key)).or_default().push(row);
         Ok(bytes)
     }
 
@@ -204,7 +204,7 @@ impl HashJoinExec {
                     if rows.is_empty() {
                         return Ok(None);
                     }
-                    let mut map: HashMap<Vec<Value>, Vec<Row>> = HashMap::new();
+                    let mut map: HashMap<HashedKey, Vec<Row>> = HashMap::new();
                     let mut bytes = 0i64;
                     for row in rows {
                         bytes += Self::insert_build_row(key_exprs, &right_index, &mut map, row)?;
@@ -214,7 +214,7 @@ impl HashJoinExec {
             )?;
             // Merge in partition-index order so each key's row vector has
             // exactly the sequential build's row order.
-            let mut map: HashMap<Vec<Value>, Vec<Row>> = HashMap::new();
+            let mut map: HashMap<HashedKey, Vec<Row>> = HashMap::new();
             let mut bytes = 0i64;
             for (_, (part_map, part_bytes)) in partials {
                 bytes += part_bytes;
@@ -238,7 +238,7 @@ impl HashJoinExec {
         let right_index = RowIndex::new(right.schema());
         let rows = drain(right.as_mut())?;
         let mut bytes = 0i64;
-        let mut map: HashMap<Vec<Value>, Vec<Row>> = HashMap::new();
+        let mut map: HashMap<HashedKey, Vec<Row>> = HashMap::new();
         for row in rows {
             bytes += Self::insert_build_row(&self.key_exprs, &right_index, &mut map, row)?;
         }
@@ -252,49 +252,73 @@ impl HashJoinExec {
         Ok(())
     }
 
-    fn probe_row(&self, left_row: &Row, out: &mut Vec<Row>) -> Result<()> {
+    /// Probe the hash table with a whole chunk. Key expressions are
+    /// evaluated column-at-a-time and hashed with the vectorized kernel
+    /// ([`hash_columns`]), which computes exactly the row-wise
+    /// `HashedKey::new` fold — probe hashes match build hashes bit for bit.
+    fn probe_chunk(&self, chunk: &Chunk, out: &mut Vec<Row>) -> Result<()> {
         let build = self
             .build
             .as_ref()
             .expect("hash table was built before probing: next_chunk calls build_side first");
-        let mut key = Vec::with_capacity(self.key_exprs.len());
-        let mut has_null = false;
+        let mut key_cols: Vec<Vec<Value>> = Vec::with_capacity(self.key_exprs.len());
         for (lk, _) in &self.key_exprs {
-            let v = self.left_index.eval(lk, left_row)?;
-            has_null |= v.is_null();
-            key.push(v);
+            let mut col = Vec::with_capacity(chunk.len());
+            for row in chunk {
+                col.push(self.left_index.eval(lk, row)?);
+            }
+            key_cols.push(col);
         }
-        let matches = if has_null { None } else { build.get(&key) };
-        let mut matched = false;
-        if let Some(rows) = matches {
-            for right_row in rows {
-                let mut combined = left_row.clone();
-                combined.extend(right_row.iter().cloned());
-                let residual_ok = self
-                    .residual
-                    .iter()
-                    .map(|e| self.combined_index.eval_pred(e, &combined))
-                    .collect::<Result<Vec<bool>>>()?
-                    .into_iter()
-                    .all(|b| b);
-                if !residual_ok {
-                    continue;
-                }
-                matched = true;
-                match self.join_type {
-                    JoinType::Inner | JoinType::Left => out.push(combined),
-                    JoinType::Semi => {
-                        out.push(left_row.clone());
-                        return Ok(());
+        let sel: Vec<usize> = (0..chunk.len()).collect();
+        let col_refs: Vec<&[Value]> = key_cols.iter().map(|c| c.as_slice()).collect();
+        let hashes = hash_columns(&col_refs, &sel);
+        self.ctx
+            .metrics()
+            .add_rows_evaluated_vectorized(chunk.len() as u64);
+        for (i, left_row) in chunk.iter().enumerate() {
+            let has_null = key_cols.iter().any(|c| c[i].is_null());
+            let matches = if has_null {
+                None
+            } else {
+                // Each slot is consumed exactly once; Null left behind is
+                // never read again.
+                let key: Vec<Value> = key_cols
+                    .iter_mut()
+                    .map(|c| std::mem::replace(&mut c[i], Value::Null))
+                    .collect();
+                build.get(&HashedKey::with_hash(hashes[i], key))
+            };
+            let mut matched = false;
+            if let Some(rows) = matches {
+                'matches: for right_row in rows {
+                    let mut combined = left_row.clone();
+                    combined.extend(right_row.iter().cloned());
+                    let residual_ok = self
+                        .residual
+                        .iter()
+                        .map(|e| self.combined_index.eval_pred(e, &combined))
+                        .collect::<Result<Vec<bool>>>()?
+                        .into_iter()
+                        .all(|b| b);
+                    if !residual_ok {
+                        continue;
                     }
-                    JoinType::Cross => unreachable!("cross join uses CrossJoinExec"),
+                    matched = true;
+                    match self.join_type {
+                        JoinType::Inner | JoinType::Left => out.push(combined),
+                        JoinType::Semi => {
+                            out.push(left_row.clone());
+                            break 'matches;
+                        }
+                        JoinType::Cross => unreachable!("cross join uses CrossJoinExec"),
+                    }
                 }
             }
-        }
-        if !matched && self.join_type == JoinType::Left {
-            let mut padded = left_row.clone();
-            padded.extend(std::iter::repeat_n(Value::Null, self.right_width));
-            out.push(padded);
+            if !matched && self.join_type == JoinType::Left {
+                let mut padded = left_row.clone();
+                padded.extend(std::iter::repeat_n(Value::Null, self.right_width));
+                out.push(padded);
+            }
         }
         Ok(())
     }
@@ -322,9 +346,7 @@ impl Operator for HashJoinExec {
                 None => return Ok(None),
                 Some(chunk) => {
                     let mut out = Vec::with_capacity(chunk.len());
-                    for row in &chunk {
-                        self.probe_row(row, &mut out)?;
-                    }
+                    self.probe_chunk(&chunk, &mut out)?;
                     self.pending = out;
                     if self.pending.is_empty() {
                         continue;

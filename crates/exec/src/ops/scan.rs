@@ -13,16 +13,15 @@
 //!   is [`crate::ops::exchange::GatherExec`], which drives the same
 //!   fragment from a worker pool.
 
-use std::borrow::Cow;
 use std::cmp::Ordering;
 use std::sync::Arc;
 use std::time::Instant;
 
-use fusion_common::{ColumnId, FusionError, Result, Schema, Value};
-use fusion_expr::{BinaryOp, Expr, Resolver};
+use fusion_common::{FusionError, Result, Schema, Value};
+use fusion_expr::{BinaryOp, ColumnBatch, Expr};
 
 use crate::context::{ExecContext, IntoContext};
-use crate::ops::{Operator, RowIndex};
+use crate::ops::Operator;
 use crate::profile::OpSpan;
 use crate::table::Table;
 use crate::{Chunk, Row, CHUNK_SIZE};
@@ -37,6 +36,32 @@ struct VectorPredicate {
     literal: Value,
 }
 
+/// Columnar output of one scanned partition: the partition's arrays in
+/// output-schema order (shared with the table — no copy) plus the
+/// selection vector of rows surviving the pushed-down filters. This is
+/// the unit a [`crate::pipeline::FusedPipeline`] pushes through its
+/// operator chain; the batch-at-a-time path gathers it into rows via
+/// [`ColumnarMorsel::gather_rows`].
+pub struct ColumnarMorsel {
+    /// One array per scan-output column, parallel to the scan schema.
+    pub columns: Vec<Arc<Vec<Value>>>,
+    /// Row indices into `columns` that survived pruning and filters,
+    /// ascending.
+    pub selection: Vec<usize>,
+    /// The partition this morsel was scanned from.
+    pub partition: usize,
+}
+
+impl ColumnarMorsel {
+    /// Materialize the selected rows (the batch-at-a-time path).
+    pub fn gather_rows(&self) -> Vec<Row> {
+        self.selection
+            .iter()
+            .map(|&r| self.columns.iter().map(|c| c[r].clone()).collect())
+            .collect()
+    }
+}
+
 /// Immutable partition-granular scan: shared by the sequential
 /// [`ScanExec`] and every morsel-parallel operator.
 pub struct ScanFragment {
@@ -44,7 +69,6 @@ pub struct ScanFragment {
     /// Base-table ordinals to read, parallel to `schema` fields.
     column_indices: Vec<usize>,
     schema: Schema,
-    index: RowIndex,
     /// (op, literal) conjuncts over the partition column, for pruning.
     prune_predicates: Vec<(BinaryOp, Value)>,
     /// Conjuncts evaluable column-at-a-time (selection-vector pass).
@@ -66,7 +90,6 @@ impl ScanFragment {
         filters: Vec<Expr>,
         ctx: impl IntoContext,
     ) -> Self {
-        let index = RowIndex::new(&schema);
         let prune_predicates = match table.partition_column {
             Some(pc) => extract_prune_predicates(&filters, &schema, &column_indices, pc),
             None => vec![],
@@ -76,7 +99,6 @@ impl ScanFragment {
             table,
             column_indices,
             schema,
-            index,
             prune_predicates,
             vector_predicates,
             residual_filters,
@@ -120,8 +142,20 @@ impl ScanFragment {
     /// Scan one partition to completion: prune (returning `None`), apply
     /// the fault policy with retry, meter bytes/rows, run the vectorized
     /// predicate pass on the columnar arrays, then materialize only the
-    /// surviving rows (applying residual filters row-wise, borrowing).
+    /// surviving rows.
     pub fn scan_partition(&self, part_idx: usize) -> Result<Option<Vec<Row>>> {
+        Ok(self
+            .scan_partition_columnar(part_idx)?
+            .map(|m| m.gather_rows()))
+    }
+
+    /// Scan one partition without materializing any row: prune (returning
+    /// `None`), apply the fault policy with retry, meter bytes/rows, then
+    /// narrow a selection vector over the partition's columnar arrays —
+    /// first with the `col op literal` fast path, then with the general
+    /// columnar kernels for every residual pushed filter. The arrays are
+    /// shared into the morsel by `Arc`, never copied.
+    pub fn scan_partition_columnar(&self, part_idx: usize) -> Result<Option<ColumnarMorsel>> {
         self.ctx.check()?;
         if self.partition_pruned(part_idx) {
             self.ctx.metrics().add_partitions(0, 1);
@@ -174,53 +208,33 @@ impl ScanFragment {
             metrics.add_rows_filtered_vectorized((part.num_rows - selection.len()) as u64);
         }
 
-        // Residual filters run row-wise on the columnar view (borrowing,
-        // no clones); only rows that pass everything are materialized.
-        let mut rows: Vec<Row> = Vec::with_capacity(selection.len());
-        'rows: for &r in &selection {
-            let view = ColumnarRowRef {
-                index: &self.index,
-                column_indices: &self.column_indices,
-                columns: &part.columns,
-                row: r,
-            };
-            for f in &self.residual_filters {
-                if fusion_expr::eval_cow(f, &view)?.as_bool() != Some(true) {
-                    continue 'rows;
-                }
+        // Residual filters run through the general columnar kernels on
+        // the surviving selection — same three-valued semantics and
+        // evaluation sites as the scalar path, one expression node per
+        // batch instead of per row.
+        if !self.residual_filters.is_empty() {
+            let mut batch = ColumnBatch::new();
+            for (pos, field) in self.schema.fields().iter().enumerate() {
+                batch.push(field.id, &part.columns[self.column_indices[pos]]);
             }
-            rows.push(
-                self.column_indices
-                    .iter()
-                    .map(|&c| part.columns[c][r].clone())
-                    .collect(),
-            );
+            for f in &self.residual_filters {
+                metrics.add_rows_evaluated_vectorized(selection.len() as u64);
+                selection = batch.filter(f, &selection)?;
+            }
         }
         if let Some(span) = &self.span {
             span.add_cpu_nanos(start.elapsed().as_nanos() as u64);
-            span.record_partition(part_idx, part.num_rows as u64, rows.len() as u64);
+            span.record_partition(part_idx, part.num_rows as u64, selection.len() as u64);
         }
-        Ok(Some(rows))
-    }
-}
-
-/// Resolver over one row of a columnar partition; hands out borrows so
-/// residual predicates never clone values they only compare.
-struct ColumnarRowRef<'a> {
-    index: &'a RowIndex,
-    column_indices: &'a [usize],
-    columns: &'a [Arc<Vec<Value>>],
-    row: usize,
-}
-
-impl Resolver for ColumnarRowRef<'_> {
-    fn value(&self, id: ColumnId) -> Result<Value> {
-        self.value_ref(id).map(|c| c.into_owned())
-    }
-
-    fn value_ref(&self, id: ColumnId) -> Result<Cow<'_, Value>> {
-        let pos = self.index.position(id)?;
-        Ok(Cow::Borrowed(&self.columns[self.column_indices[pos]][self.row]))
+        Ok(Some(ColumnarMorsel {
+            columns: self
+                .column_indices
+                .iter()
+                .map(|&c| part.columns[c].clone())
+                .collect(),
+            selection,
+            partition: part_idx,
+        }))
     }
 }
 

@@ -78,7 +78,7 @@ pub fn compile_profiled(
 /// Attach the span to the operator (for state/CPU accounting it does
 /// itself) and wrap it so rows out, batches, and inclusive wall time are
 /// metered on every `next_chunk`.
-fn spanned(mut op: BoxedOp, span: &Arc<OpSpan>) -> BoxedOp {
+pub(crate) fn spanned(mut op: BoxedOp, span: &Arc<OpSpan>) -> BoxedOp {
     op.attach_span(span.clone());
     Box::new(SpannedOp::new(op, span.clone()))
 }
@@ -105,6 +105,11 @@ fn compile_node(
     ctx: &Arc<ExecContext>,
     next: &mut usize,
 ) -> Result<(BoxedOp, ProfileNode)> {
+    // Pipelineable chains compile to a single push-based operator; the
+    // compiler claims the same pre-order ids either way.
+    if let Some(compiled) = crate::pipeline::try_compile(plan, catalog, ctx, next)? {
+        return Ok(compiled);
+    }
     // Pre-order id: the node claims its id before its children compile,
     // in `children()` order — the same walk `display_annotated` uses.
     let op_id = *next;
@@ -422,7 +427,7 @@ fn compile_node(
 /// range, and that each bound column's data type matches the base
 /// table's. Field *names* may legitimately diverge after rewrites, so
 /// they are not checked.
-fn scan_fragment(
+pub(crate) fn scan_fragment(
     catalog: &Catalog,
     ctx: &Arc<ExecContext>,
     s: &fusion_plan::plan::Scan,

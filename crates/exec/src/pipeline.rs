@@ -1,0 +1,960 @@
+//! Push-based fused pipelines.
+//!
+//! [`try_compile`] detects maximal `Scan → Filter* / Project* /
+//! MarkDistinct* (→ Aggregate)` chains in the logical plan and compiles
+//! each into a single [`FusedPipeline`] operator. Instead of pulling
+//! materialized row batches through one operator per plan node, the
+//! pipeline *pushes* each scanned partition's columnar arrays (a
+//! [`ColumnarMorsel`]) through the whole chain: filters narrow the
+//! selection vector in place, projections re-share or compute columns,
+//! distinct markers append their flag column, and an optional aggregate
+//! consumes the surviving positions directly — no intermediate
+//! `Vec<Row>` is built between chain operators (metered by
+//! `batches_elided`).
+//!
+//! Pipeline *breakers* stay exactly where the batch engine has them: hash
+//! join builds, the aggregate merge, sort, and the gather exchange. A
+//! chain therefore never spans a breaker — detection stops at any node
+//! that is not a Filter, Project, MarkDistinct, or the terminal
+//! Aggregate/Scan.
+//!
+//! Determinism contract (`FUSION_PIPELINES=0/1` must be bit-identical):
+//!
+//! * Expression evaluation uses the [`ColumnBatch`] kernels, which
+//!   reproduce the scalar evaluator's three-valued logic, short-circuit
+//!   row subsets, and error sites (see `fusion_expr::vector`).
+//! * The aggregate runs in the same mode the batch compiler would pick
+//!   for the same plan shape: per-partition partials merged in
+//!   partition-index order *only* when the aggregate sits directly over
+//!   the scan with multiple workers (`ParallelHashAggregateExec`);
+//!   any interior stage means a single group table accumulated in
+//!   partition order with inline distinct (`HashAggregateExec` above the
+//!   gather). Float sums therefore fold in the same order as the batch
+//!   path at every thread count.
+//! * `MarkDistinct` is stateful — its first-occurrence set spans the
+//!   whole input. The chain splits at the first such stage: everything
+//!   below it still scans morsel-parallel, the stateful suffix (and the
+//!   aggregate) runs on the driver in partition-index order — the exact
+//!   row order the batch path's gather would feed `MarkDistinctExec`.
+//! * Profile `op_id`s are claimed in the same pre-order walk as
+//!   `compile_node`, and every chain node's span reports the same row
+//!   counts the batch operators would — golden profiles do not change.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+use std::time::Instant;
+
+use fusion_common::{ColumnId, Result, Schema, Value};
+use fusion_expr::{AggFunc, AggregateExpr, ColumnBatch, Expr, HashedKey};
+use fusion_plan::LogicalPlan;
+
+use crate::context::{BudgetedReservation, ExecContext};
+use crate::ops::agg::{Acc, GroupState};
+use crate::ops::exchange::collect_morsels;
+use crate::ops::scan::{ColumnarMorsel, ScanFragment};
+use crate::ops::{row_bytes, BoxedOp, Operator};
+use crate::physical::{scan_fragment, spanned};
+use crate::profile::{OpSpan, ProfileNode};
+use crate::table::Catalog;
+use crate::{Chunk, Row, CHUNK_SIZE};
+
+/// One fused chain operator between the scan and the optional aggregate.
+struct Stage {
+    kind: StageKind,
+    /// Field ids of the stage's input schema, parallel to the incoming
+    /// column vector; registered into the per-morsel [`ColumnBatch`].
+    input_ids: Vec<ColumnId>,
+    /// The plan node's profiling span. Interior stages meter their own
+    /// `rows_out` per morsel; the chain's top node is metered by the
+    /// `SpannedOp` wrapping the whole pipeline.
+    span: Arc<OpSpan>,
+    meter: bool,
+}
+
+enum StageKind {
+    Filter(Expr),
+    Project(Vec<ProjectedCol>),
+    /// Appends the first-occurrence flag column (`MarkDistinctExec`
+    /// semantics). `slot` indexes the pipeline's [`MarkState`] table —
+    /// the seen-set is shared across every morsel of the input.
+    MarkDistinct {
+        positions: Vec<usize>,
+        mask: Option<Expr>,
+        slot: usize,
+    },
+}
+
+/// A projection output: either a pass-through of an input column (the
+/// array is re-shared by `Arc`, never copied) or a computed expression.
+enum ProjectedCol {
+    Pass(usize),
+    Eval(Expr),
+}
+
+/// Cross-morsel state of one `MarkDistinct` stage.
+struct MarkState {
+    seen: HashSet<Vec<Value>>,
+    reservation: BudgetedReservation,
+}
+
+/// The aggregate sink terminating a chain, when present.
+struct AggSink {
+    group_positions: Vec<usize>,
+    aggregates: Vec<AggregateExpr>,
+    int_sums: Vec<bool>,
+    /// Field ids of the aggregate's input schema, parallel to the column
+    /// vector arriving from the last stage (or the scan).
+    input_ids: Vec<ColumnId>,
+}
+
+/// One partition's partial group table in parallel mode, plus the budget
+/// reservation covering its bytes (held until the merge completes).
+struct PipelinePartial {
+    groups: HashMap<HashedKey, GroupState>,
+    _reservation: BudgetedReservation,
+}
+
+impl AggSink {
+    /// Fold one morsel's surviving rows into `groups`, row-major in
+    /// selection order. Masks and arguments are evaluated vectorized —
+    /// arguments only over the rows their mask accepts, so data-dependent
+    /// errors surface exactly where the row-at-a-time operators evaluate.
+    /// `inline_distinct` selects the single-table mode (dedup while
+    /// accumulating, like `HashAggregateExec`); parallel partials record
+    /// seen-sets only (like `ParallelHashAggregateExec::build_partial`).
+    fn accumulate(
+        &self,
+        morsel: &ColumnarMorsel,
+        groups: &mut HashMap<HashedKey, GroupState>,
+        inline_distinct: bool,
+        ctx: &ExecContext,
+    ) -> Result<i64> {
+        let metrics = ctx.metrics();
+        let sel = &morsel.selection;
+        let mut batch = ColumnBatch::new();
+        for (id, col) in self.input_ids.iter().zip(&morsel.columns) {
+            batch.push(*id, col.as_slice());
+        }
+
+        // Deduplicate mask expressions, as the aggregate operators do.
+        let mut distinct_masks: Vec<&Expr> = Vec::new();
+        let mask_slot: Vec<Option<usize>> = self
+            .aggregates
+            .iter()
+            .map(|a| {
+                if a.unmasked() {
+                    None
+                } else {
+                    Some(match distinct_masks.iter().position(|m| **m == a.mask) {
+                        Some(i) => i,
+                        None => {
+                            distinct_masks.push(&a.mask);
+                            distinct_masks.len() - 1
+                        }
+                    })
+                }
+            })
+            .collect();
+        let mut mask_vals: Vec<Vec<bool>> = Vec::with_capacity(distinct_masks.len());
+        for m in &distinct_masks {
+            metrics.add_rows_evaluated_vectorized(sel.len() as u64);
+            let vs = batch.eval(m, sel)?;
+            mask_vals.push(vs.iter().map(|v| v.as_bool() == Some(true)).collect());
+        }
+
+        // One value per mask-accepted row, consumed in row order below.
+        let mut arg_vals: Vec<Option<std::vec::IntoIter<Value>>> =
+            Vec::with_capacity(self.aggregates.len());
+        for (i, a) in self.aggregates.iter().enumerate() {
+            match &a.arg {
+                None => arg_vals.push(None),
+                Some(e) => {
+                    let masked_rows: Vec<usize>;
+                    let rows: &[usize] = match mask_slot[i] {
+                        None => sel,
+                        Some(slot) => {
+                            masked_rows = sel
+                                .iter()
+                                .enumerate()
+                                .filter(|(j, _)| mask_vals[slot][*j])
+                                .map(|(_, &r)| r)
+                                .collect();
+                            &masked_rows
+                        }
+                    };
+                    metrics.add_rows_evaluated_vectorized(rows.len() as u64);
+                    arg_vals.push(Some(batch.eval(e, rows)?.into_iter()));
+                }
+            }
+        }
+
+        let naggs = self.aggregates.len();
+        let mut apply = |state: &mut GroupState, j: usize| {
+            for i in 0..naggs {
+                if let Some(slot) = mask_slot[i] {
+                    if !mask_vals[slot][j] {
+                        continue;
+                    }
+                }
+                let arg_value: Option<Value> = match &mut arg_vals[i] {
+                    None => None,
+                    Some(it) => it.next(),
+                };
+                if let Some(seen) = &mut state.distinct_seen[i] {
+                    match &arg_value {
+                        Some(v) if !v.is_null() => {
+                            if inline_distinct {
+                                if !seen.insert(v.clone()) {
+                                    continue; // already counted
+                                }
+                            } else {
+                                // Parallel partial: record only; the
+                                // accumulator is rebuilt from the merged
+                                // union at finish time.
+                                seen.insert(v.clone());
+                                continue;
+                            }
+                        }
+                        _ => continue,
+                    }
+                }
+                state.accs[i].update(arg_value.as_ref());
+            }
+        };
+
+        let mut state_bytes = 0i64;
+        if self.group_positions.is_empty() {
+            // Scalar aggregates share one group: hoist the table lookup
+            // out of the row loop entirely.
+            let key = HashedKey::new(Vec::new());
+            if !groups.contains_key(&key) {
+                state_bytes += row_bytes(&key.key) + 64 * naggs as i64;
+            }
+            let state = groups
+                .entry(key)
+                .or_insert_with(|| GroupState::new(&self.aggregates, &self.int_sums));
+            for j in 0..sel.len() {
+                apply(state, j);
+            }
+        } else {
+            for (j, &r) in sel.iter().enumerate() {
+                let key = HashedKey::new(
+                    self.group_positions
+                        .iter()
+                        .map(|&p| morsel.columns[p][r].clone())
+                        .collect(),
+                );
+                if !groups.contains_key(&key) {
+                    state_bytes += row_bytes(&key.key) + 64 * naggs as i64;
+                }
+                let state = groups
+                    .entry(key)
+                    .or_insert_with(|| GroupState::new(&self.aggregates, &self.int_sums));
+                apply(state, j);
+            }
+        }
+        Ok(state_bytes)
+    }
+
+    /// Produce the output rows: scalar aggregates emit one default row
+    /// over empty input, keys sort for deterministic order, and (parallel
+    /// mode only) distinct accumulators are rebuilt from their merged
+    /// seen-sets in sorted order.
+    fn finalize(
+        &self,
+        groups: HashMap<HashedKey, GroupState>,
+        inline_distinct: bool,
+    ) -> Result<Vec<Row>> {
+        if self.group_positions.is_empty() && groups.is_empty() {
+            let row: Row = self
+                .aggregates
+                .iter()
+                .zip(&self.int_sums)
+                .map(|(a, int_sum)| Acc::new(a.func, *int_sum).finish())
+                .collect();
+            return Ok(vec![row]);
+        }
+        let mut keys: Vec<HashedKey> = groups.keys().cloned().collect();
+        keys.sort_by(|a, b| a.key.cmp(&b.key));
+        let mut out = Vec::with_capacity(keys.len());
+        for key in keys {
+            let state = &groups[&key];
+            let mut row = key.key.clone();
+            for (i, agg) in self.aggregates.iter().enumerate() {
+                let v = match &state.distinct_seen[i] {
+                    Some(seen) if !inline_distinct => {
+                        let mut acc = Acc::new(agg.func, self.int_sums[i]);
+                        let mut vals: Vec<&Value> = seen.iter().collect();
+                        vals.sort();
+                        for v in vals {
+                            acc.update(Some(v));
+                        }
+                        acc.finish()
+                    }
+                    _ => state.accs[i].finish(),
+                };
+                row.push(v);
+            }
+            out.push(row);
+        }
+        Ok(out)
+    }
+}
+
+/// Apply one stage to a morsel in place. `mark_states` carries the
+/// cross-morsel seen-sets of any `MarkDistinct` stages in the list (the
+/// morsel-parallel prefix never contains one, so it passes an empty
+/// slice).
+fn apply_stage(
+    stage: &Stage,
+    mark_states: &mut [MarkState],
+    m: &mut ColumnarMorsel,
+    ctx: &ExecContext,
+) -> Result<()> {
+    let metrics = ctx.metrics();
+    match &stage.kind {
+        StageKind::Filter(pred) => {
+            let mut batch = ColumnBatch::new();
+            for (id, col) in stage.input_ids.iter().zip(&m.columns) {
+                batch.push(*id, col.as_slice());
+            }
+            metrics.add_rows_evaluated_vectorized(m.selection.len() as u64);
+            m.selection = batch.filter(pred, &m.selection)?;
+        }
+        StageKind::Project(cols) => {
+            if cols.iter().all(|c| matches!(c, ProjectedCol::Pass(_))) {
+                // Pure column shuffle: re-share the arrays, keep the
+                // selection — zero copies.
+                m.columns = cols
+                    .iter()
+                    .map(|c| match c {
+                        ProjectedCol::Pass(p) => m.columns[*p].clone(),
+                        ProjectedCol::Eval(_) => {
+                            unreachable!("all-pass projection checked above")
+                        }
+                    })
+                    .collect();
+            } else {
+                let mut batch = ColumnBatch::new();
+                for (id, col) in stage.input_ids.iter().zip(&m.columns) {
+                    batch.push(*id, col.as_slice());
+                }
+                let n = m.selection.len();
+                let new_cols = cols
+                    .iter()
+                    .map(|c| -> Result<Arc<Vec<Value>>> {
+                        Ok(Arc::new(match c {
+                            ProjectedCol::Pass(p) => m
+                                .selection
+                                .iter()
+                                .map(|&r| m.columns[*p][r].clone())
+                                .collect(),
+                            ProjectedCol::Eval(e) => {
+                                metrics.add_rows_evaluated_vectorized(n as u64);
+                                batch.eval(e, &m.selection)?
+                            }
+                        }))
+                    })
+                    .collect::<Result<Vec<_>>>()?;
+                m.columns = new_cols;
+                m.selection = (0..n).collect();
+            }
+        }
+        StageKind::MarkDistinct {
+            positions,
+            mask,
+            slot,
+        } => {
+            let state = &mut mark_states[*slot];
+            let mask_vals: Option<Vec<bool>> = match mask {
+                None => None,
+                Some(e) => {
+                    let mut batch = ColumnBatch::new();
+                    for (id, col) in stage.input_ids.iter().zip(&m.columns) {
+                        batch.push(*id, col.as_slice());
+                    }
+                    metrics.add_rows_evaluated_vectorized(m.selection.len() as u64);
+                    let vs = batch.eval(e, &m.selection)?;
+                    Some(vs.iter().map(|v| v.as_bool() == Some(true)).collect())
+                }
+            };
+            // The flag column is full-length so it aligns with the
+            // morsel's other arrays; unselected rows never materialize.
+            let n = m.columns.first().map(|c| c.len()).unwrap_or(0);
+            let mut marks = vec![Value::Boolean(false); n];
+            for (j, &r) in m.selection.iter().enumerate() {
+                if let Some(mv) = &mask_vals {
+                    if !mv[j] {
+                        continue; // masked out: stays FALSE, not tracked
+                    }
+                }
+                let key: Vec<Value> = positions.iter().map(|&p| m.columns[p][r].clone()).collect();
+                if state.seen.contains(&key) {
+                    continue; // stays FALSE
+                }
+                state.reservation.try_grow(row_bytes(&key))?;
+                state.seen.insert(key);
+                marks[r] = Value::Boolean(true);
+            }
+            m.columns.push(Arc::new(marks));
+        }
+    }
+    Ok(())
+}
+
+/// Push one morsel through a stage list, counting the row batches the
+/// chain did *not* materialize at its internal operator boundaries.
+fn run_stage_list(
+    stages: &[Stage],
+    mark_states: &mut [MarkState],
+    m: &mut ColumnarMorsel,
+    ctx: &ExecContext,
+    span: &Option<Arc<OpSpan>>,
+) -> Result<u64> {
+    let start = Instant::now();
+    let mut elided = 0u64;
+    for stage in stages {
+        elided += m.selection.len().div_ceil(CHUNK_SIZE) as u64;
+        apply_stage(stage, mark_states, m, ctx)?;
+        if stage.meter {
+            stage.span.add_rows_out(m.selection.len() as u64);
+        }
+    }
+    if let Some(span) = span {
+        span.add_cpu_nanos(start.elapsed().as_nanos() as u64);
+    }
+    Ok(elided)
+}
+
+/// A compiled `Scan → Filter*/Project*/MarkDistinct* (→ Aggregate)`
+/// chain, driven push-based over columnar morsels. Sequentially the
+/// pipeline streams one partition at a time; with more workers (or an
+/// aggregate sink) it materializes — morsel-parallel where the batch
+/// path is parallel, partition-ordered on the driver where the batch
+/// path is sequential — so output is bit-identical at every thread
+/// count.
+pub struct FusedPipeline {
+    fragment: Arc<ScanFragment>,
+    workers: usize,
+    /// Stages below the first stateful stage — run morsel-parallel.
+    par_stages: Vec<Stage>,
+    /// The first stateful (`MarkDistinct`) stage and everything above
+    /// it — run on the driver in partition-index order.
+    seq_stages: Vec<Stage>,
+    mark_states: Vec<MarkState>,
+    agg: Option<AggSink>,
+    schema: Schema,
+    ctx: Arc<ExecContext>,
+    /// Sequential streaming state.
+    next_partition: usize,
+    pending: Vec<Row>,
+    emitted: usize,
+    /// Materialized output (aggregate or parallel mode).
+    output: Option<std::vec::IntoIter<Row>>,
+    span: Option<Arc<OpSpan>>,
+}
+
+impl FusedPipeline {
+    /// Non-aggregate stateless chain, morsel-parallel: process every
+    /// partition on the worker pool — rows gather inside the workers —
+    /// and concatenate in partition-index order.
+    fn compute_rows_parallel(&self) -> Result<Vec<Row>> {
+        let results = collect_morsels(
+            &self.ctx,
+            self.fragment.num_partitions(),
+            self.workers,
+            |p| -> Result<Option<Vec<Row>>> {
+                let mut m = match self.fragment.scan_partition_columnar(p)? {
+                    None => return Ok(None),
+                    Some(m) => m,
+                };
+                let elided =
+                    run_stage_list(&self.par_stages, &mut [], &mut m, &self.ctx, &self.span)?;
+                self.ctx.metrics().add_batches_elided(elided);
+                let rows = m.gather_rows();
+                Ok(if rows.is_empty() { None } else { Some(rows) })
+            },
+        )?;
+        Ok(results.into_iter().flat_map(|(_, rows)| rows).collect())
+    }
+
+    /// Aggregate chain, single worker: one group table, accumulated in
+    /// scan row order with inline distinct — `HashAggregateExec`
+    /// semantics.
+    fn compute_agg_sequential(&mut self) -> Result<Vec<Row>> {
+        let FusedPipeline {
+            fragment,
+            par_stages,
+            seq_stages,
+            mark_states,
+            agg,
+            ctx,
+            span,
+            ..
+        } = self;
+        let sink = agg.as_ref().expect("sequential aggregate mode has a sink");
+        let mut groups: HashMap<HashedKey, GroupState> = HashMap::new();
+        let mut reservation = BudgetedReservation::try_new(ctx.clone(), 0)?;
+        if let Some(span) = span {
+            reservation.set_span(span.clone());
+        }
+        for p in 0..fragment.num_partitions() {
+            ctx.check()?;
+            let mut m = match fragment.scan_partition_columnar(p)? {
+                None => continue,
+                Some(m) => m,
+            };
+            let mut elided = run_stage_list(par_stages, &mut [], &mut m, ctx, span)?;
+            elided += run_stage_list(seq_stages, mark_states, &mut m, ctx, span)?;
+            elided += m.selection.len().div_ceil(CHUNK_SIZE) as u64;
+            ctx.metrics().add_batches_elided(elided);
+            let start = Instant::now();
+            let bytes = sink.accumulate(&m, &mut groups, true, ctx)?;
+            if let Some(span) = span {
+                span.add_cpu_nanos(start.elapsed().as_nanos() as u64);
+            }
+            reservation.try_grow(bytes)?;
+        }
+        let _reservation = reservation;
+        sink.finalize(groups, true)
+    }
+
+    /// Aggregate directly over the scan, multiple workers: per-partition
+    /// partials merged in partition-index order, distinct rebuilt from
+    /// merged seen-sets — `ParallelHashAggregateExec` semantics. Only
+    /// this shape aggregates in parallel; any interior stage means the
+    /// batch path would run `HashAggregateExec` above the gather, so the
+    /// pipeline accumulates sequentially too (see
+    /// [`Self::compute_two_phase`]).
+    fn compute_agg_parallel(&self, sink: &AggSink) -> Result<Vec<Row>> {
+        let partials = collect_morsels(
+            &self.ctx,
+            self.fragment.num_partitions(),
+            self.workers,
+            |p| -> Result<Option<PipelinePartial>> {
+                let m = match self.fragment.scan_partition_columnar(p)? {
+                    None => return Ok(None),
+                    Some(m) => m,
+                };
+                let elided = (m.selection.len().div_ceil(CHUNK_SIZE)) as u64;
+                self.ctx.metrics().add_batches_elided(elided);
+                if m.selection.is_empty() {
+                    return Ok(None);
+                }
+                let start = Instant::now();
+                let mut groups = HashMap::new();
+                let bytes = sink.accumulate(&m, &mut groups, false, &self.ctx)?;
+                let mut reservation = BudgetedReservation::try_new(self.ctx.clone(), bytes)?;
+                if let Some(span) = &self.span {
+                    span.add_cpu_nanos(start.elapsed().as_nanos() as u64);
+                    reservation.set_span(span.clone());
+                }
+                Ok(Some(PipelinePartial {
+                    groups,
+                    _reservation: reservation,
+                }))
+            },
+        )?;
+        let mut groups: HashMap<HashedKey, GroupState> = HashMap::new();
+        let mut reservations = Vec::with_capacity(partials.len());
+        for (_, partial) in partials {
+            reservations.push(partial._reservation);
+            for (key, st) in partial.groups {
+                match groups.entry(key) {
+                    std::collections::hash_map::Entry::Occupied(mut e) => e.get_mut().merge(st),
+                    std::collections::hash_map::Entry::Vacant(e) => {
+                        e.insert(st);
+                    }
+                }
+            }
+        }
+        sink.finalize(groups, false)
+    }
+
+    /// Multi-worker chain with stages: scan and the stateless prefix run
+    /// morsel-parallel, then the stateful suffix and/or the aggregate
+    /// consume the morsels on the driver in partition-index order — the
+    /// same row order the batch path's gather would produce.
+    fn compute_two_phase(&mut self) -> Result<Vec<Row>> {
+        let morsels = collect_morsels(
+            &self.ctx,
+            self.fragment.num_partitions(),
+            self.workers,
+            |p| -> Result<Option<(ColumnarMorsel, u64)>> {
+                let mut m = match self.fragment.scan_partition_columnar(p)? {
+                    None => return Ok(None),
+                    Some(m) => m,
+                };
+                let elided =
+                    run_stage_list(&self.par_stages, &mut [], &mut m, &self.ctx, &self.span)?;
+                Ok(Some((m, elided)))
+            },
+        )?;
+        let FusedPipeline {
+            seq_stages,
+            mark_states,
+            agg,
+            ctx,
+            span,
+            ..
+        } = self;
+        match agg.as_ref() {
+            Some(sink) => {
+                let mut groups: HashMap<HashedKey, GroupState> = HashMap::new();
+                let mut reservation = BudgetedReservation::try_new(ctx.clone(), 0)?;
+                if let Some(span) = span {
+                    reservation.set_span(span.clone());
+                }
+                for (_, (mut m, mut elided)) in morsels {
+                    ctx.check()?;
+                    elided += run_stage_list(seq_stages, mark_states, &mut m, ctx, span)?;
+                    elided += m.selection.len().div_ceil(CHUNK_SIZE) as u64;
+                    ctx.metrics().add_batches_elided(elided);
+                    let start = Instant::now();
+                    let bytes = sink.accumulate(&m, &mut groups, true, ctx)?;
+                    if let Some(span) = span {
+                        span.add_cpu_nanos(start.elapsed().as_nanos() as u64);
+                    }
+                    reservation.try_grow(bytes)?;
+                }
+                let _reservation = reservation;
+                sink.finalize(groups, true)
+            }
+            None => {
+                let mut out = Vec::new();
+                for (_, (mut m, mut elided)) in morsels {
+                    ctx.check()?;
+                    elided += run_stage_list(seq_stages, mark_states, &mut m, ctx, span)?;
+                    ctx.metrics().add_batches_elided(elided);
+                    out.extend(m.gather_rows());
+                }
+                Ok(out)
+            }
+        }
+    }
+
+    fn compute_all(&mut self) -> Result<Vec<Row>> {
+        let stateless = self.par_stages.is_empty() && self.seq_stages.is_empty();
+        if self.workers > 1 {
+            if self.agg.is_none() && self.seq_stages.is_empty() {
+                return self.compute_rows_parallel();
+            }
+            if self.agg.is_some() && stateless {
+                let sink = self.agg.take().expect("aggregate sink checked above");
+                let rows = self.compute_agg_parallel(&sink);
+                self.agg = Some(sink);
+                return rows;
+            }
+            return self.compute_two_phase();
+        }
+        self.compute_agg_sequential()
+    }
+}
+
+impl Operator for FusedPipeline {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn attach_span(&mut self, span: Arc<OpSpan>) {
+        self.span = Some(span);
+    }
+
+    fn next_chunk(&mut self) -> Result<Option<Chunk>> {
+        self.ctx.check()?;
+        if self.agg.is_some() || self.workers > 1 {
+            if self.output.is_none() {
+                let rows = self.compute_all()?;
+                self.output = Some(rows.into_iter());
+            }
+            let it = self
+                .output
+                .as_mut()
+                .expect("pipeline output was initialized above");
+            let chunk: Vec<Row> = it.take(CHUNK_SIZE).collect();
+            return Ok(if chunk.is_empty() { None } else { Some(chunk) });
+        }
+        // Sequential streaming: one partition at a time, emitted in
+        // CHUNK_SIZE slices like the batch scan. Stateful stages carry
+        // their seen-sets across partitions, which arrive in order.
+        loop {
+            if self.emitted < self.pending.len() {
+                let end = (self.emitted + CHUNK_SIZE).min(self.pending.len());
+                let chunk: Chunk = self.pending[self.emitted..end].to_vec();
+                self.emitted = end;
+                if self.emitted >= self.pending.len() {
+                    self.pending.clear();
+                    self.emitted = 0;
+                }
+                return Ok(Some(chunk));
+            }
+            if self.next_partition >= self.fragment.num_partitions() {
+                return Ok(None);
+            }
+            let p = self.next_partition;
+            self.next_partition += 1;
+            if let Some(mut m) = self.fragment.scan_partition_columnar(p)? {
+                let FusedPipeline {
+                    par_stages,
+                    seq_stages,
+                    mark_states,
+                    ctx,
+                    span,
+                    ..
+                } = &mut *self;
+                let mut elided = run_stage_list(par_stages, &mut [], &mut m, ctx, span)?;
+                elided += run_stage_list(seq_stages, mark_states, &mut m, ctx, span)?;
+                ctx.metrics().add_batches_elided(elided);
+                self.pending = m.gather_rows();
+                self.emitted = 0;
+            }
+        }
+    }
+}
+
+/// Try to compile `plan` as a fused pipeline. Returns `Ok(None)` when the
+/// plan does not start with a pipelineable chain (or pipelines are
+/// disabled on the context) — the caller falls through to the
+/// operator-at-a-time path. `next` is advanced exactly as the batch
+/// compiler would advance it for the same nodes, so `op_id`s are stable
+/// either way.
+pub(crate) fn try_compile(
+    plan: &LogicalPlan,
+    catalog: &Catalog,
+    ctx: &Arc<ExecContext>,
+    next: &mut usize,
+) -> Result<Option<(BoxedOp, ProfileNode)>> {
+    if !ctx.pipelines() {
+        return Ok(None);
+    }
+    let mut agg_plan: Option<&fusion_plan::plan::Aggregate> = None;
+    let mut cursor: &LogicalPlan = plan;
+    if let LogicalPlan::Aggregate(a) = cursor {
+        agg_plan = Some(a);
+        cursor = &a.input;
+    }
+    let mut stage_plans: Vec<&LogicalPlan> = Vec::new(); // top → bottom
+    let scan = loop {
+        match cursor {
+            LogicalPlan::Filter(f) => {
+                stage_plans.push(cursor);
+                cursor = &f.input;
+            }
+            LogicalPlan::Project(p) => {
+                stage_plans.push(cursor);
+                cursor = &p.input;
+            }
+            LogicalPlan::MarkDistinct(md) => {
+                stage_plans.push(cursor);
+                cursor = &md.input;
+            }
+            LogicalPlan::Scan(s) => break s,
+            _ => return Ok(None),
+        }
+    };
+    let scan_plan = cursor;
+    if agg_plan.is_none() && stage_plans.is_empty() {
+        // A bare scan gains nothing from pipelining.
+        return Ok(None);
+    }
+
+    // Resolve the aggregate sink before claiming any op id, so a
+    // rejection leaves the id counter untouched for the batch compiler.
+    let sink = match agg_plan {
+        None => None,
+        Some(a) => {
+            let input_schema = a.input.schema();
+            let mut group_positions = Vec::with_capacity(a.group_by.len());
+            for id in &a.group_by {
+                match input_schema.index_of(*id) {
+                    Some(p) => group_positions.push(p),
+                    // Let the operator path surface the plan error.
+                    None => return Ok(None),
+                }
+            }
+            let aggregates: Vec<AggregateExpr> =
+                a.aggregates.iter().map(|x| x.agg.clone()).collect();
+            let int_sums: Vec<bool> = aggregates
+                .iter()
+                .map(|a| {
+                    a.func == AggFunc::Sum
+                        && a.arg
+                            .as_ref()
+                            .map(|e| {
+                                e.data_type(&input_schema)
+                                    .map(|t| t == fusion_common::DataType::Int64)
+                                    .unwrap_or(false)
+                            })
+                            .unwrap_or(false)
+                })
+                .collect();
+            let input_ids: Vec<ColumnId> =
+                input_schema.fields().iter().map(|f| f.id).collect();
+            Some(AggSink {
+                group_positions,
+                aggregates,
+                int_sums,
+                input_ids,
+            })
+        }
+    };
+
+    // Resolve MarkDistinct key positions bottom-up before claiming ids,
+    // for the same reason.
+    {
+        let mut input_schema: Schema = scan_plan.schema();
+        for sp in stage_plans.iter().rev() {
+            if let LogicalPlan::MarkDistinct(md) = sp {
+                for c in &md.columns {
+                    if input_schema.index_of(*c).is_none() {
+                        return Ok(None);
+                    }
+                }
+            }
+            input_schema = sp.schema();
+        }
+    }
+
+    // Claim pre-order ids top → bottom — the same walk compile_node does
+    // over this chain (each node has exactly one child).
+    let node_plans: Vec<&LogicalPlan> = {
+        let mut v = Vec::new();
+        if agg_plan.is_some() {
+            v.push(plan);
+        }
+        v.extend(stage_plans.iter().copied());
+        v.push(scan_plan);
+        v
+    };
+    let metas: Vec<(usize, Arc<OpSpan>)> = node_plans
+        .iter()
+        .map(|_| {
+            let id = *next;
+            *next += 1;
+            (id, Arc::new(OpSpan::default()))
+        })
+        .collect();
+    let scan_meta = metas.len() - 1;
+    let (fragment, workers) = scan_fragment(
+        catalog,
+        ctx,
+        scan,
+        scan_plan.schema(),
+        metas[scan_meta].1.clone(),
+    )?;
+
+    // Build stages bottom-up, threading each node's input schema.
+    let mut stages: Vec<Stage> = Vec::with_capacity(stage_plans.len());
+    let mut mark_states: Vec<MarkState> = Vec::new();
+    let mut input_schema: Schema = scan_plan.schema();
+    for (k, sp) in stage_plans.iter().enumerate().rev() {
+        let meta_idx = if agg_plan.is_some() { k + 1 } else { k };
+        let input_ids: Vec<ColumnId> = input_schema.fields().iter().map(|f| f.id).collect();
+        let kind = match sp {
+            LogicalPlan::Filter(f) => StageKind::Filter(f.predicate.clone()),
+            LogicalPlan::Project(p) => StageKind::Project(
+                p.exprs
+                    .iter()
+                    .map(|pe| match &pe.expr {
+                        Expr::Column(id) => match input_schema.index_of(*id) {
+                            Some(pos) => ProjectedCol::Pass(pos),
+                            None => ProjectedCol::Eval(pe.expr.clone()),
+                        },
+                        e => ProjectedCol::Eval(e.clone()),
+                    })
+                    .collect(),
+            ),
+            LogicalPlan::MarkDistinct(md) => {
+                let positions = md
+                    .columns
+                    .iter()
+                    .filter_map(|c| input_schema.index_of(*c))
+                    .collect();
+                let mask = if md.mask.is_true_literal() {
+                    None
+                } else {
+                    Some(md.mask.clone())
+                };
+                let slot = mark_states.len();
+                let mut reservation = BudgetedReservation::try_new(ctx.clone(), 0)?;
+                reservation.set_span(metas[meta_idx].1.clone());
+                mark_states.push(MarkState {
+                    seen: HashSet::new(),
+                    reservation,
+                });
+                StageKind::MarkDistinct {
+                    positions,
+                    mask,
+                    slot,
+                }
+            }
+            _ => unreachable!("chain stages are filters, projects, and distinct marks"),
+        };
+        stages.push(Stage {
+            kind,
+            input_ids,
+            span: metas[meta_idx].1.clone(),
+            // The chain's top node is metered by the SpannedOp wrapper.
+            meter: agg_plan.is_some() || k != 0,
+        });
+        input_schema = sp.schema();
+    }
+
+    // Split at the first stateful stage: everything from there up runs
+    // on the driver in partition-index order.
+    let first_stateful = stages
+        .iter()
+        .position(|s| matches!(s.kind, StageKind::MarkDistinct { .. }));
+    let seq_stages = match first_stateful {
+        Some(i) => stages.split_off(i),
+        None => Vec::new(),
+    };
+
+    // Profile tree: scan leaf (inlined — its rows come from the
+    // fragment-side counters) wrapped bottom-up by the chain nodes.
+    let mut node = ProfileNode {
+        op_id: metas[scan_meta].0,
+        label: scan_plan.node_label(),
+        span: metas[scan_meta].1.clone(),
+        inlined: true,
+        children: vec![],
+    };
+    for (k, sp) in stage_plans.iter().enumerate().rev() {
+        let meta_idx = if agg_plan.is_some() { k + 1 } else { k };
+        node = ProfileNode {
+            op_id: metas[meta_idx].0,
+            label: sp.node_label(),
+            span: metas[meta_idx].1.clone(),
+            inlined: false,
+            children: vec![node],
+        };
+    }
+    if agg_plan.is_some() {
+        node = ProfileNode {
+            op_id: metas[0].0,
+            label: plan.node_label(),
+            span: metas[0].1.clone(),
+            inlined: false,
+            children: vec![node],
+        };
+    }
+
+    ctx.metrics().add_pipeline_compiled();
+    let top_span = metas[0].1.clone();
+    let op = FusedPipeline {
+        fragment,
+        workers,
+        par_stages: stages,
+        seq_stages,
+        mark_states,
+        agg: sink,
+        schema: plan.schema(),
+        ctx: ctx.clone(),
+        next_partition: 0,
+        pending: Vec::new(),
+        emitted: 0,
+        output: None,
+        span: None,
+    };
+    Ok(Some((spanned(Box::new(op), &top_span), node)))
+}

@@ -177,7 +177,7 @@ pub fn eval_cow<'a>(expr: &'a Expr, row: &'a dyn Resolver) -> Result<Cow<'a, Val
     }
 }
 
-fn compare(op: BinaryOp, ord: Ordering) -> bool {
+pub(crate) fn compare(op: BinaryOp, ord: Ordering) -> bool {
     match op {
         BinaryOp::Eq => ord == Ordering::Equal,
         BinaryOp::NotEq => ord != Ordering::Equal,
@@ -230,7 +230,7 @@ fn eval_binary(op: BinaryOp, left: &Expr, right: &Expr, row: &dyn Resolver) -> R
     arith(op, &l, &r)
 }
 
-fn arith(op: BinaryOp, l: &Value, r: &Value) -> Result<Value> {
+pub(crate) fn arith(op: BinaryOp, l: &Value, r: &Value) -> Result<Value> {
     // Integer arithmetic stays integral except division.
     if let (Value::Int64(a), Value::Int64(b)) = (l, r) {
         return Ok(match op {

@@ -21,6 +21,7 @@ pub mod eval;
 pub mod expr;
 pub mod equiv;
 pub mod simplify;
+pub mod vector;
 
 pub use agg::{AggFunc, AggregateExpr, WindowExpr};
 pub use eval::{eval, eval_cow, eval_predicate, Resolver};
@@ -30,3 +31,4 @@ pub use expr::{
     ScalarFunc,
 };
 pub use simplify::{is_contradiction, simplify, simplify_filter};
+pub use vector::{hash_columns, hash_key, hash_value, ColumnBatch, HashedKey};

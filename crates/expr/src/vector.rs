@@ -1,0 +1,539 @@
+//! Column-at-a-time expression evaluation over selection vectors.
+//!
+//! The row-based evaluator in [`crate::eval`] resolves one column value at
+//! a time through a [`crate::eval::Resolver`]; the kernels here evaluate a
+//! whole expression over a **selection vector** of row indices into shared
+//! columnar arrays, visiting one expression node per *batch* instead of
+//! per *row*. The push-based pipeline operator in the executor drives
+//! every filter, projection and aggregate input through [`ColumnBatch`].
+//!
+//! Semantics are bit-identical to the scalar evaluator, including SQL
+//! three-valued logic and short-circuit *evaluation sites*: `AND` does not
+//! evaluate its right side for rows whose left side is `FALSE` (it does
+//! for `NULL`, exactly like the scalar path), `CASE` evaluates each branch
+//! only over the rows no earlier branch matched, and `IN` stops testing
+//! list items for rows that already matched. A row the scalar evaluator
+//! would never touch with a sub-expression is never touched here either,
+//! so data-dependent type errors surface identically on both paths.
+//!
+//! The module also hosts the deterministic hash-key kernels shared by the
+//! hash-join probe and hash-aggregate grouping: [`hash_key`] (row-wise)
+//! and [`hash_columns`] (column-wise) compute the **same** function, and
+//! [`HashedKey`] caches the hash alongside the key so probes hash once.
+
+use std::cmp::Ordering;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+
+use fusion_common::{ColumnId, FusionError, Result, Value};
+
+use crate::eval::{arith, cast, compare};
+use crate::expr::{BinaryOp, Expr, ScalarFunc};
+
+/// A batch of columnar arrays sharing one row-index domain, addressed by
+/// the `ColumnId`s an expression references. Rows are selected by index;
+/// the arrays themselves are borrowed, never copied.
+#[derive(Debug, Default)]
+pub struct ColumnBatch<'a> {
+    columns: Vec<&'a [Value]>,
+    positions: HashMap<ColumnId, usize>,
+}
+
+impl<'a> ColumnBatch<'a> {
+    pub fn new() -> Self {
+        ColumnBatch::default()
+    }
+
+    /// Register `column` as the array backing `id`. Later registrations
+    /// of the same id win (mirroring shadowed projections).
+    pub fn push(&mut self, id: ColumnId, column: &'a [Value]) {
+        match self.positions.get(&id) {
+            Some(&p) => self.columns[p] = column,
+            None => {
+                self.positions.insert(id, self.columns.len());
+                self.columns.push(column);
+            }
+        }
+    }
+
+    fn column(&self, id: ColumnId) -> Result<&'a [Value]> {
+        self.positions
+            .get(&id)
+            .map(|&p| self.columns[p])
+            .ok_or_else(|| FusionError::Execution(format!("no column {id}")))
+    }
+
+    /// Evaluate `expr` for every row in `sel`; the result is aligned with
+    /// `sel` (`out[i]` is the value for row `sel[i]`).
+    pub fn eval(&self, expr: &Expr, sel: &[usize]) -> Result<Vec<Value>> {
+        match expr {
+            Expr::Column(id) => {
+                let col = self.column(*id)?;
+                Ok(sel.iter().map(|&r| col[r].clone()).collect())
+            }
+            Expr::Literal(v) => Ok(vec![v.clone(); sel.len()]),
+            Expr::Binary { op, left, right } if *op == BinaryOp::And => {
+                let lv = self.eval(left, sel)?;
+                // Scalar AND skips the right side only when the left is
+                // FALSE; NULL rows still evaluate it.
+                let rest: Vec<usize> = sel
+                    .iter()
+                    .zip(&lv)
+                    .filter(|(_, l)| l.as_bool() != Some(false))
+                    .map(|(&r, _)| r)
+                    .collect();
+                let rv = self.eval(right, &rest)?;
+                let mut rv = rv.into_iter();
+                Ok(lv
+                    .into_iter()
+                    .map(|l| {
+                        if l.as_bool() == Some(false) {
+                            return Value::Boolean(false);
+                        }
+                        let r = rv.next().unwrap_or(Value::Null);
+                        match (l.as_bool(), r.as_bool()) {
+                            (_, Some(false)) => Value::Boolean(false),
+                            (Some(true), Some(true)) => Value::Boolean(true),
+                            _ => Value::Null,
+                        }
+                    })
+                    .collect())
+            }
+            Expr::Binary { op, left, right } if *op == BinaryOp::Or => {
+                let lv = self.eval(left, sel)?;
+                let rest: Vec<usize> = sel
+                    .iter()
+                    .zip(&lv)
+                    .filter(|(_, l)| l.as_bool() != Some(true))
+                    .map(|(&r, _)| r)
+                    .collect();
+                let rv = self.eval(right, &rest)?;
+                let mut rv = rv.into_iter();
+                Ok(lv
+                    .into_iter()
+                    .map(|l| {
+                        if l.as_bool() == Some(true) {
+                            return Value::Boolean(true);
+                        }
+                        let r = rv.next().unwrap_or(Value::Null);
+                        match (l.as_bool(), r.as_bool()) {
+                            (_, Some(true)) => Value::Boolean(true),
+                            (Some(false), Some(false)) => Value::Boolean(false),
+                            _ => Value::Null,
+                        }
+                    })
+                    .collect())
+            }
+            Expr::Binary { op, left, right } if op.is_comparison() => {
+                let lv = self.eval(left, sel)?;
+                let rv = self.eval(right, sel)?;
+                lv.into_iter()
+                    .zip(rv)
+                    .map(|(l, r)| {
+                        if l.is_null() || r.is_null() {
+                            return Ok(Value::Null);
+                        }
+                        let ord = l.sql_cmp(&r).ok_or_else(|| {
+                            FusionError::Type(format!("cannot compare {l} with {r}"))
+                        })?;
+                        Ok(Value::Boolean(compare(*op, ord)))
+                    })
+                    .collect()
+            }
+            Expr::Binary { op, left, right } => {
+                let lv = self.eval(left, sel)?;
+                let rv = self.eval(right, sel)?;
+                lv.into_iter()
+                    .zip(rv)
+                    .map(|(l, r)| {
+                        if l.is_null() || r.is_null() {
+                            return Ok(Value::Null);
+                        }
+                        arith(*op, &l, &r)
+                    })
+                    .collect()
+            }
+            Expr::Not(e) => self
+                .eval(e, sel)?
+                .into_iter()
+                .map(|v| match v {
+                    Value::Null => Ok(Value::Null),
+                    Value::Boolean(b) => Ok(Value::Boolean(!b)),
+                    v => Err(FusionError::Type(format!("NOT applied to {v}"))),
+                })
+                .collect(),
+            Expr::Negate(e) => self
+                .eval(e, sel)?
+                .into_iter()
+                .map(|v| match v {
+                    Value::Null => Ok(Value::Null),
+                    Value::Int64(i) => Ok(Value::Int64(-i)),
+                    Value::Float64(f) => Ok(Value::Float64(-f)),
+                    v => Err(FusionError::Type(format!("negation applied to {v}"))),
+                })
+                .collect(),
+            Expr::IsNull(e) => Ok(self
+                .eval(e, sel)?
+                .into_iter()
+                .map(|v| Value::Boolean(v.is_null()))
+                .collect()),
+            Expr::IsNotNull(e) => Ok(self
+                .eval(e, sel)?
+                .into_iter()
+                .map(|v| Value::Boolean(!v.is_null()))
+                .collect()),
+            Expr::Case {
+                branches,
+                else_expr,
+            } => {
+                let mut out = vec![Value::Null; sel.len()];
+                // Output positions (indices into `sel`) no branch matched.
+                let mut remaining: Vec<usize> = (0..sel.len()).collect();
+                for (cond, value) in branches {
+                    if remaining.is_empty() {
+                        break;
+                    }
+                    let rows: Vec<usize> = remaining.iter().map(|&j| sel[j]).collect();
+                    let conds = self.eval(cond, &rows)?;
+                    let matched: Vec<usize> = remaining
+                        .iter()
+                        .zip(&conds)
+                        .filter(|(_, c)| c.as_bool() == Some(true))
+                        .map(|(&j, _)| j)
+                        .collect();
+                    if !matched.is_empty() {
+                        let rows: Vec<usize> = matched.iter().map(|&j| sel[j]).collect();
+                        let vals = self.eval(value, &rows)?;
+                        for (&j, v) in matched.iter().zip(vals) {
+                            out[j] = v;
+                        }
+                    }
+                    remaining = remaining
+                        .into_iter()
+                        .zip(conds)
+                        .filter(|(_, c)| c.as_bool() != Some(true))
+                        .map(|(j, _)| j)
+                        .collect();
+                }
+                if let (Some(e), false) = (else_expr, remaining.is_empty()) {
+                    let rows: Vec<usize> = remaining.iter().map(|&j| sel[j]).collect();
+                    let vals = self.eval(e, &rows)?;
+                    for (j, v) in remaining.into_iter().zip(vals) {
+                        out[j] = v;
+                    }
+                }
+                Ok(out)
+            }
+            Expr::InList {
+                expr,
+                list,
+                negated,
+            } => {
+                let scrutinee = self.eval(expr, sel)?;
+                let mut out = vec![Value::Null; sel.len()];
+                // NULL scrutinees are NULL without touching the list
+                // (scalar semantics); everything else keeps testing items
+                // until it matches.
+                let mut remaining: Vec<usize> = scrutinee
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, v)| !v.is_null())
+                    .map(|(j, _)| j)
+                    .collect();
+                let mut saw_null = vec![false; sel.len()];
+                for item in list {
+                    if remaining.is_empty() {
+                        break;
+                    }
+                    let rows: Vec<usize> = remaining.iter().map(|&j| sel[j]).collect();
+                    let items = self.eval(item, &rows)?;
+                    let mut still = Vec::with_capacity(remaining.len());
+                    for (&j, iv) in remaining.iter().zip(&items) {
+                        match scrutinee[j].sql_cmp(iv) {
+                            Some(Ordering::Equal) => out[j] = Value::Boolean(!negated),
+                            other => {
+                                if other.is_none() {
+                                    saw_null[j] = true;
+                                }
+                                still.push(j);
+                            }
+                        }
+                    }
+                    remaining = still;
+                }
+                for j in remaining {
+                    out[j] = if saw_null[j] {
+                        Value::Null
+                    } else {
+                        Value::Boolean(*negated)
+                    };
+                }
+                Ok(out)
+            }
+            Expr::Cast { expr, to } => self
+                .eval(expr, sel)?
+                .into_iter()
+                .map(|v| cast(v, *to))
+                .collect(),
+            Expr::ScalarFunction { func, args } => match func {
+                ScalarFunc::Coalesce => {
+                    let mut out = vec![Value::Null; sel.len()];
+                    let mut remaining: Vec<usize> = (0..sel.len()).collect();
+                    for a in args {
+                        if remaining.is_empty() {
+                            break;
+                        }
+                        let rows: Vec<usize> = remaining.iter().map(|&j| sel[j]).collect();
+                        let vals = self.eval(a, &rows)?;
+                        let mut still = Vec::with_capacity(remaining.len());
+                        for (&j, v) in remaining.iter().zip(vals) {
+                            if v.is_null() {
+                                still.push(j);
+                            } else {
+                                out[j] = v;
+                            }
+                        }
+                        remaining = still;
+                    }
+                    Ok(out)
+                }
+                ScalarFunc::Abs => {
+                    let vals = match args.first() {
+                        Some(a) => self.eval(a, sel)?,
+                        None => vec![Value::Null; sel.len()],
+                    };
+                    vals.into_iter()
+                        .map(|v| match v {
+                            Value::Int64(i) => Ok(Value::Int64(i.abs())),
+                            Value::Float64(f) => Ok(Value::Float64(f.abs())),
+                            Value::Null => Ok(Value::Null),
+                            other => {
+                                Err(FusionError::Type(format!("ABS applied to {other}")))
+                            }
+                        })
+                        .collect()
+                }
+            },
+        }
+    }
+
+    /// Narrow `sel` to the rows where `expr` is TRUE (SQL filter
+    /// semantics: NULL drops the row). Short-circuiting lives in
+    /// [`ColumnBatch::eval`], so the evaluation sites match the scalar
+    /// path exactly.
+    pub fn filter(&self, expr: &Expr, sel: &[usize]) -> Result<Vec<usize>> {
+        let vals = self.eval(expr, sel)?;
+        Ok(sel
+            .iter()
+            .zip(vals)
+            .filter(|(_, v)| v.as_bool() == Some(true))
+            .map(|(&r, _)| r)
+            .collect())
+    }
+}
+
+/// FNV-1a offset basis / prime for key-hash folding.
+const HASH_SEED: u64 = 0xcbf2_9ce4_8422_2325;
+const HASH_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Deterministic hash of one value (`DefaultHasher` with its fixed keys;
+/// [`Value`]'s `Hash` impl normalizes floats so `1.0` and `1` collide
+/// consistently across the scalar and columnar paths).
+pub fn hash_value(v: &Value) -> u64 {
+    let mut h = DefaultHasher::new();
+    v.hash(&mut h);
+    h.finish()
+}
+
+/// Row-wise key hash: fold the per-value hashes FNV-1a style. The scalar
+/// twin of [`hash_columns`].
+pub fn hash_key(key: &[Value]) -> u64 {
+    key.iter().fold(HASH_SEED, |h, v| {
+        (h ^ hash_value(v)).wrapping_mul(HASH_PRIME)
+    })
+}
+
+/// Column-wise key hashes for every row in `sel`: one pass per key
+/// column, folding into the accumulator exactly as [`hash_key`] does, so
+/// `hash_columns(cols, sel)[i] == hash_key(&row_key(sel[i]))`.
+pub fn hash_columns(cols: &[&[Value]], sel: &[usize]) -> Vec<u64> {
+    let mut out = vec![HASH_SEED; sel.len()];
+    for col in cols {
+        for (h, &r) in out.iter_mut().zip(sel) {
+            *h = (*h ^ hash_value(&col[r])).wrapping_mul(HASH_PRIME);
+        }
+    }
+    out
+}
+
+/// A join/group key carrying its precomputed hash: `Hash` writes only the
+/// cached `u64` (so probe-side hashing is one `write_u64`), equality
+/// compares the key values.
+#[derive(Debug, Clone)]
+pub struct HashedKey {
+    pub hash: u64,
+    pub key: Vec<Value>,
+}
+
+impl HashedKey {
+    pub fn new(key: Vec<Value>) -> Self {
+        let hash = hash_key(&key);
+        HashedKey { hash, key }
+    }
+
+    /// Wrap a key whose hash was already computed (e.g. by
+    /// [`hash_columns`]). The caller guarantees `hash == hash_key(&key)`.
+    pub fn with_hash(hash: u64, key: Vec<Value>) -> Self {
+        HashedKey { hash, key }
+    }
+}
+
+impl PartialEq for HashedKey {
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key
+    }
+}
+
+impl Eq for HashedKey {}
+
+impl Hash for HashedKey {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        state.write_u64(self.hash);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::{eval, Resolver};
+    use crate::expr::{col, lit};
+
+    /// Resolver over the same columns a `ColumnBatch` sees, for
+    /// scalar/columnar equivalence checks.
+    struct RowView<'a> {
+        cols: &'a [(ColumnId, Vec<Value>)],
+        row: usize,
+    }
+    impl Resolver for RowView<'_> {
+        fn value(&self, id: ColumnId) -> Result<Value> {
+            self.cols
+                .iter()
+                .find(|(i, _)| *i == id)
+                .map(|(_, c)| c[self.row].clone())
+                .ok_or_else(|| FusionError::Execution(format!("no column {id}")))
+        }
+    }
+
+    fn batch(cols: &[(ColumnId, Vec<Value>)]) -> ColumnBatch<'_> {
+        let mut b = ColumnBatch::new();
+        for (id, c) in cols {
+            b.push(*id, c);
+        }
+        b
+    }
+
+    fn ints(vals: &[Option<i64>]) -> Vec<Value> {
+        vals.iter()
+            .map(|v| v.map(Value::Int64).unwrap_or(Value::Null))
+            .collect()
+    }
+
+    #[test]
+    fn vector_eval_matches_scalar_row_by_row() {
+        let cols = vec![
+            (ColumnId(1), ints(&[Some(1), None, Some(3), Some(-4)])),
+            (
+                ColumnId(2),
+                vec![
+                    Value::Utf8("a".into()),
+                    Value::Utf8("b".into()),
+                    Value::Null,
+                    Value::Utf8("a".into()),
+                ],
+            ),
+        ];
+        let exprs = vec![
+            col(ColumnId(1)).gt(lit(1i64)).and(col(ColumnId(2)).eq_to(lit("a"))),
+            col(ColumnId(1)).is_null().or(col(ColumnId(2)).eq_to(lit("b"))),
+            col(ColumnId(1)).add(lit(10i64)).mul(col(ColumnId(1))),
+            Expr::Case {
+                branches: vec![
+                    (col(ColumnId(1)).lt(lit(0i64)), lit("neg")),
+                    (col(ColumnId(1)).gt(lit(1i64)), lit("big")),
+                ],
+                else_expr: Some(Box::new(col(ColumnId(2)))),
+            },
+            Expr::InList {
+                expr: Box::new(col(ColumnId(1))),
+                list: vec![lit(3i64), Expr::Literal(Value::Null), lit(1i64)],
+                negated: true,
+            },
+        ];
+        let b = batch(&cols);
+        let sel: Vec<usize> = (0..4).collect();
+        for e in &exprs {
+            let vec_vals = b.eval(e, &sel).expect("vector eval");
+            for (i, &r) in sel.iter().enumerate() {
+                let scalar = eval(e, &RowView { cols: &cols, row: r }).expect("scalar eval");
+                assert_eq!(vec_vals[i], scalar, "row {r} of {e:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn filter_keeps_only_true_rows() {
+        let cols = vec![(ColumnId(1), ints(&[Some(1), None, Some(3), Some(5)]))];
+        let b = batch(&cols);
+        let sel: Vec<usize> = (0..4).collect();
+        let kept = b
+            .filter(&col(ColumnId(1)).gt(lit(1i64)), &sel)
+            .expect("filter");
+        assert_eq!(kept, vec![2, 3]);
+    }
+
+    #[test]
+    fn and_short_circuit_skips_right_on_false_left() {
+        // Right side divides by the column; scalar AND never evaluates it
+        // when the left is FALSE, and neither may the vectorized path.
+        let cols = vec![(ColumnId(1), ints(&[Some(0), Some(2)]))];
+        let b = batch(&cols);
+        let e = col(ColumnId(1))
+            .gt(lit(0i64))
+            .and(lit(10i64).div(col(ColumnId(1))).gt(lit(1i64)));
+        let vals = b.eval(&e, &[0, 1]).expect("eval");
+        assert_eq!(vals[0], Value::Boolean(false));
+        assert_eq!(vals[1], Value::Boolean(true));
+    }
+
+    #[test]
+    fn columnar_hashes_match_scalar_hashes() {
+        let c1 = ints(&[Some(1), None, Some(3)]);
+        let c2 = vec![
+            Value::Utf8("x".into()),
+            Value::Float64(2.5),
+            Value::Null,
+        ];
+        let cols: Vec<&[Value]> = vec![&c1, &c2];
+        let sel = vec![0, 1, 2];
+        let columnar = hash_columns(&cols, &sel);
+        for (i, &r) in sel.iter().enumerate() {
+            let key = vec![c1[r].clone(), c2[r].clone()];
+            assert_eq!(columnar[i], hash_key(&key), "row {r}");
+            assert_eq!(
+                HashedKey::new(key.clone()),
+                HashedKey::with_hash(columnar[i], key)
+            );
+        }
+    }
+
+    #[test]
+    fn int_and_equal_float_hash_identically() {
+        // Value's Hash normalizes integral floats, so mixed-type keys
+        // land in the same bucket on both paths.
+        assert_eq!(
+            hash_key(&[Value::Int64(7)]),
+            hash_key(&[Value::Float64(7.0)])
+        );
+    }
+}

@@ -15,4 +15,4 @@ pub mod queries;
 pub mod schema;
 
 pub use datagen::{generate_catalog, TpcdsConfig};
-pub use queries::{all_queries, control_queries, featured_queries, BenchQuery};
+pub use queries::{all_queries, control_queries, featured_queries, pipeline_queries, BenchQuery};

@@ -140,6 +140,58 @@ pub fn control_queries() -> Vec<BenchQuery> {
     ]
 }
 
+/// Scan-heavy single-table queries for the push-based pipeline
+/// benchmark dimension (§III). Joins are pipeline *breakers* by design,
+/// so the join-dominated featured queries measure breaker behavior, not
+/// pipelines; these shapes — filter/project chains, grouped and scalar
+/// aggregates, and distinct marks directly over the fact scan — are the
+/// ones a fused chain can actually cover. Kept out of [`all_queries`]:
+/// they benchmark the execution layer, not the fusion rewrites.
+pub fn pipeline_queries() -> Vec<BenchQuery> {
+    vec![
+        q(
+            "P01",
+            "pipeline/filter-project",
+            false,
+            "SELECT ss_item_sk, ss_store_sk, \
+                    ss_quantity * ss_list_price AS gross, \
+                    ss_ext_sales_price - ss_ext_discount_amt AS net \
+             FROM store_sales \
+             WHERE ss_quantity > 30 AND ss_list_price > 50",
+        ),
+        q(
+            "P02",
+            "pipeline/grouped-agg",
+            false,
+            "SELECT ss_store_sk, SUM(ss_quantity * ss_sales_price) AS rev, \
+                    AVG(ss_net_profit) AS profit, COUNT(*) AS n \
+             FROM store_sales \
+             WHERE ss_quantity > 10 \
+             GROUP BY ss_store_sk",
+        ),
+        q(
+            "P03",
+            "pipeline/scalar-agg",
+            false,
+            "SELECT COUNT(*) AS n, AVG(ss_list_price) AS lp, \
+                    AVG(ss_ext_discount_amt) AS disc, SUM(ss_net_profit) AS profit, \
+                    MIN(ss_sales_price) AS lo, MAX(ss_sales_price) AS hi \
+             FROM store_sales \
+             WHERE ss_quantity BETWEEN 20 AND 80",
+        ),
+        q(
+            "P04",
+            "pipeline/distinct-marks",
+            false,
+            "SELECT COUNT(DISTINCT ss_item_sk) AS items, \
+                    COUNT(DISTINCT ss_store_sk) AS stores, \
+                    COUNT(*) AS n \
+             FROM store_sales \
+             WHERE ss_quantity > 5",
+        ),
+    ]
+}
+
 /// All workload queries: featured + the §I intro example + controls.
 pub fn all_queries() -> Vec<BenchQuery> {
     let mut out = featured_queries();
@@ -389,11 +441,28 @@ mod tests {
             9,
             "the featured queries plus the intro example are applicable"
         );
-        // Ids are unique.
+        // Ids are unique, also across the pipeline benchmark set.
+        let mut all = all;
+        all.extend(pipeline_queries());
         let mut ids: Vec<_> = all.iter().map(|b| b.id).collect();
         ids.sort();
         ids.dedup();
         assert_eq!(ids.len(), all.len());
+    }
+
+    /// The pipeline benchmark set stays single-table: every query must
+    /// compile to a fused chain, so none may mention a second relation.
+    #[test]
+    fn pipeline_queries_are_single_table() {
+        for q in pipeline_queries() {
+            assert_eq!(
+                q.sql.matches("FROM").count(),
+                1,
+                "{} must scan exactly one table",
+                q.id
+            );
+            assert!(!q.sql.contains("JOIN"), "{} must not join", q.id);
+        }
     }
 
     #[test]

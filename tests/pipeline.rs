@@ -1,0 +1,426 @@
+// Test code: unwrap/panic on setup or assertion failure is the point,
+// so the workspace unwrap/panic gate is relaxed here.
+#![allow(clippy::unwrap_used, clippy::panic)]
+
+//! Push-based fused pipeline integration tests.
+//!
+//! The pipeline contract is *bit-identity*: at the same thread count,
+//! `FUSION_PIPELINES=0` and `=1` must produce byte-for-byte identical
+//! rows (not just equal multisets) for every query, fused and baseline,
+//! with and without injected faults. On top of that, property tests pin
+//! the vectorized expression kernels to the scalar evaluator — equal
+//! values where the scalar path succeeds, an error wherever it errors —
+//! including NULL propagation and AND/OR short-circuit subsets.
+
+use proptest::prelude::*;
+
+use fusion_common::{ColumnId, DataType, FusionError, Value};
+use fusion_engine::Session;
+use fusion_exec::table::TableColumn;
+use fusion_exec::{FaultPolicy, TableBuilder};
+use fusion_expr::{col, eval, hash_columns, hash_key, ColumnBatch, Expr};
+use fusion_tpcds::{all_queries, generate_catalog, pipeline_queries, TpcdsConfig};
+
+// ---------- session builders ----------
+
+fn tpcds_session(fused: bool, parallelism: usize, pipelines: bool) -> Session {
+    let cfg = TpcdsConfig::with_scale(0.12);
+    let mut s = if fused {
+        Session::new()
+    } else {
+        Session::baseline()
+    };
+    s.set_parallelism(parallelism);
+    s.set_pipelines_enabled(pipelines);
+    for table in generate_catalog(&cfg).into_tables() {
+        s.register_table(table);
+    }
+    s
+}
+
+fn tcol(name: &str, data_type: DataType, nullable: bool) -> TableColumn {
+    TableColumn {
+        name: name.into(),
+        data_type,
+        nullable,
+    }
+}
+
+/// The `tests/parallel.rs` micro-dataset: orders in six single-row
+/// partitions so the morsel-parallel pipeline path engages at
+/// parallelism > 1.
+fn orders_session(parallelism: usize, pipelines: bool) -> Session {
+    let mut s = Session::new();
+    s.set_parallelism(parallelism);
+    s.set_pipelines_enabled(pipelines);
+    let mut b = TableBuilder::new(
+        "orders",
+        vec![
+            tcol("id", DataType::Int64, false),
+            tcol("cust", DataType::Int64, true),
+            tcol("region", DataType::Utf8, true),
+            tcol("amount", DataType::Float64, true),
+        ],
+    )
+    .partition_by("id", 1)
+    .unwrap();
+    let rows: Vec<(i64, Option<i64>, Option<&str>, Option<f64>)> = vec![
+        (1, Some(10), Some("north"), Some(50.0)),
+        (2, Some(10), Some("south"), Some(75.0)),
+        (3, Some(20), Some("north"), Some(20.0)),
+        (4, Some(20), None, Some(90.0)),
+        (5, Some(30), Some("east"), None),
+        (6, None, Some("north"), Some(10.0)),
+    ];
+    for (id, cust, region, amount) in rows {
+        b.add_row(vec![
+            Value::Int64(id),
+            cust.map(Value::Int64).unwrap_or(Value::Null),
+            region.map(|r| Value::Utf8(r.into())).unwrap_or(Value::Null),
+            amount.map(Value::Float64).unwrap_or(Value::Null),
+        ])
+        .unwrap();
+    }
+    s.register_table(b.build());
+    s
+}
+
+const MICRO_QUERIES: &[&str] = &[
+    "SELECT id, id * 2 + 1 AS d FROM orders WHERE id <= 2 ORDER BY id",
+    "SELECT id FROM orders WHERE amount > 0",
+    "SELECT id FROM orders WHERE cust IS NOT NULL AND amount IS NOT NULL",
+    "SELECT cust, COUNT(*) AS n, SUM(amount) AS total FROM orders \
+     WHERE cust IS NOT NULL GROUP BY cust HAVING COUNT(*) > 1 ORDER BY cust",
+    "SELECT COUNT(*) AS n, SUM(amount) AS s FROM orders WHERE id > 100",
+    "SELECT COUNT(DISTINCT region) AS r FROM orders",
+    "SELECT COUNT(*) FILTER (WHERE region = 'north') AS north, COUNT(*) AS all_rows FROM orders",
+    "SELECT id, CASE WHEN amount BETWEEN 0 AND 50 THEN 'small' \
+                     WHEN amount > 50 THEN 'big' ELSE 'unknown' END AS bucket \
+     FROM orders WHERE region IN ('north', 'east') ORDER BY id",
+];
+
+// ---------- whole-corpus bit-identity ----------
+
+/// Every TPC-DS benchmark query, fused and baseline, at one and four
+/// threads: pipelines on must be *bit-identical* (ordered rows) to
+/// pipelines off, and every configuration must agree with the sequential
+/// baseline reference as a multiset.
+#[test]
+fn tpcds_corpus_bit_identical_across_pipeline_modes() {
+    // The full workload plus the scan-heavy pipeline benchmark set —
+    // the latter exercises every chain shape (filter/project, grouped
+    // and scalar aggregates, stateful distinct marks).
+    let mut queries = all_queries();
+    queries.extend(pipeline_queries());
+    let mut pipelines_compiled = 0u64;
+    let mut batches_elided = 0u64;
+    for threads in [1usize, 4] {
+        // Float aggregates fold in a thread-count-dependent order, so the
+        // multiset reference is taken per thread count; bit-identity is
+        // asserted between pipelines on/off at that same thread count.
+        let reference = tpcds_session(false, threads, false);
+        let refs: Vec<_> = queries
+            .iter()
+            .map(|q| reference.sql(&q.sql).unwrap().sorted_rows())
+            .collect();
+        for fused in [true, false] {
+            let on = tpcds_session(fused, threads, true);
+            let off = tpcds_session(fused, threads, false);
+            for (q, reference_rows) in queries.iter().zip(&refs) {
+                let r_on = on
+                    .sql(&q.sql)
+                    .unwrap_or_else(|e| panic!("{} pipelines on: {e}", q.id));
+                let r_off = off
+                    .sql(&q.sql)
+                    .unwrap_or_else(|e| panic!("{} pipelines off: {e}", q.id));
+                assert_eq!(
+                    r_on.rows, r_off.rows,
+                    "{}: pipelines on/off must be bit-identical (fused={fused}, threads={threads})",
+                    q.id
+                );
+                assert_eq!(
+                    &r_on.sorted_rows(),
+                    reference_rows,
+                    "{}: rows must match the batch-path baseline reference at {threads} threads",
+                    q.id
+                );
+                pipelines_compiled += r_on.metrics.pipelines_compiled;
+                batches_elided += r_on.metrics.batches_elided;
+                assert_eq!(
+                    r_off.metrics.pipelines_compiled, 0,
+                    "{}: pipelines off must not compile pipelines",
+                    q.id
+                );
+            }
+        }
+    }
+    assert!(
+        pipelines_compiled > 0,
+        "the corpus must compile at least one fused pipeline"
+    );
+    assert!(
+        batches_elided > 0,
+        "fused pipelines must elide intermediate batches"
+    );
+}
+
+/// The engine_sql micro-corpus over the partitioned orders table:
+/// bit-identity pipelines on/off at both thread counts.
+#[test]
+fn micro_corpus_bit_identical_across_pipeline_modes() {
+    for threads in [1usize, 4] {
+        let on = orders_session(threads, true);
+        let off = orders_session(threads, false);
+        for q in MICRO_QUERIES {
+            let r_on = on.sql(q).unwrap_or_else(|e| panic!("pipelines on: {e}\n{q}"));
+            let r_off = off
+                .sql(q)
+                .unwrap_or_else(|e| panic!("pipelines off: {e}\n{q}"));
+            assert_eq!(
+                r_on.rows, r_off.rows,
+                "pipelines on/off must be bit-identical at {threads} threads:\n{q}"
+            );
+        }
+    }
+}
+
+// ---------- EXPLAIN ANALYZE surface ----------
+
+/// A pipelined chain reports its counters in a `-- pipelines --` section
+/// of EXPLAIN ANALYZE; the batch path reports nothing.
+#[test]
+fn explain_analyze_reports_pipeline_counters() {
+    let on = orders_session(1, true);
+    let r = on
+        .sql("EXPLAIN ANALYZE SELECT id, amount * 2 AS d FROM orders WHERE amount > 30")
+        .unwrap();
+    let text: String = r
+        .rows
+        .iter()
+        .map(|row| match &row[0] {
+            Value::Utf8(s) => s.clone(),
+            other => panic!("EXPLAIN rows are text, got {other:?}"),
+        })
+        .collect::<Vec<_>>()
+        .join("\n");
+    assert!(
+        text.contains("-- pipelines --"),
+        "missing pipelines section:\n{text}"
+    );
+    assert!(
+        text.contains("pipelines_compiled=1"),
+        "chain must compile to one pipeline:\n{text}"
+    );
+    assert!(
+        !text.contains("batches_elided=0 "),
+        "pipeline must elide batches:\n{text}"
+    );
+    assert!(r.metrics.batches_elided > 0);
+    assert!(r.metrics.rows_evaluated_vectorized > 0);
+
+    let off = orders_session(1, false);
+    let r = off
+        .sql("EXPLAIN ANALYZE SELECT id, amount * 2 AS d FROM orders WHERE amount > 30")
+        .unwrap();
+    let text: String = r
+        .rows
+        .iter()
+        .map(|row| match &row[0] {
+            Value::Utf8(s) => s.clone(),
+            other => panic!("EXPLAIN rows are text, got {other:?}"),
+        })
+        .collect::<Vec<_>>()
+        .join("\n");
+    assert!(
+        !text.contains("-- pipelines --"),
+        "batch path must not report pipelines:\n{text}"
+    );
+}
+
+// ---------- chaos: faults mid-pipeline ----------
+
+/// Transient scan faults strike inside the fused pipeline (the scan is
+/// inlined in the chain): retries must leave results bit-identical to
+/// the batch path under the *same* fault schedule.
+#[test]
+fn transient_faults_mid_pipeline_keep_bit_identity() {
+    for threads in [1usize, 4] {
+        for seed in [3u64, 7, 11] {
+            let mut off = orders_session(threads, false);
+            let mut on = orders_session(threads, true);
+            off.set_fault_policy(FaultPolicy::transient(seed, 0.3));
+            on.set_fault_policy(FaultPolicy::transient(seed, 0.3));
+            for q in MICRO_QUERIES {
+                let r_off = off.sql(q).unwrap();
+                let r_on = on.sql(q).unwrap();
+                assert_eq!(
+                    r_on.rows, r_off.rows,
+                    "faulted pipelines on/off diverge (threads={threads}, seed={seed}):\n{q}"
+                );
+            }
+        }
+    }
+}
+
+/// A permanently poisoned partition fails the pipelined query with the
+/// same typed error the batch path reports.
+#[test]
+fn permanent_fault_mid_pipeline_fails_with_same_typed_error() {
+    for threads in [1usize, 4] {
+        for pipelines in [true, false] {
+            let mut s = orders_session(threads, pipelines);
+            s.set_fault_policy(FaultPolicy::default().with_poison("orders", 1));
+            let out = s.sql("SELECT id, amount FROM orders WHERE amount > 0");
+            assert!(
+                matches!(out, Err(FusionError::DataCorruption(_))),
+                "poisoned scan must surface DataCorruption \
+                 (threads={threads}, pipelines={pipelines}): {out:?}"
+            );
+        }
+    }
+}
+
+// ---------- property tests: vectorized == scalar ----------
+
+const NUM_COLS: u32 = 3;
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    prop_oneof![Just(Value::Null), (-20i64..20).prop_map(Value::Int64)]
+}
+
+fn arb_numeric_expr() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        (0..NUM_COLS).prop_map(|i| col(ColumnId(i))),
+        (-20i64..20).prop_map(fusion_expr::lit),
+    ];
+    leaf.prop_recursive(3, 24, 3, |inner| {
+        (inner.clone(), inner, 0..4u8).prop_map(|(a, b, op)| match op {
+            0 => a.add(b),
+            1 => a.sub(b),
+            2 => a.mul(b),
+            _ => a.div(b), // division by zero exercises error-site parity
+        })
+    })
+}
+
+fn arb_predicate() -> impl Strategy<Value = Expr> {
+    let cmp = (arb_numeric_expr(), arb_numeric_expr(), 0..6u8).prop_map(|(a, b, op)| match op {
+        0 => a.eq_to(b),
+        1 => a.not_eq_to(b),
+        2 => a.lt(b),
+        3 => a.lt_eq(b),
+        4 => a.gt(b),
+        _ => a.gt_eq(b),
+    });
+    cmp.prop_recursive(3, 24, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.and(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.or(b)),
+            inner.prop_map(|a| a.negated()),
+        ]
+    })
+}
+
+fn arb_row() -> impl Strategy<Value = Vec<Value>> {
+    proptest::collection::vec(arb_value(), NUM_COLS as usize)
+}
+
+/// Rows paired with a selection flag, so the kernels are exercised over
+/// arbitrary selection-vector subsets, not just full columns.
+fn arb_table() -> impl Strategy<Value = Vec<(Vec<Value>, bool)>> {
+    proptest::collection::vec((arb_row(), (0..2u8).prop_map(|b| b == 1)), 0..32)
+}
+
+fn resolver(row: &[Value]) -> impl Fn(ColumnId) -> Result<Value, FusionError> + '_ {
+    move |id: ColumnId| {
+        row.get(id.0 as usize)
+            .cloned()
+            .ok_or_else(|| FusionError::Execution(format!("no col {id}")))
+    }
+}
+
+/// Transpose the generated rows into columns plus the selection vector.
+fn columns_and_selection(table: &[(Vec<Value>, bool)]) -> (Vec<Vec<Value>>, Vec<usize>) {
+    let mut columns = vec![Vec::with_capacity(table.len()); NUM_COLS as usize];
+    let mut selection = Vec::new();
+    for (i, (row, selected)) in table.iter().enumerate() {
+        for (c, v) in row.iter().enumerate() {
+            columns[c].push(v.clone());
+        }
+        if *selected {
+            selection.push(i);
+        }
+    }
+    (columns, selection)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// `ColumnBatch::eval` over a selection equals per-row scalar
+    /// evaluation: identical values when every row succeeds, an error
+    /// whenever any selected row errors (NULLs and short-circuit subsets
+    /// included).
+    #[test]
+    fn vectorized_eval_matches_scalar(e in arb_predicate(), table in arb_table()) {
+        let (columns, selection) = columns_and_selection(&table);
+        let mut batch = ColumnBatch::new();
+        for (c, column) in columns.iter().enumerate() {
+            batch.push(ColumnId(c as u32), column.as_slice());
+        }
+        let scalar: Result<Vec<Value>, FusionError> = selection
+            .iter()
+            .map(|&r| eval(&e, &resolver(&table[r].0)))
+            .collect();
+        let vector = batch.eval(&e, &selection);
+        match (scalar, vector) {
+            (Ok(s), Ok(v)) => prop_assert_eq!(s, v, "values diverge for {}", e),
+            (Err(_), Err(_)) => {}
+            (s, v) => prop_assert!(
+                false,
+                "success/error divergence for {}: scalar {:?} vs vector {:?}",
+                e, s, v
+            ),
+        }
+    }
+
+    /// `ColumnBatch::filter` keeps exactly the rows the scalar
+    /// `eval(..) == TRUE` test keeps, in order.
+    #[test]
+    fn vectorized_filter_matches_scalar(e in arb_predicate(), table in arb_table()) {
+        let (columns, selection) = columns_and_selection(&table);
+        let mut batch = ColumnBatch::new();
+        for (c, column) in columns.iter().enumerate() {
+            batch.push(ColumnId(c as u32), column.as_slice());
+        }
+        let scalar: Result<Vec<usize>, FusionError> = selection
+            .iter()
+            .filter_map(|&r| match eval(&e, &resolver(&table[r].0)) {
+                Ok(v) => (v.as_bool() == Some(true)).then_some(Ok(r)),
+                Err(err) => Some(Err(err)),
+            })
+            .collect();
+        let vector = batch.filter(&e, &selection);
+        match (scalar, vector) {
+            (Ok(s), Ok(v)) => prop_assert_eq!(s, v, "selections diverge for {}", e),
+            (Err(_), Err(_)) => {}
+            (s, v) => prop_assert!(
+                false,
+                "success/error divergence for {}: scalar {:?} vs vector {:?}",
+                e, s, v
+            ),
+        }
+    }
+
+    /// The columnar hash kernel computes exactly the row-wise key hash —
+    /// the property that lets pipelined probes meet batch-path builds.
+    #[test]
+    fn columnar_hashes_match_row_hashes(table in arb_table()) {
+        let (columns, selection) = columns_and_selection(&table);
+        let col_refs: Vec<&[Value]> = columns.iter().map(|c| c.as_slice()).collect();
+        let hashes = hash_columns(&col_refs, &selection);
+        for (j, &r) in selection.iter().enumerate() {
+            prop_assert_eq!(hashes[j], hash_key(&table[r].0));
+        }
+    }
+}
