@@ -32,8 +32,10 @@ use std::fmt::Write as _;
 use std::time::{Duration, Instant};
 
 use fusion_bench::Harness;
+use fusion_common::{DataType, Value};
 use fusion_engine::Session;
-use fusion_exec::FaultPolicy;
+use fusion_exec::table::TableColumn;
+use fusion_exec::{FaultPolicy, TableBuilder};
 use fusion_tpcds::all_queries;
 
 struct BatchSpec {
@@ -191,6 +193,150 @@ fn measure(
     }
 }
 
+// ---------------------------------------------------------------------
+// Continuous ingest: rolling appends against a warm cache
+// ---------------------------------------------------------------------
+
+/// Queries the ingest dimension re-submits every round, dashboard-style
+/// (each twice, so round one admits). The aggregate and the filter are
+/// maintainable under appends; before incremental refresh existed, every
+/// append evicted them and the warm hit rate under ingest was zero.
+const INGEST_QUERIES: &[&str] = &[
+    "SELECT s_region, COUNT(*) AS n, SUM(s_units) AS u FROM sales GROUP BY s_region",
+    "SELECT s_id, s_units FROM sales WHERE s_units > 40",
+    "SELECT s_region, COUNT(*) AS n, SUM(s_units) AS u FROM sales GROUP BY s_region",
+    "SELECT s_id, s_units FROM sales WHERE s_units > 40",
+];
+
+fn sales_row(i: i64) -> Vec<Value> {
+    vec![
+        Value::Int64(i),
+        Value::Int64(i % 8),
+        Value::Int64((i * 7 + 3) % 50),
+    ]
+}
+
+fn sales_session(
+    total_rows: i64,
+    reuse: bool,
+    workers: usize,
+    latency: Duration,
+) -> Session {
+    let mut s = Session::new();
+    let mut b = TableBuilder::new(
+        "sales",
+        vec![
+            TableColumn {
+                name: "s_id".into(),
+                data_type: DataType::Int64,
+                nullable: false,
+            },
+            TableColumn {
+                name: "s_region".into(),
+                data_type: DataType::Int64,
+                nullable: true,
+            },
+            TableColumn {
+                name: "s_units".into(),
+                data_type: DataType::Int64,
+                nullable: true,
+            },
+        ],
+    )
+    .partition_by("s_id", 512)
+    .unwrap();
+    for i in 0..total_rows {
+        b.add_row(sales_row(i)).unwrap();
+    }
+    s.register_table(b.build());
+    s.set_parallelism(workers);
+    s.set_reuse_enabled(reuse);
+    s.set_fault_policy(FaultPolicy::default().with_read_latency(latency));
+    s
+}
+
+struct IngestCell {
+    rounds: usize,
+    appended_per_round: i64,
+    warm_ms: f64,
+    cold_ms: f64,
+    warm_hits: u64,
+    refreshes: u64,
+    evictions: u64,
+    warm_hit_rounds: usize,
+}
+
+/// Rolling-append measurement: one session keeps its cache across
+/// `rounds` appends while a fresh reuse-free session recomputes each
+/// round cold over the same cumulative rows. Any row divergence between
+/// the refresh-served batch and the cold recompute is pushed onto
+/// `failures` (and fails the run).
+fn measure_ingest(
+    workers: usize,
+    rounds: usize,
+    base_rows: i64,
+    appended_per_round: i64,
+    latency: Duration,
+    failures: &mut Vec<String>,
+) -> IngestCell {
+    let mut warm = sales_session(base_rows, true, workers, latency);
+
+    // Round zero admits the shared results (not measured).
+    warm.run_batch(INGEST_QUERIES).expect("ingest admit batch");
+
+    let mut total = base_rows;
+    let mut warm_samples = Vec::new();
+    let mut cold_samples = Vec::new();
+    let (mut warm_hits, mut refreshes, mut evictions) = (0u64, 0u64, 0u64);
+    let mut warm_hit_rounds = 0usize;
+
+    for round in 0..rounds {
+        warm.append_table("sales", (total..total + appended_per_round).map(sales_row).collect())
+            .expect("append");
+        total += appended_per_round;
+
+        let start = Instant::now();
+        let batch = warm.run_batch(INGEST_QUERIES).expect("warm ingest batch");
+        warm_samples.push(start.elapsed().as_secs_f64() * 1e3);
+        warm_hits += batch.metrics.reuse_cache_hits;
+        refreshes += batch.metrics.reuse_cache_refreshes;
+        evictions += batch.metrics.reuse_cache_evictions;
+        if batch.metrics.reuse_cache_hits > 0 {
+            warm_hit_rounds += 1;
+        }
+
+        let cold = sales_session(total, false, workers, latency);
+        let start = Instant::now();
+        let recomputed: Vec<_> = INGEST_QUERIES
+            .iter()
+            .map(|sql| cold.sql(sql).expect("cold recompute"))
+            .collect();
+        cold_samples.push(start.elapsed().as_secs_f64() * 1e3);
+
+        for (q, (slot, fresh)) in batch.results.iter().zip(&recomputed).enumerate() {
+            let served = slot.as_ref().expect("ingest query succeeded");
+            if served.sorted_rows() != fresh.sorted_rows() {
+                failures.push(format!(
+                    "continuous_ingest: round {round} query {q} diverged from cold \
+                     recompute after refresh (notes: {:?})",
+                    served.report.reuse
+                ));
+            }
+        }
+    }
+
+    IngestCell {
+        rounds,
+        appended_per_round,
+        warm_ms: median(&mut warm_samples),
+        cold_ms: median(&mut cold_samples),
+        warm_hits,
+        refreshes,
+        evictions,
+        warm_hit_rounds,
+    }
+}
+
 fn main() {
     let scale: f64 = env_or("TPCDS_SCALE", 0.2);
     let runs: usize = env_or("RUNS", 3);
@@ -287,7 +433,47 @@ fn main() {
         )
         .unwrap();
     }
-    writeln!(json, "  ]").unwrap();
+    writeln!(json, "  ],").unwrap();
+
+    // Continuous ingest: the cache must keep serving under rolling
+    // appends (in-place refresh), bit-identical to cold recomputes.
+    let rounds: usize = env_or("INGEST_ROUNDS", 5);
+    let base_rows: i64 = env_or("INGEST_BASE_ROWS", 20_000);
+    let appended: i64 = env_or("INGEST_APPEND_ROWS", 512);
+    let ing = measure_ingest(workers, rounds, base_rows, appended, latency, &mut failures);
+    let hit_rate = ing.warm_hit_rounds as f64 / ing.rounds.max(1) as f64;
+    eprintln!(
+        "{:<14} warm-serve {:>8.1}ms cold-recompute {:>8.1}ms per round, \
+         hit-rate {hit_rate:.2} refreshes {} evictions {} warm-hits {}",
+        "ingest", ing.warm_ms, ing.cold_ms, ing.refreshes, ing.evictions, ing.warm_hits,
+    );
+    if ing.warm_hit_rounds == 0 {
+        failures.push(
+            "continuous_ingest: warm cache never hit under rolling appends \
+             (append staleness must refresh, not evict)"
+                .into(),
+        );
+    }
+    if ing.refreshes == 0 {
+        failures.push("continuous_ingest: no in-place refreshes recorded".into());
+    }
+    writeln!(json, "  \"continuous_ingest\": {{").unwrap();
+    writeln!(json, "    \"rounds\": {},", ing.rounds).unwrap();
+    writeln!(json, "    \"base_rows\": {base_rows},").unwrap();
+    writeln!(json, "    \"appended_rows_per_round\": {},", ing.appended_per_round).unwrap();
+    writeln!(json, "    \"warm_serve_ms\": {:.3},", ing.warm_ms).unwrap();
+    writeln!(json, "    \"cold_recompute_ms\": {:.3},", ing.cold_ms).unwrap();
+    writeln!(json, "    \"warm_hit_rate\": {hit_rate:.3},").unwrap();
+    writeln!(json, "    \"warm_reuse_cache_hits\": {},", ing.warm_hits).unwrap();
+    writeln!(json, "    \"reuse_cache_refreshes\": {},", ing.refreshes).unwrap();
+    writeln!(json, "    \"reuse_cache_evictions\": {},", ing.evictions).unwrap();
+    writeln!(
+        json,
+        "    \"rows_match_cold_recompute\": {}",
+        !failures.iter().any(|f| f.contains("diverged from cold recompute"))
+    )
+    .unwrap();
+    writeln!(json, "  }}").unwrap();
     writeln!(json, "}}").unwrap();
 
     std::fs::write(&out_path, json).expect("write BENCH_shared.json");

@@ -349,6 +349,17 @@ impl Session {
         self.catalog.register(table);
     }
 
+    /// Append rows to an existing table as one new partition. Bumps the
+    /// table's catalog version — like re-registration — but records
+    /// append lineage, so cached shared-subplan results over maintainable
+    /// shapes are *refreshed in place* over just these rows at their next
+    /// lookup instead of being evicted. Returns the new table version.
+    pub fn append_table(&mut self, name: &str, rows: Vec<Vec<Value>>) -> Result<u64> {
+        let table = self.catalog.get(name)?;
+        let partition = table.partition_from_rows(rows)?;
+        self.catalog.append(name, vec![partition])
+    }
+
     pub fn catalog(&self) -> &Catalog {
         &self.catalog
     }
@@ -739,6 +750,11 @@ impl Session {
         self.reuse.cache_len()
     }
 
+    /// Dependency stamps of every live cache entry (tests/diagnostics).
+    pub fn reuse_cache_entry_deps(&self) -> Vec<Vec<(String, u64)>> {
+        self.reuse.cache_entry_deps()
+    }
+
     /// Drop all cached shared-subplan results and observation counts.
     pub fn clear_reuse_cache(&self) {
         self.reuse.clear_cache();
@@ -787,11 +803,18 @@ fn push_trace_sections(text: &mut String, report: &OptimizerReport, metrics: Opt
             + m.circuit_breaker_trips
             > 0
     });
-    if !report.reuse.is_empty() || faults.is_some() {
+    let warm = metrics.filter(|m| m.reuse_cache_refreshes + m.subsumption_hits > 0);
+    if !report.reuse.is_empty() || faults.is_some() || warm.is_some() {
         text.push_str("-- workload reuse --\n");
         for note in &report.reuse {
             text.push_str(note);
             text.push('\n');
+        }
+        if let Some(m) = warm {
+            text.push_str(&format!(
+                "incremental reuse: reuse_cache_refreshes={} subsumption_hits={}\n",
+                m.reuse_cache_refreshes, m.subsumption_hits,
+            ));
         }
         if let Some(m) = faults {
             text.push_str(&format!(

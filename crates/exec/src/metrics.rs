@@ -68,6 +68,14 @@ pub struct ExecMetrics {
     /// Entries removed from the shared-subplan cache, whether displaced
     /// by the LRU budget or invalidated by a table-version bump.
     reuse_cache_evictions: AtomicU64,
+    /// Cached subplan results refreshed in place after a pure append to a
+    /// dependency table: the delta was executed (or merged) instead of
+    /// evicting the entry and recomputing from scratch.
+    reuse_cache_refreshes: AtomicU64,
+    /// Consumer splices served from a cached result whose subplan strictly
+    /// subsumes the consumer's (a compensating filter over the cached rows
+    /// recovers the exact answer).
+    subsumption_hits: AtomicU64,
     /// Shared subplans the workload optimizer executed once on behalf of
     /// two or more consuming queries (cache hits do not count — nothing
     /// executed).
@@ -186,6 +194,14 @@ impl ExecMetrics {
         self.reuse_cache_evictions.fetch_add(1, Ordering::Relaxed);
     }
 
+    pub fn add_reuse_cache_refresh(&self) {
+        self.reuse_cache_refreshes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn add_subsumption_hit(&self) {
+        self.subsumption_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
     pub fn add_shared_subplan_executed(&self) {
         self.shared_subplans_executed.fetch_add(1, Ordering::Relaxed);
     }
@@ -290,6 +306,14 @@ impl ExecMetrics {
         self.reuse_cache_evictions.load(Ordering::Relaxed)
     }
 
+    pub fn reuse_cache_refreshes(&self) -> u64 {
+        self.reuse_cache_refreshes.load(Ordering::Relaxed)
+    }
+
+    pub fn subsumption_hits(&self) -> u64 {
+        self.subsumption_hits.load(Ordering::Relaxed)
+    }
+
     pub fn shared_subplans_executed(&self) -> u64 {
         self.shared_subplans_executed.load(Ordering::Relaxed)
     }
@@ -356,6 +380,8 @@ impl ExecMetrics {
             parallel_wall_nanos: self.parallel_wall_nanos(),
             reuse_cache_hits: self.reuse_cache_hits(),
             reuse_cache_evictions: self.reuse_cache_evictions(),
+            reuse_cache_refreshes: self.reuse_cache_refreshes(),
+            subsumption_hits: self.subsumption_hits(),
             shared_subplans_executed: self.shared_subplans_executed(),
             queries_batched: self.queries_batched(),
             batch_query_failures: self.batch_query_failures(),
@@ -401,6 +427,10 @@ pub struct MetricsSnapshot {
     /// has fully finished.
     pub reuse_cache_hits: u64,
     pub reuse_cache_evictions: u64,
+    /// Entries kept warm by re-executing/merging only an append's delta.
+    pub reuse_cache_refreshes: u64,
+    /// Splices served from a cached superset through a compensating filter.
+    pub subsumption_hits: u64,
     pub shared_subplans_executed: u64,
     pub queries_batched: u64,
     /// Blast-radius isolation counters (see `DESIGN.md` §13): per-query
@@ -454,6 +484,10 @@ impl MetricsSnapshot {
             reuse_cache_evictions: self
                 .reuse_cache_evictions
                 .saturating_sub(base.reuse_cache_evictions),
+            reuse_cache_refreshes: self
+                .reuse_cache_refreshes
+                .saturating_sub(base.reuse_cache_refreshes),
+            subsumption_hits: self.subsumption_hits.saturating_sub(base.subsumption_hits),
             shared_subplans_executed: self
                 .shared_subplans_executed
                 .saturating_sub(base.shared_subplans_executed),

@@ -23,7 +23,11 @@ pub struct TableColumn {
 
 /// One horizontal partition: column-major values plus the min/max of the
 /// partition column (if the table is partitioned).
-#[derive(Debug)]
+///
+/// Clone is cheap: the column vectors are `Arc`-shared, so cloning a
+/// partition copies pointers, not data — this is what lets the catalog's
+/// append path build a new table version that shares every old partition.
+#[derive(Debug, Clone)]
 pub struct Partition {
     /// `columns[c][r]` = value of column `c` in row `r`.
     pub columns: Vec<Arc<Vec<Value>>>,
@@ -62,6 +66,62 @@ impl Table {
             .iter()
             .map(|p| ordinals.iter().map(|&c| p.column_bytes[c]).sum::<u64>())
             .sum()
+    }
+
+    /// A copy of this table containing only the partitions in `range`
+    /// (partition data is `Arc`-shared, not copied). Used to run a cached
+    /// subplan over just the delta of an append.
+    pub fn with_partition_range(&self, range: std::ops::Range<usize>) -> Table {
+        Table {
+            name: self.name.clone(),
+            columns: self.columns.clone(),
+            partitions: self.partitions[range].to_vec(),
+            partition_column: self.partition_column,
+        }
+    }
+
+    /// Build one partition from row-major data, validating arity against
+    /// this table's schema and computing the byte meter and partition-column
+    /// min/max. The append path uses this so delta partitions carry the
+    /// same pruning metadata as built ones.
+    pub fn partition_from_rows(&self, rows: Vec<Vec<Value>>) -> Result<Partition> {
+        let ncols = self.columns.len();
+        let num_rows = rows.len();
+        let mut columns: Vec<Vec<Value>> =
+            (0..ncols).map(|_| Vec::with_capacity(num_rows)).collect();
+        for row in rows {
+            if row.len() != ncols {
+                return Err(FusionError::Schema(format!(
+                    "append row arity {} != table arity {} for {}",
+                    row.len(),
+                    ncols,
+                    self.name
+                )));
+            }
+            for (c, v) in row.into_iter().enumerate() {
+                columns[c].push(v);
+            }
+        }
+        let column_bytes = columns
+            .iter()
+            .map(|col| col.iter().map(|v| v.encoded_size() as u64).sum())
+            .collect();
+        let (part_min, part_max) = match self.partition_column {
+            Some(pc) => {
+                let col = &columns[pc];
+                let min = col.iter().filter(|v| !v.is_null()).min().cloned();
+                let max = col.iter().filter(|v| !v.is_null()).max().cloned();
+                (min, max)
+            }
+            None => (None, None),
+        };
+        Ok(Partition {
+            columns: columns.into_iter().map(Arc::new).collect(),
+            num_rows,
+            column_bytes,
+            part_min,
+            part_max,
+        })
     }
 
     /// Can a partition with this [min, max] range of the partition column
@@ -216,16 +276,38 @@ impl TableBuilder {
     }
 }
 
+/// Lineage of one version bump that was a pure append: the version the
+/// append was applied to, where in the partition list the delta starts,
+/// and how many partitions it added. A chain of these records lets the
+/// reuse cache tell "rows were only added" apart from "the table was
+/// rewritten" and re-run cached subplans over just the delta.
+#[derive(Debug, Clone, Copy)]
+pub struct AppendRecord {
+    /// Table version the append was applied to (new version = base + 1).
+    pub base_version: u64,
+    /// Index of the first delta partition in the table's partition list.
+    pub start_partition: usize,
+    /// Number of partitions the append added.
+    pub added: usize,
+}
+
 /// Name → table registry.
 ///
 /// Every registration bumps the table's *version*, a monotonically
 /// increasing counter the shared-subplan result cache keys its
 /// invalidation on: a cached result records the versions of the tables
 /// it was computed from and is discarded the moment any of them moves.
+/// Appends also bump the version but additionally record lineage
+/// ([`AppendRecord`]) so the cache can refresh instead of evict.
 #[derive(Debug, Default)]
 pub struct Catalog {
     tables: HashMap<String, Arc<Table>>,
     versions: HashMap<String, u64>,
+    /// Per-table chain of append lineage since the last full registration.
+    /// `register` clears the chain (a rewrite breaks append lineage);
+    /// `append` extends it. Records are stored in version order and are
+    /// always consecutive: record i has base_version = first_base + i.
+    appends: HashMap<String, Vec<AppendRecord>>,
 }
 
 impl Catalog {
@@ -236,7 +318,77 @@ impl Catalog {
     pub fn register(&mut self, table: Table) {
         let key = table.name.to_ascii_lowercase();
         *self.versions.entry(key.clone()).or_insert(0) += 1;
+        self.appends.remove(&key);
         self.tables.insert(key, Arc::new(table));
+    }
+
+    /// Append partitions to an existing table: bumps the version like
+    /// `register`, but records append lineage so caches can distinguish
+    /// this from a rewrite. The old partitions are `Arc`-shared into the
+    /// new table version. Returns the new version.
+    pub fn append(&mut self, name: &str, partitions: Vec<Partition>) -> Result<u64> {
+        let key = name.to_ascii_lowercase();
+        let old = self
+            .tables
+            .get(&key)
+            .ok_or_else(|| FusionError::Plan(format!("table `{name}` not found")))?;
+        for (i, p) in partitions.iter().enumerate() {
+            if p.columns.len() != old.columns.len() {
+                return Err(FusionError::Schema(format!(
+                    "append partition {i} has {} columns, table `{name}` has {}",
+                    p.columns.len(),
+                    old.columns.len()
+                )));
+            }
+        }
+        let base_version = self.versions.get(&key).copied().unwrap_or(0);
+        let start_partition = old.partitions.len();
+        let added = partitions.len();
+
+        let mut grown = Table {
+            name: old.name.clone(),
+            columns: old.columns.clone(),
+            partitions: old.partitions.clone(),
+            partition_column: old.partition_column,
+        };
+        grown.partitions.extend(partitions);
+
+        let new_version = base_version + 1;
+        self.versions.insert(key.clone(), new_version);
+        self.appends.entry(key.clone()).or_default().push(AppendRecord {
+            base_version,
+            start_partition,
+            added,
+        });
+        self.tables.insert(key, Arc::new(grown));
+        Ok(new_version)
+    }
+
+    /// If every version bump of `name` since `version` was a pure append,
+    /// the partition range holding all rows added since then. Returns
+    /// `Some(empty range)` when the table has not moved, and `None` when
+    /// any bump in between was a rewrite (or the table is unknown) — the
+    /// caller must fall back to evict-and-recompute.
+    pub fn delta_partitions_since(
+        &self,
+        name: &str,
+        version: u64,
+    ) -> Option<std::ops::Range<usize>> {
+        let key = name.to_ascii_lowercase();
+        let table = self.tables.get(&key)?;
+        let current = self.versions.get(&key).copied().unwrap_or(0);
+        if version == current {
+            let n = table.partitions.len();
+            return Some(n..n);
+        }
+        if version > current {
+            return None; // cache stamped a future version: treat as rewrite
+        }
+        let chain = self.appends.get(&key)?;
+        // Records are consecutive; the chain covers `version` iff a record
+        // was applied directly on top of it.
+        let rec = chain.iter().find(|r| r.base_version == version)?;
+        Some(rec.start_partition..table.partitions.len())
     }
 
     /// Current version of a table: 0 if never registered, 1 after the
@@ -383,5 +535,109 @@ mod tests {
     fn row_arity_checked() {
         let mut b = TableBuilder::new("t", cols());
         assert!(b.add_row(vec![Value::Int64(1)]).is_err());
+    }
+
+    fn seed_catalog() -> Catalog {
+        let mut b = TableBuilder::new("t", cols());
+        for i in 0..6 {
+            b.add_row(vec![Value::Int64(i), Value::Utf8(format!("r{i}"))])
+                .unwrap();
+        }
+        let mut c = Catalog::new();
+        c.register(b.build());
+        c
+    }
+
+    fn delta_partition(c: &Catalog, lo: i64, hi: i64) -> Partition {
+        let t = c.get("t").unwrap();
+        let rows = (lo..hi)
+            .map(|i| vec![Value::Int64(i), Value::Utf8(format!("r{i}"))])
+            .collect();
+        t.partition_from_rows(rows).unwrap()
+    }
+
+    #[test]
+    fn append_bumps_version_and_records_lineage() {
+        let mut c = seed_catalog();
+        assert_eq!(c.table_version("t"), 1);
+        let p = delta_partition(&c, 6, 9);
+        let v = c.append("T", vec![p]).unwrap();
+        assert_eq!(v, 2);
+        assert_eq!(c.table_version("t"), 2);
+        assert_eq!(c.get("t").unwrap().num_rows(), 9);
+        // Delta since the pre-append version is exactly the new partition.
+        assert_eq!(c.delta_partitions_since("t", 1), Some(1..2));
+        // An up-to-date reader sees an empty delta.
+        assert_eq!(c.delta_partitions_since("t", 2), Some(2..2));
+    }
+
+    #[test]
+    fn append_chain_accumulates_delta_range() {
+        let mut c = seed_catalog();
+        c.append("t", vec![delta_partition(&c, 6, 8)]).unwrap();
+        c.append("t", vec![delta_partition(&c, 8, 10)]).unwrap();
+        assert_eq!(c.table_version("t"), 3);
+        assert_eq!(c.delta_partitions_since("t", 1), Some(1..3));
+        assert_eq!(c.delta_partitions_since("t", 2), Some(2..3));
+        assert_eq!(c.delta_partitions_since("t", 3), Some(3..3));
+    }
+
+    #[test]
+    fn rewrite_breaks_append_lineage() {
+        let mut c = seed_catalog();
+        c.append("t", vec![delta_partition(&c, 6, 8)]).unwrap();
+        // Re-registration is a rewrite: no delta is derivable from any
+        // version at or before it.
+        let mut b = TableBuilder::new("t", cols());
+        b.add_row(vec![Value::Int64(0), Value::Utf8("x".into())])
+            .unwrap();
+        c.register(b.build());
+        assert_eq!(c.table_version("t"), 3);
+        assert_eq!(c.delta_partitions_since("t", 1), None);
+        assert_eq!(c.delta_partitions_since("t", 2), None);
+        assert_eq!(c.delta_partitions_since("t", 3), Some(1..1));
+        // Appends on top of the rewrite chain from it.
+        c.append("t", vec![delta_partition(&c, 1, 3)]).unwrap();
+        assert_eq!(c.delta_partitions_since("t", 3), Some(1..2));
+        assert_eq!(c.delta_partitions_since("t", 2), None);
+    }
+
+    #[test]
+    fn append_validates_table_and_arity() {
+        let mut c = seed_catalog();
+        let p = delta_partition(&c, 0, 1);
+        assert!(c.append("missing", vec![p]).is_err());
+        let bad = Partition {
+            columns: vec![Arc::new(vec![Value::Int64(1)])],
+            num_rows: 1,
+            column_bytes: vec![8],
+            part_min: None,
+            part_max: None,
+        };
+        assert!(c.append("t", vec![bad]).is_err());
+        assert_eq!(c.table_version("t"), 1, "failed appends do not bump");
+    }
+
+    #[test]
+    fn future_version_yields_no_delta() {
+        let c = seed_catalog();
+        assert_eq!(c.delta_partitions_since("t", 99), None);
+        assert_eq!(c.delta_partitions_since("missing", 1), None);
+    }
+
+    #[test]
+    fn with_partition_range_shares_data() {
+        let mut c = seed_catalog();
+        c.append("t", vec![delta_partition(&c, 6, 8)]).unwrap();
+        let t = c.get("t").unwrap();
+        let delta = t.with_partition_range(1..2);
+        assert_eq!(delta.partitions.len(), 1);
+        assert_eq!(delta.num_rows(), 2);
+        assert!(Arc::ptr_eq(
+            &delta.partitions[0].columns[0],
+            &t.partitions[1].columns[0]
+        ));
+        let empty = t.with_partition_range(2..2);
+        assert_eq!(empty.num_rows(), 0);
     }
 }

@@ -28,10 +28,15 @@
 //! corruption, any writer bypassing admission) evicts the entry and
 //! reports a miss, so a poisoned entry is never served.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 
-use fusion_exec::{BudgetedReservation, ExecContext, ExecMetrics, Row};
+use fusion_common::Value;
+use fusion_exec::{
+    execute_plan_profiled, BudgetedReservation, Catalog, ExecContext, ExecMetrics, Row,
+};
+use fusion_expr::AggFunc;
+use fusion_plan::LogicalPlan;
 
 use crate::fingerprint::Fingerprint;
 
@@ -62,12 +67,22 @@ impl Default for ReuseCacheConfig {
 pub struct CachedRows {
     pub rows: Arc<Vec<Row>>,
     pub slots: Vec<String>,
+    /// When this hit was served by an in-place append refresh: the number
+    /// of delta rows that were executed (and appended or merged) to bring
+    /// the entry current. `None` for plain warm hits.
+    pub refreshed_delta_rows: Option<usize>,
 }
 
 struct Entry {
     encoding: String,
     rows: Arc<Vec<Row>>,
     slots: Vec<String>,
+    /// The shared subplan whose execution produced `rows` (in the layout
+    /// described by `slots`). Kept so a stale entry can be *refreshed*
+    /// in place by re-running the plan over only an append's delta
+    /// partitions, and so subsumption lookups can match a consumer
+    /// against resident supersets.
+    plan: LogicalPlan,
     /// `(table, catalog version at execution time)` for every base table
     /// the cached subplan read.
     deps: Vec<(String, u64)>,
@@ -76,8 +91,9 @@ struct Entry {
     checksum: u64,
     last_used: u64,
     /// Holds the entry's bytes against the cache budget; dropping the
-    /// entry releases them.
-    _reservation: BudgetedReservation,
+    /// entry releases them. Replaced when a refresh changes the entry's
+    /// size.
+    reservation: BudgetedReservation,
 }
 
 /// FNV-1a over the row contents (row count, per-row arity, and every
@@ -107,6 +123,233 @@ pub fn rows_checksum(rows: &[Row]) -> u64 {
         }
     }
     h.0
+}
+
+/// How a cached subplan's result can be maintained under a pure append
+/// to its base table(s). See `DESIGN.md` §15 for the shape table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MaintainShape {
+    /// Distributive single-table chain (Scan/Filter/Project/UnionAll over
+    /// one table): re-executing over only the delta partitions and
+    /// appending the delta rows reproduces a cold run exactly (appended
+    /// partitions land at the end of the partition order).
+    AppendRows,
+    /// Aggregate — bare, or under a column-only `Project` — over a
+    /// distributive input whose aggregate functions all merge losslessly
+    /// from *finished* values (COUNT/COUNT(*), integer SUM, MIN, MAX — no
+    /// DISTINCT, no AVG, no float SUM): group-wise merge of the cached
+    /// rows with the delta's partial aggregate, re-sorted by group key to
+    /// match the executor's deterministic output order. Positions are in
+    /// the cached row layout (post-projection when a `Project` sits on
+    /// top), so the merge works directly on the rows as cached.
+    MergeAggregate {
+        /// Expected cached/delta row arity.
+        arity: usize,
+        /// Positions of the grouping columns, in `group_by` order — the
+        /// merge key, and the sort key a cold run orders output by.
+        key_positions: Vec<usize>,
+        /// Positions carrying finished aggregate values, with the merge
+        /// function for each.
+        agg_positions: Vec<(usize, AggFunc)>,
+    },
+}
+
+/// Only Scan/Filter/Project/UnionAll distribute over a partition append:
+/// each emits rows of new partitions independently of old ones, in
+/// partition order. (ConstantTable is deliberately excluded — its rows
+/// would be re-emitted, duplicated, by a delta execution.)
+fn distributive(plan: &LogicalPlan) -> bool {
+    match plan {
+        LogicalPlan::Scan(_) => true,
+        LogicalPlan::Filter(f) => distributive(&f.input),
+        LogicalPlan::Project(p) => distributive(&p.input),
+        LogicalPlan::UnionAll(u) => u.inputs.iter().all(distributive),
+        _ => false,
+    }
+}
+
+/// Merge functions for a mergeable aggregate (one per assignment), or
+/// `None` if any function cannot merge from finished values or the
+/// aggregate's input is not distributive.
+fn mergeable_aggregate(agg: &fusion_plan::Aggregate) -> Option<Vec<AggFunc>> {
+    if !distributive(&agg.input) {
+        return None;
+    }
+    let input_schema = agg.input.schema();
+    let mut funcs = Vec::with_capacity(agg.aggregates.len());
+    for a in &agg.aggregates {
+        if a.agg.distinct {
+            return None;
+        }
+        let mergeable = match a.agg.func {
+            AggFunc::Count | AggFunc::CountStar | AggFunc::Min | AggFunc::Max => true,
+            // Integer sums merge exactly; float sums are left out —
+            // `old_total + delta_total` regroups the additions and
+            // need not be bit-identical to a cold left-to-right fold.
+            AggFunc::Sum => a
+                .agg
+                .arg
+                .as_ref()
+                .and_then(|e| e.data_type(&input_schema).ok())
+                == Some(fusion_common::DataType::Int64),
+            AggFunc::Avg => false,
+        };
+        if !mergeable {
+            return None;
+        }
+        funcs.push(a.agg.func);
+    }
+    Some(funcs)
+}
+
+/// Walk a chain of column-only `Project`s down to an `Aggregate`,
+/// composing the projections: returns, for each output position of
+/// `plan`, the aggregate-schema column id it carries, plus the aggregate
+/// itself. `None` when any layer computes an expression (merging finished
+/// values through arithmetic is not possible) or the chain bottoms out in
+/// something other than an `Aggregate`.
+fn project_chain(plan: &LogicalPlan) -> Option<(Vec<fusion_common::ColumnId>, &fusion_plan::Aggregate)> {
+    match plan {
+        LogicalPlan::Aggregate(a) => {
+            let ids = a
+                .group_by
+                .iter()
+                .copied()
+                .chain(a.aggregates.iter().map(|x| x.id))
+                .collect();
+            Some((ids, a))
+        }
+        LogicalPlan::Project(p) => {
+            let (inner_src, agg) = project_chain(&p.input)?;
+            let inner_schema = p.input.schema();
+            let mut out = Vec::with_capacity(p.exprs.len());
+            for pe in &p.exprs {
+                let fusion_expr::Expr::Column(id) = &pe.expr else {
+                    return None;
+                };
+                let j = inner_schema.fields().iter().position(|f| f.id == *id)?;
+                out.push(inner_src[j]);
+            }
+            Some((out, agg))
+        }
+        _ => None,
+    }
+}
+
+/// Merge shape for a mergeable aggregate under zero or more column-only
+/// projections — the planner's usual `SELECT g, SUM(x) .. GROUP BY g`
+/// output shape. Every grouping column must survive the projections (else
+/// two distinct groups could collide in the cached layout); aggregate
+/// columns may be dropped, duplicated, or reordered freely.
+fn merge_shape(plan: &LogicalPlan) -> Option<MaintainShape> {
+    let (src_ids, agg) = project_chain(plan)?;
+    let funcs = mergeable_aggregate(agg)?;
+    let mut key_positions = Vec::with_capacity(agg.group_by.len());
+    for gid in &agg.group_by {
+        key_positions.push(src_ids.iter().position(|id| id == gid)?);
+    }
+    let mut agg_positions = Vec::new();
+    for (pos, id) in src_ids.iter().enumerate() {
+        if let Some(j) = agg.aggregates.iter().position(|a| a.id == *id) {
+            agg_positions.push((pos, funcs[j]));
+        }
+    }
+    Some(MaintainShape::MergeAggregate {
+        arity: src_ids.len(),
+        key_positions,
+        agg_positions,
+    })
+}
+
+/// Classify a cached subplan as maintainable under appends, or `None`
+/// for shapes that must fall back to evict-and-recompute (joins, sorts,
+/// limits, windows, AVG / DISTINCT / float-SUM aggregates, multi-table
+/// row streams whose interleaving a delta run cannot reproduce).
+pub fn maintain_shape(plan: &LogicalPlan) -> Option<MaintainShape> {
+    if let Some(shape) = merge_shape(plan) {
+        return Some(shape);
+    }
+    if distributive(plan) {
+        let mut tables = plan.scanned_tables();
+        tables.dedup();
+        // More than one base table would interleave old and delta rows
+        // differently than a cold run; only the aggregate path (which
+        // re-sorts) tolerates that.
+        if tables.len() == 1 {
+            return Some(MaintainShape::AppendRows);
+        }
+    }
+    None
+}
+
+/// Merge one finished aggregate value with the same group's delta value,
+/// mirroring [`Acc::merge`] semantics from the executor so a refreshed
+/// row is bit-identical to a cold recompute. Returns `None` on any shape
+/// surprise (the caller falls back to evict-and-recompute).
+fn merge_agg_value(func: AggFunc, a: &Value, b: &Value) -> Option<Value> {
+    match func {
+        AggFunc::Count | AggFunc::CountStar => match (a, b) {
+            (Value::Int64(x), Value::Int64(y)) => Some(Value::Int64(x.wrapping_add(*y))),
+            _ => None,
+        },
+        AggFunc::Sum => match (a, b) {
+            (Value::Null, other) | (other, Value::Null) => Some(other.clone()),
+            (Value::Int64(x), Value::Int64(y)) => Some(Value::Int64(x.wrapping_add(*y))),
+            _ => None,
+        },
+        AggFunc::Min => match (a, b) {
+            (Value::Null, other) | (other, Value::Null) => Some(other.clone()),
+            _ => Some(if b < a { b.clone() } else { a.clone() }),
+        },
+        AggFunc::Max => match (a, b) {
+            (Value::Null, other) | (other, Value::Null) => Some(other.clone()),
+            _ => Some(if b > a { b.clone() } else { a.clone() }),
+        },
+        AggFunc::Avg => None,
+    }
+}
+
+/// Group-wise merge of cached aggregate rows with a delta partial:
+/// existing groups combine value-by-value, new groups append, and the
+/// result is re-sorted by group key — the executor's deterministic
+/// output order — so the merged rows match a cold recompute exactly.
+fn merge_aggregate_rows(
+    cached: &[Row],
+    delta: Vec<Row>,
+    arity: usize,
+    key_positions: &[usize],
+    agg_positions: &[(usize, AggFunc)],
+) -> Option<Vec<Row>> {
+    let key = |row: &Row| -> Vec<Value> {
+        key_positions.iter().map(|&p| row[p].clone()).collect()
+    };
+    let mut groups: BTreeMap<Vec<Value>, Row> = BTreeMap::new();
+    for row in cached {
+        if row.len() != arity {
+            return None;
+        }
+        groups.insert(key(row), row.clone());
+    }
+    for row in delta {
+        if row.len() != arity {
+            return None;
+        }
+        match groups.entry(key(&row)) {
+            std::collections::btree_map::Entry::Occupied(mut e) => {
+                let merged = e.get_mut();
+                for &(pos, func) in agg_positions {
+                    merged[pos] = merge_agg_value(func, &merged[pos], &row[pos])?;
+                }
+            }
+            std::collections::btree_map::Entry::Vacant(e) => {
+                e.insert(row);
+            }
+        }
+    }
+    // BTreeMap iterates in ascending key order over the `group_by`-order
+    // key — exactly the executor's `keys.sort()` over `Vec<Value>`,
+    // preserved through any column-only projection on top.
+    Some(groups.into_values().collect())
 }
 
 /// LRU shared-subplan result cache with version invalidation and
@@ -167,8 +410,41 @@ impl ReuseCache {
         })
     }
 
+    /// Whether an entry exists and can be *served* against the current
+    /// catalog: either valid outright, or stale only by pure appends to a
+    /// maintainable subplan, so a lookup would refresh it in place rather
+    /// than evict. Group formation uses this so a refreshable entry still
+    /// anchors a reuse group.
+    pub fn contains_servable(
+        &self,
+        fp: Fingerprint,
+        encoding: &str,
+        catalog: &Catalog,
+        versions: &HashMap<String, u64>,
+    ) -> bool {
+        let Some(e) = self.entries.get(&fp.0) else {
+            return false;
+        };
+        if e.encoding != encoding {
+            return false;
+        }
+        let stale = e
+            .deps
+            .iter()
+            .any(|(t, v)| versions.get(t).copied().unwrap_or(0) != *v);
+        if !stale {
+            return true;
+        }
+        e.deps
+            .iter()
+            .all(|(t, v)| catalog.delta_partitions_since(t, *v).is_some())
+            && maintain_shape(&e.plan).is_some()
+    }
+
     /// Look up a fingerprint. A stale entry (any dependency's catalog
-    /// version moved) is evicted on sight and counted on `metrics`; an
+    /// version moved) is *refreshed in place* when every moved dependency
+    /// moved by pure appends and the subplan shape is maintainable —
+    /// otherwise it is evicted on sight and counted on `metrics`. An
     /// encoding mismatch (64-bit collision) is treated as a miss; an
     /// entry whose row contents no longer match their admission checksum
     /// is *poisoned* — it is evicted (counted in both
@@ -179,6 +455,7 @@ impl ReuseCache {
         &mut self,
         fp: Fingerprint,
         encoding: &str,
+        catalog: &Catalog,
         versions: &HashMap<String, u64>,
         metrics: &ExecMetrics,
     ) -> Option<CachedRows> {
@@ -191,9 +468,7 @@ impl ReuseCache {
             .iter()
             .any(|(t, v)| versions.get(t).copied().unwrap_or(0) != *v);
         if stale {
-            self.entries.remove(&fp.0);
-            metrics.add_reuse_cache_eviction();
-            return None;
+            return self.refresh(fp, catalog, metrics);
         }
         if rows_checksum(&entry.rows) != entry.checksum {
             self.entries.remove(&fp.0);
@@ -208,7 +483,192 @@ impl ReuseCache {
         Some(CachedRows {
             rows: Arc::clone(&entry.rows),
             slots: entry.slots.clone(),
+            refreshed_delta_rows: None,
         })
+    }
+
+    /// Serve a consumer from a resident entry whose subplan strictly
+    /// subsumes it (the entry's rows are a superset recoverable through
+    /// the consumer's own filter). Candidates are tried in ascending
+    /// fingerprint order for determinism; each goes through the full
+    /// [`lookup`](Self::lookup) validation (staleness/refresh, checksum),
+    /// so a stale-but-refreshable superset is refreshed before serving.
+    /// Returns the hit together with the serving entry's fingerprint.
+    pub fn lookup_subsuming(
+        &mut self,
+        consumer: &LogicalPlan,
+        catalog: &Catalog,
+        versions: &HashMap<String, u64>,
+        metrics: &ExecMetrics,
+    ) -> Option<(CachedRows, Fingerprint)> {
+        let mut fps: Vec<u64> = self
+            .entries
+            .iter()
+            .filter(|(_, e)| crate::fingerprint::subsumes(&e.plan, consumer))
+            .map(|(k, _)| *k)
+            .collect();
+        fps.sort_unstable();
+        for f in fps {
+            let Some(encoding) = self.entries.get(&f).map(|e| e.encoding.clone()) else {
+                continue; // evicted by an earlier candidate's refresh
+            };
+            if let Some(hit) = self.lookup(Fingerprint(f), &encoding, catalog, versions, metrics)
+            {
+                return Some((hit, Fingerprint(f)));
+            }
+        }
+        None
+    }
+
+    /// Refresh a stale entry in place: execute its plan over only the
+    /// delta partitions of its appended dependencies, fold the delta into
+    /// the cached rows per the entry's [`MaintainShape`], and restamp
+    /// checksum and dependency versions. Any failure — broken append
+    /// lineage, non-maintainable shape, poisoned rows, delta execution
+    /// error, budget overflow — evicts the entry (counted) and reports a
+    /// miss, which is exactly the old evict-on-stale behavior.
+    fn refresh(
+        &mut self,
+        fp: Fingerprint,
+        catalog: &Catalog,
+        metrics: &ExecMetrics,
+    ) -> Option<CachedRows> {
+        let entry = self.entries.remove(&fp.0)?;
+        match self.refresh_entry(entry, catalog, metrics) {
+            Ok((entry, delta_rows)) => {
+                let hit = CachedRows {
+                    rows: Arc::clone(&entry.rows),
+                    slots: entry.slots.clone(),
+                    refreshed_delta_rows: Some(delta_rows),
+                };
+                self.entries.insert(fp.0, entry);
+                metrics.add_reuse_cache_refresh();
+                Some(hit)
+            }
+            Err(poisoned) => {
+                if poisoned {
+                    metrics.add_cache_poison_eviction();
+                }
+                metrics.add_reuse_cache_eviction();
+                None
+            }
+        }
+    }
+
+    /// The fallible core of [`refresh`](Self::refresh). `Err(poisoned)`
+    /// means the entry must stay evicted; `poisoned` reports whether the
+    /// failure was a checksum mismatch.
+    fn refresh_entry(
+        &mut self,
+        entry: Entry,
+        catalog: &Catalog,
+        metrics: &ExecMetrics,
+    ) -> Result<(Entry, usize), bool> {
+        let shape = maintain_shape(&entry.plan).ok_or(false)?;
+        // Verify integrity *before* building on the cached rows: merging
+        // onto poisoned rows would launder the corruption into a freshly
+        // restamped checksum.
+        if rows_checksum(&entry.rows) != entry.checksum {
+            return Err(true);
+        }
+        // Every dependency must have moved by pure appends (an empty
+        // range for dependencies that did not move at all).
+        let mut deltas: Vec<(String, std::ops::Range<usize>)> = Vec::new();
+        let mut any_delta = false;
+        for (t, v) in &entry.deps {
+            let range = catalog.delta_partitions_since(t, *v).ok_or(false)?;
+            any_delta |= !range.is_empty();
+            deltas.push((t.clone(), range));
+        }
+        if !any_delta {
+            // Versions moved but no partitions did: lineage is
+            // inconsistent with the version map; do not guess.
+            return Err(false);
+        }
+        // Delta catalog: each dependency reduced to only its delta
+        // partitions — empty for dependencies that did not move, so a
+        // multi-table plan does not double-count their rows.
+        let mut delta_catalog = Catalog::new();
+        for (t, range) in &deltas {
+            let full = catalog.get(t).map_err(|_| false)?;
+            delta_catalog.register(full.with_partition_range(range.clone()));
+        }
+        let (output, _) = execute_plan_profiled(&entry.plan, &delta_catalog, &self.ctx)
+            .map_err(|_| false)?;
+        let delta_count = output.rows.len();
+
+        let new_rows: Vec<Row> = match shape {
+            MaintainShape::AppendRows => {
+                let mut rows = entry.rows.as_ref().clone();
+                rows.extend(output.rows);
+                rows
+            }
+            MaintainShape::MergeAggregate {
+                arity,
+                key_positions,
+                agg_positions,
+            } => merge_aggregate_rows(
+                &entry.rows,
+                output.rows,
+                arity,
+                &key_positions,
+                &agg_positions,
+            )
+            .ok_or(false)?,
+        };
+
+        if new_rows.len() > self.cfg.max_entry_rows {
+            return Err(false);
+        }
+        let bytes: usize = new_rows
+            .iter()
+            .map(|r| r.iter().map(|v| v.encoded_size()).sum::<usize>())
+            .sum::<usize>()
+            .max(1);
+        if bytes > self.cfg.max_bytes {
+            return Err(false);
+        }
+        let Entry {
+            encoding,
+            slots,
+            plan,
+            reservation,
+            ..
+        } = entry;
+        // Release the old reservation before sizing the new one: the
+        // refreshed entry replaces the old, it does not stack on it.
+        drop(reservation);
+        let reservation = loop {
+            match BudgetedReservation::try_new(Arc::clone(&self.ctx), bytes as i64) {
+                Ok(r) => break r,
+                Err(_) => {
+                    if !self.evict_lru(metrics) {
+                        return Err(false);
+                    }
+                }
+            }
+        };
+        // Restamp: the refreshed rows are exactly what a cold run over
+        // the current versions would produce.
+        let deps: Vec<(String, u64)> = deltas
+            .iter()
+            .map(|(t, _)| (t.clone(), catalog.table_version(t)))
+            .collect();
+        self.clock += 1;
+        let checksum = rows_checksum(&new_rows);
+        Ok((
+            Entry {
+                encoding,
+                rows: Arc::new(new_rows),
+                slots,
+                plan,
+                deps,
+                checksum,
+                last_used: self.clock,
+                reservation,
+            },
+            delta_count,
+        ))
     }
 
     /// Try to admit a result. Returns `true` if the entry is (now)
@@ -220,12 +680,14 @@ impl ReuseCache {
     /// partial result admitted here would poison every future warm hit;
     /// the checksum computed below would faithfully certify the wrong
     /// rows.
+    #[allow(clippy::too_many_arguments)]
     pub fn admit(
         &mut self,
         fp: Fingerprint,
         encoding: &str,
         rows: Arc<Vec<Row>>,
         slots: Vec<String>,
+        plan: &LogicalPlan,
         deps: Vec<(String, u64)>,
         metrics: &ExecMetrics,
     ) -> bool {
@@ -280,13 +742,20 @@ impl ReuseCache {
                 encoding: encoding.to_string(),
                 rows,
                 slots,
+                plan: plan.clone(),
                 deps,
                 checksum,
                 last_used: self.clock,
-                _reservation: reservation,
+                reservation,
             },
         );
         true
+    }
+
+    /// The dependency stamps of every resident entry, for tests asserting
+    /// stamping invariants (exactly one dep per table, catalog-cased).
+    pub fn entry_deps(&self) -> Vec<Vec<(String, u64)>> {
+        self.entries.values().map(|e| e.deps.clone()).collect()
     }
 
     /// Corrupt a cached entry's rows *without* touching its checksum —
@@ -370,15 +839,29 @@ mod tests {
         m
     }
 
+    /// A trivial non-maintainable plan: staleness always falls back to
+    /// evict-and-recompute, preserving the pre-refresh test semantics.
+    fn plan() -> LogicalPlan {
+        LogicalPlan::ConstantTable(fusion_plan::ConstantTable {
+            fields: Vec::new(),
+            rows: Vec::new(),
+        })
+    }
+
+    /// An empty catalog: no append lineage, so no refresh path engages.
+    fn cat() -> Catalog {
+        Catalog::new()
+    }
+
     #[test]
     fn admission_requires_min_uses() {
         let mut c = ReuseCache::new(ReuseCacheConfig::default());
         let m = ExecMetrics::new();
         let deps = vec![("t".to_string(), 1)];
-        assert!(!c.admit(fp(1), "e1", rows(4, 7), vec!["s".into()], deps.clone(), &m));
+        assert!(!c.admit(fp(1), "e1", rows(4, 7), vec!["s".into()], &plan(), deps.clone(), &m));
         c.observe(fp(1));
         c.observe(fp(1));
-        assert!(c.admit(fp(1), "e1", rows(4, 7), vec!["s".into()], deps, &m));
+        assert!(c.admit(fp(1), "e1", rows(4, 7), vec!["s".into()], &plan(), deps, &m));
         assert_eq!(c.len(), 1);
     }
 
@@ -393,14 +876,15 @@ mod tests {
             "e1",
             rows(4, 7),
             vec!["s".into()],
+            &plan(),
             vec![("t".to_string(), 1)],
             &m
         ));
-        assert!(c.lookup(fp(1), "e1", &versions(1), &m).is_some());
+        assert!(c.lookup(fp(1), "e1", &cat(), &versions(1), &m).is_some());
         // Encoding mismatch (hash collision) is a miss, not a hit.
-        assert!(c.lookup(fp(1), "other", &versions(1), &m).is_none());
+        assert!(c.lookup(fp(1), "other", &cat(), &versions(1), &m).is_none());
         // Version bump invalidates and evicts.
-        assert!(c.lookup(fp(1), "e1", &versions(2), &m).is_none());
+        assert!(c.lookup(fp(1), "e1", &cat(), &versions(2), &m).is_none());
         assert_eq!(c.len(), 0);
         assert_eq!(m.snapshot().reuse_cache_evictions, 1);
     }
@@ -422,6 +906,7 @@ mod tests {
                 "e",
                 rows(10, i as i64),
                 vec!["s".into()],
+                &plan(),
                 vec![("t".to_string(), 1)],
                 &m
             ));
@@ -429,7 +914,7 @@ mod tests {
         assert!(c.len() < 3, "budget must have forced an eviction");
         assert!(m.snapshot().reuse_cache_evictions >= 1);
         // The most recently admitted entry survived.
-        assert!(c.lookup(fp(2), "e", &versions(1), &m).is_some());
+        assert!(c.lookup(fp(2), "e", &cat(), &versions(1), &m).is_some());
     }
 
     #[test]
@@ -445,20 +930,21 @@ mod tests {
             "e",
             rows(4, 7),
             vec!["s".into()],
+            &plan(),
             vec![("t".to_string(), 1)],
             &m
         ));
-        assert!(c.lookup(fp(1), "e", &versions(1), &m).is_some());
+        assert!(c.lookup(fp(1), "e", &cat(), &versions(1), &m).is_some());
 
         assert!(c.corrupt_entry(fp(1)), "entry exists to corrupt");
         // The poisoned hit is detected, evicted, and reported as a miss.
-        assert!(c.lookup(fp(1), "e", &versions(1), &m).is_none());
+        assert!(c.lookup(fp(1), "e", &cat(), &versions(1), &m).is_none());
         assert_eq!(c.len(), 0);
         let snap = m.snapshot();
         assert_eq!(snap.cache_poison_evictions, 1);
         assert!(snap.reuse_cache_evictions >= 1);
         // Once evicted, later lookups are plain misses (no double count).
-        assert!(c.lookup(fp(1), "e", &versions(1), &m).is_none());
+        assert!(c.lookup(fp(1), "e", &cat(), &versions(1), &m).is_none());
         assert_eq!(m.snapshot().cache_poison_evictions, 1);
     }
 
@@ -475,11 +961,12 @@ mod tests {
             "e",
             Arc::new(Vec::new()),
             vec!["s".into()],
+            &plan(),
             vec![("t".to_string(), 1)],
             &m
         ));
         assert!(c.corrupt_entry(fp(2)));
-        assert!(c.lookup(fp(2), "e", &versions(1), &m).is_none());
+        assert!(c.lookup(fp(2), "e", &cat(), &versions(1), &m).is_none());
         assert_eq!(m.snapshot().cache_poison_evictions, 1);
     }
 
@@ -492,11 +979,11 @@ mod tests {
         let m = ExecMetrics::new();
         let deps = vec![("t".to_string(), 1)];
         c.observe(fp(1));
-        assert!(c.admit(fp(1), "e", rows(4, 7), vec!["s".into()], deps.clone(), &m));
+        assert!(c.admit(fp(1), "e", rows(4, 7), vec!["s".into()], &plan(), deps.clone(), &m));
         assert!(c.corrupt_entry(fp(1)));
         // Re-admitting fresh rows must not refresh the corrupt copy.
-        assert!(c.admit(fp(1), "e", rows(4, 7), vec!["s".into()], deps, &m));
-        let hit = c.lookup(fp(1), "e", &versions(1), &m).unwrap();
+        assert!(c.admit(fp(1), "e", rows(4, 7), vec!["s".into()], &plan(), deps, &m));
+        let hit = c.lookup(fp(1), "e", &cat(), &versions(1), &m).unwrap();
         assert_eq!(hit.rows.len(), 4);
         assert_eq!(hit.rows[0][0], Value::Int64(7), "fresh rows served");
         assert_eq!(m.snapshot().cache_poison_evictions, 1);
@@ -516,6 +1003,7 @@ mod tests {
             "e",
             rows(6, 0),
             vec!["s".into()],
+            &plan(),
             vec![("t".to_string(), 1)],
             &m
         ));

@@ -114,6 +114,35 @@ pub fn match_subplans(p1: &LogicalPlan, p2: &LogicalPlan, ctx: &FuseContext) -> 
     }
 }
 
+/// Whether `superset`'s result strictly contains every row of `subset`'s:
+/// after peeling column-only projections off `superset` (planner output
+/// is always `Project`-rooted, and a column-only projection loses no
+/// rows), both are Filter roots over the same canonical input, and
+/// `subset`'s predicate carries every conjunct of `superset`'s plus at
+/// least one more. When this holds, re-applying `subset`'s *own full
+/// predicate* over `superset`'s rows recovers `subset`'s exact result —
+/// σ_p(σ_q(I)) = σ_p(I) whenever q ⊆ p — which is what the cache's
+/// subsumption serving relies on. Columns the projection dropped are the
+/// splicer's problem: it maps the consumer's input slots onto the cached
+/// slots and refuses the rewrite when one is missing.
+pub fn subsumes(superset: &LogicalPlan, subset: &LogicalPlan) -> bool {
+    let mut sup = superset;
+    while let LogicalPlan::Project(p) = sup {
+        if !p
+            .exprs
+            .iter()
+            .all(|pe| matches!(pe.expr, fusion_expr::Expr::Column(_)))
+        {
+            return false;
+        }
+        sup = &p.input;
+    }
+    matches!(
+        filter_subsumption(sup, subset),
+        Some(SubplanMatch::LeftSubsumesRight)
+    )
+}
+
 /// Subsumption fast path: both plans filter the same canonical input, and
 /// one side's conjunct set strictly contains the other's.
 fn filter_subsumption(p1: &LogicalPlan, p2: &LogicalPlan) -> Option<SubplanMatch> {

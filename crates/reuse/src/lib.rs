@@ -135,6 +135,12 @@ impl ReuseManager {
         self.cache.lock().map(|c| c.len()).unwrap_or(0)
     }
 
+    /// Dependency stamps of every live cache entry (tests/diagnostics):
+    /// each inner vector is one entry's `(table, version)` pairs.
+    pub fn cache_entry_deps(&self) -> Vec<Vec<(String, u64)>> {
+        self.cache.lock().map(|c| c.entry_deps()).unwrap_or_default()
+    }
+
     /// Whether the circuit breaker is currently open for a fingerprint
     /// (diagnostics / tests).
     pub fn breaker_open(&self, fp: Fingerprint) -> bool {

@@ -203,7 +203,7 @@ pub fn plan_workload(
 
     let candidates = collect_candidates(plans, cfg.min_nodes);
     let versions = catalog.table_versions();
-    let groups = form_groups(cfg, cache, &candidates, &versions, plans.len(), gen);
+    let groups = form_groups(cfg, cache, &candidates, catalog, &versions, plans.len(), gen);
 
     for group in groups {
         execute_group(
@@ -219,6 +219,25 @@ pub fn plan_workload(
             optimize,
             &mut out,
         );
+    }
+
+    // Subsumption pass: a consumer no exact or fused group served may
+    // still be answerable from a cached *superset* — its own filter over
+    // the cached rows recovers the exact result. Spliced regions contain
+    // no scans, so candidate collection naturally skips them.
+    let fault = ctx.fault_policy();
+    for q in 0..out.plans.len() {
+        let (rewritten, notes) = apply_subsumption(
+            cfg,
+            cache,
+            &out.plans[q],
+            catalog,
+            &versions,
+            fault,
+            metrics,
+        );
+        out.plans[q] = rewritten;
+        out.notes[q].extend(notes);
     }
     out
 }
@@ -268,7 +287,8 @@ pub fn apply_cache(
             metrics.add_fault_injected();
             continue;
         }
-        let Some(hit) = cache.lookup(c.form.fingerprint, &c.form.encoding, &versions, metrics)
+        let Some(hit) =
+            cache.lookup(c.form.fingerprint, &c.form.encoding, catalog, &versions, metrics)
         else {
             continue;
         };
@@ -279,16 +299,137 @@ pub fn apply_cache(
         if rewritten.validate().is_ok() && analyze_plan(&rewritten).is_empty() {
             metrics.add_reuse_cache_hit();
             notes.push(format!(
-                "cache hit {}: {} node subplan served from shared-subplan cache ({} rows)",
+                "cache hit {}: {} node subplan served from shared-subplan cache ({} rows{})",
                 c.form.fingerprint,
                 c.plan.node_count(),
-                hit.rows.len()
+                hit.rows.len(),
+                refresh_note(&hit),
+            ));
+            result = rewritten;
+            taken.push(c.path.clone());
+        }
+    }
+    // Exact misses may still be answerable from a cached superset.
+    let (result, sub_notes) =
+        apply_subsumption(cfg, cache, &result, catalog, &versions, fault, metrics);
+    notes.extend(sub_notes);
+    (result, notes)
+}
+
+/// Render the delta-refresh suffix for a cache-hit note.
+fn refresh_note(hit: &crate::cache::CachedRows) -> String {
+    match hit.refreshed_delta_rows {
+        Some(n) => format!(", refreshed in place over {n} delta rows"),
+        None => String::new(),
+    }
+}
+
+/// Rewrite `plan` against cached entries that strictly *subsume* one of
+/// its Filter-rooted subplans: the consumer's own predicate over the
+/// cached superset rows recovers its exact result (σ_p over σ_q rows
+/// with q ⊆ p). Every splice is re-validated and analyzer-gated with
+/// revert-on-violation, like all other splices.
+fn apply_subsumption(
+    cfg: &WorkloadConfig,
+    cache: &mut ReuseCache,
+    plan: &LogicalPlan,
+    catalog: &Catalog,
+    versions: &HashMap<String, u64>,
+    fault: &FaultPolicy,
+    metrics: &ExecMetrics,
+) -> (LogicalPlan, Vec<String>) {
+    if cache.is_empty() {
+        return (plan.clone(), Vec::new());
+    }
+    let candidates = collect_candidates(std::slice::from_ref(plan), cfg.min_nodes);
+    let mut order: Vec<usize> = (0..candidates.len()).collect();
+    order.sort_by(|&x, &y| {
+        candidates[y]
+            .plan
+            .node_count()
+            .cmp(&candidates[x].plan.node_count())
+            .then_with(|| candidates[x].path.cmp(&candidates[y].path))
+    });
+    let mut result = plan.clone();
+    let mut notes = Vec::new();
+    let mut taken: Vec<Vec<usize>> = Vec::new();
+    for i in order {
+        let c = &candidates[i];
+        if !matches!(c.plan, LogicalPlan::Filter(_)) {
+            continue;
+        }
+        if taken.iter().any(|p| paths_overlap(p, &c.path)) {
+            continue;
+        }
+        // Same CacheLookup fault point as exact lookups: a forced miss
+        // leaves the consumer on its cold plan.
+        if fault
+            .inject_reuse(
+                ReuseFaultSite::CacheLookup,
+                &format!("subsume/{}", c.form.fingerprint),
+                0,
+            )
+            .is_err()
+        {
+            metrics.add_fault_injected();
+            continue;
+        }
+        let Some((hit, fp)) = cache.lookup_subsuming(&c.plan, catalog, versions, metrics) else {
+            continue;
+        };
+        let Some(replacement) = splice_subsumed(&c.plan, &hit) else {
+            continue;
+        };
+        let rewritten = replace_at(&result, &c.path, replacement);
+        if rewritten.validate().is_ok() && analyze_plan(&rewritten).is_empty() {
+            metrics.add_subsumption_hit();
+            notes.push(format!(
+                "subsumption hit {fp}: consumer served from cached superset through \
+                 compensating filter ({} rows{})",
+                hit.rows.len(),
+                refresh_note(&hit),
             ));
             result = rewritten;
             taken.push(c.path.clone());
         }
     }
     (result, notes)
+}
+
+/// Splice for a subsumption hit: the consumer is `Filter_p(Input)` and
+/// the cached rows are `Filter_q(Input)` with q's conjuncts a strict
+/// subset of p's. Materialize the cached rows under the consumer's own
+/// input schema (aligned by canonical slots) and re-apply the consumer's
+/// *full* predicate — σ_p(σ_q(I)) = σ_p(I) — so no predicate surgery is
+/// needed and row order matches a cold run (a filtered subsequence of
+/// the same partition-ordered stream).
+fn splice_subsumed(consumer: &LogicalPlan, hit: &crate::cache::CachedRows) -> Option<LogicalPlan> {
+    let LogicalPlan::Filter(f) = consumer else {
+        return None;
+    };
+    let input_form = canonical_form(&f.input);
+    let map = position_map(&input_form.slots, &hit.slots)?;
+    let fields: Vec<Field> = f.input.schema().fields().to_vec();
+    if fields.len() != map.len() {
+        return None;
+    }
+    let identity = map.iter().enumerate().all(|(j, &k)| j == k);
+    let rows: Vec<Row> = if identity {
+        hit.rows.as_ref().clone()
+    } else {
+        hit.rows
+            .iter()
+            .map(|row| {
+                map.iter()
+                    .map(|&k| row.get(k).cloned().unwrap_or(fusion_common::Value::Null))
+                    .collect()
+            })
+            .collect()
+    };
+    Some(LogicalPlan::Filter(Filter {
+        input: Box::new(LogicalPlan::ConstantTable(ConstantTable { fields, rows })),
+        predicate: f.predicate.clone(),
+    }))
 }
 
 // ---------------------------------------------------------------------
@@ -360,10 +501,12 @@ fn paths_overlap(a: &[usize], b: &[usize]) -> bool {
 // Group formation
 // ---------------------------------------------------------------------
 
+#[allow(clippy::too_many_arguments)]
 fn form_groups(
     cfg: &WorkloadConfig,
     cache: &ReuseCache,
     candidates: &[Candidate],
+    catalog: &Catalog,
     versions: &HashMap<String, u64>,
     n_queries: usize,
     gen: &IdGen,
@@ -397,7 +540,9 @@ fn form_groups(
         let c = &candidates[i];
         let enc = c.form.encoding.as_str();
         let spans = query_span.get(enc).map(|q| q.len()).unwrap_or(0);
-        let cached = cache.contains_valid(c.form.fingerprint, enc, versions);
+        // Servable = valid, or refreshable in place after a pure append —
+        // either way a lookup during execution will produce rows.
+        let cached = cache.contains_servable(c.form.fingerprint, enc, catalog, versions);
         if spans < 2 && !cached {
             continue;
         }
@@ -419,7 +564,9 @@ fn form_groups(
         };
         let cached = members
             .first()
-            .map(|&i| cache.contains_valid(candidates[i].form.fingerprint, enc, versions))
+            .map(|&i| {
+                cache.contains_servable(candidates[i].form.fingerprint, enc, catalog, versions)
+            })
             .unwrap_or(false);
         if members.len() < 2 && !cached {
             // Conflicts whittled the group below the sharing threshold;
@@ -626,9 +773,10 @@ fn execute_group(
         metrics.add_fault_injected();
         None
     } else {
-        cache.lookup(fp, &group.form.encoding, versions, metrics)
+        cache.lookup(fp, &group.form.encoding, catalog, versions, metrics)
     };
     let cache_hit = hit.is_some();
+    let refreshed_delta_rows = hit.as_ref().and_then(|h| h.refreshed_delta_rows);
     let (rows, slots): (Arc<Vec<Row>>, Vec<String>) = match hit {
         Some(h) => (h.rows, h.slots),
         None => {
@@ -711,13 +859,17 @@ fn execute_group(
             // that were actually served a validated splice.
             cache.observe(fp);
             out.notes[c.query].push(format!(
-                "{} {}: {} node subplan shared across queries {:?} ({} rows{})",
+                "{} {}: {} node subplan shared across queries {:?} ({} rows{}{})",
                 if group.fused { "fused" } else { "shared" },
                 fp,
                 c.plan.node_count(),
                 queries,
                 rows.len(),
                 if cache_hit { ", cached" } else { "" },
+                match refreshed_delta_rows {
+                    Some(n) => format!(", refreshed in place over {n} delta rows"),
+                    None => String::new(),
+                },
             ));
             out.plans[c.query] = rewritten;
             spliced += 1;
@@ -740,22 +892,13 @@ fn execute_group(
             .is_err()
         {
             metrics.add_fault_injected();
-        } else {
-            let mut deps: Vec<(String, u64)> = group
-                .plan
-                .scanned_tables()
-                .into_iter()
-                .map(|t| {
-                    let v = versions.get(&t).copied().unwrap_or(0);
-                    (t, v)
-                })
-                .collect();
-            deps.dedup();
+        } else if let Some(deps) = stamp_deps(&group.plan, versions) {
             cache.admit(
                 fp,
                 &group.form.encoding,
                 Arc::clone(&rows),
                 group.form.slots.clone(),
+                &group.plan,
                 deps,
                 metrics,
             );
@@ -779,6 +922,30 @@ fn execute_group(
         rows: rows.len(),
         subplan_nodes: group.plan.node_count(),
     });
+}
+
+/// Dependency stamps for a shared plan: one `(table, version)` pair per
+/// distinct base table, with the table name normalized to the catalog's
+/// key casing (scans carry the name as written in the SQL). Returns
+/// `None` — the plan is *not admissible* — when any scanned table is
+/// missing from the catalog's version map: stamping an unknown table
+/// with a guessed version would make the entry permanently valid (or
+/// permanently stale) no matter what happens to the real table.
+fn stamp_deps(
+    plan: &LogicalPlan,
+    versions: &HashMap<String, u64>,
+) -> Option<Vec<(String, u64)>> {
+    let mut deps: Vec<(String, u64)> = Vec::new();
+    for t in plan.scanned_tables() {
+        let key = t.to_ascii_lowercase();
+        let v = *versions.get(&key)?;
+        deps.push((key, v));
+    }
+    // Sort *before* dedup: multi-scan plans may surface a table under
+    // several casings, which normalize to non-consecutive duplicates.
+    deps.sort();
+    deps.dedup();
+    Some(deps)
 }
 
 /// Execute a shared subplan under the batch context's [`RetryPolicy`]:

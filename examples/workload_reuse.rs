@@ -4,8 +4,9 @@
 
 //! Workload-level reuse: a dashboard re-submits overlapping queries,
 //! the batch executes the shared subplan once, later single queries are
-//! served from the shared-subplan cache, and re-registering the table
-//! invalidates the cache instead of serving stale rows.
+//! served from the shared-subplan cache, appended rows refresh
+//! maintainable entries in place (continuous ingest), and re-registering
+//! the table invalidates the cache instead of serving stale rows.
 //!
 //! ```sh
 //! cargo run --example workload_reuse
@@ -73,7 +74,32 @@ fn main() {
     );
     println!("\n{}", session.explain_analyze(dashboard[0]).unwrap());
 
-    println!("== re-registering the table invalidates the cache ==");
+    println!("== continuous ingest: appends refresh the entry in place ==");
+    // COUNT is mergeable, so the cached aggregate absorbs the delta
+    // instead of being evicted. (The float SUM above is deliberately
+    // not: merged float additions need not be bit-identical to a cold
+    // fold, so that shape falls back to evict-and-recompute.)
+    let ingest = "SELECT region, COUNT(*) AS n FROM sales GROUP BY region";
+    session.run_batch(&[ingest, ingest]).unwrap();
+    session
+        .append_table(
+            "sales",
+            (0..50i64)
+                .map(|i| vec![Value::Int64(i % 5), Value::Float64(i as f64)])
+                .collect(),
+        )
+        .unwrap();
+    let refreshed = session.sql(ingest).unwrap();
+    println!(
+        "cache hits {}, refreshes {}, evictions {} — {:?}",
+        refreshed.metrics.reuse_cache_hits,
+        refreshed.metrics.reuse_cache_refreshes,
+        refreshed.metrics.reuse_cache_evictions,
+        refreshed.report.reuse
+    );
+    assert_eq!(refreshed.metrics.reuse_cache_refreshes, 1);
+
+    println!("\n== re-registering the table invalidates the cache ==");
     session.register_table(build_sales(2.0));
     let fresh = session.sql(dashboard[0]).unwrap();
     println!(

@@ -133,6 +133,113 @@ proptest! {
 }
 
 // ---------------------------------------------------------------------
+// Continuous ingest under chaos: appends between batch rounds
+// ---------------------------------------------------------------------
+
+fn ingest_row(i: i64) -> Vec<Value> {
+    vec![
+        Value::Int64(i),
+        Value::Int64(i % 4),
+        Value::Float64((i % 7) as f64 * 10.0),
+    ]
+}
+
+/// `orders` with `base + extra` rows built cold in one shot — the ground
+/// truth for a session that reached the same row count through appends.
+fn ingest_session(total_rows: i64) -> Session {
+    let mut s = Session::new();
+    let mut b = TableBuilder::new(
+        "orders",
+        vec![
+            col("o_id", DataType::Int64),
+            col("o_cust", DataType::Int64),
+            col("o_total", DataType::Float64),
+        ],
+    )
+    .partition_by("o_id", 5)
+    .unwrap();
+    for i in 0..total_rows {
+        b.add_row(ingest_row(i)).unwrap();
+    }
+    s.register_table(b.build());
+    s
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Rolling appends between batch rounds under randomized reuse-fault
+    /// schedules: maintainable entries refresh in place, non-maintainable
+    /// ones (float SUM) evict — either way, every surviving slot must be
+    /// bit-identical to a cold independent run over the same cumulative
+    /// rows, and the batch never hangs.
+    #[test]
+    fn appends_between_rounds_never_serve_stale(
+        seed in 0u64..1_000_000,
+        lookup_ix in 0u8..3,
+        admit_ix in 0u8..3,
+        corrupt_ix in 0u8..3,
+        parallel in any::<bool>(),
+    ) {
+        let workers = if parallel { 4 } else { 1 };
+        // Mergeable aggregate, distributive filter, and a float SUM that
+        // must fall back to evict-and-recompute on every append.
+        let queries = [
+            "SELECT o_cust, COUNT(*) AS n, MAX(o_id) AS hi FROM orders GROUP BY o_cust",
+            "SELECT o_id, o_cust FROM orders WHERE o_total > 20",
+            Q_ORDERS,
+            "SELECT o_cust, COUNT(*) AS n, MAX(o_id) AS hi FROM orders GROUP BY o_cust",
+            "SELECT o_id, o_cust FROM orders WHERE o_total > 20",
+            Q_ORDERS,
+        ];
+
+        let mut chaos = ingest_session(20);
+        chaos.set_parallelism(workers);
+        chaos.set_fault_policy(
+            FaultPolicy::transient(seed, 0.0).with_reuse_faults(ReuseFaultRates {
+                cache_lookup: rate_of(lookup_ix),
+                cache_admit: rate_of(admit_ix),
+                cache_corrupt: rate_of(corrupt_ix),
+                ..ReuseFaultRates::default()
+            }),
+        );
+
+        let mut total = 20i64;
+        for round in 0..3 {
+            let batch = chaos.run_batch(&queries).unwrap();
+            prop_assert_eq!(batch.results.len(), queries.len());
+
+            let mut reference = ingest_session(total);
+            reference.set_reuse_enabled(false);
+            reference.set_parallelism(workers);
+            for (i, slot) in batch.results.iter().enumerate() {
+                match slot {
+                    Ok(r) => {
+                        let expected = reference.sql(queries[i]).unwrap();
+                        prop_assert_eq!(
+                            r.sorted_rows(),
+                            expected.sorted_rows(),
+                            "round {} query {} diverged after appends \
+                             (seed={}, workers={})\nnotes: {:?}",
+                            round, i, seed, workers, r.report.reuse
+                        );
+                    }
+                    Err(e) => {
+                        prop_assert_eq!(e.query, i, "error landed in the wrong slot");
+                    }
+                }
+            }
+
+            let added = 3 + round as i64;
+            chaos
+                .append_table("orders", (total..total + added).map(ingest_row).collect())
+                .unwrap();
+            total += added;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
 // Targeted scenarios over a micro-catalog (fast, deterministic)
 // ---------------------------------------------------------------------
 
