@@ -8,9 +8,12 @@
 //!
 //! Writes `ANALYSIS_report.json` (override with `ANALYSIS_REPORT_PATH`)
 //! and exits nonzero unless the gate passes: zero violations on final
-//! plans and a mutation kill rate of at least 95%.
+//! plans, a kill rate of at least 95% on both the fuse-contract and the
+//! reuse-corruption mutation corpora, and zero certificate rejections in
+//! the live reuse-rewrite sweep (every batch in the sweep is pristine,
+//! so a rejection is a prover false positive).
 
-use fusion_core::analysis::{run_self_test, AnalysisReport, QueryAnalysis};
+use fusion_core::analysis::{run_reuse_self_test, run_self_test, AnalysisReport, QueryAnalysis};
 use fusion_engine::Session;
 use fusion_tpcds::{all_queries, generate_catalog, TpcdsConfig};
 
@@ -70,6 +73,31 @@ fn main() {
         }
     }
     report.mutation = run_self_test();
+    report.reuse = run_reuse_self_test();
+
+    // Live reuse-rewrite sweep: run identical pairs of the corpus through
+    // a reuse-enabled session and require every served splice to carry a
+    // certificate with zero rejections. The sweep never appends, so no
+    // refresh shape (maintainable or not) can muddy the false-positive
+    // control.
+    let mut sweep_issued = 0u64;
+    let mut sweep_rejected = 0u64;
+    let mut sweep_spliced = 0usize;
+    let sweep = {
+        let mut s = Session::new();
+        for t in generate_catalog(&cfg).into_tables() {
+            s.register_table(t);
+        }
+        s
+    };
+    for q in all_queries() {
+        if let Ok(b) = sweep.run_batch(&[q.sql.as_str(), q.sql.as_str()]) {
+            sweep_issued += b.metrics.reuse_certificates_issued;
+            sweep_rejected += b.metrics.reuse_certificates_rejected;
+            sweep_spliced += b.report.consumers_spliced();
+        }
+    }
+    let sweep_ok = sweep_rejected == 0 && sweep_issued as usize >= sweep_spliced;
 
     let json = report.to_json();
     if let Err(e) = std::fs::write(&out_path, &json) {
@@ -79,22 +107,33 @@ fn main() {
 
     eprintln!(
         "analyzed {} query/mode pairs: {} final-plan violations, \
-         mutation kill rate {:.1}% ({} of {})",
+         mutation kill rate {:.1}% ({} of {}), \
+         reuse kill rate {:.1}% ({} of {})",
         report.queries.len(),
         report.total_violations(),
         report.mutation.kill_rate() * 100.0,
         report.mutation.killed(),
-        report.mutation.total()
+        report.mutation.total(),
+        report.reuse.kill_rate() * 100.0,
+        report.reuse.killed(),
+        report.reuse.total()
+    );
+    eprintln!(
+        "reuse sweep: {sweep_spliced} splices served, \
+         {sweep_issued} certificates issued, {sweep_rejected} rejected"
     );
     for s in report.mutation.survivors() {
         eprintln!("surviving mutant: {s}");
+    }
+    for s in report.reuse.survivors() {
+        eprintln!("surviving reuse mutant: {s}");
     }
     for q in report.queries.iter().filter(|q| !q.violations.is_empty()) {
         eprintln!("{} ({}): {}", q.query, q.mode, q.violations.join("; "));
     }
     eprintln!("report written to {out_path}");
 
-    if !report.passes() {
+    if !report.passes() || !sweep_ok {
         std::process::exit(1);
     }
 }

@@ -147,14 +147,14 @@ pub fn check_fuse_contract(p1: &LogicalPlan, p2: &LogicalPlan, f: &Fused) -> Vec
 }
 
 /// Same relaxation as structural validation: numeric widening is allowed.
-fn types_compatible(a: DataType, b: DataType) -> bool {
+pub(crate) fn types_compatible(a: DataType, b: DataType) -> bool {
     a == b || (a.is_numeric() && b.is_numeric())
 }
 
 /// The normalized, non-trivial conjuncts of a filter-position predicate.
 /// `None` means the predicate is provably FALSE (the side selects no rows,
 /// so any reconstruction obligation is vacuous).
-fn conjunct_exprs(e: &Expr) -> Option<Vec<Expr>> {
+pub(crate) fn conjunct_exprs(e: &Expr) -> Option<Vec<Expr>> {
     let n = normalize(&simplify_filter(e));
     if n.is_false_literal() {
         return None;
@@ -170,7 +170,7 @@ fn conjunct_exprs(e: &Expr) -> Option<Vec<Expr>> {
 /// Whether `available ⊨ target` under the approximations the simplifier
 /// itself uses: exact membership, or (absorption) the target is a
 /// disjunction one of whose disjuncts is fully available.
-fn implied(target: &Expr, available: &BTreeSet<String>) -> bool {
+pub(crate) fn implied(target: &Expr, available: &BTreeSet<String>) -> bool {
     if available.contains(&target.to_string()) {
         return true;
     }
@@ -185,7 +185,7 @@ fn implied(target: &Expr, available: &BTreeSet<String>) -> bool {
 
 /// Require every conjunct of `original` to be implied by
 /// `comp ∧ fused_pred`.
-fn check_direction(
+pub(crate) fn check_direction(
     side: &str,
     original: &Expr,
     comp: &Expr,
@@ -216,7 +216,7 @@ fn check_direction(
 /// must survive (left: same ids; right: modulo `M`), and each original
 /// masked aggregate must reappear with the same function, argument and a
 /// mask at least as strict.
-fn check_aggregate_side(
+pub(crate) fn check_aggregate_side(
     side: &str,
     orig: &fusion_plan::Aggregate,
     map_through: Option<&Fused>,

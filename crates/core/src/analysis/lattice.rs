@@ -63,6 +63,14 @@ pub struct PlanProps {
     /// `MarkDistinct` facts: `(columns, mark_id)` meaning `columns` form a
     /// key among rows where the marker column is TRUE.
     pub marked_keys: Vec<(BTreeSet<ColumnId>, ColumnId)>,
+    /// The node distributes over appends to its base tables: running it
+    /// over only appended partitions yields exactly the rows a cold run
+    /// appends after the cached prefix. Holds for `Scan`, and is preserved
+    /// by per-row operators that neither reorder nor aggregate
+    /// (`Filter`, `Project`) and by `UnionAll` of distributive children;
+    /// joins, aggregates, sorts, limits, windows and `MarkDistinct` all
+    /// clear it. Used by the reuse prover's maintainability certificates.
+    pub append_distributive: bool,
 }
 
 impl PlanProps {
@@ -106,7 +114,10 @@ pub fn props(plan: &LogicalPlan) -> PlanProps {
 /// [`LogicalPlan::children`] order.
 pub fn node_props(plan: &LogicalPlan, children: &[PlanProps]) -> PlanProps {
     match plan {
-        LogicalPlan::Scan(_) => PlanProps::default(),
+        LogicalPlan::Scan(_) => PlanProps {
+            append_distributive: true,
+            ..PlanProps::default()
+        },
         LogicalPlan::ConstantTable(t) => {
             let mut p = PlanProps {
                 single_row: t.rows.len() <= 1,
@@ -135,18 +146,29 @@ pub fn node_props(plan: &LogicalPlan, children: &[PlanProps]) -> PlanProps {
             }
             p
         }
-        // Filters only drop rows: every uniqueness/domain fact survives.
-        LogicalPlan::Filter(_) | LogicalPlan::Sort(_) => child(children),
+        // Filters only drop rows: every uniqueness/domain fact survives,
+        // and per-row filtering commutes with appending partitions.
+        LogicalPlan::Filter(_) => child(children),
+        // Sorting interleaves appended rows into the cached prefix.
+        LogicalPlan::Sort(_) => {
+            let mut p = child(children);
+            p.append_distributive = false;
+            p
+        }
         LogicalPlan::Limit(l) => {
             let mut p = child(children);
             if l.fetch <= 1 {
                 p.single_row = true;
             }
+            // An already-satisfied limit must not grow under appends.
+            p.append_distributive = false;
             p
         }
         LogicalPlan::EnforceSingleRow(_) => {
             let mut p = child(children);
             p.single_row = true;
+            // Appends can push the input past one row.
+            p.append_distributive = false;
             p
         }
         LogicalPlan::Project(proj) => {
@@ -164,6 +186,9 @@ pub fn node_props(plan: &LogicalPlan, children: &[PlanProps]) -> PlanProps {
             };
             let mut p = PlanProps {
                 single_row: c.single_row,
+                // Per-row projection (computed expressions included)
+                // commutes with appending partitions.
+                append_distributive: c.append_distributive,
                 ..PlanProps::default()
             };
             for k in &c.keys {
@@ -208,7 +233,13 @@ pub fn node_props(plan: &LogicalPlan, children: &[PlanProps]) -> PlanProps {
             let r = children.get(1).cloned().unwrap_or_default();
             let mut p = PlanProps::default();
             match j.join_type {
-                JoinType::Semi => return l,
+                JoinType::Semi => {
+                    // Left-side facts survive, but appends to the *right*
+                    // table can resurrect previously-dropped left rows.
+                    let mut p = l;
+                    p.append_distributive = false;
+                    return p;
+                }
                 JoinType::Inner | JoinType::Cross => {
                     p.single_row = l.single_row && r.single_row;
                     if l.single_row {
@@ -282,16 +313,27 @@ pub fn node_props(plan: &LogicalPlan, children: &[PlanProps]) -> PlanProps {
             p
         }
         // Window and MarkDistinct pass every input row through unchanged
-        // and append columns, so all input facts survive.
-        LogicalPlan::Window(_) => child(children),
+        // and append columns, so all input facts survive — but both
+        // compute over the whole input (frames, first-seen marks), so
+        // appended rows can change existing outputs.
+        LogicalPlan::Window(_) => {
+            let mut p = child(children);
+            p.append_distributive = false;
+            p
+        }
         LogicalPlan::MarkDistinct(m) => {
             let mut p = child(children);
             p.marked_keys
                 .push((m.columns.iter().copied().collect(), m.mark_id));
+            p.append_distributive = false;
             p
         }
         LogicalPlan::UnionAll(u) => {
-            let mut p = PlanProps::default();
+            let mut p = PlanProps {
+                append_distributive: !children.is_empty()
+                    && children.iter().all(|c| c.append_distributive),
+                ..PlanProps::default()
+            };
             for (j, f) in u.fields.iter().enumerate() {
                 if is_tag_name(&f.name) {
                     let mut dom = BTreeSet::new();

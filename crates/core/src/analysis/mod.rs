@@ -28,11 +28,13 @@
 //! swapped or widened compensations, widened masks, retyped tags) must
 //! all be rejected — mutation-killing as a measure of analyzer strength.
 
+pub mod canon;
 pub mod checks;
 pub mod contract;
 pub mod lattice;
 pub mod mutation;
 pub mod report;
+pub mod reuse;
 
 use std::fmt;
 
@@ -42,8 +44,12 @@ use fusion_plan::LogicalPlan;
 pub use checks::analyze_plan;
 pub use contract::check_fuse_contract;
 pub use lattice::{props, PlanProps};
-pub use mutation::{run_self_test, MutationReport};
+pub use mutation::{run_reuse_self_test, run_self_test, MutationReport};
 pub use report::{AnalysisReport, QueryAnalysis};
+pub use reuse::{
+    aggregate_mergeable, certify_exact_splice, certify_fused_splice, certify_maintainability,
+    certify_stamps, certify_subsumption, check_maintain_claim, MaintainShape, ReuseCertificate,
+};
 
 /// Stable machine-readable analysis violation codes. Like
 /// `fusion_common::ErrorCode` these are part of the crate contract: they
@@ -72,6 +78,21 @@ pub enum AnalysisCode {
     /// Tag dispatch does not cover every branch exactly once, or compares
     /// a tag outside its domain.
     TagDispatch,
+    /// A reuse splice (exact or fused) failed certification: encoding or
+    /// slot-alignment mismatch, broken mapping, or a compensation that is
+    /// not residual-equal to the consumer's predicate.
+    ReuseSplice,
+    /// A subsumption serve failed certification: cached conjuncts not
+    /// carried by the consumer, non-strict containment, differing base
+    /// relations, or unrecoverable projected columns.
+    ReuseSubsumption,
+    /// A cache entry is not maintainable in place under appends (typed
+    /// fallback reason: float SUM/AVG/DISTINCT, multi-table, or a
+    /// non-append-distributive operator).
+    ReuseMaintain,
+    /// A cache entry's dependency stamps are non-canonical, stale, or
+    /// inconsistent with the plan's scanned tables.
+    ReuseStamp,
 }
 
 impl AnalysisCode {
@@ -87,6 +108,10 @@ impl AnalysisCode {
             AnalysisCode::Aggregate => "FUSION_ANALYSIS_AGGREGATE",
             AnalysisCode::Keys => "FUSION_ANALYSIS_KEYS",
             AnalysisCode::TagDispatch => "FUSION_ANALYSIS_TAG_DISPATCH",
+            AnalysisCode::ReuseSplice => "FUSION_ANALYSIS_REUSE_SPLICE",
+            AnalysisCode::ReuseSubsumption => "FUSION_ANALYSIS_REUSE_SUBSUMPTION",
+            AnalysisCode::ReuseMaintain => "FUSION_ANALYSIS_REUSE_MAINTAIN",
+            AnalysisCode::ReuseStamp => "FUSION_ANALYSIS_REUSE_STAMP",
         }
     }
 }

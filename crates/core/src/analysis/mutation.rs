@@ -10,13 +10,20 @@
 //! a surviving mutant is a hole in the analyzer, reported by name for
 //! triage and gated in CI at a ≥ 95% kill rate.
 
+use std::collections::HashMap;
+
 use fusion_common::{DataType, Field, IdGen, Value};
 use fusion_expr::{col, lit, AggregateExpr, BinaryOp, Expr};
 use fusion_plan::{
     AggAssign, Aggregate, Filter, LogicalPlan, Project, ProjExpr, Scan, UnionAll,
 };
 
-use super::{analyze_plan, check_fuse_contract, render_violations};
+use super::canon::canonical_form;
+use super::reuse::{
+    certify_exact_splice, certify_fused_splice, certify_maintainability, certify_stamps,
+    certify_subsumption, check_maintain_claim, MaintainShape,
+};
+use super::{analyze_plan, check_fuse_contract, render_violations, Violation};
 use crate::fuse::{fuse, FuseContext, Fused};
 use crate::rules::union_fusion::UnionAllFusion;
 use crate::rules::Rule;
@@ -111,6 +118,21 @@ pub fn run_self_test() -> MutationReport {
     scalar_aggregate_mutants(&mut report);
     keyed_aggregate_mutants(&mut report);
     union_dispatch_mutants(&mut report);
+    report
+}
+
+/// Run the reuse-corruption suite: seeded corruptions of known-good reuse
+/// rewrites — exact and fused splices, subsumption serves, refresh shapes
+/// and dependency stamps — that the reuse-soundness prover must reject.
+/// Pristine artifacts are recorded too (inverted, "killed" = accepted) so
+/// false positives show up as regressions alongside surviving mutants.
+pub fn run_reuse_self_test() -> MutationReport {
+    let mut report = MutationReport::default();
+    exact_splice_mutants(&mut report);
+    fused_splice_mutants(&mut report);
+    subsumption_mutants(&mut report);
+    maintainability_mutants(&mut report);
+    stamp_mutants(&mut report);
     report
 }
 
@@ -540,4 +562,632 @@ fn drop_tag_disjunct(pred: &Expr, which: i64) -> Option<Expr> {
         .cloned()
         .collect();
     (keep.len() < disjuncts.len() && !keep.is_empty()).then(|| fusion_expr::disjoin(keep))
+}
+
+// ---------------------------------------------------------------------
+// Reuse-corruption corpus
+// ---------------------------------------------------------------------
+
+impl MutationReport {
+    /// Record one certification attempt that must be *rejected*.
+    fn record_cert<T>(&mut self, description: impl Into<String>, result: Result<T, Vec<Violation>>) {
+        let (killed, detail) = match result {
+            Ok(_) => (false, String::new()),
+            Err(v) => (true, render_violations(&v)),
+        };
+        self.outcomes.push(MutationOutcome {
+            description: description.into(),
+            killed,
+            detail,
+        });
+    }
+
+    /// Record one pristine artifact that must be *accepted* (inverted:
+    /// "killed" means the prover stayed quiet).
+    fn record_pristine<T>(
+        &mut self,
+        description: impl Into<String>,
+        result: Result<T, Vec<Violation>>,
+    ) {
+        let (killed, detail) = match result {
+            Ok(_) => (true, String::new()),
+            Err(v) => (false, render_violations(&v)),
+        };
+        self.outcomes.push(MutationOutcome {
+            description: description.into(),
+            killed,
+            detail,
+        });
+    }
+}
+
+/// `[x Int64, f Float64, z Int64, b Boolean]` scan with fresh ids, for
+/// reuse corruptions that need a float column.
+fn fscan(gen: &IdGen, table: &str) -> LogicalPlan {
+    let fields = vec![
+        Field::new(gen.fresh(), "x", DataType::Int64, true),
+        Field::new(gen.fresh(), "f", DataType::Float64, true),
+        Field::new(gen.fresh(), "z", DataType::Int64, true),
+        Field::new(gen.fresh(), "b", DataType::Boolean, true),
+    ];
+    LogicalPlan::Scan(Scan {
+        table: table.into(),
+        fields,
+        column_indices: vec![0, 1, 2, 3],
+        filters: Vec::new(),
+    })
+}
+
+/// Exact splices: the consumer must be canonically equal to the shared
+/// plan, with a total slot alignment.
+fn exact_splice_mutants(report: &mut MutationReport) {
+    let gen = IdGen::new();
+    let s = scan(&gen, "t");
+    let x = field_id(&s, "x");
+    let consumer = LogicalPlan::Filter(Filter {
+        input: Box::new(s),
+        predicate: col(x).gt(lit(5i64)),
+    });
+    let form = canonical_form(&consumer);
+
+    report.record_pristine(
+        "exact splice: pristine consumer against its own form accepted",
+        certify_exact_splice(&consumer, &form.encoding, &form.slots),
+    );
+
+    // Shared plan computed a different predicate (wrong literal).
+    let other = {
+        let gen = IdGen::new();
+        let s = scan(&gen, "t");
+        let x = field_id(&s, "x");
+        canonical_form(&LogicalPlan::Filter(Filter {
+            input: Box::new(s),
+            predicate: col(x).gt(lit(6i64)),
+        }))
+    };
+    report.record_cert(
+        "exact splice: shared plan filters x>6, consumer wants x>5",
+        certify_exact_splice(&consumer, &other.encoding, &other.slots),
+    );
+    // Shared plan over a different base table.
+    let other_table = {
+        let gen = IdGen::new();
+        let s = scan(&gen, "u");
+        let x = field_id(&s, "x");
+        canonical_form(&LogicalPlan::Filter(Filter {
+            input: Box::new(s),
+            predicate: col(x).gt(lit(5i64)),
+        }))
+    };
+    report.record_cert(
+        "exact splice: shared plan scans table u, consumer scans t",
+        certify_exact_splice(&consumer, &other_table.encoding, &other_table.slots),
+    );
+    // Shared rows dropped a column the consumer needs (slot list
+    // truncated while the claimed encoding still matches).
+    report.record_cert(
+        "exact splice: shared slots dropped a consumer column",
+        certify_exact_splice(&consumer, &form.encoding, &form.slots[..form.slots.len() - 1]),
+    );
+    // Shared rows carry a retyped column in place of the consumer's.
+    let mut retyped = form.slots.clone();
+    if let Some(last) = retyped.last_mut() {
+        *last = last.replace("Boolean", "Utf8");
+    }
+    report.record_cert(
+        "exact splice: shared slot retyped Boolean -> Utf8",
+        certify_exact_splice(&consumer, &form.encoding, &retyped),
+    );
+}
+
+/// Fused splices: the mapping/compensation pair must reconstruct the
+/// consumer from the fused superset, in both directions.
+fn fused_splice_mutants(report: &mut MutationReport) {
+    let gen = IdGen::new();
+    let s1 = scan(&gen, "t");
+    let s2 = scan(&gen, "t");
+    let x1 = field_id(&s1, "x");
+    let x2 = field_id(&s2, "x");
+    let z2 = field_id(&s2, "z");
+    let p1 = LogicalPlan::Filter(Filter {
+        input: Box::new(s1.clone()),
+        predicate: col(x1).gt(lit(5i64)),
+    });
+    let p2 = LogicalPlan::Filter(Filter {
+        input: Box::new(s2.clone()),
+        predicate: col(x2).lt(lit(3i64)),
+    });
+    let ctx = FuseContext::new(gen);
+    let Some(good) = fuse(&p1, &p2, &ctx) else {
+        report.outcomes.push(MutationOutcome {
+            description: "fused splice sample failed to fuse".into(),
+            killed: false,
+            detail: String::new(),
+        });
+        return;
+    };
+
+    report.record_pristine(
+        "fused splice: pristine mapping/compensation accepted",
+        certify_fused_splice(&p2, &good.plan, &good.mapping, &good.right),
+    );
+
+    // Swapped compensation: serve P2 through P1's residual.
+    report.record_cert(
+        "fused splice: compensations swapped (P2 served through L)",
+        certify_fused_splice(&p2, &good.plan, &good.mapping, &good.left),
+    );
+    // Widened compensation: TRUE keeps the other member's rows.
+    report.record_cert(
+        "fused splice: compensation widened to TRUE",
+        certify_fused_splice(&p2, &good.plan, &good.mapping, &Expr::boolean(true)),
+    );
+    // Wrong literal in the compensation.
+    report.record_cert(
+        "fused splice: compensation literal 3 -> 4",
+        certify_fused_splice(
+            &p2,
+            &good.plan,
+            &good.mapping,
+            &col(good.mapped_id(x2)).lt(lit(4i64)),
+        ),
+    );
+    // Over-narrow compensation — forward direction still holds, only the
+    // reverse residual check can catch it.
+    report.record_cert(
+        "fused splice: compensation narrowed with an extra conjunct",
+        certify_fused_splice(
+            &p2,
+            &good.plan,
+            &good.mapping,
+            &good
+                .right
+                .clone()
+                .and(col(good.mapped_id(z2)).gt(lit(0i64))),
+        ),
+    );
+    // Mapping corruptions over the consumer's output columns.
+    for f in p2.schema().fields() {
+        let mut m = good.mapping.clone();
+        m.remove(&f.id);
+        if m.len() < good.mapping.len() {
+            report.record_cert(
+                format!("fused splice: drop mapping entry for {}#{}", f.name, f.id.0),
+                certify_fused_splice(&p2, &good.plan, &m, &good.right),
+            );
+        }
+    }
+    {
+        let mut m = good.mapping.clone();
+        m.insert(x2, ctx.gen.fresh());
+        report.record_cert(
+            "fused splice: remap consumer x onto unknown column",
+            certify_fused_splice(&p2, &good.plan, &m, &good.right),
+        );
+    }
+    {
+        // Swap two mapping targets: x lands on y's Utf8 column.
+        let mut m = good.mapping.clone();
+        m.insert(x2, field_id(&s1, "y"));
+        report.record_cert(
+            "fused splice: remap consumer Int64 x onto Utf8 column",
+            certify_fused_splice(&p2, &good.plan, &m, &good.right),
+        );
+    }
+    // Compensation hygiene.
+    report.record_cert(
+        "fused splice: compensation references unknown column",
+        certify_fused_splice(
+            &p2,
+            &good.plan,
+            &good.mapping,
+            &col(ctx.gen.fresh()).gt(lit(0i64)),
+        ),
+    );
+    report.record_cert(
+        "fused splice: compensation is not boolean",
+        certify_fused_splice(&p2, &good.plan, &good.mapping, &col(x1).add(lit(1i64))),
+    );
+
+    // Two-conjunct consumer: dropping one conjunct from the compensation
+    // must lose the forward residual.
+    let gen = IdGen::new();
+    let s1 = scan(&gen, "t");
+    let s2 = scan(&gen, "t");
+    let x1 = field_id(&s1, "x");
+    let x2 = field_id(&s2, "x");
+    let z2 = field_id(&s2, "z");
+    let q1 = LogicalPlan::Filter(Filter {
+        input: Box::new(s1),
+        predicate: col(x1).gt(lit(5i64)),
+    });
+    let q2 = LogicalPlan::Filter(Filter {
+        input: Box::new(s2),
+        predicate: col(x2).lt(lit(3i64)).and(col(z2).gt(lit(0i64))),
+    });
+    let ctx = FuseContext::new(gen);
+    let Some(good2) = fuse(&q1, &q2, &ctx) else {
+        report.outcomes.push(MutationOutcome {
+            description: "two-conjunct fused splice sample failed to fuse".into(),
+            killed: false,
+            detail: String::new(),
+        });
+        return;
+    };
+    report.record_pristine(
+        "fused splice: pristine two-conjunct compensation accepted",
+        certify_fused_splice(&q2, &good2.plan, &good2.mapping, &good2.right),
+    );
+    report.record_cert(
+        "fused splice: compensation drops the z>0 conjunct",
+        certify_fused_splice(
+            &q2,
+            &good2.plan,
+            &good2.mapping,
+            &col(good2.mapped_id(x2)).lt(lit(3i64)),
+        ),
+    );
+}
+
+/// Subsumption serves: strict conjunct containment over the same base,
+/// with every consumer column recoverable.
+fn subsumption_mutants(report: &mut MutationReport) {
+    let mk_filter = |table: &str, extra: bool| {
+        let gen = IdGen::new();
+        let s = scan(&gen, table);
+        let x = field_id(&s, "x");
+        let z = field_id(&s, "z");
+        let pred = if extra {
+            col(x).gt(lit(5i64)).and(col(z).lt(lit(10i64)))
+        } else {
+            col(x).gt(lit(5i64))
+        };
+        LogicalPlan::Filter(Filter {
+            input: Box::new(s),
+            predicate: pred,
+        })
+    };
+
+    let cached = mk_filter("t", false);
+    let consumer = mk_filter("t", true);
+    report.record_pristine(
+        "subsumption: pristine strict-subset serve accepted",
+        certify_subsumption(&cached, &consumer),
+    );
+    // Non-subset: the cached side filtered on a conjunct the consumer
+    // does not carry.
+    let cached_extra = {
+        let gen = IdGen::new();
+        let s = scan(&gen, "t");
+        let x = field_id(&s, "x");
+        let b = field_id(&s, "b");
+        LogicalPlan::Filter(Filter {
+            input: Box::new(s),
+            predicate: col(x).gt(lit(5i64)).and(col(b)),
+        })
+    };
+    report.record_cert(
+        "subsumption: cached carries conjunct b the consumer lacks",
+        certify_subsumption(&cached_extra, &consumer),
+    );
+    // Equal sets claimed as subsumption: that is an exact match.
+    report.record_cert(
+        "subsumption: equal conjunct sets claimed as strict subsumption",
+        certify_subsumption(&cached, &mk_filter("t", false)),
+    );
+    // Different base tables.
+    report.record_cert(
+        "subsumption: cached scans u, consumer scans t",
+        certify_subsumption(&mk_filter("u", false), &consumer),
+    );
+    // Projection narrowing that drops a column the consumer reads.
+    let narrowed = {
+        let gen = IdGen::new();
+        let s = scan(&gen, "t");
+        let x = field_id(&s, "x");
+        let f = LogicalPlan::Filter(Filter {
+            input: Box::new(s),
+            predicate: col(x).gt(lit(5i64)),
+        });
+        LogicalPlan::Project(Project {
+            input: Box::new(f),
+            exprs: vec![ProjExpr::new(IdGen::new().fresh(), "x", col(x))],
+        })
+    };
+    report.record_cert(
+        "subsumption: cached projection dropped columns the consumer needs",
+        certify_subsumption(&narrowed, &consumer),
+    );
+
+    // Computed-expression narrowing — the new coverage: cached is
+    // `Project(x, x*z)` over the filter, consumer filters over the same
+    // computed projection.
+    let computed = |factor_add: bool| {
+        let gen = IdGen::new();
+        let s = scan(&gen, "t");
+        let x = field_id(&s, "x");
+        let z = field_id(&s, "z");
+        let expr = if factor_add {
+            col(x).add(col(z))
+        } else {
+            col(x).mul(col(z))
+        };
+        let proj = |input: LogicalPlan, gen: &IdGen| {
+            LogicalPlan::Project(Project {
+                input: Box::new(input),
+                exprs: vec![
+                    ProjExpr::new(gen.fresh(), "x", col(x)),
+                    ProjExpr::new(gen.fresh(), "w", expr.clone()),
+                ],
+            })
+        };
+        let cached = proj(
+            LogicalPlan::Filter(Filter {
+                input: Box::new(s.clone()),
+                predicate: col(x).gt(lit(5i64)),
+            }),
+            &gen,
+        );
+        let inner = proj(s, &gen);
+        let (xo, wo) = {
+            let f = inner.schema().fields().to_vec();
+            (f[0].id, f[1].id)
+        };
+        let consumer = LogicalPlan::Filter(Filter {
+            input: Box::new(inner),
+            predicate: col(xo).gt(lit(5i64)).and(col(wo).lt(lit(100i64))),
+        });
+        (cached, consumer)
+    };
+    let (cached_mul, consumer_mul) = computed(false);
+    report.record_pristine(
+        "subsumption: pristine computed-projection (x*z) serve accepted",
+        certify_subsumption(&cached_mul, &consumer_mul),
+    );
+    let (cached_add, _) = computed(true);
+    report.record_cert(
+        "subsumption: cached computes x+z, consumer needs x*z",
+        certify_subsumption(&cached_add, &consumer_mul),
+    );
+}
+
+/// Maintainability: refresh shapes must be re-derivable, and forged
+/// claims must be rejected.
+fn maintainability_mutants(report: &mut MutationReport) {
+    let gen = IdGen::new();
+    let s = fscan(&gen, "t");
+    let x = field_id(&s, "x");
+    let f = field_id(&s, "f");
+    let z = field_id(&s, "z");
+
+    // Pristine shapes.
+    let filtered = LogicalPlan::Filter(Filter {
+        input: Box::new(s.clone()),
+        predicate: col(x).gt(lit(5i64)),
+    });
+    report.record_pristine(
+        "maintainability: pristine Filter(Scan) append-rows accepted",
+        certify_maintainability(&filtered),
+    );
+    let computed_proj = LogicalPlan::Project(Project {
+        input: Box::new(s.clone()),
+        exprs: vec![ProjExpr::new(gen.fresh(), "x1", col(x).add(lit(1i64)))],
+    });
+    report.record_pristine(
+        "maintainability: computed projection over Scan still append-rows",
+        certify_maintainability(&computed_proj),
+    );
+    let agg = |aggs: Vec<AggAssign>| {
+        LogicalPlan::Aggregate(Aggregate {
+            input: Box::new(s.clone()),
+            group_by: vec![z],
+            aggregates: aggs,
+        })
+    };
+    let good_agg = agg(vec![
+        AggAssign::new(gen.fresh(), "c", AggregateExpr::count_star()),
+        AggAssign::new(gen.fresh(), "s", AggregateExpr::sum(col(x))),
+        AggAssign::new(gen.fresh(), "m", AggregateExpr::min(col(f))),
+    ]);
+    report.record_pristine(
+        "maintainability: pristine COUNT/SUM(int)/MIN(float) merge accepted",
+        certify_maintainability(&good_agg),
+    );
+
+    // Non-mergeable aggregate functions.
+    report.record_cert(
+        "maintainability: float SUM classified mergeable",
+        certify_maintainability(&agg(vec![AggAssign::new(
+            gen.fresh(),
+            "fs",
+            AggregateExpr::sum(col(f)),
+        )])),
+    );
+    report.record_cert(
+        "maintainability: AVG classified mergeable",
+        certify_maintainability(&agg(vec![AggAssign::new(
+            gen.fresh(),
+            "a",
+            AggregateExpr::avg(col(x)),
+        )])),
+    );
+    report.record_cert(
+        "maintainability: COUNT(DISTINCT) classified mergeable",
+        certify_maintainability(&agg(vec![AggAssign::new(
+            gen.fresh(),
+            "d",
+            AggregateExpr::count(col(x)).with_distinct(true),
+        )])),
+    );
+    // Computed projection over aggregate outputs.
+    let (cid, csum) = (gen.fresh(), gen.fresh());
+    let agg_for_proj = LogicalPlan::Aggregate(Aggregate {
+        input: Box::new(s.clone()),
+        group_by: vec![z],
+        aggregates: vec![AggAssign::new(csum, "s", AggregateExpr::sum(col(x)))],
+    });
+    report.record_cert(
+        "maintainability: computed projection over aggregate outputs",
+        certify_maintainability(&LogicalPlan::Project(Project {
+            input: Box::new(agg_for_proj.clone()),
+            exprs: vec![
+                ProjExpr::new(gen.fresh(), "z", col(z)),
+                ProjExpr::new(cid, "s2", col(csum).add(lit(1i64))),
+            ],
+        })),
+    );
+    // Projection dropping the grouping key.
+    report.record_cert(
+        "maintainability: projection drops the grouping key",
+        certify_maintainability(&LogicalPlan::Project(Project {
+            input: Box::new(agg_for_proj),
+            exprs: vec![ProjExpr::new(gen.fresh(), "s", col(csum))],
+        })),
+    );
+    // Sorted and limited chains do not distribute over appends.
+    report.record_cert(
+        "maintainability: Sort chain classified append-distributive",
+        certify_maintainability(&LogicalPlan::Sort(fusion_plan::Sort {
+            input: Box::new(filtered.clone()),
+            keys: vec![fusion_plan::SortKey {
+                expr: col(x),
+                asc: true,
+                nulls_first: false,
+            }],
+        })),
+    );
+    // Two base tables cannot reproduce the cold interleaving.
+    let two_tables = {
+        let s2 = fscan(&gen, "u");
+        let fields = s
+            .schema()
+            .fields()
+            .iter()
+            .map(|fl| Field::new(gen.fresh(), fl.name.clone(), fl.data_type, fl.nullable))
+            .collect();
+        LogicalPlan::UnionAll(UnionAll {
+            inputs: vec![s.clone(), s2],
+            fields,
+        })
+    };
+    report.record_cert(
+        "maintainability: two-table union classified single-table",
+        certify_maintainability(&two_tables),
+    );
+
+    // Forged claims against a pristine mergeable aggregate.
+    report.record_cert(
+        "maintainability: aggregate forged as append-rows",
+        check_maintain_claim(&good_agg, &MaintainShape::AppendRows),
+    );
+    let derived = match certify_maintainability(&good_agg) {
+        Ok(super::reuse::ReuseCertificate::Maintain(m)) => Some(m),
+        _ => None,
+    };
+    if let Some(MaintainShape::MergeAggregate {
+        arity,
+        key_positions,
+        agg_positions,
+    }) = derived
+    {
+        // Swap the key onto an aggregate position.
+        report.record_cert(
+            "maintainability: claim swaps key and aggregate positions",
+            check_maintain_claim(
+                &good_agg,
+                &MaintainShape::MergeAggregate {
+                    arity,
+                    key_positions: vec![agg_positions[0].0],
+                    agg_positions: agg_positions
+                        .iter()
+                        .enumerate()
+                        .map(|(i, &(_, fun))| {
+                            if i == 0 {
+                                (key_positions[0], fun)
+                            } else {
+                                (agg_positions[i].0, fun)
+                            }
+                        })
+                        .collect(),
+                },
+            ),
+        );
+        // Merge MIN as if it were SUM.
+        report.record_cert(
+            "maintainability: claim merges MIN with the SUM rule",
+            check_maintain_claim(
+                &good_agg,
+                &MaintainShape::MergeAggregate {
+                    arity,
+                    key_positions,
+                    agg_positions: agg_positions
+                        .iter()
+                        .map(|&(p, fun)| {
+                            if fun == fusion_expr::AggFunc::Min {
+                                (p, fusion_expr::AggFunc::Sum)
+                            } else {
+                                (p, fun)
+                            }
+                        })
+                        .collect(),
+                },
+            ),
+        );
+    } else {
+        report.outcomes.push(MutationOutcome {
+            description: "maintainability: merge shape not derivable for forged-claim pair".into(),
+            killed: false,
+            detail: String::new(),
+        });
+    }
+}
+
+/// Dependency stamps: canonical form and catalog consistency.
+fn stamp_mutants(report: &mut MutationReport) {
+    let gen = IdGen::new();
+    let t = scan(&gen, "t");
+    let u = scan(&gen, "u");
+    let fields = t
+        .schema()
+        .fields()
+        .iter()
+        .map(|f| Field::new(gen.fresh(), f.name.clone(), f.data_type, f.nullable))
+        .collect();
+    let plan = LogicalPlan::UnionAll(UnionAll {
+        inputs: vec![t, u],
+        fields,
+    });
+    let versions: HashMap<String, u64> = [("t".to_string(), 3u64), ("u".to_string(), 5u64), ("v".to_string(), 1u64)]
+        .into_iter()
+        .collect();
+    let dep = |t: &str, v: u64| (t.to_string(), v);
+
+    report.record_pristine(
+        "dep stamps: pristine canonical stamps accepted",
+        certify_stamps(&plan, &[dep("t", 3), dep("u", 5)], &versions),
+    );
+    report.record_cert(
+        "dep stamps: stamps out of order",
+        certify_stamps(&plan, &[dep("u", 5), dep("t", 3)], &versions),
+    );
+    report.record_cert(
+        "dep stamps: duplicated stamp",
+        certify_stamps(&plan, &[dep("t", 3), dep("t", 3), dep("u", 5)], &versions),
+    );
+    report.record_cert(
+        "dep stamps: stamp not catalog-cased",
+        certify_stamps(&plan, &[dep("T", 3), dep("u", 5)], &versions),
+    );
+    report.record_cert(
+        "dep stamps: missing stamp for scanned table u",
+        certify_stamps(&plan, &[dep("t", 3)], &versions),
+    );
+    report.record_cert(
+        "dep stamps: stale version for t",
+        certify_stamps(&plan, &[dep("t", 2), dep("u", 5)], &versions),
+    );
+    report.record_cert(
+        "dep stamps: phantom stamp for unscanned table v",
+        certify_stamps(&plan, &[dep("t", 3), dep("u", 5), dep("v", 1)], &versions),
+    );
 }

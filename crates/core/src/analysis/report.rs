@@ -20,11 +20,16 @@ pub struct QueryAnalysis {
     pub rules_fired: usize,
 }
 
-/// Full analyzer run: corpus sweep plus the mutation self-test.
+/// Full analyzer run: corpus sweep plus the fuse-contract and
+/// reuse-soundness mutation self-tests.
 #[derive(Debug, Clone, Default)]
 pub struct AnalysisReport {
     pub queries: Vec<QueryAnalysis>,
     pub mutation: MutationReport,
+    /// Reuse-corruption corpus (`run_reuse_self_test`): seeded splice /
+    /// subsumption / maintainability / stamp corruptions plus pristine
+    /// false-positive controls for the reuse-soundness prover.
+    pub reuse: MutationReport,
 }
 
 impl AnalysisReport {
@@ -34,9 +39,11 @@ impl AnalysisReport {
     }
 
     /// Whether the run meets the CI gate: no final-plan violations and a
-    /// mutation kill rate of at least 95%.
+    /// kill rate of at least 95% on both mutation corpora.
     pub fn passes(&self) -> bool {
-        self.total_violations() == 0 && self.mutation.kill_rate() >= 0.95
+        self.total_violations() == 0
+            && self.mutation.kill_rate() >= 0.95
+            && self.reuse.kill_rate() >= 0.95
     }
 
     pub fn to_json(&self) -> String {
@@ -64,39 +71,46 @@ impl AnalysisReport {
             "  \"total_violations\": {},\n",
             self.total_violations()
         ));
-        out.push_str("  \"mutation\": {\n");
-        out.push_str(&format!(
-            "    \"total\": {},\n    \"killed\": {},\n    \"kill_rate\": {:.4},\n",
-            self.mutation.total(),
-            self.mutation.killed(),
-            self.mutation.kill_rate()
-        ));
-        let survivors = self
-            .mutation
-            .survivors()
-            .iter()
-            .map(|s| format!("\"{}\"", escape(s)))
-            .collect::<Vec<_>>()
-            .join(", ");
-        out.push_str(&format!("    \"survivors\": [{survivors}],\n"));
-        out.push_str("    \"outcomes\": [\n");
-        for (i, o) in self.mutation.outcomes.iter().enumerate() {
-            out.push_str(&format!(
-                "      {{\"description\": \"{}\", \"killed\": {}, \"detail\": \"{}\"}}{}\n",
-                escape(&o.description),
-                o.killed,
-                escape(&o.detail),
-                if i + 1 < self.mutation.outcomes.len() {
-                    ","
-                } else {
-                    ""
-                },
-            ));
-        }
-        out.push_str("    ]\n  },\n");
+        out.push_str("  \"mutation\": ");
+        out.push_str(&mutation_json(&self.mutation));
+        out.push_str(",\n");
+        out.push_str("  \"reuse\": ");
+        out.push_str(&mutation_json(&self.reuse));
+        out.push_str(",\n");
         out.push_str(&format!("  \"passes\": {}\n}}\n", self.passes()));
         out
     }
+}
+
+/// Render one mutation corpus (fuse-contract or reuse-soundness) as a
+/// JSON object at two-space base indent.
+fn mutation_json(m: &MutationReport) -> String {
+    let mut out = String::from("{\n");
+    out.push_str(&format!(
+        "    \"total\": {},\n    \"killed\": {},\n    \"kill_rate\": {:.4},\n",
+        m.total(),
+        m.killed(),
+        m.kill_rate()
+    ));
+    let survivors = m
+        .survivors()
+        .iter()
+        .map(|s| format!("\"{}\"", escape(s)))
+        .collect::<Vec<_>>()
+        .join(", ");
+    out.push_str(&format!("    \"survivors\": [{survivors}],\n"));
+    out.push_str("    \"outcomes\": [\n");
+    for (i, o) in m.outcomes.iter().enumerate() {
+        out.push_str(&format!(
+            "      {{\"description\": \"{}\", \"killed\": {}, \"detail\": \"{}\"}}{}\n",
+            escape(&o.description),
+            o.killed,
+            escape(&o.detail),
+            if i + 1 < m.outcomes.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("    ]\n  }");
+    out
 }
 
 fn escape(s: &str) -> String {

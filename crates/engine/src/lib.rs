@@ -634,9 +634,21 @@ impl Session {
             WorkloadOutcome {
                 plans: plans.clone(),
                 notes: vec![Vec::new(); plans.len()],
+                rejections: Vec::new(),
                 report: WorkloadReport::default(),
             }
         };
+        // Uncertified reuse rewrites already reverted to cold execution
+        // (the batch stays correct); under FUSION_ANALYZE=strict a
+        // certificate rejection is a hard error on the whole batch, the
+        // same contract strict mode applies to analyzer violations.
+        if fusion_core::analysis::strict_from_env() && !outcome.rejections.is_empty() {
+            return Err(FusionError::Internal(format!(
+                "FUSION_ANALYZE=strict: {} reuse rewrite(s) failed certification: {}",
+                outcome.rejections.len(),
+                outcome.rejections.join("; "),
+            )));
+        }
         let mut rewritten = outcome.plans.into_iter().zip(outcome.notes);
         let mut results = Vec::with_capacity(slots.len());
         for (i, slot) in slots.into_iter().enumerate() {
@@ -804,7 +816,10 @@ fn push_trace_sections(text: &mut String, report: &OptimizerReport, metrics: Opt
             > 0
     });
     let warm = metrics.filter(|m| m.reuse_cache_refreshes + m.subsumption_hits > 0);
-    if !report.reuse.is_empty() || faults.is_some() || warm.is_some() {
+    let certs = metrics.filter(|m| {
+        m.reuse_certificates_issued + m.reuse_certificates_rejected > 0
+    });
+    if !report.reuse.is_empty() || faults.is_some() || warm.is_some() || certs.is_some() {
         text.push_str("-- workload reuse --\n");
         for note in &report.reuse {
             text.push_str(note);
@@ -814,6 +829,12 @@ fn push_trace_sections(text: &mut String, report: &OptimizerReport, metrics: Opt
             text.push_str(&format!(
                 "incremental reuse: reuse_cache_refreshes={} subsumption_hits={}\n",
                 m.reuse_cache_refreshes, m.subsumption_hits,
+            ));
+        }
+        if let Some(m) = certs {
+            text.push_str(&format!(
+                "reuse prover: certificates_issued={} certificates_rejected={}\n",
+                m.reuse_certificates_issued, m.reuse_certificates_rejected,
             ));
         }
         if let Some(m) = faults {

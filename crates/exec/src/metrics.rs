@@ -99,6 +99,12 @@ pub struct ExecMetrics {
     /// Per-fingerprint circuit breakers that transitioned to open after
     /// repeated shared-execution failures.
     circuit_breaker_trips: AtomicU64,
+    /// Reuse-layer rewrites (splices, subsumption serves, incremental
+    /// refreshes) granted a soundness certificate before serving rows.
+    reuse_certificates_issued: AtomicU64,
+    /// Reuse-layer rewrites refused a certificate; the rewrite reverted to
+    /// cold execution (detach, evict-and-recompute) with a typed reason.
+    reuse_certificates_rejected: AtomicU64,
 }
 
 impl ExecMetrics {
@@ -230,6 +236,14 @@ impl ExecMetrics {
         self.circuit_breaker_trips.fetch_add(1, Ordering::Relaxed);
     }
 
+    pub fn add_reuse_certificate_issued(&self) {
+        self.reuse_certificates_issued.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn add_reuse_certificate_rejected(&self) {
+        self.reuse_certificates_rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
     pub fn bytes_scanned(&self) -> u64 {
         self.bytes_scanned.load(Ordering::Relaxed)
     }
@@ -342,6 +356,14 @@ impl ExecMetrics {
         self.circuit_breaker_trips.load(Ordering::Relaxed)
     }
 
+    pub fn reuse_certificates_issued(&self) -> u64 {
+        self.reuse_certificates_issued.load(Ordering::Relaxed)
+    }
+
+    pub fn reuse_certificates_rejected(&self) -> u64 {
+        self.reuse_certificates_rejected.load(Ordering::Relaxed)
+    }
+
     /// The *currently* reserved operator state (not the peak), clamped at
     /// zero. Used for enforced-budget admission checks.
     pub fn current_state_bytes(&self) -> u64 {
@@ -389,6 +411,8 @@ impl ExecMetrics {
             consumers_detached: self.consumers_detached(),
             cache_poison_evictions: self.cache_poison_evictions(),
             circuit_breaker_trips: self.circuit_breaker_trips(),
+            reuse_certificates_issued: self.reuse_certificates_issued(),
+            reuse_certificates_rejected: self.reuse_certificates_rejected(),
         }
     }
 }
@@ -442,6 +466,11 @@ pub struct MetricsSnapshot {
     pub consumers_detached: u64,
     pub cache_poison_evictions: u64,
     pub circuit_breaker_trips: u64,
+    /// Reuse-soundness prover counters (see `DESIGN.md` §16): rewrites
+    /// that were granted a certificate before serving rows, and rewrites
+    /// refused one (reverted to cold execution with a typed reason).
+    pub reuse_certificates_issued: u64,
+    pub reuse_certificates_rejected: u64,
 }
 
 impl MetricsSnapshot {
@@ -505,6 +534,12 @@ impl MetricsSnapshot {
             circuit_breaker_trips: self
                 .circuit_breaker_trips
                 .saturating_sub(base.circuit_breaker_trips),
+            reuse_certificates_issued: self
+                .reuse_certificates_issued
+                .saturating_sub(base.reuse_certificates_issued),
+            reuse_certificates_rejected: self
+                .reuse_certificates_rejected
+                .saturating_sub(base.reuse_certificates_rejected),
         }
     }
 }

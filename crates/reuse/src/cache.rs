@@ -32,6 +32,7 @@ use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 
 use fusion_common::Value;
+use fusion_core::analysis::{certify_maintainability, render_violations, ReuseCertificate};
 use fusion_exec::{
     execute_plan_profiled, BudgetedReservation, Catalog, ExecContext, ExecMetrics, Row,
 };
@@ -39,6 +40,8 @@ use fusion_expr::AggFunc;
 use fusion_plan::LogicalPlan;
 
 use crate::fingerprint::Fingerprint;
+
+pub use fusion_core::analysis::MaintainShape;
 
 /// Configuration for the shared-subplan cache.
 #[derive(Debug, Clone)]
@@ -83,9 +86,9 @@ struct Entry {
     /// partitions, and so subsumption lookups can match a consumer
     /// against resident supersets.
     plan: LogicalPlan,
-    /// `(table, catalog version at execution time)` for every base table
-    /// the cached subplan read.
-    deps: Vec<(String, u64)>,
+    /// Canonical `(table, catalog version at execution time)` stamps for
+    /// every base table the cached subplan read.
+    deps: DepStamps,
     /// FNV-1a checksum of `rows` at admission time; re-verified on every
     /// hit so corrupted contents are evicted instead of served.
     checksum: u64,
@@ -125,161 +128,55 @@ pub fn rows_checksum(rows: &[Row]) -> u64 {
     h.0
 }
 
-/// How a cached subplan's result can be maintained under a pure append
-/// to its base table(s). See `DESIGN.md` §15 for the shape table.
+/// Canonical dependency stamps: `(table, catalog version)` pairs in
+/// strictly ascending table order, lowercased to the catalog's casing,
+/// exactly one stamp per table. The single constructor canonicalizes, so
+/// a non-canonical stamp vector — the PR-8 class of bug where interleaved
+/// or mixed-case scans produced duplicate stamps that could never all
+/// match the version map — is unrepresentable.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub enum MaintainShape {
-    /// Distributive single-table chain (Scan/Filter/Project/UnionAll over
-    /// one table): re-executing over only the delta partitions and
-    /// appending the delta rows reproduces a cold run exactly (appended
-    /// partitions land at the end of the partition order).
-    AppendRows,
-    /// Aggregate — bare, or under a column-only `Project` — over a
-    /// distributive input whose aggregate functions all merge losslessly
-    /// from *finished* values (COUNT/COUNT(*), integer SUM, MIN, MAX — no
-    /// DISTINCT, no AVG, no float SUM): group-wise merge of the cached
-    /// rows with the delta's partial aggregate, re-sorted by group key to
-    /// match the executor's deterministic output order. Positions are in
-    /// the cached row layout (post-projection when a `Project` sits on
-    /// top), so the merge works directly on the rows as cached.
-    MergeAggregate {
-        /// Expected cached/delta row arity.
-        arity: usize,
-        /// Positions of the grouping columns, in `group_by` order — the
-        /// merge key, and the sort key a cold run orders output by.
-        key_positions: Vec<usize>,
-        /// Positions carrying finished aggregate values, with the merge
-        /// function for each.
-        agg_positions: Vec<(usize, AggFunc)>,
-    },
-}
+pub struct DepStamps(Vec<(String, u64)>);
 
-/// Only Scan/Filter/Project/UnionAll distribute over a partition append:
-/// each emits rows of new partitions independently of old ones, in
-/// partition order. (ConstantTable is deliberately excluded — its rows
-/// would be re-emitted, duplicated, by a delta execution.)
-fn distributive(plan: &LogicalPlan) -> bool {
-    match plan {
-        LogicalPlan::Scan(_) => true,
-        LogicalPlan::Filter(f) => distributive(&f.input),
-        LogicalPlan::Project(p) => distributive(&p.input),
-        LogicalPlan::UnionAll(u) => u.inputs.iter().all(distributive),
-        _ => false,
+impl DepStamps {
+    /// Canonicalize raw stamps: lowercase every table name, sort, and
+    /// dedup (sort *before* dedup so multi-cased references to the same
+    /// table collapse to one stamp).
+    pub fn new(mut deps: Vec<(String, u64)>) -> Self {
+        for (t, _) in &mut deps {
+            *t = t.to_ascii_lowercase();
+        }
+        deps.sort();
+        deps.dedup();
+        debug_assert!(
+            deps.windows(2).all(|w| w[0].0 < w[1].0),
+            "canonical dep stamps must be strictly ascending by table: {deps:?}"
+        );
+        DepStamps(deps)
     }
-}
 
-/// Merge functions for a mergeable aggregate (one per assignment), or
-/// `None` if any function cannot merge from finished values or the
-/// aggregate's input is not distributive.
-fn mergeable_aggregate(agg: &fusion_plan::Aggregate) -> Option<Vec<AggFunc>> {
-    if !distributive(&agg.input) {
-        return None;
+    /// Stamp a plan against the current catalog versions: one stamp per
+    /// scanned base table at its current version. `None` when the plan
+    /// reads a table the version map does not know — an unversionable
+    /// result must not be cached at all.
+    pub fn for_plan(plan: &LogicalPlan, versions: &HashMap<String, u64>) -> Option<DepStamps> {
+        let deps = plan
+            .scanned_tables()
+            .iter()
+            .map(|t| {
+                let key = t.to_ascii_lowercase();
+                versions.get(&key).map(|v| (key.clone(), *v))
+            })
+            .collect::<Option<Vec<_>>>()?;
+        Some(DepStamps::new(deps))
     }
-    let input_schema = agg.input.schema();
-    let mut funcs = Vec::with_capacity(agg.aggregates.len());
-    for a in &agg.aggregates {
-        if a.agg.distinct {
-            return None;
-        }
-        let mergeable = match a.agg.func {
-            AggFunc::Count | AggFunc::CountStar | AggFunc::Min | AggFunc::Max => true,
-            // Integer sums merge exactly; float sums are left out —
-            // `old_total + delta_total` regroups the additions and
-            // need not be bit-identical to a cold left-to-right fold.
-            AggFunc::Sum => a
-                .agg
-                .arg
-                .as_ref()
-                .and_then(|e| e.data_type(&input_schema).ok())
-                == Some(fusion_common::DataType::Int64),
-            AggFunc::Avg => false,
-        };
-        if !mergeable {
-            return None;
-        }
-        funcs.push(a.agg.func);
-    }
-    Some(funcs)
-}
 
-/// Walk a chain of column-only `Project`s down to an `Aggregate`,
-/// composing the projections: returns, for each output position of
-/// `plan`, the aggregate-schema column id it carries, plus the aggregate
-/// itself. `None` when any layer computes an expression (merging finished
-/// values through arithmetic is not possible) or the chain bottoms out in
-/// something other than an `Aggregate`.
-fn project_chain(plan: &LogicalPlan) -> Option<(Vec<fusion_common::ColumnId>, &fusion_plan::Aggregate)> {
-    match plan {
-        LogicalPlan::Aggregate(a) => {
-            let ids = a
-                .group_by
-                .iter()
-                .copied()
-                .chain(a.aggregates.iter().map(|x| x.id))
-                .collect();
-            Some((ids, a))
-        }
-        LogicalPlan::Project(p) => {
-            let (inner_src, agg) = project_chain(&p.input)?;
-            let inner_schema = p.input.schema();
-            let mut out = Vec::with_capacity(p.exprs.len());
-            for pe in &p.exprs {
-                let fusion_expr::Expr::Column(id) = &pe.expr else {
-                    return None;
-                };
-                let j = inner_schema.fields().iter().position(|f| f.id == *id)?;
-                out.push(inner_src[j]);
-            }
-            Some((out, agg))
-        }
-        _ => None,
+    pub fn as_slice(&self) -> &[(String, u64)] {
+        &self.0
     }
-}
 
-/// Merge shape for a mergeable aggregate under zero or more column-only
-/// projections — the planner's usual `SELECT g, SUM(x) .. GROUP BY g`
-/// output shape. Every grouping column must survive the projections (else
-/// two distinct groups could collide in the cached layout); aggregate
-/// columns may be dropped, duplicated, or reordered freely.
-fn merge_shape(plan: &LogicalPlan) -> Option<MaintainShape> {
-    let (src_ids, agg) = project_chain(plan)?;
-    let funcs = mergeable_aggregate(agg)?;
-    let mut key_positions = Vec::with_capacity(agg.group_by.len());
-    for gid in &agg.group_by {
-        key_positions.push(src_ids.iter().position(|id| id == gid)?);
+    pub fn into_vec(self) -> Vec<(String, u64)> {
+        self.0
     }
-    let mut agg_positions = Vec::new();
-    for (pos, id) in src_ids.iter().enumerate() {
-        if let Some(j) = agg.aggregates.iter().position(|a| a.id == *id) {
-            agg_positions.push((pos, funcs[j]));
-        }
-    }
-    Some(MaintainShape::MergeAggregate {
-        arity: src_ids.len(),
-        key_positions,
-        agg_positions,
-    })
-}
-
-/// Classify a cached subplan as maintainable under appends, or `None`
-/// for shapes that must fall back to evict-and-recompute (joins, sorts,
-/// limits, windows, AVG / DISTINCT / float-SUM aggregates, multi-table
-/// row streams whose interleaving a delta run cannot reproduce).
-pub fn maintain_shape(plan: &LogicalPlan) -> Option<MaintainShape> {
-    if let Some(shape) = merge_shape(plan) {
-        return Some(shape);
-    }
-    if distributive(plan) {
-        let mut tables = plan.scanned_tables();
-        tables.dedup();
-        // More than one base table would interleave old and delta rows
-        // differently than a cold run; only the aggregate path (which
-        // re-sorts) tolerates that.
-        if tables.len() == 1 {
-            return Some(MaintainShape::AppendRows);
-        }
-    }
-    None
 }
 
 /// Merge one finished aggregate value with the same group's delta value,
@@ -362,6 +259,10 @@ pub struct ReuseCache {
     entries: HashMap<u64, Entry>,
     uses: HashMap<u64, u64>,
     clock: u64,
+    /// Typed certificate rejections (e.g. a refresh refused because the
+    /// cached shape is not maintainable) accumulated since the last
+    /// drain; the workload layer folds them into its EXPLAIN notes.
+    rejections: Vec<String>,
 }
 
 impl ReuseCache {
@@ -375,7 +276,20 @@ impl ReuseCache {
             entries: HashMap::new(),
             uses: HashMap::new(),
             clock: 0,
+            rejections: Vec::new(),
         }
+    }
+
+    /// Drain the typed certificate-rejection notes accumulated by lookups
+    /// and refreshes since the last call.
+    pub fn drain_rejections(&mut self) -> Vec<String> {
+        std::mem::take(&mut self.rejections)
+    }
+
+    /// The stored plan of a resident entry, for re-certification by the
+    /// workload layer before a subsumption serve.
+    pub fn entry_plan(&self, fp: Fingerprint) -> Option<&LogicalPlan> {
+        self.entries.get(&fp.0).map(|e| &e.plan)
     }
 
     /// Record one observation of a fingerprint and return the cumulative
@@ -405,6 +319,7 @@ impl ReuseCache {
         self.entries.get(&fp.0).is_some_and(|e| {
             e.encoding == encoding
                 && e.deps
+                    .as_slice()
                     .iter()
                     .all(|(t, v)| versions.get(t).copied().unwrap_or(0) == *v)
         })
@@ -430,15 +345,17 @@ impl ReuseCache {
         }
         let stale = e
             .deps
+            .as_slice()
             .iter()
             .any(|(t, v)| versions.get(t).copied().unwrap_or(0) != *v);
         if !stale {
             return true;
         }
         e.deps
+            .as_slice()
             .iter()
             .all(|(t, v)| catalog.delta_partitions_since(t, *v).is_some())
-            && maintain_shape(&e.plan).is_some()
+            && certify_maintainability(&e.plan).is_ok()
     }
 
     /// Look up a fingerprint. A stale entry (any dependency's catalog
@@ -465,6 +382,7 @@ impl ReuseCache {
         }
         let stale = entry
             .deps
+            .as_slice()
             .iter()
             .any(|(t, v)| versions.get(t).copied().unwrap_or(0) != *v);
         if stale {
@@ -564,7 +482,26 @@ impl ReuseCache {
         catalog: &Catalog,
         metrics: &ExecMetrics,
     ) -> Result<(Entry, usize), bool> {
-        let shape = maintain_shape(&entry.plan).ok_or(false)?;
+        // The refresh only runs on a *certified* maintain shape, derived
+        // from the stored plan by the reuse-soundness prover. A rejection
+        // is the typed fallback to evict-and-recompute (always sound),
+        // recorded for EXPLAIN and counted on the metrics.
+        let shape = match certify_maintainability(&entry.plan) {
+            Ok(ReuseCertificate::Maintain(shape)) => {
+                metrics.add_reuse_certificate_issued();
+                shape
+            }
+            Ok(_) => return Err(false),
+            Err(v) => {
+                metrics.add_reuse_certificate_rejected();
+                self.rejections.push(format!(
+                    "incremental refresh rejected ({}): {}",
+                    entry.plan.op_name(),
+                    render_violations(&v)
+                ));
+                return Err(false);
+            }
+        };
         // Verify integrity *before* building on the cached rows: merging
         // onto poisoned rows would launder the corruption into a freshly
         // restamped checksum.
@@ -575,7 +512,7 @@ impl ReuseCache {
         // range for dependencies that did not move at all).
         let mut deltas: Vec<(String, std::ops::Range<usize>)> = Vec::new();
         let mut any_delta = false;
-        for (t, v) in &entry.deps {
+        for (t, v) in entry.deps.as_slice() {
             let range = catalog.delta_partitions_since(t, *v).ok_or(false)?;
             any_delta |= !range.is_empty();
             deltas.push((t.clone(), range));
@@ -649,11 +586,14 @@ impl ReuseCache {
             }
         };
         // Restamp: the refreshed rows are exactly what a cold run over
-        // the current versions would produce.
-        let deps: Vec<(String, u64)> = deltas
-            .iter()
-            .map(|(t, _)| (t.clone(), catalog.table_version(t)))
-            .collect();
+        // the current versions would produce. The constructor keeps the
+        // stamps canonical.
+        let deps = DepStamps::new(
+            deltas
+                .iter()
+                .map(|(t, _)| (t.clone(), catalog.table_version(t)))
+                .collect(),
+        );
         self.clock += 1;
         let checksum = rows_checksum(&new_rows);
         Ok((
@@ -688,7 +628,7 @@ impl ReuseCache {
         rows: Arc<Vec<Row>>,
         slots: Vec<String>,
         plan: &LogicalPlan,
-        deps: Vec<(String, u64)>,
+        deps: DepStamps,
         metrics: &ExecMetrics,
     ) -> bool {
         if self.uses(fp) < self.cfg.admit_min_uses {
@@ -755,7 +695,10 @@ impl ReuseCache {
     /// The dependency stamps of every resident entry, for tests asserting
     /// stamping invariants (exactly one dep per table, catalog-cased).
     pub fn entry_deps(&self) -> Vec<Vec<(String, u64)>> {
-        self.entries.values().map(|e| e.deps.clone()).collect()
+        self.entries
+            .values()
+            .map(|e| e.deps.as_slice().to_vec())
+            .collect()
     }
 
     /// Corrupt a cached entry's rows *without* touching its checksum —
@@ -857,7 +800,7 @@ mod tests {
     fn admission_requires_min_uses() {
         let mut c = ReuseCache::new(ReuseCacheConfig::default());
         let m = ExecMetrics::new();
-        let deps = vec![("t".to_string(), 1)];
+        let deps = DepStamps::new(vec![("t".to_string(), 1)]);
         assert!(!c.admit(fp(1), "e1", rows(4, 7), vec!["s".into()], &plan(), deps.clone(), &m));
         c.observe(fp(1));
         c.observe(fp(1));
@@ -877,7 +820,7 @@ mod tests {
             rows(4, 7),
             vec!["s".into()],
             &plan(),
-            vec![("t".to_string(), 1)],
+            DepStamps::new(vec![("t".to_string(), 1)]),
             &m
         ));
         assert!(c.lookup(fp(1), "e1", &cat(), &versions(1), &m).is_some());
@@ -907,7 +850,7 @@ mod tests {
                 rows(10, i as i64),
                 vec!["s".into()],
                 &plan(),
-                vec![("t".to_string(), 1)],
+                DepStamps::new(vec![("t".to_string(), 1)]),
                 &m
             ));
         }
@@ -931,7 +874,7 @@ mod tests {
             rows(4, 7),
             vec!["s".into()],
             &plan(),
-            vec![("t".to_string(), 1)],
+            DepStamps::new(vec![("t".to_string(), 1)]),
             &m
         ));
         assert!(c.lookup(fp(1), "e", &cat(), &versions(1), &m).is_some());
@@ -962,7 +905,7 @@ mod tests {
             Arc::new(Vec::new()),
             vec!["s".into()],
             &plan(),
-            vec![("t".to_string(), 1)],
+            DepStamps::new(vec![("t".to_string(), 1)]),
             &m
         ));
         assert!(c.corrupt_entry(fp(2)));
@@ -977,7 +920,7 @@ mod tests {
             ..ReuseCacheConfig::default()
         });
         let m = ExecMetrics::new();
-        let deps = vec![("t".to_string(), 1)];
+        let deps = DepStamps::new(vec![("t".to_string(), 1)]);
         c.observe(fp(1));
         assert!(c.admit(fp(1), "e", rows(4, 7), vec!["s".into()], &plan(), deps.clone(), &m));
         assert!(c.corrupt_entry(fp(1)));
@@ -1004,9 +947,46 @@ mod tests {
             rows(6, 0),
             vec!["s".into()],
             &plan(),
-            vec![("t".to_string(), 1)],
+            DepStamps::new(vec![("t".to_string(), 1)]),
             &m
         ));
         assert!(c.is_empty());
+    }
+
+    /// Regression for the PR-8 stamping bug class: interleaved and
+    /// mixed-case references to the same table must collapse to a single
+    /// catalog-cased stamp at *construction* time — the constructor
+    /// canonicalizes, so a non-canonical stamp vector is unrepresentable.
+    #[test]
+    fn dep_stamps_canonicalize_mixed_case_duplicates() {
+        let stamps = DepStamps::new(vec![
+            ("Orders".to_string(), 3),
+            ("customers".to_string(), 1),
+            ("ORDERS".to_string(), 3),
+            ("orders".to_string(), 3),
+        ]);
+        assert_eq!(
+            stamps.as_slice(),
+            &[("customers".to_string(), 1), ("orders".to_string(), 3)]
+        );
+
+        // `for_plan` stamps scanned tables at their current versions and
+        // refuses to stamp a plan reading an unversioned table.
+        let gen = fusion_common::IdGen::new();
+        let b = fusion_plan::PlanBuilder::scan(
+            &gen,
+            "Orders",
+            &[fusion_plan::builder::ColumnDef::new(
+                "a",
+                fusion_common::DataType::Int64,
+                false,
+            )],
+        );
+        let scan = b.build();
+        let mut vers = HashMap::new();
+        assert!(DepStamps::for_plan(&scan, &vers).is_none(), "unknown table");
+        vers.insert("orders".to_string(), 7);
+        let stamped = DepStamps::for_plan(&scan, &vers).unwrap();
+        assert_eq!(stamped.as_slice(), &[("orders".to_string(), 7)]);
     }
 }

@@ -1,81 +1,30 @@
 //! Plan canonicalization and fingerprinting — layer 1 of workload reuse.
 //!
-//! A [`Fingerprint`] is a stable 64-bit hash of a *canonical serialization*
-//! of a logical plan. Two subplans receive the same fingerprint exactly
-//! when they compute the same relation regardless of the accidents of how
-//! they were written:
+//! The canonical encoder itself lives in `fusion_core::analysis::canon`
+//! (the reuse-soundness prover certifies rewrites in the same canonical
+//! string space the cache keys on, so both must share one encoder); this
+//! module re-exports it and layers the reuse-relationship classification
+//! on top:
 //!
-//! * **alias-insensitive** — output names never enter the encoding; column
-//!   identity is expressed structurally (base table + ordinal at scans,
-//!   canonical expression strings above them), so `SELECT a AS x` and
-//!   `SELECT a AS y` fingerprint identically;
-//! * **instance-insensitive** — fresh [`fusion_common::ColumnId`]s minted
-//!   per scan instantiation are resolved to structural tokens, so two
-//!   plannings of the same SQL fingerprint identically;
-//! * **order-insensitive where semantics are** — conjuncts/disjuncts are
-//!   sorted, commutative comparison operands are ordered, `Inner`/`Cross`
-//!   join children and `UnionAll` inputs are encoded in canonical order,
-//!   aggregate group/agg lists are sorted.
-//!
-//! Alongside the fingerprint, [`CanonicalForm`] carries one *slot* string
-//! per output position: the canonical identity of that column. Slots let a
-//! consumer whose output layout is a permutation of a cached producer's
-//! (e.g. the two sides of a canonically-reordered join) align rows
-//! position-by-position before splicing them into its plan.
-//!
-//! Self-joins are handled by prefixing join sides (`a.`/`b.` in canonical
-//! order), so `l.x = r.x` and `l.x = l.x` over two scans of the same table
-//! canonicalize differently.
+//! * [`Fingerprint`] / [`CanonicalForm`] — a stable 64-bit hash of the
+//!   canonical serialization plus per-position slot strings, alias-,
+//!   instance- and (where semantics allow) order-insensitive;
+//! * [`match_subplans`] — classify two subplans from exact equivalence
+//!   through subsumption down to a `Fuse` result or `⊥`;
+//! * [`subsumes`] — whether a cached plan's rows strictly contain a
+//!   consumer's. This is certificate-backed: it holds exactly when
+//!   [`fusion_core::analysis::certify_subsumption`] issues a certificate,
+//!   so the cache can never claim a subsumption the prover would refuse
+//!   to serve.
 
-use std::collections::HashMap;
-use std::fmt;
-
-use fusion_common::ColumnId;
+use fusion_core::analysis::certify_subsumption;
+use fusion_core::analysis::canon::{self, rendered_conjuncts, resolve_of};
 use fusion_core::{fuse, FuseContext, Fused};
-use fusion_expr::{simplify, split_conjuncts, split_disjuncts, AggregateExpr, Expr, WindowExpr};
-use fusion_plan::{JoinType, LogicalPlan};
+use fusion_plan::LogicalPlan;
 
-/// A stable 64-bit fingerprint of a canonicalized plan (FNV-1a over the
-/// canonical serialization).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub struct Fingerprint(pub u64);
-
-impl fmt::Display for Fingerprint {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "0x{:016x}", self.0)
-    }
-}
-
-/// The canonical form of a plan: its fingerprint, the full canonical
-/// serialization (collision-proof equality witness), and one canonical
-/// identity string per output column position.
-#[derive(Debug, Clone)]
-pub struct CanonicalForm {
-    pub fingerprint: Fingerprint,
-    /// Canonical identity of each output position, in the plan's *actual*
-    /// output order. Two plans with equal `encoding` have equal slot
-    /// multisets; a slot-wise bijection gives the row permutation between
-    /// them.
-    pub slots: Vec<String>,
-    /// The canonical serialization the fingerprint hashes. Comparing
-    /// encodings directly rules out hash collisions.
-    pub encoding: String,
-}
-
-/// Compute the canonical form of a plan.
-pub fn canonical_form(plan: &LogicalPlan) -> CanonicalForm {
-    let (encoding, slots) = encode(plan);
-    CanonicalForm {
-        fingerprint: Fingerprint(fnv64(&encoding)),
-        slots,
-        encoding,
-    }
-}
-
-/// Compute just the fingerprint of a plan.
-pub fn fingerprint(plan: &LogicalPlan) -> Fingerprint {
-    canonical_form(plan).fingerprint
-}
+pub use fusion_core::analysis::canon::{
+    canonical_form, fingerprint, position_map, CanonicalForm, Fingerprint,
+};
 
 /// How two subplans relate, from exact equivalence down to `⊥`.
 #[derive(Debug)]
@@ -114,33 +63,17 @@ pub fn match_subplans(p1: &LogicalPlan, p2: &LogicalPlan, ctx: &FuseContext) -> 
     }
 }
 
-/// Whether `superset`'s result strictly contains every row of `subset`'s:
-/// after peeling column-only projections off `superset` (planner output
-/// is always `Project`-rooted, and a column-only projection loses no
-/// rows), both are Filter roots over the same canonical input, and
-/// `subset`'s predicate carries every conjunct of `superset`'s plus at
-/// least one more. When this holds, re-applying `subset`'s *own full
-/// predicate* over `superset`'s rows recovers `subset`'s exact result —
-/// σ_p(σ_q(I)) = σ_p(I) whenever q ⊆ p — which is what the cache's
-/// subsumption serving relies on. Columns the projection dropped are the
-/// splicer's problem: it maps the consumer's input slots onto the cached
-/// slots and refuses the rewrite when one is missing.
+/// Whether `superset`'s result strictly contains every row of `subset`'s,
+/// recoverable by re-applying `subset`'s own predicate — backed by the
+/// reuse-soundness prover, which peels projection narrowing (computed
+/// output expressions included) off both sides, requires strict conjunct
+/// containment over the same canonical base, and checks that every
+/// consumer column is recoverable from the cached layout. See
+/// `fusion_core::analysis::reuse::certify_subsumption` for the proof
+/// obligations; callers that need the rejection reasons (for EXPLAIN)
+/// call the certifier directly.
 pub fn subsumes(superset: &LogicalPlan, subset: &LogicalPlan) -> bool {
-    let mut sup = superset;
-    while let LogicalPlan::Project(p) = sup {
-        if !p
-            .exprs
-            .iter()
-            .all(|pe| matches!(pe.expr, fusion_expr::Expr::Column(_)))
-        {
-            return false;
-        }
-        sup = &p.input;
-    }
-    matches!(
-        filter_subsumption(sup, subset),
-        Some(SubplanMatch::LeftSubsumesRight)
-    )
+    certify_subsumption(superset, subset).is_ok()
 }
 
 /// Subsumption fast path: both plans filter the same canonical input, and
@@ -149,24 +82,15 @@ fn filter_subsumption(p1: &LogicalPlan, p2: &LogicalPlan) -> Option<SubplanMatch
     let (LogicalPlan::Filter(f1), LogicalPlan::Filter(f2)) = (p1, p2) else {
         return None;
     };
-    let (enc1, slots1) = encode(&f1.input);
-    let (enc2, slots2) = encode(&f2.input);
+    let (enc1, slots1) = canon::encode(&f1.input);
+    let (enc2, slots2) = canon::encode(&f2.input);
     if enc1 != enc2 {
         return None;
     }
     let r1 = resolve_of(&f1.input, &slots1);
     let r2 = resolve_of(&f2.input, &slots2);
-    let set = |pred: &Expr, r: &Resolve| -> Vec<String> {
-        let mut cs: Vec<String> = split_conjuncts(&simplify(pred))
-            .iter()
-            .map(|c| render(c, r))
-            .collect();
-        cs.sort();
-        cs.dedup();
-        cs
-    };
-    let c1 = set(&f1.predicate, &r1);
-    let c2 = set(&f2.predicate, &r2);
+    let c1 = rendered_conjuncts(&f1.predicate, &r1);
+    let c2 = rendered_conjuncts(&f2.predicate, &r2);
     let contains = |sup: &[String], sub: &[String]| sub.iter().all(|c| sup.contains(c));
     if contains(&c1, &c2) && c1.len() > c2.len() {
         // p1 filters harder: p2's rows ⊇ p1's rows.
@@ -178,357 +102,6 @@ fn filter_subsumption(p1: &LogicalPlan, p2: &LogicalPlan) -> Option<SubplanMatch
     None
 }
 
-/// Given two canonically-equal plans, the permutation taking the
-/// producer's output positions to the consumer's: `map[j] = k` means
-/// consumer position `j` is fed by producer position `k`. Duplicate slots
-/// (e.g. a projection emitting the same expression twice) pair up
-/// greedily, which is sound because equal slots carry equal values.
-pub fn position_map(consumer_slots: &[String], producer_slots: &[String]) -> Option<Vec<usize>> {
-    let mut used = vec![false; producer_slots.len()];
-    consumer_slots
-        .iter()
-        .map(|s| {
-            let k = producer_slots
-                .iter()
-                .enumerate()
-                .position(|(k, p)| !used[k] && p == s)?;
-            used[k] = true;
-            Some(k)
-        })
-        .collect()
-}
-
-fn fnv64(s: &str) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for b in s.as_bytes() {
-        h ^= u64::from(*b);
-        h = h.wrapping_mul(0x100_0000_01b3);
-    }
-    h
-}
-
-type Resolve = HashMap<ColumnId, String>;
-
-fn resolve_of(plan: &LogicalPlan, slots: &[String]) -> Resolve {
-    plan.schema()
-        .fields()
-        .iter()
-        .zip(slots)
-        .map(|(f, s)| (f.id, s.clone()))
-        .collect()
-}
-
-fn resolve_slot(r: &Resolve, id: ColumnId) -> String {
-    r.get(&id)
-        .cloned()
-        .unwrap_or_else(|| format!("?{:?}", id))
-}
-
-/// Bottom-up canonical encoder. Returns the canonical serialization and
-/// the per-output-position slot strings.
-fn encode(plan: &LogicalPlan) -> (String, Vec<String>) {
-    match plan {
-        LogicalPlan::Scan(s) => {
-            let table = s.table.to_ascii_lowercase();
-            let slots: Vec<String> = s
-                .fields
-                .iter()
-                .zip(&s.column_indices)
-                .map(|(f, ord)| format!("{}.{}:{:?}", table, ord, f.data_type))
-                .collect();
-            let r = resolve_of(plan, &slots);
-            let mut filters: Vec<String> = s
-                .filters
-                .iter()
-                .map(|e| render(&simplify(e), &r))
-                .collect();
-            filters.sort();
-            filters.dedup();
-            let mut sorted = slots.clone();
-            sorted.sort();
-            (
-                format!("Scan({};[{}];[{}])", table, sorted.join(","), filters.join(",")),
-                slots,
-            )
-        }
-        LogicalPlan::Filter(f) => {
-            let (enc, slots) = encode(&f.input);
-            let r = resolve_of(&f.input, &slots);
-            (
-                format!("Filter({};{})", render(&simplify(&f.predicate), &r), enc),
-                slots,
-            )
-        }
-        LogicalPlan::Project(p) => {
-            let (enc, islots) = encode(&p.input);
-            let r = resolve_of(&p.input, &islots);
-            let slots: Vec<String> = p
-                .exprs
-                .iter()
-                .map(|pe| render(&simplify(&pe.expr), &r))
-                .collect();
-            let mut sorted = slots.clone();
-            sorted.sort();
-            (format!("Project([{}];{})", sorted.join(","), enc), slots)
-        }
-        LogicalPlan::Join(j) => encode_join(j),
-        LogicalPlan::Aggregate(a) => {
-            let (enc, islots) = encode(&a.input);
-            let r = resolve_of(&a.input, &islots);
-            let group_slots: Vec<String> = a
-                .group_by
-                .iter()
-                .map(|id| resolve_slot(&r, *id))
-                .collect();
-            let agg_slots: Vec<String> =
-                a.aggregates.iter().map(|ag| canon_agg(&ag.agg, &r)).collect();
-            let mut sg = group_slots.clone();
-            sg.sort();
-            let mut sa = agg_slots.clone();
-            sa.sort();
-            let encoding = format!(
-                "Aggregate([{}];[{}];{})",
-                sg.join(","),
-                sa.join(","),
-                enc
-            );
-            // Grouping columns keep their input identity (and thus their
-            // input slot); aggregate outputs are identified by their
-            // canonical aggregate string.
-            let slots = group_slots
-                .into_iter()
-                .chain(agg_slots.into_iter().map(|s| format!("agg.{s}")))
-                .collect();
-            (encoding, slots)
-        }
-        LogicalPlan::Window(w) => {
-            let (enc, islots) = encode(&w.input);
-            let r = resolve_of(&w.input, &islots);
-            let wslots: Vec<String> = w
-                .exprs
-                .iter()
-                .map(|wa| canon_window(&wa.window, &r))
-                .collect();
-            let mut sw = wslots.clone();
-            sw.sort();
-            let encoding = format!("Window([{}];{})", sw.join(","), enc);
-            let slots = islots
-                .into_iter()
-                .chain(wslots.into_iter().map(|s| format!("w.{s}")))
-                .collect();
-            (encoding, slots)
-        }
-        LogicalPlan::MarkDistinct(m) => {
-            let (enc, islots) = encode(&m.input);
-            let r = resolve_of(&m.input, &islots);
-            let mut cols: Vec<String> = m.columns.iter().map(|id| resolve_slot(&r, *id)).collect();
-            cols.sort();
-            let mask = render(&simplify(&m.mask), &r);
-            let mark = format!("mark[{}]:{}", cols.join(","), mask);
-            let encoding = format!("MarkDistinct({};{})", mark, enc);
-            let slots = islots.into_iter().chain(std::iter::once(mark)).collect();
-            (encoding, slots)
-        }
-        LogicalPlan::UnionAll(u) => {
-            let encoded: Vec<(String, Vec<String>)> = u.inputs.iter().map(encode).collect();
-            let mut encs: Vec<&str> = encoded.iter().map(|(e, _)| e.as_str()).collect();
-            encs.sort_unstable();
-            let encoding = format!("UnionAll([{}])", encs.join(";"));
-            // A union output position is fed by every input's same
-            // position; its identity is the (sorted) multiset of those
-            // provenances, so layout-permuted inputs yield distinct slots
-            // even when canonical child ordering hides the permutation in
-            // the encoding.
-            let slots = (0..u.fields.len())
-                .map(|i| {
-                    let mut feeds: Vec<&str> = encoded
-                        .iter()
-                        .filter_map(|(_, s)| s.get(i).map(String::as_str))
-                        .collect();
-                    feeds.sort_unstable();
-                    format!("u[{}]", feeds.join(","))
-                })
-                .collect();
-            (encoding, slots)
-        }
-        LogicalPlan::ConstantTable(c) => {
-            let slots: Vec<String> = c
-                .fields
-                .iter()
-                .enumerate()
-                .map(|(i, f)| format!("const{}:{:?}", i, f.data_type))
-                .collect();
-            let encoding = format!(
-                "ConstantTable([{}];{:?})",
-                slots.join(","),
-                c.rows
-            );
-            (encoding, slots)
-        }
-        LogicalPlan::EnforceSingleRow(e) => {
-            let (enc, slots) = encode(&e.input);
-            (format!("EnforceSingleRow({})", enc), slots)
-        }
-        LogicalPlan::Sort(s) => {
-            let (enc, slots) = encode(&s.input);
-            let r = resolve_of(&s.input, &slots);
-            let keys: Vec<String> = s
-                .keys
-                .iter()
-                .map(|k| {
-                    format!(
-                        "{}:{}:{}",
-                        render(&simplify(&k.expr), &r),
-                        k.asc,
-                        k.nulls_first
-                    )
-                })
-                .collect();
-            (format!("Sort([{}];{})", keys.join(","), enc), slots)
-        }
-        LogicalPlan::Limit(l) => {
-            let (enc, slots) = encode(&l.input);
-            (format!("Limit({};{})", l.fetch, enc), slots)
-        }
-    }
-}
-
-fn encode_join(j: &fusion_plan::Join) -> (String, Vec<String>) {
-    let (le, lslots) = encode(&j.left);
-    let (re, rslots) = encode(&j.right);
-    // Inner and cross joins are commutative: encode children in canonical
-    // (lexicographic) order so operand-swapped plans fingerprint equal.
-    // Slots still follow the *actual* output order; the canonical `a.`/`b.`
-    // prefixes make the permutation recoverable and keep self-join sides
-    // distinct.
-    let commutative = matches!(j.join_type, JoinType::Inner | JoinType::Cross);
-    let left_is_a = !(commutative && re < le);
-    let (a_enc, b_enc) = if left_is_a {
-        (le.as_str(), re.as_str())
-    } else {
-        (re.as_str(), le.as_str())
-    };
-    let prefix = |slots: &[String], p: &str| -> Vec<String> {
-        slots.iter().map(|s| format!("{p}.{s}")).collect()
-    };
-    let (left_slots, right_slots) = if left_is_a {
-        (prefix(&lslots, "a"), prefix(&rslots, "b"))
-    } else {
-        (prefix(&lslots, "b"), prefix(&rslots, "a"))
-    };
-    let mut r = resolve_of(&j.left, &left_slots);
-    r.extend(resolve_of(&j.right, &right_slots));
-    let cond = render(&simplify(&j.condition), &r);
-    let encoding = format!("Join({:?};{};{};{})", j.join_type, cond, a_enc, b_enc);
-    let slots = match j.join_type {
-        JoinType::Semi => left_slots,
-        _ => left_slots.into_iter().chain(right_slots).collect(),
-    };
-    (encoding, slots)
-}
-
-fn canon_agg(agg: &AggregateExpr, r: &Resolve) -> String {
-    let arg = agg
-        .arg
-        .as_ref()
-        .map(|a| render(&simplify(a), r))
-        .unwrap_or_else(|| "-".into());
-    format!(
-        "{:?}:{}:{}:{}",
-        agg.func,
-        agg.distinct,
-        arg,
-        render(&simplify(&agg.mask), r)
-    )
-}
-
-fn canon_window(w: &WindowExpr, r: &Resolve) -> String {
-    let arg = w
-        .arg
-        .as_ref()
-        .map(|a| render(&simplify(a), r))
-        .unwrap_or_else(|| "-".into());
-    let mut parts: Vec<String> = w.partition_by.iter().map(|id| resolve_slot(r, *id)).collect();
-    parts.sort();
-    format!(
-        "{:?}:{}:[{}]:{}",
-        w.func,
-        arg,
-        parts.join(","),
-        render(&simplify(&w.mask), r)
-    )
-}
-
-/// Render an expression canonically against a resolve map: columns become
-/// their slot strings, commutative operand bags are sorted, comparison
-/// operands are ordered (flipping the operator when needed).
-fn render(e: &Expr, r: &Resolve) -> String {
-    use fusion_expr::BinaryOp;
-    match e {
-        Expr::Column(id) => resolve_slot(r, *id),
-        Expr::Literal(v) => format!("{v:?}"),
-        Expr::Binary {
-            op: BinaryOp::And, ..
-        } => {
-            let mut cs: Vec<String> = split_conjuncts(e).iter().map(|c| render(c, r)).collect();
-            cs.sort();
-            cs.dedup();
-            format!("and({})", cs.join(","))
-        }
-        Expr::Binary {
-            op: BinaryOp::Or, ..
-        } => {
-            let mut ds: Vec<String> = split_disjuncts(e).iter().map(|d| render(d, r)).collect();
-            ds.sort();
-            ds.dedup();
-            format!("or({})", ds.join(","))
-        }
-        Expr::Binary { op, left, right } => {
-            let l = render(left, r);
-            let rr = render(right, r);
-            if let Some(flip) = op.commuted() {
-                if rr < l {
-                    return format!("bin({flip:?},{rr},{l})");
-                }
-            }
-            format!("bin({op:?},{l},{rr})")
-        }
-        Expr::Not(inner) => format!("not({})", render(inner, r)),
-        Expr::Negate(inner) => format!("neg({})", render(inner, r)),
-        Expr::IsNull(inner) => format!("isnull({})", render(inner, r)),
-        Expr::IsNotNull(inner) => format!("isnotnull({})", render(inner, r)),
-        Expr::Case {
-            branches,
-            else_expr,
-        } => {
-            let bs: Vec<String> = branches
-                .iter()
-                .map(|(c, v)| format!("{}=>{}", render(c, r), render(v, r)))
-                .collect();
-            let els = else_expr
-                .as_ref()
-                .map(|e| render(e, r))
-                .unwrap_or_else(|| "-".into());
-            format!("case([{}];{})", bs.join(","), els)
-        }
-        Expr::InList {
-            expr,
-            list,
-            negated,
-        } => {
-            let mut items: Vec<String> = list.iter().map(|i| render(i, r)).collect();
-            items.sort();
-            items.dedup();
-            format!("in({},{},[{}])", render(expr, r), negated, items.join(","))
-        }
-        Expr::Cast { expr, to } => format!("cast({},{:?})", render(expr, r), to),
-        Expr::ScalarFunction { func, args } => {
-            let rendered: Vec<String> = args.iter().map(|a| render(a, r)).collect();
-            format!("fn({:?},[{}])", func, rendered.join(","))
-        }
-    }
-}
-
 #[cfg(test)]
 #[allow(clippy::unwrap_used, clippy::panic)]
 mod tests {
@@ -536,7 +109,7 @@ mod tests {
     use fusion_common::{ColumnId, DataType, IdGen};
     use fusion_expr::{col, lit};
     use fusion_plan::builder::ColumnDef;
-    use fusion_plan::PlanBuilder;
+    use fusion_plan::{JoinType, PlanBuilder};
 
     fn cols() -> Vec<ColumnDef> {
         vec![
@@ -693,5 +266,59 @@ mod tests {
             }
             other => panic!("expected Fused, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn subsumption_covers_computed_projection_narrowing() {
+        // The cached superset projects a *computed* expression (a*b) over
+        // its filter; the consumer filters the same projection harder.
+        // Pre-certificate `subsumes` refused any non-column projection;
+        // the prover now accepts it (and refuses a mismatched expression).
+        let gen = IdGen::new();
+        let mk = |mul: bool, extra: bool| {
+            let (s, ids) = scan(&gen);
+            let expr = if mul {
+                col(ids[0]).mul(col(ids[1]))
+            } else {
+                col(ids[0]).add(col(ids[1]))
+            };
+            let filtered = LogicalPlan::Filter(fusion_plan::Filter {
+                input: Box::new(s.clone()),
+                predicate: col(ids[0]).gt(lit(5i64)),
+            });
+            let cached = LogicalPlan::Project(fusion_plan::Project {
+                input: Box::new(filtered),
+                exprs: vec![
+                    fusion_plan::ProjExpr::new(gen.fresh(), "a", col(ids[0])),
+                    fusion_plan::ProjExpr::new(gen.fresh(), "w", expr.clone()),
+                ],
+            });
+            let inner = LogicalPlan::Project(fusion_plan::Project {
+                input: Box::new(s),
+                exprs: vec![
+                    fusion_plan::ProjExpr::new(gen.fresh(), "a", col(ids[0])),
+                    fusion_plan::ProjExpr::new(gen.fresh(), "w", expr),
+                ],
+            });
+            let out = inner.schema().ids();
+            let pred = if extra {
+                col(out[0]).gt(lit(5i64)).and(col(out[1]).lt(lit(100i64)))
+            } else {
+                col(out[0]).gt(lit(5i64))
+            };
+            let consumer = LogicalPlan::Filter(fusion_plan::Filter {
+                input: Box::new(inner),
+                predicate: pred,
+            });
+            (cached, consumer)
+        };
+        let (cached, consumer) = mk(true, true);
+        assert!(subsumes(&cached, &consumer));
+        // Equal conjunct sets are an exact match, not a subsumption.
+        let (cached_eq, consumer_eq) = mk(true, false);
+        assert!(!subsumes(&cached_eq, &consumer_eq));
+        // A cached a+b cannot serve a consumer computing a*b.
+        let (cached_add, _) = mk(false, true);
+        assert!(!subsumes(&cached_add, &consumer));
     }
 }

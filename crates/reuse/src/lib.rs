@@ -41,7 +41,7 @@ use fusion_exec::{Catalog, ExecContext, ExecMetrics, FaultPolicy};
 use fusion_plan::LogicalPlan;
 
 pub use breaker::FailureBreaker;
-pub use cache::{rows_checksum, CachedRows, ReuseCache, ReuseCacheConfig};
+pub use cache::{rows_checksum, CachedRows, DepStamps, MaintainShape, ReuseCache, ReuseCacheConfig};
 pub use fingerprint::{
     canonical_form, fingerprint, match_subplans, CanonicalForm, Fingerprint, SubplanMatch,
 };
@@ -103,6 +103,7 @@ impl ReuseManager {
             _ => WorkloadOutcome {
                 plans: plans.to_vec(),
                 notes: vec![Vec::new(); plans.len()],
+                rejections: Vec::new(),
                 report: WorkloadReport::default(),
             },
         }

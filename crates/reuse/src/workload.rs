@@ -48,6 +48,10 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use fusion_common::{Field, IdGen};
+use fusion_core::analysis::{
+    certify_exact_splice, certify_fused_splice, certify_stamps, certify_subsumption,
+    render_violations,
+};
 use fusion_core::{analyze_plan, fuse, FuseContext};
 use fusion_exec::{
     execute_plan_profiled, Catalog, ExecContext, ExecMetrics, FaultPolicy, ReuseFaultSite, Row,
@@ -56,7 +60,7 @@ use fusion_expr::{simplify_filter, Expr};
 use fusion_plan::{ConstantTable, Filter, LogicalPlan, Project, ProjExpr};
 
 use crate::breaker::FailureBreaker;
-use crate::cache::ReuseCache;
+use crate::cache::{DepStamps, ReuseCache};
 use crate::fingerprint::{canonical_form, position_map, CanonicalForm};
 
 /// Tuning knobs for the workload optimizer.
@@ -95,6 +99,14 @@ pub struct WorkloadOutcome {
     /// Human-readable per-query reuse notes (rendered under
     /// `-- workload reuse --` in EXPLAIN ANALYZE).
     pub notes: Vec<Vec<String>>,
+    /// Certificate rejections from the reuse-soundness prover: splice,
+    /// subsumption, or dependency-stamp claims that failed certification.
+    /// Each rejected rewrite reverted to cold execution; under
+    /// `FUSION_ANALYZE=strict` the engine fails the batch instead.
+    /// Maintainability fallbacks (e.g. float-SUM refresh refusals) are
+    /// deliberately *not* here — they are correct typed fallbacks, not
+    /// soundness failures — and surface in `notes` only.
+    pub rejections: Vec<String>,
     /// Per-group accounting.
     pub report: WorkloadReport,
 }
@@ -195,6 +207,7 @@ pub fn plan_workload(
     let mut out = WorkloadOutcome {
         plans: plans.to_vec(),
         notes: vec![Vec::new(); plans.len()],
+        rejections: Vec::new(),
         report: WorkloadReport::default(),
     };
     if plans.len() < 2 && cache.is_empty() {
@@ -227,7 +240,7 @@ pub fn plan_workload(
     // no scans, so candidate collection naturally skips them.
     let fault = ctx.fault_policy();
     for q in 0..out.plans.len() {
-        let (rewritten, notes) = apply_subsumption(
+        let (rewritten, notes, rejections) = apply_subsumption(
             cfg,
             cache,
             &out.plans[q],
@@ -238,6 +251,8 @@ pub fn plan_workload(
         );
         out.plans[q] = rewritten;
         out.notes[q].extend(notes);
+        out.notes[q].extend(rejections.iter().cloned());
+        out.rejections.extend(rejections);
     }
     out
 }
@@ -287,11 +302,25 @@ pub fn apply_cache(
             metrics.add_fault_injected();
             continue;
         }
-        let Some(hit) =
-            cache.lookup(c.form.fingerprint, &c.form.encoding, catalog, &versions, metrics)
-        else {
+        let hit = cache.lookup(c.form.fingerprint, &c.form.encoding, catalog, &versions, metrics);
+        notes.extend(cache.drain_rejections());
+        let Some(hit) = hit else {
             continue;
         };
+        // Certificate gate: re-prove the exact-splice claim from the
+        // consumer plan itself before any cached row is served.
+        match certify_exact_splice(&c.plan, &c.form.encoding, &hit.slots) {
+            Ok(_) => metrics.add_reuse_certificate_issued(),
+            Err(v) => {
+                metrics.add_reuse_certificate_rejected();
+                notes.push(format!(
+                    "cache hit {} rejected by reuse prover ({}); running cold",
+                    c.form.fingerprint,
+                    render_violations(&v)
+                ));
+                continue;
+            }
+        }
         let Some(replacement) = splice_exact(&c.plan, &c.form.slots, &hit.slots, &hit.rows) else {
             continue;
         };
@@ -309,10 +338,13 @@ pub fn apply_cache(
             taken.push(c.path.clone());
         }
     }
-    // Exact misses may still be answerable from a cached superset.
-    let (result, sub_notes) =
+    // Exact misses may still be answerable from a cached superset. The
+    // single-query path has no batch to strict-fail, so certificate
+    // rejections surface as typed notes and the query stays cold.
+    let (result, sub_notes, sub_rejections) =
         apply_subsumption(cfg, cache, &result, catalog, &versions, fault, metrics);
     notes.extend(sub_notes);
+    notes.extend(sub_rejections);
     (result, notes)
 }
 
@@ -328,7 +360,10 @@ fn refresh_note(hit: &crate::cache::CachedRows) -> String {
 /// its Filter-rooted subplans: the consumer's own predicate over the
 /// cached superset rows recovers its exact result (σ_p over σ_q rows
 /// with q ⊆ p). Every splice is re-validated and analyzer-gated with
-/// revert-on-violation, like all other splices.
+/// revert-on-violation, like all other splices. Returns
+/// `(plan, notes, rejections)`: rejections are subsumption claims the
+/// reuse prover refused — the consumer stayed cold, and strict batches
+/// fail on them.
 fn apply_subsumption(
     cfg: &WorkloadConfig,
     cache: &mut ReuseCache,
@@ -337,9 +372,9 @@ fn apply_subsumption(
     versions: &HashMap<String, u64>,
     fault: &FaultPolicy,
     metrics: &ExecMetrics,
-) -> (LogicalPlan, Vec<String>) {
+) -> (LogicalPlan, Vec<String>, Vec<String>) {
     if cache.is_empty() {
-        return (plan.clone(), Vec::new());
+        return (plan.clone(), Vec::new(), Vec::new());
     }
     let candidates = collect_candidates(std::slice::from_ref(plan), cfg.min_nodes);
     let mut order: Vec<usize> = (0..candidates.len()).collect();
@@ -352,6 +387,7 @@ fn apply_subsumption(
     });
     let mut result = plan.clone();
     let mut notes = Vec::new();
+    let mut rejections = Vec::new();
     let mut taken: Vec<Vec<usize>> = Vec::new();
     for i in order {
         let c = &candidates[i];
@@ -374,9 +410,26 @@ fn apply_subsumption(
             metrics.add_fault_injected();
             continue;
         }
-        let Some((hit, fp)) = cache.lookup_subsuming(&c.plan, catalog, versions, metrics) else {
+        let looked = cache.lookup_subsuming(&c.plan, catalog, versions, metrics);
+        notes.extend(cache.drain_rejections());
+        let Some((hit, fp)) = looked else {
             continue;
         };
+        // Certificate gate: re-derive the subsumption proof against the
+        // cached entry's *plan* (not its match metadata) before serving.
+        match cache.entry_plan(fp).map(|p| certify_subsumption(p, &c.plan)) {
+            Some(Ok(_)) => metrics.add_reuse_certificate_issued(),
+            Some(Err(v)) => {
+                metrics.add_reuse_certificate_rejected();
+                rejections.push(format!(
+                    "subsumption serve {fp} rejected by reuse prover ({}); running cold",
+                    render_violations(&v)
+                ));
+                continue;
+            }
+            // Entry vanished between lookup and certification: stay cold.
+            None => continue,
+        }
         let Some(replacement) = splice_subsumed(&c.plan, &hit) else {
             continue;
         };
@@ -384,7 +437,7 @@ fn apply_subsumption(
         if rewritten.validate().is_ok() && analyze_plan(&rewritten).is_empty() {
             metrics.add_subsumption_hit();
             notes.push(format!(
-                "subsumption hit {fp}: consumer served from cached superset through \
+                "subsumption hit {fp}: certified; consumer served from cached superset through \
                  compensating filter ({} rows{})",
                 hit.rows.len(),
                 refresh_note(&hit),
@@ -393,7 +446,7 @@ fn apply_subsumption(
             taken.push(c.path.clone());
         }
     }
-    (result, notes)
+    (result, notes, rejections)
 }
 
 /// Splice for a subsumption hit: the consumer is `Filter_p(Input)` and
@@ -775,6 +828,14 @@ fn execute_group(
     } else {
         cache.lookup(fp, &group.form.encoding, catalog, versions, metrics)
     };
+    // Maintainability fallbacks recorded during the lookup (e.g. a
+    // float-SUM entry that could not be refreshed in place) are typed
+    // notes for every consumer, never strict failures.
+    for note in cache.drain_rejections() {
+        for &q in &queries {
+            out.notes[q].push(note.clone());
+        }
+    }
     let cache_hit = hit.is_some();
     let refreshed_delta_rows = hit.as_ref().and_then(|h| h.refreshed_delta_rows);
     let (rows, slots): (Arc<Vec<Row>>, Vec<String>) = match hit {
@@ -839,6 +900,27 @@ fn execute_group(
             ));
             continue;
         }
+        // Certificate gate: every splice must be re-proven sound from the
+        // consumer and shared plans themselves before any row is served.
+        // Exact members re-derive canonical equality; fused members
+        // discharge the mapping/compensation obligations of §III.A.
+        let certificate = match &m.mapping {
+            None => certify_exact_splice(&c.plan, &group.form.encoding, &slots),
+            Some(mapping) => certify_fused_splice(&c.plan, &group.plan, mapping, &m.comp),
+        };
+        if let Err(v) = certificate {
+            metrics.add_reuse_certificate_rejected();
+            metrics.add_consumer_detached();
+            let msg = format!(
+                "reuse group {fp}: splice rejected by reuse prover ({}); \
+                 consumer detached, running unshared",
+                render_violations(&v)
+            );
+            out.notes[c.query].push(msg.clone());
+            out.rejections.push(msg);
+            continue;
+        }
+        metrics.add_reuse_certificate_issued();
         let replacement = match &m.mapping {
             None => splice_exact(&c.plan, &c.form.slots, &slots, &rows),
             Some(mapping) => splice_fused(&c.plan, &group.plan, mapping, &m.comp, &rows, gen),
@@ -859,7 +941,7 @@ fn execute_group(
             // that were actually served a validated splice.
             cache.observe(fp);
             out.notes[c.query].push(format!(
-                "{} {}: {} node subplan shared across queries {:?} ({} rows{}{})",
+                "{} {}: {} node subplan shared across queries {:?} ({} rows, certified{}{})",
                 if group.fused { "fused" } else { "shared" },
                 fp,
                 c.plan.node_count(),
@@ -892,22 +974,42 @@ fn execute_group(
             .is_err()
         {
             metrics.add_fault_injected();
-        } else if let Some(deps) = stamp_deps(&group.plan, versions) {
-            cache.admit(
-                fp,
-                &group.form.encoding,
-                Arc::clone(&rows),
-                group.form.slots.clone(),
-                &group.plan,
-                deps,
-                metrics,
-            );
-            if fault
-                .inject_reuse(ReuseFaultSite::CacheCorrupt, &fp_key, 0)
-                .is_err()
-            {
-                metrics.add_fault_injected();
-                cache.corrupt_entry(fp);
+        } else if let Some(deps) = DepStamps::for_plan(&group.plan, versions) {
+            // Certificate gate: the canonical stamps must be re-proven
+            // consistent with the plan's scanned tables and the live
+            // catalog before the entry becomes servable to future batches.
+            match certify_stamps(&group.plan, deps.as_slice(), versions) {
+                Ok(_) => {
+                    metrics.add_reuse_certificate_issued();
+                    cache.admit(
+                        fp,
+                        &group.form.encoding,
+                        Arc::clone(&rows),
+                        group.form.slots.clone(),
+                        &group.plan,
+                        deps,
+                        metrics,
+                    );
+                    if fault
+                        .inject_reuse(ReuseFaultSite::CacheCorrupt, &fp_key, 0)
+                        .is_err()
+                    {
+                        metrics.add_fault_injected();
+                        cache.corrupt_entry(fp);
+                    }
+                }
+                Err(v) => {
+                    metrics.add_reuse_certificate_rejected();
+                    let msg = format!(
+                        "reuse group {fp}: admission stamps rejected by reuse prover ({}); \
+                         result not cached",
+                        render_violations(&v)
+                    );
+                    for &q in &queries {
+                        out.notes[q].push(msg.clone());
+                    }
+                    out.rejections.push(msg);
+                }
             }
         }
     }
@@ -922,30 +1024,6 @@ fn execute_group(
         rows: rows.len(),
         subplan_nodes: group.plan.node_count(),
     });
-}
-
-/// Dependency stamps for a shared plan: one `(table, version)` pair per
-/// distinct base table, with the table name normalized to the catalog's
-/// key casing (scans carry the name as written in the SQL). Returns
-/// `None` — the plan is *not admissible* — when any scanned table is
-/// missing from the catalog's version map: stamping an unknown table
-/// with a guessed version would make the entry permanently valid (or
-/// permanently stale) no matter what happens to the real table.
-fn stamp_deps(
-    plan: &LogicalPlan,
-    versions: &HashMap<String, u64>,
-) -> Option<Vec<(String, u64)>> {
-    let mut deps: Vec<(String, u64)> = Vec::new();
-    for t in plan.scanned_tables() {
-        let key = t.to_ascii_lowercase();
-        let v = *versions.get(&key)?;
-        deps.push((key, v));
-    }
-    // Sort *before* dedup: multi-scan plans may surface a table under
-    // several casings, which normalize to non-consecutive duplicates.
-    deps.sort();
-    deps.dedup();
-    Some(deps)
 }
 
 /// Execute a shared subplan under the batch context's [`RetryPolicy`]:

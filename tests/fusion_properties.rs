@@ -506,3 +506,41 @@ fn mutation_self_test_kills_at_least_95_percent() {
         report.survivors()
     );
 }
+
+/// The reuse-soundness prover's own corruption suite: seeded corruptions
+/// of known-good reuse rewrites (wrong or swapped compensations, broken
+/// mappings, non-subset subsumptions, non-mergeable aggregates classified
+/// mergeable, stale or non-canonical dep stamps) must be rejected at a
+/// ≥ 95% kill rate, and every pristine artifact must certify.
+#[test]
+fn reuse_mutation_self_test_kills_at_least_95_percent() {
+    let report = fusion_core::analysis::run_reuse_self_test();
+    for survivor in report.survivors() {
+        eprintln!("surviving reuse mutant: {survivor}");
+    }
+    assert!(
+        report.total() >= 25,
+        "reuse corpus shrank to {} outcomes",
+        report.total()
+    );
+    assert!(
+        report.kill_rate() >= 0.95,
+        "reuse mutation kill rate {:.1}% ({} of {} killed); survivors: {:?}",
+        report.kill_rate() * 100.0,
+        report.killed(),
+        report.total(),
+        report.survivors()
+    );
+    // Pristine controls are recorded inverted ("killed" = accepted), so a
+    // false positive necessarily shows up among the survivors with a
+    // "pristine"/"accepted" description.
+    let false_positives: Vec<&str> = report
+        .survivors()
+        .into_iter()
+        .filter(|s| s.contains("pristine") || s.contains("accepted"))
+        .collect();
+    assert!(
+        false_positives.is_empty(),
+        "reuse prover false positives: {false_positives:?}"
+    );
+}

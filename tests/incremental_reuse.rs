@@ -164,6 +164,21 @@ fn float_sum_falls_back_to_evict_and_recompute() {
         warm.metrics.reuse_cache_evictions >= 1,
         "non-maintainable shape falls back to eviction"
     );
+    // The refusal is a typed maintainability-certificate rejection, not a
+    // silent miss: counted on the metrics and rendered as a prover note.
+    assert!(
+        warm.metrics.reuse_certificates_rejected >= 1,
+        "float SUM refresh refusal must be certificate-typed: {:?}",
+        warm.report.reuse
+    );
+    assert!(
+        warm.report
+            .reuse
+            .iter()
+            .any(|n| n.contains("FUSION_ANALYSIS_REUSE_MAINTAIN")),
+        "rejection note carries the typed code: {:?}",
+        warm.report.reuse
+    );
     let cold = cold_session(BASE_ROWS + 10, true, 1).sql(sql).unwrap();
     assert_eq!(warm.rows, cold.rows);
 }

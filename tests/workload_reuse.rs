@@ -137,6 +137,18 @@ fn identical_pair_executes_shared_subplan_once() {
     );
     assert!(batch.report.shared_executions() >= 1);
     assert!(batch.report.consumers_spliced() >= 2);
+    // Every served splice carries a soundness certificate, and a pristine
+    // batch never trips the prover.
+    assert!(
+        batch.metrics.reuse_certificates_issued >= batch.report.consumers_spliced() as u64,
+        "each splice must be certified: issued={} spliced={}",
+        batch.metrics.reuse_certificates_issued,
+        batch.report.consumers_spliced()
+    );
+    assert_eq!(
+        batch.metrics.reuse_certificates_rejected, 0,
+        "pristine batch must not be rejected"
+    );
 
     let solo_morsels: u64 = independent.iter().map(|r| r.metrics.morsels_executed).sum();
     assert!(
@@ -213,6 +225,14 @@ fn different_filters_fuse_across_queries() {
         "the shared group should come from Fuse, not an exact match: {:?}",
         batch.report
     );
+    // Both fused consumers go through the mapping/compensation
+    // certificate; a pristine fuse never trips the prover.
+    assert!(
+        batch.metrics.reuse_certificates_issued >= 2,
+        "fused splices must be certified: {:?}",
+        batch.metrics
+    );
+    assert_eq!(batch.metrics.reuse_certificates_rejected, 0);
 }
 
 /// Re-registering a table bumps its catalog version; cached results that
