@@ -1,0 +1,411 @@
+// One-shot benchmark driver: aborting on a setup or I/O failure is the
+// desired behavior, so the workspace unwrap/panic gate is relaxed here.
+#![allow(clippy::unwrap_used, clippy::panic)]
+
+//! Multi-tenant query service benchmark: coalesced windows vs.
+//! one-at-a-time dispatch, warm vs. cold cache, under real concurrency.
+//!
+//! N client threads across T tenants submit a mixed TPC-DS workload
+//! through the service. Three phases run over the same workload:
+//!
+//! * **one_at_a_time** — windows of one query, reuse disabled: the
+//!   no-coalescing baseline (every query pays its own scans).
+//! * **coalesced_cold** — real windows (`max_window_queries` /
+//!   `max_window_wait`) over a fresh cache: in-window share groups fire.
+//! * **coalesced_warm** — the same service again without clearing: the
+//!   shared-subplan cache serves repeat groups.
+//!
+//! Every response is checked row-identical to a standalone run; a capped
+//! tenant and a budgeted tenant probe that admission control rejects with
+//! typed `FUSION_ADMISSION_REJECTED` errors. Writes `BENCH_service.json`
+//! and exits nonzero if coalesced share-group formation never happened,
+//! the warm cache never hit, caps were not enforced, or rows diverged.
+//!
+//! Like the other drivers, a small per-partition-read latency (default
+//! 2ms, `READ_LATENCY_MS`) models the paper's S3-bound scans.
+//!
+//! ```sh
+//! cargo run -p fusion-bench --release --bin bench_service
+//! TPCDS_SCALE=0.3 CLIENT_THREADS=8 cargo run -p fusion-bench --release --bin bench_service
+//! ```
+
+use std::fmt::Write as _;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use fusion_bench::Harness;
+use fusion_engine::Session;
+use fusion_exec::FaultPolicy;
+use fusion_service::{AdmissionConfig, QueryService, ServiceConfig, TenantConfig};
+use fusion_tpcds::all_queries;
+
+/// The mixed workload each client thread submits once per round. Repeats
+/// across threads are the point: concurrently-arriving identical queries
+/// are what a coalescing window can fuse.
+const WORKLOAD: &[&str] = &["INTRO", "C42", "Q09", "C55", "C42", "INTRO"];
+
+fn env_or<T: std::str::FromStr>(name: &str, default: T) -> T {
+    std::env::var(name)
+        .ok()
+        .and_then(|s| s.parse::<T>().ok())
+        .unwrap_or(default)
+}
+
+fn sql_of(id: &str) -> String {
+    all_queries()
+        .into_iter()
+        .find(|q| q.id == id)
+        .unwrap_or_else(|| panic!("no corpus query named {id}"))
+        .sql
+}
+
+fn service_session(scale: f64, workers: usize, latency: Duration, reuse: bool) -> Session {
+    Harness::session(scale, |s| {
+        s.set_parallelism(workers);
+        s.set_reuse_enabled(reuse);
+        s.set_fault_policy(FaultPolicy::default().with_read_latency(latency));
+    })
+}
+
+struct Knobs {
+    scale: f64,
+    workers: usize,
+    latency: Duration,
+    client_threads: usize,
+    tenants: usize,
+    rounds: usize,
+    window_queries: usize,
+    window_wait: Duration,
+}
+
+struct Phase {
+    wall_ms: f64,
+    qps: f64,
+    total_queries: u64,
+    windows: u64,
+    mean_occupancy: f64,
+    share_rate: f64,
+    coalesced_shared: u64,
+    queue_wait_max_ms: f64,
+    cache_hits: u64,
+}
+
+/// Drive the workload through `service` from `client_threads` concurrent
+/// clients spread over `tenants` tenants; verify every response against
+/// the standalone reference rows.
+fn run_phase(
+    service: &Arc<QueryService>,
+    knobs: &Knobs,
+    expected: &Arc<Vec<Vec<Vec<fusion_common::Value>>>>,
+    failures: &Arc<Mutex<Vec<String>>>,
+    phase_name: &'static str,
+) -> Phase {
+    let before = service.service_metrics();
+    let cache_hits_before = service.execution_metrics().reuse_cache_hits;
+    let sqls: Arc<Vec<String>> = Arc::new(WORKLOAD.iter().map(|id| sql_of(id)).collect());
+    let start = Instant::now();
+    let threads: Vec<_> = (0..knobs.client_threads)
+        .map(|t| {
+            let service = Arc::clone(service);
+            let sqls = Arc::clone(&sqls);
+            let expected = Arc::clone(expected);
+            let failures = Arc::clone(failures);
+            let rounds = knobs.rounds;
+            let tenants = knobs.tenants;
+            std::thread::spawn(move || {
+                let client = service.client(format!("tenant-{}", t % tenants).as_str());
+                for round in 0..rounds {
+                    for (i, sql) in sqls.iter().enumerate() {
+                        match client.query(sql.clone()) {
+                            Ok(result) => {
+                                let mut got = result.rows.clone();
+                                got.sort();
+                                if got != expected[i] {
+                                    failures.lock().unwrap().push(format!(
+                                        "{phase_name}: thread {t} round {round} query \
+                                         {} diverged from standalone rows",
+                                        WORKLOAD[i]
+                                    ));
+                                }
+                            }
+                            Err(e) => failures.lock().unwrap().push(format!(
+                                "{phase_name}: thread {t} round {round} query {} failed: {e}",
+                                WORKLOAD[i]
+                            )),
+                        }
+                    }
+                }
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().unwrap();
+    }
+    let wall = start.elapsed().as_secs_f64();
+    let after = service.service_metrics();
+    let cache_hits = service.execution_metrics().reuse_cache_hits - cache_hits_before;
+
+    let total = after.queries_admitted - before.queries_admitted;
+    let windows = after.windows_dispatched - before.windows_dispatched;
+    let occupancy = after.window_occupancy - before.window_occupancy;
+    let shared = after.queries_coalesced_shared - before.queries_coalesced_shared;
+    Phase {
+        wall_ms: wall * 1e3,
+        qps: total as f64 / wall.max(1e-9),
+        total_queries: total,
+        windows,
+        mean_occupancy: occupancy as f64 / windows.max(1) as f64,
+        share_rate: shared as f64 / total.max(1) as f64,
+        coalesced_shared: shared,
+        queue_wait_max_ms: after.queue_wait_nanos_max as f64 / 1e6,
+        cache_hits,
+    }
+}
+
+fn phase_json(json: &mut String, name: &str, p: &Phase, trailing_comma: bool) {
+    writeln!(json, "  \"{name}\": {{").unwrap();
+    writeln!(json, "    \"wall_ms\": {:.3},", p.wall_ms).unwrap();
+    writeln!(json, "    \"sustained_qps\": {:.3},", p.qps).unwrap();
+    writeln!(json, "    \"queries\": {},", p.total_queries).unwrap();
+    writeln!(json, "    \"windows_dispatched\": {},", p.windows).unwrap();
+    writeln!(json, "    \"mean_window_occupancy\": {:.3},", p.mean_occupancy).unwrap();
+    writeln!(json, "    \"coalesced_share_rate\": {:.3},", p.share_rate).unwrap();
+    writeln!(json, "    \"queries_coalesced_shared\": {},", p.coalesced_shared).unwrap();
+    writeln!(json, "    \"queue_wait_max_ms\": {:.3},", p.queue_wait_max_ms).unwrap();
+    writeln!(json, "    \"reuse_cache_hits\": {}", p.cache_hits).unwrap();
+    writeln!(json, "  }}{}", if trailing_comma { "," } else { "" }).unwrap();
+}
+
+/// Probe the typed admission rejections: a queue-capped tenant and a
+/// memory-budgeted tenant must both refuse the overflow submission with
+/// `FUSION_ADMISSION_REJECTED`.
+fn probe_admission(knobs: &Knobs, failures: &mut Vec<String>) -> (bool, bool) {
+    let config = ServiceConfig {
+        admission: AdmissionConfig {
+            // Nothing dispatches while we overfill.
+            max_window_queries: 64,
+            max_window_wait: Duration::from_secs(30),
+            max_queued_per_tenant: 0,
+        },
+        per_query_memory_cost: 1 << 20,
+        ..ServiceConfig::default()
+    }
+    .with_tenant(
+        "capped",
+        TenantConfig {
+            max_queued: 2,
+            ..TenantConfig::default()
+        },
+    )
+    .with_tenant(
+        "frugal",
+        TenantConfig {
+            memory_budget: Some(2 << 20),
+            ..TenantConfig::default()
+        },
+    );
+    let session = service_session(knobs.scale.min(0.05), 1, Duration::ZERO, true);
+    let service = QueryService::start(Arc::new(session), config);
+    let sql = sql_of("C42");
+
+    let capped = service.client("capped");
+    let _a = capped.submit(sql.clone()).unwrap();
+    let _b = capped.submit(sql.clone()).unwrap();
+    let queue_cap_typed = match capped.submit(sql.clone()) {
+        Err(e) if e.code().as_str() == "FUSION_ADMISSION_REJECTED" => true,
+        Err(e) => {
+            failures.push(format!("queue-cap overflow rejected with wrong code: {e}"));
+            false
+        }
+        Ok(_) => {
+            failures.push("queue-cap overflow was admitted (cap not enforced)".into());
+            false
+        }
+    };
+
+    let frugal = service.client("frugal");
+    let _c = frugal.submit(sql.clone()).unwrap();
+    let _d = frugal.submit(sql.clone()).unwrap();
+    let budget_typed = match frugal.submit(sql) {
+        Err(e) if e.code().as_str() == "FUSION_ADMISSION_REJECTED" => true,
+        Err(e) => {
+            failures.push(format!("budget overflow rejected with wrong code: {e}"));
+            false
+        }
+        Ok(_) => {
+            failures.push("budget overflow was admitted (budget not enforced)".into());
+            false
+        }
+    };
+    service.shutdown();
+    (queue_cap_typed, budget_typed)
+}
+
+fn main() {
+    let knobs = Knobs {
+        scale: env_or("TPCDS_SCALE", 0.15),
+        workers: env_or("WORKERS", 2),
+        latency: Duration::from_millis(env_or("READ_LATENCY_MS", 2)),
+        client_threads: env_or("CLIENT_THREADS", 6),
+        tenants: env_or("TENANTS", 3),
+        rounds: env_or("ROUNDS", 2),
+        window_queries: env_or("WINDOW_QUERIES", 8),
+        window_wait: Duration::from_millis(env_or("WINDOW_WAIT_MS", 10)),
+    };
+    let min_speedup: f64 = env_or("MIN_SPEEDUP", 1.05);
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_service.json".into());
+
+    eprintln!(
+        "# bench_service: scale {}, {} client threads over {} tenants, {} rounds, \
+         windows {}q/{}ms, {} workers, {}ms read latency",
+        knobs.scale,
+        knobs.client_threads,
+        knobs.tenants,
+        knobs.rounds,
+        knobs.window_queries,
+        knobs.window_wait.as_millis(),
+        knobs.workers,
+        knobs.latency.as_millis(),
+    );
+
+    // Standalone reference rows (reuse off, no service) for bit-identity.
+    let reference = service_session(knobs.scale, knobs.workers, Duration::ZERO, false);
+    let expected: Arc<Vec<_>> = Arc::new(
+        WORKLOAD
+            .iter()
+            .map(|id| {
+                let mut rows = reference.sql(&sql_of(id)).expect("reference run").rows;
+                rows.sort();
+                rows
+            })
+            .collect(),
+    );
+    let failures = Arc::new(Mutex::new(Vec::new()));
+
+    // Phase 1: one-at-a-time — windows of one, reuse off. The
+    // no-coalescing baseline.
+    let solo_service = Arc::new(QueryService::start(
+        Arc::new(service_session(knobs.scale, knobs.workers, knobs.latency, false)),
+        ServiceConfig {
+            admission: AdmissionConfig {
+                max_window_queries: 1,
+                max_window_wait: Duration::from_millis(1),
+                max_queued_per_tenant: 0,
+            },
+            ..ServiceConfig::default()
+        },
+    ));
+    let one_at_a_time = run_phase(&solo_service, &knobs, &expected, &failures, "one_at_a_time");
+    solo_service.shutdown();
+    eprintln!(
+        "{:<16} {:>8.1}ms {:>7.1} qps windows {} occupancy {:.1}",
+        "one_at_a_time",
+        one_at_a_time.wall_ms,
+        one_at_a_time.qps,
+        one_at_a_time.windows,
+        one_at_a_time.mean_occupancy,
+    );
+
+    // Phases 2+3: coalescing service, cold then warm over the same cache.
+    let coalescing_service = Arc::new(QueryService::start(
+        Arc::new(service_session(knobs.scale, knobs.workers, knobs.latency, true)),
+        ServiceConfig {
+            admission: AdmissionConfig {
+                max_window_queries: knobs.window_queries,
+                max_window_wait: knobs.window_wait,
+                max_queued_per_tenant: 0,
+            },
+            ..ServiceConfig::default()
+        },
+    ));
+    let cold = run_phase(&coalescing_service, &knobs, &expected, &failures, "coalesced_cold");
+    eprintln!(
+        "{:<16} {:>8.1}ms {:>7.1} qps windows {} occupancy {:.1} share rate {:.2} \
+         cache hits {}",
+        "coalesced_cold", cold.wall_ms, cold.qps, cold.windows, cold.mean_occupancy,
+        cold.share_rate, cold.cache_hits,
+    );
+    let warm = run_phase(&coalescing_service, &knobs, &expected, &failures, "coalesced_warm");
+    eprintln!(
+        "{:<16} {:>8.1}ms {:>7.1} qps windows {} occupancy {:.1} share rate {:.2} \
+         cache hits {}",
+        "coalesced_warm", warm.wall_ms, warm.qps, warm.windows, warm.mean_occupancy,
+        warm.share_rate, warm.cache_hits,
+    );
+    eprintln!("{}", coalescing_service.service_report());
+    coalescing_service.shutdown();
+
+    let mut failures = Arc::try_unwrap(failures)
+        .map(|m| m.into_inner().unwrap())
+        .unwrap_or_else(|arc| arc.lock().unwrap().clone());
+
+    // Phase 4: typed admission-cap probes.
+    let (queue_cap_typed, budget_typed) = probe_admission(&knobs, &mut failures);
+    eprintln!(
+        "{:<16} queue-cap typed: {queue_cap_typed}, budget typed: {budget_typed}",
+        "admission"
+    );
+
+    // Hard gates: coalescing must actually form share groups, the warm
+    // cache must hit, and coalesced throughput must beat one-at-a-time.
+    if cold.share_rate <= 0.0 {
+        failures.push("coalesced_cold: share-group formation rate is zero under concurrency".into());
+    }
+    if warm.cache_hits == 0 {
+        failures.push("coalesced_warm: shared-subplan cache never hit on the repeat pass".into());
+    }
+    if cold.mean_occupancy <= 1.0 {
+        failures.push(format!(
+            "coalesced_cold: mean window occupancy {:.2} — no window coalesced more than one query",
+            cold.mean_occupancy
+        ));
+    }
+    let speedup = one_at_a_time.wall_ms / cold.wall_ms.max(1e-9);
+    if speedup < min_speedup {
+        failures.push(format!(
+            "coalesced_cold: {speedup:.2}x vs one-at-a-time (need >= {min_speedup:.2}x)"
+        ));
+    }
+
+    let rows_match = !failures.iter().any(|f| f.contains("diverged"));
+    let mut json = String::new();
+    writeln!(json, "{{").unwrap();
+    writeln!(json, "  \"scale\": {},", knobs.scale).unwrap();
+    writeln!(json, "  \"workers\": {},", knobs.workers).unwrap();
+    writeln!(json, "  \"read_latency_ms\": {},", knobs.latency.as_millis()).unwrap();
+    writeln!(json, "  \"client_threads\": {},", knobs.client_threads).unwrap();
+    writeln!(json, "  \"tenants\": {},", knobs.tenants).unwrap();
+    writeln!(json, "  \"rounds\": {},", knobs.rounds).unwrap();
+    writeln!(json, "  \"max_window_queries\": {},", knobs.window_queries).unwrap();
+    writeln!(json, "  \"max_window_wait_ms\": {},", knobs.window_wait.as_millis()).unwrap();
+    writeln!(json, "  \"min_speedup\": {min_speedup},").unwrap();
+    phase_json(&mut json, "one_at_a_time", &one_at_a_time, true);
+    phase_json(&mut json, "coalesced_cold", &cold, true);
+    phase_json(&mut json, "coalesced_warm", &warm, true);
+    writeln!(json, "  \"speedup_coalesced_vs_one_at_a_time\": {speedup:.3},").unwrap();
+    writeln!(json, "  \"admission\": {{").unwrap();
+    writeln!(json, "    \"queue_cap_rejected_typed\": {queue_cap_typed},").unwrap();
+    writeln!(json, "    \"memory_budget_rejected_typed\": {budget_typed},").unwrap();
+    writeln!(json, "    \"rejection_code\": \"FUSION_ADMISSION_REJECTED\"").unwrap();
+    writeln!(json, "  }},").unwrap();
+    writeln!(json, "  \"rows_match_standalone\": {rows_match}").unwrap();
+    writeln!(json, "}}").unwrap();
+
+    std::fs::write(&out_path, json).expect("write BENCH_service.json");
+    eprintln!("# wrote {out_path}");
+
+    if failures.is_empty() {
+        eprintln!(
+            "# service targets met: share groups formed under concurrency, warm cache hit, \
+             caps typed, rows bit-identical, {speedup:.2}x over one-at-a-time"
+        );
+    } else {
+        eprintln!("# SERVICE TARGETS MISSED:");
+        for f in &failures {
+            eprintln!("#   {f}");
+        }
+        std::process::exit(1);
+    }
+}

@@ -33,6 +33,11 @@ pub enum FusionError {
     TransientIo(String),
     /// Data failed an integrity check; retrying cannot help.
     DataCorruption(String),
+    /// The query service refused to admit a query: the tenant's queue
+    /// depth, in-flight cap, or memory budget is exhausted. A governance
+    /// verdict on the *tenant*, not on the query — resubmitting after
+    /// in-flight work drains may succeed.
+    AdmissionRejected { tenant: String, reason: String },
 }
 
 /// Stable, machine-readable error codes. Unlike `Display` strings these are
@@ -53,6 +58,7 @@ pub enum ErrorCode {
     ResourceExhausted,
     TransientIo,
     DataCorruption,
+    AdmissionRejected,
 }
 
 impl ErrorCode {
@@ -72,6 +78,7 @@ impl ErrorCode {
             ErrorCode::ResourceExhausted => "FUSION_RESOURCE_EXHAUSTED",
             ErrorCode::TransientIo => "FUSION_TRANSIENT_IO",
             ErrorCode::DataCorruption => "FUSION_DATA_CORRUPTION",
+            ErrorCode::AdmissionRejected => "FUSION_ADMISSION_REJECTED",
         }
     }
 }
@@ -99,6 +106,7 @@ impl FusionError {
             FusionError::ResourceExhausted { .. } => ErrorCode::ResourceExhausted,
             FusionError::TransientIo(_) => ErrorCode::TransientIo,
             FusionError::DataCorruption(_) => ErrorCode::DataCorruption,
+            FusionError::AdmissionRejected { .. } => ErrorCode::AdmissionRejected,
         }
     }
 
@@ -121,6 +129,7 @@ impl FusionError {
                 | FusionError::DeadlineExceeded
                 | FusionError::ResourceExhausted { .. }
                 | FusionError::SingleRowViolation(_)
+                | FusionError::AdmissionRejected { .. }
         )
     }
 }
@@ -146,6 +155,9 @@ impl fmt::Display for FusionError {
             ),
             FusionError::TransientIo(msg) => write!(f, "transient I/O error: {msg}"),
             FusionError::DataCorruption(msg) => write!(f, "data corruption: {msg}"),
+            FusionError::AdmissionRejected { tenant, reason } => {
+                write!(f, "admission rejected for tenant {tenant}: {reason}")
+            }
         }
     }
 }
@@ -206,6 +218,10 @@ mod tests {
             },
             FusionError::TransientIo(String::new()),
             FusionError::DataCorruption(String::new()),
+            FusionError::AdmissionRejected {
+                tenant: String::new(),
+                reason: String::new(),
+            },
         ];
         let codes: std::collections::HashSet<_> = all.iter().map(|e| e.code().as_str()).collect();
         assert_eq!(codes.len(), all.len(), "codes must be distinct");
@@ -232,6 +248,11 @@ mod tests {
         }
         .allows_fallback());
         assert!(!FusionError::SingleRowViolation(2).allows_fallback());
+        assert!(!FusionError::AdmissionRejected {
+            tenant: "a".into(),
+            reason: "full".into()
+        }
+        .allows_fallback());
     }
 
     #[test]

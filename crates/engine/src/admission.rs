@@ -1,0 +1,447 @@
+//! Tenant-tagged admission queue with batch-window coalescing.
+//!
+//! This is the **single queueing implementation** behind both entry
+//! points into deferred batch execution:
+//!
+//! * [`crate::Session::enqueue`] / [`crate::Session::run_queued`] — the
+//!   original single-session queue, now a one-tenant [`AdmissionQueue`]
+//!   drained in one window;
+//! * the multi-tenant `fusion-service` front end, which runs a dispatcher
+//!   thread over the same queue, closing windows on
+//!   [`AdmissionConfig::max_window_queries`] or
+//!   [`AdmissionConfig::max_window_wait`] and packing them with
+//!   weighted-fair per-tenant quotas.
+//!
+//! Entries park per tenant in arrival order. Window packing is a
+//! round-robin over tenants (one entry per tenant per round, bounded by
+//! the caller-supplied per-tenant quota), so a chatty tenant's backlog
+//! cannot crowd a quiet tenant out of a window; the tenant rotation
+//! advances between windows so no tenant is permanently first. Per-tenant
+//! queue depth is capped at admission with a typed
+//! [`FusionError::AdmissionRejected`] (`FUSION_ADMISSION_REJECTED`)
+//! instead of unbounded queueing.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::time::{Duration, Instant};
+
+use fusion_common::FusionError;
+
+/// A tenant identity: the unit of admission caps, memory budgets, fair
+/// window packing, and metrics attribution. Cheap to clone.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TenantId(Arc<str>);
+
+impl TenantId {
+    pub fn new(name: impl AsRef<str>) -> Self {
+        TenantId(Arc::from(name.as_ref()))
+    }
+
+    /// The implicit tenant of a bare [`crate::Session`] queue.
+    pub fn local() -> Self {
+        TenantId::new("local")
+    }
+
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for TenantId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&str> for TenantId {
+    fn from(s: &str) -> Self {
+        TenantId::new(s)
+    }
+}
+
+/// Window-formation and admission-cap knobs.
+#[derive(Debug, Clone)]
+pub struct AdmissionConfig {
+    /// A window closes as soon as this many queries are waiting.
+    pub max_window_queries: usize,
+    /// ... or once the oldest waiter has been parked this long.
+    pub max_window_wait: Duration,
+    /// Per-tenant cap on parked queries (`0` = unlimited). Crossing it
+    /// rejects the submission with `FUSION_ADMISSION_REJECTED`.
+    pub max_queued_per_tenant: usize,
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> Self {
+        AdmissionConfig {
+            max_window_queries: 8,
+            max_window_wait: Duration::from_millis(10),
+            max_queued_per_tenant: 0,
+        }
+    }
+}
+
+impl AdmissionConfig {
+    /// The configuration of a bare session queue: windows never close on
+    /// time or size — [`AdmissionQueue::drain_all`] is the only consumer.
+    pub fn unbounded() -> Self {
+        AdmissionConfig {
+            max_window_queries: usize::MAX,
+            max_window_wait: Duration::from_secs(u64::MAX / 4),
+            max_queued_per_tenant: 0,
+        }
+    }
+}
+
+/// One parked query.
+#[derive(Debug)]
+pub struct Admitted<T> {
+    pub tenant: TenantId,
+    pub payload: T,
+    /// When the entry was admitted; the dispatcher turns this into
+    /// queue-wait metrics at window formation.
+    pub enqueued_at: Instant,
+}
+
+struct Inner<T> {
+    /// Per-tenant FIFO lanes in first-arrival order; the front lane is
+    /// the next round-robin turn. Lanes persist while a tenant has
+    /// waiters and are dropped when drained empty.
+    lanes: VecDeque<(TenantId, VecDeque<Admitted<T>>)>,
+    len: usize,
+    closed: bool,
+}
+
+impl<T> Inner<T> {
+    fn lane_len(&self, tenant: &TenantId) -> usize {
+        self.lanes
+            .iter()
+            .find(|(t, _)| t == tenant)
+            .map(|(_, q)| q.len())
+            .unwrap_or(0)
+    }
+}
+
+/// The shared admission queue. `T` is the parked payload: a SQL string
+/// for the session queue, a full job (SQL + result channel) for the
+/// service.
+pub struct AdmissionQueue<T> {
+    inner: Mutex<Inner<T>>,
+    cond: Condvar,
+    config: AdmissionConfig,
+}
+
+impl<T> AdmissionQueue<T> {
+    pub fn new(config: AdmissionConfig) -> Self {
+        AdmissionQueue {
+            inner: Mutex::new(Inner {
+                lanes: VecDeque::new(),
+                len: 0,
+                closed: false,
+            }),
+            cond: Condvar::new(),
+            config,
+        }
+    }
+
+    pub fn config(&self) -> &AdmissionConfig {
+        &self.config
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner<T>> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Park a payload for `tenant`. Fails typed when the queue is closed
+    /// or the tenant's queue-depth cap is exhausted.
+    pub fn admit(&self, tenant: TenantId, payload: T) -> Result<(), FusionError> {
+        let mut inner = self.lock();
+        if inner.closed {
+            return Err(FusionError::AdmissionRejected {
+                tenant: tenant.to_string(),
+                reason: "service is shutting down".into(),
+            });
+        }
+        let cap = self.config.max_queued_per_tenant;
+        if cap > 0 && inner.lane_len(&tenant) >= cap {
+            return Err(FusionError::AdmissionRejected {
+                tenant: tenant.to_string(),
+                reason: format!("tenant queue full ({cap} queries already parked)"),
+            });
+        }
+        let entry = Admitted {
+            tenant: tenant.clone(),
+            payload,
+            enqueued_at: Instant::now(),
+        };
+        match inner.lanes.iter_mut().find(|(t, _)| *t == tenant) {
+            Some((_, lane)) => lane.push_back(entry),
+            None => {
+                let mut lane = VecDeque::new();
+                lane.push_back(entry);
+                inner.lanes.push_back((tenant, lane));
+            }
+        }
+        inner.len += 1;
+        self.cond.notify_all();
+        Ok(())
+    }
+
+    /// Total parked entries.
+    pub fn len(&self) -> usize {
+        self.lock().len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Parked entries for one tenant.
+    pub fn tenant_len(&self, tenant: &TenantId) -> usize {
+        self.lock().lane_len(tenant)
+    }
+
+    /// Close the queue: further [`AdmissionQueue::admit`] calls reject,
+    /// blocked [`AdmissionQueue::next_window`] callers wake up, and once
+    /// the backlog drains `next_window` returns `None`. Parked entries
+    /// are *not* dropped — the dispatcher drains them first (graceful
+    /// shutdown never loses a waiter).
+    pub fn close(&self) {
+        self.lock().closed = true;
+        self.cond.notify_all();
+    }
+
+    pub fn is_closed(&self) -> bool {
+        self.lock().closed
+    }
+
+    /// Block until a window closes, then return its entries packed
+    /// weighted-fair: round-robin over tenant lanes, one entry per lane
+    /// per round, each tenant bounded by `quota(tenant)` entries this
+    /// window (`0` = the tenant sits this window out). Returns `None`
+    /// only when the queue is closed *and* fully drained.
+    ///
+    /// A window opens when the first entry is observed and closes on
+    /// whichever of `max_window_queries` / `max_window_wait` trips first
+    /// (closing the queue also closes the window immediately — shutdown
+    /// does not wait out the timer).
+    pub fn next_window(&self, quota: impl Fn(&TenantId) -> usize) -> Option<Vec<Admitted<T>>> {
+        let mut inner = self.lock();
+        loop {
+            // Wait for the first entry (or shutdown).
+            while inner.len == 0 {
+                if inner.closed {
+                    return None;
+                }
+                inner = self
+                    .cond
+                    .wait(inner)
+                    .unwrap_or_else(PoisonError::into_inner);
+            }
+            // Window open: fill up to the size target or the wait cap.
+            let opened = Instant::now();
+            while inner.len < self.config.max_window_queries && !inner.closed {
+                let elapsed = opened.elapsed();
+                if elapsed >= self.config.max_window_wait {
+                    break;
+                }
+                let (guard, _) = self
+                    .cond
+                    .wait_timeout(inner, self.config.max_window_wait - elapsed)
+                    .unwrap_or_else(PoisonError::into_inner);
+                inner = guard;
+            }
+            let window = Self::pack(&mut inner, self.config.max_window_queries, &quota);
+            if !window.is_empty() {
+                return Some(window);
+            }
+            // Everything parked belongs to tenants quota'd to zero this
+            // window (e.g. at their in-flight cap). Yield until the
+            // caller's quotas change or shutdown drains unconditionally.
+            if inner.closed {
+                let window = Self::pack(&mut inner, usize::MAX, &|_| usize::MAX);
+                return if window.is_empty() { None } else { Some(window) };
+            }
+            let (guard, _) = self
+                .cond
+                .wait_timeout(inner, self.config.max_window_wait)
+                .unwrap_or_else(PoisonError::into_inner);
+            inner = guard;
+        }
+    }
+
+    /// Weighted-fair packing over the tenant lanes. Advances the lane
+    /// rotation so the tenant served first this window goes last next
+    /// window.
+    fn pack(
+        inner: &mut Inner<T>,
+        max_queries: usize,
+        quota: &impl Fn(&TenantId) -> usize,
+    ) -> Vec<Admitted<T>> {
+        let mut window = Vec::new();
+        let lanes = inner.lanes.len();
+        let mut taken: Vec<usize> = vec![0; lanes];
+        let mut progressed = true;
+        while window.len() < max_queries && progressed {
+            progressed = false;
+            for (i, (tenant, lane)) in inner.lanes.iter_mut().enumerate() {
+                if window.len() >= max_queries {
+                    break;
+                }
+                if lane.is_empty() || taken[i] >= quota(tenant) {
+                    continue;
+                }
+                if let Some(entry) = lane.pop_front() {
+                    window.push(entry);
+                    taken[i] += 1;
+                    progressed = true;
+                }
+            }
+        }
+        inner.len -= window.len();
+        inner.lanes.retain(|(_, lane)| !lane.is_empty());
+        inner.lanes.rotate_left(if inner.lanes.is_empty() { 0 } else { 1 });
+        window
+    }
+
+    /// Drain every parked entry immediately (no window formation), in
+    /// round-robin tenant order. The session's `run_queued` path.
+    pub fn drain_all(&self) -> Vec<Admitted<T>> {
+        let mut inner = self.lock();
+        Self::pack(&mut inner, usize::MAX, &|_| usize::MAX)
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::panic)]
+mod tests {
+    use super::*;
+
+    fn entry_tenants(window: &[Admitted<u32>]) -> Vec<String> {
+        window.iter().map(|e| e.tenant.to_string()).collect()
+    }
+
+    #[test]
+    fn admit_and_drain_preserves_per_tenant_fifo() {
+        let q = AdmissionQueue::new(AdmissionConfig::unbounded());
+        q.admit(TenantId::local(), 1).unwrap();
+        q.admit(TenantId::local(), 2).unwrap();
+        q.admit(TenantId::local(), 3).unwrap();
+        assert_eq!(q.len(), 3);
+        let drained: Vec<u32> = q.drain_all().into_iter().map(|e| e.payload).collect();
+        assert_eq!(drained, vec![1, 2, 3]);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn queue_cap_rejects_typed() {
+        let q = AdmissionQueue::new(AdmissionConfig {
+            max_queued_per_tenant: 2,
+            ..AdmissionConfig::default()
+        });
+        q.admit(TenantId::new("a"), 1).unwrap();
+        q.admit(TenantId::new("a"), 2).unwrap();
+        match q.admit(TenantId::new("a"), 3) {
+            Err(FusionError::AdmissionRejected { tenant, .. }) => assert_eq!(tenant, "a"),
+            other => panic!("expected AdmissionRejected, got {other:?}"),
+        }
+        // Another tenant still has room.
+        q.admit(TenantId::new("b"), 1).unwrap();
+        assert_eq!(q.len(), 3);
+    }
+
+    #[test]
+    fn window_packs_round_robin_across_tenants() {
+        let q = AdmissionQueue::new(AdmissionConfig {
+            max_window_queries: 4,
+            max_window_wait: Duration::from_millis(1),
+            max_queued_per_tenant: 0,
+        });
+        for i in 0..5 {
+            q.admit(TenantId::new("chatty"), i).unwrap();
+        }
+        q.admit(TenantId::new("quiet"), 100).unwrap();
+        let window = q.next_window(|_| usize::MAX).unwrap();
+        // Round-robin: quiet's single query makes the window despite
+        // chatty's five-deep backlog.
+        assert_eq!(window.len(), 4);
+        assert!(entry_tenants(&window).contains(&"quiet".to_string()));
+        assert_eq!(
+            window.iter().filter(|e| e.tenant.as_str() == "chatty").count(),
+            3
+        );
+    }
+
+    #[test]
+    fn per_window_quota_caps_a_tenant() {
+        let q = AdmissionQueue::new(AdmissionConfig {
+            max_window_queries: 8,
+            max_window_wait: Duration::from_millis(1),
+            max_queued_per_tenant: 0,
+        });
+        for i in 0..6 {
+            q.admit(TenantId::new("chatty"), i).unwrap();
+        }
+        q.admit(TenantId::new("quiet"), 100).unwrap();
+        let window = q
+            .next_window(|t| if t.as_str() == "chatty" { 2 } else { usize::MAX })
+            .unwrap();
+        assert_eq!(
+            window.iter().filter(|e| e.tenant.as_str() == "chatty").count(),
+            2
+        );
+        assert_eq!(
+            window.iter().filter(|e| e.tenant.as_str() == "quiet").count(),
+            1
+        );
+        // The un-taken backlog stays parked.
+        assert_eq!(q.tenant_len(&TenantId::new("chatty")), 4);
+    }
+
+    #[test]
+    fn window_closes_on_size_before_timer() {
+        let q = Arc::new(AdmissionQueue::new(AdmissionConfig {
+            max_window_queries: 2,
+            max_window_wait: Duration::from_secs(60),
+            max_queued_per_tenant: 0,
+        }));
+        q.admit(TenantId::new("a"), 1).unwrap();
+        q.admit(TenantId::new("b"), 2).unwrap();
+        let start = Instant::now();
+        let window = q.next_window(|_| usize::MAX).unwrap();
+        assert_eq!(window.len(), 2);
+        assert!(start.elapsed() < Duration::from_secs(5), "size target, not timer");
+    }
+
+    #[test]
+    fn closed_queue_rejects_then_drains_then_ends() {
+        let q = AdmissionQueue::new(AdmissionConfig::default());
+        q.admit(TenantId::new("a"), 1).unwrap();
+        q.close();
+        assert!(matches!(
+            q.admit(TenantId::new("a"), 2),
+            Err(FusionError::AdmissionRejected { .. })
+        ));
+        // The parked entry still comes out...
+        let window = q.next_window(|_| usize::MAX).unwrap();
+        assert_eq!(window.len(), 1);
+        // ...and only then does the stream end.
+        assert!(q.next_window(|_| usize::MAX).is_none());
+    }
+
+    #[test]
+    fn next_window_wakes_on_admission() {
+        let q = Arc::new(AdmissionQueue::new(AdmissionConfig {
+            max_window_queries: 1,
+            max_window_wait: Duration::from_millis(5),
+            max_queued_per_tenant: 0,
+        }));
+        let q2 = Arc::clone(&q);
+        let waiter = std::thread::spawn(move || q2.next_window(|_| usize::MAX));
+        std::thread::sleep(Duration::from_millis(20));
+        q.admit(TenantId::new("a"), 7).unwrap();
+        let window = waiter.join().unwrap().unwrap();
+        assert_eq!(window[0].payload, 7);
+    }
+}

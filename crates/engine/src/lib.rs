@@ -26,6 +26,9 @@ use fusion_plan::LogicalPlan;
 use fusion_reuse::{ReuseConfig, ReuseManager, WorkloadOutcome, WorkloadReport};
 use fusion_sql::{plan_query, SchemaProvider, Statement, TableSchema};
 
+pub mod admission;
+pub use admission::{Admitted, AdmissionConfig, AdmissionQueue, TenantId};
+
 /// A configured engine instance.
 pub struct Session {
     catalog: Catalog,
@@ -61,8 +64,10 @@ pub struct Session {
     /// the whole batch instead of landing in that query's slot.
     batch_fail_fast: bool,
     /// Admission queue for deferred batch execution
-    /// ([`Session::enqueue`] / [`Session::run_queued`]).
-    queue: Mutex<Vec<String>>,
+    /// ([`Session::enqueue`] / [`Session::run_queued`]): a one-tenant
+    /// view of the same [`admission::AdmissionQueue`] the multi-tenant
+    /// service dispatches windows from.
+    queue: admission::AdmissionQueue<String>,
 }
 
 /// Default session parallelism: the `FUSION_PARALLELISM` environment
@@ -231,7 +236,7 @@ impl Session {
             reuse: ReuseManager::default(),
             reuse_enabled: true,
             batch_fail_fast: false,
-            queue: Mutex::new(Vec::new()),
+            queue: admission::AdmissionQueue::new(admission::AdmissionConfig::unbounded()),
         }
     }
 
@@ -714,28 +719,30 @@ impl Session {
 
     /// Queue a query for deferred batch execution. Queued queries run
     /// together — and share work — when [`Session::run_queued`] drains
-    /// the queue.
+    /// the queue. Thin one-tenant wrapper over the same
+    /// [`admission::AdmissionQueue`] the multi-tenant service uses; the
+    /// session queue is unbounded and never closed, so admission cannot
+    /// fail here.
     pub fn enqueue(&self, sql: impl Into<String>) {
-        self.queue
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner)
-            .push(sql.into());
+        let admitted = self.queue.admit(admission::TenantId::local(), sql.into());
+        debug_assert!(admitted.is_ok(), "unbounded session queue rejected a query");
     }
 
     /// Number of queries waiting in the admission queue.
     pub fn queued_len(&self) -> usize {
-        self.queue
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner)
-            .len()
+        self.queue.len()
     }
 
     /// Drain the admission queue and run everything in it as one batch.
     /// The queue is emptied even if planning fails partway (a malformed
     /// query does not wedge the queue).
     pub fn run_queued(&self) -> Result<BatchResult> {
-        let sqls: Vec<String> =
-            std::mem::take(&mut *self.queue.lock().unwrap_or_else(PoisonError::into_inner));
+        let sqls: Vec<String> = self
+            .queue
+            .drain_all()
+            .into_iter()
+            .map(|e| e.payload)
+            .collect();
         let refs: Vec<&str> = sqls.iter().map(String::as_str).collect();
         self.run_batch(&refs)
     }

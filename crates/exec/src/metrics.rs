@@ -105,6 +105,25 @@ pub struct ExecMetrics {
     /// Reuse-layer rewrites refused a certificate; the rewrite reverted to
     /// cold execution (detach, evict-and-recompute) with a typed reason.
     reuse_certificates_rejected: AtomicU64,
+    /// Queries the multi-tenant service accepted into its admission queue.
+    queries_admitted: AtomicU64,
+    /// Queries the service refused at admission (tenant queue depth,
+    /// in-flight cap, or memory budget exhausted) with a typed
+    /// `FUSION_ADMISSION_REJECTED` error.
+    queries_rejected: AtomicU64,
+    /// Batch windows the service dispatcher closed and executed.
+    windows_dispatched: AtomicU64,
+    /// Cumulative queries packed into dispatched windows; divided by
+    /// `windows_dispatched` this is the mean window occupancy.
+    window_occupancy: AtomicU64,
+    /// Total time queries spent parked in the admission queue before
+    /// their window was dispatched.
+    queue_wait_nanos: AtomicU64,
+    /// Longest single admission-queue wait observed (a max, not a sum).
+    queue_wait_nanos_max: AtomicU64,
+    /// Queries whose window execution served them through a shared group
+    /// or cache splice — the coalescing payoff the service exists for.
+    queries_coalesced_shared: AtomicU64,
 }
 
 impl ExecMetrics {
@@ -244,6 +263,31 @@ impl ExecMetrics {
         self.reuse_certificates_rejected.fetch_add(1, Ordering::Relaxed);
     }
 
+    pub fn add_query_admitted(&self) {
+        self.queries_admitted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn add_query_rejected(&self) {
+        self.queries_rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a dispatched window of `occupancy` queries.
+    pub fn add_window_dispatched(&self, occupancy: u64) {
+        self.windows_dispatched.fetch_add(1, Ordering::Relaxed);
+        self.window_occupancy.fetch_add(occupancy, Ordering::Relaxed);
+    }
+
+    /// Record one query's admission-queue wait (accumulates the total and
+    /// updates the max).
+    pub fn add_queue_wait_nanos(&self, nanos: u64) {
+        self.queue_wait_nanos.fetch_add(nanos, Ordering::Relaxed);
+        self.queue_wait_nanos_max.fetch_max(nanos, Ordering::Relaxed);
+    }
+
+    pub fn add_query_coalesced_shared(&self) {
+        self.queries_coalesced_shared.fetch_add(1, Ordering::Relaxed);
+    }
+
     pub fn bytes_scanned(&self) -> u64 {
         self.bytes_scanned.load(Ordering::Relaxed)
     }
@@ -364,6 +408,34 @@ impl ExecMetrics {
         self.reuse_certificates_rejected.load(Ordering::Relaxed)
     }
 
+    pub fn queries_admitted(&self) -> u64 {
+        self.queries_admitted.load(Ordering::Relaxed)
+    }
+
+    pub fn queries_rejected(&self) -> u64 {
+        self.queries_rejected.load(Ordering::Relaxed)
+    }
+
+    pub fn windows_dispatched(&self) -> u64 {
+        self.windows_dispatched.load(Ordering::Relaxed)
+    }
+
+    pub fn window_occupancy(&self) -> u64 {
+        self.window_occupancy.load(Ordering::Relaxed)
+    }
+
+    pub fn queue_wait_nanos(&self) -> u64 {
+        self.queue_wait_nanos.load(Ordering::Relaxed)
+    }
+
+    pub fn queue_wait_nanos_max(&self) -> u64 {
+        self.queue_wait_nanos_max.load(Ordering::Relaxed)
+    }
+
+    pub fn queries_coalesced_shared(&self) -> u64 {
+        self.queries_coalesced_shared.load(Ordering::Relaxed)
+    }
+
     /// The *currently* reserved operator state (not the peak), clamped at
     /// zero. Used for enforced-budget admission checks.
     pub fn current_state_bytes(&self) -> u64 {
@@ -413,6 +485,13 @@ impl ExecMetrics {
             circuit_breaker_trips: self.circuit_breaker_trips(),
             reuse_certificates_issued: self.reuse_certificates_issued(),
             reuse_certificates_rejected: self.reuse_certificates_rejected(),
+            queries_admitted: self.queries_admitted(),
+            queries_rejected: self.queries_rejected(),
+            windows_dispatched: self.windows_dispatched(),
+            window_occupancy: self.window_occupancy(),
+            queue_wait_nanos: self.queue_wait_nanos(),
+            queue_wait_nanos_max: self.queue_wait_nanos_max(),
+            queries_coalesced_shared: self.queries_coalesced_shared(),
         }
     }
 }
@@ -471,6 +550,17 @@ pub struct MetricsSnapshot {
     /// refused one (reverted to cold execution with a typed reason).
     pub reuse_certificates_issued: u64,
     pub reuse_certificates_rejected: u64,
+    /// Multi-tenant service counters (see `DESIGN.md` §17): admission
+    /// outcomes, dispatched batch windows and their cumulative occupancy,
+    /// admission-queue wait (total and max), and queries that a coalesced
+    /// window actually served through shared work.
+    pub queries_admitted: u64,
+    pub queries_rejected: u64,
+    pub windows_dispatched: u64,
+    pub window_occupancy: u64,
+    pub queue_wait_nanos: u64,
+    pub queue_wait_nanos_max: u64,
+    pub queries_coalesced_shared: u64,
 }
 
 impl MetricsSnapshot {
@@ -540,7 +630,74 @@ impl MetricsSnapshot {
             reuse_certificates_rejected: self
                 .reuse_certificates_rejected
                 .saturating_sub(base.reuse_certificates_rejected),
+            queries_admitted: self.queries_admitted.saturating_sub(base.queries_admitted),
+            queries_rejected: self.queries_rejected.saturating_sub(base.queries_rejected),
+            windows_dispatched: self
+                .windows_dispatched
+                .saturating_sub(base.windows_dispatched),
+            window_occupancy: self.window_occupancy.saturating_sub(base.window_occupancy),
+            queue_wait_nanos: self.queue_wait_nanos.saturating_sub(base.queue_wait_nanos),
+            // Like `peak_state_bytes`, a high-water mark: keep the later
+            // snapshot's value rather than subtracting.
+            queue_wait_nanos_max: self.queue_wait_nanos_max,
+            queries_coalesced_shared: self
+                .queries_coalesced_shared
+                .saturating_sub(base.queries_coalesced_shared),
         }
+    }
+
+    /// Accumulate another snapshot into this one: additive counters sum,
+    /// high-water marks (`peak_state_bytes`, `queue_wait_nanos_max`) take
+    /// the max. Used by the multi-tenant service to roll each tenant's
+    /// per-window *deltas* into that tenant's own cumulative snapshot —
+    /// never mixing in another tenant's share of the shared batch sink.
+    pub fn absorb(&mut self, delta: &MetricsSnapshot) {
+        let merged_peak = self.peak_state_bytes.max(delta.peak_state_bytes);
+        let merged_wait_max = self.queue_wait_nanos_max.max(delta.queue_wait_nanos_max);
+        macro_rules! add {
+            ($($field:ident),* $(,)?) => {
+                $(self.$field = self.$field.saturating_add(delta.$field);)*
+            };
+        }
+        add!(
+            bytes_scanned,
+            rows_scanned,
+            rows_produced,
+            partitions_read,
+            partitions_pruned,
+            spills,
+            retries,
+            faults_injected,
+            fallbacks,
+            morsels_executed,
+            rows_filtered_vectorized,
+            pipelines_compiled,
+            batches_elided,
+            rows_evaluated_vectorized,
+            parallel_cpu_nanos,
+            parallel_wall_nanos,
+            reuse_cache_hits,
+            reuse_cache_evictions,
+            reuse_cache_refreshes,
+            subsumption_hits,
+            shared_subplans_executed,
+            queries_batched,
+            batch_query_failures,
+            shared_group_failures,
+            consumers_detached,
+            cache_poison_evictions,
+            circuit_breaker_trips,
+            reuse_certificates_issued,
+            reuse_certificates_rejected,
+            queries_admitted,
+            queries_rejected,
+            windows_dispatched,
+            window_occupancy,
+            queue_wait_nanos,
+            queries_coalesced_shared,
+        );
+        self.peak_state_bytes = merged_peak;
+        self.queue_wait_nanos_max = merged_wait_max;
     }
 }
 

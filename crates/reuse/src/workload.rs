@@ -128,6 +128,33 @@ impl WorkloadReport {
     pub fn consumers_spliced(&self) -> usize {
         self.groups.iter().map(|g| g.spliced).sum()
     }
+
+    /// Distinct batch queries served by at least one reuse group — the
+    /// numerator of a coalescing window's share rate.
+    pub fn queries_sharing(&self) -> usize {
+        let mut queries = std::collections::BTreeSet::new();
+        for group in &self.groups {
+            queries.extend(group.queries.iter().copied());
+        }
+        queries.len()
+    }
+
+    /// Fraction of a `window_queries`-sized window served through a
+    /// shared group or cache splice (0.0 for an empty window). The
+    /// service's `coalesced_share_rate` is this, aggregated over windows.
+    pub fn share_rate(&self, window_queries: usize) -> f64 {
+        if window_queries == 0 {
+            0.0
+        } else {
+            self.queries_sharing() as f64 / window_queries as f64
+        }
+    }
+
+    /// Groups served from the shared-subplan cache (warm hits) rather
+    /// than executed in this window.
+    pub fn cache_hits(&self) -> usize {
+        self.groups.iter().filter(|g| g.cache_hit).count()
+    }
 }
 
 /// Accounting for one reuse group.
@@ -1180,5 +1207,27 @@ mod tests {
         assert!(paths_overlap(&[0, 1], &[0, 1]));
         assert!(!paths_overlap(&[0, 1], &[0, 2]));
         assert!(!paths_overlap(&[1], &[0, 1]));
+    }
+
+    #[test]
+    fn report_share_rate_counts_distinct_queries() {
+        let group = |queries: Vec<usize>, cache_hit: bool| GroupReport {
+            fingerprint: String::new(),
+            queries,
+            spliced: 2,
+            fused: false,
+            cache_hit,
+            executed: !cache_hit,
+            rows: 0,
+            subplan_nodes: 1,
+        };
+        let report = WorkloadReport {
+            groups: vec![group(vec![0, 1], false), group(vec![1, 3], true)],
+        };
+        // Query 1 is in both groups but counts once.
+        assert_eq!(report.queries_sharing(), 3);
+        assert!((report.share_rate(4) - 0.75).abs() < 1e-9);
+        assert_eq!(report.share_rate(0), 0.0);
+        assert_eq!(report.cache_hits(), 1);
     }
 }

@@ -1,0 +1,522 @@
+//! Multi-tenant query service: admission control + batch-window
+//! coalescing over the fusion engine.
+//!
+//! The engine's reuse-via-fusion wins only materialize when many queries
+//! execute together, but [`fusion_engine::Session::run_batch`] makes the
+//! *caller* assemble the batch. This crate closes that gap with a
+//! long-running front end:
+//!
+//! ```text
+//! ClientHandle::submit ──▶ admission (caps, budget) ──▶ AdmissionQueue
+//!                                                           │
+//!                        dispatcher thread: close window ◀──┘
+//!                        (max_window_queries / max_window_wait,
+//!                         weighted-fair tenant packing)
+//!                                    │
+//!                          Session::run_batch(window)
+//!                         (reuse groups, shared cache,
+//!                          circuit breaker — all fire here)
+//!                                    │
+//!                 per-slot results routed back to each waiter
+//!                 (typed errors stay in their slot; per-tenant
+//!                  metrics deltas absorbed into tenant snapshots)
+//! ```
+//!
+//! Queries from *different tenants* that land in the same window share
+//! work exactly like a hand-assembled batch would: group formation is
+//! plan-driven and tenant-blind, while accounting and governance are
+//! tenant-scoped. See DESIGN.md §17 for the architecture.
+
+use std::collections::HashMap;
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex, PoisonError};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use fusion_common::{FusionError, Result};
+use fusion_engine::admission::{Admitted, AdmissionQueue};
+use fusion_engine::{QueryResult, Session};
+use fusion_exec::metrics::{MetricsSnapshot, StateReservation};
+use fusion_exec::ExecMetrics;
+
+mod tenant;
+pub mod wire;
+
+pub use fusion_engine::admission::{AdmissionConfig, TenantId};
+pub use tenant::TenantConfig;
+use tenant::TenantState;
+
+/// Service-wide configuration: window formation plus per-tenant
+/// governance defaults and overrides.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Window-formation knobs (`max_window_queries`, `max_window_wait`).
+    /// Per-tenant queue caps are governed by [`TenantConfig::max_queued`];
+    /// leave [`AdmissionConfig::max_queued_per_tenant`] at 0 here.
+    pub admission: AdmissionConfig,
+    /// Governance applied to tenants without an explicit override.
+    pub default_tenant: TenantConfig,
+    /// Per-tenant governance overrides, keyed by tenant name.
+    pub tenant_overrides: Vec<(String, TenantConfig)>,
+    /// Bytes charged against a tenant's memory budget for each admitted
+    /// query, held from admission until its response is routed.
+    pub per_query_memory_cost: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            admission: AdmissionConfig::default(),
+            default_tenant: TenantConfig::default(),
+            tenant_overrides: Vec::new(),
+            per_query_memory_cost: 1 << 20,
+        }
+    }
+}
+
+impl ServiceConfig {
+    fn tenant_config(&self, tenant: &TenantId) -> TenantConfig {
+        self.tenant_overrides
+            .iter()
+            .find(|(name, _)| name == tenant.as_str())
+            .map(|(_, cfg)| cfg.clone())
+            .unwrap_or_else(|| self.default_tenant.clone())
+    }
+
+    /// Register a governance override for one tenant.
+    pub fn with_tenant(mut self, name: impl Into<String>, cfg: TenantConfig) -> Self {
+        self.tenant_overrides.push((name.into(), cfg));
+        self
+    }
+}
+
+/// One parked query: its SQL, the waiter's response channel, and the
+/// tenant-budget reservation held until the response is routed.
+struct Job {
+    sql: String,
+    responder: mpsc::SyncSender<Result<QueryResult>>,
+    /// Dropping the job releases the tenant's admission-level memory
+    /// charge ([`ServiceConfig::per_query_memory_cost`]).
+    _reservation: Option<StateReservation>,
+}
+
+/// A submitted query's claim on its future result.
+#[derive(Debug)]
+pub struct Ticket {
+    rx: mpsc::Receiver<Result<QueryResult>>,
+}
+
+impl Ticket {
+    /// Block until the query's window executes and its slot is routed
+    /// back. Never hangs: graceful shutdown drains every parked query,
+    /// and a torn-down dispatcher surfaces as a typed internal error
+    /// rather than a stuck waiter.
+    pub fn wait(self) -> Result<QueryResult> {
+        self.rx
+            .recv()
+            .unwrap_or_else(|_| Err(FusionError::Internal("query service dropped the response channel".into())))
+    }
+}
+
+struct Inner {
+    session: Arc<Session>,
+    queue: AdmissionQueue<Job>,
+    config: ServiceConfig,
+    tenants: Mutex<HashMap<TenantId, TenantState>>,
+    /// Service-wide admission/window counters (tenant-scoped copies live
+    /// in each [`TenantState`]'s governance sink).
+    metrics: Arc<ExecMetrics>,
+    /// Service-wide execution counters: each window's batch-wide metrics
+    /// (shared executions, cache hits, scans — a fresh per-batch sink in
+    /// the engine) absorbed across windows.
+    execution: Mutex<MetricsSnapshot>,
+}
+
+impl Inner {
+    fn lock_tenants(&self) -> std::sync::MutexGuard<'_, HashMap<TenantId, TenantState>> {
+        self.tenants.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Admission: cap + budget checks, then park the job. Lock order is
+    /// strictly tenants → queue; the dispatcher never takes them in the
+    /// other order (its packing quotas are snapshotted up front).
+    fn submit(&self, tenant: TenantId, sql: String) -> Result<Ticket> {
+        let (tenant_metrics, reservation) = {
+            let mut tenants = self.lock_tenants();
+            let state = tenants
+                .entry(tenant.clone())
+                .or_insert_with(|| TenantState::new(self.config.tenant_config(&tenant)));
+            let cap = state.config.max_queued;
+            if cap > 0 && state.queued >= cap {
+                state.metrics.add_query_rejected();
+                self.metrics.add_query_rejected();
+                return Err(FusionError::AdmissionRejected {
+                    tenant: tenant.to_string(),
+                    reason: format!("queue depth cap reached ({cap} queries parked)"),
+                });
+            }
+            let reservation = match state.config.memory_budget {
+                Some(budget) => {
+                    let cost = self.config.per_query_memory_cost as i64;
+                    match StateReservation::with_enforced_budget(state.metrics.clone(), cost, budget) {
+                        Ok(r) => Some(r),
+                        Err(FusionError::ResourceExhausted { budget, requested }) => {
+                            state.metrics.add_query_rejected();
+                            self.metrics.add_query_rejected();
+                            return Err(FusionError::AdmissionRejected {
+                                tenant: tenant.to_string(),
+                                reason: format!(
+                                    "memory budget exhausted ({requested} bytes outstanding against a {budget}-byte budget)"
+                                ),
+                            });
+                        }
+                        Err(other) => return Err(other),
+                    }
+                }
+                None => None,
+            };
+            state.queued += 1;
+            (state.metrics.clone(), reservation)
+        };
+        let (tx, rx) = mpsc::sync_channel(1);
+        let job = Job {
+            sql,
+            responder: tx,
+            _reservation: reservation,
+        };
+        if let Err(err) = self.queue.admit(tenant.clone(), job) {
+            let mut tenants = self.lock_tenants();
+            if let Some(state) = tenants.get_mut(&tenant) {
+                state.queued = state.queued.saturating_sub(1);
+                state.metrics.add_query_rejected();
+            }
+            self.metrics.add_query_rejected();
+            return Err(err);
+        }
+        tenant_metrics.add_query_admitted();
+        self.metrics.add_query_admitted();
+        Ok(Ticket { rx })
+    }
+
+    /// Snapshot the per-tenant window-packing quotas: each tenant's share
+    /// of a window is proportional to its weight (never below one slot)
+    /// and capped by its `max_inflight`. Taken *before* blocking on the
+    /// queue so the packing closure never locks the tenant map (see the
+    /// lock-order note on [`Inner::submit`]); tenants that first appear
+    /// while the dispatcher is parked get the default quota this window.
+    fn window_quotas(&self) -> (HashMap<TenantId, usize>, usize) {
+        let tenants = self.lock_tenants();
+        let max_q = self.config.admission.max_window_queries;
+        let total_weight: usize = tenants
+            .values()
+            .filter(|s| s.queued > 0)
+            .map(|s| s.config.weight.max(1))
+            .sum::<usize>()
+            .max(1);
+        let base = (max_q / total_weight).max(1);
+        let quota_for = |cfg: &TenantConfig| {
+            let q = (cfg.weight.max(1)).saturating_mul(base).max(1);
+            if cfg.max_inflight > 0 {
+                q.min(cfg.max_inflight)
+            } else {
+                q
+            }
+        };
+        let quotas = tenants
+            .iter()
+            .map(|(t, s)| (t.clone(), quota_for(&s.config)))
+            .collect();
+        (quotas, quota_for(&self.config.default_tenant))
+    }
+
+    /// Execute one closed window through the engine's batch path and
+    /// route each slot back to its waiter. Typed per-query errors stay in
+    /// their slot; a batch-wide failure (fail-fast, strict mode) is
+    /// cloned to every waiter in the window.
+    fn run_window(&self, window: Vec<Admitted<Job>>) {
+        let dispatched_at = Instant::now();
+        {
+            let mut tenants = self.lock_tenants();
+            for entry in &window {
+                let wait = dispatched_at
+                    .saturating_duration_since(entry.enqueued_at)
+                    .as_nanos() as u64;
+                self.metrics.add_queue_wait_nanos(wait);
+                if let Some(state) = tenants.get_mut(&entry.tenant) {
+                    state.metrics.add_queue_wait_nanos(wait);
+                    state.queued = state.queued.saturating_sub(1);
+                    state.inflight += 1;
+                }
+            }
+        }
+        self.metrics.add_window_dispatched(window.len() as u64);
+        let sqls: Vec<&str> = window.iter().map(|e| e.payload.sql.as_str()).collect();
+        let batch = self.session.run_batch(&sqls);
+        let mut tenants = self.lock_tenants();
+        let mut window_deltas: HashMap<TenantId, MetricsSnapshot> = HashMap::new();
+        match batch {
+            Ok(batch) => {
+                self.execution
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .absorb(&batch.metrics);
+                for (entry, slot) in window.into_iter().zip(batch.results) {
+                    if let Some(state) = tenants.get_mut(&entry.tenant) {
+                        state.inflight = state.inflight.saturating_sub(1);
+                    }
+                    match slot {
+                        Ok(result) => {
+                            if result.reused() {
+                                self.metrics.add_query_coalesced_shared();
+                                if let Some(state) = tenants.get_mut(&entry.tenant) {
+                                    state.metrics.add_query_coalesced_shared();
+                                }
+                            }
+                            // Slot metrics are per-query deltas (batch
+                            // fault-domain semantics), so absorbing them
+                            // keeps tenant snapshots free of other
+                            // tenants' counters.
+                            window_deltas
+                                .entry(entry.tenant.clone())
+                                .or_default()
+                                .absorb(&result.metrics);
+                            if let Some(state) = tenants.get_mut(&entry.tenant) {
+                                state.cumulative.absorb(&result.metrics);
+                            }
+                            let _ = entry.payload.responder.send(Ok(result));
+                        }
+                        Err(failure) => {
+                            let _ = entry.payload.responder.send(Err(failure.error));
+                        }
+                    }
+                }
+            }
+            Err(err) => {
+                for entry in window {
+                    if let Some(state) = tenants.get_mut(&entry.tenant) {
+                        state.inflight = state.inflight.saturating_sub(1);
+                    }
+                    let _ = entry.payload.responder.send(Err(err.clone()));
+                }
+            }
+        }
+        for (tenant, delta) in window_deltas {
+            if let Some(state) = tenants.get_mut(&tenant) {
+                state.last_window = Some(delta);
+            }
+        }
+    }
+
+    fn dispatch_loop(&self) {
+        loop {
+            let (quotas, default_quota) = self.window_quotas();
+            let window = self
+                .queue
+                .next_window(|t| quotas.get(t).copied().unwrap_or(default_quota));
+            match window {
+                Some(window) => self.run_window(window),
+                // Queue closed and fully drained: every waiter got its
+                // response; the dispatcher can retire.
+                None => break,
+            }
+        }
+    }
+}
+
+/// The long-running, multi-tenant query front end. Owns the dispatcher
+/// thread; hand out per-tenant [`ClientHandle`]s with
+/// [`QueryService::client`].
+pub struct QueryService {
+    inner: Arc<Inner>,
+    dispatcher: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl QueryService {
+    /// Start the service over a fully-configured session (register tables
+    /// *before* wrapping it in `Arc` — the catalog is immutable once
+    /// shared). Spawns the dispatcher thread immediately.
+    pub fn start(session: Arc<Session>, config: ServiceConfig) -> Self {
+        let inner = Arc::new(Inner {
+            session,
+            queue: AdmissionQueue::new(config.admission.clone()),
+            config,
+            tenants: Mutex::new(HashMap::new()),
+            metrics: ExecMetrics::new(),
+            execution: Mutex::new(MetricsSnapshot::default()),
+        });
+        let dispatcher_inner = Arc::clone(&inner);
+        let dispatcher = std::thread::Builder::new()
+            .name("fusion-service-dispatcher".into())
+            .spawn(move || dispatcher_inner.dispatch_loop())
+            .ok();
+        QueryService {
+            inner,
+            dispatcher: Mutex::new(dispatcher),
+        }
+    }
+
+    /// A client handle bound to one tenant. Handles are cheap; spawn one
+    /// per connection/thread.
+    pub fn client(&self, tenant: impl Into<TenantId>) -> ClientHandle {
+        ClientHandle {
+            inner: Arc::clone(&self.inner),
+            tenant: tenant.into(),
+        }
+    }
+
+    /// The shared engine session (for catalog inspection in tests/bench).
+    pub fn session(&self) -> &Arc<Session> {
+        &self.inner.session
+    }
+
+    /// Total queries currently parked in the admission queue.
+    pub fn queued_total(&self) -> usize {
+        self.inner.queue.len()
+    }
+
+    /// Service-wide admission/window counters.
+    pub fn service_metrics(&self) -> MetricsSnapshot {
+        self.inner.metrics.snapshot()
+    }
+
+    /// Service-wide execution counters: every window's batch-wide
+    /// metrics (shared-subplan executions, cache hits, scan volume)
+    /// absorbed across windows. Shared work is accounted here — it
+    /// belongs to the window, not to any single tenant's slot.
+    pub fn execution_metrics(&self) -> MetricsSnapshot {
+        *self.inner.execution.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// One tenant's cumulative view: execution deltas absorbed from its
+    /// own batch slots plus its governance counters — never another
+    /// tenant's numbers. `None` until the tenant has submitted.
+    pub fn tenant_metrics(&self, tenant: &TenantId) -> Option<MetricsSnapshot> {
+        let tenants = self.inner.lock_tenants();
+        tenants.get(tenant).map(|s| {
+            let mut merged = s.cumulative;
+            merged.absorb(&s.metrics.snapshot());
+            merged
+        })
+    }
+
+    /// The per-tenant execution delta of the most recent window that
+    /// carried this tenant's queries (`delta_since`-based: each slot's
+    /// metrics are already per-query deltas).
+    pub fn tenant_window_metrics(&self, tenant: &TenantId) -> Option<MetricsSnapshot> {
+        let tenants = self.inner.lock_tenants();
+        tenants.get(tenant).and_then(|s| s.last_window)
+    }
+
+    /// Graceful shutdown: refuse new admissions, drain every parked query
+    /// through final windows, route all responses, then join the
+    /// dispatcher. No waiter is lost or left hanging.
+    pub fn shutdown(&self) {
+        self.inner.queue.close();
+        let handle = {
+            let mut guard = self.dispatcher.lock().unwrap_or_else(PoisonError::into_inner);
+            guard.take()
+        };
+        if let Some(handle) = handle {
+            let _ = handle.join();
+        }
+    }
+
+    /// The `-- service --` report: EXPLAIN ANALYZE-style rendering of the
+    /// admission, window, and fairness counters, with one line per
+    /// tenant (sorted for stable output).
+    pub fn service_report(&self) -> String {
+        use std::fmt::Write as _;
+        let snap = self.service_metrics();
+        let mut out = String::new();
+        out.push_str("-- service --\n");
+        let share_pct = if snap.queries_admitted > 0 {
+            100.0 * snap.queries_coalesced_shared as f64 / snap.queries_admitted as f64
+        } else {
+            0.0
+        };
+        let _ = writeln!(
+            out,
+            "queries: admitted={} rejected={} coalesced_shared={} ({share_pct:.1}% share rate)",
+            snap.queries_admitted, snap.queries_rejected, snap.queries_coalesced_shared
+        );
+        let mean_occ = if snap.windows_dispatched > 0 {
+            snap.window_occupancy as f64 / snap.windows_dispatched as f64
+        } else {
+            0.0
+        };
+        let _ = writeln!(
+            out,
+            "windows: dispatched={} mean_occupancy={mean_occ:.1}",
+            snap.windows_dispatched
+        );
+        let _ = writeln!(
+            out,
+            "queue wait: total={:.3}ms max={:.3}ms",
+            snap.queue_wait_nanos as f64 / 1e6,
+            snap.queue_wait_nanos_max as f64 / 1e6
+        );
+        let exec = self.execution_metrics();
+        let _ = writeln!(
+            out,
+            "engine: shared_subplans_executed={} cache_hits={} subsumption_hits={} scanned={}B",
+            exec.shared_subplans_executed,
+            exec.reuse_cache_hits,
+            exec.subsumption_hits,
+            exec.bytes_scanned
+        );
+        let tenants = self.inner.lock_tenants();
+        let mut names: Vec<&TenantId> = tenants.keys().collect();
+        names.sort();
+        for name in names {
+            if let Some(state) = tenants.get(name) {
+                let gov = state.metrics.snapshot();
+                let _ = writeln!(
+                    out,
+                    "tenant {name}: admitted={} rejected={} coalesced_shared={} queued={} inflight={} \
+                     wait_max={:.3}ms rows={} scanned={}B",
+                    gov.queries_admitted,
+                    gov.queries_rejected,
+                    gov.queries_coalesced_shared,
+                    state.queued,
+                    state.inflight,
+                    gov.queue_wait_nanos_max as f64 / 1e6,
+                    state.cumulative.rows_produced,
+                    state.cumulative.bytes_scanned,
+                );
+            }
+        }
+        out
+    }
+}
+
+impl Drop for QueryService {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// A tenant-tagged connection to the service.
+#[derive(Clone)]
+pub struct ClientHandle {
+    inner: Arc<Inner>,
+    tenant: TenantId,
+}
+
+impl ClientHandle {
+    pub fn tenant(&self) -> &TenantId {
+        &self.tenant
+    }
+
+    /// Submit a query through admission control. Returns a [`Ticket`]
+    /// immediately, or a typed `FUSION_ADMISSION_REJECTED` error if the
+    /// tenant's queue-depth cap or memory budget refuses it.
+    pub fn submit(&self, sql: impl Into<String>) -> Result<Ticket> {
+        self.inner.submit(self.tenant.clone(), sql.into())
+    }
+
+    /// Submit and block for the result: the window the query lands in
+    /// coalesces it with whatever else is in flight.
+    pub fn query(&self, sql: impl Into<String>) -> Result<QueryResult> {
+        self.submit(sql)?.wait()
+    }
+}

@@ -1,0 +1,70 @@
+//! Per-tenant governance: caps, budgets, weights, and metrics isolation.
+
+use std::sync::Arc;
+
+use fusion_exec::metrics::MetricsSnapshot;
+use fusion_exec::ExecMetrics;
+
+/// Governance knobs for one tenant (`0` / `None` = unlimited throughout).
+#[derive(Debug, Clone)]
+pub struct TenantConfig {
+    /// Cap on queries parked in the admission queue; crossing it rejects
+    /// the submission with `FUSION_ADMISSION_REJECTED`.
+    pub max_queued: usize,
+    /// Cap on the tenant's queries executing concurrently — enforced as
+    /// the tenant's maximum slots per dispatched window (the dispatcher
+    /// runs one window at a time, so window share *is* in-flight share).
+    pub max_inflight: usize,
+    /// Weighted-fair window share relative to other tenants (minimum 1).
+    /// A weight-2 tenant gets up to twice the window slots of a weight-1
+    /// tenant under contention; round-robin packing still guarantees
+    /// every backlogged tenant at least one slot per window.
+    pub weight: usize,
+    /// Admission-level memory budget in bytes: each admitted query holds
+    /// a `per_query_memory_cost` reservation against it from admission
+    /// until its response is routed.
+    pub memory_budget: Option<usize>,
+}
+
+impl Default for TenantConfig {
+    fn default() -> Self {
+        TenantConfig {
+            max_queued: 0,
+            max_inflight: 0,
+            weight: 1,
+            memory_budget: None,
+        }
+    }
+}
+
+/// Live per-tenant state, keyed by `TenantId` in the service.
+pub(crate) struct TenantState {
+    pub config: TenantConfig,
+    /// Queries parked in the admission queue.
+    pub queued: usize,
+    /// Queries inside the currently-executing window.
+    pub inflight: usize,
+    /// The tenant's governance sink: admission counters, queue-wait
+    /// times, and budget reservations. Never mixed with another
+    /// tenant's numbers.
+    pub metrics: Arc<ExecMetrics>,
+    /// Execution counters absorbed from this tenant's own batch slots
+    /// (each slot's metrics are per-query deltas).
+    pub cumulative: MetricsSnapshot,
+    /// This tenant's execution delta from the most recent window that
+    /// carried its queries.
+    pub last_window: Option<MetricsSnapshot>,
+}
+
+impl TenantState {
+    pub fn new(config: TenantConfig) -> Self {
+        TenantState {
+            config,
+            queued: 0,
+            inflight: 0,
+            metrics: ExecMetrics::new(),
+            cumulative: MetricsSnapshot::default(),
+            last_window: None,
+        }
+    }
+}

@@ -1,0 +1,100 @@
+//! Thin line-oriented TCP adapter over the in-process service protocol.
+//!
+//! One thread per connection; each connection is bound to a tenant by
+//! its first line. The protocol is deliberately tiny — the in-process
+//! [`crate::ClientHandle`] is the primary surface; this adapter exists
+//! so two OS processes can share one fused window.
+//!
+//! ```text
+//! client → TENANT acme            bind the connection to a tenant
+//! client → SELECT ...             one query per line
+//! server ← OK 3                   row count, then rows tab-separated
+//! server ← 1<TAB>frobs
+//! server ← ...
+//! server ← .                      end-of-result marker
+//! server ← ERR FUSION_... message typed error for that query
+//! client → QUIT                   close the connection
+//! ```
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crate::{ClientHandle, QueryService};
+
+/// Serve connections from `listener` until it fails (e.g. the socket is
+/// closed). Each accepted connection gets its own thread; queries from
+/// all connections coalesce into the same admission queue.
+pub fn serve(service: Arc<QueryService>, listener: TcpListener) -> JoinHandle<()> {
+    std::thread::Builder::new()
+        .name("fusion-service-wire".into())
+        .spawn(move || {
+            for stream in listener.incoming() {
+                match stream {
+                    Ok(stream) => {
+                        let service = Arc::clone(&service);
+                        let _ = std::thread::Builder::new()
+                            .name("fusion-service-conn".into())
+                            .spawn(move || handle_connection(&service, stream));
+                    }
+                    Err(_) => break,
+                }
+            }
+        })
+        .unwrap_or_else(|_| std::thread::spawn(|| ()))
+}
+
+fn handle_connection(service: &QueryService, stream: TcpStream) {
+    let reader = match stream.try_clone() {
+        Ok(s) => BufReader::new(s),
+        Err(_) => return,
+    };
+    let mut writer = stream;
+    let mut client: Option<ClientHandle> = None;
+    for line in reader.lines() {
+        let line = match line {
+            Ok(l) => l,
+            Err(_) => break,
+        };
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line.eq_ignore_ascii_case("QUIT") {
+            break;
+        }
+        if let Some(name) = line
+            .strip_prefix("TENANT ")
+            .or_else(|| line.strip_prefix("tenant "))
+        {
+            client = Some(service.client(name.trim()));
+            if writeln!(writer, "OK 0").and_then(|_| writeln!(writer, ".")).is_err() {
+                break;
+            }
+            continue;
+        }
+        let Some(client) = client.as_ref() else {
+            if writeln!(writer, "ERR FUSION_SQL first line must be `TENANT <name>`").is_err() {
+                break;
+            }
+            continue;
+        };
+        let response = match client.query(line) {
+            Ok(result) => {
+                let mut out = format!("OK {}\n", result.rows.len());
+                for row in &result.rows {
+                    let cells: Vec<String> = row.iter().map(|v| v.to_string()).collect();
+                    out.push_str(&cells.join("\t"));
+                    out.push('\n');
+                }
+                out.push_str(".\n");
+                out
+            }
+            Err(err) => format!("ERR {} {}\n", err.code(), err),
+        };
+        if writer.write_all(response.as_bytes()).is_err() {
+            break;
+        }
+    }
+}
